@@ -1,0 +1,79 @@
+// Table X (RQ5): conciseness of the four query types — number of
+// characters (excluding whitespace) and words — for the synthesized TBQL
+// query, the giant SQL query, the TBQL length-1 path form, and the giant
+// Cypher query of every case.
+#include <cctype>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "common/table_printer.h"
+
+using namespace raptor;
+
+namespace {
+
+size_t CountChars(const std::string& s) {
+  size_t n = 0;
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) ++n;
+  }
+  return n;
+}
+
+size_t CountWords(const std::string& s) {
+  return SplitWhitespace(s).size();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Table X: conciseness of queries in TBQL, SQL, TBQL (length-1 path) "
+      "and Cypher\n\n");
+  TablePrinter table({"Case", "#Patterns", "TBQL chars", "TBQL words",
+                      "SQL chars", "SQL words", "TBQLp chars", "TBQLp words",
+                      "Cypher chars", "Cypher words"});
+  size_t totals[9] = {0};
+  for (const cases::AttackCase& c : cases::AllCases()) {
+    extraction::ThreatBehaviorExtractor extractor;
+    auto ext = extractor.Extract(c.oscti_text);
+    synthesis::QuerySynthesizer synthesizer;
+    auto syn = synthesizer.Synthesize(ext.value().graph);
+    if (!syn.ok()) {
+      table.AddRow({c.id, "synthesis error"});
+      continue;
+    }
+    auto analyzed = tbql::Analyze(syn.value().query);
+    std::string tbql_text = syn.value().tbql_text;
+    std::string sql = engine::CompileGiantSql(analyzed.value()).value();
+    std::string tbqlp = engine::ToLength1PathQuery(syn.value().query).ToString();
+    std::string cypher = engine::CompileGiantCypher(analyzed.value()).value();
+
+    size_t vals[9] = {syn.value().query.patterns.size(),
+                      CountChars(tbql_text), CountWords(tbql_text),
+                      CountChars(sql),       CountWords(sql),
+                      CountChars(tbqlp),     CountWords(tbqlp),
+                      CountChars(cypher),    CountWords(cypher)};
+    for (int i = 0; i < 9; ++i) totals[i] += vals[i];
+    table.AddRow({c.id, std::to_string(vals[0]), std::to_string(vals[1]),
+                  std::to_string(vals[2]), std::to_string(vals[3]),
+                  std::to_string(vals[4]), std::to_string(vals[5]),
+                  std::to_string(vals[6]), std::to_string(vals[7]),
+                  std::to_string(vals[8])});
+  }
+  table.AddRow({"Total", std::to_string(totals[0]), std::to_string(totals[1]),
+                std::to_string(totals[2]), std::to_string(totals[3]),
+                std::to_string(totals[4]), std::to_string(totals[5]),
+                std::to_string(totals[6]), std::to_string(totals[7]),
+                std::to_string(totals[8])});
+  table.Print();
+  std::printf(
+      "\nTBQL vs SQL: %.1fx fewer characters, %.1fx fewer words\n"
+      "TBQL vs Cypher: %.1fx fewer characters, %.1fx fewer words\n",
+      static_cast<double>(totals[3]) / totals[1],
+      static_cast<double>(totals[4]) / totals[2],
+      static_cast<double>(totals[7]) / totals[1],
+      static_cast<double>(totals[8]) / totals[2]);
+  return 0;
+}

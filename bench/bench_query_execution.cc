@@ -1,0 +1,84 @@
+// Table VIII (RQ4): execution time of the four semantically equivalent
+// query types per case —
+//   (a) TBQL (event patterns, scheduled, relational backend)
+//   (b) one giant SQL query (all joins/constraints woven together)
+//   (c) TBQL in length-1 event path syntax (scheduled, graph backend)
+//   (d) one giant Cypher query
+// Each query runs BENCH_ROUNDS rounds (default 20) on a log scaled by
+// BENCH_SCALE (default 10x the test profile).
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+
+using namespace raptor;
+
+int main() {
+  int scale = bench::NoiseScale();
+  int rounds = bench::Rounds();
+  std::printf(
+      "Table VIII: query execution time (seconds, %d-round mean ± std, "
+      "noise scale %dx)\n\n",
+      rounds, scale);
+  TablePrinter table({"Case", "TBQL", "SQL", "TBQL (length-1 path)",
+                      "Cypher"});
+  double totals[4] = {0, 0, 0, 0};
+  for (const cases::AttackCase& c : cases::AllCases()) {
+    auto tr = bench::LoadCase(c, scale);
+    auto ext = tr->ExtractBehaviorGraph(c.oscti_text);
+    auto syn = tr->SynthesizeQuery(ext.value().graph);
+    if (!syn.ok()) {
+      table.AddRow({c.id, "synthesis error", "", "", ""});
+      continue;
+    }
+    tbql::TbqlQuery query = std::move(syn).value().query;
+    auto analyzed = tbql::Analyze(query);
+    auto giant_sql = engine::CompileGiantSql(analyzed.value());
+    auto giant_cypher = engine::CompileGiantCypher(analyzed.value());
+    tbql::TbqlQuery path_query = engine::ToLength1PathQuery(query);
+
+    auto measure = [&](auto fn) {
+      std::vector<double> times;
+      times.reserve(rounds);
+      Stopwatch sw;
+      for (int i = 0; i < rounds; ++i) {
+        sw.Restart();
+        fn();
+        times.push_back(sw.ElapsedSeconds());
+      }
+      return times;
+    };
+    auto mean_of = [](const std::vector<double>& xs) {
+      double m = 0;
+      for (double x : xs) m += x;
+      return m / xs.size();
+    };
+
+    std::vector<double> t_tbql =
+        measure([&] { (void)tr->Hunt(query); });
+    std::vector<double> t_sql = measure(
+        [&] { (void)tr->store()->relational().Query(giant_sql.value()); });
+    std::vector<double> t_path =
+        measure([&] { (void)tr->Hunt(path_query); });
+    std::vector<double> t_cypher = measure(
+        [&] { (void)tr->store()->graph().Query(giant_cypher.value()); });
+
+    totals[0] += mean_of(t_tbql);
+    totals[1] += mean_of(t_sql);
+    totals[2] += mean_of(t_path);
+    totals[3] += mean_of(t_cypher);
+    table.AddRow({c.id, bench::MeanStd(t_tbql), bench::MeanStd(t_sql),
+                  bench::MeanStd(t_path), bench::MeanStd(t_cypher)});
+  }
+  table.AddRow({"Total", StrFormat("%.4f", totals[0]),
+                StrFormat("%.4f", totals[1]), StrFormat("%.4f", totals[2]),
+                StrFormat("%.4f", totals[3])});
+  table.Print();
+  std::printf(
+      "\nRelational backend: scheduled TBQL vs giant SQL speedup = %.1fx\n"
+      "Graph backend: scheduled TBQL(path) vs giant Cypher speedup = %.1fx\n",
+      totals[1] / totals[0], totals[3] / totals[2]);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Shared helpers for the benchmark harnesses. Each bench binary regenerates
+// one of the paper's tables (see DESIGN.md experiment index).
+#pragma once
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cases/cases.h"
+#include "common/strings.h"
+#include "threatraptor.h"
+
+namespace raptor::bench {
+
+/// Noise multiplier for query-execution benches: the paper's logs hold 55M
+/// events; the default profiles are test-sized, so execution benches scale
+/// the benign background up (override with BENCH_SCALE=<n>).
+inline int NoiseScale(int def = 10) {
+  const char* env = std::getenv("BENCH_SCALE");
+  if (env != nullptr) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return def;
+}
+
+/// Measurement rounds (paper: 20; override with BENCH_ROUNDS=<n>).
+inline int Rounds(int def = 20) {
+  const char* env = std::getenv("BENCH_ROUNDS");
+  if (env != nullptr) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return def;
+}
+
+/// Build a ThreatRaptor instance loaded with a case's log, with the benign
+/// noise scaled by `scale`.
+inline std::unique_ptr<ThreatRaptor> LoadCase(const cases::AttackCase& c,
+                                              int scale = 1) {
+  cases::AttackCase scaled = c;
+  scaled.benign.num_processes *= scale;
+  auto tr = std::make_unique<ThreatRaptor>();
+  Status st = tr->IngestSyscalls(cases::BuildCaseLog(scaled));
+  if (!st.ok()) {
+    std::fprintf(stderr, "failed to load case %s: %s\n", c.id.c_str(),
+                 st.ToString().c_str());
+    std::exit(1);
+  }
+  return tr;
+}
+
+inline std::string MeanStd(const std::vector<double>& xs) {
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= xs.empty() ? 1 : xs.size();
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= xs.empty() ? 1 : xs.size();
+  return StrFormat("%.4f ± %.4f", mean, std::sqrt(var));
+}
+
+}  // namespace raptor::bench

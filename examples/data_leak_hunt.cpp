@@ -1,0 +1,103 @@
+// Fig. 2 of the paper, end to end: the data-leakage-after-Shellshock OSCTI
+// report is processed into a threat behavior graph, the graph is
+// synthesized into the TBQL query shown in the figure, and the query is
+// executed against audit logs containing the attack plus benign noise.
+#include <cstdio>
+
+#include "cases/cases.h"
+#include "threatraptor.h"
+
+using namespace raptor;
+
+int main() {
+  // The full attack narration from Fig. 2 (including the GnuPG step).
+  const char* kFig2Text =
+      "After the lateral movement stage, the attacker attempts to steal "
+      "valuable assets from the host. This stage mainly involves the "
+      "behaviors of local and remote file system scanning activities, "
+      "copying and compressing of important files, and transferring the "
+      "files to its C2 host. As a first step, the attacker used /bin/tar "
+      "to read user credentials from /etc/passwd. It wrote the gathered "
+      "information to a file /tmp/upload.tar. Then, the attacker leveraged "
+      "/bin/bzip2 utility to compress the tar file. /bin/bzip2 read from "
+      "/tmp/upload.tar and wrote to /tmp/upload.tar.bz2. After "
+      "compression, the attacker used Gnu Privacy Guard tool to encrypt "
+      "the zipped file, which corresponds to the launched process "
+      "/usr/bin/gpg reading from /tmp/upload.tar.bz2. /usr/bin/gpg then "
+      "wrote the sensitive information to /tmp/upload. Finally, the "
+      "attacker leveraged the curl utility /usr/bin/curl to read the data "
+      "from /tmp/upload. He leaked the gathered sensitive information "
+      "back to the attacker C2 host by using /usr/bin/curl to connect to "
+      "192.168.29.128.";
+
+  // Plant the full 8-step attack into benign background noise.
+  using audit::EventOp;
+  std::vector<audit::AttackStep> steps;
+  auto file = [&](const char* exe, long long pid, EventOp op,
+                  const char* path, double at) {
+    audit::AttackStep s;
+    s.exe = exe;
+    s.pid = pid;
+    s.op = op;
+    s.object_path = path;
+    s.at = static_cast<audit::Timestamp>(at * 1e6);
+    steps.push_back(s);
+  };
+  file("/bin/tar", 501, EventOp::kRead, "/etc/passwd", 1);
+  file("/bin/tar", 501, EventOp::kWrite, "/tmp/upload.tar", 3);
+  file("/bin/bzip2", 502, EventOp::kRead, "/tmp/upload.tar", 5);
+  file("/bin/bzip2", 502, EventOp::kWrite, "/tmp/upload.tar.bz2", 7);
+  file("/usr/bin/gpg", 503, EventOp::kRead, "/tmp/upload.tar.bz2", 9);
+  file("/usr/bin/gpg", 503, EventOp::kWrite, "/tmp/upload", 11);
+  file("/usr/bin/curl", 504, EventOp::kRead, "/tmp/upload", 13);
+  {
+    audit::AttackStep s;
+    s.exe = "/usr/bin/curl";
+    s.pid = 504;
+    s.op = EventOp::kConnect;
+    s.dst_ip = "192.168.29.128";
+    s.dst_port = 443;
+    s.at = static_cast<audit::Timestamp>(15e6);
+    steps.push_back(s);
+  }
+
+  audit::BenignProfile profile;
+  profile.num_processes = 400;
+  profile.seed = 42;
+  audit::BenignWorkloadSimulator benign;
+  ThreatRaptor tr;
+  Status st = tr.IngestSyscalls(audit::MergeStreams(
+      {benign.Generate(profile), audit::CompileAttackScript(steps, 0, 42)}));
+  if (!st.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("audit store: %zu entities, %zu events (%.1f%% of raw events "
+              "kept after data reduction)\n\n",
+              tr.store()->entity_count(), tr.store()->event_count(),
+              100.0 * tr.store()->reduction_stats().reduction_ratio());
+
+  auto outcome = tr.HuntWithOsctiText(kFig2Text);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "hunt failed: %s\n",
+                 outcome.status().ToString().c_str());
+    return 1;
+  }
+  const HuntOutcome& hunt = outcome.value();
+  std::printf("== threat behavior graph (Fig. 2 middle) ==\n%s\n",
+              hunt.extraction.graph.ToString().c_str());
+  std::printf("== graphviz rendering ==\n%s\n",
+              hunt.extraction.graph.ToDot().c_str());
+  std::printf("== synthesized TBQL query (Fig. 2 right) ==\n%s\n\n",
+              hunt.synthesis.tbql_text.c_str());
+  std::printf("== compiled data queries, in scheduled order ==\n");
+  for (const std::string& q : hunt.report.executed_queries) {
+    std::printf("  %s\n", q.c_str());
+  }
+  std::printf("\n== matched system auditing records ==\n%s",
+              hunt.report.results.ToString().c_str());
+  std::printf("\nmatched %zu malicious events among %zu stored events\n",
+              hunt.report.matched_event_ids.size(),
+              tr.store()->event_count());
+  return 0;
+}

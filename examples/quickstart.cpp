@@ -1,0 +1,78 @@
+// Quickstart: the smallest end-to-end ThreatRaptor program.
+//
+//  1. Collect audit records (here: a tiny synthetic log).
+//  2. Ingest them (parsing, data reduction, dual-backend storage).
+//  3. Hand ThreatRaptor an OSCTI snippet; it extracts the threat behavior
+//     graph, synthesizes a TBQL query and hunts.
+//  4. Alternatively, hunt proactively with a hand-written TBQL query.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "threatraptor.h"
+
+using namespace raptor;
+
+int main() {
+  // --- 1. a tiny audit log: one benign editor + a two-step attack --------
+  std::vector<audit::AttackStep> attack;
+  {
+    audit::AttackStep s1;
+    s1.exe = "/usr/bin/wget";
+    s1.pid = 4242;
+    s1.op = audit::EventOp::kWrite;
+    s1.object_path = "/tmp/payload.sh";
+    s1.at = 0;
+    attack.push_back(s1);
+    audit::AttackStep s2 = s1;
+    s2.op = audit::EventOp::kConnect;
+    s2.object_path.clear();
+    s2.dst_ip = "203.0.113.66";
+    s2.dst_port = 443;
+    s2.at = 2'000'000;
+    attack.push_back(s2);
+  }
+  audit::BenignProfile profile;
+  profile.num_processes = 50;
+  profile.seed = 7;
+  audit::BenignWorkloadSimulator benign;
+  std::vector<audit::SyscallRecord> log = audit::MergeStreams(
+      {benign.Generate(profile), audit::CompileAttackScript(attack, 0, 7)});
+
+  // --- 2. ingest ----------------------------------------------------------
+  ThreatRaptor tr;
+  Status st = tr.IngestSyscalls(log);
+  if (!st.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("ingested %zu entities / %zu events\n",
+              tr.store()->entity_count(), tr.store()->event_count());
+
+  // --- 3. OSCTI-driven hunt ----------------------------------------------
+  const char* report =
+      "The attacker used /usr/bin/wget to write the dropper to "
+      "/tmp/payload.sh. It connected to 203.0.113.66 afterwards.";
+  auto outcome = tr.HuntWithOsctiText(report);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "hunt failed: %s\n",
+                 outcome.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nthreat behavior graph:\n%s",
+              outcome.value().extraction.graph.ToString().c_str());
+  std::printf("\nsynthesized TBQL query:\n%s\n\n",
+              outcome.value().synthesis.tbql_text.c_str());
+  std::printf("matched records:\n%s",
+              outcome.value().report.results.ToString().c_str());
+
+  // --- 4. proactive hunt with hand-written TBQL ---------------------------
+  auto manual = tr.Hunt(
+      "proc p[\"%wget%\"] connect ip i return distinct p, i.dstip, i.dstport");
+  if (manual.ok()) {
+    std::printf("\nproactive query results:\n%s",
+                manual.value().results.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,217 @@
+#include "audit/jsonl.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace raptor::audit {
+
+namespace {
+
+void AppendEscaped(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\t': out->append("\\t"); break;
+      case '\r': out->append("\\r"); break;
+      default: out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendStr(std::string* out, bool* first, const char* key,
+               const std::string& value) {
+  if (value.empty()) return;
+  if (!*first) out->push_back(',');
+  *first = false;
+  AppendEscaped(out, key);
+  out->push_back(':');
+  AppendEscaped(out, value);
+}
+
+void AppendNum(std::string* out, bool* first, const char* key,
+               long long value, bool always = false) {
+  if (value == 0 && !always) return;
+  if (!*first) out->push_back(',');
+  *first = false;
+  AppendEscaped(out, key);
+  out->push_back(':');
+  out->append(std::to_string(value));
+}
+
+/// Minimal parser for one flat JSON object with string / integer values.
+class JsonObjectParser {
+ public:
+  explicit JsonObjectParser(std::string_view line) : s_(line) {}
+
+  Status Parse(SyscallRecord* rec) {
+    SkipWs();
+    if (!Consume('{')) return Err("expected '{'");
+    SkipWs();
+    if (Consume('}')) return Status::OK();  // empty object
+    while (true) {
+      SkipWs();
+      std::string key;
+      RAPTOR_RETURN_NOT_OK(ParseString(&key));
+      SkipWs();
+      if (!Consume(':')) return Err("expected ':'");
+      SkipWs();
+      RAPTOR_RETURN_NOT_OK(ParseValueInto(key, rec));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Err("expected ',' or '}'");
+    }
+    SkipWs();
+    if (pos_ != s_.size()) return Err("trailing characters");
+    return Status::OK();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Err(std::string msg) const {
+    return Status::ParseError(
+        StrFormat("%s at column %zu", msg.c_str(), pos_));
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Err("expected '\"'");
+    out->clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return Err("dangling escape");
+        char e = s_[pos_++];
+        switch (e) {
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          default: return Err("unsupported escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Status ParseNumber(long long* out) {
+    size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected number");
+    if (!ParseInt64(s_.substr(start, pos_ - start), out)) {
+      return Err("bad integer");
+    }
+    return Status::OK();
+  }
+
+  Status ParseValueInto(const std::string& key, SyscallRecord* rec) {
+    if (pos_ < s_.size() && s_[pos_] == '"') {
+      std::string value;
+      RAPTOR_RETURN_NOT_OK(ParseString(&value));
+      if (key == "syscall") rec->syscall = value;
+      else if (key == "exe") rec->exe = value;
+      else if (key == "cmd") rec->cmd = value;
+      else if (key == "user") rec->user = value;
+      else if (key == "group") rec->group = value;
+      else if (key == "path") rec->path = value;
+      else if (key == "new_path") rec->new_path = value;
+      else if (key == "target_exe") rec->target_exe = value;
+      else if (key == "src_ip") rec->src_ip = value;
+      else if (key == "dst_ip") rec->dst_ip = value;
+      else if (key == "protocol") rec->protocol = value;
+      // Unknown string keys ignored.
+      return Status::OK();
+    }
+    long long n = 0;
+    RAPTOR_RETURN_NOT_OK(ParseNumber(&n));
+    if (key == "ts") rec->ts = n;
+    else if (key == "dur") rec->duration = n;
+    else if (key == "pid") rec->pid = n;
+    else if (key == "target_pid") rec->target_pid = n;
+    else if (key == "src_port") rec->src_port = static_cast<int>(n);
+    else if (key == "dst_port") rec->dst_port = static_cast<int>(n);
+    else if (key == "ret") rec->ret = n;
+    // Unknown numeric keys ignored.
+    return Status::OK();
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string RecordsToJsonl(const std::vector<SyscallRecord>& records) {
+  std::string out;
+  for (const SyscallRecord& r : records) {
+    out.push_back('{');
+    bool first = true;
+    AppendNum(&out, &first, "ts", r.ts, /*always=*/true);
+    AppendNum(&out, &first, "dur", r.duration);
+    AppendStr(&out, &first, "syscall", r.syscall);
+    AppendNum(&out, &first, "pid", r.pid, /*always=*/true);
+    AppendStr(&out, &first, "exe", r.exe);
+    AppendStr(&out, &first, "cmd", r.cmd);
+    AppendStr(&out, &first, "user", r.user);
+    AppendStr(&out, &first, "group", r.group);
+    AppendStr(&out, &first, "path", r.path);
+    AppendStr(&out, &first, "new_path", r.new_path);
+    AppendStr(&out, &first, "target_exe", r.target_exe);
+    AppendNum(&out, &first, "target_pid", r.target_pid);
+    AppendStr(&out, &first, "src_ip", r.src_ip);
+    AppendNum(&out, &first, "src_port", r.src_port);
+    AppendStr(&out, &first, "dst_ip", r.dst_ip);
+    AppendNum(&out, &first, "dst_port", r.dst_port);
+    AppendStr(&out, &first, "protocol", r.protocol);
+    AppendNum(&out, &first, "ret", r.ret);
+    out.append("}\n");
+  }
+  return out;
+}
+
+Result<std::vector<SyscallRecord>> ParseJsonlRecords(
+    std::string_view content) {
+  std::vector<SyscallRecord> records;
+  size_t line_no = 0;
+  for (const std::string& line : Split(content, '\n')) {
+    ++line_no;
+    std::string_view trimmed = TrimView(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    SyscallRecord rec;
+    JsonObjectParser parser(trimmed);
+    Status st = parser.Parse(&rec);
+    if (!st.ok()) {
+      return Status::ParseError(StrFormat("line %zu: %s", line_no,
+                                          st.message().c_str()));
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+}  // namespace raptor::audit

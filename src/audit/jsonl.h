@@ -1,0 +1,28 @@
+// JSON-lines serialization of raw syscall records, the on-disk interchange
+// format for audit logs (one JSON object per line, mirroring how Sysdig /
+// auditd exporters commonly ship events). Lets a deployment feed real
+// captured logs into ThreatRaptor and lets the simulator export logs for
+// external tooling.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "audit/syscall.h"
+#include "common/status.h"
+
+namespace raptor::audit {
+
+/// Serialize records, one JSON object per line. Only non-default fields are
+/// emitted. Keys: ts, dur, syscall, pid, exe, cmd, user, group, path,
+/// new_path, target_exe, target_pid, src_ip, src_port, dst_ip, dst_port,
+/// protocol, ret.
+std::string RecordsToJsonl(const std::vector<SyscallRecord>& records);
+
+/// Parse JSON-lines content back into records. Blank lines and lines
+/// starting with '#' are skipped; malformed lines fail with ParseError
+/// naming the line number. Unknown keys are ignored (forward compatible).
+Result<std::vector<SyscallRecord>> ParseJsonlRecords(std::string_view content);
+
+}  // namespace raptor::audit

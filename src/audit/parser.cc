@@ -1,0 +1,112 @@
+#include "audit/parser.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace raptor::audit {
+
+namespace {
+
+bool IsNetworkDirected(const SyscallRecord& rec) { return !rec.dst_ip.empty(); }
+
+}  // namespace
+
+Status AuditLogParser::Parse(const std::vector<SyscallRecord>& records,
+                             ParsedLog* out) {
+  for (const SyscallRecord& rec : records) {
+    ++stats_.records_seen;
+    if (!IsMonitoredSyscall(rec.syscall)) {
+      ++stats_.records_skipped;
+      continue;
+    }
+    RAPTOR_RETURN_NOT_OK(ParseOne(rec, out));
+  }
+  std::stable_sort(out->events.begin(), out->events.end(),
+                   [](const SystemEvent& a, const SystemEvent& b) {
+                     return a.start_time < b.start_time;
+                   });
+  for (size_t i = 0; i < out->events.size(); ++i) {
+    out->events[i].id = i + 1;
+  }
+  return Status::OK();
+}
+
+Status AuditLogParser::ParseOne(const SyscallRecord& rec, ParsedLog* out) {
+  if (rec.exe.empty() || rec.pid == 0) {
+    return Status::InvalidArgument("syscall record without calling process: " +
+                                   rec.syscall);
+  }
+  EntityId subject = out->entities.InternProcess(rec.exe, rec.pid, rec.cmd,
+                                                 rec.user, rec.group);
+  SystemEvent ev;
+  ev.subject = subject;
+  ev.start_time = rec.ts;
+  ev.end_time = rec.ts + rec.duration;
+  ev.failure_code = rec.ret < 0 ? static_cast<int>(-rec.ret) : 0;
+
+  const std::string& sc = rec.syscall;
+  if (IsNetworkDirected(rec)) {
+    ev.object = out->entities.InternNetwork(rec.src_ip, rec.src_port,
+                                            rec.dst_ip, rec.dst_port,
+                                            rec.protocol);
+    ev.object_type = EntityType::kNetwork;
+    ev.amount = rec.ret > 0 ? rec.ret : 0;
+    if (sc == "read" || sc == "readv") {
+      ev.op = EventOp::kRead;
+    } else if (sc == "recvfrom" || sc == "recvmsg") {
+      ev.op = EventOp::kRecv;
+    } else if (sc == "write" || sc == "writev") {
+      ev.op = EventOp::kWrite;
+    } else if (sc == "sendto") {
+      ev.op = EventOp::kSend;
+    } else if (sc == "connect") {
+      ev.op = EventOp::kConnect;
+      ev.amount = 0;
+    } else {
+      ++stats_.records_skipped;
+      return Status::OK();
+    }
+  } else if (sc == "fork" || sc == "clone" ||
+             (sc == "execve" && rec.target_pid != 0)) {
+    if (rec.target_exe.empty()) {
+      return Status::InvalidArgument("process syscall without target: " + sc);
+    }
+    ev.object = out->entities.InternProcess(rec.target_exe, rec.target_pid,
+                                            /*cmd=*/"", rec.user, rec.group);
+    ev.object_type = EntityType::kProcess;
+    ev.op = EventOp::kStart;
+  } else if (sc == "exit") {
+    ev.object = subject;
+    ev.object_type = EntityType::kProcess;
+    ev.op = EventOp::kEnd;
+  } else {
+    if (rec.path.empty()) {
+      return Status::InvalidArgument("file syscall without path: " + sc);
+    }
+    ev.object = out->entities.InternFile(rec.path, rec.user, rec.group);
+    ev.object_type = EntityType::kFile;
+    ev.amount = rec.ret > 0 ? rec.ret : 0;
+    if (sc == "read" || sc == "readv") {
+      ev.op = EventOp::kRead;
+    } else if (sc == "write" || sc == "writev") {
+      ev.op = EventOp::kWrite;
+    } else if (sc == "execve") {
+      ev.op = EventOp::kExecute;
+    } else if (sc == "rename") {
+      ev.op = EventOp::kRename;
+      // Also intern the rename target so downstream provenance sees it.
+      if (!rec.new_path.empty()) {
+        out->entities.InternFile(rec.new_path, rec.user, rec.group);
+      }
+    } else {
+      ++stats_.records_skipped;
+      return Status::OK();
+    }
+  }
+  out->events.push_back(ev);
+  ++stats_.events_emitted;
+  return Status::OK();
+}
+
+}  // namespace raptor::audit

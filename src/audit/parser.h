@@ -1,0 +1,44 @@
+// Audit log parser (Sec III-A): maps raw syscall records to typed system
+// events among interned system entities.
+//
+// Mapping follows Table I:
+//   * read/readv/write/writev on a file fd      -> file read/write events
+//   * execve with a file path                   -> file execute event
+//   * execve/fork/clone with a target process   -> process start event
+//   * exit                                      -> process end event
+//   * rename                                    -> file rename event
+//   * read/readv/recvfrom/recvmsg on a socket   -> network read/recv events
+//   * write/writev/sendto on a socket           -> network write/send events
+//   * connect                                   -> network connect event
+#pragma once
+
+#include <vector>
+
+#include "audit/syscall.h"
+#include "audit/types.h"
+#include "common/status.h"
+
+namespace raptor::audit {
+
+struct ParserStats {
+  size_t records_seen = 0;
+  size_t records_skipped = 0;  // unmonitored or malformed syscalls
+  size_t events_emitted = 0;
+};
+
+class AuditLogParser {
+ public:
+  /// Parse raw records into `out`. Records may arrive in any order; the
+  /// emitted event stream is sorted by start_time. Unmonitored syscalls are
+  /// counted and skipped, malformed records yield InvalidArgument.
+  Status Parse(const std::vector<SyscallRecord>& records, ParsedLog* out);
+
+  const ParserStats& stats() const { return stats_; }
+
+ private:
+  Status ParseOne(const SyscallRecord& rec, ParsedLog* out);
+
+  ParserStats stats_;
+};
+
+}  // namespace raptor::audit

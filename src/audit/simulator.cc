@@ -1,0 +1,284 @@
+#include "audit/simulator.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace raptor::audit {
+
+namespace {
+
+// Benign executables weighted toward the daily tasks the paper describes
+// (file manipulation, text editing, software development).
+const std::vector<std::string>& BenignExecutables() {
+  static const std::vector<std::string> kExes = {
+      "/usr/bin/vim",    "/usr/bin/emacs",  "/usr/bin/gcc",
+      "/usr/bin/g++",    "/usr/bin/make",   "/usr/bin/python3",
+      "/bin/bash",       "/bin/ls",         "/bin/cat",
+      "/bin/cp",         "/bin/mv",         "/usr/bin/git",
+      "/usr/bin/ssh",    "/usr/bin/scp",    "/usr/bin/rsync",
+      "/usr/bin/apt",    "/usr/bin/dpkg",   "/usr/bin/firefox",
+      "/usr/bin/chrome", "/usr/bin/java",   "/usr/bin/node",
+      "/usr/bin/grep",   "/usr/bin/find",   "/usr/bin/tail",
+  };
+  return kExes;
+}
+
+const std::vector<std::string>& BenignFileStems() {
+  static const std::vector<std::string> kStems = {
+      "notes.txt",   "report.doc",  "main.c",     "main.cc",  "util.py",
+      "Makefile",    "config.yaml", "data.csv",   "index.html",
+      "paper.tex",   "todo.md",     "log.txt",    "build.log",
+      "a.out",       "module.o",    "test.py",    "script.sh",
+  };
+  return kStems;
+}
+
+std::string BenignPath(Rng& rng, int user_idx) {
+  static const std::vector<std::string> kDirs = {
+      "documents", "src", "projects", "downloads", "tmp", "work", "data"};
+  return StrFormat("/home/user%d/%s/%s", user_idx,
+                   rng.Pick(kDirs).c_str(),
+                   rng.Pick(BenignFileStems()).c_str());
+}
+
+std::string RandomIp(Rng& rng) {
+  return StrFormat("%d.%d.%d.%d", static_cast<int>(rng.UniformRange(10, 220)),
+                   static_cast<int>(rng.UniformRange(0, 255)),
+                   static_cast<int>(rng.UniformRange(0, 255)),
+                   static_cast<int>(rng.UniformRange(1, 254)));
+}
+
+}  // namespace
+
+std::vector<SyscallRecord> BenignWorkloadSimulator::Generate(
+    const BenignProfile& profile) const {
+  Rng rng(profile.seed);
+  std::vector<SyscallRecord> out;
+  out.reserve(static_cast<size_t>(profile.num_processes) *
+              profile.mean_records_per_process);
+
+  for (int p = 0; p < profile.num_processes; ++p) {
+    int user_idx = static_cast<int>(rng.Uniform(std::max(1, profile.num_users)));
+    std::string user = StrFormat("user%d", user_idx);
+    std::string exe = rng.Pick(BenignExecutables());
+    long long pid = 1000 + static_cast<long long>(rng.Uniform(60000));
+    Timestamp proc_start =
+        profile.start_time +
+        static_cast<Timestamp>(rng.Uniform(
+            static_cast<uint64_t>(std::max<Timestamp>(1, profile.duration))));
+
+    // Process creation by a shell.
+    SyscallRecord spawn;
+    spawn.ts = proc_start;
+    spawn.duration = 50;
+    spawn.syscall = "execve";
+    spawn.pid = 900 + static_cast<long long>(rng.Uniform(100));
+    spawn.exe = "/bin/bash";
+    spawn.user = user;
+    spawn.group = "staff";
+    spawn.target_exe = exe;
+    spawn.target_pid = pid;
+    out.push_back(spawn);
+
+    // Executing the binary image (file execute event).
+    SyscallRecord image;
+    image.ts = proc_start + 10;
+    image.duration = 80;
+    image.syscall = "execve";
+    image.pid = pid;
+    image.exe = exe;
+    image.user = user;
+    image.group = "staff";
+    image.path = exe;
+    out.push_back(image);
+
+    int n_records = 1 + static_cast<int>(rng.Uniform(
+                            static_cast<uint64_t>(
+                                std::max(1, 2 * profile.mean_records_per_process))));
+    Timestamp t = proc_start + 200;
+    // A small working set per process so repeated accesses hit the same
+    // file entities (realistic locality; also exercises data reduction).
+    std::vector<std::string> working_set;
+    for (int i = 0; i < 3; ++i) working_set.push_back(BenignPath(rng, user_idx));
+    std::string remote_ip = RandomIp(rng);
+
+    for (int i = 0; i < n_records; ++i) {
+      SyscallRecord rec;
+      rec.ts = t;
+      rec.duration = 20 + static_cast<Timestamp>(rng.Uniform(400));
+      rec.pid = pid;
+      rec.exe = exe;
+      rec.user = user;
+      rec.group = "staff";
+      double roll = rng.NextDouble();
+      if (roll < 0.42) {
+        rec.syscall = rng.Chance(0.5) ? "read" : "readv";
+        rec.path = rng.Pick(working_set);
+        rec.ret = static_cast<long long>(rng.UniformRange(128, 65536));
+      } else if (roll < 0.80) {
+        rec.syscall = rng.Chance(0.5) ? "write" : "writev";
+        rec.path = rng.Pick(working_set);
+        rec.ret = static_cast<long long>(rng.UniformRange(128, 65536));
+      } else if (roll < 0.88) {
+        rec.syscall = rng.Chance(0.5) ? "sendto" : "recvfrom";
+        rec.src_ip = "10.0.0.5";
+        rec.src_port = static_cast<int>(rng.UniformRange(20000, 60000));
+        rec.dst_ip = remote_ip;
+        rec.dst_port = rng.Chance(0.7) ? 443 : 80;
+        rec.protocol = "tcp";
+        rec.ret = static_cast<long long>(rng.UniformRange(64, 16384));
+      } else if (roll < 0.94) {
+        rec.syscall = "execve";
+        rec.target_exe = rng.Pick(BenignExecutables());
+        rec.target_pid = 1000 + static_cast<long long>(rng.Uniform(60000));
+      } else if (roll < 0.97) {
+        rec.syscall = "rename";
+        rec.path = rng.Pick(working_set);
+        rec.new_path = rec.path + ".bak";
+      } else {
+        rec.syscall = "connect";
+        rec.src_ip = "10.0.0.5";
+        rec.src_port = static_cast<int>(rng.UniformRange(20000, 60000));
+        rec.dst_ip = remote_ip;
+        rec.dst_port = 443;
+        rec.protocol = "tcp";
+      }
+      out.push_back(rec);
+      t += 1000 + static_cast<Timestamp>(rng.Uniform(200000));
+    }
+
+    SyscallRecord fin;
+    fin.ts = t;
+    fin.duration = 5;
+    fin.syscall = "exit";
+    fin.pid = pid;
+    fin.exe = exe;
+    fin.user = user;
+    fin.group = "staff";
+    out.push_back(fin);
+  }
+  return out;
+}
+
+std::vector<SyscallRecord> CompileAttackScript(
+    const std::vector<AttackStep>& steps, Timestamp base_time, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SyscallRecord> out;
+  for (const AttackStep& step : steps) {
+    Timestamp t = base_time + step.at;
+    int n = std::max(1, step.syscall_count);
+    long long per_call = std::max<long long>(1, step.bytes / n);
+    // One logical step is one connection: the ephemeral source port is
+    // fixed for the step so its syscalls hit the same 5-tuple entity.
+    int src_port = 33000 + static_cast<int>(rng.Uniform(1000));
+    for (int i = 0; i < n; ++i) {
+      SyscallRecord rec;
+      rec.ts = t;
+      rec.duration = 30 + static_cast<Timestamp>(rng.Uniform(300));
+      rec.pid = step.pid;
+      rec.exe = step.exe;
+      rec.user = "root";
+      rec.group = "root";
+      rec.ret = per_call;
+      switch (step.op) {
+        case EventOp::kRead:
+          if (!step.dst_ip.empty()) {
+            rec.syscall = "read";
+            rec.src_ip = "10.0.0.5";
+            rec.src_port = src_port;
+            rec.dst_ip = step.dst_ip;
+            rec.dst_port = step.dst_port;
+            rec.protocol = "tcp";
+          } else {
+            rec.syscall = "read";
+            rec.path = step.object_path;
+          }
+          break;
+        case EventOp::kWrite:
+          if (!step.dst_ip.empty()) {
+            rec.syscall = "write";
+            rec.src_ip = "10.0.0.5";
+            rec.src_port = src_port;
+            rec.dst_ip = step.dst_ip;
+            rec.dst_port = step.dst_port;
+            rec.protocol = "tcp";
+          } else {
+            rec.syscall = "write";
+            rec.path = step.object_path;
+          }
+          break;
+        case EventOp::kExecute:
+          rec.syscall = "execve";
+          rec.path = step.object_path;
+          rec.ret = 0;
+          break;
+        case EventOp::kStart:
+          rec.syscall = "execve";
+          rec.target_exe = step.object_exe;
+          rec.target_pid = step.object_pid;
+          rec.ret = 0;
+          break;
+        case EventOp::kEnd:
+          rec.syscall = "exit";
+          rec.ret = 0;
+          break;
+        case EventOp::kRename:
+          rec.syscall = "rename";
+          rec.path = step.object_path;
+          rec.new_path = step.object_path + ".new";
+          rec.ret = 0;
+          break;
+        case EventOp::kConnect:
+          rec.syscall = "connect";
+          rec.src_ip = "10.0.0.5";
+          rec.src_port = src_port;
+          rec.dst_ip = step.dst_ip;
+          rec.dst_port = step.dst_port;
+          rec.protocol = "tcp";
+          rec.ret = 0;
+          break;
+        case EventOp::kSend:
+          rec.syscall = "sendto";
+          rec.src_ip = "10.0.0.5";
+          rec.src_port = src_port;
+          rec.dst_ip = step.dst_ip;
+          rec.dst_port = step.dst_port;
+          rec.protocol = "tcp";
+          break;
+        case EventOp::kRecv:
+          rec.syscall = "recvfrom";
+          rec.src_ip = "10.0.0.5";
+          rec.src_port = src_port;
+          rec.dst_ip = step.dst_ip;
+          rec.dst_port = step.dst_port;
+          rec.protocol = "tcp";
+          break;
+      }
+      out.push_back(rec);
+      // Consecutive syscalls of one logical operation land within the
+      // 1-second merge window used by data reduction.
+      t += 500 + static_cast<Timestamp>(rng.Uniform(2000));
+    }
+  }
+  return out;
+}
+
+std::vector<SyscallRecord> MergeStreams(
+    std::vector<std::vector<SyscallRecord>> streams) {
+  std::vector<SyscallRecord> out;
+  size_t total = 0;
+  for (const auto& s : streams) total += s.size();
+  out.reserve(total);
+  for (auto& s : streams) {
+    out.insert(out.end(), std::make_move_iterator(s.begin()),
+               std::make_move_iterator(s.end()));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SyscallRecord& a, const SyscallRecord& b) {
+                     return a.ts < b.ts;
+                   });
+  return out;
+}
+
+}  // namespace raptor::audit

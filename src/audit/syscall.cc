@@ -1,0 +1,27 @@
+#include "audit/syscall.h"
+
+#include <algorithm>
+
+namespace raptor::audit {
+
+const SyscallInventory& MonitoredSyscalls() {
+  static const SyscallInventory kInventory{
+      /*process_to_file=*/{"read", "readv", "write", "writev", "execve",
+                           "rename"},
+      /*process_to_process=*/{"execve", "fork", "clone", "exit"},
+      /*process_to_network=*/{"read", "readv", "recvfrom", "recvmsg", "sendto",
+                              "write", "writev", "connect"},
+  };
+  return kInventory;
+}
+
+bool IsMonitoredSyscall(std::string_view name) {
+  const SyscallInventory& inv = MonitoredSyscalls();
+  auto contains = [&](const std::vector<std::string>& v) {
+    return std::find(v.begin(), v.end(), name) != v.end();
+  };
+  return contains(inv.process_to_file) || contains(inv.process_to_process) ||
+         contains(inv.process_to_network);
+}
+
+}  // namespace raptor::audit

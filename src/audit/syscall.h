@@ -1,0 +1,56 @@
+// Raw kernel-level syscall records, as emitted by auditing frameworks such
+// as Sysdig / Linux Audit / ETW (the paper's collection layer). This repo
+// replaces the kernel agent with a simulator (audit/simulator.h) that emits
+// the same record schema; the parser (audit/parser.h) is agnostic to the
+// producer.
+#pragma once
+
+#include <string>
+
+#include "audit/types.h"
+
+namespace raptor::audit {
+
+/// One raw audit record for a monitored system call (Table I).
+struct SyscallRecord {
+  Timestamp ts = 0;         // entry timestamp, microseconds
+  Timestamp duration = 0;   // syscall duration, microseconds
+  std::string syscall;      // e.g. "read", "execve", "sendto"
+  long long pid = 0;        // calling process
+  std::string exe;          // calling process executable (absolute path)
+  std::string cmd;          // calling process command line
+  std::string user;
+  std::string group;
+
+  // File-directed syscalls.
+  std::string path;         // target file absolute path
+  std::string new_path;     // rename target
+
+  // Process-directed syscalls (fork/clone/execve).
+  std::string target_exe;
+  long long target_pid = 0;
+
+  // Network-directed syscalls.
+  std::string src_ip;
+  int src_port = 0;
+  std::string dst_ip;
+  int dst_port = 0;
+  std::string protocol;     // "tcp" / "udp"
+
+  long long ret = 0;        // return value: bytes moved, or -errno
+};
+
+/// True if `name` is one of the representative system calls the paper's
+/// Table I lists as processed by ThreatRaptor.
+bool IsMonitoredSyscall(std::string_view name);
+
+/// The full Table I inventory, grouped by event category. Used by the
+/// bench_audit_model harness to reprint Table I.
+struct SyscallInventory {
+  std::vector<std::string> process_to_file;
+  std::vector<std::string> process_to_process;
+  std::vector<std::string> process_to_network;
+};
+const SyscallInventory& MonitoredSyscalls();
+
+}  // namespace raptor::audit

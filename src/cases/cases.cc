@@ -1,0 +1,920 @@
+#include "cases/cases.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace raptor::cases {
+
+namespace {
+
+using audit::AttackStep;
+using audit::EventOp;
+using audit::Timestamp;
+
+constexpr Timestamp kSec = 1'000'000;
+
+AttackStep FileStep(const std::string& exe, long long pid, EventOp op,
+                    const std::string& path, double at_sec,
+                    long long bytes = 8192, int syscalls = 3) {
+  AttackStep s;
+  s.exe = exe;
+  s.pid = pid;
+  s.op = op;
+  s.object_path = path;
+  s.at = static_cast<Timestamp>(at_sec * kSec);
+  s.bytes = bytes;
+  s.syscall_count = syscalls;
+  return s;
+}
+
+AttackStep NetStep(const std::string& exe, long long pid, EventOp op,
+                   const std::string& ip, int port, double at_sec,
+                   long long bytes = 4096) {
+  AttackStep s;
+  s.exe = exe;
+  s.pid = pid;
+  s.op = op;
+  s.dst_ip = ip;
+  s.dst_port = port;
+  s.at = static_cast<Timestamp>(at_sec * kSec);
+  s.bytes = bytes;
+  s.syscall_count = 2;
+  return s;
+}
+
+AttackStep StartStep(const std::string& exe, long long pid,
+                     const std::string& target_exe, long long target_pid,
+                     double at_sec) {
+  AttackStep s;
+  s.exe = exe;
+  s.pid = pid;
+  s.op = EventOp::kStart;
+  s.object_exe = target_exe;
+  s.object_pid = target_pid;
+  s.at = static_cast<Timestamp>(at_sec * kSec);
+  s.syscall_count = 1;
+  return s;
+}
+
+/// Append `n` copies of a network step spaced > the 1s reduction window, so
+/// each lands as a separate stored event (long-running beacon behaviour).
+void Beacon(std::vector<AttackStep>* steps, const std::string& exe,
+            long long pid, EventOp op, const std::string& ip, int port,
+            double start_sec, int n, double gap_sec = 2.5) {
+  for (int i = 0; i < n; ++i) {
+    steps->push_back(NetStep(exe, pid, op, ip, port, start_sec + i * gap_sec));
+  }
+}
+
+void RepeatFile(std::vector<AttackStep>* steps, const std::string& exe,
+                long long pid, EventOp op, const std::string& path,
+                double start_sec, int n, double gap_sec = 2.5) {
+  for (int i = 0; i < n; ++i) {
+    steps->push_back(FileStep(exe, pid, op, path, start_sec + i * gap_sec));
+  }
+}
+
+audit::BenignProfile Noise(int processes, uint64_t seed) {
+  audit::BenignProfile p;
+  p.num_processes = processes;
+  p.seed = seed;
+  return p;
+}
+
+std::vector<AttackCase> BuildAllCases() {
+  std::vector<AttackCase> cases;
+
+  // ------------------------------------------------------- tc_clearscope_1
+  {
+    AttackCase c;
+    c.id = "tc_clearscope_1";
+    c.name = "20180406 1500 ClearScope - Phishing E-mail Link";
+    c.oscti_text =
+        "The victim received a phishing e-mail with a malicious link on the "
+        "ClearScope Android device. After the user clicked the link, the "
+        "mail client com.lockwatch.mail downloaded the payload "
+        "/data/local/tmp/payload.apk from 132.197.158.11. Then "
+        "com.lockwatch.mail started the installer com.android.defcontainer. "
+        "com.android.defcontainer opened /data/local/tmp/payload.apk and "
+        "wrote the unpacked code to /data/app/com.lockwatch.shim/exec.dex. "
+        "Finally, com.android.defcontainer executed "
+        "/data/app/com.lockwatch.shim/exec.dex.";
+    c.gt_iocs = {"com.lockwatch.mail", "/data/local/tmp/payload.apk",
+                 "132.197.158.11", "com.android.defcontainer",
+                 "/data/app/com.lockwatch.shim/exec.dex"};
+    c.gt_relations = {
+        {"com.lockwatch.mail", "download", "/data/local/tmp/payload.apk"},
+        {"com.lockwatch.mail", "download", "132.197.158.11"},
+        {"/data/local/tmp/payload.apk", "download", "132.197.158.11"},
+        {"com.lockwatch.mail", "start", "com.android.defcontainer"},
+        {"com.android.defcontainer", "open", "/data/local/tmp/payload.apk"},
+        {"com.android.defcontainer", "write",
+         "/data/app/com.lockwatch.shim/exec.dex"},
+        {"com.android.defcontainer", "execute",
+         "/data/app/com.lockwatch.shim/exec.dex"},
+    };
+    const char* mail = "com.lockwatch.mail";
+    const char* def = "com.android.defcontainer";
+    c.attack_steps = {
+        NetStep(mail, 7001, EventOp::kRead, "132.197.158.11", 443, 1.0),
+        FileStep(mail, 7001, EventOp::kWrite, "/data/local/tmp/payload.apk",
+                 3.0),
+        StartStep(mail, 7001, def, 7002, 5.0),
+        FileStep(def, 7002, EventOp::kRead, "/data/local/tmp/payload.apk",
+                 7.0),
+        FileStep(def, 7002, EventOp::kWrite,
+                 "/data/app/com.lockwatch.shim/exec.dex", 9.0),
+        FileStep(def, 7002, EventOp::kExecute,
+                 "/data/app/com.lockwatch.shim/exec.dex", 11.0, 0, 1),
+    };
+    c.attack_base_time = 600 * kSec;
+    c.benign = Noise(260, 101);
+    c.seed = 101;
+    cases.push_back(std::move(c));
+  }
+
+  // ------------------------------------------------------- tc_clearscope_2
+  {
+    AttackCase c;
+    c.id = "tc_clearscope_2";
+    c.name = "20180411 1400 ClearScope - Firefox Backdoor w/ Drakon In-Memory";
+    c.oscti_text =
+        "The red team exploited a backdoor in the Firefox variant "
+        "org.mozilla.fennec on the Android device. org.mozilla.fennec "
+        "downloaded the Drakon implant /data/local/tmp/drakon.so from "
+        "161.116.88.72 and loaded /data/local/tmp/drakon.so in memory.";
+    c.gt_iocs = {"org.mozilla.fennec", "/data/local/tmp/drakon.so",
+                 "161.116.88.72"};
+    c.gt_relations = {
+        {"org.mozilla.fennec", "download", "/data/local/tmp/drakon.so"},
+        {"org.mozilla.fennec", "download", "161.116.88.72"},
+        {"/data/local/tmp/drakon.so", "download", "161.116.88.72"},
+        {"org.mozilla.fennec", "load", "/data/local/tmp/drakon.so"},
+    };
+    const char* fennec = "org.mozilla.fennec";
+    c.attack_steps = {
+        NetStep(fennec, 7101, EventOp::kRead, "161.116.88.72", 443, 1.0),
+        FileStep(fennec, 7101, EventOp::kWrite, "/data/local/tmp/drakon.so",
+                 3.0),
+        FileStep(fennec, 7101, EventOp::kRead, "/data/local/tmp/drakon.so",
+                 5.0),
+    };
+    c.attack_base_time = 900 * kSec;
+    c.benign = Noise(240, 102);
+    c.seed = 102;
+    cases.push_back(std::move(c));
+  }
+
+  // ------------------------------------------------------- tc_clearscope_3
+  {
+    AttackCase c;
+    c.id = "tc_clearscope_3";
+    c.name = "20180413 ClearScope";
+    c.oscti_text =
+        "During the engagement the media scanner com.android.providers.media "
+        "accessed the database /sdcard/DCIM/.hidden/private.db on the "
+        "infected phone.";
+    c.gt_iocs = {"com.android.providers.media",
+                 "/sdcard/DCIM/.hidden/private.db"};
+    c.gt_relations = {
+        {"com.android.providers.media", "access",
+         "/sdcard/DCIM/.hidden/private.db"},
+    };
+    c.attack_steps = {
+        FileStep("com.android.providers.media", 7201, EventOp::kRead,
+                 "/sdcard/DCIM/.hidden/private.db", 1.0),
+    };
+    c.attack_base_time = 1200 * kSec;
+    c.benign = Noise(220, 103);
+    c.seed = 103;
+    cases.push_back(std::move(c));
+  }
+
+  // --------------------------------------------------- tc_fivedirections_1
+  {
+    AttackCase c;
+    c.id = "tc_fivedirections_1";
+    c.name = "20180409 1500 FiveDirections - Phishing E-mail w/ Excel Macro";
+    c.oscti_text =
+        "The victim opened a phishing e-mail and saved the attachment "
+        R"(C:\Users\victim\Downloads\invoice.xlsm. excel.exe read )"
+        R"(C:\Users\victim\Downloads\invoice.xlsm and the embedded macro )"
+        R"(wrote the implant C:\Users\victim\AppData\Roaming\msupdate.exe. )"
+        "excel.exe then started msupdate.exe. msupdate.exe connected to "
+        "78.205.235.65 and beaconed continuously.";
+    c.gt_iocs = {R"(C:\Users\victim\Downloads\invoice.xlsm)", "excel.exe",
+                 R"(C:\Users\victim\AppData\Roaming\msupdate.exe)",
+                 "78.205.235.65"};
+    c.gt_relations = {
+        {"excel.exe", "read", R"(C:\Users\victim\Downloads\invoice.xlsm)"},
+        {"excel.exe", "write",
+         R"(C:\Users\victim\AppData\Roaming\msupdate.exe)"},
+        {"excel.exe", "start",
+         R"(C:\Users\victim\AppData\Roaming\msupdate.exe)"},
+        {R"(C:\Users\victim\AppData\Roaming\msupdate.exe)", "connect",
+         "78.205.235.65"},
+    };
+    const char* excel = "excel.exe";
+    const char* impl = R"(C:\Users\victim\AppData\Roaming\msupdate.exe)";
+    c.attack_steps = {
+        FileStep(excel, 7301, EventOp::kRead,
+                 R"(C:\Users\victim\Downloads\invoice.xlsm)", 1.0),
+        FileStep(excel, 7301, EventOp::kWrite, impl, 3.0),
+        FileStep(excel, 7301, EventOp::kExecute, impl, 5.0, 0, 1),
+    };
+    Beacon(&c.attack_steps, impl, 7302, EventOp::kConnect, "78.205.235.65",
+           443, 8.0, 48);
+    c.attack_base_time = 1500 * kSec;
+    c.benign = Noise(320, 104);
+    c.seed = 104;
+    cases.push_back(std::move(c));
+  }
+
+  // --------------------------------------------------- tc_fivedirections_2
+  {
+    AttackCase c;
+    c.id = "tc_fivedirections_2";
+    c.name =
+        "20180411 1000 FiveDirections - Firefox Backdoor w/ Drakon In-Memory";
+    c.oscti_text =
+        "The attackers leveraged a Firefox backdoor on the Windows host. "
+        "firefox.exe retrieved the Drakon stage from 161.116.88.72 and wrote "
+        R"(the payload to C:\Users\victim\AppData\Local\Temp\drakon_x64.dll. )"
+        R"(firefox.exe then loaded C:\Users\victim\AppData\Local\Temp\drakon_x64.dll.)";
+    c.gt_iocs = {"firefox.exe", "161.116.88.72",
+                 R"(C:\Users\victim\AppData\Local\Temp\drakon_x64.dll)"};
+    c.gt_relations = {
+        {"firefox.exe", "retrieve", "161.116.88.72"},
+        {"firefox.exe", "write",
+         R"(C:\Users\victim\AppData\Local\Temp\drakon_x64.dll)"},
+        {"firefox.exe", "load",
+         R"(C:\Users\victim\AppData\Local\Temp\drakon_x64.dll)"},
+    };
+    const char* ff = "firefox.exe";
+    const char* dll = R"(C:\Users\victim\AppData\Local\Temp\drakon_x64.dll)";
+    c.attack_steps = {
+        NetStep(ff, 7401, EventOp::kRead, "161.116.88.72", 443, 1.0),
+        FileStep(ff, 7401, EventOp::kWrite, dll, 3.0),
+        FileStep(ff, 7401, EventOp::kRead, dll, 5.0),
+    };
+    c.attack_base_time = 700 * kSec;
+    c.benign = Noise(300, 105);
+    c.seed = 105;
+    cases.push_back(std::move(c));
+  }
+
+  // --------------------------------------------------- tc_fivedirections_3
+  {
+    AttackCase c;
+    c.id = "tc_fivedirections_3";
+    c.name =
+        "20180412 1100 FiveDirections - Browser Extension w/ Drakon Dropper";
+    // The report names burnout.exe / .116, but the deployed sample was
+    // renamed brnout.exe and the C2 moved to .117: exact search finds
+    // nothing (the IOC-deviation phenomenon motivating fuzzy search).
+    c.oscti_text =
+        "The malicious browser extension staged the Drakon dropper on the "
+        "FiveDirections host. nativemsg.exe wrote "
+        R"(C:\Users\victim\AppData\Local\Temp\burnout.exe and started )"
+        "burnout.exe afterwards. burnout.exe connected to 139.44.203.116.";
+    c.gt_iocs = {"nativemsg.exe",
+                 R"(C:\Users\victim\AppData\Local\Temp\burnout.exe)",
+                 "139.44.203.116"};
+    c.gt_relations = {
+        {"nativemsg.exe", "write",
+         R"(C:\Users\victim\AppData\Local\Temp\burnout.exe)"},
+        {"nativemsg.exe", "start",
+         R"(C:\Users\victim\AppData\Local\Temp\burnout.exe)"},
+        {R"(C:\Users\victim\AppData\Local\Temp\burnout.exe)", "connect",
+         "139.44.203.116"},
+    };
+    const char* drop = R"(C:\Users\victim\AppData\Local\Temp\brnout.exe)";
+    c.attack_steps = {
+        FileStep("nativemsg.exe", 7501, EventOp::kWrite, drop, 1.0),
+        FileStep("nativemsg.exe", 7501, EventOp::kExecute, drop, 3.0, 0, 1),
+        NetStep(drop, 7502, EventOp::kConnect, "139.44.203.117", 443, 5.0),
+    };
+    c.attack_base_time = 1100 * kSec;
+    c.benign = Noise(280, 106);
+    c.seed = 106;
+    cases.push_back(std::move(c));
+  }
+
+  // --------------------------------------------------------- tc_theia_1
+  {
+    AttackCase c;
+    c.id = "tc_theia_1";
+    c.name = "20180410 1400 THEIA - Firefox Backdoor w/ Drakon In-Memory";
+    c.oscti_text =
+        "THEIA hosts ran a vulnerable Firefox build. The attacker used the "
+        "backdoored /usr/lib/firefox/firefox to fetch shellcode from "
+        "141.43.176.203. /usr/lib/firefox/firefox wrote the reflective "
+        "loader to /home/admin/profile.bak and executed "
+        "/home/admin/profile.bak.";
+    c.gt_iocs = {"/usr/lib/firefox/firefox", "141.43.176.203",
+                 "/home/admin/profile.bak"};
+    c.gt_relations = {
+        {"/usr/lib/firefox/firefox", "fetch", "141.43.176.203"},
+        {"/usr/lib/firefox/firefox", "write", "/home/admin/profile.bak"},
+        {"/usr/lib/firefox/firefox", "execute", "/home/admin/profile.bak"},
+    };
+    const char* ff = "/usr/lib/firefox/firefox";
+    c.attack_steps = {
+        NetStep(ff, 7601, EventOp::kRead, "141.43.176.203", 443, 1.0),
+        FileStep(ff, 7601, EventOp::kWrite, "/home/admin/profile.bak", 3.0),
+        FileStep(ff, 7601, EventOp::kExecute, "/home/admin/profile.bak", 5.0,
+                 0, 1),
+    };
+    c.attack_base_time = 400 * kSec;
+    c.benign = Noise(600, 107);
+    c.seed = 107;
+    cases.push_back(std::move(c));
+  }
+
+  // --------------------------------------------------------- tc_theia_2
+  {
+    AttackCase c;
+    c.id = "tc_theia_2";
+    c.name = "20180410 1300 THEIA - Phishing Email w/ Link";
+    c.oscti_text =
+        "The user visited a phishing page on the THEIA host. The browser "
+        "/usr/bin/thunderclap fetched the malicious payload from "
+        "98.23.182.25 over many sessions. /usr/bin/thunderclap wrote the "
+        "payload to /home/admin/.mailcache and executed "
+        "/home/admin/.mailcache. /home/admin/.mailcache gathered documents "
+        "from /home/admin/docs.tar and sent the stolen data to 98.23.182.25.";
+    c.gt_iocs = {"/usr/bin/thunderclap", "98.23.182.25",
+                 "/home/admin/.mailcache", "/home/admin/docs.tar"};
+    c.gt_relations = {
+        {"/usr/bin/thunderclap", "fetch", "98.23.182.25"},
+        {"/usr/bin/thunderclap", "write", "/home/admin/.mailcache"},
+        {"/usr/bin/thunderclap", "execute", "/home/admin/.mailcache"},
+        {"/home/admin/.mailcache", "gather", "/home/admin/docs.tar"},
+        {"/home/admin/.mailcache", "send", "98.23.182.25"},
+    };
+    const char* tc = "/usr/bin/thunderclap";
+    const char* mc = "/home/admin/.mailcache";
+    c.attack_steps = {
+        FileStep(tc, 7701, EventOp::kWrite, mc, 160.0),
+        FileStep(tc, 7701, EventOp::kExecute, mc, 163.0, 0, 1),
+        FileStep(mc, 7702, EventOp::kRead, "/home/admin/docs.tar", 166.0),
+    };
+    Beacon(&c.attack_steps, tc, 7701, EventOp::kRead, "98.23.182.25", 443,
+           1.0, 60);
+    Beacon(&c.attack_steps, mc, 7702, EventOp::kSend, "98.23.182.25", 443,
+           170.0, 52);
+    c.attack_base_time = 500 * kSec;
+    c.benign = Noise(620, 108);
+    c.seed = 108;
+    cases.push_back(std::move(c));
+  }
+
+  // --------------------------------------------------------- tc_theia_3
+  {
+    AttackCase c;
+    c.id = "tc_theia_3";
+    c.name = "20180412 THEIA - Browser Extension w/ Drakon Dropper";
+    c.oscti_text =
+        "A rogue browser extension delivered the Drakon dropper to the "
+        "THEIA host. The helper /usr/bin/gtcache wrote the dropper "
+        "/home/admin/.cache/drop.bin, and /home/admin/.cache/drop.bin "
+        "connected to 141.43.176.8. /home/admin/.cache/drop.bin also "
+        "renamed /var/log/mail.log to cover its tracks.";
+    c.gt_iocs = {"/usr/bin/gtcache", "/home/admin/.cache/drop.bin",
+                 "141.43.176.8", "/var/log/mail.log"};
+    c.gt_relations = {
+        {"/usr/bin/gtcache", "write", "/home/admin/.cache/drop.bin"},
+        {"/home/admin/.cache/drop.bin", "connect", "141.43.176.8"},
+        {"/home/admin/.cache/drop.bin", "rename", "/var/log/mail.log"},
+    };
+    const char* drop = "/home/admin/.cache/drop.bin";
+    c.attack_steps = {
+        FileStep("/usr/bin/gtcache", 7801, EventOp::kWrite, drop, 1.0),
+        NetStep(drop, 7802, EventOp::kConnect, "141.43.176.8", 443, 3.0),
+        FileStep(drop, 7802, EventOp::kRename, "/var/log/mail.log", 5.0, 0, 1),
+    };
+    c.attack_base_time = 800 * kSec;
+    c.benign = Noise(580, 109);
+    c.seed = 109;
+    cases.push_back(std::move(c));
+  }
+
+  // --------------------------------------------------------- tc_theia_4
+  {
+    AttackCase c;
+    c.id = "tc_theia_4";
+    c.name = "20180413 1400 THEIA - Phishing E-mail w/ Executable Attachment";
+    c.oscti_text =
+        "The phishing e-mail carried an executable attachment. The mail "
+        "agent /usr/bin/mutt saved the attachment to "
+        "/home/admin/invoice.pdf.exe and then executed "
+        "/home/admin/invoice.pdf.exe. /home/admin/invoice.pdf.exe beaconed "
+        "to 82.93.155.40 over the following hours.";
+    c.gt_iocs = {"/usr/bin/mutt", "/home/admin/invoice.pdf.exe",
+                 "82.93.155.40"};
+    c.gt_relations = {
+        {"/usr/bin/mutt", "save", "/home/admin/invoice.pdf.exe"},
+        {"/usr/bin/mutt", "execute", "/home/admin/invoice.pdf.exe"},
+        {"/home/admin/invoice.pdf.exe", "beacon", "82.93.155.40"},
+    };
+    const char* att = "/home/admin/invoice.pdf.exe";
+    c.attack_steps = {
+        FileStep("/usr/bin/mutt", 7901, EventOp::kWrite, att, 1.0),
+        FileStep("/usr/bin/mutt", 7901, EventOp::kExecute, att, 3.0, 0, 1),
+    };
+    Beacon(&c.attack_steps, att, 7902, EventOp::kConnect, "82.93.155.40", 443,
+           6.0, 419, 2.1);
+    c.attack_base_time = 300 * kSec;
+    c.benign = Noise(640, 110);
+    c.seed = 110;
+    cases.push_back(std::move(c));
+  }
+
+  // --------------------------------------------------------- tc_trace_1
+  {
+    AttackCase c;
+    c.id = "tc_trace_1";
+    c.name = "20180410 1000 TRACE - Firefox Backdoor w/ Drakon In-Memory";
+    // The "run" self-loop on /home/admin/cache is extracted correctly, but
+    // query synthesis cannot tell a file `execute` event from a process
+    // `start` event; the default plan picks `execute`, so the 37 process
+    // start events are missed (the paper's tc_trace_1 false negatives).
+    c.oscti_text =
+        "The TRACE host ran a backdoored Firefox. /usr/lib/firefox/firefox "
+        "fetched the implant from 146.153.68.151 and wrote it to "
+        "/home/admin/cache. The implant /home/admin/cache repeatedly ran "
+        "/home/admin/cache to respawn itself, and /home/admin/cache "
+        "connected to 146.153.68.151 after every restart.";
+    c.gt_iocs = {"/usr/lib/firefox/firefox", "146.153.68.151",
+                 "/home/admin/cache"};
+    c.gt_relations = {
+        {"/usr/lib/firefox/firefox", "fetch", "146.153.68.151"},
+        {"/usr/lib/firefox/firefox", "write", "/home/admin/cache"},
+        {"/home/admin/cache", "run", "/home/admin/cache"},
+        {"/home/admin/cache", "connect", "146.153.68.151"},
+    };
+    const char* ff = "/usr/lib/firefox/firefox";
+    const char* cache = "/home/admin/cache";
+    c.attack_steps = {
+        NetStep(ff, 8001, EventOp::kRead, "146.153.68.151", 443, 1.0),
+        FileStep(ff, 8001, EventOp::kWrite, cache, 3.0),
+    };
+    for (int i = 0; i < 37; ++i) {
+      // Respawn chain: each generation starts the next (process events).
+      c.attack_steps.push_back(
+          StartStep(cache, 8100 + i, cache, 8101 + i, 6.0 + i * 4.0));
+      c.attack_steps.push_back(NetStep(cache, 8101 + i, EventOp::kConnect,
+                                       "146.153.68.151", 443, 8.0 + i * 4.0));
+    }
+    c.attack_base_time = 200 * kSec;
+    c.benign = Noise(900, 111);
+    c.seed = 111;
+    cases.push_back(std::move(c));
+  }
+
+  // --------------------------------------------------------- tc_trace_2
+  {
+    AttackCase c;
+    c.id = "tc_trace_2";
+    c.name = "20180410 1200 TRACE - Phishing E-mail Link";
+    c.oscti_text =
+        "The user clicked the phishing link on the TRACE host. The browser "
+        "/usr/bin/konq fetched the exploit page from 155.162.39.48, wrote "
+        "the loader to /tmp/.kload, and executed /tmp/.kload. /tmp/.kload "
+        "collected keys from /home/admin/.ssh/id_rsa and sent the keys to "
+        "155.162.39.48.";
+    c.gt_iocs = {"/usr/bin/konq", "155.162.39.48", "/tmp/.kload",
+                 "/home/admin/.ssh/id_rsa"};
+    c.gt_relations = {
+        {"/usr/bin/konq", "fetch", "155.162.39.48"},
+        {"/usr/bin/konq", "write", "/tmp/.kload"},
+        {"/usr/bin/konq", "execute", "/tmp/.kload"},
+        {"/tmp/.kload", "collect", "/home/admin/.ssh/id_rsa"},
+        {"/tmp/.kload", "send", "155.162.39.48"},
+    };
+    const char* konq = "/usr/bin/konq";
+    const char* kload = "/tmp/.kload";
+    c.attack_steps = {
+        NetStep(konq, 8201, EventOp::kRead, "155.162.39.48", 443, 1.0),
+        FileStep(konq, 8201, EventOp::kWrite, kload, 3.0),
+        FileStep(konq, 8201, EventOp::kExecute, kload, 5.0, 0, 1),
+    };
+    RepeatFile(&c.attack_steps, kload, 8202, EventOp::kRead,
+               "/home/admin/.ssh/id_rsa", 8.0, 2);
+    Beacon(&c.attack_steps, kload, 8202, EventOp::kSend, "155.162.39.48", 443,
+           14.0, 2);
+    c.attack_base_time = 900 * kSec;
+    c.benign = Noise(880, 112);
+    c.seed = 112;
+    cases.push_back(std::move(c));
+  }
+
+  // --------------------------------------------------------- tc_trace_3
+  {
+    AttackCase c;
+    c.id = "tc_trace_3";
+    c.name = "20180412 1300 TRACE - Browser Extension w/ Drakon Dropper";
+    // The report names /tmp/tcexec; the sample on disk was /tmp/.tcexec.
+    c.oscti_text =
+        "TRACE analysts observed the browser extension dropper. The staging "
+        "process /usr/bin/xsession wrote the implant to /tmp/tcexec on the "
+        "host.";
+    c.gt_iocs = {"/usr/bin/xsession", "/tmp/tcexec"};
+    c.gt_relations = {
+        {"/usr/bin/xsession", "write", "/tmp/tcexec"},
+    };
+    c.attack_steps = {};
+    RepeatFile(&c.attack_steps, "/usr/bin/xsession", 8301, EventOp::kWrite,
+               "/tmp/.tcexec", 1.0, 2);
+    c.attack_base_time = 1000 * kSec;
+    c.benign = Noise(860, 113);
+    c.seed = 113;
+    cases.push_back(std::move(c));
+  }
+
+  // --------------------------------------------------------- tc_trace_4
+  {
+    AttackCase c;
+    c.id = "tc_trace_4";
+    c.name = "20180413 1200 TRACE - Pine Backdoor w/ Drakon Dropper";
+    // The report only covers the mailbox read; the dropper write and the
+    // C2 connection went unreported (2 false negatives).
+    c.oscti_text =
+        "The Pine mail agent on TRACE carried the Drakon dropper. The "
+        "backdoored binary /usr/bin/pine read the mailbox /var/mail/root "
+        "during the engagement.";
+    c.gt_iocs = {"/usr/bin/pine", "/var/mail/root"};
+    c.gt_relations = {
+        {"/usr/bin/pine", "read", "/var/mail/root"},
+    };
+    c.attack_steps = {
+        FileStep("/usr/bin/pine", 8401, EventOp::kRead, "/var/mail/root", 1.0),
+        FileStep("/usr/bin/pine", 8401, EventOp::kWrite, "/tmp/.pineexec",
+                 3.0),
+        NetStep("/tmp/.pineexec", 8402, EventOp::kConnect, "146.153.68.200",
+                443, 5.0),
+    };
+    c.attack_base_time = 1300 * kSec;
+    c.benign = Noise(840, 114);
+    c.seed = 114;
+    cases.push_back(std::move(c));
+  }
+
+  // --------------------------------------------------------- tc_trace_5
+  {
+    AttackCase c;
+    c.id = "tc_trace_5";
+    c.name = "20180413 1400 TRACE - Phishing E-mail w/ Executable Attachment";
+    c.oscti_text =
+        "The phishing message delivered an executable attachment to the "
+        "TRACE host. The mail client /usr/bin/pine saved the attachment to "
+        "/home/admin/tcpay.exe and executed /home/admin/tcpay.exe. "
+        "/home/admin/tcpay.exe read the staging archive "
+        "/home/admin/.stage.tar and exfiltrated the stolen data to "
+        "146.153.68.99 in small chunks.";
+    c.gt_iocs = {"/usr/bin/pine", "/home/admin/tcpay.exe",
+                 "/home/admin/.stage.tar", "146.153.68.99"};
+    c.gt_relations = {
+        {"/usr/bin/pine", "save", "/home/admin/tcpay.exe"},
+        {"/usr/bin/pine", "execute", "/home/admin/tcpay.exe"},
+        {"/home/admin/tcpay.exe", "read", "/home/admin/.stage.tar"},
+        {"/home/admin/tcpay.exe", "exfiltrate", "146.153.68.99"},
+    };
+    const char* pay = "/home/admin/tcpay.exe";
+    c.attack_steps = {
+        FileStep("/usr/bin/pine", 8501, EventOp::kWrite, pay, 1.0),
+        FileStep("/usr/bin/pine", 8501, EventOp::kExecute, pay, 3.0, 0, 1),
+    };
+    RepeatFile(&c.attack_steps, pay, 8502, EventOp::kRead,
+               "/home/admin/.stage.tar", 6.0, 2);
+    Beacon(&c.attack_steps, pay, 8502, EventOp::kSend, "146.153.68.99", 443,
+           12.0, 574, 2.1);
+    c.attack_base_time = 100 * kSec;
+    c.benign = Noise(920, 115);
+    c.seed = 115;
+    cases.push_back(std::move(c));
+  }
+
+  // ------------------------------------------------------- password_crack
+  {
+    AttackCase c;
+    c.id = "password_crack";
+    c.name = "Password Cracking After Shellshock Penetration";
+    // The libfoo.so sentence is faithfully extracted but describes a step
+    // that never produced an event (excessive pattern, retrieves nothing);
+    // the EXIF decode and the unzip steps went unreported (false negatives).
+    c.oscti_text =
+        "The attacker penetrated the server by exploiting the Shellshock "
+        "vulnerability CVE-2014-6271. The compromised service "
+        "/usr/sbin/httpd fetched an image from 162.125.4.18 and wrote the "
+        "image to /tmp/cloud.jpg. The C2 address was encoded in the EXIF "
+        "metadata of /tmp/cloud.jpg.\n\n"
+        "Using the decoded address, /usr/sbin/httpd downloaded the cracker "
+        "archive /tmp/john.zip from 184.105.182.21. The exploit library "
+        "/tmp/libfoo.so wrote the archive /tmp/john.zip. The attacker "
+        "extracted the cracker to /tmp/john/john. /tmp/john/john read the "
+        "shadow file /etc/shadow and wrote the recovered passwords to "
+        "/tmp/passwds.txt.";
+    c.gt_iocs = {"CVE-2014-6271",  "/usr/sbin/httpd", "162.125.4.18",
+                 "/tmp/cloud.jpg", "/tmp/john.zip",   "184.105.182.21",
+                 "/tmp/libfoo.so", "/tmp/john/john",  "/etc/shadow",
+                 "/tmp/passwds.txt"};
+    c.gt_relations = {
+        {"/usr/sbin/httpd", "fetch", "162.125.4.18"},
+        {"/usr/sbin/httpd", "write", "/tmp/cloud.jpg"},
+        {"/usr/sbin/httpd", "download", "/tmp/john.zip"},
+        {"/usr/sbin/httpd", "download", "184.105.182.21"},
+        {"/tmp/john.zip", "download", "184.105.182.21"},
+        {"/tmp/libfoo.so", "write", "/tmp/john.zip"},
+        {"/tmp/john/john", "read", "/etc/shadow"},
+        {"/tmp/john/john", "write", "/tmp/passwds.txt"},
+    };
+    const char* httpd = "/usr/sbin/httpd";
+    const char* john = "/tmp/john/john";
+    c.attack_steps = {
+        NetStep(httpd, 8601, EventOp::kRead, "162.125.4.18", 443, 1.0),
+        FileStep(httpd, 8601, EventOp::kWrite, "/tmp/cloud.jpg", 3.0),
+        NetStep(httpd, 8601, EventOp::kRead, "184.105.182.21", 443, 7.0),
+        FileStep(httpd, 8601, EventOp::kWrite, "/tmp/john.zip", 9.0),
+        FileStep("/usr/bin/unzip", 8602, EventOp::kRead, "/tmp/john.zip",
+                 11.0),
+        FileStep("/usr/bin/unzip", 8602, EventOp::kWrite, john, 13.0),
+        FileStep(john, 8603, EventOp::kWrite, "/tmp/passwds.txt", 30.0),
+    };
+    RepeatFile(&c.attack_steps, john, 8603, EventOp::kRead, "/etc/shadow",
+               16.0, 5);
+    c.attack_base_time = 450 * kSec;
+    c.benign = Noise(400, 116);
+    c.seed = 116;
+    cases.push_back(std::move(c));
+  }
+
+  // ------------------------------------------------------------ data_leak
+  {
+    AttackCase c;
+    c.id = "data_leak";
+    c.name = "Data Leakage After Shellshock Penetration";
+    // The report omits the file-system scan and the final bulk transfer
+    // (2 false negatives); the 6 described steps are all found.
+    c.oscti_text =
+        "After the lateral movement stage, the attacker attempted to steal "
+        "valuable assets from the host. As a first step, the attacker used "
+        "/bin/tar to read user credentials from /etc/passwd. It wrote the "
+        "gathered information to a file /tmp/upload.tar. Then /bin/bzip2 "
+        "read from /tmp/upload.tar and wrote to /tmp/upload.tar.bz2. "
+        "Finally, the attacker leveraged the curl utility /usr/bin/curl to "
+        "read the archive from /tmp/upload.tar.bz2 and connect to "
+        "192.168.29.128.";
+    c.gt_iocs = {"/bin/tar", "/etc/passwd", "/tmp/upload.tar", "/bin/bzip2",
+                 "/tmp/upload.tar.bz2", "/usr/bin/curl", "192.168.29.128"};
+    c.gt_relations = {
+        {"/bin/tar", "read", "/etc/passwd"},
+        {"/bin/tar", "write", "/tmp/upload.tar"},
+        {"/bin/bzip2", "read", "/tmp/upload.tar"},
+        {"/bin/bzip2", "write", "/tmp/upload.tar.bz2"},
+        {"/usr/bin/curl", "read", "/tmp/upload.tar.bz2"},
+        {"/usr/bin/curl", "connect", "192.168.29.128"},
+    };
+    c.attack_steps = {
+        FileStep("/usr/bin/find", 8701, EventOp::kRead,
+                 "/home/admin/projects.tar", 0.0),  // unreported scan
+        FileStep("/bin/tar", 8702, EventOp::kRead, "/etc/passwd", 2.0),
+        FileStep("/bin/tar", 8702, EventOp::kWrite, "/tmp/upload.tar", 4.0),
+        FileStep("/bin/bzip2", 8703, EventOp::kRead, "/tmp/upload.tar", 6.0),
+        FileStep("/bin/bzip2", 8703, EventOp::kWrite, "/tmp/upload.tar.bz2",
+                 8.0),
+        FileStep("/usr/bin/curl", 8704, EventOp::kRead, "/tmp/upload.tar.bz2",
+                 10.0),
+        NetStep("/usr/bin/curl", 8704, EventOp::kConnect, "192.168.29.128",
+                443, 12.0),
+        NetStep("/usr/bin/curl", 8704, EventOp::kSend, "192.168.29.128", 443,
+                14.0, 1 << 20),  // unreported bulk transfer
+    };
+    c.attack_base_time = 777 * kSec;
+    c.benign = Noise(420, 117);
+    c.seed = 117;
+    cases.push_back(std::move(c));
+  }
+
+  // ------------------------------------------------------------ vpnfilter
+  {
+    AttackCase c;
+    c.id = "vpnfilter";
+    c.name = "VPNFilter";
+    c.oscti_text =
+        "The attacker maintained direct access to the victim device with "
+        "the VPNFilter malware. The stage one malware /tmp/vpnf downloaded "
+        "a picture from 94.242.222.68 and wrote it to /tmp/pic.jpg. The "
+        "address of the stage two server was hidden in the EXIF fields, so "
+        "/tmp/vpnf read /tmp/pic.jpg to recover it. /tmp/vpnf then "
+        "downloaded the stage two module /tmp/vpnf2 from 91.121.109.209. "
+        "/tmp/vpnf executed /tmp/vpnf2, and /tmp/vpnf2 connected to "
+        "94.242.222.68.";
+    c.gt_iocs = {"/tmp/vpnf", "94.242.222.68", "/tmp/pic.jpg", "/tmp/vpnf2",
+                 "91.121.109.209"};
+    c.gt_relations = {
+        {"/tmp/vpnf", "download", "94.242.222.68"},
+        {"/tmp/vpnf", "write", "/tmp/pic.jpg"},
+        {"/tmp/vpnf", "read", "/tmp/pic.jpg"},
+        {"/tmp/vpnf", "download", "/tmp/vpnf2"},
+        {"/tmp/vpnf", "download", "91.121.109.209"},
+        {"/tmp/vpnf2", "download", "91.121.109.209"},
+        {"/tmp/vpnf", "execute", "/tmp/vpnf2"},
+        {"/tmp/vpnf2", "connect", "94.242.222.68"},
+    };
+    const char* v1 = "/tmp/vpnf";
+    const char* v2 = "/tmp/vpnf2";
+    c.attack_steps = {
+        NetStep(v1, 8801, EventOp::kRead, "94.242.222.68", 443, 1.0),
+        FileStep(v1, 8801, EventOp::kWrite, "/tmp/pic.jpg", 3.0),
+        FileStep(v1, 8801, EventOp::kRead, "/tmp/pic.jpg", 5.0),
+        NetStep(v1, 8801, EventOp::kRead, "91.121.109.209", 443, 7.0),
+        FileStep(v1, 8801, EventOp::kWrite, v2, 9.0),
+        FileStep(v1, 8801, EventOp::kExecute, v2, 11.0, 0, 1),
+    };
+    Beacon(&c.attack_steps, v2, 8802, EventOp::kConnect, "94.242.222.68", 443,
+           14.0, 172, 2.2);
+    c.attack_base_time = 650 * kSec;
+    c.benign = Noise(440, 118);
+    c.seed = 118;
+    cases.push_back(std::move(c));
+  }
+
+  return cases;
+}
+
+}  // namespace
+
+const std::vector<AttackCase>& AllCases() {
+  static const std::vector<AttackCase> kCases = BuildAllCases();
+  return kCases;
+}
+
+const AttackCase* FindCase(std::string_view id) {
+  for (const AttackCase& c : AllCases()) {
+    if (c.id == id) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<audit::SyscallRecord> BuildCaseLog(const AttackCase& c) {
+  audit::BenignWorkloadSimulator benign;
+  std::vector<audit::SyscallRecord> noise = benign.Generate(c.benign);
+  std::vector<audit::SyscallRecord> attack =
+      audit::CompileAttackScript(c.attack_steps, c.attack_base_time, c.seed);
+  return audit::MergeStreams({std::move(noise), std::move(attack)});
+}
+
+std::set<long long> GroundTruthEventIds(const AttackCase& c,
+                                        const storage::AuditStore& store) {
+  // A stored event is ground truth iff it was produced by an attack step:
+  // same subject (exe, pid), same operation, same object identity.
+  struct Spec {
+    std::string exe;
+    long long pid;
+    audit::EventOp op;
+    std::string object_key;  // path / dstip / target exe
+  };
+  std::vector<Spec> specs;
+  specs.reserve(c.attack_steps.size());
+  for (const audit::AttackStep& s : c.attack_steps) {
+    Spec spec;
+    spec.exe = s.exe;
+    spec.pid = s.pid;
+    spec.op = s.op;
+    if (!s.dst_ip.empty()) {
+      spec.object_key = s.dst_ip;
+    } else if (s.op == audit::EventOp::kStart) {
+      spec.object_key = s.object_exe;
+    } else {
+      spec.object_key = s.object_path;
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  std::set<long long> out;
+  for (const audit::SystemEvent& ev : store.events()) {
+    const audit::SystemEntity& subj = store.entities()[ev.subject - 1];
+    const audit::SystemEntity& obj = store.entities()[ev.object - 1];
+    for (const Spec& spec : specs) {
+      if (spec.op != ev.op || spec.exe != subj.exename ||
+          spec.pid != subj.pid) {
+        continue;
+      }
+      std::string key;
+      switch (obj.type) {
+        case audit::EntityType::kFile: key = obj.name; break;
+        case audit::EntityType::kNetwork: key = obj.dstip; break;
+        case audit::EntityType::kProcess: key = obj.exename; break;
+      }
+      if (key == spec.object_key) {
+        out.insert(static_cast<long long>(ev.id));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+PrScore ScoreStrings(const std::vector<std::string>& extracted,
+                     const std::vector<std::string>& ground_truth) {
+  PrScore score;
+  std::vector<bool> matched(ground_truth.size(), false);
+  for (const std::string& e : extracted) {
+    bool hit = false;
+    for (size_t g = 0; g < ground_truth.size(); ++g) {
+      if (!matched[g] && ground_truth[g] == e) {
+        matched[g] = true;
+        hit = true;
+        break;
+      }
+    }
+    hit ? ++score.tp : ++score.fp;
+  }
+  for (bool m : matched) {
+    if (!m) ++score.fn;
+  }
+  return score;
+}
+
+PrScore ScoreRelations(const std::vector<GtRelation>& extracted,
+                       const std::vector<GtRelation>& ground_truth) {
+  PrScore score;
+  std::vector<bool> matched(ground_truth.size(), false);
+  for (const GtRelation& e : extracted) {
+    bool hit = false;
+    for (size_t g = 0; g < ground_truth.size(); ++g) {
+      const GtRelation& gt = ground_truth[g];
+      if (!matched[g] && gt.src == e.src && gt.verb == e.verb &&
+          gt.dst == e.dst) {
+        matched[g] = true;
+        hit = true;
+        break;
+      }
+    }
+    hit ? ++score.tp : ++score.fp;
+  }
+  for (bool m : matched) {
+    if (!m) ++score.fn;
+  }
+  return score;
+}
+
+void ScoreExtraction(const extraction::ExtractionResult& result,
+                     const AttackCase& c, PrScore* entity_score,
+                     PrScore* relation_score) {
+  {
+    PrScore score;
+    std::vector<bool> matched(c.gt_iocs.size(), false);
+    for (const extraction::IocEntity& e : result.iocs) {
+      bool hit = false;
+      for (size_t g = 0; g < c.gt_iocs.size(); ++g) {
+        if (!matched[g] && e.Matches(c.gt_iocs[g])) {
+          matched[g] = true;
+          hit = true;
+          break;
+        }
+      }
+      hit ? ++score.tp : ++score.fp;
+    }
+    for (bool m : matched) {
+      if (!m) ++score.fn;
+    }
+    *entity_score = score;
+  }
+  {
+    PrScore score;
+    std::vector<bool> matched(c.gt_relations.size(), false);
+    for (const extraction::IocRelation& e : result.graph.edges()) {
+      const extraction::IocEntity& src = result.graph.node(e.src);
+      const extraction::IocEntity& dst = result.graph.node(e.dst);
+      bool hit = false;
+      for (size_t g = 0; g < c.gt_relations.size(); ++g) {
+        const GtRelation& gt = c.gt_relations[g];
+        if (!matched[g] && gt.verb == e.verb && src.Matches(gt.src) &&
+            dst.Matches(gt.dst)) {
+          matched[g] = true;
+          hit = true;
+          break;
+        }
+      }
+      hit ? ++score.tp : ++score.fp;
+    }
+    for (bool m : matched) {
+      if (!m) ++score.fn;
+    }
+    *relation_score = score;
+  }
+}
+
+PrScore ScoreEvents(const std::vector<long long>& found,
+                    const std::set<long long>& ground_truth) {
+  PrScore score;
+  for (long long id : found) {
+    ground_truth.count(id) ? ++score.tp : ++score.fp;
+  }
+  score.fn = ground_truth.size() - score.tp;
+  return score;
+}
+
+}  // namespace raptor::cases

@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generation (SplitMix64). All synthetic
+// workloads, benign-noise generators and property tests seed from here so
+// that every test and benchmark run is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace raptor {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit PRNG. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Pick a uniformly random element. Precondition: non-empty.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Uniform(v.size())];
+  }
+
+  /// Random lowercase identifier of the given length.
+  std::string Identifier(size_t len) {
+    static const char kAlpha[] = "abcdefghijklmnopqrstuvwxyz";
+    std::string s;
+    s.reserve(len);
+    for (size_t i = 0; i < len; ++i) s.push_back(kAlpha[Uniform(26)]);
+    return s;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace raptor

@@ -1,0 +1,142 @@
+// Status / Result<T>: exception-free error handling used across the library.
+//
+// Follows the RocksDB/Arrow idiom: functions that can fail return a Status
+// (or a Result<T> carrying either a value or a Status). Errors carry a code
+// and a human-readable message; callers either handle them or propagate with
+// RAPTOR_RETURN_NOT_OK.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace raptor {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kTypeError,
+  kUnsupported,
+  kInternal,
+  kTimeout,
+};
+
+/// Lightweight error-or-success value returned by fallible operations.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + msg_;
+  }
+
+  static const char* CodeName(StatusCode c) {
+    switch (c) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kAlreadyExists: return "AlreadyExists";
+      case StatusCode::kParseError: return "ParseError";
+      case StatusCode::kTypeError: return "TypeError";
+      case StatusCode::kUnsupported: return "Unsupported";
+      case StatusCode::kInternal: return "Internal";
+      case StatusCode::kTimeout: return "Timeout";
+    }
+    return "Unknown";
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Value-or-error: holds either a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}            // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {     // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Asserts in debug builds.
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace raptor
+
+/// Propagate a non-OK Status to the caller.
+#define RAPTOR_RETURN_NOT_OK(expr)            \
+  do {                                        \
+    ::raptor::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+/// Assign a Result's value or propagate its Status.
+#define RAPTOR_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto RAPTOR_CONCAT_(_res_, __LINE__) = (expr);                    \
+  if (!RAPTOR_CONCAT_(_res_, __LINE__).ok())                        \
+    return RAPTOR_CONCAT_(_res_, __LINE__).status();                \
+  lhs = std::move(RAPTOR_CONCAT_(_res_, __LINE__)).value()
+
+#define RAPTOR_CONCAT_IMPL_(a, b) a##b
+#define RAPTOR_CONCAT_(a, b) RAPTOR_CONCAT_IMPL_(a, b)

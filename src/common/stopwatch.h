@@ -1,0 +1,26 @@
+// Wall-clock stopwatch used by the benchmark harnesses to time pipeline
+// stages (Table VII) and query execution rounds (Tables VIII/IX).
+#pragma once
+
+#include <chrono>
+
+namespace raptor {
+
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace raptor

@@ -1,0 +1,54 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace raptor {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  std::string sep = "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    sep += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string FormatSeconds(double seconds) {
+  return StrFormat("%.2f", seconds);
+}
+
+std::string FormatPercent(double ratio) {
+  return StrFormat("%.2f%%", ratio * 100.0);
+}
+
+}  // namespace raptor

@@ -1,0 +1,37 @@
+// ASCII table rendering for benchmark harness output. Every bench binary
+// reproduces one of the paper's tables; this prints them in an aligned,
+// diffable format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace raptor {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append one data row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Render the whole table with a header separator line.
+  std::string ToString() const;
+
+  /// Render and write to stdout.
+  void Print() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format seconds with 2 decimal places (Tables VII/VIII/IX convention).
+std::string FormatSeconds(double seconds);
+
+/// Format a ratio as a percentage with 2 decimal places, e.g. "96.64%".
+std::string FormatPercent(double ratio);
+
+}  // namespace raptor

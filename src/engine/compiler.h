@@ -1,0 +1,52 @@
+// TBQL-to-data-query compiler (Sec III-F).
+//
+// Each TBQL pattern compiles into a semantically equivalent *data query*:
+// event patterns become small SQL SELECTs over the relational backend
+// (mature indexing + fast joins); variable-length event path patterns
+// become Cypher MATCHes over the graph backend. The scheduler can inject
+// `id IN (...)` constraints gathered from previously executed patterns.
+//
+// The module also provides the two baseline compilers used by Tables VIII
+// and X: a single "giant" SQL query and a single "giant" Cypher query that
+// each encode the whole TBQL query at once.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tbql/analyzer.h"
+
+namespace raptor::engine {
+
+enum class Backend { kRelational, kGraph };
+
+struct DataQuery {
+  Backend backend = Backend::kRelational;
+  std::string text;        // actual SQL / Cypher text
+  size_t pattern_index = 0;
+  bool has_event_columns = false;  // event id/start/end present in results
+};
+
+/// Concrete entity-id bindings propagated from already-executed patterns:
+/// TBQL entity id -> allowed audit entity ids.
+using EntityConstraints = std::map<std::string, std::vector<long long>>;
+
+/// Compile pattern `idx` into a data query. Event patterns and length-1
+/// paths with `->` compile to SQL or Cypher respectively; multi-hop paths
+/// always compile to Cypher.
+Result<DataQuery> CompilePattern(const tbql::AnalyzedQuery& aq, size_t idx,
+                                 const EntityConstraints& constraints,
+                                 audit::Timestamp now = 0);
+
+/// Baseline: the whole query as one giant SQL statement (event patterns
+/// only; path patterns are unsupported in SQL, per the paper).
+Result<std::string> CompileGiantSql(const tbql::AnalyzedQuery& aq,
+                                    audit::Timestamp now = 0);
+
+/// Baseline: the whole query as one giant Cypher statement.
+Result<std::string> CompileGiantCypher(const tbql::AnalyzedQuery& aq,
+                                       audit::Timestamp now = 0);
+
+}  // namespace raptor::engine

@@ -1,0 +1,449 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+
+namespace raptor::engine {
+
+namespace {
+
+using tbql::AnalyzedQuery;
+using tbql::AttrExpr;
+using tbql::AttrExprKind;
+using tbql::Pattern;
+using tbql::TemporalRel;
+
+/// One concrete match of a TBQL pattern: the bound subject/object entity
+/// ids, plus event identity and times when the pattern is a (length-1)
+/// event pattern.
+struct PatternMatch {
+  long long subject_id = 0;
+  long long object_id = 0;
+  long long event_id = 0;  // 0 when the pattern is a multi-hop path
+  long long start_time = 0;
+  long long end_time = 0;
+  bool has_event = false;
+};
+
+size_t CountAtoms(const AttrExpr& e) {
+  switch (e.kind) {
+    case AttrExprKind::kBareValue:
+    case AttrExprKind::kCompare:
+    case AttrExprKind::kInList:
+      return 1;
+    case AttrExprKind::kAnd:
+    case AttrExprKind::kOr:
+      return CountAtoms(*e.lhs) + CountAtoms(*e.rhs);
+    case AttrExprKind::kNot:
+      return CountAtoms(*e.lhs);
+  }
+  return 0;
+}
+
+/// A partial/full assignment under construction during the join phase.
+struct Assignment {
+  std::map<std::string, long long> entities;  // entity id -> audit entity
+  std::map<size_t, PatternMatch> events;      // pattern index -> match
+};
+
+}  // namespace
+
+std::string TbqlResultSet::ToString(size_t max_rows) const {
+  std::string out = Join(columns, " | ") + "\n";
+  size_t n = std::min(max_rows, rows.size());
+  for (size_t i = 0; i < n; ++i) out += Join(rows[i], " | ") + "\n";
+  if (rows.size() > n) {
+    out += StrFormat("... (%zu more rows)\n", rows.size() - n);
+  }
+  return out;
+}
+
+double PruningScore(const AnalyzedQuery& aq, size_t idx) {
+  const Pattern& p = aq.query->patterns[idx];
+  size_t constraints = 0;
+  for (const std::string& id : {p.subject.id, p.object.id}) {
+    for (const AttrExpr* f : aq.entities.at(id).filters) {
+      constraints += CountAtoms(*f);
+    }
+  }
+  if (p.op) {
+    std::vector<std::string> ops;
+    p.op->CollectOps(&ops);
+    constraints += ops.empty() ? 0 : 1;
+  }
+  if (p.event_filter) constraints += CountAtoms(*p.event_filter);
+  if (p.window.has_value()) ++constraints;
+  // Smaller maximum path length => higher score (Sec III-F). An event
+  // pattern behaves like a length-1 path.
+  int max_len = 1;
+  if (p.path.is_path) max_len = p.path.max_len < 0 ? 16 : p.path.max_len;
+  return static_cast<double>(constraints) + 1.0 / static_cast<double>(max_len);
+}
+
+Result<ExecReport> TbqlExecutor::ExecuteText(std::string_view text,
+                                             const ExecOptions& options) const {
+  auto query = tbql::ParseTbql(text);
+  if (!query.ok()) return query.status();
+  return Execute(query.value(), options);
+}
+
+Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
+                                         const ExecOptions& options) const {
+  Stopwatch timer;
+  ExecReport report;
+  auto analyzed = tbql::Analyze(query);
+  if (!analyzed.ok()) return analyzed.status();
+  const AnalyzedQuery& aq = analyzed.value();
+  size_t n_patterns = query.patterns.size();
+  report.pattern_match_counts.assign(n_patterns, 0);
+
+  // "last N" windows resolve against the newest event in the store.
+  audit::Timestamp now = 0;
+  for (const audit::SystemEvent& ev : store_->events()) {
+    now = std::max(now, ev.end_time);
+  }
+
+  // ---- Scheduling ----------------------------------------------------------
+  std::vector<size_t> order(n_patterns);
+  for (size_t i = 0; i < n_patterns; ++i) order[i] = i;
+  if (options.use_scheduler) {
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return PruningScore(aq, a) > PruningScore(aq, b);
+    });
+  }
+
+  // Network-connection entities are flow-scoped (one 5-tuple per
+  // connection): a reused ip entity ID means "the same destination", which
+  // the replicated dstip filter already enforces, NOT "the same flow".
+  // They are therefore excluded from id propagation and join equality.
+  auto joinable = [&aq](const std::string& id) {
+    return aq.entities.at(id).type != tbql::EntityType::kNetwork;
+  };
+
+  // ---- Per-pattern execution with constraint propagation -------------------
+  EntityConstraints constraints;
+  std::vector<std::vector<PatternMatch>> matches(n_patterns);
+  for (size_t idx : order) {
+    EntityConstraints relevant;
+    if (options.propagate_constraints) {
+      const Pattern& p = query.patterns[idx];
+      for (const std::string& id : {p.subject.id, p.object.id}) {
+        if (!joinable(id)) continue;
+        auto it = constraints.find(id);
+        if (it != constraints.end()) relevant.emplace(*it);
+      }
+    }
+    auto dq = CompilePattern(aq, idx, relevant, now);
+    if (!dq.ok()) return dq.status();
+    report.executed_queries.push_back(dq.value().text);
+
+    std::vector<PatternMatch>& out = matches[idx];
+    if (dq.value().backend == Backend::kRelational) {
+      auto rs = store_->relational().Query(dq.value().text);
+      if (!rs.ok()) return rs.status();
+      out.reserve(rs.value().rows.size());
+      for (const sql::Row& row : rs.value().rows) {
+        PatternMatch m;
+        m.event_id = row[0].AsInt();
+        m.subject_id = row[1].AsInt();
+        m.object_id = row[2].AsInt();
+        m.start_time = row[3].AsInt();
+        m.end_time = row[4].AsInt();
+        m.has_event = true;
+        out.push_back(m);
+      }
+    } else {
+      auto rs = store_->graph().Query(dq.value().text);
+      if (!rs.ok()) return rs.status();
+      bool has_event = dq.value().has_event_columns;
+      out.reserve(rs.value().rows.size());
+      for (const auto& row : rs.value().rows) {
+        PatternMatch m;
+        m.subject_id = row[0].AsInt();
+        m.object_id = row[1].AsInt();
+        if (has_event && row.size() >= 5) {
+          m.event_id = row[2].AsInt();
+          m.start_time = row[3].AsInt();
+          m.end_time = row[4].AsInt();
+          m.has_event = true;
+        }
+        out.push_back(m);
+      }
+    }
+    report.pattern_match_counts[idx] = out.size();
+
+    if (options.propagate_constraints && !out.empty()) {
+      const Pattern& p = query.patterns[idx];
+      for (const auto& [id, pick] :
+           {std::pair{p.subject.id, &PatternMatch::subject_id},
+            std::pair{p.object.id, &PatternMatch::object_id}}) {
+        if (!joinable(id)) continue;
+        std::set<long long> ids;
+        for (const PatternMatch& m : out) ids.insert(m.*pick);
+        std::vector<long long> sorted(ids.begin(), ids.end());
+        auto it = constraints.find(id);
+        if (it == constraints.end()) {
+          constraints.emplace(id, std::move(sorted));
+        } else {
+          // Intersect with the previous domain.
+          std::vector<long long> merged;
+          std::set_intersection(it->second.begin(), it->second.end(),
+                                sorted.begin(), sorted.end(),
+                                std::back_inserter(merged));
+          it->second = std::move(merged);
+        }
+      }
+    }
+  }
+
+  // Re-filter earlier pattern matches with the final entity domains (later
+  // patterns may have narrowed entities that earlier executions bound).
+  if (options.propagate_constraints) {
+    for (size_t i = 0; i < n_patterns; ++i) {
+      const Pattern& p = query.patterns[i];
+      auto sit = joinable(p.subject.id) ? constraints.find(p.subject.id)
+                                        : constraints.end();
+      auto oit = joinable(p.object.id) ? constraints.find(p.object.id)
+                                       : constraints.end();
+      auto allowed = [](const EntityConstraints::const_iterator& it,
+                        long long v) {
+        return std::binary_search(it->second.begin(), it->second.end(), v);
+      };
+      std::vector<PatternMatch> kept;
+      kept.reserve(matches[i].size());
+      for (const PatternMatch& m : matches[i]) {
+        if (sit != constraints.end() && !allowed(sit, m.subject_id)) {
+          continue;
+        }
+        if (oit != constraints.end() && !allowed(oit, m.object_id)) {
+          continue;
+        }
+        kept.push_back(m);
+      }
+      matches[i] = std::move(kept);
+    }
+  }
+
+  // ---- Join phase ----------------------------------------------------------
+  // Join patterns in ascending match-count order; hash-join on the entity
+  // ids already bound by the partial assignments.
+  std::vector<size_t> join_order;
+  for (size_t i = 0; i < n_patterns; ++i) {
+    if (matches[i].empty()) {
+      report.unmatched_patterns.push_back(i);
+    } else {
+      join_order.push_back(i);
+    }
+  }
+  std::sort(join_order.begin(), join_order.end(), [&](size_t a, size_t b) {
+    return matches[a].size() < matches[b].size();
+  });
+
+  std::vector<Assignment> assignments;
+  // Seed with the empty assignment only when at least one pattern matched;
+  // otherwise the result set is empty (not one all-empty row).
+  if (!join_order.empty()) assignments.emplace_back();
+  for (size_t idx : join_order) {
+    const Pattern& p = query.patterns[idx];
+    std::vector<Assignment> next;
+    bool subj_joinable = joinable(p.subject.id);
+    bool obj_joinable = joinable(p.object.id);
+    for (const Assignment& a : assignments) {
+      auto sit = subj_joinable ? a.entities.find(p.subject.id)
+                               : a.entities.end();
+      auto oit = obj_joinable ? a.entities.find(p.object.id)
+                              : a.entities.end();
+      for (const PatternMatch& m : matches[idx]) {
+        if (sit != a.entities.end() && sit->second != m.subject_id) continue;
+        if (oit != a.entities.end() && oit->second != m.object_id) continue;
+        // Entity-ID reuse within one pattern ("proc p start proc p") means
+        // subject and object are the same entity.
+        if (p.subject.id == p.object.id && m.subject_id != m.object_id) {
+          continue;
+        }
+        Assignment na = a;
+        na.entities[p.subject.id] = m.subject_id;
+        na.entities[p.object.id] = m.object_id;
+        na.events[idx] = m;
+        next.push_back(std::move(na));
+      }
+    }
+    assignments = std::move(next);
+    if (assignments.empty()) break;
+  }
+
+  // ---- Temporal & attribute relationships ----------------------------------
+  auto event_of = [&](const Assignment& a,
+                      const std::string& id) -> const PatternMatch* {
+    auto pit = aq.pattern_by_id.find(id);
+    if (pit == aq.pattern_by_id.end()) return nullptr;
+    auto eit = a.events.find(pit->second);
+    return eit == a.events.end() ? nullptr : &eit->second;
+  };
+  std::vector<Assignment> satisfying;
+  for (Assignment& a : assignments) {
+    bool ok = true;
+    for (const TemporalRel& rel : query.temporal_rels) {
+      const PatternMatch* l = event_of(a, rel.left);
+      const PatternMatch* r = event_of(a, rel.right);
+      if (l == nullptr || r == nullptr) continue;  // unmatched pattern
+      if (!l->has_event || !r->has_event) {
+        ok = false;
+        break;
+      }
+      const PatternMatch* first = l;
+      const PatternMatch* second = r;
+      if (rel.op == tbql::TemporalOp::kAfter) std::swap(first, second);
+      if (rel.op == tbql::TemporalOp::kWithin) {
+        long long gap = std::llabs(r->start_time - l->start_time);
+        long long lo = rel.min_gap < 0 ? 0 : rel.min_gap;
+        long long hi = rel.max_gap < 0 ? 0 : rel.max_gap;
+        if (gap < lo || gap > hi) {
+          ok = false;
+          break;
+        }
+        continue;
+      }
+      long long gap = second->start_time - first->end_time;
+      if (rel.min_gap >= 0 || rel.max_gap >= 0) {
+        if (gap < (rel.min_gap < 0 ? 0 : rel.min_gap) ||
+            (rel.max_gap >= 0 && gap > rel.max_gap)) {
+          ok = false;
+          break;
+        }
+      } else if (first->end_time > second->start_time) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    for (const tbql::AttrRel& rel : query.attr_rels) {
+      auto attr_value = [&](const std::string& qual,
+                            const std::string& attr) -> std::string {
+        auto eit = a.entities.find(qual);
+        if (eit != a.entities.end()) {
+          return store_->entities()[eit->second - 1].Attribute(attr);
+        }
+        const PatternMatch* m = event_of(a, qual);
+        if (m != nullptr) {
+          if (attr == "id") return std::to_string(m->event_id);
+          if (attr == "start_time") return std::to_string(m->start_time);
+          if (attr == "end_time") return std::to_string(m->end_time);
+          const audit::SystemEvent& ev = store_->events()[m->event_id - 1];
+          if (attr == "amount") return std::to_string(ev.amount);
+          if (attr == "failure_code") return std::to_string(ev.failure_code);
+          if (attr == "op") return audit::EventOpName(ev.op);
+        }
+        return "";
+      };
+      std::string lv = attr_value(rel.left_qualifier, rel.left_attr);
+      std::string rv = attr_value(rel.right_qualifier, rel.right_attr);
+      long long ln = 0, rn = 0;
+      int cmp;
+      if (ParseInt64(lv, &ln) && ParseInt64(rv, &rn)) {
+        cmp = ln < rn ? -1 : (ln > rn ? 1 : 0);
+      } else {
+        cmp = lv.compare(rv);
+        cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+      }
+      bool pass = false;
+      switch (rel.op) {
+        case tbql::CompareOp::kEq: pass = cmp == 0; break;
+        case tbql::CompareOp::kNe: pass = cmp != 0; break;
+        case tbql::CompareOp::kLt: pass = cmp < 0; break;
+        case tbql::CompareOp::kLe: pass = cmp <= 0; break;
+        case tbql::CompareOp::kGt: pass = cmp > 0; break;
+        case tbql::CompareOp::kGe: pass = cmp >= 0; break;
+      }
+      if (!pass) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) satisfying.push_back(std::move(a));
+  }
+
+  // Events found by the event patterns (for evaluation): union of the
+  // per-pattern matches that survived constraint propagation.
+  std::set<long long> matched_events;
+  for (size_t i = 0; i < n_patterns; ++i) {
+    for (const PatternMatch& m : matches[i]) {
+      if (m.has_event) matched_events.insert(m.event_id);
+    }
+  }
+
+  // ---- Projection -----------------------------------------------------------
+  for (const tbql::ResolvedReturn& r : aq.returns) {
+    report.results.columns.push_back(r.attr.empty() ? r.id
+                                                    : r.id + "." + r.attr);
+  }
+  std::unordered_set<std::string> seen;
+  for (const Assignment& a : satisfying) {
+    std::vector<std::string> row;
+    row.reserve(aq.returns.size());
+    for (const tbql::ResolvedReturn& r : aq.returns) {
+      if (r.is_event) {
+        const PatternMatch* m = event_of(a, r.id);
+        if (m == nullptr) {
+          row.push_back("");
+          continue;
+        }
+        if (r.attr == "id") {
+          row.push_back(std::to_string(m->event_id));
+        } else if (r.attr == "start_time") {
+          row.push_back(std::to_string(m->start_time));
+        } else if (r.attr == "end_time") {
+          row.push_back(std::to_string(m->end_time));
+        } else {
+          const audit::SystemEvent& ev = store_->events()[m->event_id - 1];
+          if (r.attr == "amount") {
+            row.push_back(std::to_string(ev.amount));
+          } else if (r.attr == "failure_code") {
+            row.push_back(std::to_string(ev.failure_code));
+          } else {
+            row.push_back(audit::EventOpName(ev.op));
+          }
+        }
+      } else {
+        auto eit = a.entities.find(r.id);
+        row.push_back(eit == a.entities.end()
+                          ? ""
+                          : store_->entities()[eit->second - 1].Attribute(
+                                r.attr));
+      }
+    }
+    if (query.distinct) {
+      std::string key = Join(row, "\x1f");
+      if (!seen.insert(key).second) continue;
+    }
+    report.results.rows.push_back(std::move(row));
+  }
+  report.matched_event_ids.assign(matched_events.begin(),
+                                  matched_events.end());
+  report.seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+tbql::TbqlQuery ToLength1PathQuery(const tbql::TbqlQuery& query) {
+  // TBQL queries round-trip through their printed form; clone that way and
+  // rewrite each basic event pattern to a "->" length-1 path.
+  auto clone = tbql::ParseTbql(query.ToString());
+  tbql::TbqlQuery out = std::move(clone).value();
+  for (tbql::Pattern& p : out.patterns) {
+    if (!p.path.is_path) {
+      p.path.is_path = true;
+      p.path.fuzzy_arrow = false;
+      p.path.min_len = 1;
+      p.path.max_len = 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace raptor::engine

@@ -1,0 +1,57 @@
+#include "engine/explain.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/strings.h"
+#include "engine/compiler.h"
+#include "engine/executor.h"
+#include "tbql/analyzer.h"
+#include "tbql/parser.h"
+
+namespace raptor::engine {
+
+Result<std::string> ExplainPlan(const tbql::TbqlQuery& query) {
+  auto analyzed = tbql::Analyze(query);
+  if (!analyzed.ok()) return analyzed.status();
+  const tbql::AnalyzedQuery& aq = analyzed.value();
+
+  size_t n = query.patterns.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return PruningScore(aq, a) > PruningScore(aq, b);
+  });
+
+  std::string out = StrFormat("plan: %zu pattern(s), %zu entit%s\n", n,
+                              aq.entities.size(),
+                              aq.entities.size() == 1 ? "y" : "ies");
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    size_t idx = order[rank];
+    const tbql::Pattern& p = query.patterns[idx];
+    auto dq = CompilePattern(aq, idx, {});
+    if (!dq.ok()) return dq.status();
+    out += StrFormat(
+        "%zu. pattern #%zu (score %.2f, %s backend)\n      %s\n      => %s\n",
+        rank + 1, idx + 1, PruningScore(aq, idx),
+        dq.value().backend == Backend::kRelational ? "relational" : "graph",
+        p.ToString().c_str(), dq.value().text.c_str());
+  }
+  if (!query.temporal_rels.empty() || !query.attr_rels.empty()) {
+    out += StrFormat(
+        "post-join filters: %zu temporal, %zu attribute relationship(s)\n",
+        query.temporal_rels.size(), query.attr_rels.size());
+  }
+  out +=
+      "execution: highest-score pattern first; matched entity ids propagate "
+      "into dependent patterns as IN-filters (index probes).\n";
+  return out;
+}
+
+Result<std::string> ExplainPlanText(std::string_view text) {
+  auto query = tbql::ParseTbql(text);
+  if (!query.ok()) return query.status();
+  return ExplainPlan(query.value());
+}
+
+}  // namespace raptor::engine

@@ -1,0 +1,21 @@
+// EXPLAIN for TBQL queries: renders the execution plan the scheduler would
+// choose — per-pattern pruning scores, the scheduled order, the backend and
+// compiled data query text per pattern — without touching any data. Used
+// by the CLI and handy when iterating on hand-written hunting queries.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "tbql/ast.h"
+
+namespace raptor::engine {
+
+/// Explain a parsed query.
+Result<std::string> ExplainPlan(const tbql::TbqlQuery& query);
+
+/// Parse and explain TBQL text.
+Result<std::string> ExplainPlanText(std::string_view text);
+
+}  // namespace raptor::engine

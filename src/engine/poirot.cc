@@ -1,0 +1,241 @@
+#include "engine/poirot.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <unordered_set>
+
+#include "common/levenshtein.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "tbql/parser.h"
+
+namespace raptor::engine {
+
+namespace {
+
+using tbql::AnalyzedQuery;
+using tbql::AttrExpr;
+using tbql::AttrExprKind;
+
+/// Extract the primary IOC string constraint from an entity's filters
+/// (first bare value or default-attribute comparison), % wildcards removed.
+std::string IocStringOf(const tbql::EntityInfo& info) {
+  for (const AttrExpr* f : info.filters) {
+    const AttrExpr* probe = f;
+    while (probe != nullptr) {
+      if (probe->kind == AttrExprKind::kBareValue ||
+          probe->kind == AttrExprKind::kCompare) {
+        return ReplaceAll(probe->value, "%", "");
+      }
+      if (probe->kind == AttrExprKind::kAnd ||
+          probe->kind == AttrExprKind::kNot) {
+        probe = probe->lhs.get();
+        continue;
+      }
+      break;
+    }
+  }
+  return "";
+}
+
+struct QueryEdge {
+  int src = 0;  // indexes into query node list
+  int dst = 0;
+};
+
+}  // namespace
+
+Result<FuzzyReport> FuzzyMatcher::SearchText(std::string_view text,
+                                             const FuzzyOptions& options) const {
+  auto query = tbql::ParseTbql(text);
+  if (!query.ok()) return query.status();
+  return Search(query.value(), options);
+}
+
+Result<FuzzyReport> FuzzyMatcher::Search(const tbql::TbqlQuery& query,
+                                         const FuzzyOptions& options) const {
+  FuzzyReport report;
+  auto analyzed = tbql::Analyze(query);
+  if (!analyzed.ok()) return analyzed.status();
+  const AnalyzedQuery& aq = analyzed.value();
+
+  // ---- Loading: entities and events out of the database --------------------
+  Stopwatch timer;
+  std::vector<audit::SystemEntity> entities = store_->entities();
+  std::vector<audit::SystemEvent> events = store_->events();
+  report.timings.loading_seconds = timer.ElapsedSeconds();
+
+  // ---- Preprocessing: provenance graph adjacency ----------------------------
+  timer.Restart();
+  size_t n_entities = entities.size();
+  std::vector<std::vector<uint32_t>> out_adj(n_entities + 1);
+  for (const audit::SystemEvent& ev : events) {
+    out_adj[ev.subject].push_back(static_cast<uint32_t>(ev.object));
+  }
+  report.timings.preprocessing_seconds = timer.ElapsedSeconds();
+
+  // ---- Searching ------------------------------------------------------------
+  timer.Restart();
+
+  // Query graph: nodes = TBQL entities, edges = patterns.
+  std::vector<const tbql::EntityInfo*> qnodes;
+  std::map<std::string, int> qnode_index;
+  for (const auto& [id, info] : aq.entities) {
+    qnode_index.emplace(id, static_cast<int>(qnodes.size()));
+    qnodes.push_back(&info);
+  }
+  std::vector<QueryEdge> qedges;
+  for (const tbql::Pattern& p : query.patterns) {
+    QueryEdge e;
+    e.src = qnode_index.at(p.subject.id);
+    e.dst = qnode_index.at(p.object.id);
+    qedges.push_back(e);
+  }
+
+  // Node-level alignment candidates via Levenshtein similarity.
+  std::vector<std::vector<long long>> candidates(qnodes.size());
+  for (size_t qi = 0; qi < qnodes.size(); ++qi) {
+    std::string ioc = IocStringOf(*qnodes[qi]);
+    std::vector<std::pair<double, long long>> scored;
+    for (const audit::SystemEntity& e : entities) {
+      if (e.type != qnodes[qi]->type) continue;
+      std::string attr =
+          e.Attribute(audit::SystemEntity::DefaultAttribute(e.type));
+      if (attr.empty()) continue;
+      double sim;
+      if (ioc.empty()) {
+        sim = options.node_similarity;  // unconstrained node: admit weakly
+      } else if (attr.find(ioc) != std::string::npos ||
+                 ioc.find(attr) != std::string::npos) {
+        sim = 1.0;
+      } else {
+        sim = LevenshteinSimilarity(ioc, attr);
+      }
+      if (sim >= options.node_similarity) {
+        scored.emplace_back(sim, static_cast<long long>(e.id));
+      }
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    if (scored.size() > options.max_candidates) {
+      scored.resize(options.max_candidates);
+    }
+    candidates[qi].reserve(scored.size());
+    for (const auto& [sim, id] : scored) candidates[qi].push_back(id);
+  }
+
+  // Flow score between two aligned entities: BFS over the provenance graph
+  // bounded by max_flow_hops; influence decays 1/C^(d-1).
+  auto flow_score = [&](long long from, long long to) -> double {
+    if (from == to) return 0.0;
+    std::deque<std::pair<long long, int>> frontier;
+    std::unordered_set<long long> visited;
+    frontier.emplace_back(from, 0);
+    visited.insert(from);
+    while (!frontier.empty()) {
+      auto [cur, depth] = frontier.front();
+      frontier.pop_front();
+      if (depth >= options.max_flow_hops) continue;
+      for (uint32_t next : out_adj[cur]) {
+        if (next == static_cast<uint32_t>(to)) {
+          int d = depth + 1;
+          double score = 1.0;
+          for (int k = 1; k < d; ++k) score /= options.influence_base;
+          return score;
+        }
+        if (visited.insert(next).second) {
+          frontier.emplace_back(next, depth + 1);
+        }
+      }
+    }
+    return 0.0;
+  };
+
+  // Order query nodes by ascending candidate count (fail fast).
+  std::vector<int> order(qnodes.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return candidates[a].size() < candidates[b].size();
+  });
+
+  std::vector<long long> assignment(qnodes.size(), -1);
+  std::unordered_set<long long> used;
+  double edge_total = static_cast<double>(qedges.size());
+  bool done = false;
+  Stopwatch search_timer;
+
+  std::function<void(size_t)> dfs = [&](size_t pos) {
+    if (done) return;
+    if (options.search_budget_seconds > 0 &&
+        (report.candidate_alignments_considered & 0xff) == 0 &&
+        search_timer.ElapsedSeconds() > options.search_budget_seconds) {
+      report.timed_out = true;
+      done = true;
+      return;
+    }
+    if (pos == order.size()) {
+      ++report.candidate_alignments_considered;
+      double sum = 0;
+      for (const QueryEdge& e : qedges) {
+        sum += flow_score(assignment[e.src], assignment[e.dst]);
+      }
+      double score = edge_total == 0 ? 0.0 : sum / edge_total;
+      if (score >= options.score_threshold) {
+        FuzzyAlignment align;
+        align.score = score;
+        for (const auto& [id, qi] : qnode_index) {
+          align.nodes.emplace(id, assignment[qi]);
+        }
+        report.alignments.push_back(std::move(align));
+        if (!options.exhaustive) done = true;
+      }
+      return;
+    }
+    int qi = order[pos];
+    for (long long cand : candidates[qi]) {
+      if (used.count(cand)) continue;
+      assignment[qi] = cand;
+      used.insert(cand);
+      dfs(pos + 1);
+      used.erase(cand);
+      assignment[qi] = -1;
+      if (done) return;
+    }
+  };
+  dfs(0);
+
+  std::sort(report.alignments.begin(), report.alignments.end(),
+            [](const FuzzyAlignment& a, const FuzzyAlignment& b) {
+              return a.score > b.score;
+            });
+
+  // Project the return clause from every acceptable alignment.
+  for (const tbql::ResolvedReturn& r : aq.returns) {
+    report.results.columns.push_back(r.attr.empty() ? r.id
+                                                    : r.id + "." + r.attr);
+  }
+  std::unordered_set<std::string> seen;
+  for (const FuzzyAlignment& align : report.alignments) {
+    std::vector<std::string> row;
+    row.reserve(aq.returns.size());
+    for (const tbql::ResolvedReturn& r : aq.returns) {
+      if (r.is_event) {
+        row.push_back("");
+        continue;
+      }
+      auto it = align.nodes.find(r.id);
+      row.push_back(it == align.nodes.end() || it->second <= 0
+                        ? ""
+                        : entities[it->second - 1].Attribute(r.attr));
+    }
+    std::string key = Join(row, "\x1f");
+    if (seen.insert(key).second) {
+      report.results.rows.push_back(std::move(row));
+    }
+  }
+  report.timings.searching_seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace raptor::engine

@@ -1,0 +1,27 @@
+#include "extraction/annotated_tree.h"
+
+#include <string>
+#include <unordered_set>
+
+namespace raptor::extraction {
+
+bool IsRelationVerb(std::string_view lemma) {
+  // Curated list of verbs that express IOC-to-IOC threat behaviors
+  // (Step 5). Deliberately narrower than the POS lexicon's verb list:
+  // e.g. "attempt"/"involve" are verbs but never IOC relations.
+  static const std::unordered_set<std::string> kRelationVerbs = {
+      "read",    "write",    "download", "upload",  "open",
+      "execute", "launch",   "run",      "connect", "send",
+      "receive", "transfer", "steal",    "exfiltrate", "compress",
+      "encrypt", "decrypt",  "scan",     "copy",    "create",
+      "spawn",   "drop",     "install",  "access",  "gather",
+      "collect", "leak",     "fetch",    "retrieve", "delete",
+      "rename",  "extract",  "store",    "save",    "inject",
+      "modify",  "load",     "start",    "beacon",  "request",
+      "use",     "leverage", "utilize",  "employ",  "communicate",
+      "crack",   "scrape",   "visit",    "deliver", "obtain",
+  };
+  return kRelationVerbs.count(std::string(lemma)) > 0;
+}
+
+}  // namespace raptor::extraction

@@ -1,0 +1,47 @@
+// Annotated dependency trees: the working representation of Algorithm 1
+// between parsing (Step 4) and relation extraction (Step 9). Annotations
+// mark IOC nodes (restored from the protection replacement record, Step 5),
+// candidate relation verbs (Step 5), tree relevance (Step 6 simplification)
+// and resolved coreferences (Step 7).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "nlp/depparse.h"
+#include "nlp/ioc.h"
+
+namespace raptor::extraction {
+
+struct NodeAnnotation {
+  /// IOC carried by this node (restored original match), if any.
+  std::optional<nlp::IocMatch> ioc;
+  /// True for annotated candidate relation verbs (curated keyword list).
+  bool candidate_verb = false;
+  /// Pronoun coreference: index of the tree (within the block) and node
+  /// holding the referent IOC; -1 if unresolved / not a pronoun.
+  int coref_tree = -1;
+  int coref_node = -1;
+};
+
+struct AnnotatedTree {
+  nlp::DepTree tree;
+  std::vector<NodeAnnotation> ann;  // parallel to tree.nodes()
+  size_t block_index = 0;
+  size_t sentence_offset = 0;  // sentence start within the block text
+  /// Tree simplification (Step 6): trees without candidate verbs are
+  /// skipped by relation extraction (their IOCs still feed Step 8).
+  bool relevant = true;
+
+  /// Global ordering key for a node's occurrence in the document.
+  uint64_t OccurrenceKey(int node) const {
+    return (static_cast<uint64_t>(block_index) << 40) |
+           (static_cast<uint64_t>(sentence_offset) << 20) |
+           static_cast<uint64_t>(tree.node(node).begin);
+  }
+};
+
+/// The curated candidate relation verb keyword list (Step 5). Lemma forms.
+bool IsRelationVerb(std::string_view lemma);
+
+}  // namespace raptor::extraction

@@ -1,0 +1,79 @@
+#include "extraction/behavior_graph.h"
+
+#include "common/strings.h"
+
+namespace raptor::extraction {
+
+bool IocEntity::Matches(std::string_view s) const {
+  if (text == s) return true;
+  for (const std::string& a : aliases) {
+    if (a == s) return true;
+  }
+  return false;
+}
+
+int ThreatBehaviorGraph::AddNode(IocEntity entity) {
+  entity.id = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(entity));
+  return nodes_.back().id;
+}
+
+void ThreatBehaviorGraph::AddEdge(int src, int dst, std::string verb) {
+  for (const IocRelation& e : edges_) {
+    if (e.src == src && e.dst == dst && e.verb == verb) return;
+  }
+  IocRelation rel;
+  rel.src = src;
+  rel.dst = dst;
+  rel.verb = std::move(verb);
+  rel.seq = static_cast<int>(edges_.size()) + 1;
+  edges_.push_back(std::move(rel));
+}
+
+int ThreatBehaviorGraph::FindNode(std::string_view text) const {
+  for (const IocEntity& n : nodes_) {
+    if (n.Matches(text)) return n.id;
+  }
+  return -1;
+}
+
+std::string ThreatBehaviorGraph::ToString() const {
+  std::string out;
+  for (const IocRelation& e : edges_) {
+    out += StrFormat("%d: %s[%s] -%s-> %s[%s]\n", e.seq,
+                     nodes_[e.src].text.c_str(),
+                     nlp::IocTypeName(nodes_[e.src].type), e.verb.c_str(),
+                     nodes_[e.dst].text.c_str(),
+                     nlp::IocTypeName(nodes_[e.dst].type));
+  }
+  for (const IocEntity& n : nodes_) {
+    bool isolated = true;
+    for (const IocRelation& e : edges_) {
+      if (e.src == n.id || e.dst == n.id) {
+        isolated = false;
+        break;
+      }
+    }
+    if (isolated) {
+      out += StrFormat("-: %s[%s] (isolated)\n", n.text.c_str(),
+                       nlp::IocTypeName(n.type));
+    }
+  }
+  return out;
+}
+
+std::string ThreatBehaviorGraph::ToDot() const {
+  std::string out = "digraph threat_behavior {\n  rankdir=LR;\n";
+  for (const IocEntity& n : nodes_) {
+    out += StrFormat("  n%d [label=\"%s\\n(%s)\"];\n", n.id, n.text.c_str(),
+                     nlp::IocTypeName(n.type));
+  }
+  for (const IocRelation& e : edges_) {
+    out += StrFormat("  n%d -> n%d [label=\"%s (%d)\"];\n", e.src, e.dst,
+                     e.verb.c_str(), e.seq);
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace raptor::extraction

@@ -1,0 +1,58 @@
+// Threat behavior graph (Sec III-C): nodes are IOCs, edges are IOC
+// relations tagged with a sequence number giving the step order of the
+// threat. This is the structured representation the query synthesizer
+// consumes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nlp/ioc.h"
+
+namespace raptor::extraction {
+
+struct IocEntity {
+  int id = 0;
+  std::string text;                  // canonical (longest) surface form
+  nlp::IocType type = nlp::IocType::kFilepath;
+  std::vector<std::string> aliases;  // other surface forms merged into this
+
+  bool Matches(std::string_view s) const;
+};
+
+struct IocRelation {
+  int src = 0;        // IocEntity ids
+  int dst = 0;
+  std::string verb;   // lemmatized relation verb, e.g. "read"
+  int seq = 0;        // 1-based step order (Step 10)
+};
+
+class ThreatBehaviorGraph {
+ public:
+  /// Adds a node; returns its id. Caller is responsible for dedup.
+  int AddNode(IocEntity entity);
+
+  /// Adds an edge between existing node ids; assigns the next sequence
+  /// number. Duplicate (src, dst, verb) edges are ignored.
+  void AddEdge(int src, int dst, std::string verb);
+
+  const std::vector<IocEntity>& nodes() const { return nodes_; }
+  const std::vector<IocRelation>& edges() const { return edges_; }
+
+  const IocEntity& node(int id) const { return nodes_[id]; }
+
+  /// Node id whose canonical text or alias equals `text`, or -1.
+  int FindNode(std::string_view text) const;
+
+  /// Human-readable rendering (one edge per line, in sequence order).
+  std::string ToString() const;
+
+  /// Graphviz dot rendering, for documentation and the demo example.
+  std::string ToDot() const;
+
+ private:
+  std::vector<IocEntity> nodes_;
+  std::vector<IocRelation> edges_;
+};
+
+}  // namespace raptor::extraction

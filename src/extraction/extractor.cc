@@ -1,0 +1,192 @@
+#include "extraction/extractor.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "nlp/protect.h"
+#include "nlp/refang.h"
+#include "nlp/segment.h"
+#include "nlp/tokenizer.h"
+
+namespace raptor::extraction {
+
+namespace {
+
+using nlp::DepTree;
+using nlp::Pos;
+
+bool IsSubjectPronoun(const nlp::DepNode& node) {
+  if (node.pos != Pos::kPron) return false;
+  if (node.deprel != "nsubj" && node.deprel != "nsubjpass") return false;
+  std::string lower = ToLower(node.text);
+  return lower == "it" || lower == "he" || lower == "she" || lower == "they" ||
+         lower == "this";
+}
+
+/// A node that could serve as a pronoun referent: an IOC that acted as a
+/// subject or as the instrument (dobj of a use-verb) in its sentence.
+bool IsReferentCandidate(const AnnotatedTree& at, size_t i) {
+  if (!at.ann[i].ioc.has_value()) return false;
+  const nlp::DepNode& n = at.tree.node(static_cast<int>(i));
+  if (n.deprel == "nsubj" || n.deprel == "nsubjpass") return true;
+  if (n.deprel == "dobj") {
+    int h = n.head;
+    if (h >= 0) {
+      const std::string& lemma = at.tree.node(h).lemma;
+      if (lemma == "use" || lemma == "leverage" || lemma == "utilize" ||
+          lemma == "employ") {
+        return true;
+      }
+    }
+  }
+  // IOC apposed to a subject noun phrase ("the tool /bin/tar ...").
+  if (n.deprel == "appos" && n.head >= 0) {
+    const std::string& hrel = at.tree.node(n.head).deprel;
+    return hrel == "nsubj" || hrel == "nsubjpass";
+  }
+  return false;
+}
+
+/// Step 7: resolve subject pronouns to the most recent referent candidate
+/// in the preceding trees of the same block.
+void ResolveCoref(std::vector<AnnotatedTree>* trees) {
+  for (size_t ti = 0; ti < trees->size(); ++ti) {
+    AnnotatedTree& at = (*trees)[ti];
+    for (size_t ni = 0; ni < at.tree.size(); ++ni) {
+      if (!IsSubjectPronoun(at.tree.node(static_cast<int>(ni)))) continue;
+      // Search backwards through earlier trees; within a tree take the
+      // latest candidate.
+      for (size_t back = ti; back-- > 0;) {
+        const AnnotatedTree& ref = (*trees)[back];
+        int found = -1;
+        for (size_t ri = 0; ri < ref.tree.size(); ++ri) {
+          if (IsReferentCandidate(ref, ri)) found = static_cast<int>(ri);
+        }
+        if (found >= 0) {
+          at.ann[ni].coref_tree = static_cast<int>(back);
+          at.ann[ni].coref_node = found;
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<ExtractionResult> ThreatBehaviorExtractor::Extract(
+    std::string_view document) const {
+  ExtractionResult result;
+  Stopwatch stage_timer;
+
+  std::vector<std::vector<AnnotatedTree>> block_groups;
+  std::vector<nlp::Span> blocks = nlp::SegmentBlocks(document);
+
+  for (size_t bi = 0; bi < blocks.size(); ++bi) {
+    nlp::Span& block = blocks[bi];
+    if (options_.refang) block.text = nlp::RefangText(block.text);
+    // Step 2: IOC recognition + protection (or neither, in the ablation).
+    nlp::ProtectedText protected_text;
+    std::string_view working_text;
+    if (options_.ioc_protection) {
+      protected_text = nlp::ProtectIocs(block.text);
+      working_text = protected_text.text;
+    } else {
+      working_text = block.text;
+    }
+
+    std::vector<AnnotatedTree> trees;
+    for (const nlp::Span& sentence : nlp::SegmentSentences(working_text)) {
+      // Step 4: parse.
+      std::vector<nlp::Token> tokens = nlp::Tokenize(sentence.text);
+      std::vector<Pos> tags = nlp::TagTokens(tokens);
+      AnnotatedTree at;
+      at.tree = nlp::ParseDependency(tokens, tags);
+      at.ann.resize(at.tree.size());
+      at.block_index = bi;
+      at.sentence_offset = sentence.begin;
+
+      // Step 5: annotate IOC nodes and candidate relation verbs. With
+      // protection on, IOCs are restored from the replacement record; in
+      // the ablation an IOC only survives if tokenization left it as one
+      // intact token (this is where unprotected recall collapses).
+      std::vector<nlp::IocMatch> raw_matches;
+      if (!options_.ioc_protection) {
+        raw_matches = nlp::RecognizeIocs(sentence.text);
+      }
+      for (size_t ni = 0; ni < at.tree.size(); ++ni) {
+        const nlp::DepNode& node = at.tree.node(static_cast<int>(ni));
+        if (options_.ioc_protection) {
+          size_t global_off = sentence.begin + node.begin;
+          const nlp::Replacement* rep = protected_text.FindAt(global_off);
+          if (rep != nullptr && node.text == nlp::kDummyWord) {
+            at.ann[ni].ioc = rep->ioc;
+          }
+        } else {
+          for (const nlp::IocMatch& m : raw_matches) {
+            if (m.begin == node.begin && m.end == node.end) {
+              at.ann[ni].ioc = m;
+              break;
+            }
+          }
+        }
+        if (node.pos == Pos::kVerb && IsRelationVerb(node.lemma)) {
+          at.ann[ni].candidate_verb = true;
+        }
+      }
+
+      // Step 6: simplification — trees without candidate verbs cannot yield
+      // relations; flag them so Step 9 skips them.
+      if (options_.simplify_trees) {
+        bool has_verb = false;
+        for (const NodeAnnotation& ann : at.ann) {
+          has_verb |= ann.candidate_verb;
+        }
+        at.relevant = has_verb;
+      }
+      ++result.trees_total;
+      if (at.relevant) ++result.trees_relevant;
+      trees.push_back(std::move(at));
+    }
+
+    // Step 7: coreference within the block.
+    ResolveCoref(&trees);
+    block_groups.push_back(std::move(trees));
+  }
+
+  // Step 8: IOC scan & merge across all blocks.
+  std::vector<AnnotatedTree> flat;
+  for (const auto& group : block_groups) {
+    for (const AnnotatedTree& at : group) flat.push_back(at);
+  }
+  MergeResult merged = ScanMergeIocs(flat, options_.merge);
+
+  // Step 9: relation extraction per block.
+  for (const auto& group : block_groups) {
+    std::vector<RawTriplet> triplets = ExtractIocRelations(group, merged);
+    result.triplets.insert(result.triplets.end(),
+                           std::make_move_iterator(triplets.begin()),
+                           std::make_move_iterator(triplets.end()));
+  }
+  result.iocs = merged.entities;
+  result.timings.text_to_er_seconds = stage_timer.ElapsedSeconds();
+
+  // Step 10: behavior graph construction, edges ordered by the occurrence
+  // offset of the relation verb.
+  stage_timer.Restart();
+  std::stable_sort(result.triplets.begin(), result.triplets.end(),
+                   [](const RawTriplet& a, const RawTriplet& b) {
+                     return a.occurrence < b.occurrence;
+                   });
+  for (const IocEntity& e : result.iocs) {
+    result.graph.AddNode(e);
+  }
+  for (const RawTriplet& t : result.triplets) {
+    result.graph.AddEdge(t.src_entity, t.dst_entity, t.verb);
+  }
+  result.timings.er_to_graph_seconds = stage_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace raptor::extraction

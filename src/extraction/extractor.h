@@ -1,0 +1,71 @@
+// Threat behavior extraction pipeline — Algorithm 1 of the paper.
+//
+//   1. Block segmentation
+//   2. IOC recognition & IOC protection
+//   3. Sentence segmentation
+//   4. Dependency parsing (+ restoration of protected IOCs onto trees)
+//   5. Tree annotation (IOC nodes, candidate relation verbs)
+//   6. Tree simplification
+//   7. Coreference resolution (within a block)
+//   8. IOC scan & merge (across blocks)
+//   9. IOC relation extraction
+//  10. Threat behavior graph construction
+//
+// The pipeline is unsupervised and lightweight: no trained models, only the
+// general NLP substrate under src/nlp plus curated rules. Set
+// `ioc_protection = false` to reproduce the Table V ablation.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "extraction/annotated_tree.h"
+#include "extraction/behavior_graph.h"
+#include "extraction/merge.h"
+#include "extraction/relation.h"
+
+namespace raptor::extraction {
+
+struct ExtractionOptions {
+  /// Refang defanged indicators (192[.]168[.]1[.]1, hxxp://) before any
+  /// processing, so defanged reports extract identically to plain ones.
+  bool refang = true;
+  /// Step 2: protect IOCs with a dummy word before NLP. Disabling this is
+  /// the "ThreatRaptor - IOC Protection" ablation of Table V.
+  bool ioc_protection = true;
+  /// Step 6: skip trees without candidate relation verbs during relation
+  /// extraction (pure speedup; does not change the output).
+  bool simplify_trees = true;
+  MergeOptions merge;
+};
+
+struct ExtractionTimings {
+  /// Table VII "Text -> E. & R.": segmentation through relation extraction.
+  double text_to_er_seconds = 0;
+  /// Table VII "E. & R. -> Graph": behavior graph construction.
+  double er_to_graph_seconds = 0;
+};
+
+struct ExtractionResult {
+  std::vector<IocEntity> iocs;       // merged IOC entities (Step 8 output)
+  std::vector<RawTriplet> triplets;  // relation triplets (Step 9 output)
+  ThreatBehaviorGraph graph;         // Step 10 output
+  ExtractionTimings timings;
+  size_t trees_total = 0;
+  size_t trees_relevant = 0;  // trees kept by Step 6
+};
+
+class ThreatBehaviorExtractor {
+ public:
+  explicit ThreatBehaviorExtractor(ExtractionOptions options = {})
+      : options_(options) {}
+
+  /// Run the full pipeline on an OSCTI report text.
+  Result<ExtractionResult> Extract(std::string_view document) const;
+
+ private:
+  ExtractionOptions options_;
+};
+
+}  // namespace raptor::extraction

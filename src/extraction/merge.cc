@@ -1,0 +1,95 @@
+#include "extraction/merge.h"
+
+#include <algorithm>
+
+#include "common/levenshtein.h"
+#include "common/strings.h"
+#include "nlp/wordvec.h"
+
+namespace raptor::extraction {
+
+namespace {
+
+bool ExactOnlyType(nlp::IocType type) {
+  return type == nlp::IocType::kIp || type == nlp::IocType::kHash ||
+         type == nlp::IocType::kCve;
+}
+
+bool PathLike(nlp::IocType type) {
+  return type == nlp::IocType::kFilepath ||
+         type == nlp::IocType::kWinFilepath ||
+         type == nlp::IocType::kFilename;
+}
+
+/// "/tmp/upload.tar" absorbs "upload.tar" (same trailing component).
+bool SuffixContains(const std::string& longer, const std::string& shorter) {
+  if (longer.size() <= shorter.size()) return false;
+  if (!EndsWith(longer, shorter)) return false;
+  char sep = longer[longer.size() - shorter.size() - 1];
+  return sep == '/' || sep == '\\';
+}
+
+bool ShouldMerge(const IocEntity& entity, const nlp::IocMatch& ioc,
+                 const MergeOptions& options) {
+  if (entity.Matches(ioc.text)) return true;
+  if (ExactOnlyType(entity.type) || ExactOnlyType(ioc.type)) return false;
+  bool both_pathlike = PathLike(entity.type) && PathLike(ioc.type);
+  if (!both_pathlike && entity.type != ioc.type) return false;
+  if (SuffixContains(entity.text, ioc.text) ||
+      SuffixContains(ioc.text, entity.text)) {
+    return true;
+  }
+  double char_sim = LevenshteinSimilarity(entity.text, ioc.text);
+  double sem_sim = nlp::WordSimilarity(entity.text, ioc.text);
+  return char_sim >= options.min_char_similarity &&
+         sem_sim >= options.min_semantic_similarity;
+}
+
+}  // namespace
+
+int MergeResult::Lookup(const std::string& text) const {
+  auto it = by_text.find(text);
+  return it == by_text.end() ? -1 : it->second;
+}
+
+MergeResult ScanMergeIocs(const std::vector<AnnotatedTree>& trees,
+                          const MergeOptions& options) {
+  MergeResult result;
+  for (const AnnotatedTree& at : trees) {
+    for (const NodeAnnotation& ann : at.ann) {
+      if (!ann.ioc.has_value()) continue;
+      const nlp::IocMatch& ioc = *ann.ioc;
+      if (result.by_text.count(ioc.text)) continue;
+      int target = -1;
+      for (size_t i = 0; i < result.entities.size(); ++i) {
+        if (ShouldMerge(result.entities[i], ioc, options)) {
+          target = static_cast<int>(i);
+          break;
+        }
+      }
+      if (target < 0) {
+        IocEntity e;
+        e.id = static_cast<int>(result.entities.size());
+        e.text = ioc.text;
+        e.type = ioc.type;
+        result.entities.push_back(std::move(e));
+        result.by_text.emplace(ioc.text, result.entities.back().id);
+        continue;
+      }
+      IocEntity& e = result.entities[target];
+      result.by_text.emplace(ioc.text, target);
+      if (ioc.text.size() > e.text.size()) {
+        // The longer surface form becomes canonical; demote the old one.
+        e.aliases.push_back(e.text);
+        e.text = ioc.text;
+        // A bare file name absorbed into a full path adopts the path type.
+        if (PathLike(e.type) && PathLike(ioc.type)) e.type = ioc.type;
+      } else {
+        e.aliases.push_back(ioc.text);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace raptor::extraction

@@ -1,0 +1,39 @@
+// IOC scan & merge (Step 8 of Algorithm 1): collect the IOC annotations of
+// all trees across all blocks and merge surface variants of the same IOC
+// (e.g. "/tmp/upload.tar" vs "upload.tar") using character-level overlap
+// and word-vector semantic similarity, yielding the final IOC entity set.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "extraction/annotated_tree.h"
+#include "extraction/behavior_graph.h"
+
+namespace raptor::extraction {
+
+struct MergeOptions {
+  /// Minimum Levenshtein similarity for a fuzzy merge.
+  double min_char_similarity = 0.93;
+  /// Minimum word-vector cosine similarity for a fuzzy merge.
+  double min_semantic_similarity = 0.70;
+};
+
+struct MergeResult {
+  std::vector<IocEntity> entities;
+  /// Surface form -> entity index.
+  std::unordered_map<std::string, int> by_text;
+
+  /// Entity index for a surface form, or -1.
+  int Lookup(const std::string& text) const;
+};
+
+/// Scan all trees and merge similar IOCs. Path/file IOCs merge by suffix
+/// containment ("/tmp/upload.tar" absorbs "upload.tar") or combined
+/// char+semantic similarity; IPs, hashes and CVEs merge only on exact
+/// equality (a one-character difference there is a different indicator).
+MergeResult ScanMergeIocs(const std::vector<AnnotatedTree>& trees,
+                          const MergeOptions& options = {});
+
+}  // namespace raptor::extraction

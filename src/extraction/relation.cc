@@ -1,0 +1,202 @@
+#include "extraction/relation.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "nlp/pos.h"
+
+namespace raptor::extraction {
+
+namespace {
+
+using nlp::DepTree;
+
+bool IsUseVerb(std::string_view lemma) {
+  return lemma == "use" || lemma == "leverage" || lemma == "utilize" ||
+         lemma == "employ";
+}
+
+/// True when x and y are verbs connected through a clause-link chain
+/// (xcomp / conj / pcomp / advcl / relcl / acl / prep hops), i.e. they
+/// describe facets of the same eventuality ("used X *to read* Y from Z").
+bool VerbsLinked(const DepTree& t, int x, int y) {
+  if (x < 0 || y < 0) return false;
+  auto chain_contains = [&t](int from, int target) {
+    static const std::unordered_set<std::string> kLinkRels = {
+        "xcomp", "conj", "pcomp", "advcl", "relcl", "acl", "prep", "mark"};
+    int cur = from;
+    size_t guard = 0;
+    while (cur >= 0 && guard++ <= t.size()) {
+      if (cur == target) return true;
+      if (!kLinkRels.count(t.node(cur).deprel)) return false;
+      cur = t.node(cur).head;
+    }
+    return false;
+  };
+  return chain_contains(x, y) || chain_contains(y, x);
+}
+
+/// Climb appos/compound/conj links to the role-bearing head of the noun
+/// phrase containing `node`.
+int RoleBearer(const DepTree& t, int node) {
+  int cur = node;
+  size_t guard = 0;
+  while (cur >= 0 && guard++ <= t.size()) {
+    const std::string& rel = t.node(cur).deprel;
+    if (rel == "appos" || rel == "compound" || rel == "conj" ||
+        rel == "amod" || rel == "det") {
+      cur = t.node(cur).head;
+    } else {
+      break;
+    }
+  }
+  return cur;
+}
+
+}  // namespace
+
+IocRole RoleOf(const AnnotatedTree& at, int node, int verb) {
+  const DepTree& t = at.tree;
+  int cur = RoleBearer(t, node);
+  if (cur < 0) return IocRole::kNone;
+
+  // A gerund (acl) hanging off this noun phrase takes it as subject:
+  // "the launched process /usr/bin/gpg reading from ...".
+  if (t.node(verb).head == cur && t.node(verb).deprel == "acl") {
+    return IocRole::kSubject;
+  }
+
+  const std::string& rel = t.node(cur).deprel;
+  int h = t.node(cur).head;
+  if (rel == "nsubj") {
+    if (h == verb || VerbsLinked(t, h, verb)) return IocRole::kSubject;
+    return IocRole::kNone;
+  }
+  if (rel == "nsubjpass") {
+    // The passive subject is the semantic object ("X was downloaded").
+    if (h == verb || VerbsLinked(t, h, verb)) return IocRole::kDirectObject;
+    return IocRole::kNone;
+  }
+  if (rel == "dobj") {
+    if (h == verb) return IocRole::kDirectObject;
+    if (h >= 0 && IsUseVerb(t.node(h).lemma) && VerbsLinked(t, h, verb)) {
+      return IocRole::kInstrument;
+    }
+    return IocRole::kNone;
+  }
+  if (rel == "pobj") {
+    int prep = h;
+    if (prep < 0) return IocRole::kNone;
+    const std::string& prel = t.node(prep).deprel;
+    int pv = t.node(prep).head;
+    if (prel == "agent" && (pv == verb || VerbsLinked(t, pv, verb))) {
+      return IocRole::kSubject;
+    }
+    if (pv == verb) return IocRole::kPrepObject;
+    return IocRole::kNone;
+  }
+  return IocRole::kNone;
+}
+
+std::vector<RawTriplet> ExtractIocRelations(
+    const std::vector<AnnotatedTree>& trees, const MergeResult& iocs) {
+  std::vector<RawTriplet> out;
+
+  for (const AnnotatedTree& at : trees) {
+    if (!at.relevant) continue;
+    const DepTree& t = at.tree;
+
+    // IOC occurrences in this tree: direct annotations plus coreference-
+    // resolved pronouns (whose entity comes from the referent node).
+    struct Occurrence {
+      int node;
+      int entity;
+      bool via_coref;
+    };
+    std::vector<Occurrence> ioc_nodes;
+    for (size_t i = 0; i < t.size(); ++i) {
+      const NodeAnnotation& ann = at.ann[i];
+      if (ann.ioc.has_value()) {
+        int ent = iocs.Lookup(ann.ioc->text);
+        if (ent >= 0) ioc_nodes.push_back({static_cast<int>(i), ent, false});
+      } else if (ann.coref_tree >= 0 &&
+                 ann.coref_tree < static_cast<int>(trees.size())) {
+        const AnnotatedTree& ref_tree = trees[ann.coref_tree];
+        if (ann.coref_node >= 0 &&
+            ann.coref_node < static_cast<int>(ref_tree.ann.size()) &&
+            ref_tree.ann[ann.coref_node].ioc.has_value()) {
+          int ent = iocs.Lookup(ref_tree.ann[ann.coref_node].ioc->text);
+          if (ent >= 0) ioc_nodes.push_back({static_cast<int>(i), ent, true});
+        }
+      }
+    }
+    if (ioc_nodes.size() < 2) {
+      // A single IOC can still relate to itself ("X ... run itself") only
+      // through explicit self-edges, which need two mentions; skip.
+      continue;
+    }
+
+    // Enumerate ordered pairs (a before b in token order).
+    for (size_t i = 0; i < ioc_nodes.size(); ++i) {
+      for (size_t j = i + 1; j < ioc_nodes.size(); ++j) {
+        const Occurrence& a = ioc_nodes[i];
+        const Occurrence& b = ioc_nodes[j];
+        // A pronoun and the literal mention it resolves to are the same
+        // discourse entity, not a relation ("He ... by using /usr/bin/curl"
+        // where He = curl). Explicit same-IOC self-loops (two literal
+        // mentions, e.g. "X ... runs X") remain allowed.
+        if (a.entity == b.entity && (a.via_coref || b.via_coref)) continue;
+        int lca = t.Lca(a.node, b.node);
+        if (lca < 0) continue;
+
+        // Candidate verbs on the three path parts.
+        std::vector<int> path_nodes;
+        for (int n : t.PathToRoot(lca)) path_nodes.push_back(n);
+        for (int n : t.PathToRoot(a.node)) {
+          path_nodes.push_back(n);
+          if (n == lca) break;
+        }
+        for (int n : t.PathToRoot(b.node)) {
+          path_nodes.push_back(n);
+          if (n == lca) break;
+        }
+        std::vector<int> candidates;
+        for (int n : path_nodes) {
+          if (at.ann[n].candidate_verb &&
+              std::find(candidates.begin(), candidates.end(), n) ==
+                  candidates.end()) {
+            candidates.push_back(n);
+          }
+        }
+        if (candidates.empty()) continue;
+
+        // Select the candidate closest to the object IOC node b.
+        int verb = candidates[0];
+        for (int c : candidates) {
+          if (std::abs(c - b.node) < std::abs(verb - b.node)) verb = c;
+        }
+
+        IocRole role_a = RoleOf(at, a.node, verb);
+        IocRole role_b = RoleOf(at, b.node, verb);
+        bool valid =
+            ((role_a == IocRole::kSubject || role_a == IocRole::kInstrument) &&
+             (role_b == IocRole::kDirectObject ||
+              role_b == IocRole::kPrepObject)) ||
+            (role_a == IocRole::kDirectObject &&
+             role_b == IocRole::kPrepObject);
+        if (!valid) continue;
+
+        RawTriplet triplet;
+        triplet.src_entity = a.entity;
+        triplet.dst_entity = b.entity;
+        triplet.verb = t.node(verb).lemma;
+        triplet.occurrence = at.OccurrenceKey(verb);
+        out.push_back(std::move(triplet));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace raptor::extraction

@@ -1,0 +1,45 @@
+// Dependency-parsing-based IOC relation extraction (Step 9 of Algorithm 1).
+//
+// For each pair of IOC nodes in a tree the algorithm inspects the three
+// dependency-path parts (root->LCA, LCA->a, LCA->b), collects the annotated
+// candidate relation verbs on them, selects the candidate closest to the
+// object IOC, and validates the subject-object structure with a set of
+// dependency-type rules (subject/instrument vs. direct/prepositional
+// object, with passive and "use X to VERB" instrument handling). Verbs are
+// emitted in lemma form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "extraction/annotated_tree.h"
+#include "extraction/merge.h"
+
+namespace raptor::extraction {
+
+struct RawTriplet {
+  int src_entity = 0;
+  int dst_entity = 0;
+  std::string verb;          // lemma
+  uint64_t occurrence = 0;   // document-order key of the relation verb
+};
+
+/// Grammatical role of an IOC node relative to a selected relation verb.
+enum class IocRole {
+  kNone,
+  kSubject,       // nsubj of the verb (or of a linked verb), passive agent
+  kInstrument,    // dobj of a use-verb linked to the relation verb
+  kDirectObject,  // dobj of the verb, or passive subject
+  kPrepObject,    // pobj of a preposition attached to the verb
+};
+
+/// Role of `node` w.r.t. `verb` in the annotated tree (exposed for tests).
+IocRole RoleOf(const AnnotatedTree& at, int node, int verb);
+
+/// Extract all IOC relation triplets from the trees of one block.
+/// `trees` must be the block's trees in order (coreference annotations
+/// index into it); `iocs` maps surface forms to merged entities.
+std::vector<RawTriplet> ExtractIocRelations(
+    const std::vector<AnnotatedTree>& trees, const MergeResult& iocs);
+
+}  // namespace raptor::extraction

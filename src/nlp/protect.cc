@@ -1,0 +1,30 @@
+#include "nlp/protect.h"
+
+namespace raptor::nlp {
+
+const Replacement* ProtectedText::FindAt(size_t offset) const {
+  for (const Replacement& r : replacements) {
+    if (r.begin == offset) return &r;
+  }
+  return nullptr;
+}
+
+ProtectedText ProtectIocs(std::string_view block) {
+  ProtectedText out;
+  std::vector<IocMatch> matches = RecognizeIocs(block);
+  size_t cursor = 0;
+  for (IocMatch& m : matches) {
+    out.text.append(block.substr(cursor, m.begin - cursor));
+    Replacement rep;
+    rep.begin = out.text.size();
+    out.text.append(kDummyWord);
+    rep.end = out.text.size();
+    rep.ioc = std::move(m);
+    out.replacements.push_back(std::move(rep));
+    cursor = out.replacements.back().ioc.end;
+  }
+  out.text.append(block.substr(cursor));
+  return out;
+}
+
+}  // namespace raptor::nlp

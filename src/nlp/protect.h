@@ -1,0 +1,37 @@
+// IOC Protection (Step 2 of Algorithm 1): replace recognized IOCs with a
+// dummy word ("something") so that the general-English NLP components
+// (sentence segmentation, tokenization, POS tagging, dependency parsing)
+// operate on clean prose, and keep a replacement record so the original
+// IOCs can be restored onto the parsed trees afterwards. Table V's ablation
+// shows extraction collapses without this step.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nlp/ioc.h"
+
+namespace raptor::nlp {
+
+inline constexpr std::string_view kDummyWord = "something";
+
+struct Replacement {
+  IocMatch ioc;       // the original match (offsets in the ORIGINAL text)
+  size_t begin = 0;   // offsets of the dummy word in the PROTECTED text
+  size_t end = 0;
+};
+
+struct ProtectedText {
+  std::string text;
+  std::vector<Replacement> replacements;
+
+  /// The replacement whose dummy word starts at `offset` in the protected
+  /// text, or nullptr.
+  const Replacement* FindAt(size_t offset) const;
+};
+
+/// Recognize IOCs in `block` and substitute each with the dummy word.
+ProtectedText ProtectIocs(std::string_view block);
+
+}  // namespace raptor::nlp

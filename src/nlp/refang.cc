@@ -1,0 +1,76 @@
+#include "nlp/refang.h"
+
+#include <cctype>
+
+namespace raptor::nlp {
+
+namespace {
+
+/// Case-insensitive prefix check.
+bool MatchesAt(std::string_view text, size_t i, std::string_view token) {
+  if (i + token.size() > text.size()) return false;
+  for (size_t k = 0; k < token.size(); ++k) {
+    if (std::tolower(static_cast<unsigned char>(text[i + k])) !=
+        std::tolower(static_cast<unsigned char>(token[k]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string RefangText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    // Bracketed separators: [.] (.) {.} [:] [at] (at) [://].
+    if (text[i] == '[' || text[i] == '(' || text[i] == '{') {
+      char close = text[i] == '[' ? ']' : (text[i] == '(' ? ')' : '}');
+      if (i + 2 < text.size() && text[i + 2] == close &&
+          (text[i + 1] == '.' || text[i + 1] == ':')) {
+        out.push_back(text[i + 1]);
+        i += 3;
+        continue;
+      }
+      if (i + 3 < text.size() && MatchesAt(text, i + 1, "at") &&
+          text[i + 3] == close) {
+        out.push_back('@');
+        i += 4;
+        continue;
+      }
+      if (i + 4 < text.size() && MatchesAt(text, i + 1, "://") &&
+          text[i + 4] == close) {
+        out.append("://");
+        i += 5;
+        continue;
+      }
+    }
+    // Scheme rewrites: hxxp(s) -> http(s), fxp -> ftp. Only when followed
+    // by "://"-ish context so ordinary words are untouched.
+    if (MatchesAt(text, i, "hxxps") &&
+        (MatchesAt(text, i + 5, "://") || MatchesAt(text, i + 5, "[://]"))) {
+      out.append("https");
+      i += 5;
+      continue;
+    }
+    if (MatchesAt(text, i, "hxxp") &&
+        (MatchesAt(text, i + 4, "://") || MatchesAt(text, i + 4, "[://]"))) {
+      out.append("http");
+      i += 4;
+      continue;
+    }
+    if (MatchesAt(text, i, "fxp") &&
+        (MatchesAt(text, i + 3, "://") || MatchesAt(text, i + 3, "[://]"))) {
+      out.append("ftp");
+      i += 3;
+      continue;
+    }
+    out.push_back(text[i]);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace raptor::nlp

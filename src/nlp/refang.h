@@ -1,0 +1,20 @@
+// Refanging of defanged IOCs. Public OSCTI reports routinely "defang"
+// indicators so they cannot be clicked or auto-fetched: 192[.]168[.]1[.]1,
+// evil[.]com, hxxp://..., user[at]host. The extraction pipeline refangs the
+// text before IOC recognition so that defanged reports extract identically
+// to plain ones.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace raptor::nlp {
+
+/// Rewrite common defanging conventions back to plain indicators:
+///   [.] (.) {.}  ->  .          hxxp / hXXp   ->  http
+///   [at] (at)    ->  @          fxp           ->  ftp
+///   [:]          ->  :          [://]         ->  ://
+/// The transformation is idempotent and leaves plain text untouched.
+std::string RefangText(std::string_view text);
+
+}  // namespace raptor::nlp

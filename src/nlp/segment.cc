@@ -1,0 +1,120 @@
+#include "nlp/segment.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace raptor::nlp {
+
+namespace {
+
+bool IsAbbreviationBefore(std::string_view text, size_t dot_pos) {
+  // Walk back to the token start.
+  size_t start = dot_pos;
+  while (start > 0 && !std::isspace(static_cast<unsigned char>(text[start - 1]))) {
+    --start;
+  }
+  std::string token = ToLower(text.substr(start, dot_pos - start));
+  static const char* kAbbrevs[] = {"e.g", "i.e", "etc", "mr", "ms",
+                                   "dr",  "vs",  "cf",  "al", "fig"};
+  for (const char* a : kAbbrevs) {
+    if (token == a) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Span> SegmentBlocks(std::string_view document) {
+  std::vector<Span> blocks;
+  size_t i = 0;
+  while (i < document.size()) {
+    // Skip blank lines.
+    while (i < document.size() &&
+           (document[i] == '\n' || document[i] == '\r')) {
+      ++i;
+    }
+    if (i >= document.size()) break;
+    size_t start = i;
+    // A block ends at a blank line (two consecutive newlines, possibly with
+    // intervening spaces) or end of document.
+    size_t end = start;
+    while (end < document.size()) {
+      if (document[end] == '\n') {
+        size_t k = end + 1;
+        while (k < document.size() &&
+               (document[k] == ' ' || document[k] == '\t' ||
+                document[k] == '\r')) {
+          ++k;
+        }
+        if (k >= document.size() || document[k] == '\n') break;
+      }
+      ++end;
+    }
+    std::string_view raw = document.substr(start, end - start);
+    std::string_view body = TrimView(raw);
+    if (!body.empty()) {
+      Span span;
+      span.begin = start + static_cast<size_t>(body.data() - raw.data());
+      span.end = span.begin + body.size();
+      span.text = std::string(body);
+      blocks.push_back(std::move(span));
+    }
+    i = end;
+  }
+  return blocks;
+}
+
+std::vector<Span> SegmentSentences(std::string_view block) {
+  std::vector<Span> sentences;
+  size_t start = 0;
+  for (size_t i = 0; i < block.size(); ++i) {
+    char c = block[i];
+    bool is_end = false;
+    if (c == '.' || c == '!' || c == '?') {
+      // Followed by whitespace + capital/digit (or end of block)?
+      size_t k = i + 1;
+      while (k < block.size() &&
+             std::isspace(static_cast<unsigned char>(block[k]))) {
+        ++k;
+      }
+      if (k == i + 1 && k < block.size()) {
+        // No whitespace after: part of a dotted token, not a boundary.
+        continue;
+      }
+      if (k >= block.size()) {
+        is_end = true;
+      } else if (std::isalpha(static_cast<unsigned char>(block[k])) ||
+                 std::isdigit(static_cast<unsigned char>(block[k])) ||
+                 block[k] == '/' || block[k] == '"') {
+        is_end = c != '.' || !IsAbbreviationBefore(block, i);
+      }
+    }
+    if (is_end) {
+      std::string_view raw = block.substr(start, i + 1 - start);
+      std::string_view body = TrimView(raw);
+      if (!body.empty()) {
+        Span span;
+        // Offsets must point at the trimmed body so that token offsets
+        // computed on span.text translate back into block offsets exactly.
+        span.begin = start + static_cast<size_t>(body.data() - raw.data());
+        span.end = span.begin + body.size();
+        span.text = std::string(body);
+        sentences.push_back(std::move(span));
+      }
+      start = i + 1;
+    }
+  }
+  std::string_view raw_tail = block.substr(start);
+  std::string_view tail = TrimView(raw_tail);
+  if (!tail.empty()) {
+    Span span;
+    span.begin = start + static_cast<size_t>(tail.data() - raw_tail.data());
+    span.end = span.begin + tail.size();
+    span.text = std::string(tail);
+    sentences.push_back(std::move(span));
+  }
+  return sentences;
+}
+
+}  // namespace raptor::nlp

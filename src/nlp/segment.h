@@ -1,0 +1,24 @@
+// Block and sentence segmentation (Steps 1 and 3 of Algorithm 1).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace raptor::nlp {
+
+struct Span {
+  std::string text;
+  size_t begin = 0;  // byte offsets into the segmented string
+  size_t end = 0;
+};
+
+/// Split an OSCTI article into blocks at blank lines (paragraphs).
+std::vector<Span> SegmentBlocks(std::string_view document);
+
+/// Split a block into sentences. A sentence ends at '.', '!' or '?'
+/// followed by whitespace and an upper-case/digit start (or end of text),
+/// with a small abbreviation guard (e.g., "e.g.", "i.e.", honorifics).
+std::vector<Span> SegmentSentences(std::string_view block);
+
+}  // namespace raptor::nlp

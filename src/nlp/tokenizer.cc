@@ -1,0 +1,80 @@
+#include "nlp/tokenizer.h"
+
+#include <cctype>
+
+namespace raptor::nlp {
+
+namespace {
+
+bool IsOpenPunct(char c) {
+  return c == '(' || c == '[' || c == '{' || c == '"' || c == '\'' ||
+         c == '`';
+}
+
+bool IsClosePunct(char c) {
+  return c == ')' || c == ']' || c == '}' || c == '"' || c == '\'' ||
+         c == '.' || c == ',' || c == ';' || c == ':' || c == '!' ||
+         c == '?';
+}
+
+void Emit(std::vector<Token>* out, std::string_view text, size_t begin,
+          size_t end) {
+  if (end <= begin) return;
+  Token tok;
+  tok.text = std::string(text.substr(begin, end - begin));
+  tok.begin = begin;
+  tok.end = end;
+  out->push_back(std::move(tok));
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i >= text.size()) break;
+    size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    size_t begin = start, end = i;
+    // Peel leading punctuation.
+    while (begin < end && IsOpenPunct(text[begin])) {
+      Emit(&out, text, begin, begin + 1);
+      ++begin;
+    }
+    // Find trailing punctuation run (emitted after the word).
+    size_t word_end = end;
+    while (word_end > begin && IsClosePunct(text[word_end - 1])) {
+      // Keep a '.' that is an internal part of a dotted token only when it
+      // is not the last character ("192.168.29.128." peels the final dot).
+      --word_end;
+    }
+    // Do not peel dots that leave an empty token (pure punctuation word).
+    if (word_end == begin && end > begin) {
+      // Whole token is punctuation: emit each char.
+      for (size_t k = begin; k < end; ++k) Emit(&out, text, k, k + 1);
+      continue;
+    }
+    // Split the word body on path separators (PTB-style '/' splitting).
+    size_t seg_start = begin;
+    for (size_t k = begin; k < word_end; ++k) {
+      char c = text[k];
+      if (c == '/' || c == '\\') {
+        Emit(&out, text, seg_start, k);
+        Emit(&out, text, k, k + 1);
+        seg_start = k + 1;
+      }
+    }
+    Emit(&out, text, seg_start, word_end);
+    // Emit the trailing punctuation characters.
+    for (size_t k = word_end; k < end; ++k) Emit(&out, text, k, k + 1);
+  }
+  return out;
+}
+
+}  // namespace raptor::nlp

@@ -1,0 +1,26 @@
+// General-purpose English tokenizer (PTB-style), the component that the
+// paper's IOC Protection step exists to protect against: on raw OSCTI text
+// it splits path separators and peels punctuation, shredding IOCs like
+// /tmp/upload.tar into pieces; on protected text (IOCs replaced by a dummy
+// word) it behaves exactly like a tokenizer for ordinary prose.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace raptor::nlp {
+
+struct Token {
+  std::string text;
+  size_t begin = 0;  // byte offsets into the tokenized string
+  size_t end = 0;
+};
+
+/// Tokenize one sentence (or any text span). Splits on whitespace, peels
+/// surrounding punctuation, splits '/' and '\\' path separators (the
+/// Penn-Treebank convention that breaks unprotected IOCs) and separates
+/// sentence-final periods.
+std::vector<Token> Tokenize(std::string_view text);
+
+}  // namespace raptor::nlp

@@ -1,0 +1,51 @@
+#include "nlp/wordvec.h"
+
+#include <cmath>
+#include <string>
+
+namespace raptor::nlp {
+
+namespace {
+
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+WordVec EmbedWord(std::string_view word) {
+  WordVec v{};
+  std::string padded = "^" + std::string(word) + "$";
+  for (size_t i = 0; i + 3 <= padded.size(); ++i) {
+    uint64_t h = Fnv1a(std::string_view(padded).substr(i, 3));
+    size_t dim = h % kWordVecDim;
+    float sign = (h >> 32) & 1 ? 1.0f : -1.0f;
+    v[dim] += sign;
+  }
+  double norm = 0;
+  for (float x : v) norm += static_cast<double>(x) * x;
+  if (norm > 0) {
+    float inv = static_cast<float>(1.0 / std::sqrt(norm));
+    for (float& x : v) x *= inv;
+  }
+  return v;
+}
+
+double CosineSimilarity(const WordVec& a, const WordVec& b) {
+  double dot = 0;
+  for (size_t i = 0; i < kWordVecDim; ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+  }
+  return dot;
+}
+
+double WordSimilarity(std::string_view a, std::string_view b) {
+  return CosineSimilarity(EmbedWord(a), EmbedWord(b));
+}
+
+}  // namespace raptor::nlp

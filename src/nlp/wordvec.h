@@ -1,0 +1,25 @@
+// Hashed character-n-gram word vectors. Substitutes spaCy's pretrained
+// word vectors in extraction Step 8 (IOC scan & merge): IOC strings that
+// are small variations of each other ("/tmp/upload.tar" vs "upload.tar")
+// land close in this space, unrelated strings do not.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace raptor::nlp {
+
+inline constexpr size_t kWordVecDim = 64;
+using WordVec = std::array<float, kWordVecDim>;
+
+/// Embed a word/string as a bag of hashed character trigrams (with boundary
+/// markers), L2-normalized.
+WordVec EmbedWord(std::string_view word);
+
+/// Cosine similarity of two embeddings, in [-1, 1].
+double CosineSimilarity(const WordVec& a, const WordVec& b);
+
+/// Convenience: cosine similarity of two raw strings.
+double WordSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace raptor::nlp

@@ -1,0 +1,203 @@
+#include "openie/openie.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "nlp/depparse.h"
+#include "nlp/pos.h"
+#include "nlp/protect.h"
+#include "nlp/segment.h"
+#include "nlp/tokenizer.h"
+
+namespace raptor::openie {
+
+namespace {
+
+using nlp::DepTree;
+using nlp::Pos;
+
+bool IsNominalPos(Pos pos) {
+  return pos == Pos::kNoun || pos == Pos::kPropn || pos == Pos::kPron ||
+         pos == Pos::kNum;
+}
+
+/// Surface text of the noun phrase containing node `head`: the contiguous
+/// run of determiners/adjectives/nominals around it. Dummy words restore to
+/// their original IOC text via `ioc_text` (empty entries = not an IOC).
+std::string PhraseOf(const DepTree& tree, int head,
+                     const std::vector<std::string>& ioc_text) {
+  int lo = head, hi = head;
+  auto extendable = [&](int i) {
+    Pos p = tree.node(i).pos;
+    return p == Pos::kDet || p == Pos::kAdj || IsNominalPos(p);
+  };
+  while (lo > 0 && extendable(lo - 1)) --lo;
+  while (hi + 1 < static_cast<int>(tree.size()) && extendable(hi + 1)) ++hi;
+  std::vector<std::string> words;
+  for (int i = lo; i <= hi; ++i) {
+    words.push_back(ioc_text[i].empty() ? tree.node(i).text : ioc_text[i]);
+  }
+  return Join(words, " ");
+}
+
+struct ParsedSentence {
+  DepTree tree;
+  std::vector<std::string> ioc_text;  // per node; empty = not a dummy
+};
+
+/// Shared front half of both baselines: (optionally protected) blocks ->
+/// sentences -> tagged parses, with dummy-word restoration bookkeeping.
+std::vector<ParsedSentence> ParseDocument(std::string_view document,
+                                          bool protect) {
+  std::vector<ParsedSentence> out;
+  for (const nlp::Span& block : nlp::SegmentBlocks(document)) {
+    nlp::ProtectedText pt;
+    std::string_view working = block.text;
+    if (protect) {
+      pt = nlp::ProtectIocs(block.text);
+      working = pt.text;
+    }
+    for (const nlp::Span& sentence : nlp::SegmentSentences(working)) {
+      std::vector<nlp::Token> tokens = nlp::Tokenize(sentence.text);
+      std::vector<Pos> tags = nlp::TagTokens(tokens);
+      ParsedSentence ps;
+      ps.tree = nlp::ParseDependency(tokens, tags);
+      ps.ioc_text.assign(ps.tree.size(), "");
+      if (protect) {
+        for (size_t i = 0; i < ps.tree.size(); ++i) {
+          const nlp::Replacement* rep =
+              pt.FindAt(sentence.begin + ps.tree.node(i).begin);
+          if (rep != nullptr && ps.tree.node(i).text == nlp::kDummyWord) {
+            ps.ioc_text[i] = rep->ioc.text;
+          }
+        }
+      }
+      out.push_back(std::move(ps));
+    }
+  }
+  return out;
+}
+
+void Finalize(OpenIeResult* result) {
+  std::set<std::string> args;
+  std::set<std::string> seen_triples;
+  std::vector<OpenTriple> unique;
+  for (OpenTriple& t : result->triples) {
+    std::string key = t.arg1 + "\x1f" + t.relation + "\x1f" + t.arg2;
+    if (!seen_triples.insert(key).second) continue;
+    args.insert(t.arg1);
+    args.insert(t.arg2);
+    unique.push_back(std::move(t));
+  }
+  result->triples = std::move(unique);
+  result->arguments.assign(args.begin(), args.end());
+}
+
+}  // namespace
+
+OpenIeResult ClauseOpenIe::Extract(std::string_view document) const {
+  OpenIeResult result;
+  for (const ParsedSentence& ps :
+       ParseDocument(document, options_.ioc_protection)) {
+    const DepTree& t = ps.tree;
+    for (size_t v = 0; v < t.size(); ++v) {
+      if (t.node(v).pos != Pos::kVerb) continue;
+      // Subject: nsubj/nsubjpass child, else inherit through conj/xcomp.
+      int subj = -1;
+      for (size_t c = 0; c < t.size(); ++c) {
+        if (t.node(c).head == static_cast<int>(v) &&
+            (t.node(c).deprel == "nsubj" || t.node(c).deprel == "nsubjpass")) {
+          subj = static_cast<int>(c);
+        }
+      }
+      if (subj < 0) {
+        int cur = t.node(v).head;
+        size_t guard = 0;
+        while (cur >= 0 && guard++ < t.size()) {
+          for (size_t c = 0; c < t.size(); ++c) {
+            if (t.node(c).head == cur && (t.node(c).deprel == "nsubj" ||
+                                          t.node(c).deprel == "nsubjpass")) {
+              subj = static_cast<int>(c);
+            }
+          }
+          if (subj >= 0) break;
+          cur = t.node(cur).head;
+        }
+      }
+      if (subj < 0) continue;
+      // Objects: dobj children and pobj grandchildren through preps.
+      std::vector<std::pair<int, std::string>> objects;  // node, relation
+      std::string verb = ToLower(t.node(v).text);
+      for (size_t c = 0; c < t.size(); ++c) {
+        if (t.node(c).head != static_cast<int>(v)) continue;
+        if (t.node(c).deprel == "dobj") {
+          objects.emplace_back(static_cast<int>(c), verb);
+        } else if (t.node(c).deprel == "prep" || t.node(c).deprel == "agent") {
+          for (size_t g = 0; g < t.size(); ++g) {
+            if (t.node(g).head == static_cast<int>(c) &&
+                t.node(g).deprel == "pobj") {
+              objects.emplace_back(static_cast<int>(g),
+                                   verb + " " + ToLower(t.node(c).text));
+            }
+          }
+        }
+      }
+      for (const auto& [obj, rel] : objects) {
+        OpenTriple triple;
+        triple.arg1 = PhraseOf(t, subj, ps.ioc_text);
+        triple.relation = rel;
+        triple.arg2 = PhraseOf(t, obj, ps.ioc_text);
+        result.triples.push_back(std::move(triple));
+      }
+    }
+  }
+  Finalize(&result);
+  return result;
+}
+
+OpenIeResult PatternOpenIe::Extract(std::string_view document) const {
+  OpenIeResult result;
+  constexpr int kWindow = 8;
+  for (const ParsedSentence& ps :
+       ParseDocument(document, options_.ioc_protection)) {
+    const DepTree& t = ps.tree;
+    int n = static_cast<int>(t.size());
+    // Exhaustive verb-centred window enumeration: every nominal pair that
+    // brackets a verb within the window yields a candidate triple. This is
+    // deliberately the heavyweight strategy (Open IE 5 is the slowest
+    // system in Table VII).
+    for (int v = 0; v < n; ++v) {
+      if (t.node(v).pos != Pos::kVerb) continue;
+      std::string verb = ToLower(t.node(v).text);
+      for (int i = std::max(0, v - kWindow); i < v; ++i) {
+        if (!IsNominalPos(t.node(i).pos)) continue;
+        for (int j = v + 1; j <= std::min(n - 1, v + kWindow); ++j) {
+          if (!IsNominalPos(t.node(j).pos)) continue;
+          // Plausibility: the pair must be connected through the verb in
+          // the tree (any of the three on one path to root through v).
+          int lca = t.Lca(i, j);
+          bool connected = lca == v;
+          if (!connected) {
+            for (int node : t.PathToRoot(i)) {
+              if (node == v) connected = true;
+            }
+            for (int node : t.PathToRoot(j)) {
+              if (node == v) connected = true;
+            }
+          }
+          if (!connected) continue;
+          OpenTriple triple;
+          triple.arg1 = PhraseOf(t, i, ps.ioc_text);
+          triple.relation = verb;
+          triple.arg2 = PhraseOf(t, j, ps.ioc_text);
+          result.triples.push_back(std::move(triple));
+        }
+      }
+    }
+  }
+  Finalize(&result);
+  return result;
+}
+
+}  // namespace raptor::openie

@@ -1,0 +1,60 @@
+// General-purpose Open Information Extraction baselines for the Table V
+// comparison (RQ1). These substitute Stanford Open IE and Open IE 5: both
+// extract open-domain (subject, relation, object) triples from arbitrary
+// text with no security-domain specialization, which is precisely why their
+// IOC entity/relation scores collapse on OSCTI text.
+//
+//  * ClauseOpenIe ("Stanford-style"): dependency-clause based — for every
+//    verb it emits triples over its subject and each object/prepositional
+//    argument, with noun-phrase arguments.
+//  * PatternOpenIe ("Open IE 5-style"): exhaustive pattern-window based —
+//    enumerates candidate argument pairs around every verb within a token
+//    window and keeps all plausible combinations, trading (much) more work
+//    for marginally different coverage.
+//
+// Both can optionally run behind IOC Protection (replace IOCs with a dummy
+// word, restore into the extracted arguments), reproducing the
+// "+ IOC Protection" rows of Table V.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace raptor::openie {
+
+struct OpenTriple {
+  std::string arg1;
+  std::string relation;  // verb (surface form, lower-cased)
+  std::string arg2;
+};
+
+struct OpenIeResult {
+  std::vector<OpenTriple> triples;
+  /// All distinct argument phrases (the baseline's "entities" for RQ1).
+  std::vector<std::string> arguments;
+};
+
+struct OpenIeOptions {
+  bool ioc_protection = false;
+};
+
+class ClauseOpenIe {
+ public:
+  explicit ClauseOpenIe(OpenIeOptions options = {}) : options_(options) {}
+  OpenIeResult Extract(std::string_view document) const;
+
+ private:
+  OpenIeOptions options_;
+};
+
+class PatternOpenIe {
+ public:
+  explicit PatternOpenIe(OpenIeOptions options = {}) : options_(options) {}
+  OpenIeResult Extract(std::string_view document) const;
+
+ private:
+  OpenIeOptions options_;
+};
+
+}  // namespace raptor::openie

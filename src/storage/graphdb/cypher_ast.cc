@@ -1,0 +1,112 @@
+#include "storage/graphdb/cypher_ast.h"
+
+#include "common/strings.h"
+
+namespace raptor::graphdb {
+
+const char* CypherBinaryOpName(CypherBinaryOp op) {
+  switch (op) {
+    case CypherBinaryOp::kEq: return "=";
+    case CypherBinaryOp::kNe: return "<>";
+    case CypherBinaryOp::kLt: return "<";
+    case CypherBinaryOp::kLe: return "<=";
+    case CypherBinaryOp::kGt: return ">";
+    case CypherBinaryOp::kGe: return ">=";
+    case CypherBinaryOp::kContains: return "CONTAINS";
+    case CypherBinaryOp::kStartsWith: return "STARTS WITH";
+    case CypherBinaryOp::kEndsWith: return "ENDS WITH";
+    case CypherBinaryOp::kAnd: return "AND";
+    case CypherBinaryOp::kOr: return "OR";
+    case CypherBinaryOp::kAdd: return "+";
+    case CypherBinaryOp::kSub: return "-";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string QuoteLiteral(const Value& v) {
+  if (v.is_text()) return "'" + ReplaceAll(v.AsText(), "'", "\\'") + "'";
+  return v.ToString();
+}
+
+std::string PropsToString(const std::vector<PropConstraint>& props) {
+  if (props.empty()) return "";
+  std::vector<std::string> parts;
+  parts.reserve(props.size());
+  for (const PropConstraint& p : props) {
+    parts.push_back(p.key + ": " + QuoteLiteral(p.value));
+  }
+  return " {" + Join(parts, ", ") + "}";
+}
+
+}  // namespace
+
+std::string CypherExpr::ToString() const {
+  switch (kind) {
+    case CypherExprKind::kLiteral:
+      return QuoteLiteral(literal);
+    case CypherExprKind::kPropRef:
+      return var + "." + prop;
+    case CypherExprKind::kVarRef:
+      return var;
+    case CypherExprKind::kNot:
+      return "NOT (" + lhs->ToString() + ")";
+    case CypherExprKind::kInList: {
+      std::vector<std::string> parts;
+      parts.reserve(in_list.size());
+      for (const Value& v : in_list) parts.push_back(QuoteLiteral(v));
+      return lhs->ToString() + (negated ? " NOT IN [" : " IN [") +
+             Join(parts, ", ") + "]";
+    }
+    case CypherExprKind::kBinary: {
+      std::string l = lhs->ToString();
+      std::string r = rhs->ToString();
+      if (op == CypherBinaryOp::kAnd || op == CypherBinaryOp::kOr) {
+        return "(" + l + " " + CypherBinaryOpName(op) + " " + r + ")";
+      }
+      return l + " " + CypherBinaryOpName(op) + " " + r;
+    }
+  }
+  return "?";
+}
+
+std::string CypherQuery::ToString() const {
+  std::string out = "MATCH ";
+  std::vector<std::string> parts;
+  for (const PatternPart& part : patterns) {
+    std::string s;
+    for (size_t i = 0; i < part.nodes.size(); ++i) {
+      const NodePattern& n = part.nodes[i];
+      s += "(" + n.var;
+      if (!n.label.empty()) s += ":" + n.label;
+      s += PropsToString(n.props) + ")";
+      if (i < part.rels.size()) {
+        const RelPattern& r = part.rels[i];
+        s += "-[" + r.var;
+        if (!r.type.empty()) s += ":" + r.type;
+        if (r.varlen) {
+          s += "*" + std::to_string(r.min_len) + "..";
+          if (r.max_len >= 0) s += std::to_string(r.max_len);
+        }
+        s += PropsToString(r.props) + "]->";
+      }
+    }
+    parts.push_back(std::move(s));
+  }
+  out += Join(parts, ", ");
+  if (where) out += " WHERE " + where->ToString();
+  out += " RETURN ";
+  if (distinct) out += "DISTINCT ";
+  std::vector<std::string> item_strs;
+  for (const CypherReturnItem& item : items) {
+    std::string s = item.expr->ToString();
+    if (!item.alias.empty()) s += " AS " + item.alias;
+    item_strs.push_back(std::move(s));
+  }
+  out += Join(item_strs, ", ");
+  if (limit >= 0) out += " LIMIT " + std::to_string(limit);
+  return out;
+}
+
+}  // namespace raptor::graphdb

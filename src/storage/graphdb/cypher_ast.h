@@ -1,0 +1,108 @@
+// AST for the Cypher subset the graph engine executes:
+//
+//   MATCH (a:label {k: v})-[r:type*min..max {k: v}]->(b:label), ...
+//   WHERE <boolean expr over var.prop, with CONTAINS / STARTS WITH /
+//          ENDS WITH / comparisons / IN / AND / OR / NOT>
+//   RETURN [DISTINCT] a.prop [AS alias], ...
+//   [LIMIT n]
+//
+// This covers what the TBQL compiler emits for variable-length event path
+// patterns plus the hand-written "giant Cypher" baselines of Tables VIII/X.
+// As in Neo4j, a relationship type / property constraint on a *bounded*
+// variable-length relationship applies to every hop; the TBQL compiler
+// therefore decomposes "last hop is `read`" paths into `-[*m..n]->()-[:read]->`.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/relational/value.h"
+
+namespace raptor::graphdb {
+
+using Value = sql::Value;
+
+enum class CypherExprKind {
+  kLiteral,
+  kPropRef,     // var.prop
+  kVarRef,      // bare variable (used in RETURN only)
+  kBinary,
+  kNot,
+  kInList,
+};
+
+enum class CypherBinaryOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kContains,
+  kStartsWith,
+  kEndsWith,
+  kAnd,
+  kOr,
+  kAdd,
+  kSub,
+};
+
+const char* CypherBinaryOpName(CypherBinaryOp op);
+
+struct CypherExpr {
+  CypherExprKind kind = CypherExprKind::kLiteral;
+  Value literal;
+  std::string var;
+  std::string prop;
+  CypherBinaryOp op = CypherBinaryOp::kEq;
+  std::unique_ptr<CypherExpr> lhs;
+  std::unique_ptr<CypherExpr> rhs;
+  std::vector<Value> in_list;
+  bool negated = false;
+
+  std::string ToString() const;
+};
+
+struct PropConstraint {
+  std::string key;
+  Value value;
+};
+
+struct NodePattern {
+  std::string var;    // may be empty (anonymous)
+  std::string label;  // may be empty (any label)
+  std::vector<PropConstraint> props;
+};
+
+struct RelPattern {
+  std::string var;    // may be empty
+  std::string type;   // may be empty (any type)
+  std::vector<PropConstraint> props;
+  bool varlen = false;
+  int min_len = 1;
+  int max_len = 1;    // -1 = unbounded
+};
+
+/// One comma-separated chain: n0 -r0-> n1 -r1-> ... -r(k-1)-> nk.
+struct PatternPart {
+  std::vector<NodePattern> nodes;
+  std::vector<RelPattern> rels;
+};
+
+struct CypherReturnItem {
+  std::unique_ptr<CypherExpr> expr;
+  std::string alias;
+};
+
+struct CypherQuery {
+  std::vector<PatternPart> patterns;
+  std::unique_ptr<CypherExpr> where;  // may be null
+  bool distinct = false;
+  std::vector<CypherReturnItem> items;
+  long long limit = -1;
+
+  std::string ToString() const;
+};
+
+}  // namespace raptor::graphdb

@@ -1,0 +1,537 @@
+#include "storage/graphdb/cypher_executor.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "storage/graphdb/cypher_parser.h"
+
+namespace raptor::graphdb {
+
+namespace {
+
+struct Binding {
+  std::unordered_map<std::string, NodeId> nodes;
+  std::unordered_map<std::string, EdgeId> edges;
+  std::unordered_set<EdgeId> used_edges;  // relationship uniqueness
+};
+
+bool NodeMatches(const Node& node, const NodePattern& pat) {
+  if (!pat.label.empty() && node.label != pat.label) return false;
+  for (const PropConstraint& pc : pat.props) {
+    const Value* v = node.FindProp(pc.key);
+    if (v == nullptr || v->Compare(pc.value) != 0) return false;
+  }
+  return true;
+}
+
+bool EdgeMatches(const Edge& edge, const RelPattern& pat) {
+  if (!pat.type.empty() && edge.type != pat.type) return false;
+  for (const PropConstraint& pc : pat.props) {
+    const Value* v = edge.FindProp(pc.key);
+    if (v == nullptr || v->Compare(pc.value) != 0) return false;
+  }
+  return true;
+}
+
+/// How selective a node pattern is, for choosing the search seed.
+int ConstraintScore(const NodePattern& pat, const Binding& binding) {
+  if (!pat.var.empty() && binding.nodes.count(pat.var)) return 100;
+  int score = 0;
+  if (!pat.label.empty()) ++score;
+  score += 2 * static_cast<int>(pat.props.size());
+  return score;
+}
+
+/// Evaluate a WHERE / RETURN expression against a bound row.
+class CypherEvaluator {
+ public:
+  explicit CypherEvaluator(const PropertyGraph& graph) : graph_(graph) {}
+
+  Result<Value> Eval(const CypherExpr& e, const Binding& b) const {
+    switch (e.kind) {
+      case CypherExprKind::kLiteral:
+        return e.literal;
+      case CypherExprKind::kVarRef: {
+        auto it = b.nodes.find(e.var);
+        if (it != b.nodes.end()) {
+          return Value(static_cast<int64_t>(it->second));
+        }
+        auto jt = b.edges.find(e.var);
+        if (jt != b.edges.end()) {
+          return Value(static_cast<int64_t>(jt->second));
+        }
+        return Status::NotFound("unbound variable: " + e.var);
+      }
+      case CypherExprKind::kPropRef: {
+        auto it = b.nodes.find(e.var);
+        if (it != b.nodes.end()) {
+          const Value* v = graph_.node(it->second).FindProp(e.prop);
+          return v != nullptr ? *v : Value::Null();
+        }
+        auto jt = b.edges.find(e.var);
+        if (jt != b.edges.end()) {
+          const Value* v = graph_.edge(jt->second).FindProp(e.prop);
+          return v != nullptr ? *v : Value::Null();
+        }
+        return Status::NotFound("unbound variable: " + e.var);
+      }
+      case CypherExprKind::kNot: {
+        auto inner = Eval(*e.lhs, b);
+        if (!inner.ok()) return inner.status();
+        return Value(static_cast<int64_t>(!Truthy(inner.value())));
+      }
+      case CypherExprKind::kInList: {
+        auto lhs = Eval(*e.lhs, b);
+        if (!lhs.ok()) return lhs.status();
+        bool found = false;
+        for (const Value& v : e.in_list) {
+          if (lhs.value().Compare(v) == 0) {
+            found = true;
+            break;
+          }
+        }
+        return Value(static_cast<int64_t>(e.negated ? !found : found));
+      }
+      case CypherExprKind::kBinary: {
+        if (e.op == CypherBinaryOp::kAnd || e.op == CypherBinaryOp::kOr) {
+          auto l = Eval(*e.lhs, b);
+          if (!l.ok()) return l.status();
+          bool lt = Truthy(l.value());
+          if (e.op == CypherBinaryOp::kAnd && !lt) {
+            return Value(static_cast<int64_t>(0));
+          }
+          if (e.op == CypherBinaryOp::kOr && lt) {
+            return Value(static_cast<int64_t>(1));
+          }
+          auto r = Eval(*e.rhs, b);
+          if (!r.ok()) return r.status();
+          return Value(static_cast<int64_t>(Truthy(r.value())));
+        }
+        auto l = Eval(*e.lhs, b);
+        if (!l.ok()) return l.status();
+        auto r = Eval(*e.rhs, b);
+        if (!r.ok()) return r.status();
+        if (e.op == CypherBinaryOp::kAdd || e.op == CypherBinaryOp::kSub) {
+          if (l.value().is_double() || r.value().is_double()) {
+            double x = l.value().AsDouble(), y = r.value().AsDouble();
+            return Value(e.op == CypherBinaryOp::kAdd ? x + y : x - y);
+          }
+          int64_t x = l.value().AsInt(), y = r.value().AsInt();
+          return Value(e.op == CypherBinaryOp::kAdd ? x + y : x - y);
+        }
+        return Value(static_cast<int64_t>(Compare(e.op, l.value(), r.value())));
+      }
+    }
+    return Status::Internal("unreachable cypher expr kind");
+  }
+
+  static bool Truthy(const Value& v) {
+    if (v.is_null()) return false;
+    if (v.is_int()) return v.AsInt() != 0;
+    if (v.is_double()) return v.AsDouble() != 0.0;
+    return !v.AsText().empty();
+  }
+
+  static bool Compare(CypherBinaryOp op, const Value& l, const Value& r) {
+    switch (op) {
+      case CypherBinaryOp::kEq: return l.Compare(r) == 0;
+      case CypherBinaryOp::kNe: return l.Compare(r) != 0;
+      case CypherBinaryOp::kLt: return l.Compare(r) < 0;
+      case CypherBinaryOp::kLe: return l.Compare(r) <= 0;
+      case CypherBinaryOp::kGt: return l.Compare(r) > 0;
+      case CypherBinaryOp::kGe: return l.Compare(r) >= 0;
+      case CypherBinaryOp::kContains:
+        return l.ToString().find(r.ToString()) != std::string::npos;
+      case CypherBinaryOp::kStartsWith:
+        return StartsWith(l.ToString(), r.ToString());
+      case CypherBinaryOp::kEndsWith:
+        return EndsWith(l.ToString(), r.ToString());
+      default:
+        return false;
+    }
+  }
+
+ private:
+  const PropertyGraph& graph_;
+};
+
+/// Split an AND-tree into conjuncts.
+void SplitConjuncts(const CypherExpr* e, std::vector<const CypherExpr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == CypherExprKind::kBinary && e->op == CypherBinaryOp::kAnd) {
+    SplitConjuncts(e->lhs.get(), out);
+    SplitConjuncts(e->rhs.get(), out);
+  } else {
+    out->push_back(e);
+  }
+}
+
+void CollectVars(const CypherExpr& e, std::unordered_set<std::string>* vars) {
+  switch (e.kind) {
+    case CypherExprKind::kPropRef:
+    case CypherExprKind::kVarRef:
+      vars->insert(e.var);
+      break;
+    case CypherExprKind::kBinary:
+      CollectVars(*e.lhs, vars);
+      CollectVars(*e.rhs, vars);
+      break;
+    case CypherExprKind::kNot:
+      CollectVars(*e.lhs, vars);
+      break;
+    case CypherExprKind::kInList:
+      CollectVars(*e.lhs, vars);
+      break;
+    case CypherExprKind::kLiteral:
+      break;
+  }
+}
+
+/// Single-variable WHERE conjuncts, applied as soon as their variable binds
+/// (the predicate pushdown real graph databases perform; without it a
+/// multi-pattern MATCH would enumerate the full cross product first).
+using PushdownFilters =
+    std::unordered_map<std::string, std::vector<const CypherExpr*>>;
+
+class Matcher {
+ public:
+  Matcher(const PropertyGraph& graph, const MatchOptions& options,
+          const PushdownFilters& pushdown, const CypherEvaluator& eval,
+          MatchStats* stats)
+      : graph_(graph),
+        options_(options),
+        pushdown_(pushdown),
+        eval_(eval),
+        stats_(stats) {}
+
+  /// Extend `binding` with all matches of `part`; append to `out`.
+  void MatchPart(const PatternPart& part, const Binding& binding,
+                 std::vector<Binding>* out) {
+    // Choose search direction: seed from the more-constrained endpoint.
+    int fwd = ConstraintScore(part.nodes.front(), binding);
+    int bwd = ConstraintScore(part.nodes.back(), binding);
+    if (bwd > fwd) {
+      PatternPart reversed = Reverse(part);
+      MatchChainFrom(reversed, /*reversed=*/true, binding, out);
+    } else {
+      MatchChainFrom(part, /*reversed=*/false, binding, out);
+    }
+  }
+
+ private:
+  static PatternPart Reverse(const PatternPart& part) {
+    PatternPart rev;
+    rev.nodes.assign(part.nodes.rbegin(), part.nodes.rend());
+    rev.rels.assign(part.rels.rbegin(), part.rels.rend());
+    return rev;
+  }
+
+  /// Evaluate the pushed-down filters of `var` on the binding.
+  bool PassesFilters(const std::string& var, const Binding& binding) const {
+    if (var.empty()) return true;
+    auto it = pushdown_.find(var);
+    if (it == pushdown_.end()) return true;
+    for (const CypherExpr* f : it->second) {
+      auto v = eval_.Eval(*f, binding);
+      if (!v.ok() || !CypherEvaluator::Truthy(v.value())) return false;
+    }
+    return true;
+  }
+
+  std::vector<NodeId> SeedCandidates(const NodePattern& pat,
+                                     const Binding& binding) {
+    std::vector<NodeId> seeds;
+    if (!pat.var.empty()) {
+      auto it = binding.nodes.find(pat.var);
+      if (it != binding.nodes.end()) {
+        if (NodeMatches(graph_.node(it->second), pat)) {
+          seeds.push_back(it->second);
+        }
+        return seeds;
+      }
+    }
+    // Try an index probe on any inline property.
+    if (!pat.label.empty()) {
+      for (const PropConstraint& pc : pat.props) {
+        if (graph_.HasNodeIndex(pat.label, pc.key)) {
+          for (NodeId id : graph_.ProbeNodes(pat.label, pc.key, pc.value)) {
+            if (NodeMatches(graph_.node(id), pat)) seeds.push_back(id);
+          }
+          return seeds;
+        }
+      }
+      // Index seek from WHERE predicates (Neo4j-style): an indexed
+      // equality / IN filter on this variable beats a label scan.
+      if (!pat.var.empty()) {
+        auto fit = pushdown_.find(pat.var);
+        if (fit != pushdown_.end()) {
+          for (const CypherExpr* f : fit->second) {
+            std::vector<Value> probe_values;
+            std::string prop;
+            if (f->kind == CypherExprKind::kBinary &&
+                f->op == CypherBinaryOp::kEq &&
+                f->lhs->kind == CypherExprKind::kPropRef &&
+                f->rhs->kind == CypherExprKind::kLiteral) {
+              prop = f->lhs->prop;
+              probe_values.push_back(f->rhs->literal);
+            } else if (f->kind == CypherExprKind::kInList && !f->negated &&
+                       f->lhs->kind == CypherExprKind::kPropRef) {
+              prop = f->lhs->prop;
+              probe_values = f->in_list;
+            }
+            if (prop.empty() || !graph_.HasNodeIndex(pat.label, prop)) {
+              continue;
+            }
+            for (const Value& v : probe_values) {
+              for (NodeId id : graph_.ProbeNodes(pat.label, prop, v)) {
+                if (NodeMatches(graph_.node(id), pat)) seeds.push_back(id);
+              }
+            }
+            std::sort(seeds.begin(), seeds.end());
+            seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+            return seeds;
+          }
+        }
+      }
+      for (NodeId id : graph_.NodesWithLabel(pat.label)) {
+        if (NodeMatches(graph_.node(id), pat)) seeds.push_back(id);
+      }
+      return seeds;
+    }
+    for (NodeId id = 0; id < graph_.node_count(); ++id) {
+      if (NodeMatches(graph_.node(id), pat)) seeds.push_back(id);
+    }
+    return seeds;
+  }
+
+  void MatchChainFrom(const PatternPart& part, bool reversed,
+                      const Binding& binding, std::vector<Binding>* out) {
+    std::vector<NodeId> seeds = SeedCandidates(part.nodes[0], binding);
+    if (stats_ != nullptr) stats_->seed_candidates += seeds.size();
+    for (NodeId seed : seeds) {
+      Binding b = binding;
+      bool was_new = false;
+      if (!part.nodes[0].var.empty() && !b.nodes.count(part.nodes[0].var)) {
+        b.nodes[part.nodes[0].var] = seed;
+        was_new = true;
+      }
+      if (was_new && !PassesFilters(part.nodes[0].var, b)) continue;
+      Extend(part, reversed, 0, seed, b, out);
+    }
+  }
+
+  /// We are standing at `node`, having matched part.nodes[idx]; match
+  /// part.rels[idx] and continue.
+  void Extend(const PatternPart& part, bool reversed, size_t idx, NodeId node,
+              Binding& binding, std::vector<Binding>* out) {
+    if (idx == part.rels.size()) {
+      out->push_back(binding);
+      if (stats_ != nullptr) ++stats_->bindings_emitted;
+      return;
+    }
+    const RelPattern& rel = part.rels[idx];
+    const NodePattern& next_pat = part.nodes[idx + 1];
+
+    if (!rel.varlen) {
+      const auto& edges = reversed ? graph_.InEdges(node) : graph_.OutEdges(node);
+      for (EdgeId eid : edges) {
+        if (stats_ != nullptr) ++stats_->edges_traversed;
+        const Edge& e = graph_.edge(eid);
+        if (!EdgeMatches(e, rel)) continue;
+        if (binding.used_edges.count(eid)) continue;
+        if (!rel.var.empty()) {
+          auto it = binding.edges.find(rel.var);
+          if (it != binding.edges.end() && it->second != eid) continue;
+        }
+        NodeId next = reversed ? e.src : e.dst;
+        if (!AdmitNode(next, next_pat, binding)) continue;
+
+        // Bind, check pushed-down filters, recurse, unbind.
+        bool node_was_new = BindNode(next_pat, next, binding);
+        bool edge_was_new = false;
+        if (!rel.var.empty() && !binding.edges.count(rel.var)) {
+          binding.edges[rel.var] = eid;
+          edge_was_new = true;
+        }
+        binding.used_edges.insert(eid);
+        bool pass = (!node_was_new || PassesFilters(next_pat.var, binding)) &&
+                    (!edge_was_new || PassesFilters(rel.var, binding));
+        if (pass) Extend(part, reversed, idx + 1, next, binding, out);
+        binding.used_edges.erase(eid);
+        if (edge_was_new) binding.edges.erase(rel.var);
+        if (node_was_new) binding.nodes.erase(next_pat.var);
+      }
+      return;
+    }
+
+    // Variable-length expansion: bounded DFS. Type/prop constraints apply to
+    // every hop (Neo4j semantics); the endpoint must match next_pat.
+    int max_len = rel.max_len >= 0 ? rel.max_len : options_.unbounded_varlen_cap;
+    int min_len = std::max(0, rel.min_len);
+    std::function<void(NodeId, int)> dfs = [&](NodeId cur, int depth) {
+      if (depth >= min_len && AdmitNode(cur, next_pat, binding) &&
+          // A zero-length path may only close when start==end is allowed.
+          (depth > 0 || min_len == 0)) {
+        bool node_was_new = BindNode(next_pat, cur, binding);
+        if (!node_was_new || PassesFilters(next_pat.var, binding)) {
+          Extend(part, reversed, idx + 1, cur, binding, out);
+        }
+        if (node_was_new) binding.nodes.erase(next_pat.var);
+      }
+      if (depth == max_len) return;
+      const auto& edges = reversed ? graph_.InEdges(cur) : graph_.OutEdges(cur);
+      for (EdgeId eid : edges) {
+        if (stats_ != nullptr) ++stats_->edges_traversed;
+        const Edge& e = graph_.edge(eid);
+        if (!EdgeMatches(e, rel)) continue;
+        if (binding.used_edges.count(eid)) continue;
+        binding.used_edges.insert(eid);
+        dfs(reversed ? e.src : e.dst, depth + 1);
+        binding.used_edges.erase(eid);
+      }
+    };
+    dfs(node, 0);
+  }
+
+  bool AdmitNode(NodeId id, const NodePattern& pat,
+                 const Binding& binding) const {
+    if (!NodeMatches(graph_.node(id), pat)) return false;
+    if (!pat.var.empty()) {
+      auto it = binding.nodes.find(pat.var);
+      if (it != binding.nodes.end() && it->second != id) return false;
+    }
+    return true;
+  }
+
+  /// Returns true if this call introduced the binding (caller must unbind).
+  bool BindNode(const NodePattern& pat, NodeId id, Binding& binding) const {
+    if (pat.var.empty()) return false;
+    if (binding.nodes.count(pat.var)) return false;
+    binding.nodes[pat.var] = id;
+    return true;
+  }
+
+  const PropertyGraph& graph_;
+  const MatchOptions& options_;
+  const PushdownFilters& pushdown_;
+  const CypherEvaluator& eval_;
+  MatchStats* stats_;
+};
+
+}  // namespace
+
+std::string GraphResultSet::ToString(size_t max_rows) const {
+  std::string out = Join(columns, " | ") + "\n";
+  size_t n = std::min(max_rows, rows.size());
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<std::string> cells;
+    cells.reserve(rows[i].size());
+    for (const Value& v : rows[i]) cells.push_back(v.ToString());
+    out += Join(cells, " | ") + "\n";
+  }
+  if (rows.size() > n) {
+    out += StrFormat("... (%zu more rows)\n", rows.size() - n);
+  }
+  return out;
+}
+
+Result<GraphResultSet> ExecuteCypher(const CypherQuery& query,
+                                     const PropertyGraph& graph,
+                                     const MatchOptions& options,
+                                     MatchStats* stats) {
+  CypherEvaluator eval(graph);
+
+  // Split WHERE into single-variable conjuncts (pushed into matching) and
+  // residual conjuncts (evaluated on complete bindings).
+  std::vector<const CypherExpr*> conjuncts;
+  SplitConjuncts(query.where.get(), &conjuncts);
+  PushdownFilters pushdown;
+  std::vector<const CypherExpr*> residual;
+  for (const CypherExpr* c : conjuncts) {
+    std::unordered_set<std::string> vars;
+    CollectVars(*c, &vars);
+    if (vars.size() == 1) {
+      pushdown[*vars.begin()].push_back(c);
+    } else {
+      residual.push_back(c);
+    }
+  }
+
+  Matcher matcher(graph, options, pushdown, eval, stats);
+  std::vector<Binding> bindings;
+  bindings.emplace_back();
+  for (const PatternPart& part : query.patterns) {
+    if (part.nodes.empty()) {
+      return Status::InvalidArgument("empty pattern part");
+    }
+    std::vector<Binding> next;
+    for (const Binding& b : bindings) {
+      matcher.MatchPart(part, b, &next);
+    }
+    bindings = std::move(next);
+    if (bindings.empty()) break;
+  }
+
+  GraphResultSet result;
+  for (const CypherReturnItem& item : query.items) {
+    result.columns.push_back(item.alias.empty() ? item.expr->ToString()
+                                                : item.alias);
+  }
+  for (const Binding& b : bindings) {
+    bool pass = true;
+    for (const CypherExpr* c : residual) {
+      auto cond = eval.Eval(*c, b);
+      if (!cond.ok()) return cond.status();
+      if (!CypherEvaluator::Truthy(cond.value())) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    std::vector<Value> row;
+    row.reserve(query.items.size());
+    for (const CypherReturnItem& item : query.items) {
+      auto v = eval.Eval(*item.expr, b);
+      if (!v.ok()) return v.status();
+      row.push_back(std::move(v).value());
+    }
+    result.rows.push_back(std::move(row));
+  }
+
+  if (query.distinct) {
+    std::unordered_set<std::string> seen;
+    std::vector<std::vector<Value>> unique;
+    unique.reserve(result.rows.size());
+    for (auto& row : result.rows) {
+      std::string key;
+      for (const Value& v : row) {
+        key += v.ToString();
+        key.push_back('\x1f');
+      }
+      if (seen.insert(key).second) unique.push_back(std::move(row));
+    }
+    result.rows = std::move(unique);
+  }
+  if (query.limit >= 0 &&
+      result.rows.size() > static_cast<size_t>(query.limit)) {
+    result.rows.resize(static_cast<size_t>(query.limit));
+  }
+  return result;
+}
+
+Result<GraphResultSet> GraphDatabase::Query(std::string_view cypher,
+                                            MatchStats* stats) const {
+  auto query = ParseCypher(cypher);
+  if (!query.ok()) return query.status();
+  return ExecuteCypher(query.value(), graph_, options_, stats);
+}
+
+Result<GraphResultSet> GraphDatabase::Execute(const CypherQuery& query,
+                                              MatchStats* stats) const {
+  return ExecuteCypher(query, graph_, options_, stats);
+}
+
+}  // namespace raptor::graphdb

@@ -1,0 +1,68 @@
+// Pattern matcher + executor for the Cypher subset.
+//
+// Matching is backtracking subgraph search, Neo4j-like in miniature:
+//  * each comma-separated pattern part is matched against the graph in
+//    sequence, threading variable bindings through (shared variables join
+//    parts);
+//  * the more-constrained endpoint of a chain seeds the search (bound
+//    variable > inline props via index probe > label scan > full scan);
+//  * variable-length relationships expand by bounded DFS with relationship
+//    uniqueness (Cypher's relationship-isomorphism semantics);
+//  * WHERE is evaluated on fully bound rows, RETURN projects node/edge
+//    properties, DISTINCT/LIMIT post-process.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/graphdb/cypher_ast.h"
+#include "storage/graphdb/graph.h"
+
+namespace raptor::graphdb {
+
+struct GraphResultSet {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+/// Execution counters, exposed for the scheduler-ablation benchmark.
+struct MatchStats {
+  size_t seed_candidates = 0;   // start-node candidates considered
+  size_t edges_traversed = 0;   // edge expansions
+  size_t bindings_emitted = 0;  // complete pattern bindings before WHERE
+};
+
+struct MatchOptions {
+  /// Expansion bound applied when a variable-length pattern has no upper
+  /// bound (Neo4j discourages unbounded expansion for the same reason).
+  int unbounded_varlen_cap = 8;
+};
+
+/// Execute `query` against `graph`.
+Result<GraphResultSet> ExecuteCypher(const CypherQuery& query,
+                                     const PropertyGraph& graph,
+                                     const MatchOptions& options = {},
+                                     MatchStats* stats = nullptr);
+
+/// Graph database facade: owns a graph, parses and executes Cypher text.
+class GraphDatabase {
+ public:
+  PropertyGraph& graph() { return graph_; }
+  const PropertyGraph& graph() const { return graph_; }
+
+  MatchOptions& options() { return options_; }
+
+  Result<GraphResultSet> Query(std::string_view cypher,
+                               MatchStats* stats = nullptr) const;
+  Result<GraphResultSet> Execute(const CypherQuery& query,
+                                 MatchStats* stats = nullptr) const;
+
+ private:
+  PropertyGraph graph_;
+  MatchOptions options_;
+};
+
+}  // namespace raptor::graphdb

@@ -1,0 +1,14 @@
+// Hand-written lexer + recursive-descent parser for the Cypher subset.
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/graphdb/cypher_ast.h"
+
+namespace raptor::graphdb {
+
+/// Parse a single MATCH ... RETURN query.
+Result<CypherQuery> ParseCypher(std::string_view text);
+
+}  // namespace raptor::graphdb

@@ -1,0 +1,94 @@
+#include "storage/graphdb/graph.h"
+
+namespace raptor::graphdb {
+
+namespace {
+
+std::string IndexKey(std::string_view label, std::string_view prop) {
+  std::string key(label);
+  key.push_back('\x1f');
+  key.append(prop);
+  return key;
+}
+
+const std::vector<NodeId> kNoNodes;
+const std::vector<EdgeId> kNoEdges;
+
+}  // namespace
+
+NodeId PropertyGraph::AddNode(std::string label, PropertyMap props) {
+  NodeId id = nodes_.size();
+  Node n;
+  n.id = id;
+  n.label = std::move(label);
+  n.props = std::move(props);
+  by_label_[n.label].push_back(id);
+  // Maintain any matching indexes.
+  for (auto& [key, index] : node_indexes_) {
+    size_t sep = key.find('\x1f');
+    if (key.compare(0, sep, n.label) != 0) continue;
+    std::string prop = key.substr(sep + 1);
+    const Value* v = n.FindProp(prop);
+    if (v != nullptr) index[v->ToString()].push_back(id);
+  }
+  nodes_.push_back(std::move(n));
+  out_edges_.emplace_back();
+  in_edges_.emplace_back();
+  return id;
+}
+
+EdgeId PropertyGraph::AddEdge(NodeId src, NodeId dst, std::string type,
+                              PropertyMap props) {
+  EdgeId id = edges_.size();
+  Edge e;
+  e.id = id;
+  e.src = src;
+  e.dst = dst;
+  e.type = std::move(type);
+  e.props = std::move(props);
+  edges_.push_back(std::move(e));
+  out_edges_[src].push_back(id);
+  in_edges_[dst].push_back(id);
+  return id;
+}
+
+const std::vector<EdgeId>& PropertyGraph::OutEdges(NodeId id) const {
+  return id < out_edges_.size() ? out_edges_[id] : kNoEdges;
+}
+
+const std::vector<EdgeId>& PropertyGraph::InEdges(NodeId id) const {
+  return id < in_edges_.size() ? in_edges_[id] : kNoEdges;
+}
+
+const std::vector<NodeId>& PropertyGraph::NodesWithLabel(
+    std::string_view label) const {
+  auto it = by_label_.find(std::string(label));
+  return it == by_label_.end() ? kNoNodes : it->second;
+}
+
+void PropertyGraph::CreateNodeIndex(std::string_view label,
+                                    std::string_view prop) {
+  std::string key = IndexKey(label, prop);
+  if (node_indexes_.count(key)) return;
+  auto& index = node_indexes_[key];
+  for (NodeId id : NodesWithLabel(label)) {
+    const Value* v = nodes_[id].FindProp(prop);
+    if (v != nullptr) index[v->ToString()].push_back(id);
+  }
+}
+
+bool PropertyGraph::HasNodeIndex(std::string_view label,
+                                 std::string_view prop) const {
+  return node_indexes_.count(IndexKey(label, prop)) > 0;
+}
+
+const std::vector<NodeId>& PropertyGraph::ProbeNodes(std::string_view label,
+                                                     std::string_view prop,
+                                                     const Value& value) const {
+  auto it = node_indexes_.find(IndexKey(label, prop));
+  if (it == node_indexes_.end()) return kNoNodes;
+  auto jt = it->second.find(value.ToString());
+  return jt == it->second.end() ? kNoNodes : jt->second;
+}
+
+}  // namespace raptor::graphdb

@@ -1,0 +1,91 @@
+// In-memory property graph, the storage unit of the embedded graph engine
+// that substitutes Neo4j. Nodes carry a label and a property map; edges
+// carry a type and a property map. Equality indexes over (label, property)
+// pairs support fast seeding of pattern matches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/relational/value.h"
+
+namespace raptor::graphdb {
+
+using NodeId = uint64_t;
+using EdgeId = uint64_t;
+using Value = sql::Value;
+using PropertyMap = std::map<std::string, Value>;
+
+constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+struct Node {
+  NodeId id = 0;
+  std::string label;
+  PropertyMap props;
+
+  const Value* FindProp(std::string_view name) const {
+    auto it = props.find(std::string(name));
+    return it == props.end() ? nullptr : &it->second;
+  }
+};
+
+struct Edge {
+  EdgeId id = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::string type;
+  PropertyMap props;
+
+  const Value* FindProp(std::string_view name) const {
+    auto it = props.find(std::string(name));
+    return it == props.end() ? nullptr : &it->second;
+  }
+};
+
+class PropertyGraph {
+ public:
+  NodeId AddNode(std::string label, PropertyMap props);
+
+  /// Precondition: src and dst are valid node ids.
+  EdgeId AddEdge(NodeId src, NodeId dst, std::string type, PropertyMap props);
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  const Edge& edge(EdgeId id) const { return edges_[id]; }
+
+  const std::vector<EdgeId>& OutEdges(NodeId id) const;
+  const std::vector<EdgeId>& InEdges(NodeId id) const;
+
+  /// All nodes with the given label.
+  const std::vector<NodeId>& NodesWithLabel(std::string_view label) const;
+
+  /// Build an equality index on (label, prop). No-op if already present.
+  void CreateNodeIndex(std::string_view label, std::string_view prop);
+
+  bool HasNodeIndex(std::string_view label, std::string_view prop) const;
+
+  /// Nodes with node.label == label && node.props[prop] == value.
+  /// Precondition: HasNodeIndex(label, prop).
+  const std::vector<NodeId>& ProbeNodes(std::string_view label,
+                                        std::string_view prop,
+                                        const Value& value) const;
+
+  size_t node_count() const { return nodes_.size(); }
+  size_t edge_count() const { return edges_.size(); }
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_edges_;
+  std::vector<std::vector<EdgeId>> in_edges_;
+  std::unordered_map<std::string, std::vector<NodeId>> by_label_;
+  // "label\x1fprop" -> value-string -> node ids
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, std::vector<NodeId>>>
+      node_indexes_;
+};
+
+}  // namespace raptor::graphdb

@@ -1,0 +1,64 @@
+#include "storage/reduction/reduction.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace raptor::storage {
+
+namespace {
+
+uint64_t GroupKey(const audit::SystemEvent& e) {
+  // subject (24 bits) | object (24 bits) | op (8 bits) is plenty for the
+  // entity counts this engine targets; fall back to exactness via chaining
+  // in the map (collisions only cost a wasted comparison, never a wrong
+  // merge, because Mergeable() rechecks the fields).
+  return (static_cast<uint64_t>(e.subject) << 32) ^
+         (static_cast<uint64_t>(e.object) << 8) ^ static_cast<uint64_t>(e.op);
+}
+
+bool Mergeable(const audit::SystemEvent& prev, const audit::SystemEvent& next,
+               audit::Timestamp threshold) {
+  if (prev.subject != next.subject || prev.object != next.object ||
+      prev.op != next.op) {
+    return false;
+  }
+  audit::Timestamp gap = next.start_time - prev.end_time;
+  return gap >= 0 && gap <= threshold;
+}
+
+}  // namespace
+
+std::vector<audit::SystemEvent> ReduceEvents(
+    const std::vector<audit::SystemEvent>& events,
+    const ReductionOptions& options, ReductionStats* stats) {
+  std::vector<audit::SystemEvent> out;
+  out.reserve(events.size());
+  // Last merged event index per (subject, object, op) group.
+  std::unordered_map<uint64_t, size_t> open;
+
+  for (const audit::SystemEvent& e : events) {
+    uint64_t key = GroupKey(e);
+    auto it = open.find(key);
+    if (it != open.end() &&
+        Mergeable(out[it->second], e, options.merge_threshold_us)) {
+      audit::SystemEvent& merged = out[it->second];
+      merged.end_time = e.end_time;
+      merged.amount += e.amount;
+      continue;
+    }
+    open[key] = out.size();
+    out.push_back(e);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const audit::SystemEvent& a, const audit::SystemEvent& b) {
+                     return a.start_time < b.start_time;
+                   });
+  for (size_t i = 0; i < out.size(); ++i) out[i].id = i + 1;
+  if (stats != nullptr) {
+    stats->input_events = events.size();
+    stats->output_events = out.size();
+  }
+  return out;
+}
+
+}  // namespace raptor::storage

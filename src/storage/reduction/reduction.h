@@ -1,0 +1,42 @@
+// Data reduction (Sec III-B): merges excessive system events between the
+// same entity pair before storage. The OS finishes one logical read/write by
+// distributing data across many syscalls; merging them shrinks storage and
+// speeds search while preserving the information needed for threat hunting.
+//
+// Merge criteria (verbatim from the paper): events e1(u1,v1), e2(u2,v2) with
+// e1 before e2 merge iff u1 = u2 && v1 = v2 && e1.op = e2.op &&
+// 0 <= e2.start_time - e1.end_time <= threshold. The merged event keeps
+// e1.start_time, takes e2.end_time and sums the data amounts.
+#pragma once
+
+#include <vector>
+
+#include "audit/types.h"
+
+namespace raptor::storage {
+
+struct ReductionOptions {
+  /// Merge window. The paper experimented with several thresholds and chose
+  /// 1 second as the best trade-off (no false events generated).
+  audit::Timestamp merge_threshold_us = 1'000'000;
+};
+
+struct ReductionStats {
+  size_t input_events = 0;
+  size_t output_events = 0;
+
+  double reduction_ratio() const {
+    return input_events == 0
+               ? 1.0
+               : static_cast<double>(output_events) /
+                     static_cast<double>(input_events);
+  }
+};
+
+/// Merge excessive events. Input must be sorted by start_time (as produced
+/// by AuditLogParser); output preserves that order and reassigns dense ids.
+std::vector<audit::SystemEvent> ReduceEvents(
+    const std::vector<audit::SystemEvent>& events,
+    const ReductionOptions& options, ReductionStats* stats = nullptr);
+
+}  // namespace raptor::storage

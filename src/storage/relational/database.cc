@@ -1,0 +1,52 @@
+#include "storage/relational/database.h"
+
+namespace raptor::sql {
+
+Status Database::CreateTable(std::string_view name, Schema schema) {
+  std::string key(name);
+  if (tables_.count(key)) {
+    return Status::AlreadyExists("table exists: " + key);
+  }
+  tables_.emplace(key, std::make_unique<Table>(key, std::move(schema)));
+  return Status::OK();
+}
+
+Status Database::Insert(std::string_view table, Row row) {
+  Table* t = GetMutableTable(table);
+  if (t == nullptr) {
+    return Status::NotFound("unknown table: " + std::string(table));
+  }
+  return t->Insert(std::move(row));
+}
+
+Status Database::CreateIndex(std::string_view table, std::string_view column) {
+  Table* t = GetMutableTable(table);
+  if (t == nullptr) {
+    return Status::NotFound("unknown table: " + std::string(table));
+  }
+  return t->CreateIndex(column);
+}
+
+Result<ResultSet> Database::Query(std::string_view sql,
+                                  ExecStats* stats) const {
+  auto stmt = ParseSelect(sql);
+  if (!stmt.ok()) return stmt.status();
+  return Execute(stmt.value(), stats);
+}
+
+Result<ResultSet> Database::Execute(const SelectStmt& stmt,
+                                    ExecStats* stats) const {
+  return ExecuteSelect(stmt, *this, stats);
+}
+
+const Table* Database::FindTable(std::string_view name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Table* Database::GetMutableTable(std::string_view name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace raptor::sql

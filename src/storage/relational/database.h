@@ -1,0 +1,46 @@
+// Database facade for the embedded relational engine: table DDL, inserts,
+// indexes and SQL execution. Substitutes PostgreSQL in the paper's storage
+// layer.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/relational/sql_executor.h"
+#include "storage/relational/sql_parser.h"
+#include "storage/relational/table.h"
+
+namespace raptor::sql {
+
+class Database : public Catalog {
+ public:
+  /// Create a new empty table. Fails with AlreadyExists on name collision.
+  Status CreateTable(std::string_view name, Schema schema);
+
+  /// Insert one row into `table`.
+  Status Insert(std::string_view table, Row row);
+
+  /// Create a hash index on table.column.
+  Status CreateIndex(std::string_view table, std::string_view column);
+
+  /// Parse and execute a SELECT statement.
+  Result<ResultSet> Query(std::string_view sql, ExecStats* stats = nullptr) const;
+
+  /// Execute an already-parsed statement.
+  Result<ResultSet> Execute(const SelectStmt& stmt,
+                            ExecStats* stats = nullptr) const;
+
+  // Catalog:
+  const Table* FindTable(std::string_view name) const override;
+
+  Table* GetMutableTable(std::string_view name);
+
+  size_t table_count() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
+};
+
+}  // namespace raptor::sql

@@ -1,0 +1,576 @@
+#include "storage/relational/sql_executor.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace raptor::sql {
+
+namespace {
+
+struct BoundColumn {
+  int alias_idx = -1;
+  int col_idx = -1;
+};
+
+/// Resolves alias.column references against the FROM/JOIN alias list.
+class Binder {
+ public:
+  Binder(const std::vector<std::string>& aliases,
+         const std::vector<const Table*>& tables)
+      : aliases_(aliases), tables_(tables) {}
+
+  Result<BoundColumn> Resolve(const Expr& col) const {
+    BoundColumn out;
+    if (!col.table.empty()) {
+      for (size_t i = 0; i < aliases_.size(); ++i) {
+        if (aliases_[i] == col.table) {
+          out.alias_idx = static_cast<int>(i);
+          break;
+        }
+      }
+      if (out.alias_idx < 0) {
+        return Status::NotFound("unknown table alias: " + col.table);
+      }
+      out.col_idx = tables_[out.alias_idx]->schema().FindColumn(col.column);
+      if (out.col_idx < 0) {
+        return Status::NotFound("no column " + col.column + " in " +
+                                col.table);
+      }
+      return out;
+    }
+    // Unqualified: must be unambiguous across tables.
+    for (size_t i = 0; i < tables_.size(); ++i) {
+      int c = tables_[i]->schema().FindColumn(col.column);
+      if (c >= 0) {
+        if (out.alias_idx >= 0) {
+          return Status::InvalidArgument("ambiguous column: " + col.column);
+        }
+        out.alias_idx = static_cast<int>(i);
+        out.col_idx = c;
+      }
+    }
+    if (out.alias_idx < 0) {
+      return Status::NotFound("unknown column: " + col.column);
+    }
+    return out;
+  }
+
+  size_t alias_count() const { return aliases_.size(); }
+  const Table* table(size_t i) const { return tables_[i]; }
+  const std::string& alias(size_t i) const { return aliases_[i]; }
+
+ private:
+  const std::vector<std::string>& aliases_;
+  const std::vector<const Table*>& tables_;
+};
+
+using Tuple = std::vector<RowId>;  // one RowId per alias; SIZE_MAX = unbound
+
+constexpr RowId kUnbound = static_cast<RowId>(-1);
+
+/// Expression evaluator over a (possibly partially bound) tuple.
+class Evaluator {
+ public:
+  Evaluator(const Binder& binder) : binder_(binder) {}
+
+  Result<Value> Eval(const Expr& e, const Tuple& tuple) const {
+    switch (e.kind) {
+      case ExprKind::kLiteral:
+        return e.literal;
+      case ExprKind::kColumnRef: {
+        auto bc = binder_.Resolve(e);
+        if (!bc.ok()) return bc.status();
+        RowId rid = tuple[bc.value().alias_idx];
+        if (rid == kUnbound) {
+          return Status::Internal("column evaluated before alias bound: " +
+                                  e.ToString());
+        }
+        return binder_.table(bc.value().alias_idx)
+            ->rows()[rid][bc.value().col_idx];
+      }
+      case ExprKind::kUnaryNot: {
+        auto inner = Eval(*e.lhs, tuple);
+        if (!inner.ok()) return inner.status();
+        return Value(static_cast<int64_t>(!Truthy(inner.value())));
+      }
+      case ExprKind::kInList: {
+        auto lhs = Eval(*e.lhs, tuple);
+        if (!lhs.ok()) return lhs.status();
+        bool found = false;
+        for (const Value& v : e.in_list) {
+          if (lhs.value().Compare(v) == 0) {
+            found = true;
+            break;
+          }
+        }
+        return Value(static_cast<int64_t>(e.negated ? !found : found));
+      }
+      case ExprKind::kBinary: {
+        if (e.op == BinaryOp::kAnd) {
+          auto l = Eval(*e.lhs, tuple);
+          if (!l.ok()) return l.status();
+          if (!Truthy(l.value())) return Value(static_cast<int64_t>(0));
+          auto r = Eval(*e.rhs, tuple);
+          if (!r.ok()) return r.status();
+          return Value(static_cast<int64_t>(Truthy(r.value())));
+        }
+        if (e.op == BinaryOp::kOr) {
+          auto l = Eval(*e.lhs, tuple);
+          if (!l.ok()) return l.status();
+          if (Truthy(l.value())) return Value(static_cast<int64_t>(1));
+          auto r = Eval(*e.rhs, tuple);
+          if (!r.ok()) return r.status();
+          return Value(static_cast<int64_t>(Truthy(r.value())));
+        }
+        auto l = Eval(*e.lhs, tuple);
+        if (!l.ok()) return l.status();
+        auto r = Eval(*e.rhs, tuple);
+        if (!r.ok()) return r.status();
+        if (e.op == BinaryOp::kAdd || e.op == BinaryOp::kSub) {
+          if (l.value().is_double() || r.value().is_double()) {
+            double a = l.value().AsDouble(), b = r.value().AsDouble();
+            return Value(e.op == BinaryOp::kAdd ? a + b : a - b);
+          }
+          int64_t a = l.value().AsInt(), b = r.value().AsInt();
+          return Value(e.op == BinaryOp::kAdd ? a + b : a - b);
+        }
+        return Value(static_cast<int64_t>(Compare(e.op, l.value(), r.value())));
+      }
+    }
+    return Status::Internal("unreachable expr kind");
+  }
+
+  static bool Truthy(const Value& v) {
+    if (v.is_null()) return false;
+    if (v.is_int()) return v.AsInt() != 0;
+    if (v.is_double()) return v.AsDouble() != 0.0;
+    return !v.AsText().empty();
+  }
+
+  static bool Compare(BinaryOp op, const Value& l, const Value& r) {
+    switch (op) {
+      case BinaryOp::kEq: return l.Compare(r) == 0;
+      case BinaryOp::kNe: return l.Compare(r) != 0;
+      case BinaryOp::kLt: return l.Compare(r) < 0;
+      case BinaryOp::kLe: return l.Compare(r) <= 0;
+      case BinaryOp::kGt: return l.Compare(r) > 0;
+      case BinaryOp::kGe: return l.Compare(r) >= 0;
+      case BinaryOp::kLike: return LikeMatch(l.ToString(), r.ToString());
+      case BinaryOp::kNotLike: return !LikeMatch(l.ToString(), r.ToString());
+      default: return false;
+    }
+  }
+
+ private:
+  const Binder& binder_;
+};
+
+/// Which aliases an expression references.
+void CollectAliases(const Expr& e, const Binder& binder,
+                    std::set<int>* aliases) {
+  switch (e.kind) {
+    case ExprKind::kColumnRef: {
+      auto bc = binder.Resolve(e);
+      if (bc.ok()) aliases->insert(bc.value().alias_idx);
+      break;
+    }
+    case ExprKind::kBinary:
+      CollectAliases(*e.lhs, binder, aliases);
+      CollectAliases(*e.rhs, binder, aliases);
+      break;
+    case ExprKind::kUnaryNot:
+      CollectAliases(*e.lhs, binder, aliases);
+      break;
+    case ExprKind::kInList:
+      CollectAliases(*e.lhs, binder, aliases);
+      break;
+    case ExprKind::kLiteral:
+      break;
+  }
+}
+
+/// Split an expression into AND-ed conjuncts (ownership stays with caller).
+void SplitConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kBinary && e->op == BinaryOp::kAnd) {
+    SplitConjuncts(e->lhs.get(), out);
+    SplitConjuncts(e->rhs.get(), out);
+  } else {
+    out->push_back(e);
+  }
+}
+
+struct Conjunct {
+  const Expr* expr;
+  std::set<int> aliases;
+  bool applied = false;
+};
+
+std::string HashKey(const std::vector<Value>& values) {
+  std::string key;
+  for (const Value& v : values) {
+    key += v.ToString();
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+}  // namespace
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::string out = Join(columns, " | ") + "\n";
+  size_t n = std::min(max_rows, rows.size());
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<std::string> cells;
+    cells.reserve(rows[i].size());
+    for (const Value& v : rows[i]) cells.push_back(v.ToString());
+    out += Join(cells, " | ") + "\n";
+  }
+  if (rows.size() > n) {
+    out += StrFormat("... (%zu more rows)\n", rows.size() - n);
+  }
+  return out;
+}
+
+Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
+                                ExecStats* stats) {
+  ExecStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+
+  // Bind all table refs (FROM list then JOINs, left-deep order).
+  std::vector<std::string> aliases;
+  std::vector<const Table*> tables;
+  auto bind_table = [&](const TableRef& ref) -> Status {
+    const Table* t = catalog.FindTable(ref.table);
+    if (t == nullptr) return Status::NotFound("unknown table: " + ref.table);
+    for (const std::string& a : aliases) {
+      if (a == ref.effective_alias()) {
+        return Status::InvalidArgument("duplicate alias: " + a);
+      }
+    }
+    aliases.push_back(ref.effective_alias());
+    tables.push_back(t);
+    return Status::OK();
+  };
+  for (const TableRef& ref : stmt.from) RAPTOR_RETURN_NOT_OK(bind_table(ref));
+  for (const JoinClause& j : stmt.joins) RAPTOR_RETURN_NOT_OK(bind_table(j.table));
+
+  Binder binder(aliases, tables);
+  Evaluator eval(binder);
+
+  // Gather conjuncts from WHERE and all JOIN ... ON clauses.
+  std::vector<const Expr*> raw_conjuncts;
+  SplitConjuncts(stmt.where.get(), &raw_conjuncts);
+  for (const JoinClause& j : stmt.joins) {
+    SplitConjuncts(j.on.get(), &raw_conjuncts);
+  }
+  std::vector<Conjunct> conjuncts;
+  conjuncts.reserve(raw_conjuncts.size());
+  for (const Expr* e : raw_conjuncts) {
+    Conjunct c;
+    c.expr = e;
+    CollectAliases(*e, binder, &c.aliases);
+    conjuncts.push_back(std::move(c));
+  }
+
+  // --- Base-table filtering -------------------------------------------------
+  // For each alias, gather its single-table conjuncts; try index probes for
+  // equality / IN conjuncts on indexed columns, then filter the candidates.
+  std::vector<std::vector<RowId>> candidates(aliases.size());
+  for (size_t a = 0; a < aliases.size(); ++a) {
+    const Table* table = tables[a];
+    std::vector<const Expr*> filters;
+    for (Conjunct& c : conjuncts) {
+      if (c.aliases.size() == 1 && *c.aliases.begin() == static_cast<int>(a)) {
+        filters.push_back(c.expr);
+        c.applied = true;
+      }
+    }
+    // Index selection: gather every probe-able equality / IN conjunct on
+    // this alias and pick the most selective one (smallest candidate set),
+    // the standard access-path choice a relational planner makes.
+    std::vector<RowId> seed;
+    bool seeded = false;
+    size_t best_size = static_cast<size_t>(-1);
+    for (const Expr* f : filters) {
+      std::vector<RowId> candidate;
+      bool usable = false;
+      if (f->kind == ExprKind::kBinary && f->op == BinaryOp::kEq) {
+        const Expr* col = nullptr;
+        const Expr* lit = nullptr;
+        if (f->lhs->kind == ExprKind::kColumnRef &&
+            f->rhs->kind == ExprKind::kLiteral) {
+          col = f->lhs.get();
+          lit = f->rhs.get();
+        } else if (f->rhs->kind == ExprKind::kColumnRef &&
+                   f->lhs->kind == ExprKind::kLiteral) {
+          col = f->rhs.get();
+          lit = f->lhs.get();
+        }
+        if (col != nullptr) {
+          auto bc = binder.Resolve(*col);
+          if (bc.ok() && bc.value().alias_idx == static_cast<int>(a) &&
+              table->HasIndex(bc.value().col_idx)) {
+            candidate = table->Probe(bc.value().col_idx, lit->literal);
+            usable = true;
+          }
+        }
+      } else if (f->kind == ExprKind::kInList && !f->negated &&
+                 f->lhs->kind == ExprKind::kColumnRef) {
+        auto bc = binder.Resolve(*f->lhs);
+        if (bc.ok() && bc.value().alias_idx == static_cast<int>(a) &&
+            table->HasIndex(bc.value().col_idx)) {
+          std::unordered_set<RowId> merged;
+          for (const Value& v : f->in_list) {
+            for (RowId rid : table->Probe(bc.value().col_idx, v)) {
+              merged.insert(rid);
+            }
+          }
+          candidate.assign(merged.begin(), merged.end());
+          std::sort(candidate.begin(), candidate.end());
+          usable = true;
+        }
+      }
+      if (usable && candidate.size() < best_size) {
+        best_size = candidate.size();
+        seed = std::move(candidate);
+        seeded = true;
+      }
+    }
+    if (!seeded) {
+      seed.resize(table->row_count());
+      for (RowId i = 0; i < table->row_count(); ++i) seed[i] = i;
+    } else {
+      stats->index_probe_rows += seed.size();
+    }
+    // Apply all single-table filters.
+    Tuple probe(aliases.size(), kUnbound);
+    std::vector<RowId>& out = candidates[a];
+    out.reserve(seed.size());
+    for (RowId rid : seed) {
+      ++stats->base_rows_scanned;
+      probe[a] = rid;
+      bool pass = true;
+      for (const Expr* f : filters) {
+        auto v = eval.Eval(*f, probe);
+        if (!v.ok()) return v.status();
+        if (!Evaluator::Truthy(v.value())) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) out.push_back(rid);
+    }
+  }
+
+  // --- Left-deep joins ------------------------------------------------------
+  std::vector<Tuple> tuples;
+  tuples.push_back(Tuple(aliases.size(), kUnbound));
+  std::set<int> bound;
+
+  for (size_t a = 0; a < aliases.size(); ++a) {
+    // Equi-join conjuncts linking alias `a` to already-bound aliases:
+    // colref(a) = colref(bound).
+    std::vector<std::pair<BoundColumn, BoundColumn>> join_keys;  // (new, old)
+    for (Conjunct& c : conjuncts) {
+      if (c.applied || c.expr->kind != ExprKind::kBinary ||
+          c.expr->op != BinaryOp::kEq) {
+        continue;
+      }
+      const Expr& e = *c.expr;
+      if (e.lhs->kind != ExprKind::kColumnRef ||
+          e.rhs->kind != ExprKind::kColumnRef) {
+        continue;
+      }
+      auto l = binder.Resolve(*e.lhs);
+      auto r = binder.Resolve(*e.rhs);
+      if (!l.ok() || !r.ok()) continue;
+      BoundColumn lc = l.value(), rc = r.value();
+      auto is_new = [&](const BoundColumn& b) {
+        return b.alias_idx == static_cast<int>(a);
+      };
+      auto is_bound = [&](const BoundColumn& b) {
+        return bound.count(b.alias_idx) > 0;
+      };
+      if (is_new(lc) && is_bound(rc)) {
+        join_keys.emplace_back(lc, rc);
+        c.applied = true;
+      } else if (is_new(rc) && is_bound(lc)) {
+        join_keys.emplace_back(rc, lc);
+        c.applied = true;
+      }
+    }
+
+    std::vector<Tuple> next;
+    if (!join_keys.empty()) {
+      // Hash join: build on the new table's candidates, probe with tuples.
+      std::unordered_map<std::string, std::vector<RowId>> build;
+      const Table* table = tables[a];
+      for (RowId rid : candidates[a]) {
+        std::vector<Value> key_vals;
+        key_vals.reserve(join_keys.size());
+        for (const auto& [nc, oc] : join_keys) {
+          key_vals.push_back(table->rows()[rid][nc.col_idx]);
+        }
+        build[HashKey(key_vals)].push_back(rid);
+      }
+      for (const Tuple& t : tuples) {
+        std::vector<Value> key_vals;
+        key_vals.reserve(join_keys.size());
+        for (const auto& [nc, oc] : join_keys) {
+          key_vals.push_back(
+              binder.table(oc.alias_idx)->rows()[t[oc.alias_idx]][oc.col_idx]);
+        }
+        auto it = build.find(HashKey(key_vals));
+        if (it == build.end()) continue;
+        for (RowId rid : it->second) {
+          Tuple nt = t;
+          nt[a] = rid;
+          next.push_back(std::move(nt));
+        }
+      }
+    } else {
+      // Cross product with the filtered candidates.
+      next.reserve(tuples.size() * std::max<size_t>(1, candidates[a].size()));
+      for (const Tuple& t : tuples) {
+        for (RowId rid : candidates[a]) {
+          Tuple nt = t;
+          nt[a] = rid;
+          next.push_back(std::move(nt));
+        }
+      }
+    }
+    bound.insert(static_cast<int>(a));
+    stats->join_output_tuples += next.size();
+
+    // Apply any residual conjuncts that just became fully bound (e.g.
+    // temporal constraints between two event aliases).
+    std::vector<const Expr*> now_ready;
+    for (Conjunct& c : conjuncts) {
+      if (c.applied) continue;
+      bool ready = true;
+      for (int al : c.aliases) {
+        if (!bound.count(al)) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        now_ready.push_back(c.expr);
+        c.applied = true;
+      }
+    }
+    if (!now_ready.empty()) {
+      std::vector<Tuple> filtered;
+      filtered.reserve(next.size());
+      for (const Tuple& t : next) {
+        bool pass = true;
+        for (const Expr* e : now_ready) {
+          auto v = eval.Eval(*e, t);
+          if (!v.ok()) return v.status();
+          if (!Evaluator::Truthy(v.value())) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) filtered.push_back(t);
+      }
+      next = std::move(filtered);
+    }
+    tuples = std::move(next);
+    if (tuples.empty()) break;
+  }
+
+  // --- Projection -----------------------------------------------------------
+  ResultSet result;
+  std::vector<const Expr*> projected;
+  for (const SelectItem& item : stmt.items) {
+    if (item.star) {
+      for (size_t a = 0; a < aliases.size(); ++a) {
+        for (size_t c = 0; c < tables[a]->schema().size(); ++c) {
+          result.columns.push_back(aliases[a] + "." +
+                                   tables[a]->schema().column(c).name);
+        }
+      }
+    } else {
+      result.columns.push_back(item.alias.empty() ? item.expr->ToString()
+                                                  : item.alias);
+      projected.push_back(item.expr.get());
+    }
+  }
+  bool has_star = std::any_of(stmt.items.begin(), stmt.items.end(),
+                              [](const SelectItem& i) { return i.star; });
+
+  for (const Tuple& t : tuples) {
+    Row row;
+    if (has_star) {
+      for (size_t a = 0; a < aliases.size(); ++a) {
+        const Row& src = tables[a]->rows()[t[a]];
+        row.insert(row.end(), src.begin(), src.end());
+      }
+    }
+    for (const Expr* e : projected) {
+      auto v = eval.Eval(*e, t);
+      if (!v.ok()) return v.status();
+      row.push_back(std::move(v).value());
+    }
+    result.rows.push_back(std::move(row));
+  }
+
+  // --- ORDER BY / DISTINCT / LIMIT -------------------------------------------
+  if (!stmt.order_by.empty()) {
+    // Evaluate order keys against result rows is not possible (rows are
+    // projected); instead sort tuples is gone. Re-evaluate on result rows by
+    // matching the order expr to a projected column where possible.
+    std::vector<int> key_cols;
+    std::vector<bool> desc;
+    for (const OrderItem& o : stmt.order_by) {
+      std::string txt = o.expr->ToString();
+      int col = -1;
+      for (size_t c = 0; c < result.columns.size(); ++c) {
+        if (result.columns[c] == txt) {
+          col = static_cast<int>(c);
+          break;
+        }
+      }
+      if (col < 0) {
+        return Status::Unsupported("ORDER BY must reference a selected column: " +
+                                   txt);
+      }
+      key_cols.push_back(col);
+      desc.push_back(o.descending);
+    }
+    std::stable_sort(result.rows.begin(), result.rows.end(),
+                     [&](const Row& a, const Row& b) {
+                       for (size_t k = 0; k < key_cols.size(); ++k) {
+                         int cmp = a[key_cols[k]].Compare(b[key_cols[k]]);
+                         if (cmp != 0) return desc[k] ? cmp > 0 : cmp < 0;
+                       }
+                       return false;
+                     });
+  }
+  if (stmt.distinct) {
+    std::unordered_set<std::string> seen;
+    std::vector<Row> unique;
+    unique.reserve(result.rows.size());
+    for (Row& r : result.rows) {
+      std::vector<Value> vals(r.begin(), r.end());
+      std::string key = HashKey(vals);
+      if (seen.insert(key).second) unique.push_back(std::move(r));
+    }
+    result.rows = std::move(unique);
+  }
+  if (stmt.limit >= 0 &&
+      result.rows.size() > static_cast<size_t>(stmt.limit)) {
+    result.rows.resize(static_cast<size_t>(stmt.limit));
+  }
+  return result;
+}
+
+}  // namespace raptor::sql

@@ -1,0 +1,37 @@
+// Hand-written lexer + recursive-descent parser for the SQL subset.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/relational/sql_ast.h"
+
+namespace raptor::sql {
+
+enum class TokenKind {
+  kIdent,
+  kKeyword,   // normalized upper-case
+  kInt,
+  kFloat,
+  kString,
+  kSymbol,    // punctuation / operators, e.g. "=", "<=", ",", "(", ")"
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // keyword text is upper-cased
+  size_t pos = 0;     // byte offset in the input, for error messages
+};
+
+/// Tokenize SQL text. Keywords are case-insensitive; string literals use
+/// single quotes with '' escaping.
+Result<std::vector<Token>> LexSql(std::string_view sql);
+
+/// Parse a single SELECT statement.
+Result<SelectStmt> ParseSelect(std::string_view sql);
+
+}  // namespace raptor::sql

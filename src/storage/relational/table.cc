@@ -1,0 +1,59 @@
+#include "storage/relational/table.h"
+
+#include "common/strings.h"
+
+namespace raptor::sql {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    by_name_.emplace(columns_[i].name, static_cast<int>(i));
+  }
+}
+
+int Schema::FindColumn(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+Status Table::Insert(Row row) {
+  if (row.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("table %s expects %zu columns, got %zu", name_.c_str(),
+                  schema_.size(), row.size()));
+  }
+  RowId id = rows_.size();
+  for (auto& [col, index] : indexes_) {
+    index[row[col].ToString()].push_back(id);
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Table::CreateIndex(std::string_view column) {
+  int col = schema_.FindColumn(column);
+  if (col < 0) {
+    return Status::NotFound(StrFormat("no column %s in table %s",
+                                      std::string(column).c_str(),
+                                      name_.c_str()));
+  }
+  if (indexes_.count(col)) return Status::OK();
+  auto& index = indexes_[col];
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    index[rows_[id][col].ToString()].push_back(id);
+  }
+  return Status::OK();
+}
+
+bool Table::HasIndex(int column_idx) const {
+  return indexes_.count(column_idx) > 0;
+}
+
+const std::vector<RowId>& Table::Probe(int column_idx, const Value& v) const {
+  static const std::vector<RowId> kEmpty;
+  auto it = indexes_.find(column_idx);
+  if (it == indexes_.end()) return kEmpty;
+  auto jt = it->second.find(v.ToString());
+  return jt == it->second.end() ? kEmpty : jt->second;
+}
+
+}  // namespace raptor::sql

@@ -1,0 +1,75 @@
+// In-memory row-store table with hash equality indexes, the storage unit of
+// the embedded relational engine that substitutes PostgreSQL.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/relational/value.h"
+
+namespace raptor::sql {
+
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kText;
+};
+
+/// Table schema: ordered named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  /// Index of `name`, or -1.
+  int FindColumn(std::string_view name) const;
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t size() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+ private:
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+using Row = std::vector<Value>;
+using RowId = size_t;
+
+/// Row-store table. Supports appends, full scans, and hash-index-backed
+/// equality probes on indexed columns.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  /// Append one row. Arity must match the schema; values are checked
+  /// loosely (NULL is accepted for any column).
+  Status Insert(Row row);
+
+  /// Create (or no-op if present) a hash index on `column`. Existing rows
+  /// are indexed immediately; inserts maintain it.
+  Status CreateIndex(std::string_view column);
+
+  bool HasIndex(int column_idx) const;
+
+  /// Row ids whose `column_idx` cell equals `v` (index probe).
+  /// Precondition: HasIndex(column_idx).
+  const std::vector<RowId>& Probe(int column_idx, const Value& v) const;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  // column index -> (value key -> row ids)
+  std::unordered_map<int, std::unordered_map<std::string, std::vector<RowId>>>
+      indexes_;
+};
+
+}  // namespace raptor::sql

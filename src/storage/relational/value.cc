@@ -1,0 +1,67 @@
+#include "storage/relational/value.h"
+
+#include <cstdio>
+
+namespace raptor::sql {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64: return "INT";
+    case ColumnType::kDouble: return "DOUBLE";
+    case ColumnType::kText: return "TEXT";
+  }
+  return "?";
+}
+
+int64_t Value::AsInt() const {
+  if (is_int()) return std::get<int64_t>(v_);
+  if (is_double()) return static_cast<int64_t>(std::get<double>(v_));
+  return 0;
+}
+
+double Value::AsDouble() const {
+  if (is_double()) return std::get<double>(v_);
+  if (is_int()) return static_cast<double>(std::get<int64_t>(v_));
+  return 0.0;
+}
+
+const std::string& Value::AsText() const {
+  static const std::string kEmpty;
+  if (is_text()) return std::get<std::string>(v_);
+  return kEmpty;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(std::get<int64_t>(v_));
+  if (is_double()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", std::get<double>(v_));
+    return buf;
+  }
+  return std::get<std::string>(v_);
+}
+
+int Value::Compare(const Value& other) const {
+  // NULLs first.
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  bool lhs_num = is_int() || is_double();
+  bool rhs_num = other.is_int() || other.is_double();
+  if (lhs_num && rhs_num) {
+    if (is_int() && other.is_int()) {
+      int64_t a = AsInt(), b = other.AsInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = AsDouble(), b = other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (lhs_num != rhs_num) return lhs_num ? -1 : 1;
+  const std::string& a = AsText();
+  const std::string& b = other.AsText();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+}  // namespace raptor::sql

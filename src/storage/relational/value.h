@@ -1,0 +1,54 @@
+// Typed cell values for the embedded relational engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace raptor::sql {
+
+enum class ColumnType {
+  kInt64 = 0,
+  kDouble,
+  kText,
+};
+
+const char* ColumnTypeName(ColumnType type);
+
+/// A dynamically typed cell: NULL, INT64, DOUBLE or TEXT.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(const char* s) : v_(std::string(s)) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_text() const { return std::holds_alternative<std::string>(v_); }
+
+  int64_t AsInt() const;      // numeric coercion; 0 for non-numeric
+  double AsDouble() const;    // numeric coercion; 0.0 for non-numeric
+  const std::string& AsText() const;  // empty string if not text
+
+  /// Render for display and for index keys.
+  std::string ToString() const;
+
+  /// Three-way comparison with SQL-ish semantics: NULL sorts first; numeric
+  /// types compare numerically (with int/double coercion); text compares
+  /// lexicographically; numeric < text across types.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+}  // namespace raptor::sql

@@ -1,0 +1,196 @@
+#include "storage/snapshot.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace raptor::storage {
+
+namespace {
+
+constexpr std::string_view kHeader = "raptor-snapshot v1";
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\\': out += "\\\\"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> Unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (++i >= s.size()) return Status::ParseError("dangling escape");
+    switch (s[i]) {
+      case 't': out.push_back('\t'); break;
+      case 'n': out.push_back('\n'); break;
+      case '\\': out.push_back('\\'); break;
+      default: return Status::ParseError("unknown escape");
+    }
+  }
+  return out;
+}
+
+Result<long long> FieldInt(const std::vector<std::string>& fields, size_t i) {
+  if (i >= fields.size()) return Status::ParseError("missing field");
+  long long v = 0;
+  if (!ParseInt64(fields[i], &v)) {
+    return Status::ParseError("bad integer field: " + fields[i]);
+  }
+  return v;
+}
+
+Result<std::string> FieldStr(const std::vector<std::string>& fields,
+                             size_t i) {
+  if (i >= fields.size()) return Status::ParseError("missing field");
+  return Unescape(fields[i]);
+}
+
+}  // namespace
+
+std::string SnapshotToString(const audit::ParsedLog& log) {
+  std::string out(kHeader);
+  out.push_back('\n');
+  out += StrFormat("E %zu\n", log.entities.size());
+  for (const audit::SystemEntity& e : log.entities.entities()) {
+    out += StrFormat(
+        "%d\t%s\t%s\t%lld\t%s\t%s\t%d\t%s\t%d\t%s\t%s\t%s\n",
+        static_cast<int>(e.type), Escape(e.name).c_str(),
+        Escape(e.exename).c_str(), static_cast<long long>(e.pid),
+        Escape(e.cmd).c_str(), Escape(e.srcip).c_str(), e.srcport,
+        Escape(e.dstip).c_str(), e.dstport, Escape(e.protocol).c_str(),
+        Escape(e.user).c_str(), Escape(e.group).c_str());
+  }
+  out += StrFormat("V %zu\n", log.events.size());
+  for (const audit::SystemEvent& ev : log.events) {
+    out += StrFormat("%llu\t%llu\t%d\t%lld\t%lld\t%lld\t%d\n",
+                     static_cast<unsigned long long>(ev.subject),
+                     static_cast<unsigned long long>(ev.object),
+                     static_cast<int>(ev.op),
+                     static_cast<long long>(ev.start_time),
+                     static_cast<long long>(ev.end_time),
+                     static_cast<long long>(ev.amount), ev.failure_code);
+  }
+  return out;
+}
+
+Result<audit::ParsedLog> SnapshotFromString(std::string_view data) {
+  std::vector<std::string> lines = Split(data, '\n');
+  size_t li = 0;
+  auto next_line = [&]() -> const std::string* {
+    return li < lines.size() ? &lines[li++] : nullptr;
+  };
+  const std::string* header = next_line();
+  if (header == nullptr || TrimView(*header) != kHeader) {
+    return Status::ParseError("not a raptor snapshot (bad header)");
+  }
+
+  audit::ParsedLog log;
+  const std::string* entity_count_line = next_line();
+  long long n_entities = 0;
+  if (entity_count_line == nullptr ||
+      !StartsWith(*entity_count_line, "E ") ||
+      !ParseInt64(std::string_view(*entity_count_line).substr(2),
+                  &n_entities)) {
+    return Status::ParseError("bad entity count line");
+  }
+  for (long long i = 0; i < n_entities; ++i) {
+    const std::string* line = next_line();
+    if (line == nullptr) return Status::ParseError("truncated entities");
+    std::vector<std::string> f = Split(*line, '\t');
+    RAPTOR_ASSIGN_OR_RETURN(long long type_num, FieldInt(f, 0));
+    RAPTOR_ASSIGN_OR_RETURN(std::string name, FieldStr(f, 1));
+    RAPTOR_ASSIGN_OR_RETURN(std::string exename, FieldStr(f, 2));
+    RAPTOR_ASSIGN_OR_RETURN(long long pid, FieldInt(f, 3));
+    RAPTOR_ASSIGN_OR_RETURN(std::string cmd, FieldStr(f, 4));
+    RAPTOR_ASSIGN_OR_RETURN(std::string srcip, FieldStr(f, 5));
+    RAPTOR_ASSIGN_OR_RETURN(long long srcport, FieldInt(f, 6));
+    RAPTOR_ASSIGN_OR_RETURN(std::string dstip, FieldStr(f, 7));
+    RAPTOR_ASSIGN_OR_RETURN(long long dstport, FieldInt(f, 8));
+    RAPTOR_ASSIGN_OR_RETURN(std::string protocol, FieldStr(f, 9));
+    RAPTOR_ASSIGN_OR_RETURN(std::string user, FieldStr(f, 10));
+    RAPTOR_ASSIGN_OR_RETURN(std::string group, FieldStr(f, 11));
+    switch (static_cast<audit::EntityType>(type_num)) {
+      case audit::EntityType::kFile:
+        log.entities.InternFile(name, user, group);
+        break;
+      case audit::EntityType::kProcess:
+        log.entities.InternProcess(exename, pid, cmd, user, group);
+        break;
+      case audit::EntityType::kNetwork:
+        log.entities.InternNetwork(srcip, static_cast<int>(srcport), dstip,
+                                   static_cast<int>(dstport), protocol);
+        break;
+      default:
+        return Status::ParseError("bad entity type");
+    }
+  }
+
+  const std::string* event_count_line = next_line();
+  long long n_events = 0;
+  if (event_count_line == nullptr || !StartsWith(*event_count_line, "V ") ||
+      !ParseInt64(std::string_view(*event_count_line).substr(2), &n_events)) {
+    return Status::ParseError("bad event count line");
+  }
+  for (long long i = 0; i < n_events; ++i) {
+    const std::string* line = next_line();
+    if (line == nullptr) return Status::ParseError("truncated events");
+    std::vector<std::string> f = Split(*line, '\t');
+    audit::SystemEvent ev;
+    RAPTOR_ASSIGN_OR_RETURN(long long subject, FieldInt(f, 0));
+    RAPTOR_ASSIGN_OR_RETURN(long long object, FieldInt(f, 1));
+    RAPTOR_ASSIGN_OR_RETURN(long long op, FieldInt(f, 2));
+    RAPTOR_ASSIGN_OR_RETURN(long long start, FieldInt(f, 3));
+    RAPTOR_ASSIGN_OR_RETURN(long long end, FieldInt(f, 4));
+    RAPTOR_ASSIGN_OR_RETURN(long long amount, FieldInt(f, 5));
+    RAPTOR_ASSIGN_OR_RETURN(long long failure, FieldInt(f, 6));
+    if (op < 0 || op >= audit::kNumEventOps) {
+      return Status::ParseError("bad event op");
+    }
+    ev.id = static_cast<audit::EventId>(i + 1);
+    ev.subject = static_cast<audit::EntityId>(subject);
+    ev.object = static_cast<audit::EntityId>(object);
+    if (ev.subject == 0 || ev.subject > log.entities.size() ||
+        ev.object == 0 || ev.object > log.entities.size()) {
+      return Status::ParseError("event references unknown entity");
+    }
+    ev.op = static_cast<audit::EventOp>(op);
+    ev.object_type = log.entities.Get(ev.object).type;
+    ev.start_time = start;
+    ev.end_time = end;
+    ev.amount = amount;
+    ev.failure_code = static_cast<int>(failure);
+    log.events.push_back(ev);
+  }
+  return log;
+}
+
+Status SaveSnapshot(const audit::ParsedLog& log, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::NotFound("cannot write: " + path);
+  out << SnapshotToString(log);
+  return out.good() ? Status::OK() : Status::Internal("write failed: " + path);
+}
+
+Result<audit::ParsedLog> LoadSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return SnapshotFromString(ss.str());
+}
+
+}  // namespace raptor::storage

@@ -1,0 +1,33 @@
+// Snapshot persistence for parsed audit data. Parsing + reduction of a
+// large raw log is the expensive part of ingestion; a snapshot stores the
+// parsed entities and events in a compact tab-separated text format so a
+// store can be rebuilt without re-parsing (the role PostgreSQL/Neo4j
+// persistence plays in the paper's deployment).
+//
+// Format (version-tagged, line-oriented, '\t'-separated, strings with
+// backslash escapes for tab/newline/backslash):
+//   raptor-snapshot v1
+//   E <count>            followed by one line per entity
+//   V <count>            followed by one line per event
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "audit/types.h"
+#include "common/status.h"
+
+namespace raptor::storage {
+
+/// Serialize a parsed log (entities + events).
+std::string SnapshotToString(const audit::ParsedLog& log);
+
+/// Parse a snapshot back. Fails with ParseError on malformed input or an
+/// unsupported version tag.
+Result<audit::ParsedLog> SnapshotFromString(std::string_view data);
+
+/// Convenience file wrappers.
+Status SaveSnapshot(const audit::ParsedLog& log, const std::string& path);
+Result<audit::ParsedLog> LoadSnapshot(const std::string& path);
+
+}  // namespace raptor::storage

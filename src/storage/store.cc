@@ -1,0 +1,159 @@
+#include "storage/store.h"
+
+namespace raptor::storage {
+
+using audit::EntityType;
+using audit::SystemEntity;
+using audit::SystemEvent;
+using sql::ColumnType;
+using sql::Row;
+using sql::Schema;
+using sql::Value;
+
+Status AuditStore::Load(const audit::ParsedLog& log) {
+  if (loaded_) {
+    return Status::InvalidArgument("AuditStore::Load called twice");
+  }
+  loaded_ = true;
+  entities_ = log.entities.entities();
+  if (options_.enable_reduction) {
+    events_ = ReduceEvents(log.events, options_.reduction, &reduction_stats_);
+  } else {
+    events_ = log.events;
+    reduction_stats_.input_events = events_.size();
+    reduction_stats_.output_events = events_.size();
+  }
+  RAPTOR_RETURN_NOT_OK(LoadRelational());
+  RAPTOR_RETURN_NOT_OK(LoadGraph());
+  return Status::OK();
+}
+
+Status AuditStore::LoadRelational() {
+  Schema entity_schema({{"id", ColumnType::kInt64},
+                        {"type", ColumnType::kText},
+                        {"name", ColumnType::kText},
+                        {"path", ColumnType::kText},
+                        {"pid", ColumnType::kInt64},
+                        {"exename", ColumnType::kText},
+                        {"cmd", ColumnType::kText},
+                        {"srcip", ColumnType::kText},
+                        {"srcport", ColumnType::kInt64},
+                        {"dstip", ColumnType::kText},
+                        {"dstport", ColumnType::kInt64},
+                        {"protocol", ColumnType::kText},
+                        {"user", ColumnType::kText},
+                        {"grp", ColumnType::kText}});
+  RAPTOR_RETURN_NOT_OK(relational_.CreateTable("entities", entity_schema));
+  Schema event_schema({{"id", ColumnType::kInt64},
+                       {"subject", ColumnType::kInt64},
+                       {"object", ColumnType::kInt64},
+                       {"op", ColumnType::kText},
+                       {"object_type", ColumnType::kText},
+                       {"start_time", ColumnType::kInt64},
+                       {"end_time", ColumnType::kInt64},
+                       {"amount", ColumnType::kInt64},
+                       {"failure_code", ColumnType::kInt64}});
+  RAPTOR_RETURN_NOT_OK(relational_.CreateTable("events", event_schema));
+
+  for (const SystemEntity& e : entities_) {
+    Row row;
+    row.reserve(14);
+    row.emplace_back(static_cast<int64_t>(e.id));
+    row.emplace_back(audit::EntityTypeName(e.type));
+    row.emplace_back(e.name);
+    row.emplace_back(e.path);
+    row.emplace_back(static_cast<int64_t>(e.pid));
+    row.emplace_back(e.exename);
+    row.emplace_back(e.cmd);
+    row.emplace_back(e.srcip);
+    row.emplace_back(static_cast<int64_t>(e.srcport));
+    row.emplace_back(e.dstip);
+    row.emplace_back(static_cast<int64_t>(e.dstport));
+    row.emplace_back(e.protocol);
+    row.emplace_back(e.user);
+    row.emplace_back(e.group);
+    RAPTOR_RETURN_NOT_OK(relational_.Insert("entities", std::move(row)));
+  }
+  for (const SystemEvent& ev : events_) {
+    Row row;
+    row.reserve(9);
+    row.emplace_back(static_cast<int64_t>(ev.id));
+    row.emplace_back(static_cast<int64_t>(ev.subject));
+    row.emplace_back(static_cast<int64_t>(ev.object));
+    row.emplace_back(audit::EventOpName(ev.op));
+    row.emplace_back(audit::EntityTypeName(ev.object_type));
+    row.emplace_back(static_cast<int64_t>(ev.start_time));
+    row.emplace_back(static_cast<int64_t>(ev.end_time));
+    row.emplace_back(static_cast<int64_t>(ev.amount));
+    row.emplace_back(static_cast<int64_t>(ev.failure_code));
+    RAPTOR_RETURN_NOT_OK(relational_.Insert("events", std::move(row)));
+  }
+  // Indexes on the key attributes (Sec III-B).
+  RAPTOR_RETURN_NOT_OK(relational_.CreateIndex("entities", "id"));
+  RAPTOR_RETURN_NOT_OK(relational_.CreateIndex("entities", "name"));
+  RAPTOR_RETURN_NOT_OK(relational_.CreateIndex("entities", "exename"));
+  RAPTOR_RETURN_NOT_OK(relational_.CreateIndex("entities", "dstip"));
+  RAPTOR_RETURN_NOT_OK(relational_.CreateIndex("entities", "type"));
+  RAPTOR_RETURN_NOT_OK(relational_.CreateIndex("events", "subject"));
+  RAPTOR_RETURN_NOT_OK(relational_.CreateIndex("events", "object"));
+  RAPTOR_RETURN_NOT_OK(relational_.CreateIndex("events", "op"));
+  return Status::OK();
+}
+
+Status AuditStore::LoadGraph() {
+  graphdb::PropertyGraph& g = graph_.graph();
+  for (const SystemEntity& e : entities_) {
+    graphdb::PropertyMap props;
+    props.emplace("id", Value(static_cast<int64_t>(e.id)));
+    switch (e.type) {
+      case EntityType::kFile:
+        props.emplace("name", Value(e.name));
+        props.emplace("path", Value(e.path));
+        break;
+      case EntityType::kProcess:
+        props.emplace("exename", Value(e.exename));
+        props.emplace("pid", Value(static_cast<int64_t>(e.pid)));
+        if (!e.cmd.empty()) props.emplace("cmd", Value(e.cmd));
+        break;
+      case EntityType::kNetwork:
+        props.emplace("srcip", Value(e.srcip));
+        props.emplace("srcport", Value(static_cast<int64_t>(e.srcport)));
+        props.emplace("dstip", Value(e.dstip));
+        props.emplace("dstport", Value(static_cast<int64_t>(e.dstport)));
+        props.emplace("protocol", Value(e.protocol));
+        break;
+    }
+    if (!e.user.empty()) props.emplace("user", Value(e.user));
+    graphdb::NodeId node =
+        g.AddNode(audit::EntityTypeName(e.type), std::move(props));
+    entity_to_node_.emplace(e.id, node);
+  }
+  for (const SystemEvent& ev : events_) {
+    graphdb::PropertyMap props;
+    props.emplace("id", Value(static_cast<int64_t>(ev.id)));
+    // The operation doubles as the relationship type and as a property so
+    // Cypher WHERE clauses can express complex op expressions.
+    props.emplace("op", Value(audit::EventOpName(ev.op)));
+    props.emplace("start_time", Value(static_cast<int64_t>(ev.start_time)));
+    props.emplace("end_time", Value(static_cast<int64_t>(ev.end_time)));
+    props.emplace("amount", Value(static_cast<int64_t>(ev.amount)));
+    g.AddEdge(entity_to_node_.at(ev.subject), entity_to_node_.at(ev.object),
+              audit::EventOpName(ev.op), std::move(props));
+  }
+  g.CreateNodeIndex("file", "name");
+  g.CreateNodeIndex("proc", "exename");
+  g.CreateNodeIndex("ip", "dstip");
+  // Entity-id indexes let propagated `id IN [...]` constraints seed pattern
+  // matches with index seeks instead of label scans.
+  g.CreateNodeIndex("file", "id");
+  g.CreateNodeIndex("proc", "id");
+  g.CreateNodeIndex("ip", "id");
+  return Status::OK();
+}
+
+graphdb::NodeId AuditStore::NodeForEntity(audit::EntityId id) const {
+  auto it = entity_to_node_.find(id);
+  return it == entity_to_node_.end() ? graphdb::kInvalidNode : it->second;
+}
+
+}  // namespace raptor::storage

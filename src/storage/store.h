@@ -1,0 +1,68 @@
+// AuditStore: the paper's storage component. Parsed system entities and
+// events are replicated into BOTH database backends — the relational engine
+// (for event-pattern SQL queries) and the graph engine (for variable-length
+// event-path Cypher queries) — with indexes on the key attributes the paper
+// lists (file name, process executable name, destination IP).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "audit/types.h"
+#include "common/status.h"
+#include "storage/graphdb/cypher_executor.h"
+#include "storage/reduction/reduction.h"
+#include "storage/relational/database.h"
+
+namespace raptor::storage {
+
+struct StoreOptions {
+  bool enable_reduction = true;
+  ReductionOptions reduction;
+};
+
+class AuditStore {
+ public:
+  explicit AuditStore(StoreOptions options = {}) : options_(options) {}
+
+  /// Load a parsed log: applies data reduction (if enabled), creates the
+  /// relational tables `entities` and `events` plus the property graph,
+  /// and builds indexes. Call once per store.
+  Status Load(const audit::ParsedLog& log);
+
+  const sql::Database& relational() const { return relational_; }
+  sql::Database& relational() { return relational_; }
+
+  const graphdb::GraphDatabase& graph() const { return graph_; }
+  graphdb::GraphDatabase& graph() { return graph_; }
+
+  /// Entity metadata kept for the fuzzy matcher and result rendering.
+  const std::vector<audit::SystemEntity>& entities() const {
+    return entities_;
+  }
+  /// Events after reduction, sorted by start_time.
+  const std::vector<audit::SystemEvent>& events() const { return events_; }
+
+  /// Graph node id for an entity id (kInvalidNode if absent).
+  graphdb::NodeId NodeForEntity(audit::EntityId id) const;
+
+  const ReductionStats& reduction_stats() const { return reduction_stats_; }
+
+  size_t entity_count() const { return entities_.size(); }
+  size_t event_count() const { return events_.size(); }
+
+ private:
+  Status LoadRelational();
+  Status LoadGraph();
+
+  StoreOptions options_;
+  sql::Database relational_;
+  graphdb::GraphDatabase graph_;
+  std::vector<audit::SystemEntity> entities_;
+  std::vector<audit::SystemEvent> events_;
+  std::unordered_map<audit::EntityId, graphdb::NodeId> entity_to_node_;
+  ReductionStats reduction_stats_;
+  bool loaded_ = false;
+};
+
+}  // namespace raptor::storage

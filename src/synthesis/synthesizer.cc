@@ -1,0 +1,291 @@
+#include "synthesis/synthesizer.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+
+namespace raptor::synthesis {
+
+namespace {
+
+using extraction::IocEntity;
+using extraction::IocRelation;
+using extraction::ThreatBehaviorGraph;
+using nlp::IocType;
+using tbql::EntityType;
+
+/// IOC types the system auditing component captures (Step 1 screening).
+/// Domain-shaped IOCs are kept because Android package names (e.g.
+/// com.android.defcontainer, the ClearScope cases) are process executable
+/// names; pure network domains get screened at edge-mapping time (the
+/// auditing layer records IPs, not DNS names).
+bool IsAuditableIocType(IocType type) {
+  switch (type) {
+    case IocType::kFilepath:
+    case IocType::kWinFilepath:
+    case IocType::kFilename:
+    case IocType::kIp:
+    case IocType::kDomain:
+      return true;
+    case IocType::kUrl:
+    case IocType::kEmail:
+    case IocType::kHash:
+    case IocType::kRegistry:
+    case IocType::kCve:
+      return false;
+  }
+  return false;
+}
+
+bool IsFileLike(IocType type) {
+  return type == IocType::kFilepath || type == IocType::kWinFilepath ||
+         type == IocType::kFilename;
+}
+
+}  // namespace
+
+std::optional<std::string> MapIocRelation(const std::string& verb,
+                                          IocType src_type,
+                                          IocType dst_type) {
+  (void)src_type;
+  bool dst_ip = dst_type == IocType::kIp;
+  bool dst_file = IsFileLike(dst_type);
+  bool dst_package = dst_type == IocType::kDomain;
+
+  // Process-creation verbs targeting a package-style name are process
+  // `start` events (Android: "the mail client started
+  // com.android.defcontainer").
+  if (dst_package) {
+    if (verb == "start" || verb == "launch" || verb == "spawn" ||
+        verb == "run" || verb == "execute") {
+      return "start";
+    }
+    return std::nullopt;  // network-domain sinks are not audited (no DNS)
+  }
+
+  // Read-flavoured verbs: the process consumes the object.
+  if (verb == "read" || verb == "open" || verb == "access" || verb == "scan" ||
+      verb == "load" || verb == "crack" || verb == "extract" ||
+      verb == "gather" || verb == "collect" || verb == "steal" ||
+      verb == "obtain" || verb == "retrieve" || verb == "fetch" ||
+      verb == "get" || verb == "scrape" || verb == "harvest") {
+    return "read";
+  }
+  // Write-flavoured verbs: the process produces/changes the object.
+  if (verb == "write" || verb == "store" || verb == "save" ||
+      verb == "create" || verb == "drop" || verb == "copy" ||
+      verb == "modify" || verb == "compress" || verb == "encrypt" ||
+      verb == "decrypt" || verb == "encode" || verb == "inject" ||
+      verb == "place") {
+    return "write";
+  }
+  // Download: direction depends on the endpoint types (Sec III-E Step 1).
+  if (verb == "download" || verb == "deliver") {
+    if (dst_ip) return "read";     // reading data from a network connection
+    if (dst_file) return "write";  // writing the downloaded payload
+    return std::nullopt;
+  }
+  // Upload / exfiltration verbs.
+  if (verb == "upload" || verb == "transfer" || verb == "leak" ||
+      verb == "exfiltrate" || verb == "send") {
+    if (dst_ip) return "send";
+    if (dst_file) return "write";
+    return std::nullopt;
+  }
+  if (verb == "receive" || verb == "recv") {
+    return dst_ip ? std::optional<std::string>("recv")
+                  : std::optional<std::string>("read");
+  }
+  // Network session verbs.
+  if (verb == "connect" || verb == "communicate" || verb == "beacon" ||
+      verb == "visit" || verb == "request") {
+    if (dst_ip) return "connect";
+    return std::nullopt;
+  }
+  // Execution verbs. Note the ambiguity the paper reports for tc_trace_1:
+  // "run" between two Filepath IOCs could be a file `execute` event or a
+  // process `start` event; the default plan synthesizes `execute`.
+  if (verb == "execute" || verb == "run" || verb == "launch" ||
+      verb == "start" || verb == "spawn" || verb == "install") {
+    if (dst_file) return "execute";
+    return std::nullopt;
+  }
+  if (verb == "delete" || verb == "rename") {
+    if (dst_file) return "rename";
+    return std::nullopt;
+  }
+  // "use"-type verbs carry no system-level operation; they are screened.
+  return std::nullopt;
+}
+
+Result<SynthesisResult> QuerySynthesizer::Synthesize(
+    const ThreatBehaviorGraph& graph) const {
+  Stopwatch timer;
+  SynthesisResult result;
+
+  // ---- Step 1: screening + relation mapping --------------------------------
+  std::vector<bool> node_ok(graph.nodes().size(), false);
+  for (const IocEntity& n : graph.nodes()) {
+    node_ok[n.id] = IsAuditableIocType(n.type);
+    if (!node_ok[n.id]) result.screened_nodes.push_back(n.id);
+  }
+  struct MappedEdge {
+    const IocRelation* edge;
+    std::string op;
+  };
+  std::vector<MappedEdge> mapped;
+  for (const IocRelation& e : graph.edges()) {
+    if (!node_ok[e.src] || !node_ok[e.dst]) {
+      result.screened_edges.push_back(e.seq);
+      continue;
+    }
+    std::optional<std::string> op;
+    auto override_it = options_.verb_overrides.find(e.verb);
+    if (override_it != options_.verb_overrides.end()) {
+      op = override_it->second;
+    } else {
+      op = MapIocRelation(e.verb, graph.node(e.src).type,
+                          graph.node(e.dst).type);
+    }
+    if (!op.has_value()) {
+      result.screened_edges.push_back(e.seq);
+      continue;
+    }
+    mapped.push_back({&e, std::move(*op)});
+  }
+  if (mapped.empty()) {
+    return Status::InvalidArgument(
+        "threat behavior graph has no auditable edges after screening");
+  }
+
+  // ---- Step 2: entity + pattern synthesis ----------------------------------
+  // Node role keys: a node acting as a subject becomes a proc entity; as an
+  // object it becomes a file / proc / ip entity depending on its type and
+  // the mapped operation. The same node reuses one entity id per role kind.
+  struct EntityKey {
+    int node;
+    EntityType type;
+    // A `start` self-loop ("X ran X") names two process instances: the
+    // running one and the started one. The started instance gets its own
+    // entity (the paper's example pattern is `proc p1[...] start proc
+    // p2[...]` with distinct ids).
+    bool started_instance = false;
+    bool operator<(const EntityKey& o) const {
+      if (node != o.node) return node < o.node;
+      if (type != o.type) return type < o.type;
+      return started_instance < o.started_instance;
+    }
+  };
+  std::map<EntityKey, std::string> entity_ids;
+  std::unordered_map<std::string, bool> filter_emitted;
+  int next_proc = 1, next_file = 1, next_ip = 1;
+
+  auto entity_for = [&](int node, EntityType type,
+                        bool started_instance = false) -> std::string {
+    EntityKey key{node, type, started_instance};
+    auto it = entity_ids.find(key);
+    if (it != entity_ids.end()) return it->second;
+    std::string id;
+    switch (type) {
+      case EntityType::kProcess: id = "p" + std::to_string(next_proc++); break;
+      case EntityType::kFile: id = "f" + std::to_string(next_file++); break;
+      case EntityType::kNetwork: id = "i" + std::to_string(next_ip++); break;
+    }
+    entity_ids.emplace(key, id);
+    return id;
+  };
+
+  auto make_ref = [&](int node, EntityType type,
+                      bool started_instance = false) -> tbql::EntityRef {
+    tbql::EntityRef ref;
+    ref.type = type;
+    ref.id = entity_for(node, type, started_instance);
+    if (!filter_emitted[ref.id]) {
+      filter_emitted[ref.id] = true;
+      auto filter = std::make_unique<tbql::AttrExpr>();
+      filter->kind = tbql::AttrExprKind::kBareValue;
+      const std::string& text = graph.node(node).text;
+      // IP filters match exactly; file/process names get wildcards so the
+      // pattern tolerates path prefixes recorded by auditing.
+      if (type == EntityType::kNetwork || !options_.add_wildcards) {
+        filter->value = text;
+      } else {
+        filter->value = "%" + text + "%";
+      }
+      ref.filter = std::move(filter);
+    }
+    return ref;
+  };
+
+  tbql::TbqlQuery& query = result.query;
+  if (options_.window.has_value()) {
+    query.global_windows.push_back(*options_.window);
+  }
+  std::vector<std::string> entity_order;  // for the return clause
+  auto remember = [&](const std::string& id) {
+    for (const std::string& e : entity_order) {
+      if (e == id) return;
+    }
+    entity_order.push_back(id);
+  };
+
+  int evt_counter = 1;
+  std::vector<std::string> event_ids;
+  for (const MappedEdge& me : mapped) {
+    const IocRelation& e = *me.edge;
+    tbql::Pattern pattern;
+    pattern.subject = make_ref(e.src, EntityType::kProcess);
+    EntityType object_type;
+    if (graph.node(e.dst).type == IocType::kIp) {
+      object_type = EntityType::kNetwork;
+    } else if (me.op == "start" ||
+               graph.node(e.dst).type == IocType::kDomain) {
+      object_type = EntityType::kProcess;
+    } else {
+      object_type = EntityType::kFile;
+    }
+    bool self_start = me.op == "start" && e.src == e.dst;
+    pattern.object = make_ref(e.dst, object_type, self_start);
+    auto op = std::make_unique<tbql::OpExpr>();
+    op->kind = tbql::OpExprKind::kOp;
+    op->op = me.op;
+    pattern.op = std::move(op);
+    if (options_.use_path_patterns) {
+      pattern.path.is_path = true;
+      pattern.path.fuzzy_arrow = true;
+      pattern.path.min_len = 1;
+      pattern.path.max_len = options_.path_max_len;
+    } else {
+      pattern.id = "evt" + std::to_string(evt_counter++);
+      event_ids.push_back(pattern.id);
+    }
+    remember(pattern.subject.id);
+    remember(pattern.object.id);
+    query.patterns.push_back(std::move(pattern));
+  }
+
+  // ---- Step 3: temporal relationships (event patterns only) ----------------
+  for (size_t i = 0; i + 1 < event_ids.size(); ++i) {
+    tbql::TemporalRel rel;
+    rel.left = event_ids[i];
+    rel.op = tbql::TemporalOp::kBefore;
+    rel.right = event_ids[i + 1];
+    query.temporal_rels.push_back(std::move(rel));
+  }
+
+  // ---- Step 4: return synthesis ---------------------------------------------
+  query.distinct = options_.return_distinct;
+  for (const std::string& id : entity_order) {
+    tbql::ReturnItem item;
+    item.id = id;  // default attribute inferred at execution (sugar)
+    query.returns.push_back(std::move(item));
+  }
+
+  result.tbql_text = query.ToString();
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace raptor::synthesis

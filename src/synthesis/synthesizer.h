@@ -1,0 +1,78 @@
+// TBQL query synthesis (Sec III-E): turns an extracted threat behavior
+// graph into an executable TBQL query.
+//
+//   Step 1  Pre-synthesis screening (drop IOC types the auditing layer does
+//           not capture, e.g. registry keys / URLs / hashes) and IOC
+//           relation mapping (verb + endpoint types -> TBQL operation).
+//   Step 2  TBQL pattern synthesis (source nodes become proc entities,
+//           sink nodes become file/proc/ip entities; IOC text becomes a
+//           %-wildcarded default-attribute filter).
+//   Step 3  Pattern relationship synthesis (temporal chain following the
+//           edge sequence numbers; omitted for path patterns).
+//   Step 4  Return synthesis (all entity ids, default attributes).
+//
+// A user-defined synthesis plan can override the defaults (path patterns
+// instead of event patterns, extra global windows, no wildcards).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "extraction/behavior_graph.h"
+#include "tbql/ast.h"
+
+namespace raptor::synthesis {
+
+struct SynthesisOptions {
+  /// Synthesize variable-length event path patterns ("~>(1~max)") instead
+  /// of basic event patterns. Bridges OSCTI steps that correspond to
+  /// multi-event chains in the audit log.
+  bool use_path_patterns = false;
+  int path_max_len = 3;
+  /// Wrap IOC strings in % wildcards (default plan).
+  bool add_wildcards = true;
+  bool return_distinct = true;
+  /// Optional global time window to add (user-defined plan extension).
+  std::optional<tbql::TimeWindow> window;
+  /// User-defined relation overrides (human-in-the-loop revision): map an
+  /// IOC relation verb directly to a TBQL operation, bypassing the default
+  /// rules. E.g. {"run", "start"} resolves the execute-vs-start ambiguity
+  /// the paper reports for tc_trace_1.
+  std::map<std::string, std::string> verb_overrides;
+};
+
+struct SynthesisResult {
+  tbql::TbqlQuery query;
+  std::string tbql_text;
+  /// Nodes dropped by pre-synthesis screening (unsupported IOC types).
+  std::vector<int> screened_nodes;
+  /// Edges dropped because their relation matched no mapping rule.
+  std::vector<int> screened_edges;
+  /// Table VII "Graph -> TBQL" stage time.
+  double seconds = 0;
+};
+
+/// Maps an IOC relation verb plus its endpoint IOC types to a TBQL
+/// operation name; empty optional when no rule matches (edge screened out).
+std::optional<std::string> MapIocRelation(const std::string& verb,
+                                          nlp::IocType src_type,
+                                          nlp::IocType dst_type);
+
+class QuerySynthesizer {
+ public:
+  explicit QuerySynthesizer(SynthesisOptions options = {})
+      : options_(options) {}
+
+  /// Synthesize a TBQL query from `graph`. Fails with InvalidArgument when
+  /// screening leaves no usable edges.
+  Result<SynthesisResult> Synthesize(
+      const extraction::ThreatBehaviorGraph& graph) const;
+
+ private:
+  SynthesisOptions options_;
+};
+
+}  // namespace raptor::synthesis

@@ -1,0 +1,195 @@
+#include "tbql/analyzer.h"
+
+#include "common/strings.h"
+
+namespace raptor::tbql {
+
+bool IsValidAttribute(EntityType type, std::string_view attr) {
+  if (attr == "user" || attr == "group") return true;
+  switch (type) {
+    case EntityType::kFile:
+      return attr == "name" || attr == "path";
+    case EntityType::kProcess:
+      return attr == "pid" || attr == "exename" || attr == "cmd";
+    case EntityType::kNetwork:
+      return attr == "srcip" || attr == "srcport" || attr == "dstip" ||
+             attr == "dstport" || attr == "protocol";
+  }
+  return false;
+}
+
+bool IsValidEventAttribute(std::string_view attr) {
+  return attr == "id" || attr == "op" || attr == "start_time" ||
+         attr == "end_time" || attr == "amount" || attr == "failure_code";
+}
+
+namespace {
+
+/// Validate attribute references inside an entity filter expression.
+Status ValidateEntityFilter(const AttrExpr& e, EntityType type,
+                            const std::string& entity_id) {
+  switch (e.kind) {
+    case AttrExprKind::kBareValue:
+      return Status::OK();  // default-attribute sugar
+    case AttrExprKind::kCompare:
+    case AttrExprKind::kInList: {
+      if (!e.qualifier.empty() && e.qualifier != entity_id) {
+        return Status::InvalidArgument(
+            "entity filter may not reference other entities: " + e.ToString());
+      }
+      if (!IsValidAttribute(type, e.attr)) {
+        return Status::InvalidArgument(StrFormat(
+            "attribute '%s' is not valid for %s entities", e.attr.c_str(),
+            audit::EntityTypeName(type)));
+      }
+      return Status::OK();
+    }
+    case AttrExprKind::kAnd:
+    case AttrExprKind::kOr:
+      RAPTOR_RETURN_NOT_OK(ValidateEntityFilter(*e.lhs, type, entity_id));
+      return ValidateEntityFilter(*e.rhs, type, entity_id);
+    case AttrExprKind::kNot:
+      return ValidateEntityFilter(*e.lhs, type, entity_id);
+  }
+  return Status::OK();
+}
+
+Status RegisterEntity(AnalyzedQuery* out, const EntityRef& ref,
+                      size_t pattern_idx, bool as_subject) {
+  auto it = out->entities.find(ref.id);
+  if (it == out->entities.end()) {
+    EntityInfo info;
+    info.id = ref.id;
+    info.type = ref.type;
+    it = out->entities.emplace(ref.id, std::move(info)).first;
+  } else if (it->second.type != ref.type) {
+    return Status::TypeError(StrFormat(
+        "entity id '%s' used with conflicting types (%s vs %s)",
+        ref.id.c_str(), audit::EntityTypeName(it->second.type),
+        audit::EntityTypeName(ref.type)));
+  }
+  if (ref.filter) {
+    RAPTOR_RETURN_NOT_OK(
+        ValidateEntityFilter(*ref.filter, ref.type, ref.id));
+    it->second.filters.push_back(ref.filter.get());
+  }
+  if (as_subject) {
+    it->second.subject_of.push_back(pattern_idx);
+  } else {
+    it->second.object_of.push_back(pattern_idx);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<AnalyzedQuery> Analyze(const TbqlQuery& query) {
+  AnalyzedQuery out;
+  out.query = &query;
+
+  for (size_t i = 0; i < query.patterns.size(); ++i) {
+    const Pattern& p = query.patterns[i];
+    // The subject of a system event is always a process (Sec III-A).
+    if (p.subject.type != EntityType::kProcess) {
+      return Status::TypeError(
+          "pattern subjects must be processes (proc), got: " +
+          p.subject.ToString(false));
+    }
+    RAPTOR_RETURN_NOT_OK(RegisterEntity(&out, p.subject, i, true));
+    RAPTOR_RETURN_NOT_OK(RegisterEntity(&out, p.object, i, false));
+    if (!p.id.empty()) {
+      if (out.pattern_by_id.count(p.id)) {
+        return Status::InvalidArgument("duplicate pattern id: " + p.id);
+      }
+      if (out.entities.count(p.id)) {
+        return Status::InvalidArgument(
+            "pattern id collides with entity id: " + p.id);
+      }
+      out.pattern_by_id.emplace(p.id, i);
+    }
+    if (p.path.is_path) {
+      if (p.path.min_len < 0 ||
+          (p.path.max_len >= 0 && p.path.max_len < p.path.min_len)) {
+        return Status::InvalidArgument(
+            "invalid path length bounds in: " + p.ToString());
+      }
+    }
+  }
+
+  // Temporal relationships reference event-pattern ids. Multi-hop paths
+  // have no single temporal extent (Sec III-E Step 3), but a length-1 path
+  // is semantically an event pattern (Sec III-D) and keeps its times.
+  for (const TemporalRel& rel : query.temporal_rels) {
+    for (const std::string& id : {rel.left, rel.right}) {
+      auto it = out.pattern_by_id.find(id);
+      if (it == out.pattern_by_id.end()) {
+        return Status::NotFound("unknown pattern id in with-clause: " + id);
+      }
+      const Pattern& p = query.patterns[it->second];
+      if (p.path.is_path && !(p.path.min_len == 1 && p.path.max_len == 1)) {
+        return Status::InvalidArgument(
+            "temporal relationships cannot constrain multi-hop path "
+            "patterns: " + id);
+      }
+    }
+  }
+  for (const AttrRel& rel : query.attr_rels) {
+    for (const auto& [qual, attr] :
+         {std::pair{rel.left_qualifier, rel.left_attr},
+          std::pair{rel.right_qualifier, rel.right_attr}}) {
+      auto eit = out.entities.find(qual);
+      if (eit != out.entities.end()) {
+        if (!IsValidAttribute(eit->second.type, attr)) {
+          return Status::InvalidArgument(StrFormat(
+              "attribute '%s' is not valid for entity '%s'", attr.c_str(),
+              qual.c_str()));
+        }
+        continue;
+      }
+      if (out.pattern_by_id.count(qual)) {
+        if (!IsValidEventAttribute(attr)) {
+          return Status::InvalidArgument(StrFormat(
+              "attribute '%s' is not valid for event '%s'", attr.c_str(),
+              qual.c_str()));
+        }
+        continue;
+      }
+      return Status::NotFound("unknown id in with-clause: " + qual);
+    }
+  }
+
+  // Return clause: fill default attributes.
+  if (query.returns.empty()) {
+    return Status::InvalidArgument("return clause must not be empty");
+  }
+  for (const ReturnItem& item : query.returns) {
+    ResolvedReturn rr;
+    rr.id = item.id;
+    auto eit = out.entities.find(item.id);
+    if (eit != out.entities.end()) {
+      rr.attr = item.attr.empty()
+                    ? std::string(audit::SystemEntity::DefaultAttribute(
+                          eit->second.type))
+                    : item.attr;
+      if (!IsValidAttribute(eit->second.type, rr.attr)) {
+        return Status::InvalidArgument(StrFormat(
+            "attribute '%s' is not valid for entity '%s'", rr.attr.c_str(),
+            item.id.c_str()));
+      }
+    } else if (out.pattern_by_id.count(item.id)) {
+      rr.is_event = true;
+      rr.attr = item.attr.empty() ? "id" : item.attr;
+      if (!IsValidEventAttribute(rr.attr)) {
+        return Status::InvalidArgument(StrFormat(
+            "attribute '%s' is not valid for event '%s'", rr.attr.c_str(),
+            item.id.c_str()));
+      }
+    } else {
+      return Status::NotFound("unknown id in return clause: " + item.id);
+    }
+    out.returns.push_back(std::move(rr));
+  }
+  return out;
+}
+
+}  // namespace raptor::tbql

@@ -1,0 +1,50 @@
+// Semantic analysis for TBQL queries: entity-ID reuse resolution (the same
+// ID across patterns denotes the same system entity; filters merge),
+// default-attribute inference ("name"/"exename"/"dstip"), attribute name
+// validation per entity type, pattern-ID bookkeeping and return-clause
+// resolution. The execution engine operates on the analyzed form.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tbql/ast.h"
+
+namespace raptor::tbql {
+
+struct EntityInfo {
+  std::string id;
+  EntityType type = EntityType::kFile;
+  /// All filters attached to any occurrence of this entity ID (conjoined).
+  std::vector<const AttrExpr*> filters;
+  /// Pattern indices where the entity appears as subject / object.
+  std::vector<size_t> subject_of;
+  std::vector<size_t> object_of;
+};
+
+struct ResolvedReturn {
+  std::string id;
+  std::string attr;    // default-filled
+  bool is_event = false;
+};
+
+struct AnalyzedQuery {
+  const TbqlQuery* query = nullptr;
+  std::map<std::string, EntityInfo> entities;
+  std::map<std::string, size_t> pattern_by_id;  // "evt1" -> pattern index
+  std::vector<ResolvedReturn> returns;
+};
+
+/// Validate `query` and resolve its symbol tables. The returned object
+/// borrows `query`, which must outlive it.
+Result<AnalyzedQuery> Analyze(const TbqlQuery& query);
+
+/// True if `attr` is a valid attribute name for entities of `type`.
+bool IsValidAttribute(EntityType type, std::string_view attr);
+
+/// True if `attr` is a valid system-event attribute name.
+bool IsValidEventAttribute(std::string_view attr);
+
+}  // namespace raptor::tbql

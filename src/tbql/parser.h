@@ -1,0 +1,17 @@
+// Hand-written lexer + recursive-descent parser for TBQL (Grammar 1).
+// Replaces the ANTLR 4 grammar of the paper's implementation with an
+// equivalent dependency-free parser.
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+#include "tbql/ast.h"
+
+namespace raptor::tbql {
+
+/// Parse a complete TBQL query. Timestamps in windows and gap bounds are
+/// integer microseconds; gaps accept the units us/ms/sec/min/hour/day.
+Result<TbqlQuery> ParseTbql(std::string_view text);
+
+}  // namespace raptor::tbql

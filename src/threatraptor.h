@@ -1,0 +1,144 @@
+// ThreatRaptor — public umbrella API.
+//
+// Reproduction of "Enabling Efficient Cyber Threat Hunting With Cyber
+// Threat Intelligence" (ICDE 2021). The facade wires the full pipeline of
+// Fig. 1: audit log ingestion (parsing + data reduction + dual-backend
+// storage), OSCTI threat behavior extraction, TBQL query synthesis, and
+// query execution in exact or fuzzy search mode.
+//
+// Quickstart:
+//
+//   raptor::ThreatRaptor tr;
+//   tr.IngestSyscalls(records);                 // or IngestParsedLog
+//   auto hunt = tr.HuntWithOsctiText(report);   // extract+synthesize+run
+//   std::cout << hunt.value().report.results.ToString();
+//
+// or proactively, without OSCTI:
+//
+//   auto r = tr.Hunt("proc p[\"%curl%\"] connect ip i return p, i");
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "audit/parser.h"
+#include "audit/simulator.h"
+#include "common/status.h"
+#include "engine/executor.h"
+#include "engine/poirot.h"
+#include "extraction/extractor.h"
+#include "storage/store.h"
+#include "synthesis/synthesizer.h"
+#include "tbql/analyzer.h"
+#include "tbql/parser.h"
+
+namespace raptor {
+
+struct ThreatRaptorOptions {
+  storage::StoreOptions store;
+  extraction::ExtractionOptions extraction;
+  synthesis::SynthesisOptions synthesis;
+  engine::ExecOptions execution;
+};
+
+/// Result of an end-to-end OSCTI-driven hunt.
+struct HuntOutcome {
+  extraction::ExtractionResult extraction;  // behavior graph + timings
+  synthesis::SynthesisResult synthesis;     // TBQL query + timing
+  engine::ExecReport report;                // matched records
+};
+
+class ThreatRaptor {
+ public:
+  explicit ThreatRaptor(ThreatRaptorOptions options = {})
+      : options_(std::move(options)) {}
+
+  /// Parse raw syscall records and load them into both storage backends.
+  /// Call exactly once before hunting.
+  Status IngestSyscalls(const std::vector<audit::SyscallRecord>& records) {
+    audit::ParsedLog log;
+    audit::AuditLogParser parser;
+    RAPTOR_RETURN_NOT_OK(parser.Parse(records, &log));
+    return IngestParsedLog(log);
+  }
+
+  /// Load an already-parsed log.
+  Status IngestParsedLog(const audit::ParsedLog& log) {
+    if (store_ != nullptr) {
+      return Status::InvalidArgument("audit data already ingested");
+    }
+    store_ = std::make_unique<storage::AuditStore>(options_.store);
+    return store_->Load(log);
+  }
+
+  /// Extract a threat behavior graph from OSCTI text (Algorithm 1).
+  Result<extraction::ExtractionResult> ExtractBehaviorGraph(
+      std::string_view oscti_text) const {
+    extraction::ThreatBehaviorExtractor extractor(options_.extraction);
+    return extractor.Extract(oscti_text);
+  }
+
+  /// Synthesize a TBQL query from a threat behavior graph (Sec III-E).
+  Result<synthesis::SynthesisResult> SynthesizeQuery(
+      const extraction::ThreatBehaviorGraph& graph) const {
+    synthesis::QuerySynthesizer synthesizer(options_.synthesis);
+    return synthesizer.Synthesize(graph);
+  }
+
+  /// Execute a TBQL query text in exact search mode.
+  Result<engine::ExecReport> Hunt(std::string_view tbql_text) const {
+    RAPTOR_RETURN_NOT_OK(RequireStore());
+    engine::TbqlExecutor executor(store_.get());
+    return executor.ExecuteText(tbql_text, options_.execution);
+  }
+
+  /// Execute a parsed TBQL query in exact search mode.
+  Result<engine::ExecReport> Hunt(const tbql::TbqlQuery& query) const {
+    RAPTOR_RETURN_NOT_OK(RequireStore());
+    engine::TbqlExecutor executor(store_.get());
+    return executor.Execute(query, options_.execution);
+  }
+
+  /// Execute a TBQL query in fuzzy search mode (Poirot-based alignment).
+  Result<engine::FuzzyReport> HuntFuzzy(
+      std::string_view tbql_text, const engine::FuzzyOptions& fuzzy = {}) const {
+    RAPTOR_RETURN_NOT_OK(RequireStore());
+    engine::FuzzyMatcher matcher(store_.get());
+    return matcher.SearchText(tbql_text, fuzzy);
+  }
+
+  /// The whole pipeline of Fig. 2: OSCTI text -> threat behavior graph ->
+  /// synthesized TBQL query -> matched audit records.
+  Result<HuntOutcome> HuntWithOsctiText(std::string_view oscti_text) const {
+    RAPTOR_RETURN_NOT_OK(RequireStore());
+    auto extraction = ExtractBehaviorGraph(oscti_text);
+    if (!extraction.ok()) return extraction.status();
+    auto synthesis = SynthesizeQuery(extraction.value().graph);
+    if (!synthesis.ok()) return synthesis.status();
+    auto report = Hunt(synthesis.value().query);
+    if (!report.ok()) return report.status();
+    HuntOutcome outcome;
+    outcome.extraction = std::move(extraction).value();
+    outcome.synthesis = std::move(synthesis).value();
+    outcome.report = std::move(report).value();
+    return outcome;
+  }
+
+  /// The loaded audit store (null before ingestion).
+  const storage::AuditStore* store() const { return store_.get(); }
+
+ private:
+  Status RequireStore() const {
+    if (store_ == nullptr) {
+      return Status::InvalidArgument(
+          "no audit data ingested; call IngestSyscalls first");
+    }
+    return Status::OK();
+  }
+
+  ThreatRaptorOptions options_;
+  std::unique_ptr<storage::AuditStore> store_;
+};
+
+}  // namespace raptor

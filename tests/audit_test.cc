@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "audit/parser.h"
+#include "audit/simulator.h"
+#include "audit/syscall.h"
+#include "audit/types.h"
+
+namespace raptor::audit {
+namespace {
+
+TEST(EntityStoreTest, InternsFilesByPath) {
+  EntityStore store;
+  EntityId a = store.InternFile("/etc/passwd");
+  EntityId b = store.InternFile("/etc/passwd");
+  EntityId c = store.InternFile("/etc/shadow");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.Get(a).name, "/etc/passwd");
+}
+
+TEST(EntityStoreTest, ProcessIdentityIsExeAndPid) {
+  EntityStore store;
+  EntityId a = store.InternProcess("/bin/bash", 100);
+  EntityId b = store.InternProcess("/bin/bash", 101);
+  EntityId c = store.InternProcess("/bin/bash", 100);
+  EXPECT_NE(a, b);  // same exe, different pid
+  EXPECT_EQ(a, c);
+}
+
+TEST(EntityStoreTest, NetworkIdentityIsFiveTuple) {
+  EntityStore store;
+  EntityId a = store.InternNetwork("10.0.0.5", 4000, "1.2.3.4", 443, "tcp");
+  EntityId b = store.InternNetwork("10.0.0.5", 4001, "1.2.3.4", 443, "tcp");
+  EntityId c = store.InternNetwork("10.0.0.5", 4000, "1.2.3.4", 443, "tcp");
+  EXPECT_NE(a, b);  // different source port = different connection
+  EXPECT_EQ(a, c);
+}
+
+TEST(EntityAttributeTest, GenericAccessor) {
+  EntityStore store;
+  EntityId p = store.InternProcess("/bin/tar", 42, "tar -cf x", "root", "root");
+  const SystemEntity& e = store.Get(p);
+  EXPECT_EQ(e.Attribute("exename"), "/bin/tar");
+  EXPECT_EQ(e.Attribute("pid"), "42");
+  EXPECT_EQ(e.Attribute("cmd"), "tar -cf x");
+  EXPECT_EQ(e.Attribute("user"), "root");
+  EXPECT_EQ(e.Attribute("nosuch"), "");
+  EXPECT_EQ(SystemEntity::DefaultAttribute(EntityType::kProcess), "exename");
+  EXPECT_EQ(SystemEntity::DefaultAttribute(EntityType::kFile), "name");
+  EXPECT_EQ(SystemEntity::DefaultAttribute(EntityType::kNetwork), "dstip");
+}
+
+TEST(OpNamesTest, RoundTrip) {
+  for (int i = 0; i < kNumEventOps; ++i) {
+    EventOp op = static_cast<EventOp>(i);
+    auto parsed = EventOpFromName(EventOpName(op));
+    ASSERT_TRUE(parsed.has_value()) << EventOpName(op);
+    EXPECT_EQ(*parsed, op);
+  }
+  EXPECT_FALSE(EventOpFromName("frobnicate").has_value());
+}
+
+TEST(ParserTest, FileReadBecomesFileEvent) {
+  SyscallRecord rec;
+  rec.ts = 1000;
+  rec.duration = 10;
+  rec.syscall = "read";
+  rec.pid = 7;
+  rec.exe = "/bin/cat";
+  rec.path = "/etc/hosts";
+  rec.ret = 512;
+  ParsedLog log;
+  AuditLogParser parser;
+  ASSERT_TRUE(parser.Parse({rec}, &log).ok());
+  ASSERT_EQ(log.events.size(), 1u);
+  const SystemEvent& ev = log.events[0];
+  EXPECT_EQ(ev.op, EventOp::kRead);
+  EXPECT_EQ(ev.object_type, EntityType::kFile);
+  EXPECT_EQ(ev.amount, 512);
+  EXPECT_EQ(ev.start_time, 1000);
+  EXPECT_EQ(ev.end_time, 1010);
+  EXPECT_EQ(log.entities.Get(ev.subject).exename, "/bin/cat");
+  EXPECT_EQ(log.entities.Get(ev.object).name, "/etc/hosts");
+}
+
+TEST(ParserTest, SocketReadBecomesNetworkEvent) {
+  SyscallRecord rec;
+  rec.syscall = "read";
+  rec.pid = 7;
+  rec.exe = "/usr/bin/curl";
+  rec.src_ip = "10.0.0.5";
+  rec.src_port = 4000;
+  rec.dst_ip = "192.168.29.128";
+  rec.dst_port = 443;
+  rec.protocol = "tcp";
+  rec.ret = 100;
+  ParsedLog log;
+  AuditLogParser parser;
+  ASSERT_TRUE(parser.Parse({rec}, &log).ok());
+  ASSERT_EQ(log.events.size(), 1u);
+  EXPECT_EQ(log.events[0].op, EventOp::kRead);
+  EXPECT_EQ(log.events[0].object_type, EntityType::kNetwork);
+  EXPECT_EQ(log.entities.Get(log.events[0].object).dstip, "192.168.29.128");
+}
+
+TEST(ParserTest, ExecveWithTargetIsProcessStart) {
+  SyscallRecord rec;
+  rec.syscall = "execve";
+  rec.pid = 7;
+  rec.exe = "/bin/bash";
+  rec.target_exe = "/bin/tar";
+  rec.target_pid = 8;
+  ParsedLog log;
+  AuditLogParser parser;
+  ASSERT_TRUE(parser.Parse({rec}, &log).ok());
+  ASSERT_EQ(log.events.size(), 1u);
+  EXPECT_EQ(log.events[0].op, EventOp::kStart);
+  EXPECT_EQ(log.events[0].object_type, EntityType::kProcess);
+}
+
+TEST(ParserTest, UnmonitoredSyscallSkipped) {
+  SyscallRecord rec;
+  rec.syscall = "gettimeofday";
+  rec.pid = 7;
+  rec.exe = "/bin/sh";
+  ParsedLog log;
+  AuditLogParser parser;
+  ASSERT_TRUE(parser.Parse({rec}, &log).ok());
+  EXPECT_TRUE(log.events.empty());
+  EXPECT_EQ(parser.stats().records_skipped, 1u);
+}
+
+TEST(ParserTest, MalformedRecordRejected) {
+  SyscallRecord rec;
+  rec.syscall = "read";  // no exe/pid
+  ParsedLog log;
+  AuditLogParser parser;
+  EXPECT_FALSE(parser.Parse({rec}, &log).ok());
+}
+
+TEST(ParserTest, EventsSortedByStartTime) {
+  std::vector<SyscallRecord> recs;
+  for (int i = 5; i >= 1; --i) {
+    SyscallRecord rec;
+    rec.ts = i * 1000;
+    rec.syscall = "write";
+    rec.pid = 7;
+    rec.exe = "/bin/sh";
+    rec.path = "/tmp/x";
+    recs.push_back(rec);
+  }
+  ParsedLog log;
+  AuditLogParser parser;
+  ASSERT_TRUE(parser.Parse(recs, &log).ok());
+  ASSERT_EQ(log.events.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(log.events.begin(), log.events.end(),
+                             [](const SystemEvent& a, const SystemEvent& b) {
+                               return a.start_time < b.start_time;
+                             }));
+  // Dense 1-based ids.
+  for (size_t i = 0; i < log.events.size(); ++i) {
+    EXPECT_EQ(log.events[i].id, i + 1);
+  }
+}
+
+TEST(SimulatorTest, DeterministicInSeed) {
+  BenignProfile profile;
+  profile.num_processes = 20;
+  profile.seed = 99;
+  BenignWorkloadSimulator sim;
+  auto a = sim.Generate(profile);
+  auto b = sim.Generate(profile);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ts, b[i].ts);
+    EXPECT_EQ(a[i].syscall, b[i].syscall);
+    EXPECT_EQ(a[i].exe, b[i].exe);
+  }
+  profile.seed = 100;
+  auto c = sim.Generate(profile);
+  bool differs = a.size() != c.size();
+  for (size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].ts != c[i].ts || a[i].exe != c[i].exe;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SimulatorTest, BenignRecordsAllMonitored) {
+  BenignProfile profile;
+  profile.num_processes = 30;
+  BenignWorkloadSimulator sim;
+  for (const SyscallRecord& rec : sim.Generate(profile)) {
+    EXPECT_TRUE(IsMonitoredSyscall(rec.syscall)) << rec.syscall;
+    EXPECT_FALSE(rec.exe.empty());
+    EXPECT_GT(rec.pid, 0);
+  }
+}
+
+TEST(SimulatorTest, AttackScriptProducesOneEventPerStepAfterReduction) {
+  AttackStep step;
+  step.exe = "/bin/evil";
+  step.pid = 666;
+  step.op = EventOp::kWrite;
+  step.object_path = "/tmp/loot";
+  step.syscall_count = 7;
+  step.bytes = 70000;
+  auto recs = CompileAttackScript({step}, 0, 1);
+  EXPECT_EQ(recs.size(), 7u);
+  long long total = 0;
+  for (const auto& r : recs) total += r.ret;
+  EXPECT_GE(total, 70000 - 7);  // bytes split across syscalls
+}
+
+TEST(SimulatorTest, MergeStreamsSortsByTimestamp) {
+  std::vector<SyscallRecord> a(3), b(2);
+  a[0].ts = 5;
+  a[1].ts = 1;
+  a[2].ts = 9;
+  b[0].ts = 3;
+  b[1].ts = 7;
+  auto merged = MergeStreams({a, b});
+  ASSERT_EQ(merged.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(merged.begin(), merged.end(),
+                             [](const SyscallRecord& x, const SyscallRecord& y) {
+                               return x.ts < y.ts;
+                             }));
+}
+
+}  // namespace
+}  // namespace raptor::audit

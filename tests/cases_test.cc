@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "audit/parser.h"
+#include "cases/cases.h"
+#include "nlp/ioc.h"
+
+namespace raptor::cases {
+namespace {
+
+TEST(CasesTest, EighteenCasesInTableOrder) {
+  const auto& all = AllCases();
+  ASSERT_EQ(all.size(), 18u);
+  EXPECT_EQ(all.front().id, "tc_clearscope_1");
+  EXPECT_EQ(all.back().id, "vpnfilter");
+  std::set<std::string> ids;
+  for (const AttackCase& c : all) {
+    EXPECT_TRUE(ids.insert(c.id).second) << "duplicate id " << c.id;
+  }
+}
+
+TEST(CasesTest, FindCase) {
+  EXPECT_NE(FindCase("data_leak"), nullptr);
+  EXPECT_EQ(FindCase("nope"), nullptr);
+}
+
+TEST(ScoreStringsTest, CountsMatchesOnce) {
+  PrScore s = ScoreStrings({"a", "b", "b", "x"}, {"a", "b", "c"});
+  EXPECT_EQ(s.tp, 2u);  // a, first b
+  EXPECT_EQ(s.fp, 2u);  // second b, x
+  EXPECT_EQ(s.fn, 1u);  // c
+  EXPECT_DOUBLE_EQ(s.precision(), 0.5);
+  EXPECT_NEAR(s.recall(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ScoreRelationsTest, ExactTripleMatch) {
+  std::vector<GtRelation> extracted = {{"a", "read", "b"}, {"a", "write", "b"}};
+  std::vector<GtRelation> gt = {{"a", "read", "b"}, {"c", "read", "d"}};
+  PrScore s = ScoreRelations(extracted, gt);
+  EXPECT_EQ(s.tp, 1u);
+  EXPECT_EQ(s.fp, 1u);
+  EXPECT_EQ(s.fn, 1u);
+}
+
+TEST(ScoreEventsTest, AgainstGroundTruthSet) {
+  PrScore s = ScoreEvents({1, 2, 9}, {1, 2, 3, 4});
+  EXPECT_EQ(s.tp, 2u);
+  EXPECT_EQ(s.fp, 1u);
+  EXPECT_EQ(s.fn, 2u);
+}
+
+TEST(PrScoreTest, EdgeCases) {
+  PrScore empty;
+  EXPECT_EQ(empty.precision(), 0.0);
+  EXPECT_EQ(empty.recall(), 0.0);
+  EXPECT_EQ(empty.f1(), 0.0);
+}
+
+// Per-case structural invariants, parameterized over all 18 cases.
+class CaseInvariantTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CaseInvariantTest, WellFormed) {
+  const AttackCase& c = AllCases()[GetParam()];
+  SCOPED_TRACE(c.id);
+  EXPECT_FALSE(c.name.empty());
+  EXPECT_FALSE(c.oscti_text.empty());
+  EXPECT_FALSE(c.gt_iocs.empty());
+  EXPECT_FALSE(c.attack_steps.empty());
+
+  // Every ground-truth IOC string must literally occur in the OSCTI text
+  // and be recognized by the IOC recognizer.
+  std::vector<nlp::IocMatch> matches = nlp::RecognizeIocs(c.oscti_text);
+  for (const std::string& ioc : c.gt_iocs) {
+    EXPECT_NE(c.oscti_text.find(ioc), std::string::npos) << ioc;
+    bool recognized = false;
+    for (const nlp::IocMatch& m : matches) {
+      if (m.text == ioc) recognized = true;
+    }
+    EXPECT_TRUE(recognized) << ioc;
+  }
+  // Relation endpoints must be ground-truth IOCs.
+  for (const GtRelation& r : c.gt_relations) {
+    auto in_iocs = [&](const std::string& s) {
+      for (const std::string& ioc : c.gt_iocs) {
+        if (ioc == s) return true;
+      }
+      return false;
+    };
+    EXPECT_TRUE(in_iocs(r.src)) << r.src;
+    EXPECT_TRUE(in_iocs(r.dst)) << r.dst;
+  }
+}
+
+TEST_P(CaseInvariantTest, LogBuildsAndGroundTruthEventsExist) {
+  const AttackCase& c = AllCases()[GetParam()];
+  SCOPED_TRACE(c.id);
+  std::vector<audit::SyscallRecord> log = BuildCaseLog(c);
+  EXPECT_GT(log.size(), 1000u);  // benign noise dominates
+
+  audit::ParsedLog parsed;
+  audit::AuditLogParser parser;
+  ASSERT_TRUE(parser.Parse(log, &parsed).ok());
+  storage::AuditStore store;
+  ASSERT_TRUE(store.Load(parsed).ok());
+
+  std::set<long long> gt = GroundTruthEventIds(c, store);
+  EXPECT_FALSE(gt.empty());
+  // Malicious events are a needle in the haystack.
+  EXPECT_LT(gt.size(), store.event_count() / 2);
+  // Ground-truth ids reference stored events.
+  for (long long id : gt) {
+    ASSERT_GE(id, 1);
+    ASSERT_LE(id, static_cast<long long>(store.event_count()));
+  }
+}
+
+TEST_P(CaseInvariantTest, DeterministicLogs) {
+  const AttackCase& c = AllCases()[GetParam()];
+  auto a = BuildCaseLog(c);
+  auto b = BuildCaseLog(c);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i += 97) {
+    EXPECT_EQ(a[i].ts, b[i].ts);
+    EXPECT_EQ(a[i].exe, b[i].exe);
+    EXPECT_EQ(a[i].syscall, b[i].syscall);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All18, CaseInvariantTest,
+                         ::testing::Range<size_t>(0, 18));
+
+}  // namespace
+}  // namespace raptor::cases

@@ -1,0 +1,40 @@
+#include <gtest/gtest.h>
+
+#include "common/levenshtein.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace raptor {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(LikeMatchTest, Wildcards) {
+  EXPECT_TRUE(LikeMatch("/etc/passwd", "%passwd%"));
+  EXPECT_TRUE(LikeMatch("/etc/passwd", "/etc/%"));
+  EXPECT_FALSE(LikeMatch("/etc/shadow", "%passwd%"));
+  EXPECT_TRUE(LikeMatch("abc", "a_c"));
+  EXPECT_FALSE(LikeMatch("abc", "a_d"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("x", ""));
+}
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("same", "same"), 0u);
+}
+
+}  // namespace
+}  // namespace raptor

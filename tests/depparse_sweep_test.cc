@@ -1,0 +1,109 @@
+// Structural well-formedness sweep for the dependency parser: every
+// sentence of every benchmark OSCTI report (protected form, i.e. what the
+// pipeline actually parses) and a fuzzed corpus must yield a single-rooted,
+// acyclic tree with faithful token offsets. A malformed tree would corrupt
+// relation extraction silently, so these invariants are load-bearing.
+#include <gtest/gtest.h>
+
+#include "cases/cases.h"
+#include "common/rng.h"
+#include "nlp/depparse.h"
+#include "nlp/pos.h"
+#include "nlp/protect.h"
+#include "nlp/segment.h"
+#include "nlp/tokenizer.h"
+
+namespace raptor::nlp {
+namespace {
+
+void CheckTreeInvariants(const DepTree& tree, const std::string& context) {
+  SCOPED_TRACE(context);
+  if (tree.size() == 0) return;
+  // Exactly one root.
+  int roots = 0;
+  for (size_t i = 0; i < tree.size(); ++i) {
+    if (tree.node(i).head < 0) ++roots;
+    // Head indices in range, no self-loops.
+    ASSERT_LT(tree.node(i).head, static_cast<int>(tree.size()));
+    ASSERT_NE(tree.node(i).head, static_cast<int>(i));
+    ASSERT_FALSE(tree.node(i).deprel.empty());
+  }
+  EXPECT_EQ(roots, 1);
+  EXPECT_GE(tree.root(), 0);
+  // Acyclic: every node reaches the root.
+  for (size_t i = 0; i < tree.size(); ++i) {
+    auto path = tree.PathToRoot(static_cast<int>(i));
+    ASSERT_LE(path.size(), tree.size());
+    EXPECT_EQ(path.back(), tree.root());
+  }
+  // LCA is defined for all pairs (spot-check corners).
+  if (tree.size() >= 2) {
+    EXPECT_GE(tree.Lca(0, static_cast<int>(tree.size()) - 1), 0);
+  }
+}
+
+DepTree ParseOne(const std::string& sentence) {
+  std::vector<Token> tokens = Tokenize(sentence);
+  std::vector<Pos> tags = TagTokens(tokens);
+  EXPECT_EQ(tokens.size(), tags.size());
+  return ParseDependency(tokens, tags);
+}
+
+class CaseTextParseTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CaseTextParseTest, EverySentenceParsesWellFormed) {
+  const cases::AttackCase& c = cases::AllCases()[GetParam()];
+  for (const Span& block : SegmentBlocks(c.oscti_text)) {
+    ProtectedText pt = ProtectIocs(block.text);
+    for (const Span& sentence : SegmentSentences(pt.text)) {
+      DepTree tree = ParseOne(sentence.text);
+      CheckTreeInvariants(tree, c.id + ": " + sentence.text);
+      // Token offsets reconstruct the sentence content.
+      for (size_t i = 0; i < tree.size(); ++i) {
+        const DepNode& n = tree.node(static_cast<int>(i));
+        EXPECT_EQ(sentence.text.substr(n.begin, n.end - n.begin), n.text);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All18, CaseTextParseTest,
+                         ::testing::Range<size_t>(0, 18));
+
+class FuzzedParseTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzedParseTest, ArbitraryTokenSoupStaysWellFormed) {
+  Rng rng(GetParam());
+  static const char* kWords[] = {
+      "the",     "attacker", "used",    "something", "read",    "to",
+      "from",    "and",      "wrote",   "file",      "it",      ",",
+      ".",       "then",     "which",   "by",        "using",   "was",
+      "malware", "connected", "reading", "downloaded", "ran",   "(",
+      ")",       "finally",  "host",    "data",      "!",       "?",
+  };
+  for (int trial = 0; trial < 150; ++trial) {
+    std::string sentence;
+    size_t len = 1 + rng.Uniform(24);
+    for (size_t i = 0; i < len; ++i) {
+      if (i) sentence += " ";
+      sentence += kWords[rng.Uniform(sizeof(kWords) / sizeof(kWords[0]))];
+    }
+    DepTree tree = ParseOne(sentence);
+    CheckTreeInvariants(tree, sentence);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzedParseTest,
+                         ::testing::Values(71u, 72u, 73u, 74u));
+
+TEST(ParseEdgeCasesTest, DegenerateInputs) {
+  CheckTreeInvariants(ParseOne(""), "empty");
+  CheckTreeInvariants(ParseOne("."), "lone punct");
+  CheckTreeInvariants(ParseOne("read"), "lone verb");
+  CheckTreeInvariants(ParseOne("the the the"), "determiner run");
+  CheckTreeInvariants(ParseOne("and or but"), "conjunction soup");
+  CheckTreeInvariants(ParseOne("to to to read"), "particle pileup");
+}
+
+}  // namespace
+}  // namespace raptor::nlp

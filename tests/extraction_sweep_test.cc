@@ -1,0 +1,135 @@
+// Parameterized sweep over the linguistic constructions the extraction
+// rules must handle: every (sentence template x relation verb) pair must
+// yield exactly the expected IOC triplet. This pins the contract between
+// the POS lexicon, the dependency parser, and the relation extractor.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/strings.h"
+#include "extraction/extractor.h"
+
+namespace raptor::extraction {
+namespace {
+
+struct Template {
+  const char* name;
+  // %V = inflected verb, %A = subject IOC, %B = object IOC.
+  const char* pattern;
+};
+
+struct VerbForms {
+  const char* lemma;
+  const char* past;       // "read", "wrote", ...
+  const char* gerund;     // "reading", ...
+  const char* base;       // "read", "write", ...
+};
+
+const Template kTemplates[] = {
+    {"svo_past", "%A %V the object %B during the intrusion."},
+    {"instrument", "The attacker used %A to %X data from %B."},
+    {"conj_shared_subject", "%A opened /var/tmp/seed.log and %V %B."},
+    {"leading_adverb", "Then %A %V %B."},
+};
+
+const VerbForms kVerbs[] = {
+    {"read", "read", "reading", "read"},
+    {"write", "wrote", "writing", "write"},
+    {"download", "downloaded", "downloading", "download"},
+    {"execute", "executed", "executing", "execute"},
+    {"scan", "scanned", "scanning", "scan"},
+    {"fetch", "fetched", "fetching", "fetch"},
+    {"collect", "collected", "collecting", "collect"},
+    {"steal", "stole", "stealing", "steal"},
+};
+
+class ExtractionSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ExtractionSweepTest, TemplateYieldsExpectedTriplet) {
+  const Template& tpl = kTemplates[std::get<0>(GetParam())];
+  const VerbForms& verb = kVerbs[std::get<1>(GetParam())];
+  const char* kSubject = "/usr/bin/agent";
+  const char* kObject = "/home/admin/target.db";
+
+  std::string text = tpl.pattern;
+  text = ReplaceAll(text, "%V", verb.past);
+  text = ReplaceAll(text, "%X", verb.base);  // infinitive position
+  text = ReplaceAll(text, "%A", kSubject);
+  text = ReplaceAll(text, "%B", kObject);
+  SCOPED_TRACE(text);
+
+  ThreatBehaviorExtractor extractor;
+  auto r = extractor.Extract(text);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const ThreatBehaviorGraph& g = r.value().graph;
+  bool found = false;
+  for (const IocRelation& e : g.edges()) {
+    if (g.node(e.src).Matches(kSubject) && e.verb == verb.lemma &&
+        g.node(e.dst).Matches(kObject)) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "missing (" << kSubject << ", " << verb.lemma << ", "
+                     << kObject << ") in:\n"
+                     << g.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TemplatesByVerbs, ExtractionSweepTest,
+    ::testing::Combine(::testing::Range(0, 4), ::testing::Range(0, 8)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return std::string(kTemplates[std::get<0>(info.param)].name) + "_" +
+             kVerbs[std::get<1>(info.param)].lemma;
+    });
+
+// Prepositional-object variants: the object arrives via from/to/into.
+class PrepSweepTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PrepSweepTest, PrepositionalObjectExtracted) {
+  std::string text = StrFormat(
+      "/usr/bin/agent copied the records %s /home/admin/target.db.",
+      GetParam());
+  ThreatBehaviorExtractor extractor;
+  auto r = extractor.Extract(text);
+  ASSERT_TRUE(r.ok());
+  const ThreatBehaviorGraph& g = r.value().graph;
+  ASSERT_FALSE(g.edges().empty()) << text;
+  const IocRelation& e = g.edges()[0];
+  EXPECT_TRUE(g.node(e.src).Matches("/usr/bin/agent"));
+  EXPECT_EQ(e.verb, "copy");
+  EXPECT_TRUE(g.node(e.dst).Matches("/home/admin/target.db"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Preps, PrepSweepTest,
+                         ::testing::Values("from", "to", "into", "onto"));
+
+// IOC-type matrix: subject/object across path, Windows path, IP and
+// package-style IOCs must all pass through extraction unchanged.
+class IocTypeMatrixTest
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {
+};
+
+TEST_P(IocTypeMatrixTest, SubjectAndObjectSurvive) {
+  auto [subject, object] = GetParam();
+  std::string text =
+      StrFormat("%s accessed %s during the breach.", subject, object);
+  ThreatBehaviorExtractor extractor;
+  auto r = extractor.Extract(text);
+  ASSERT_TRUE(r.ok());
+  const ThreatBehaviorGraph& g = r.value().graph;
+  ASSERT_FALSE(g.edges().empty()) << text << "\n" << g.ToString();
+  EXPECT_TRUE(g.node(g.edges()[0].src).Matches(subject));
+  EXPECT_TRUE(g.node(g.edges()[0].dst).Matches(object));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, IocTypeMatrixTest,
+    ::testing::Combine(
+        ::testing::Values("/usr/bin/agent", "com.evil.dropper",
+                          "nativemsg.exe"),
+        ::testing::Values("/etc/shadow", R"(C:\Users\victim\vault.dat)",
+                          "/sdcard/DCIM/x.db")));
+
+}  // namespace
+}  // namespace raptor::extraction

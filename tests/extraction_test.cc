@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "extraction/extractor.h"
+#include "extraction/merge.h"
+#include "extraction/relation.h"
+
+namespace raptor::extraction {
+namespace {
+
+const char* kFig2Text =
+    "As a first step, the attacker used /bin/tar to read user credentials "
+    "from /etc/passwd. It wrote the gathered information to a file "
+    "/tmp/upload.tar. Then, the attacker leveraged /bin/bzip2 utility to "
+    "compress the tar file. /bin/bzip2 read from /tmp/upload.tar and wrote "
+    "to /tmp/upload.tar.bz2. After compression, the attacker used Gnu "
+    "Privacy Guard tool to encrypt the zipped file, which corresponds to "
+    "the launched process /usr/bin/gpg reading from /tmp/upload.tar.bz2. "
+    "/usr/bin/gpg then wrote the sensitive information to /tmp/upload. "
+    "Finally, the attacker leveraged the curl utility /usr/bin/curl to "
+    "read the data from /tmp/upload. He leaked the gathered sensitive "
+    "information back to the attacker C2 host by using /usr/bin/curl to "
+    "connect to 192.168.29.128.";
+
+bool HasEdge(const ThreatBehaviorGraph& g, const char* src, const char* verb,
+             const char* dst) {
+  for (const IocRelation& e : g.edges()) {
+    if (g.node(e.src).Matches(src) && e.verb == verb &&
+        g.node(e.dst).Matches(dst)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(ExtractorTest, Fig2GraphIsExact) {
+  ThreatBehaviorExtractor extractor;
+  auto r = extractor.Extract(kFig2Text);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const ThreatBehaviorGraph& g = r.value().graph;
+  EXPECT_EQ(g.nodes().size(), 9u);
+  ASSERT_EQ(g.edges().size(), 8u);
+  // The eight Fig. 2 edges, in sequence order.
+  const struct {
+    const char* src;
+    const char* verb;
+    const char* dst;
+  } kExpected[] = {
+      {"/bin/tar", "read", "/etc/passwd"},
+      {"/bin/tar", "write", "/tmp/upload.tar"},
+      {"/bin/bzip2", "read", "/tmp/upload.tar"},
+      {"/bin/bzip2", "write", "/tmp/upload.tar.bz2"},
+      {"/usr/bin/gpg", "read", "/tmp/upload.tar.bz2"},
+      {"/usr/bin/gpg", "write", "/tmp/upload"},
+      {"/usr/bin/curl", "read", "/tmp/upload"},
+      {"/usr/bin/curl", "connect", "192.168.29.128"},
+  };
+  for (size_t i = 0; i < 8; ++i) {
+    const IocRelation& e = g.edges()[i];
+    EXPECT_EQ(e.seq, static_cast<int>(i) + 1);
+    EXPECT_TRUE(g.node(e.src).Matches(kExpected[i].src)) << i;
+    EXPECT_EQ(e.verb, kExpected[i].verb) << i;
+    EXPECT_TRUE(g.node(e.dst).Matches(kExpected[i].dst)) << i;
+  }
+}
+
+TEST(ExtractorTest, CorefResolvesItToTool) {
+  // "It wrote ... to /tmp/upload.tar" must resolve It -> /bin/tar.
+  ThreatBehaviorExtractor extractor;
+  auto r = extractor.Extract(kFig2Text);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(HasEdge(r.value().graph, "/bin/tar", "write",
+                      "/tmp/upload.tar"));
+}
+
+TEST(ExtractorTest, AblationCollapsesRecall) {
+  ExtractionOptions opts;
+  opts.ioc_protection = false;
+  ThreatBehaviorExtractor noprot(opts);
+  auto ablated = noprot.Extract(kFig2Text);
+  ASSERT_TRUE(ablated.ok());
+  ThreatBehaviorExtractor full;
+  auto complete = full.Extract(kFig2Text);
+  ASSERT_TRUE(complete.ok());
+  // Without IOC protection the tokenizer shreds the path IOCs; only the IP
+  // (and possibly dotted file names) survive.
+  EXPECT_LT(ablated.value().iocs.size(), complete.value().iocs.size());
+  EXPECT_LT(ablated.value().triplets.size(),
+            complete.value().triplets.size());
+  bool found_full_path = false;
+  for (const IocEntity& e : ablated.value().iocs) {
+    if (e.Matches("/etc/passwd")) found_full_path = true;
+  }
+  EXPECT_FALSE(found_full_path);
+}
+
+TEST(ExtractorTest, SelfLoopRunRelation) {
+  auto r = ThreatBehaviorExtractor().Extract(
+      "The implant /home/admin/cache repeatedly ran /home/admin/cache to "
+      "respawn itself.");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(HasEdge(r.value().graph, "/home/admin/cache", "run",
+                      "/home/admin/cache"));
+}
+
+TEST(ExtractorTest, BlocksExtractedIndependently) {
+  auto r = ThreatBehaviorExtractor().Extract(
+      "The malware /tmp/a.sh read /etc/passwd.\n\n"
+      "Later, /tmp/a.sh connected to 1.2.3.4.");
+  ASSERT_TRUE(r.ok());
+  // The same IOC across blocks links into one node (Step 8 merge).
+  EXPECT_EQ(r.value().graph.FindNode("/tmp/a.sh"),
+            r.value().graph.edges()[1].src);
+  EXPECT_TRUE(HasEdge(r.value().graph, "/tmp/a.sh", "read", "/etc/passwd"));
+  EXPECT_TRUE(HasEdge(r.value().graph, "/tmp/a.sh", "connect", "1.2.3.4"));
+}
+
+TEST(ExtractorTest, TreeSimplificationPreservesOutput) {
+  ExtractionOptions with, without;
+  with.simplify_trees = true;
+  without.simplify_trees = false;
+  auto a = ThreatBehaviorExtractor(with).Extract(kFig2Text);
+  auto b = ThreatBehaviorExtractor(without).Extract(kFig2Text);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().graph.ToString(), b.value().graph.ToString());
+}
+
+TEST(ExtractorTest, EmptyAndIrrelevantText) {
+  auto empty = ThreatBehaviorExtractor().Extract("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().iocs.empty());
+  auto prose = ThreatBehaviorExtractor().Extract(
+      "The weather was lovely. Nothing suspicious happened today.");
+  ASSERT_TRUE(prose.ok());
+  EXPECT_TRUE(prose.value().graph.edges().empty());
+}
+
+TEST(MergeTest, SuffixContainmentAbsorbsBareFilename) {
+  AnnotatedTree tree;
+  // Two annotations: full path and bare file name.
+  tree.ann.resize(2);
+  nlp::IocMatch full;
+  full.type = nlp::IocType::kWinFilepath;
+  full.text = R"(C:\Users\victim\msupdate.exe)";
+  nlp::IocMatch bare;
+  bare.type = nlp::IocType::kFilename;
+  bare.text = "msupdate.exe";
+  tree.ann[0].ioc = full;
+  tree.ann[1].ioc = bare;
+  MergeResult merged = ScanMergeIocs({tree});
+  ASSERT_EQ(merged.entities.size(), 1u);
+  EXPECT_EQ(merged.entities[0].text, full.text);
+  EXPECT_TRUE(merged.entities[0].Matches("msupdate.exe"));
+}
+
+TEST(MergeTest, IpsNeverFuzzyMerge) {
+  AnnotatedTree tree;
+  tree.ann.resize(2);
+  nlp::IocMatch a, b;
+  a.type = b.type = nlp::IocType::kIp;
+  a.text = "192.168.29.128";
+  b.text = "192.168.29.129";  // one character apart
+  tree.ann[0].ioc = a;
+  tree.ann[1].ioc = b;
+  EXPECT_EQ(ScanMergeIocs({tree}).entities.size(), 2u);
+}
+
+TEST(MergeTest, SimilarSiblingPathsStayDistinct) {
+  AnnotatedTree tree;
+  tree.ann.resize(2);
+  nlp::IocMatch a, b;
+  a.type = b.type = nlp::IocType::kFilepath;
+  a.text = "/tmp/vpnf";
+  b.text = "/tmp/vpnf2";  // a different artifact, not a variant
+  tree.ann[0].ioc = a;
+  tree.ann[1].ioc = b;
+  EXPECT_EQ(ScanMergeIocs({tree}).entities.size(), 2u);
+}
+
+TEST(BehaviorGraphTest, EdgeDedupAndSequence) {
+  ThreatBehaviorGraph g;
+  IocEntity a, b;
+  a.text = "/bin/x";
+  b.text = "/tmp/y";
+  int ia = g.AddNode(a);
+  int ib = g.AddNode(b);
+  g.AddEdge(ia, ib, "read");
+  g.AddEdge(ia, ib, "read");  // duplicate ignored
+  g.AddEdge(ia, ib, "write");
+  ASSERT_EQ(g.edges().size(), 2u);
+  EXPECT_EQ(g.edges()[0].seq, 1);
+  EXPECT_EQ(g.edges()[1].seq, 2);
+  EXPECT_NE(g.ToDot().find("read (1)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace raptor::extraction

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "storage/graphdb/cypher_executor.h"
+#include "storage/graphdb/cypher_parser.h"
+
+namespace raptor::graphdb {
+namespace {
+
+class GraphDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PropertyGraph& g = db_.graph();
+    // Mirror of the Fig. 2 data-leak chain:
+    // tar -read-> passwd, tar -write-> upload.tar, bzip2 -read-> upload.tar,
+    // bzip2 -write-> upload.tar.bz2, curl -connect-> 192.168.29.128
+    tar_ = g.AddNode("proc", {{"exename", Value("/bin/tar")},
+                              {"pid", Value(int64_t{100})}});
+    passwd_ = g.AddNode("file", {{"name", Value("/etc/passwd")}});
+    upload_ = g.AddNode("file", {{"name", Value("/tmp/upload.tar")}});
+    bzip2_ = g.AddNode("proc", {{"exename", Value("/bin/bzip2")},
+                                {"pid", Value(int64_t{101})}});
+    bz2_ = g.AddNode("file", {{"name", Value("/tmp/upload.tar.bz2")}});
+    curl_ = g.AddNode("proc", {{"exename", Value("/usr/bin/curl")},
+                               {"pid", Value(int64_t{102})}});
+    c2_ = g.AddNode("ip", {{"dstip", Value("192.168.29.128")}});
+
+    g.AddEdge(tar_, passwd_, "read", {{"start_time", Value(int64_t{10})},
+                                      {"end_time", Value(int64_t{11})}});
+    g.AddEdge(tar_, upload_, "write", {{"start_time", Value(int64_t{20})},
+                                       {"end_time", Value(int64_t{21})}});
+    g.AddEdge(bzip2_, upload_, "read", {{"start_time", Value(int64_t{30})},
+                                        {"end_time", Value(int64_t{31})}});
+    g.AddEdge(bzip2_, bz2_, "write", {{"start_time", Value(int64_t{40})},
+                                      {"end_time", Value(int64_t{41})}});
+    g.AddEdge(curl_, c2_, "connect", {{"start_time", Value(int64_t{50})},
+                                      {"end_time", Value(int64_t{51})}});
+    g.CreateNodeIndex("proc", "exename");
+    g.CreateNodeIndex("file", "name");
+    g.CreateNodeIndex("ip", "dstip");
+  }
+
+  GraphDatabase db_;
+  NodeId tar_ = 0, passwd_ = 0, upload_ = 0, bzip2_ = 0, bz2_ = 0, curl_ = 0,
+         c2_ = 0;
+};
+
+TEST_F(GraphDbTest, SingleEdgeMatch) {
+  auto rs = db_.Query(
+      "MATCH (p:proc)-[e:read]->(f:file) "
+      "WHERE p.exename CONTAINS 'tar' RETURN p.exename, f.name");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs.value().rows.size(), 1u);
+  EXPECT_EQ(rs.value().rows[0][0].AsText(), "/bin/tar");
+  EXPECT_EQ(rs.value().rows[0][1].AsText(), "/etc/passwd");
+}
+
+TEST_F(GraphDbTest, InlinePropSeedsViaIndex) {
+  MatchStats stats;
+  auto rs = db_.Query(
+      "MATCH (p:proc {exename: '/bin/bzip2'})-[e:write]->(f:file) "
+      "RETURN f.name",
+      &stats);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs.value().rows.size(), 1u);
+  EXPECT_EQ(rs.value().rows[0][0].AsText(), "/tmp/upload.tar.bz2");
+  EXPECT_EQ(stats.seed_candidates, 1u);  // index probe, not a label scan
+}
+
+TEST_F(GraphDbTest, SharedVariableAcrossParts) {
+  auto rs = db_.Query(
+      "MATCH (p1:proc)-[e1:read]->(f1:file {name: '/etc/passwd'}), "
+      "(p1)-[e2:write]->(f2:file) RETURN p1.exename, f2.name");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs.value().rows.size(), 1u);
+  EXPECT_EQ(rs.value().rows[0][0].AsText(), "/bin/tar");
+  EXPECT_EQ(rs.value().rows[0][1].AsText(), "/tmp/upload.tar");
+}
+
+TEST_F(GraphDbTest, VariableLengthPathFollowsEdgeDirection) {
+  // Edges are oriented subject->object (TBQL path semantics: the final hop
+  // is "an event where f is the object"). tar->upload.tar<-bzip2->bz2 mixes
+  // directions, so no forward path connects tar to the .bz2 file.
+  auto rs = db_.Query(
+      "MATCH (p:proc {exename: '/bin/tar'})-[*1..4]->(f:file "
+      "{name: '/tmp/upload.tar.bz2'}) RETURN DISTINCT f.name");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_TRUE(rs.value().rows.empty());
+}
+
+TEST_F(GraphDbTest, VariableLengthPathThroughIntermediateProcess) {
+  // bash -start-> tar -read-> passwd is a forward 2-hop path: the shape the
+  // paper describes when OSCTI text omits intermediate processes.
+  PropertyGraph& g = db_.graph();
+  NodeId bash = g.AddNode("proc", {{"exename", Value("/bin/bash")},
+                                   {"pid", Value(int64_t{99})}});
+  g.AddEdge(bash, tar_, "start", {{"start_time", Value(int64_t{5})}});
+  auto rs = db_.Query(
+      "MATCH (p:proc {exename: '/bin/bash'})-[*2..2]->(f:file "
+      "{name: '/etc/passwd'}) RETURN DISTINCT f.name");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs.value().rows.size(), 1u);
+  EXPECT_EQ(rs.value().rows[0][0].AsText(), "/etc/passwd");
+}
+
+TEST_F(GraphDbTest, VariableLengthRespectsMinimum) {
+  // Min length 2 excludes the direct tar->passwd edge.
+  auto rs = db_.Query(
+      "MATCH (p:proc {exename: '/bin/tar'})-[*2..3]->(f:file "
+      "{name: '/etc/passwd'}) RETURN f.name");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_TRUE(rs.value().rows.empty());
+}
+
+TEST_F(GraphDbTest, TemporalWhereAcrossEdges) {
+  auto rs = db_.Query(
+      "MATCH (p1:proc)-[e1:read]->(f1:file), (p1)-[e2:write]->(f2:file) "
+      "WHERE e1.end_time <= e2.start_time RETURN p1.exename, f1.name, f2.name");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs.value().rows.size(), 2u);  // tar and bzip2 chains
+}
+
+TEST_F(GraphDbTest, DistinctAndLimit) {
+  auto rs = db_.Query(
+      "MATCH (p:proc)-[e]->(o) RETURN DISTINCT p.exename LIMIT 2");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs.value().rows.size(), 2u);
+}
+
+TEST_F(GraphDbTest, StartsWithEndsWith) {
+  auto rs = db_.Query(
+      "MATCH (f:file) WHERE f.name STARTS WITH '/tmp' AND "
+      "f.name ENDS WITH '.bz2' RETURN f.name");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs.value().rows.size(), 1u);
+  EXPECT_EQ(rs.value().rows[0][0].AsText(), "/tmp/upload.tar.bz2");
+}
+
+TEST_F(GraphDbTest, ParseErrors) {
+  EXPECT_FALSE(db_.Query("MATCH (p:proc RETURN p.exename").ok());
+  EXPECT_FALSE(db_.Query("MATCH (p:proc) WHERE RETURN p.x").ok());
+  EXPECT_FALSE(db_.Query("(p:proc)-[]->(f) RETURN f.name").ok());
+}
+
+TEST_F(GraphDbTest, UnboundVariableInReturnFails) {
+  auto rs = db_.Query("MATCH (p:proc) RETURN q.exename");
+  EXPECT_FALSE(rs.ok());
+}
+
+TEST_F(GraphDbTest, RelationshipUniqueness) {
+  // A 2-hop cycle over the same edge must not match (edge uniqueness).
+  PropertyGraph& g = db_.graph();
+  NodeId a = g.AddNode("proc", {{"exename", Value("/bin/loop")}});
+  NodeId b = g.AddNode("file", {{"name", Value("/tmp/loop")}});
+  g.AddEdge(a, b, "read", {});
+  auto rs = db_.Query(
+      "MATCH (p:proc {exename: '/bin/loop'})-[*2..2]->(f) RETURN f.name");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_TRUE(rs.value().rows.empty());
+}
+
+TEST_F(GraphDbTest, QueryRoundTrip) {
+  const char* text =
+      "MATCH (p:proc {exename: '/bin/tar'})-[e:read]->(f:file) "
+      "WHERE f.name CONTAINS 'passwd' RETURN DISTINCT p.exename, f.name";
+  auto q = ParseCypher(text);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto printed = q.value().ToString();
+  auto rs1 = db_.Query(text);
+  auto rs2 = db_.Query(printed);
+  ASSERT_TRUE(rs1.ok());
+  ASSERT_TRUE(rs2.ok()) << printed << " -> " << rs2.status().ToString();
+  EXPECT_EQ(rs1.value().rows, rs2.value().rows);
+}
+
+}  // namespace
+}  // namespace raptor::graphdb

@@ -1,0 +1,106 @@
+// End-to-end integration tests over the public ThreatRaptor facade,
+// asserting the headline evaluation results on representative cases
+// (the full 18-case sweep lives in the bench harnesses).
+#include <gtest/gtest.h>
+
+#include "cases/cases.h"
+#include "threatraptor.h"
+
+namespace raptor {
+namespace {
+
+struct ExpectedOutcome {
+  const char* case_id;
+  size_t found;  // TP (precision is always 1425/1425 = 100% in Table VI)
+  size_t ground_truth;
+};
+
+class EndToEndTest : public ::testing::TestWithParam<ExpectedOutcome> {};
+
+TEST_P(EndToEndTest, MatchesTableVi) {
+  const ExpectedOutcome& expected = GetParam();
+  const cases::AttackCase* c = cases::FindCase(expected.case_id);
+  ASSERT_NE(c, nullptr);
+  ThreatRaptor tr;
+  ASSERT_TRUE(tr.IngestSyscalls(cases::BuildCaseLog(*c)).ok());
+  auto outcome = tr.HuntWithOsctiText(c->oscti_text);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  auto gt = cases::GroundTruthEventIds(*c, *tr.store());
+  cases::PrScore score =
+      cases::ScoreEvents(outcome.value().report.matched_event_ids, gt);
+  EXPECT_EQ(score.fp, 0u) << "precision must be 100%";
+  EXPECT_EQ(score.tp, expected.found);
+  EXPECT_EQ(gt.size(), expected.ground_truth);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableVi, EndToEndTest,
+    ::testing::Values(
+        ExpectedOutcome{"tc_clearscope_1", 6, 6},
+        ExpectedOutcome{"tc_fivedirections_3", 0, 3},  // IOC deviation
+        ExpectedOutcome{"tc_theia_2", 115, 115},
+        ExpectedOutcome{"tc_trace_1", 39, 76},  // run-relation ambiguity
+        ExpectedOutcome{"tc_trace_3", 0, 2},    // IOC deviation
+        ExpectedOutcome{"password_crack", 10, 12},
+        ExpectedOutcome{"data_leak", 6, 8},
+        ExpectedOutcome{"vpnfilter", 178, 178}));
+
+TEST(FacadeTest, RequiresIngestionBeforeHunting) {
+  ThreatRaptor tr;
+  EXPECT_FALSE(tr.Hunt("proc p read file f return p").ok());
+  EXPECT_FALSE(tr.HuntWithOsctiText("some text").ok());
+}
+
+TEST(FacadeTest, DoubleIngestionRejected) {
+  const cases::AttackCase* c = cases::FindCase("tc_clearscope_3");
+  ThreatRaptor tr;
+  ASSERT_TRUE(tr.IngestSyscalls(cases::BuildCaseLog(*c)).ok());
+  EXPECT_FALSE(tr.IngestSyscalls(cases::BuildCaseLog(*c)).ok());
+}
+
+TEST(FacadeTest, ExtractionWorksWithoutIngestion) {
+  ThreatRaptor tr;
+  auto r = tr.ExtractBehaviorGraph(
+      "The malware /tmp/x.sh connected to 1.2.3.4.");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().graph.edges().size(), 1u);
+}
+
+TEST(FacadeTest, FuzzyModeRecoversDeviatedCase) {
+  // tc_fivedirections_3: exact finds 0; fuzzy aligns the renamed dropper.
+  const cases::AttackCase* c = cases::FindCase("tc_fivedirections_3");
+  ThreatRaptor tr;
+  ASSERT_TRUE(tr.IngestSyscalls(cases::BuildCaseLog(*c)).ok());
+  auto outcome = tr.HuntWithOsctiText(c->oscti_text);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome.value().report.matched_event_ids.empty());
+
+  engine::FuzzyOptions opts;
+  opts.node_similarity = 0.6;
+  opts.score_threshold = 0.5;
+  auto fuzzy = tr.HuntFuzzy(outcome.value().synthesis.tbql_text, opts);
+  ASSERT_TRUE(fuzzy.ok()) << fuzzy.status().ToString();
+  ASSERT_FALSE(fuzzy.value().alignments.empty());
+  // The best alignment names the renamed dropper.
+  bool found_renamed = false;
+  for (const auto& [var, entity_id] : fuzzy.value().alignments[0].nodes) {
+    const audit::SystemEntity& e = tr.store()->entities()[entity_id - 1];
+    if (e.name.find("brnout.exe") != std::string::npos ||
+        e.exename.find("brnout.exe") != std::string::npos) {
+      found_renamed = true;
+    }
+  }
+  EXPECT_TRUE(found_renamed);
+}
+
+TEST(FacadeTest, DataReductionApplied) {
+  const cases::AttackCase* c = cases::FindCase("data_leak");
+  ThreatRaptor tr;
+  ASSERT_TRUE(tr.IngestSyscalls(cases::BuildCaseLog(*c)).ok());
+  const storage::ReductionStats& stats = tr.store()->reduction_stats();
+  EXPECT_GT(stats.input_events, stats.output_events);
+  EXPECT_LT(stats.reduction_ratio(), 0.9);
+}
+
+}  // namespace
+}  // namespace raptor

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "audit/jsonl.h"
+#include "audit/simulator.h"
+
+namespace raptor::audit {
+namespace {
+
+TEST(JsonlTest, RoundTripsSimulatorOutput) {
+  BenignProfile profile;
+  profile.num_processes = 25;
+  profile.seed = 321;
+  BenignWorkloadSimulator sim;
+  std::vector<SyscallRecord> original = sim.Generate(profile);
+
+  std::string jsonl = RecordsToJsonl(original);
+  auto parsed = ParseJsonlRecords(jsonl);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    const SyscallRecord& a = original[i];
+    const SyscallRecord& b = parsed.value()[i];
+    EXPECT_EQ(a.ts, b.ts);
+    EXPECT_EQ(a.duration, b.duration);
+    EXPECT_EQ(a.syscall, b.syscall);
+    EXPECT_EQ(a.pid, b.pid);
+    EXPECT_EQ(a.exe, b.exe);
+    EXPECT_EQ(a.path, b.path);
+    EXPECT_EQ(a.new_path, b.new_path);
+    EXPECT_EQ(a.target_exe, b.target_exe);
+    EXPECT_EQ(a.target_pid, b.target_pid);
+    EXPECT_EQ(a.src_ip, b.src_ip);
+    EXPECT_EQ(a.dst_ip, b.dst_ip);
+    EXPECT_EQ(a.dst_port, b.dst_port);
+    EXPECT_EQ(a.ret, b.ret);
+  }
+}
+
+TEST(JsonlTest, EscapesSpecialCharacters) {
+  SyscallRecord r;
+  r.ts = 1;
+  r.pid = 2;
+  r.syscall = "write";
+  r.exe = "/bin/sh";
+  r.path = "/tmp/we\"ird\\name\n";
+  std::string jsonl = RecordsToJsonl({r});
+  auto parsed = ParseJsonlRecords(jsonl);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), 1u);
+  EXPECT_EQ(parsed.value()[0].path, r.path);
+}
+
+TEST(JsonlTest, SkipsBlankAndCommentLines) {
+  auto parsed = ParseJsonlRecords(
+      "# captured 2026-06-10\n"
+      "\n"
+      "{\"ts\":5,\"syscall\":\"read\",\"pid\":1,\"exe\":\"/bin/x\","
+      "\"path\":\"/tmp/f\"}\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), 1u);
+  EXPECT_EQ(parsed.value()[0].ts, 5);
+}
+
+TEST(JsonlTest, IgnoresUnknownKeys) {
+  auto parsed = ParseJsonlRecords(
+      "{\"ts\":1,\"pid\":2,\"syscall\":\"read\",\"exe\":\"/bin/x\","
+      "\"path\":\"/f\",\"hostname\":\"web01\",\"seq\":99}\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value()[0].exe, "/bin/x");
+}
+
+TEST(JsonlTest, MalformedLinesReportLineNumber) {
+  auto parsed = ParseJsonlRecords(
+      "{\"ts\":1,\"pid\":2}\n"
+      "{not json}\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(JsonlTest, EmptyObjectAndEmptyInput) {
+  auto empty = ParseJsonlRecords("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+  auto obj = ParseJsonlRecords("{}\n");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj.value().size(), 1u);
+}
+
+}  // namespace
+}  // namespace raptor::audit

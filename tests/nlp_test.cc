@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include "nlp/depparse.h"
+#include "nlp/ioc.h"
+#include "nlp/pos.h"
+#include "nlp/protect.h"
+#include "nlp/segment.h"
+#include "nlp/tokenizer.h"
+#include "nlp/wordvec.h"
+
+namespace raptor::nlp {
+namespace {
+
+// ---------------------------------------------------------------- IOC tests
+
+TEST(IocTest, LinuxPaths) {
+  auto m = RecognizeIocs("the attacker used /bin/tar to read /etc/passwd.");
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0].text, "/bin/tar");
+  EXPECT_EQ(m[0].type, IocType::kFilepath);
+  EXPECT_EQ(m[1].text, "/etc/passwd");  // sentence period trimmed
+}
+
+TEST(IocTest, IpWithAndWithoutCidr) {
+  auto m = RecognizeIocs("connect to 192.168.29.128 and 10.0.0.0/8 today");
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0].text, "192.168.29.128");
+  EXPECT_EQ(m[0].type, IocType::kIp);
+  EXPECT_EQ(m[1].text, "10.0.0.0/8");
+}
+
+TEST(IocTest, IpAtSentenceEnd) {
+  auto m = RecognizeIocs("curl connected to 192.168.29.128.");
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0].text, "192.168.29.128");
+}
+
+TEST(IocTest, RejectsVersionStrings) {
+  auto m = RecognizeIocs("running version 1.2.3.4.5 of the daemon");
+  for (const auto& x : m) EXPECT_NE(x.type, IocType::kIp) << x.text;
+}
+
+TEST(IocTest, RejectsOutOfRangeOctets) {
+  auto m = RecognizeIocs("error code 999.999.999.999 appeared");
+  for (const auto& x : m) EXPECT_NE(x.type, IocType::kIp) << x.text;
+}
+
+TEST(IocTest, WindowsPathAndRegistry) {
+  auto m = RecognizeIocs(
+      R"(dropped C:\Users\victim\evil.exe and set HKEY_LOCAL_MACHINE\Software\Run)");
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0].type, IocType::kWinFilepath);
+  EXPECT_EQ(m[0].text, R"(C:\Users\victim\evil.exe)");
+  EXPECT_EQ(m[1].type, IocType::kRegistry);
+}
+
+TEST(IocTest, UrlSwallowsDomain) {
+  auto m = RecognizeIocs("fetched https://evil.com/payload.bin quickly");
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0].type, IocType::kUrl);
+}
+
+TEST(IocTest, DomainAndEmail) {
+  auto m = RecognizeIocs("mail admin@corp.com or visit evil-site.ru now");
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0].type, IocType::kEmail);
+  EXPECT_EQ(m[1].type, IocType::kDomain);
+  EXPECT_EQ(m[1].text, "evil-site.ru");
+}
+
+TEST(IocTest, HashesAndCve) {
+  auto m = RecognizeIocs(
+      "md5 d41d8cd98f00b204e9800998ecf8427e relates to CVE-2014-6271");
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0].type, IocType::kHash);
+  EXPECT_EQ(m[1].type, IocType::kCve);
+  EXPECT_EQ(m[1].text, "CVE-2014-6271");
+}
+
+TEST(IocTest, BareFilename) {
+  auto m = RecognizeIocs("opened MsgApp-instr.apk from the store");
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0].type, IocType::kFilename);
+  EXPECT_EQ(m[0].text, "MsgApp-instr.apk");
+}
+
+TEST(IocTest, AndroidPackageAsDomainStyleName) {
+  // Android package names (com.android.defcontainer) look like reversed
+  // domains; the recognizer treats them as domain-ish IOCs.
+  auto m = RecognizeIocs("process com.android.defcontainer opened the file");
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0].text, "com.android.defcontainer");
+}
+
+// ------------------------------------------------------- segmentation tests
+
+TEST(SegmentTest, Blocks) {
+  auto blocks = SegmentBlocks("para one line a\nline b\n\npara two\n");
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[1].text, "para two");
+}
+
+TEST(SegmentTest, Sentences) {
+  auto s = SegmentSentences(
+      "The attacker used /bin/tar. It wrote data to /tmp/upload.tar. Then "
+      "the attacker left.");
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].text, "The attacker used /bin/tar.");
+  EXPECT_EQ(s[1].text, "It wrote data to /tmp/upload.tar.");
+}
+
+TEST(SegmentTest, AbbreviationGuard) {
+  auto s = SegmentSentences("Tools, e.g. Mimikatz, were used. Then it left.");
+  ASSERT_EQ(s.size(), 2u);
+}
+
+TEST(SegmentTest, DottedIocDoesNotSplitMidToken) {
+  auto s = SegmentSentences("read from /tmp/upload.tar.bz2 and wrote data.");
+  ASSERT_EQ(s.size(), 1u);
+}
+
+// -------------------------------------------------------- tokenizer tests
+
+TEST(TokenizerTest, PlainSentence) {
+  auto toks = Tokenize("The attacker used something to read credentials.");
+  std::vector<std::string> texts;
+  for (const auto& t : toks) texts.push_back(t.text);
+  EXPECT_EQ(texts, (std::vector<std::string>{"The", "attacker", "used",
+                                             "something", "to", "read",
+                                             "credentials", "."}));
+}
+
+TEST(TokenizerTest, ShredsUnprotectedPaths) {
+  // The PTB-style '/' split is exactly what IOC Protection guards against.
+  auto toks = Tokenize("used /bin/tar today");
+  std::vector<std::string> texts;
+  for (const auto& t : toks) texts.push_back(t.text);
+  EXPECT_EQ(texts, (std::vector<std::string>{"used", "/", "bin", "/", "tar",
+                                             "today"}));
+}
+
+TEST(TokenizerTest, KeepsDottedTokens) {
+  auto toks = Tokenize("connect to 192.168.29.128.");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[2].text, "192.168.29.128");
+  EXPECT_EQ(toks[3].text, ".");
+}
+
+TEST(TokenizerTest, OffsetsAreFaithful) {
+  std::string text = "read (something) now.";
+  auto toks = Tokenize(text);
+  for (const auto& t : toks) {
+    EXPECT_EQ(text.substr(t.begin, t.end - t.begin), t.text);
+  }
+}
+
+// -------------------------------------------------------- protection tests
+
+TEST(ProtectTest, ReplacesAndRecords) {
+  ProtectedText pt = ProtectIocs("the attacker used /bin/tar to read /etc/passwd.");
+  EXPECT_EQ(pt.text, "the attacker used something to read something.");
+  ASSERT_EQ(pt.replacements.size(), 2u);
+  EXPECT_EQ(pt.replacements[0].ioc.text, "/bin/tar");
+  EXPECT_EQ(pt.text.substr(pt.replacements[0].begin,
+                           pt.replacements[0].end - pt.replacements[0].begin),
+            kDummyWord);
+  EXPECT_NE(pt.FindAt(pt.replacements[1].begin), nullptr);
+}
+
+// --------------------------------------------------------------- POS tests
+
+TEST(PosTest, CoreTags) {
+  auto toks = Tokenize("The attacker used something to read credentials.");
+  auto tags = TagTokens(toks);
+  EXPECT_EQ(tags[0], Pos::kDet);
+  EXPECT_EQ(tags[1], Pos::kNoun);
+  EXPECT_EQ(tags[2], Pos::kVerb);
+  EXPECT_EQ(tags[3], Pos::kNoun);   // the dummy word
+  EXPECT_EQ(tags[4], Pos::kPart);   // infinitival to
+  EXPECT_EQ(tags[5], Pos::kVerb);
+  EXPECT_EQ(tags[6], Pos::kNoun);
+}
+
+TEST(PosTest, ParticipleAfterDeterminer) {
+  auto toks = Tokenize("It wrote the gathered information to a file.");
+  auto tags = TagTokens(toks);
+  EXPECT_EQ(tags[3], Pos::kAdj);  // "gathered" modifies "information"
+}
+
+TEST(PosTest, Lemmas) {
+  EXPECT_EQ(Lemma("wrote", Pos::kVerb), "write");
+  EXPECT_EQ(Lemma("reading", Pos::kVerb), "read");
+  EXPECT_EQ(Lemma("leveraged", Pos::kVerb), "leverage");
+  EXPECT_EQ(Lemma("scanned", Pos::kVerb), "scan");
+  EXPECT_EQ(Lemma("uses", Pos::kVerb), "use");
+  EXPECT_EQ(Lemma("downloads", Pos::kVerb), "download");
+  EXPECT_EQ(Lemma("connected", Pos::kVerb), "connect");
+  EXPECT_EQ(Lemma("files", Pos::kNoun), "file");
+}
+
+// ---------------------------------------------------------- parser tests
+
+DepTree ParseSentence(const std::string& s) {
+  auto toks = Tokenize(s);
+  auto tags = TagTokens(toks);
+  return ParseDependency(toks, tags);
+}
+
+int FindNode(const DepTree& t, const std::string& text) {
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t.node(i).text == text) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+TEST(DepParseTest, SimpleSvo) {
+  DepTree t = ParseSentence("The attacker used something.");
+  int used = FindNode(t, "used");
+  int attacker = FindNode(t, "attacker");
+  int smth = FindNode(t, "something");
+  EXPECT_EQ(t.root(), used);
+  EXPECT_EQ(t.node(attacker).head, used);
+  EXPECT_EQ(t.node(attacker).deprel, "nsubj");
+  EXPECT_EQ(t.node(smth).head, used);
+  EXPECT_EQ(t.node(smth).deprel, "dobj");
+}
+
+TEST(DepParseTest, PurposeInfinitiveAndPrepObject) {
+  DepTree t = ParseSentence(
+      "the attacker used something to read user credentials from something");
+  int used = FindNode(t, "used");
+  int read = FindNode(t, "read");
+  int from = FindNode(t, "from");
+  ASSERT_GE(read, 0);
+  EXPECT_EQ(t.node(read).head, used);
+  EXPECT_EQ(t.node(read).deprel, "xcomp");
+  EXPECT_EQ(t.node(from).head, read);
+  // The second "something" is the pobj of "from".
+  int smth2 = -1;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t.node(i).text == "something" && static_cast<int>(i) > read) {
+      smth2 = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(smth2, 0);
+  EXPECT_EQ(t.node(smth2).head, from);
+  EXPECT_EQ(t.node(smth2).deprel, "pobj");
+}
+
+TEST(DepParseTest, ConjoinedVerbsShareStructure) {
+  DepTree t = ParseSentence(
+      "something read from something and wrote to something");
+  int read = FindNode(t, "read");
+  int wrote = FindNode(t, "wrote");
+  EXPECT_EQ(t.root(), read);
+  EXPECT_EQ(t.node(wrote).head, read);
+  EXPECT_EQ(t.node(wrote).deprel, "conj");
+  // First something is the subject of read.
+  EXPECT_EQ(t.node(0).deprel, "nsubj");
+  EXPECT_EQ(t.node(0).head, read);
+}
+
+TEST(DepParseTest, GerundAfterNounIsAcl) {
+  DepTree t = ParseSentence(
+      "the launched process something reading from something");
+  int smth1 = FindNode(t, "something");
+  int reading = FindNode(t, "reading");
+  ASSERT_GE(reading, 0);
+  EXPECT_EQ(t.node(reading).deprel, "acl");
+  EXPECT_EQ(t.node(reading).head, smth1);
+}
+
+TEST(DepParseTest, ByGerundInstrument) {
+  DepTree t = ParseSentence(
+      "he leaked the information back to the host by using something");
+  int leaked = FindNode(t, "leaked");
+  int by = FindNode(t, "by");
+  int using_v = FindNode(t, "using");
+  EXPECT_EQ(t.root(), leaked);
+  EXPECT_EQ(t.node(by).head, leaked);
+  EXPECT_EQ(t.node(using_v).head, by);
+  EXPECT_EQ(t.node(using_v).deprel, "pcomp");
+}
+
+TEST(DepParseTest, PassiveVoice) {
+  DepTree t = ParseSentence("the file was downloaded by the malware");
+  int downloaded = FindNode(t, "downloaded");
+  int file = FindNode(t, "file");
+  int by = FindNode(t, "by");
+  EXPECT_EQ(t.node(file).head, downloaded);
+  EXPECT_EQ(t.node(file).deprel, "nsubjpass");
+  EXPECT_EQ(t.node(by).deprel, "agent");
+}
+
+TEST(DepParseTest, EveryNodeReachesRoot) {
+  DepTree t = ParseSentence(
+      "After the lateral movement stage, the attacker attempts to steal "
+      "valuable assets from the host, and transfers the files to its host.");
+  for (size_t i = 0; i < t.size(); ++i) {
+    auto path = t.PathToRoot(static_cast<int>(i));
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.back(), t.root());
+  }
+}
+
+TEST(DepParseTest, LcaOfSubjectAndObject) {
+  DepTree t = ParseSentence("something read from something");
+  int a = 0;
+  int b = static_cast<int>(t.size()) - 1;
+  int read = FindNode(t, "read");
+  EXPECT_EQ(t.Lca(a, b), read);
+}
+
+// ------------------------------------------------------------ wordvec tests
+
+TEST(WordVecTest, SimilarStringsScoreHigher) {
+  double same = WordSimilarity("/tmp/upload.tar", "/tmp/upload.tar");
+  double close = WordSimilarity("/tmp/upload.tar", "upload.tar");
+  double far = WordSimilarity("/tmp/upload.tar", "192.168.29.128");
+  EXPECT_NEAR(same, 1.0, 1e-6);
+  EXPECT_GT(close, 0.5);
+  EXPECT_LT(far, 0.3);
+  EXPECT_GT(close, far);
+}
+
+}  // namespace
+}  // namespace raptor::nlp

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "openie/openie.h"
+
+namespace raptor::openie {
+namespace {
+
+const char* kText =
+    "The attacker used /bin/tar to read user credentials from /etc/passwd. "
+    "It wrote the gathered information to a file /tmp/upload.tar.";
+
+TEST(ClauseOpenIeTest, ExtractsGenericTriples) {
+  OpenIeResult r = ClauseOpenIe().Extract(kText);
+  EXPECT_FALSE(r.triples.empty());
+  // Generic OIE extracts open-domain arguments like "the attacker", not
+  // IOC-shaped strings (unprotected paths get shredded by tokenization).
+  bool has_generic = false;
+  for (const std::string& arg : r.arguments) {
+    if (arg.find("attacker") != std::string::npos) has_generic = true;
+  }
+  EXPECT_TRUE(has_generic);
+}
+
+TEST(ClauseOpenIeTest, ProtectionRestoresIocsIntoArguments) {
+  OpenIeOptions opts;
+  opts.ioc_protection = true;
+  OpenIeResult r = ClauseOpenIe(opts).Extract(kText);
+  bool has_ioc = false;
+  for (const std::string& arg : r.arguments) {
+    if (arg.find("/etc/passwd") != std::string::npos) has_ioc = true;
+  }
+  EXPECT_TRUE(has_ioc);
+}
+
+TEST(PatternOpenIeTest, EnumeratesMoreCandidatesThanClause) {
+  OpenIeResult clause = ClauseOpenIe().Extract(kText);
+  OpenIeResult pattern = PatternOpenIe().Extract(kText);
+  EXPECT_GE(pattern.triples.size(), clause.triples.size());
+}
+
+TEST(OpenIeTest, TriplesAreDeduplicated) {
+  OpenIeResult r = PatternOpenIe().Extract(kText);
+  std::set<std::string> keys;
+  for (const OpenTriple& t : r.triples) {
+    std::string key = t.arg1 + "|" + t.relation + "|" + t.arg2;
+    EXPECT_TRUE(keys.insert(key).second) << "duplicate triple: " << key;
+  }
+}
+
+TEST(OpenIeTest, EmptyInput) {
+  EXPECT_TRUE(ClauseOpenIe().Extract("").triples.empty());
+  EXPECT_TRUE(PatternOpenIe().Extract("").triples.empty());
+}
+
+}  // namespace
+}  // namespace raptor::openie

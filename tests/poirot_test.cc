@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "audit/parser.h"
+#include "engine/poirot.h"
+#include "storage/store.h"
+
+namespace raptor::engine {
+namespace {
+
+/// Store with a renamed-IOC attack: the "real" chain uses brnout.exe and
+/// 10.9.9.9 while queries will ask for burnout.exe and 10.9.9.8, plus a
+/// decoy chain that should score lower.
+class PoirotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::vector<audit::SyscallRecord> recs;
+    auto file_rec = [&](audit::Timestamp ts, const char* syscall,
+                        const char* exe, long long pid, const char* path) {
+      audit::SyscallRecord r;
+      r.ts = ts;
+      r.duration = 5;
+      r.syscall = syscall;
+      r.exe = exe;
+      r.pid = pid;
+      r.path = path;
+      r.ret = 100;
+      recs.push_back(r);
+    };
+    auto net_rec = [&](audit::Timestamp ts, const char* exe, long long pid,
+                       const char* ip) {
+      audit::SyscallRecord r;
+      r.ts = ts;
+      r.duration = 5;
+      r.syscall = "connect";
+      r.exe = exe;
+      r.pid = pid;
+      r.src_ip = "10.0.0.5";
+      r.src_port = 40000;
+      r.dst_ip = ip;
+      r.dst_port = 443;
+      r.protocol = "tcp";
+      recs.push_back(r);
+    };
+    // Real (renamed) chain: nmsg writes the dropper, starts it, and the
+    // dropper process connects out (nmsg -> dropper proc -> C2 is the
+    // 2-hop flow the influence test exercises).
+    file_rec(1'000'000, "write", "/usr/bin/nmsg", 20, "/tmp/brnout.exe");
+    {
+      audit::SyscallRecord r;
+      r.ts = 2'500'000;
+      r.duration = 5;
+      r.syscall = "execve";
+      r.exe = "/usr/bin/nmsg";
+      r.pid = 20;
+      r.target_exe = "/tmp/brnout.exe";
+      r.target_pid = 21;
+      recs.push_back(r);
+    }
+    net_rec(3'000'000, "/tmp/brnout.exe", 21, "10.9.9.9");
+    // Decoy chain with dissimilar names.
+    file_rec(2'000'000, "write", "/usr/bin/vim", 30, "/home/u/notes.txt");
+    net_rec(4'000'000, "/usr/bin/chrome", 31, "142.250.0.1");
+
+    audit::ParsedLog log;
+    audit::AuditLogParser parser;
+    ASSERT_TRUE(parser.Parse(recs, &log).ok());
+    ASSERT_TRUE(store_.Load(log).ok());
+  }
+
+  storage::AuditStore store_;
+};
+
+TEST_F(PoirotTest, RecoversRenamedIocs) {
+  FuzzyMatcher matcher(&store_);
+  FuzzyOptions opts;
+  opts.node_similarity = 0.6;
+  opts.score_threshold = 0.5;
+  auto report = matcher.SearchText(
+      "proc p[\"%/usr/bin/nmsg%\"] write file f[\"%/tmp/burnout.exe%\"] as "
+      "e1\n"
+      "proc q[\"%/tmp/burnout.exe%\"] connect ip i[\"10.9.9.8\"] as e2\n"
+      "return p, f, q, i",
+      opts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_FALSE(report.value().alignments.empty());
+  const FuzzyAlignment& best = report.value().alignments[0];
+  // The misspelled dropper and the moved C2 align to the real entities.
+  long long f_entity = best.nodes.at("f");
+  EXPECT_EQ(store_.entities()[f_entity - 1].name, "/tmp/brnout.exe");
+  long long i_entity = best.nodes.at("i");
+  EXPECT_EQ(store_.entities()[i_entity - 1].dstip, "10.9.9.9");
+  EXPECT_GT(best.score, 0.9);  // both edges exist at distance 1
+}
+
+TEST_F(PoirotTest, ExactSearchWouldFindNothing) {
+  // Sanity: the same query in exact mode retrieves no events.
+  TbqlExecutor executor(&store_);
+  auto exact = executor.ExecuteText(
+      "proc p[\"%/usr/bin/nmsg%\"] write file f[\"%/tmp/burnout.exe%\"] as "
+      "e1 return p, f");
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(exact.value().matched_event_ids.empty());
+}
+
+TEST_F(PoirotTest, ExhaustiveFindsAtLeastAsManyAsFirstMatch) {
+  FuzzyOptions exhaustive;
+  exhaustive.exhaustive = true;
+  exhaustive.score_threshold = 0.4;
+  FuzzyOptions first;
+  first.exhaustive = false;
+  first.score_threshold = 0.4;
+  FuzzyMatcher matcher(&store_);
+  const char* query =
+      "proc p[\"%nmsg%\"] write file f[\"%brnout%\"] as e1 return p, f";
+  auto all = matcher.SearchText(query, exhaustive);
+  auto one = matcher.SearchText(query, first);
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(one.ok());
+  EXPECT_LE(one.value().alignments.size(), 1u);
+  EXPECT_GE(all.value().alignments.size(), one.value().alignments.size());
+  EXPECT_GE(all.value().candidate_alignments_considered,
+            one.value().candidate_alignments_considered);
+}
+
+TEST_F(PoirotTest, InfluenceDecaysWithDistance) {
+  // write(nmsg->brnout) is distance 1 from nmsg; the connect from brnout to
+  // the C2 is distance 2 from nmsg. A query asking nmsg->C2 directly can
+  // only align through the 2-hop flow and must score 1/C.
+  FuzzyMatcher matcher(&store_);
+  FuzzyOptions opts;
+  opts.score_threshold = 0.3;
+  opts.influence_base = 2.0;
+  auto report = matcher.SearchText(
+      "proc p[\"%/usr/bin/nmsg%\"] connect ip i[\"10.9.9.9\"] as e1 "
+      "return p, i",
+      opts);
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report.value().alignments.empty());
+  EXPECT_NEAR(report.value().alignments[0].score, 0.5, 1e-9);
+}
+
+TEST_F(PoirotTest, ThresholdRejectsPoorAlignments) {
+  FuzzyMatcher matcher(&store_);
+  FuzzyOptions opts;
+  opts.score_threshold = 0.99;
+  auto report = matcher.SearchText(
+      "proc p[\"%/usr/bin/nmsg%\"] connect ip i[\"10.9.9.9\"] as e1 "
+      "return p, i",
+      opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().alignments.empty());
+}
+
+TEST_F(PoirotTest, TimingsArePopulated) {
+  FuzzyMatcher matcher(&store_);
+  auto report = matcher.SearchText(
+      "proc p[\"%nmsg%\"] write file f[\"%brnout%\"] as e1 return p, f");
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report.value().timings.total(), 0.0);
+  EXPECT_GE(report.value().timings.searching_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace raptor::engine

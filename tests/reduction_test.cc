@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "audit/types.h"
+#include "common/rng.h"
+#include "storage/reduction/reduction.h"
+
+namespace raptor::storage {
+namespace {
+
+using audit::EventOp;
+using audit::SystemEvent;
+
+SystemEvent Ev(audit::EntityId subj, audit::EntityId obj, EventOp op,
+               audit::Timestamp start, audit::Timestamp end,
+               long long amount = 100) {
+  SystemEvent e;
+  e.subject = subj;
+  e.object = obj;
+  e.op = op;
+  e.object_type = audit::EntityType::kFile;
+  e.start_time = start;
+  e.end_time = end;
+  e.amount = amount;
+  return e;
+}
+
+TEST(ReductionTest, MergesWithinThreshold) {
+  // Paper criteria: same subject, object, op; 0 <= gap <= threshold.
+  std::vector<SystemEvent> events = {
+      Ev(1, 2, EventOp::kRead, 0, 10, 100),
+      Ev(1, 2, EventOp::kRead, 500'000, 500'010, 200),
+  };
+  ReductionStats stats;
+  auto out = ReduceEvents(events, {}, &stats);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].start_time, 0);
+  EXPECT_EQ(out[0].end_time, 500'010);
+  EXPECT_EQ(out[0].amount, 300);  // summed
+  EXPECT_EQ(stats.input_events, 2u);
+  EXPECT_EQ(stats.output_events, 1u);
+}
+
+TEST(ReductionTest, GapBeyondThresholdNotMerged) {
+  std::vector<SystemEvent> events = {
+      Ev(1, 2, EventOp::kRead, 0, 10),
+      Ev(1, 2, EventOp::kRead, 1'500'000, 1'500'010),
+  };
+  auto out = ReduceEvents(events, {}, nullptr);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(ReductionTest, DifferentOpNotMerged) {
+  std::vector<SystemEvent> events = {
+      Ev(1, 2, EventOp::kRead, 0, 10),
+      Ev(1, 2, EventOp::kWrite, 100, 110),
+  };
+  EXPECT_EQ(ReduceEvents(events, {}, nullptr).size(), 2u);
+}
+
+TEST(ReductionTest, DifferentEntityPairNotMerged) {
+  std::vector<SystemEvent> events = {
+      Ev(1, 2, EventOp::kRead, 0, 10),
+      Ev(1, 3, EventOp::kRead, 100, 110),
+      Ev(4, 2, EventOp::kRead, 200, 210),
+  };
+  EXPECT_EQ(ReduceEvents(events, {}, nullptr).size(), 3u);
+}
+
+TEST(ReductionTest, OverlappingEventsNotMerged) {
+  // gap < 0 (second starts before first ends) violates the criteria.
+  std::vector<SystemEvent> events = {
+      Ev(1, 2, EventOp::kRead, 0, 1000),
+      Ev(1, 2, EventOp::kRead, 500, 1500),
+  };
+  EXPECT_EQ(ReduceEvents(events, {}, nullptr).size(), 2u);
+}
+
+TEST(ReductionTest, ChainOfBurstsCollapsesToOne) {
+  std::vector<SystemEvent> events;
+  for (int i = 0; i < 50; ++i) {
+    events.push_back(Ev(1, 2, EventOp::kWrite, i * 1000, i * 1000 + 10, 10));
+  }
+  auto out = ReduceEvents(events, {}, nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].amount, 500);
+}
+
+TEST(ReductionTest, ZeroThresholdOnlyMergesBackToBack) {
+  ReductionOptions opts;
+  opts.merge_threshold_us = 0;
+  std::vector<SystemEvent> events = {
+      Ev(1, 2, EventOp::kRead, 0, 10),
+      Ev(1, 2, EventOp::kRead, 10, 20),  // gap exactly 0
+      Ev(1, 2, EventOp::kRead, 25, 30),  // gap 5
+  };
+  EXPECT_EQ(ReduceEvents(events, opts, nullptr).size(), 2u);
+}
+
+TEST(ReductionTest, IdsReassignedDense) {
+  std::vector<SystemEvent> events = {
+      Ev(1, 2, EventOp::kRead, 0, 10),
+      Ev(3, 4, EventOp::kRead, 5, 15),
+      Ev(1, 2, EventOp::kRead, 100, 110),
+  };
+  auto out = ReduceEvents(events, {}, nullptr);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].id, i + 1);
+  }
+}
+
+// Property sweep: reduction must preserve per-group total byte counts and
+// never increase event count, across randomized workloads and thresholds.
+class ReductionPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, audit::Timestamp>> {
+};
+
+TEST_P(ReductionPropertyTest, PreservesBytesAndMonotonicity) {
+  auto [seed, threshold] = GetParam();
+  Rng rng(seed);
+  std::vector<SystemEvent> events;
+  audit::Timestamp t = 0;
+  for (int i = 0; i < 500; ++i) {
+    t += rng.Uniform(2'000'000);
+    audit::Timestamp end = t + rng.Uniform(1000);
+    events.push_back(Ev(1 + rng.Uniform(4), 10 + rng.Uniform(4),
+                        rng.Chance(0.5) ? EventOp::kRead : EventOp::kWrite, t,
+                        end, static_cast<long long>(rng.Uniform(1000))));
+  }
+  long long bytes_before = 0;
+  for (const auto& e : events) bytes_before += e.amount;
+
+  ReductionOptions opts;
+  opts.merge_threshold_us = threshold;
+  ReductionStats stats;
+  auto out = ReduceEvents(events, opts, &stats);
+
+  long long bytes_after = 0;
+  for (const auto& e : out) {
+    bytes_after += e.amount;
+    EXPECT_LE(e.start_time, e.end_time);
+  }
+  EXPECT_EQ(bytes_before, bytes_after);
+  EXPECT_LE(out.size(), events.size());
+  EXPECT_EQ(stats.output_events, out.size());
+  // Sorted by start time with dense ids.
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i - 1].start_time, out[i].start_time);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReductionPropertyTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u),
+                       ::testing::Values(0, 1'000, 1'000'000, 60'000'000)));
+
+}  // namespace
+}  // namespace raptor::storage

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "cases/cases.h"
+#include "extraction/extractor.h"
+#include "nlp/refang.h"
+#include "synthesis/synthesizer.h"
+#include "threatraptor.h"
+
+namespace raptor {
+namespace {
+
+TEST(RefangTest, BracketDotsAndSchemes) {
+  EXPECT_EQ(nlp::RefangText("192[.]168[.]29[.]128"), "192.168.29.128");
+  EXPECT_EQ(nlp::RefangText("evil(.)com and bad{.}ru"), "evil.com and bad.ru");
+  EXPECT_EQ(nlp::RefangText("hxxp://evil.com/x"), "http://evil.com/x");
+  EXPECT_EQ(nlp::RefangText("hXXps://evil.com"), "https://evil.com");
+  EXPECT_EQ(nlp::RefangText("fxp://drop.site"), "ftp://drop.site");
+  EXPECT_EQ(nlp::RefangText("user[at]host.com"), "user@host.com");
+  EXPECT_EQ(nlp::RefangText("hxxp[://]c2[.]net"), "http://c2.net");
+}
+
+TEST(RefangTest, IdempotentAndSafeOnPlainText) {
+  const char* plain =
+      "the attacker used /bin/tar to read /etc/passwd (see appendix).";
+  EXPECT_EQ(nlp::RefangText(plain), plain);
+  std::string once = nlp::RefangText("192[.]168[.]1[.]1");
+  EXPECT_EQ(nlp::RefangText(once), once);
+  // Ordinary brackets stay: "[at] the office" is ambiguous but rare; the
+  // transform only rewrites complete [at] tokens.
+  EXPECT_EQ(nlp::RefangText("list[0] and (x)"), "list[0] and (x)");
+}
+
+TEST(RefangTest, DefangedReportExtractsLikePlainOne) {
+  const char* defanged =
+      "The malware /tmp/vf downloaded the payload from "
+      "94[.]242[.]222[.]68 and wrote it to /tmp/p.bin. /tmp/p.bin connected "
+      "to 94[.]242[.]222[.]68.";
+  extraction::ThreatBehaviorExtractor extractor;
+  auto r = extractor.Extract(defanged);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r.value().graph.FindNode("94.242.222.68"), 0);
+  bool has_connect = false;
+  for (const auto& e : r.value().graph.edges()) {
+    if (e.verb == "connect") has_connect = true;
+  }
+  EXPECT_TRUE(has_connect);
+}
+
+TEST(SynthesisPlanTest, VerbOverrideResolvesRunAmbiguity) {
+  // tc_trace_1 default plan: the "run" self-loop becomes an execute-file
+  // pattern and misses the 37 process-start events (recall 39/76). An
+  // analyst overriding run->start recovers them (paper Sec IV-B2 suggests
+  // exactly this human-in-the-loop revision).
+  const cases::AttackCase* c = cases::FindCase("tc_trace_1");
+  ASSERT_NE(c, nullptr);
+  ThreatRaptor tr;
+  ASSERT_TRUE(tr.IngestSyscalls(cases::BuildCaseLog(*c)).ok());
+  auto extraction = tr.ExtractBehaviorGraph(c->oscti_text);
+  ASSERT_TRUE(extraction.ok());
+  auto gt = cases::GroundTruthEventIds(*c, *tr.store());
+
+  synthesis::SynthesisOptions defaults;
+  auto default_syn =
+      synthesis::QuerySynthesizer(defaults).Synthesize(
+          extraction.value().graph);
+  ASSERT_TRUE(default_syn.ok());
+  auto default_hunt = tr.Hunt(default_syn.value().query);
+  ASSERT_TRUE(default_hunt.ok());
+  auto default_score =
+      cases::ScoreEvents(default_hunt.value().matched_event_ids, gt);
+  EXPECT_EQ(default_score.tp, 39u);
+
+  synthesis::SynthesisOptions revised;
+  revised.verb_overrides["run"] = "start";
+  auto revised_syn =
+      synthesis::QuerySynthesizer(revised).Synthesize(
+          extraction.value().graph);
+  ASSERT_TRUE(revised_syn.ok());
+  auto revised_hunt = tr.Hunt(revised_syn.value().query);
+  ASSERT_TRUE(revised_hunt.ok());
+  auto revised_score =
+      cases::ScoreEvents(revised_hunt.value().matched_event_ids, gt);
+  // 74 of 76: the override recovers 35 of the 37 missed start events. The
+  // remaining two are conjunctively-correct exclusions - the first respawn
+  // generation never connects to the C2 and the last never starts another
+  // instance, so constraint intersection on the shared p2 entity excludes
+  // them (the query demands the same instance does both).
+  EXPECT_EQ(revised_score.tp, 74u);
+  EXPECT_EQ(revised_score.fp, 0u);
+  EXPECT_GT(revised_score.tp, default_score.tp);
+}
+
+}  // namespace
+}  // namespace raptor

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "audit/parser.h"
+#include "audit/simulator.h"
+#include "engine/explain.h"
+#include "storage/snapshot.h"
+#include "storage/store.h"
+
+namespace raptor::storage {
+namespace {
+
+audit::ParsedLog MakeLog(int processes, uint64_t seed) {
+  audit::BenignProfile profile;
+  profile.num_processes = processes;
+  profile.seed = seed;
+  audit::BenignWorkloadSimulator sim;
+  audit::ParsedLog log;
+  audit::AuditLogParser parser;
+  EXPECT_TRUE(parser.Parse(sim.Generate(profile), &log).ok());
+  return log;
+}
+
+TEST(SnapshotTest, RoundTripPreservesEverything) {
+  audit::ParsedLog log = MakeLog(30, 77);
+  std::string blob = SnapshotToString(log);
+  auto restored = SnapshotFromString(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  ASSERT_EQ(restored.value().entities.size(), log.entities.size());
+  for (size_t i = 1; i <= log.entities.size(); ++i) {
+    const audit::SystemEntity& a = log.entities.Get(i);
+    const audit::SystemEntity& b = restored.value().entities.Get(i);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.UniqueKey(), b.UniqueKey());
+    EXPECT_EQ(a.user, b.user);
+  }
+  ASSERT_EQ(restored.value().events.size(), log.events.size());
+  for (size_t i = 0; i < log.events.size(); ++i) {
+    const audit::SystemEvent& a = log.events[i];
+    const audit::SystemEvent& b = restored.value().events[i];
+    EXPECT_EQ(a.subject, b.subject);
+    EXPECT_EQ(a.object, b.object);
+    EXPECT_EQ(a.op, b.op);
+    EXPECT_EQ(a.start_time, b.start_time);
+    EXPECT_EQ(a.end_time, b.end_time);
+    EXPECT_EQ(a.amount, b.amount);
+  }
+}
+
+TEST(SnapshotTest, RestoredLogLoadsIntoStore) {
+  audit::ParsedLog log = MakeLog(20, 88);
+  auto restored = SnapshotFromString(SnapshotToString(log));
+  ASSERT_TRUE(restored.ok());
+  AuditStore a, b;
+  ASSERT_TRUE(a.Load(log).ok());
+  ASSERT_TRUE(b.Load(restored.value()).ok());
+  EXPECT_EQ(a.entity_count(), b.entity_count());
+  EXPECT_EQ(a.event_count(), b.event_count());
+}
+
+TEST(SnapshotTest, EscapedStringsSurvive) {
+  audit::ParsedLog log;
+  audit::EntityStore& es = log.entities;
+  audit::EntityId p = es.InternProcess("/bin/we\tird\\exe", 1, "a\nb");
+  audit::EntityId f = es.InternFile("/tmp/tab\there");
+  audit::SystemEvent ev;
+  ev.id = 1;
+  ev.subject = p;
+  ev.object = f;
+  ev.op = audit::EventOp::kWrite;
+  ev.object_type = audit::EntityType::kFile;
+  log.events.push_back(ev);
+  auto restored = SnapshotFromString(SnapshotToString(log));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().entities.Get(p).exename, "/bin/we\tird\\exe");
+  EXPECT_EQ(restored.value().entities.Get(p).cmd, "a\nb");
+  EXPECT_EQ(restored.value().entities.Get(f).name, "/tmp/tab\there");
+}
+
+TEST(SnapshotTest, RejectsGarbage) {
+  EXPECT_FALSE(SnapshotFromString("").ok());
+  EXPECT_FALSE(SnapshotFromString("not a snapshot").ok());
+  EXPECT_FALSE(SnapshotFromString("raptor-snapshot v1\nE 5\n").ok());
+  EXPECT_FALSE(
+      SnapshotFromString("raptor-snapshot v1\nE 0\nV 1\n1\t9\t0\t0\t0\t0\t0\n")
+          .ok());  // event references unknown entity
+}
+
+TEST(ExplainTest, RendersScheduledPlan) {
+  auto explained = engine::ExplainPlanText(
+      "proc p read file f as e1 "
+      "proc p2[\"%tar%\"] write file f2[\"%out%\"] as e2 "
+      "with e1 before e2 return p");
+  ASSERT_TRUE(explained.ok()) << explained.status().ToString();
+  const std::string& s = explained.value();
+  // The more-constrained pattern #2 is scheduled first.
+  EXPECT_NE(s.find("1. pattern #2"), std::string::npos) << s;
+  EXPECT_NE(s.find("2. pattern #1"), std::string::npos) << s;
+  EXPECT_NE(s.find("relational backend"), std::string::npos);
+  EXPECT_NE(s.find("1 temporal"), std::string::npos);
+}
+
+TEST(ExplainTest, PathPatternUsesGraphBackend) {
+  auto explained = engine::ExplainPlanText(
+      "proc p ~>(1~3)[read] file f[\"%x%\"] return p, f");
+  ASSERT_TRUE(explained.ok());
+  EXPECT_NE(explained.value().find("graph backend"), std::string::npos);
+  EXPECT_NE(explained.value().find("MATCH"), std::string::npos);
+}
+
+TEST(ExplainTest, PropagatesParseErrors) {
+  EXPECT_FALSE(engine::ExplainPlanText("not a query").ok());
+}
+
+}  // namespace
+}  // namespace raptor::storage

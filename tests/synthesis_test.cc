@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "extraction/extractor.h"
+#include "synthesis/synthesizer.h"
+#include "tbql/analyzer.h"
+#include "tbql/parser.h"
+
+namespace raptor::synthesis {
+namespace {
+
+using extraction::IocEntity;
+using extraction::ThreatBehaviorGraph;
+using nlp::IocType;
+
+ThreatBehaviorGraph MakeGraph(
+    std::initializer_list<std::pair<const char*, IocType>> nodes,
+    std::initializer_list<std::tuple<int, const char*, int>> edges) {
+  ThreatBehaviorGraph g;
+  for (const auto& [text, type] : nodes) {
+    IocEntity e;
+    e.text = text;
+    e.type = type;
+    g.AddNode(std::move(e));
+  }
+  for (const auto& [src, verb, dst] : edges) {
+    g.AddEdge(src, dst, verb);
+  }
+  return g;
+}
+
+TEST(SynthesizerTest, Fig2QueryTextIsExact) {
+  const char* kFig2Text =
+      "As a first step, the attacker used /bin/tar to read user credentials "
+      "from /etc/passwd. It wrote the gathered information to a file "
+      "/tmp/upload.tar. Then, the attacker leveraged /bin/bzip2 utility to "
+      "compress the tar file. /bin/bzip2 read from /tmp/upload.tar and "
+      "wrote to /tmp/upload.tar.bz2. After compression, the attacker used "
+      "Gnu Privacy Guard tool to encrypt the zipped file, which corresponds "
+      "to the launched process /usr/bin/gpg reading from "
+      "/tmp/upload.tar.bz2. /usr/bin/gpg then wrote the sensitive "
+      "information to /tmp/upload. Finally, the attacker leveraged the curl "
+      "utility /usr/bin/curl to read the data from /tmp/upload. He leaked "
+      "the gathered sensitive information back to the attacker C2 host by "
+      "using /usr/bin/curl to connect to 192.168.29.128.";
+  auto extraction = extraction::ThreatBehaviorExtractor().Extract(kFig2Text);
+  ASSERT_TRUE(extraction.ok());
+  auto syn = QuerySynthesizer().Synthesize(extraction.value().graph);
+  ASSERT_TRUE(syn.ok()) << syn.status().ToString();
+  EXPECT_EQ(syn.value().tbql_text,
+            "proc p1[\"%/bin/tar%\"] read file f1[\"%/etc/passwd%\"] as evt1\n"
+            "proc p1 write file f2[\"%/tmp/upload.tar%\"] as evt2\n"
+            "proc p2[\"%/bin/bzip2%\"] read file f2 as evt3\n"
+            "proc p2 write file f3[\"%/tmp/upload.tar.bz2%\"] as evt4\n"
+            "proc p3[\"%/usr/bin/gpg%\"] read file f3 as evt5\n"
+            "proc p3 write file f4[\"%/tmp/upload%\"] as evt6\n"
+            "proc p4[\"%/usr/bin/curl%\"] read file f4 as evt7\n"
+            "proc p4 connect ip i1[\"192.168.29.128\"] as evt8\n"
+            "with evt1 before evt2, evt2 before evt3, evt3 before evt4, "
+            "evt4 before evt5, evt5 before evt6, evt6 before evt7, evt7 "
+            "before evt8\n"
+            "return distinct p1, f1, f2, p2, f3, p3, f4, p4, i1");
+  // The synthesized query must be parseable and analyzable.
+  auto parsed = tbql::ParseTbql(syn.value().tbql_text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(tbql::Analyze(parsed.value()).ok());
+}
+
+// Relation-mapping rules (Sec III-E Step 1), parameterized.
+struct MappingCase {
+  const char* verb;
+  IocType src;
+  IocType dst;
+  const char* expected;  // nullptr = screened out
+};
+
+class RelationMappingTest : public ::testing::TestWithParam<MappingCase> {};
+
+TEST_P(RelationMappingTest, MapsAsSpecified) {
+  const MappingCase& c = GetParam();
+  auto op = MapIocRelation(c.verb, c.src, c.dst);
+  if (c.expected == nullptr) {
+    EXPECT_FALSE(op.has_value()) << c.verb;
+  } else {
+    ASSERT_TRUE(op.has_value()) << c.verb;
+    EXPECT_EQ(*op, c.expected) << c.verb;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rules, RelationMappingTest,
+    ::testing::Values(
+        // The paper's example: download direction depends on the endpoint.
+        MappingCase{"download", IocType::kFilepath, IocType::kFilepath,
+                    "write"},
+        MappingCase{"download", IocType::kFilepath, IocType::kIp, "read"},
+        MappingCase{"read", IocType::kFilepath, IocType::kFilepath, "read"},
+        MappingCase{"open", IocType::kFilepath, IocType::kFilepath, "read"},
+        MappingCase{"compress", IocType::kFilepath, IocType::kFilepath,
+                    "write"},
+        MappingCase{"exfiltrate", IocType::kFilepath, IocType::kIp, "send"},
+        MappingCase{"beacon", IocType::kFilepath, IocType::kIp, "connect"},
+        MappingCase{"connect", IocType::kFilepath, IocType::kFilepath,
+                    nullptr},
+        MappingCase{"run", IocType::kFilepath, IocType::kFilepath, "execute"},
+        MappingCase{"start", IocType::kDomain, IocType::kDomain, "start"},
+        MappingCase{"read", IocType::kFilepath, IocType::kDomain, nullptr},
+        MappingCase{"rename", IocType::kFilepath, IocType::kFilepath,
+                    "rename"},
+        MappingCase{"use", IocType::kFilepath, IocType::kFilepath, nullptr},
+        MappingCase{"receive", IocType::kFilepath, IocType::kIp, "recv"}));
+
+TEST(SynthesizerTest, ScreensUnsupportedIocTypes) {
+  ThreatBehaviorGraph g = MakeGraph(
+      {{"/bin/sh", IocType::kFilepath},
+       {"http://evil.com/x", IocType::kUrl},
+       {"/tmp/drop", IocType::kFilepath}},
+      {{0, "visit", 1}, {0, "write", 2}});
+  auto syn = QuerySynthesizer().Synthesize(g);
+  ASSERT_TRUE(syn.ok()) << syn.status().ToString();
+  EXPECT_EQ(syn.value().query.patterns.size(), 1u);  // URL edge screened
+  EXPECT_EQ(syn.value().screened_nodes.size(), 1u);
+  EXPECT_EQ(syn.value().screened_edges.size(), 1u);
+}
+
+TEST(SynthesizerTest, FailsWhenNothingAuditable) {
+  ThreatBehaviorGraph g = MakeGraph(
+      {{"CVE-2014-6271", IocType::kCve},
+       {"d41d8cd98f00b204e9800998ecf8427e", IocType::kHash}},
+      {{0, "read", 1}});
+  EXPECT_FALSE(QuerySynthesizer().Synthesize(g).ok());
+}
+
+TEST(SynthesizerTest, PathPatternPlan) {
+  ThreatBehaviorGraph g = MakeGraph(
+      {{"/bin/sh", IocType::kFilepath}, {"/tmp/x", IocType::kFilepath}},
+      {{0, "write", 1}});
+  SynthesisOptions opts;
+  opts.use_path_patterns = true;
+  opts.path_max_len = 3;
+  auto syn = QuerySynthesizer(opts).Synthesize(g);
+  ASSERT_TRUE(syn.ok());
+  const tbql::Pattern& p = syn.value().query.patterns[0];
+  EXPECT_TRUE(p.path.is_path);
+  EXPECT_EQ(p.path.max_len, 3);
+  // Path plans have no temporal relationships (Step 3 omitted).
+  EXPECT_TRUE(syn.value().query.temporal_rels.empty());
+}
+
+TEST(SynthesizerTest, WindowPlanAddsGlobalWindow) {
+  ThreatBehaviorGraph g = MakeGraph(
+      {{"/bin/sh", IocType::kFilepath}, {"/tmp/x", IocType::kFilepath}},
+      {{0, "write", 1}});
+  SynthesisOptions opts;
+  tbql::TimeWindow w;
+  w.kind = tbql::WindowKind::kLast;
+  w.last_amount = 3600LL * 1000000;
+  opts.window = w;
+  auto syn = QuerySynthesizer(opts).Synthesize(g);
+  ASSERT_TRUE(syn.ok());
+  EXPECT_EQ(syn.value().query.global_windows.size(), 1u);
+}
+
+TEST(SynthesizerTest, SubjectAndObjectRolesGetDistinctEntities) {
+  // A file that is written and later acts as a process: two entities.
+  ThreatBehaviorGraph g = MakeGraph(
+      {{"/bin/sh", IocType::kFilepath},
+       {"/tmp/drop", IocType::kFilepath},
+       {"9.9.9.9", IocType::kIp}},
+      {{0, "write", 1}, {1, "connect", 2}});
+  auto syn = QuerySynthesizer().Synthesize(g);
+  ASSERT_TRUE(syn.ok());
+  const auto& q = syn.value().query;
+  ASSERT_EQ(q.patterns.size(), 2u);
+  // /tmp/drop appears as a file object (f1) and as a proc subject (p2),
+  // both carrying the IOC filter.
+  EXPECT_EQ(q.patterns[0].object.type, tbql::EntityType::kFile);
+  EXPECT_EQ(q.patterns[1].subject.type, tbql::EntityType::kProcess);
+  EXPECT_NE(q.patterns[0].object.id, q.patterns[1].subject.id);
+  ASSERT_NE(q.patterns[1].subject.filter, nullptr);
+  EXPECT_EQ(q.patterns[1].subject.filter->value, "%/tmp/drop%");
+}
+
+}  // namespace
+}  // namespace raptor::synthesis

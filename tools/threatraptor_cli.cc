@@ -1,0 +1,304 @@
+// threatraptor — command-line interface to the library.
+//
+//   threatraptor list-cases
+//       List the 18 benchmark attack cases.
+//   threatraptor demo <case-id>
+//       Run the full pipeline on a benchmark case: behavior graph, TBQL,
+//       matched events, precision/recall against ground truth.
+//   threatraptor extract <oscti.txt>
+//       Extract a threat behavior graph + synthesized TBQL from a report.
+//   threatraptor gen-log <case-id> <out.jsonl>
+//       Export a case's audit log (benign noise + attack) as JSON lines.
+//   threatraptor hunt (--log <log.jsonl> | --case <case-id>) --query <tbql>
+//       Execute a TBQL query against a log in exact search mode.
+//   threatraptor fuzzy (--log <log.jsonl> | --case <case-id>) --query <tbql>
+//       Execute a TBQL query in fuzzy (Poirot-alignment) search mode.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "audit/jsonl.h"
+#include "audit/parser.h"
+#include "engine/explain.h"
+#include "storage/snapshot.h"
+#include "cases/cases.h"
+#include "threatraptor.h"
+
+namespace {
+
+using namespace raptor;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  threatraptor list-cases\n"
+      "  threatraptor demo <case-id>\n"
+      "  threatraptor extract <oscti.txt>\n"
+      "  threatraptor gen-log <case-id> <out.jsonl>\n"
+      "  threatraptor hunt (--log <log.jsonl> | --case <id>) --query <tbql>\n"
+      "  threatraptor fuzzy (--log <log.jsonl> | --case <id>) --query "
+      "<tbql>\n"
+      "  threatraptor explain --query <tbql>\n"
+      "  threatraptor snapshot <log.jsonl> <out.snap>\n");
+  return 2;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int ListCases() {
+  std::printf("%-22s %s\n", "id", "name");
+  for (const cases::AttackCase& c : cases::AllCases()) {
+    std::printf("%-22s %s\n", c.id.c_str(), c.name.c_str());
+  }
+  return 0;
+}
+
+Result<std::unique_ptr<ThreatRaptor>> LoadFromCase(const std::string& id) {
+  const cases::AttackCase* c = cases::FindCase(id);
+  if (c == nullptr) return Status::NotFound("unknown case: " + id);
+  auto tr = std::make_unique<ThreatRaptor>();
+  RAPTOR_RETURN_NOT_OK(tr->IngestSyscalls(cases::BuildCaseLog(*c)));
+  return tr;
+}
+
+Result<std::unique_ptr<ThreatRaptor>> LoadFromJsonl(const std::string& path) {
+  auto content = ReadFile(path);
+  if (!content.ok()) return content.status();
+  auto records = audit::ParseJsonlRecords(content.value());
+  if (!records.ok()) return records.status();
+  auto tr = std::make_unique<ThreatRaptor>();
+  RAPTOR_RETURN_NOT_OK(tr->IngestSyscalls(records.value()));
+  return tr;
+}
+
+int Demo(const std::string& id) {
+  const cases::AttackCase* c = cases::FindCase(id);
+  if (c == nullptr) {
+    std::fprintf(stderr, "unknown case: %s (try list-cases)\n", id.c_str());
+    return 1;
+  }
+  auto tr = LoadFromCase(id);
+  if (!tr.ok()) {
+    std::fprintf(stderr, "%s\n", tr.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("case: %s (%s)\n", c->id.c_str(), c->name.c_str());
+  std::printf("store: %zu entities, %zu events\n\n",
+              tr.value()->store()->entity_count(),
+              tr.value()->store()->event_count());
+  std::printf("OSCTI report:\n%s\n\n", c->oscti_text.c_str());
+  auto outcome = tr.value()->HuntWithOsctiText(c->oscti_text);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "hunt failed: %s\n",
+                 outcome.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("threat behavior graph:\n%s\n",
+              outcome.value().extraction.graph.ToString().c_str());
+  std::printf("synthesized TBQL query:\n%s\n\n",
+              outcome.value().synthesis.tbql_text.c_str());
+  std::printf("matched records:\n%s\n",
+              outcome.value().report.results.ToString().c_str());
+  auto gt = cases::GroundTruthEventIds(*c, *tr.value()->store());
+  cases::PrScore score =
+      cases::ScoreEvents(outcome.value().report.matched_event_ids, gt);
+  std::printf("events: found %zu, ground truth %zu -> precision %zu/%zu, "
+              "recall %zu/%zu\n",
+              score.tp + score.fp, gt.size(), score.tp, score.tp + score.fp,
+              score.tp, score.tp + score.fn);
+  return 0;
+}
+
+int Extract(const std::string& path) {
+  auto content = ReadFile(path);
+  if (!content.ok()) {
+    std::fprintf(stderr, "%s\n", content.status().ToString().c_str());
+    return 1;
+  }
+  extraction::ThreatBehaviorExtractor extractor;
+  auto result = extractor.Extract(content.value());
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("IOCs (%zu):\n", result.value().iocs.size());
+  for (const extraction::IocEntity& e : result.value().iocs) {
+    std::printf("  [%s] %s\n", nlp::IocTypeName(e.type), e.text.c_str());
+  }
+  std::printf("\nthreat behavior graph:\n%s\n",
+              result.value().graph.ToString().c_str());
+  synthesis::QuerySynthesizer synthesizer;
+  auto syn = synthesizer.Synthesize(result.value().graph);
+  if (syn.ok()) {
+    std::printf("synthesized TBQL query:\n%s\n",
+                syn.value().tbql_text.c_str());
+  } else {
+    std::printf("query synthesis: %s\n", syn.status().ToString().c_str());
+  }
+  return 0;
+}
+
+int GenLog(const std::string& id, const std::string& out_path) {
+  const cases::AttackCase* c = cases::FindCase(id);
+  if (c == nullptr) {
+    std::fprintf(stderr, "unknown case: %s\n", id.c_str());
+    return 1;
+  }
+  std::string jsonl = audit::RecordsToJsonl(cases::BuildCaseLog(*c));
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write: %s\n", out_path.c_str());
+    return 1;
+  }
+  out << jsonl;
+  std::printf("wrote %zu bytes to %s\n", jsonl.size(), out_path.c_str());
+  return 0;
+}
+
+struct HuntArgs {
+  std::string log_path;
+  std::string case_id;
+  std::string query;
+};
+
+bool ParseHuntArgs(int argc, char** argv, int start, HuntArgs* out) {
+  for (int i = start; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--log") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->log_path = v;
+    } else if (arg == "--case") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->case_id = v;
+    } else if (arg == "--query") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->query = v;
+    } else {
+      return false;
+    }
+  }
+  return (!out->log_path.empty() || !out->case_id.empty()) &&
+         !out->query.empty();
+}
+
+Result<std::unique_ptr<ThreatRaptor>> LoadForHunt(const HuntArgs& args) {
+  return args.log_path.empty() ? LoadFromCase(args.case_id)
+                               : LoadFromJsonl(args.log_path);
+}
+
+int Hunt(const HuntArgs& args) {
+  auto tr = LoadForHunt(args);
+  if (!tr.ok()) {
+    std::fprintf(stderr, "%s\n", tr.status().ToString().c_str());
+    return 1;
+  }
+  auto report = tr.value()->Hunt(args.query);
+  if (!report.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", report.value().results.ToString(50).c_str());
+  std::printf("\n%zu rows in %.1f ms; data queries executed:\n",
+              report.value().results.rows.size(),
+              report.value().seconds * 1e3);
+  for (const std::string& q : report.value().executed_queries) {
+    std::printf("  %s\n", q.c_str());
+  }
+  return 0;
+}
+
+int Fuzzy(const HuntArgs& args) {
+  auto tr = LoadForHunt(args);
+  if (!tr.ok()) {
+    std::fprintf(stderr, "%s\n", tr.status().ToString().c_str());
+    return 1;
+  }
+  engine::FuzzyOptions opts;
+  opts.score_threshold = 0.5;
+  auto report = tr.value()->HuntFuzzy(args.query, opts);
+  if (!report.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("alignments accepted: %zu (considered %zu)%s\n",
+              report.value().alignments.size(),
+              report.value().candidate_alignments_considered,
+              report.value().timed_out ? " [search budget expired]" : "");
+  std::printf("%s", report.value().results.ToString(50).c_str());
+  return 0;
+}
+
+int Explain(const std::string& query) {
+  auto plan = engine::ExplainPlanText(query);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", plan.value().c_str());
+  return 0;
+}
+
+int Snapshot(const std::string& jsonl_path, const std::string& out_path) {
+  auto content = ReadFile(jsonl_path);
+  if (!content.ok()) {
+    std::fprintf(stderr, "%s\n", content.status().ToString().c_str());
+    return 1;
+  }
+  auto records = audit::ParseJsonlRecords(content.value());
+  if (!records.ok()) {
+    std::fprintf(stderr, "%s\n", records.status().ToString().c_str());
+    return 1;
+  }
+  audit::ParsedLog log;
+  audit::AuditLogParser parser;
+  Status st = parser.Parse(records.value(), &log);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = storage::SaveSnapshot(log, out_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("snapshot: %zu entities, %zu events -> %s\n",
+              log.entities.size(), log.events.size(), out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  if (cmd == "list-cases") return ListCases();
+  if (cmd == "demo" && argc == 3) return Demo(argv[2]);
+  if (cmd == "extract" && argc == 3) return Extract(argv[2]);
+  if (cmd == "gen-log" && argc == 4) return GenLog(argv[2], argv[3]);
+  if (cmd == "explain" && argc == 4 && std::strcmp(argv[2], "--query") == 0) {
+    return Explain(argv[3]);
+  }
+  if (cmd == "snapshot" && argc == 4) return Snapshot(argv[2], argv[3]);
+  if (cmd == "hunt" || cmd == "fuzzy") {
+    HuntArgs args;
+    if (!ParseHuntArgs(argc, argv, 2, &args)) return Usage();
+    return cmd == "hunt" ? Hunt(args) : Fuzzy(args);
+  }
+  return Usage();
+}
