@@ -6,12 +6,14 @@
 
 #include "audit/syscall.h"
 #include "audit/types.h"
+#include "bench/bench_util.h"
 #include "common/strings.h"
 #include "common/table_printer.h"
 
 using namespace raptor;
 
 int main() {
+  bench::BenchReport report("audit_model");
   std::printf("Table I: representative system calls processed\n\n");
   const audit::SyscallInventory& inv = audit::MonitoredSyscalls();
   TablePrinter t1({"Event Category", "Relevant System Calls"});
@@ -38,5 +40,14 @@ int main() {
   t3.AddRow({"Time", "start_time, end_time (microseconds)"});
   t3.AddRow({"Misc.", "subject id, object id, amount, failure_code"});
   t3.Print();
+
+  report.Metric("syscalls", "process_to_file",
+                static_cast<double>(inv.process_to_file.size()));
+  report.Metric("syscalls", "process_to_process",
+                static_cast<double>(inv.process_to_process.size()));
+  report.Metric("syscalls", "process_to_network",
+                static_cast<double>(inv.process_to_network.size()));
+  report.Metric("events", "op_count", static_cast<double>(ops.size()));
+  report.Write();
   return 0;
 }

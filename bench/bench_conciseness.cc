@@ -28,6 +28,7 @@ size_t CountWords(const std::string& s) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report("conciseness");
   std::printf(
       "Table X: conciseness of queries in TBQL, SQL, TBQL (length-1 path) "
       "and Cypher\n\n");
@@ -56,6 +57,10 @@ int main() {
                       CountChars(tbqlp),     CountWords(tbqlp),
                       CountChars(cypher),    CountWords(cypher)};
     for (int i = 0; i < 9; ++i) totals[i] += vals[i];
+    report.Metric(c.id, "tbql_chars", static_cast<double>(vals[1]));
+    report.Metric(c.id, "sql_chars", static_cast<double>(vals[3]));
+    report.Metric(c.id, "tbqlp_chars", static_cast<double>(vals[5]));
+    report.Metric(c.id, "cypher_chars", static_cast<double>(vals[7]));
     table.AddRow({c.id, std::to_string(vals[0]), std::to_string(vals[1]),
                   std::to_string(vals[2]), std::to_string(vals[3]),
                   std::to_string(vals[4]), std::to_string(vals[5]),
@@ -75,5 +80,10 @@ int main() {
       static_cast<double>(totals[4]) / totals[2],
       static_cast<double>(totals[7]) / totals[1],
       static_cast<double>(totals[8]) / totals[2]);
+  report.Metric("total", "tbql_chars", static_cast<double>(totals[1]));
+  report.Metric("total", "sql_chars", static_cast<double>(totals[3]));
+  report.Metric("total", "tbqlp_chars", static_cast<double>(totals[5]));
+  report.Metric("total", "cypher_chars", static_cast<double>(totals[7]));
+  report.Write();
   return 0;
 }

@@ -21,6 +21,8 @@ int main() {
       return 1;
     }
   }
+  bench::BenchReport report("data_reduction");
+  report.Param("input_events", static_cast<long long>(log.events.size()));
   std::printf(
       "Data reduction (Sec III-B): merged event count vs merge threshold "
       "(%zu input events)\n\n",
@@ -43,8 +45,12 @@ int main() {
     table.AddRow({t.label, std::to_string(reduced.size()),
                   StrFormat("%.3f", stats.reduction_ratio()),
                   FormatPercent(1.0 - stats.reduction_ratio())});
+    std::string label = "threshold_us_" + std::to_string(t.us);
+    report.Metric(label, "output_events", static_cast<double>(reduced.size()));
+    report.Metric(label, "reduction_ratio", stats.reduction_ratio());
   }
   table.Print();
+  report.Write();
   std::printf(
       "\nLarger thresholds merge more aggressively but risk merging "
       "semantically distinct accesses; 1 second preserves per-step events "

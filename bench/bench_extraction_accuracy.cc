@@ -76,6 +76,7 @@ int main() {
       "(aggregated over all 18 cases)\n\n");
   TablePrinter table({"Approach", "Entity P", "Entity R", "Entity F1",
                       "Relation P", "Relation R", "Relation F1"});
+  bench::BenchReport report("extraction_accuracy");
   for (const Row& r : rows) {
     table.AddRow({r.name, FormatPercent(r.entity.precision()),
                   FormatPercent(r.entity.recall()),
@@ -83,7 +84,10 @@ int main() {
                   FormatPercent(r.relation.precision()),
                   FormatPercent(r.relation.recall()),
                   FormatPercent(r.relation.f1())});
+    report.Metric(r.name, "entity_f1", r.entity.f1());
+    report.Metric(r.name, "relation_f1", r.relation.f1());
   }
   table.Print();
+  report.Write();
   return 0;
 }

@@ -13,6 +13,7 @@ int main() {
       "Table VI: precision and recall of ThreatRaptor in finding malicious "
       "system events\n\n");
   TablePrinter table({"Case", "Precision TP/(TP+FP)", "Recall TP/(TP+FN)"});
+  bench::BenchReport report("hunting_accuracy");
   size_t tp = 0, fp = 0, fn = 0;
   for (const cases::AttackCase& c : cases::AllCases()) {
     auto tr = bench::LoadCase(c);
@@ -27,6 +28,8 @@ int main() {
     tp += score.tp;
     fp += score.fp;
     fn += score.fn;
+    report.Metric(c.id, "precision", score.precision());
+    report.Metric(c.id, "recall", score.recall());
     table.AddRow({c.id,
                   StrFormat("%zu/%zu", score.tp, score.tp + score.fp),
                   StrFormat("%zu/%zu", score.tp, score.tp + score.fn)});
@@ -39,5 +42,9 @@ int main() {
                           FormatPercent(total.recall()).c_str())});
   table.Print();
   std::printf("\nF1 = %s\n", FormatPercent(total.f1()).c_str());
+  report.Metric("total", "precision", total.precision());
+  report.Metric("total", "recall", total.recall());
+  report.Metric("total", "f1", total.f1());
+  report.Write();
   return 0;
 }

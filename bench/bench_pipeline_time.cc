@@ -16,6 +16,7 @@ int main() {
       "Table VII: execution time (seconds) of the pipeline stages\n\n");
   TablePrinter table({"Case", "Text->E.&R.", "E.&R.->Graph", "Graph->TBQL",
                       "-IOCProt", "StanfordOIE", "OpenIE5"});
+  bench::BenchReport report("pipeline_time");
   double totals[6] = {0, 0, 0, 0, 0, 0};
   int n = 0;
   for (const cases::AttackCase& c : cases::AllCases()) {
@@ -44,6 +45,9 @@ int main() {
                       noprot_time, stanford, openie5};
     for (int i = 0; i < 6; ++i) totals[i] += vals[i];
     ++n;
+    report.Metric(c.id, "text_to_er_seconds", vals[0]);
+    report.Metric(c.id, "er_to_graph_seconds", vals[1]);
+    report.Metric(c.id, "graph_to_tbql_seconds", vals[2]);
     table.AddRow({c.id, StrFormat("%.4f", vals[0]), StrFormat("%.4f", vals[1]),
                   StrFormat("%.4f", vals[2]), StrFormat("%.4f", vals[3]),
                   StrFormat("%.4f", vals[4]), StrFormat("%.4f", vals[5])});
@@ -63,5 +67,8 @@ int main() {
       "\nAll three ThreatRaptor stages together average %.4f s per report "
       "(paper: 0.52 s on a JVM/Python stack).\n",
       (totals[0] + totals[1] + totals[2]) / n);
+  report.Metric("average", "pipeline_seconds",
+                (totals[0] + totals[1] + totals[2]) / n);
+  report.Write();
   return 0;
 }

@@ -6,18 +6,129 @@
 //   (d) one giant Cypher query
 // Each query runs BENCH_ROUNDS rounds (default 20) on a log scaled by
 // BENCH_SCALE (default 10x the test profile).
+//
+// A second section measures the indexed/interned graph hot path on a
+// synthetic large provenance graph (BENCH_LARGE_NODES nodes /
+// BENCH_LARGE_EDGES edges, default 100k/500k): typed expansion through the
+// per-type adjacency groups plus hashed IN-list probing, versus the legacy
+// full-edge-scan + linear IN-scan code path (MatchOptions toggles).
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
 
 using namespace raptor;
 
+namespace {
+
+/// Typed expansion + IN-filter probing on a synthetic large graph.
+void RunLargeGraphWorkload(bench::BenchReport* report) {
+  // >= 2 so both node populations are non-empty (Rng::Uniform needs n > 0).
+  const long long n_nodes =
+      std::max(2LL, bench::EnvLong("BENCH_LARGE_NODES", 100'000));
+  const long long n_edges = bench::EnvLong("BENCH_LARGE_EDGES", 500'000);
+  const int n_edge_types = 16;
+  // Propagated entity-id IN domains reach thousands of ids on large logs;
+  // the legacy path scans the whole list per candidate row.
+  const int n_in_list = 2048;
+  const long long n_procs = n_nodes / 2;
+  const long long n_files = n_nodes - n_procs;
+
+  std::printf(
+      "\nLarge-graph hot path: %lld nodes, %lld edges, %d edge types, "
+      "IN-list of %d file names\n",
+      n_nodes, n_edges, n_edge_types, n_in_list);
+
+  graphdb::GraphDatabase db;
+  graphdb::PropertyGraph& g = db.graph();
+  Rng rng(42);
+  Stopwatch sw;
+  std::vector<graphdb::NodeId> procs, files;
+  procs.reserve(n_procs);
+  files.reserve(n_files);
+  for (long long i = 0; i < n_procs; ++i) {
+    procs.push_back(g.AddNode(
+        "proc", {{"exename", graphdb::Value("/bin/p" + std::to_string(i))}}));
+  }
+  for (long long i = 0; i < n_files; ++i) {
+    files.push_back(g.AddNode(
+        "file", {{"name", graphdb::Value("/data/f" + std::to_string(i))}}));
+  }
+  for (long long i = 0; i < n_edges; ++i) {
+    std::string type = "op" + std::to_string(rng.Uniform(n_edge_types));
+    g.AddEdge(procs[rng.Uniform(procs.size())], files[rng.Uniform(files.size())],
+              std::move(type), {});
+  }
+  double build_seconds = sw.ElapsedSeconds();
+
+  // Query: typed expansion to files whose name is in a large IN list.
+  std::string in_list;
+  for (int i = 0; i < n_in_list; ++i) {
+    if (i > 0) in_list += ", ";
+    in_list += "'/data/f" + std::to_string(rng.Uniform(files.size())) + "'";
+  }
+  std::string query =
+      "MATCH (p:proc)-[e:op7]->(f:file) WHERE f.name IN [" + in_list +
+      "] RETURN p.exename, f.name";
+
+  int rounds = bench::Rounds(5);
+  auto measure = [&](bool typed, bool hashed) {
+    db.options().typed_adjacency = typed;
+    db.options().hashed_in_lists = hashed;
+    std::vector<double> times;
+    size_t rows = 0, edges_traversed = 0;
+    Stopwatch timer;
+    for (int i = 0; i < rounds; ++i) {
+      graphdb::MatchStats stats;
+      timer.Restart();
+      auto rs = db.Query(query, &stats);
+      times.push_back(timer.ElapsedSeconds());
+      if (!rs.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     rs.status().ToString().c_str());
+        std::exit(1);
+      }
+      rows = rs.value().rows.size();
+      edges_traversed = stats.edges_traversed;
+    }
+    std::printf(
+        "  typed_adjacency=%d hashed_in_lists=%d: %s s (%zu rows, %zu edges "
+        "traversed)\n",
+        typed, hashed, bench::MeanStd(times).c_str(), rows, edges_traversed);
+    return bench::Mean(times);
+  };
+
+  double fast = measure(/*typed=*/true, /*hashed=*/true);
+  double legacy = measure(/*typed=*/false, /*hashed=*/false);
+  db.options().typed_adjacency = true;
+  db.options().hashed_in_lists = true;
+  double speedup = fast > 0 ? legacy / fast : 0;
+  std::printf(
+      "  build: %.3f s; speedup (legacy / indexed+interned): %.1fx\n",
+      build_seconds, speedup);
+
+  report->Param("large_nodes", n_nodes);
+  report->Param("large_edges", n_edges);
+  report->Param("large_edge_types", n_edge_types);
+  report->Param("large_in_list", n_in_list);
+  report->Metric("large_graph", "build_seconds", build_seconds);
+  report->Metric("large_graph", "indexed_seconds", fast);
+  report->Metric("large_graph", "legacy_seconds", legacy);
+  report->Metric("large_graph", "speedup", speedup);
+}
+
+}  // namespace
+
 int main() {
   int scale = bench::NoiseScale();
   int rounds = bench::Rounds();
+  bench::BenchReport report("query_execution");
+  report.Param("scale", scale);
+  report.Param("rounds", rounds);
   std::printf(
       "Table VIII: query execution time (seconds, %d-round mean ± std, "
       "noise scale %dx)\n\n",
@@ -50,11 +161,6 @@ int main() {
       }
       return times;
     };
-    auto mean_of = [](const std::vector<double>& xs) {
-      double m = 0;
-      for (double x : xs) m += x;
-      return m / xs.size();
-    };
 
     std::vector<double> t_tbql =
         measure([&] { (void)tr->Hunt(query); });
@@ -65,10 +171,14 @@ int main() {
     std::vector<double> t_cypher = measure(
         [&] { (void)tr->store()->graph().Query(giant_cypher.value()); });
 
-    totals[0] += mean_of(t_tbql);
-    totals[1] += mean_of(t_sql);
-    totals[2] += mean_of(t_path);
-    totals[3] += mean_of(t_cypher);
+    totals[0] += bench::Mean(t_tbql);
+    totals[1] += bench::Mean(t_sql);
+    totals[2] += bench::Mean(t_path);
+    totals[3] += bench::Mean(t_cypher);
+    report.Metric(c.id, "tbql_seconds", bench::Mean(t_tbql));
+    report.Metric(c.id, "giant_sql_seconds", bench::Mean(t_sql));
+    report.Metric(c.id, "tbql_path_seconds", bench::Mean(t_path));
+    report.Metric(c.id, "giant_cypher_seconds", bench::Mean(t_cypher));
     table.AddRow({c.id, bench::MeanStd(t_tbql), bench::MeanStd(t_sql),
                   bench::MeanStd(t_path), bench::MeanStd(t_cypher)});
   }
@@ -80,5 +190,12 @@ int main() {
       "\nRelational backend: scheduled TBQL vs giant SQL speedup = %.1fx\n"
       "Graph backend: scheduled TBQL(path) vs giant Cypher speedup = %.1fx\n",
       totals[1] / totals[0], totals[3] / totals[2]);
+  report.Metric("total", "tbql_seconds", totals[0]);
+  report.Metric("total", "giant_sql_seconds", totals[1]);
+  report.Metric("total", "tbql_path_seconds", totals[2]);
+  report.Metric("total", "giant_cypher_seconds", totals[3]);
+
+  RunLargeGraphWorkload(&report);
+  report.Write();
   return 0;
 }

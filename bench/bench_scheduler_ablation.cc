@@ -19,6 +19,11 @@ int main() {
       rounds, scale);
   TablePrinter table({"Case", "sched+prop", "order+prop", "sched only",
                       "naive"});
+  bench::BenchReport report("scheduler_ablation");
+  report.Param("scale", scale);
+  report.Param("rounds", rounds);
+  const char* kConfigNames[] = {"sched_prop", "order_prop", "sched_only",
+                                "naive"};
   const struct {
     bool sched;
     bool prop;
@@ -48,6 +53,7 @@ int main() {
       }
       totals[cfg] += best;
       row.push_back(StrFormat("%.4f", best));
+      report.Metric(c->id, std::string(kConfigNames[cfg]) + "_seconds", best);
     }
     table.AddRow(std::move(row));
   }
@@ -55,6 +61,11 @@ int main() {
                 StrFormat("%.4f", totals[1]), StrFormat("%.4f", totals[2]),
                 StrFormat("%.4f", totals[3])});
   table.Print();
+  for (int cfg = 0; cfg < 4; ++cfg) {
+    report.Metric("total", std::string(kConfigNames[cfg]) + "_seconds",
+                  totals[cfg]);
+  }
+  report.Write();
   std::printf(
       "\nConstraint propagation is the dominant win (it turns later data "
       "queries into index probes); pruning-score scheduling decides which "

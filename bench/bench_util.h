@@ -1,8 +1,11 @@
 // Shared helpers for the benchmark harnesses. Each bench binary regenerates
-// one of the paper's tables (see DESIGN.md experiment index).
+// one of the paper's tables (see DESIGN.md experiment index) and emits a
+// machine-readable BENCH_<name>.json via BenchReport, so CI can track the
+// perf trajectory across commits.
 #pragma once
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -36,6 +39,16 @@ inline int Rounds(int def = 20) {
   return def;
 }
 
+/// Positive long long from the environment, or `def`.
+inline long long EnvLong(const char* name, long long def) {
+  const char* env = std::getenv(name);
+  if (env != nullptr) {
+    long long v = std::atoll(env);
+    if (v > 0) return v;
+  }
+  return def;
+}
+
 /// Build a ThreatRaptor instance loaded with a case's log, with the benign
 /// noise scaled by `scale`.
 inline std::unique_ptr<ThreatRaptor> LoadCase(const cases::AttackCase& c,
@@ -61,5 +74,91 @@ inline std::string MeanStd(const std::vector<double>& xs) {
   var /= xs.empty() ? 1 : xs.size();
   return StrFormat("%.4f ± %.4f", mean, std::sqrt(var));
 }
+
+inline double Mean(const std::vector<double>& xs) {
+  double m = 0;
+  for (double x : xs) m += x;
+  return xs.empty() ? 0 : m / xs.size();
+}
+
+/// Machine-readable benchmark output: collects workload parameters and
+/// per-label metrics, then writes BENCH_<name>.json into the working
+/// directory (override with BENCH_JSON_DIR). CI uploads these as artifacts.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void Param(const std::string& key, const std::string& value) {
+    params_.push_back("\"" + JsonEscape(key) + "\": \"" + JsonEscape(value) +
+                      "\"");
+  }
+  void Param(const std::string& key, long long value) {
+    params_.push_back("\"" + JsonEscape(key) +
+                      "\": " + std::to_string(value));
+  }
+  void Param(const std::string& key, int value) {
+    Param(key, static_cast<long long>(value));
+  }
+
+  /// One measurement: e.g. Metric("data_leak", "tbql_seconds", 0.0123).
+  void Metric(const std::string& label, const std::string& metric,
+              double value) {
+    metrics_.push_back(StrFormat(
+        "{\"label\": \"%s\", \"metric\": \"%s\", \"value\": %.9g}",
+        JsonEscape(label).c_str(), JsonEscape(metric).c_str(), value));
+  }
+
+  /// Writes BENCH_<name>.json; returns false (with a note on stderr) on
+  /// I/O failure so benches can keep their table output regardless.
+  bool Write() const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("BENCH_JSON_DIR")) dir = env;
+    std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::string out = "{\n  \"bench\": \"" + JsonEscape(name_) + "\",\n";
+    out += "  \"params\": {";
+    for (size_t i = 0; i < params_.size(); ++i) {
+      out += (i > 0 ? ", " : "") + params_[i];
+    }
+    out += "},\n  \"metrics\": [\n";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      out += "    " + metrics_[i] + (i + 1 < metrics_.size() ? ",\n" : "\n");
+    }
+    out += "  ]\n}\n";
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string JsonEscape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            out += StrFormat("\\u%04x", c);
+          } else {
+            out.push_back(c);
+          }
+      }
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::string> params_;
+  std::vector<std::string> metrics_;
+};
 
 }  // namespace raptor::bench

@@ -1,0 +1,59 @@
+// Append-only string interner mapping distinct strings to dense uint32 ids.
+// Interned ids turn hot-path string comparisons (node labels, edge types,
+// property names) into integer compares, and let adjacency and index
+// structures key on small ints instead of heap strings.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace raptor {
+
+/// Sentinel returned by lookups of never-interned strings.
+constexpr uint32_t kNoSymbol = static_cast<uint32_t>(-1);
+
+/// Transparent hasher so unordered containers keyed by std::string accept
+/// std::string_view probes without allocating.
+struct StringViewHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+class StringInterner {
+ public:
+  /// Id of `s`, interning it on first sight.
+  uint32_t Intern(std::string_view s) {
+    auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(names_.size());
+    auto [jt, inserted] = ids_.emplace(std::string(s), id);
+    (void)inserted;
+    // Map nodes are stable, so the stored key can back the id->name view.
+    names_.push_back(&jt->first);
+    return id;
+  }
+
+  /// Id of `s`, or kNoSymbol when never interned. Never allocates.
+  uint32_t Lookup(std::string_view s) const {
+    auto it = ids_.find(s);
+    return it == ids_.end() ? kNoSymbol : it->second;
+  }
+
+  /// Precondition: id came from Intern().
+  std::string_view Name(uint32_t id) const { return *names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, uint32_t, StringViewHash, std::equal_to<>>
+      ids_;
+  std::vector<const std::string*> names_;
+};
+
+}  // namespace raptor

@@ -137,10 +137,18 @@ std::string WindowToSql(const TimeWindow& w, const std::string& event_alias,
   return "1 = 1";
 }
 
-std::string IdListSql(const std::vector<long long>& ids) {
+/// Render a propagated id set in ascending order, so the emitted query
+/// text is deterministic regardless of hash-set iteration order.
+std::vector<long long> SortedIds(const EntitySet& ids) {
+  std::vector<long long> sorted(ids.begin(), ids.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+std::string IdListSql(const EntitySet& ids) {
   std::vector<std::string> parts;
   parts.reserve(ids.size());
-  for (long long id : ids) parts.push_back(std::to_string(id));
+  for (long long id : SortedIds(ids)) parts.push_back(std::to_string(id));
   return Join(parts, ", ");
 }
 
@@ -237,10 +245,10 @@ std::string OpExprToCypher(const OpExpr& e, const std::string& edge_var) {
   return "1 = 0";
 }
 
-std::string IdListCypher(const std::vector<long long>& ids) {
+std::string IdListCypher(const EntitySet& ids) {
   std::vector<std::string> parts;
   parts.reserve(ids.size());
-  for (long long id : ids) parts.push_back(std::to_string(id));
+  for (long long id : SortedIds(ids)) parts.push_back(std::to_string(id));
   return "[" + Join(parts, ", ") + "]";
 }
 

@@ -13,6 +13,7 @@
 
 #include <map>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -29,9 +30,15 @@ struct DataQuery {
   bool has_event_columns = false;  // event id/start/end present in results
 };
 
+/// Allowed audit entity ids for one TBQL entity: a hash set, so domain
+/// intersection and membership re-checks are O(1) probes instead of sorted
+/// list merges.
+using EntitySet = std::unordered_set<long long>;
+
 /// Concrete entity-id bindings propagated from already-executed patterns:
-/// TBQL entity id -> allowed audit entity ids.
-using EntityConstraints = std::map<std::string, std::vector<long long>>;
+/// TBQL entity id -> allowed audit entity ids. (The compiler renders the
+/// sets into IN (...) lists in sorted order so query text is deterministic.)
+using EntityConstraints = std::map<std::string, EntitySet>;
 
 /// Compile pattern `idx` into a data query. Event patterns and length-1
 /// paths with `->` compile to SQL or Cypher respectively; multi-hop paths

@@ -1,11 +1,13 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/interner.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
 
@@ -46,10 +48,15 @@ size_t CountAtoms(const AttrExpr& e) {
   return 0;
 }
 
+/// Sentinel for an entity slot not yet bound by any joined pattern.
+constexpr long long kUnboundEntity = std::numeric_limits<long long>::min();
+
 /// A partial/full assignment under construction during the join phase.
+/// TBQL entity ids are interned into dense slots up front, so extending an
+/// assignment copies two flat vectors instead of two string-keyed maps.
 struct Assignment {
-  std::map<std::string, long long> entities;  // entity id -> audit entity
-  std::map<size_t, PatternMatch> events;      // pattern index -> match
+  std::vector<long long> entities;          // entity slot -> audit entity
+  std::vector<const PatternMatch*> events;  // pattern index -> match
 };
 
 }  // namespace
@@ -184,18 +191,26 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
            {std::pair{p.subject.id, &PatternMatch::subject_id},
             std::pair{p.object.id, &PatternMatch::object_id}}) {
         if (!joinable(id)) continue;
-        std::set<long long> ids;
+        EntitySet ids;
+        ids.reserve(out.size());
         for (const PatternMatch& m : out) ids.insert(m.*pick);
-        std::vector<long long> sorted(ids.begin(), ids.end());
         auto it = constraints.find(id);
         if (it == constraints.end()) {
-          constraints.emplace(id, std::move(sorted));
+          constraints.emplace(id, std::move(ids));
         } else {
-          // Intersect with the previous domain.
-          std::vector<long long> merged;
-          std::set_intersection(it->second.begin(), it->second.end(),
-                                sorted.begin(), sorted.end(),
-                                std::back_inserter(merged));
+          // Intersect with the previous domain: probe the larger set with
+          // the smaller one (the old path merged two sorted vectors).
+          const EntitySet& small = ids.size() < it->second.size()
+                                       ? ids
+                                       : it->second;
+          const EntitySet& large = ids.size() < it->second.size()
+                                       ? it->second
+                                       : ids;
+          EntitySet merged;
+          merged.reserve(small.size());
+          for (long long v : small) {
+            if (large.count(v)) merged.insert(v);
+          }
           it->second = std::move(merged);
         }
       }
@@ -212,9 +227,7 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
       auto oit = joinable(p.object.id) ? constraints.find(p.object.id)
                                        : constraints.end();
       auto allowed = [](const EntityConstraints::const_iterator& it,
-                        long long v) {
-        return std::binary_search(it->second.begin(), it->second.end(), v);
-      };
+                        long long v) { return it->second.count(v) > 0; };
       std::vector<PatternMatch> kept;
       kept.reserve(matches[i].size());
       for (const PatternMatch& m : matches[i]) {
@@ -232,7 +245,14 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
 
   // ---- Join phase ----------------------------------------------------------
   // Join patterns in ascending match-count order; hash-join on the entity
-  // ids already bound by the partial assignments.
+  // ids already bound by the partial assignments. Entity ids are interned
+  // into dense slots so binding checks are flat vector reads.
+  StringInterner entity_slots;
+  for (const Pattern& p : query.patterns) {
+    entity_slots.Intern(p.subject.id);
+    entity_slots.Intern(p.object.id);
+  }
+
   std::vector<size_t> join_order;
   for (size_t i = 0; i < n_patterns; ++i) {
     if (matches[i].empty()) {
@@ -248,29 +268,34 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
   std::vector<Assignment> assignments;
   // Seed with the empty assignment only when at least one pattern matched;
   // otherwise the result set is empty (not one all-empty row).
-  if (!join_order.empty()) assignments.emplace_back();
+  if (!join_order.empty()) {
+    Assignment seed;
+    seed.entities.assign(entity_slots.size(), kUnboundEntity);
+    seed.events.assign(n_patterns, nullptr);
+    assignments.push_back(std::move(seed));
+  }
   for (size_t idx : join_order) {
     const Pattern& p = query.patterns[idx];
     std::vector<Assignment> next;
+    uint32_t s_slot = entity_slots.Lookup(p.subject.id);
+    uint32_t o_slot = entity_slots.Lookup(p.object.id);
     bool subj_joinable = joinable(p.subject.id);
     bool obj_joinable = joinable(p.object.id);
     for (const Assignment& a : assignments) {
-      auto sit = subj_joinable ? a.entities.find(p.subject.id)
-                               : a.entities.end();
-      auto oit = obj_joinable ? a.entities.find(p.object.id)
-                              : a.entities.end();
+      long long bound_s = subj_joinable ? a.entities[s_slot] : kUnboundEntity;
+      long long bound_o = obj_joinable ? a.entities[o_slot] : kUnboundEntity;
       for (const PatternMatch& m : matches[idx]) {
-        if (sit != a.entities.end() && sit->second != m.subject_id) continue;
-        if (oit != a.entities.end() && oit->second != m.object_id) continue;
+        if (bound_s != kUnboundEntity && bound_s != m.subject_id) continue;
+        if (bound_o != kUnboundEntity && bound_o != m.object_id) continue;
         // Entity-ID reuse within one pattern ("proc p start proc p") means
         // subject and object are the same entity.
         if (p.subject.id == p.object.id && m.subject_id != m.object_id) {
           continue;
         }
         Assignment na = a;
-        na.entities[p.subject.id] = m.subject_id;
-        na.entities[p.object.id] = m.object_id;
-        na.events[idx] = m;
+        na.entities[s_slot] = m.subject_id;
+        na.entities[o_slot] = m.object_id;
+        na.events[idx] = &m;
         next.push_back(std::move(na));
       }
     }
@@ -283,8 +308,11 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
                       const std::string& id) -> const PatternMatch* {
     auto pit = aq.pattern_by_id.find(id);
     if (pit == aq.pattern_by_id.end()) return nullptr;
-    auto eit = a.events.find(pit->second);
-    return eit == a.events.end() ? nullptr : &eit->second;
+    return a.events[pit->second];
+  };
+  auto entity_of = [&](const Assignment& a, const std::string& id) {
+    uint32_t slot = entity_slots.Lookup(id);
+    return slot == kNoSymbol ? kUnboundEntity : a.entities[slot];
   };
   std::vector<Assignment> satisfying;
   for (Assignment& a : assignments) {
@@ -326,9 +354,9 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
     for (const tbql::AttrRel& rel : query.attr_rels) {
       auto attr_value = [&](const std::string& qual,
                             const std::string& attr) -> std::string {
-        auto eit = a.entities.find(qual);
-        if (eit != a.entities.end()) {
-          return store_->entities()[eit->second - 1].Attribute(attr);
+        long long ent = entity_of(a, qual);
+        if (ent != kUnboundEntity) {
+          return store_->entities()[ent - 1].Attribute(attr);
         }
         const PatternMatch* m = event_of(a, qual);
         if (m != nullptr) {
@@ -411,11 +439,10 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
           }
         }
       } else {
-        auto eit = a.entities.find(r.id);
-        row.push_back(eit == a.entities.end()
+        long long ent = entity_of(a, r.id);
+        row.push_back(ent == kUnboundEntity
                           ? ""
-                          : store_->entities()[eit->second - 1].Attribute(
-                                r.attr));
+                          : store_->entities()[ent - 1].Attribute(r.attr));
       }
     }
     if (query.distinct) {

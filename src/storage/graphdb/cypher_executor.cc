@@ -18,22 +18,58 @@ struct Binding {
   std::unordered_set<EdgeId> used_edges;  // relationship uniqueness
 };
 
-bool NodeMatches(const Node& node, const NodePattern& pat) {
-  if (!pat.label.empty() && node.label != pat.label) return false;
-  for (const PropConstraint& pc : pat.props) {
-    const Value* v = node.FindProp(pc.key);
-    if (v == nullptr || v->Compare(pc.value) != 0) return false;
+/// A node pattern with its label resolved to the graph's interned id, so
+/// candidate checks compare integers instead of strings.
+struct ResolvedNode {
+  const NodePattern* pat = nullptr;
+  bool has_label = false;
+  uint32_t label_id = kNoSymbol;  // kNoSymbol: label absent, matches nothing
+
+  bool Matches(const Node& node) const {
+    if (has_label && node.label_id != label_id) return false;
+    for (const PropConstraint& pc : pat->props) {
+      const Value* v = node.FindProp(pc.key);
+      if (v == nullptr || v->Compare(pc.value) != 0) return false;
+    }
+    return true;
   }
-  return true;
+};
+
+/// A relationship pattern with its type resolved to the interned id; typed
+/// expansion uses the id to select the per-type adjacency group directly.
+struct ResolvedRel {
+  const RelPattern* pat = nullptr;
+  bool has_type = false;
+  uint32_t type_id = kNoSymbol;
+
+  bool Matches(const Edge& edge) const {
+    if (has_type && edge.type_id != type_id) return false;
+    for (const PropConstraint& pc : pat->props) {
+      const Value* v = edge.FindProp(pc.key);
+      if (v == nullptr || v->Compare(pc.value) != 0) return false;
+    }
+    return true;
+  }
+};
+
+ResolvedNode ResolveNode(const PropertyGraph& graph, const NodePattern& pat) {
+  ResolvedNode r;
+  r.pat = &pat;
+  if (!pat.label.empty()) {
+    r.has_label = true;
+    r.label_id = graph.LookupLabel(pat.label);
+  }
+  return r;
 }
 
-bool EdgeMatches(const Edge& edge, const RelPattern& pat) {
-  if (!pat.type.empty() && edge.type != pat.type) return false;
-  for (const PropConstraint& pc : pat.props) {
-    const Value* v = edge.FindProp(pc.key);
-    if (v == nullptr || v->Compare(pc.value) != 0) return false;
+ResolvedRel ResolveRel(const PropertyGraph& graph, const RelPattern& pat) {
+  ResolvedRel r;
+  r.pat = &pat;
+  if (!pat.type.empty()) {
+    r.has_type = true;
+    r.type_id = graph.LookupEdgeType(pat.type);
   }
-  return true;
+  return r;
 }
 
 /// How selective a node pattern is, for choosing the search seed.
@@ -48,7 +84,8 @@ int ConstraintScore(const NodePattern& pat, const Binding& binding) {
 /// Evaluate a WHERE / RETURN expression against a bound row.
 class CypherEvaluator {
  public:
-  explicit CypherEvaluator(const PropertyGraph& graph) : graph_(graph) {}
+  CypherEvaluator(const PropertyGraph& graph, bool hashed_in_lists)
+      : graph_(graph), hashed_in_lists_(hashed_in_lists) {}
 
   Result<Value> Eval(const CypherExpr& e, const Binding& b) const {
     switch (e.kind) {
@@ -86,11 +123,17 @@ class CypherEvaluator {
       case CypherExprKind::kInList: {
         auto lhs = Eval(*e.lhs, b);
         if (!lhs.ok()) return lhs.status();
-        bool found = false;
-        for (const Value& v : e.in_list) {
-          if (lhs.value().Compare(v) == 0) {
-            found = true;
-            break;
+        bool found;
+        if (hashed_in_lists_) {
+          found = in_sets_.Get(e).count(lhs.value()) > 0;
+        } else {
+          // Legacy O(n) scan, kept as a benchmarking baseline.
+          found = false;
+          for (const Value& v : e.in_list) {
+            if (lhs.value().Compare(v) == 0) {
+              found = true;
+              break;
+            }
           }
         }
         return Value(static_cast<int64_t>(e.negated ? !found : found));
@@ -156,6 +199,8 @@ class CypherEvaluator {
 
  private:
   const PropertyGraph& graph_;
+  bool hashed_in_lists_;
+  sql::InListCache<CypherExpr> in_sets_;
 };
 
 /// Split an AND-tree into conjuncts.
@@ -207,17 +252,45 @@ class Matcher {
         eval_(eval),
         stats_(stats) {}
 
-  /// Extend `binding` with all matches of `part`; append to `out`.
-  void MatchPart(const PatternPart& part, const Binding& binding,
+  /// The chain being matched, with every label / edge type resolved to its
+  /// interned id once up front instead of per candidate.
+  struct ResolvedPart {
+    std::vector<ResolvedNode> nodes;
+    std::vector<ResolvedRel> rels;
+  };
+
+  /// A pattern part prepared for repeated matching: the forward and
+  /// reversed chains with labels/types resolved once, reused across every
+  /// binding the part extends.
+  struct PreparedPart {
+    const PatternPart* fwd = nullptr;
+    PatternPart rev;
+    ResolvedPart resolved_fwd;
+    ResolvedPart resolved_rev;
+  };
+
+  PreparedPart Prepare(const PatternPart& part) const {
+    PreparedPart pp;
+    pp.fwd = &part;
+    pp.rev = Reverse(part);
+    pp.resolved_fwd = Resolve(part);
+    pp.resolved_rev = Resolve(pp.rev);
+    return pp;
+  }
+
+  /// Extend `binding` with all matches of the prepared part; append to
+  /// `out`.
+  void MatchPart(const PreparedPart& pp, const Binding& binding,
                  std::vector<Binding>* out) {
     // Choose search direction: seed from the more-constrained endpoint.
-    int fwd = ConstraintScore(part.nodes.front(), binding);
-    int bwd = ConstraintScore(part.nodes.back(), binding);
+    int fwd = ConstraintScore(pp.fwd->nodes.front(), binding);
+    int bwd = ConstraintScore(pp.fwd->nodes.back(), binding);
     if (bwd > fwd) {
-      PatternPart reversed = Reverse(part);
-      MatchChainFrom(reversed, /*reversed=*/true, binding, out);
+      MatchChainFrom(pp.rev, pp.resolved_rev, /*reversed=*/true, binding,
+                     out);
     } else {
-      MatchChainFrom(part, /*reversed=*/false, binding, out);
+      MatchChainFrom(*pp.fwd, pp.resolved_fwd, /*reversed=*/false, binding,
+                     out);
     }
   }
 
@@ -227,6 +300,19 @@ class Matcher {
     rev.nodes.assign(part.nodes.rbegin(), part.nodes.rend());
     rev.rels.assign(part.rels.rbegin(), part.rels.rend());
     return rev;
+  }
+
+  ResolvedPart Resolve(const PatternPart& part) const {
+    ResolvedPart rp;
+    rp.nodes.reserve(part.nodes.size());
+    rp.rels.reserve(part.rels.size());
+    for (const NodePattern& n : part.nodes) {
+      rp.nodes.push_back(ResolveNode(graph_, n));
+    }
+    for (const RelPattern& r : part.rels) {
+      rp.rels.push_back(ResolveRel(graph_, r));
+    }
+    return rp;
   }
 
   /// Evaluate the pushed-down filters of `var` on the binding.
@@ -241,13 +327,14 @@ class Matcher {
     return true;
   }
 
-  std::vector<NodeId> SeedCandidates(const NodePattern& pat,
+  std::vector<NodeId> SeedCandidates(const ResolvedNode& rnode,
                                      const Binding& binding) {
+    const NodePattern& pat = *rnode.pat;
     std::vector<NodeId> seeds;
     if (!pat.var.empty()) {
       auto it = binding.nodes.find(pat.var);
       if (it != binding.nodes.end()) {
-        if (NodeMatches(graph_.node(it->second), pat)) {
+        if (rnode.Matches(graph_.node(it->second))) {
           seeds.push_back(it->second);
         }
         return seeds;
@@ -258,7 +345,7 @@ class Matcher {
       for (const PropConstraint& pc : pat.props) {
         if (graph_.HasNodeIndex(pat.label, pc.key)) {
           for (NodeId id : graph_.ProbeNodes(pat.label, pc.key, pc.value)) {
-            if (NodeMatches(graph_.node(id), pat)) seeds.push_back(id);
+            if (rnode.Matches(graph_.node(id))) seeds.push_back(id);
           }
           return seeds;
         }
@@ -287,7 +374,7 @@ class Matcher {
             }
             for (const Value& v : probe_values) {
               for (NodeId id : graph_.ProbeNodes(pat.label, prop, v)) {
-                if (NodeMatches(graph_.node(id), pat)) seeds.push_back(id);
+                if (rnode.Matches(graph_.node(id))) seeds.push_back(id);
               }
             }
             std::sort(seeds.begin(), seeds.end());
@@ -297,57 +384,77 @@ class Matcher {
         }
       }
       for (NodeId id : graph_.NodesWithLabel(pat.label)) {
-        if (NodeMatches(graph_.node(id), pat)) seeds.push_back(id);
+        if (rnode.Matches(graph_.node(id))) seeds.push_back(id);
       }
       return seeds;
     }
     for (NodeId id = 0; id < graph_.node_count(); ++id) {
-      if (NodeMatches(graph_.node(id), pat)) seeds.push_back(id);
+      if (rnode.Matches(graph_.node(id))) seeds.push_back(id);
     }
     return seeds;
   }
 
-  void MatchChainFrom(const PatternPart& part, bool reversed,
-                      const Binding& binding, std::vector<Binding>* out) {
-    std::vector<NodeId> seeds = SeedCandidates(part.nodes[0], binding);
+  void MatchChainFrom(const PatternPart& part, const ResolvedPart& rp,
+                      bool reversed, const Binding& binding,
+                      std::vector<Binding>* out) {
+    std::vector<NodeId> seeds = SeedCandidates(rp.nodes[0], binding);
     if (stats_ != nullptr) stats_->seed_candidates += seeds.size();
+    // One scratch copy for all seeds: Extend() restores the binding on
+    // backtrack, so bind/unbind the seed variable in place instead of
+    // deep-copying three hash containers per candidate.
+    const std::string& var = part.nodes[0].var;
+    Binding b = binding;
+    bool bindable = !var.empty() && !binding.nodes.count(var);
     for (NodeId seed : seeds) {
-      Binding b = binding;
-      bool was_new = false;
-      if (!part.nodes[0].var.empty() && !b.nodes.count(part.nodes[0].var)) {
-        b.nodes[part.nodes[0].var] = seed;
-        was_new = true;
+      if (bindable) {
+        // Overwrite in place; the entry is erased once after the loop, so
+        // later iterations pay a hash lookup instead of a malloc/free pair.
+        b.nodes[var] = seed;
+        if (!PassesFilters(var, b)) continue;
       }
-      if (was_new && !PassesFilters(part.nodes[0].var, b)) continue;
-      Extend(part, reversed, 0, seed, b, out);
+      Extend(rp, reversed, 0, seed, b, out);
     }
+    if (bindable) b.nodes.erase(var);
+  }
+
+  /// Edges to expand from `node` for relationship `rrel`: the per-type
+  /// adjacency group when the pattern is typed (touching only matching
+  /// edges), the full list otherwise or when the legacy toggle is on.
+  const std::vector<EdgeId>& ExpansionEdges(NodeId node, bool reversed,
+                                            const ResolvedRel& rrel) const {
+    if (options_.typed_adjacency && rrel.has_type) {
+      return reversed ? graph_.InEdges(node, rrel.type_id)
+                      : graph_.OutEdges(node, rrel.type_id);
+    }
+    return reversed ? graph_.InEdges(node) : graph_.OutEdges(node);
   }
 
   /// We are standing at `node`, having matched part.nodes[idx]; match
   /// part.rels[idx] and continue.
-  void Extend(const PatternPart& part, bool reversed, size_t idx, NodeId node,
+  void Extend(const ResolvedPart& part, bool reversed, size_t idx, NodeId node,
               Binding& binding, std::vector<Binding>* out) {
     if (idx == part.rels.size()) {
       out->push_back(binding);
       if (stats_ != nullptr) ++stats_->bindings_emitted;
       return;
     }
-    const RelPattern& rel = part.rels[idx];
-    const NodePattern& next_pat = part.nodes[idx + 1];
+    const ResolvedRel& rrel = part.rels[idx];
+    const RelPattern& rel = *rrel.pat;
+    const ResolvedNode& next_rnode = part.nodes[idx + 1];
+    const NodePattern& next_pat = *next_rnode.pat;
 
     if (!rel.varlen) {
-      const auto& edges = reversed ? graph_.InEdges(node) : graph_.OutEdges(node);
-      for (EdgeId eid : edges) {
+      for (EdgeId eid : ExpansionEdges(node, reversed, rrel)) {
         if (stats_ != nullptr) ++stats_->edges_traversed;
         const Edge& e = graph_.edge(eid);
-        if (!EdgeMatches(e, rel)) continue;
+        if (!rrel.Matches(e)) continue;
         if (binding.used_edges.count(eid)) continue;
         if (!rel.var.empty()) {
           auto it = binding.edges.find(rel.var);
           if (it != binding.edges.end() && it->second != eid) continue;
         }
         NodeId next = reversed ? e.src : e.dst;
-        if (!AdmitNode(next, next_pat, binding)) continue;
+        if (!AdmitNode(next, next_rnode, binding)) continue;
 
         // Bind, check pushed-down filters, recurse, unbind.
         bool node_was_new = BindNode(next_pat, next, binding);
@@ -371,36 +478,46 @@ class Matcher {
     // every hop (Neo4j semantics); the endpoint must match next_pat.
     int max_len = rel.max_len >= 0 ? rel.max_len : options_.unbounded_varlen_cap;
     int min_len = std::max(0, rel.min_len);
-    std::function<void(NodeId, int)> dfs = [&](NodeId cur, int depth) {
-      if (depth >= min_len && AdmitNode(cur, next_pat, binding) &&
-          // A zero-length path may only close when start==end is allowed.
-          (depth > 0 || min_len == 0)) {
-        bool node_was_new = BindNode(next_pat, cur, binding);
-        if (!node_was_new || PassesFilters(next_pat.var, binding)) {
-          Extend(part, reversed, idx + 1, cur, binding, out);
-        }
-        if (node_was_new) binding.nodes.erase(next_pat.var);
-      }
-      if (depth == max_len) return;
-      const auto& edges = reversed ? graph_.InEdges(cur) : graph_.OutEdges(cur);
-      for (EdgeId eid : edges) {
-        if (stats_ != nullptr) ++stats_->edges_traversed;
-        const Edge& e = graph_.edge(eid);
-        if (!EdgeMatches(e, rel)) continue;
-        if (binding.used_edges.count(eid)) continue;
-        binding.used_edges.insert(eid);
-        dfs(reversed ? e.src : e.dst, depth + 1);
-        binding.used_edges.erase(eid);
-      }
-    };
-    dfs(node, 0);
+    VarlenDfs(part, reversed, idx, min_len, max_len, node, /*depth=*/0,
+              binding, out);
   }
 
-  bool AdmitNode(NodeId id, const NodePattern& pat,
+  /// One level of the bounded variable-length DFS (a plain recursive member
+  /// instead of a per-call std::function: seed loops over large graphs call
+  /// this tens of thousands of times).
+  void VarlenDfs(const ResolvedPart& part, bool reversed, size_t idx,
+                 int min_len, int max_len, NodeId cur, int depth,
+                 Binding& binding, std::vector<Binding>* out) {
+    const ResolvedRel& rrel = part.rels[idx];
+    const ResolvedNode& next_rnode = part.nodes[idx + 1];
+    const NodePattern& next_pat = *next_rnode.pat;
+    if (depth >= min_len && AdmitNode(cur, next_rnode, binding) &&
+        // A zero-length path may only close when start==end is allowed.
+        (depth > 0 || min_len == 0)) {
+      bool node_was_new = BindNode(next_pat, cur, binding);
+      if (!node_was_new || PassesFilters(next_pat.var, binding)) {
+        Extend(part, reversed, idx + 1, cur, binding, out);
+      }
+      if (node_was_new) binding.nodes.erase(next_pat.var);
+    }
+    if (depth == max_len) return;
+    for (EdgeId eid : ExpansionEdges(cur, reversed, rrel)) {
+      if (stats_ != nullptr) ++stats_->edges_traversed;
+      const Edge& e = graph_.edge(eid);
+      if (!rrel.Matches(e)) continue;
+      if (binding.used_edges.count(eid)) continue;
+      binding.used_edges.insert(eid);
+      VarlenDfs(part, reversed, idx, min_len, max_len,
+                reversed ? e.src : e.dst, depth + 1, binding, out);
+      binding.used_edges.erase(eid);
+    }
+  }
+
+  bool AdmitNode(NodeId id, const ResolvedNode& rnode,
                  const Binding& binding) const {
-    if (!NodeMatches(graph_.node(id), pat)) return false;
-    if (!pat.var.empty()) {
-      auto it = binding.nodes.find(pat.var);
+    if (!rnode.Matches(graph_.node(id))) return false;
+    if (!rnode.pat->var.empty()) {
+      auto it = binding.nodes.find(rnode.pat->var);
       if (it != binding.nodes.end() && it->second != id) return false;
     }
     return true;
@@ -442,7 +559,7 @@ Result<GraphResultSet> ExecuteCypher(const CypherQuery& query,
                                      const PropertyGraph& graph,
                                      const MatchOptions& options,
                                      MatchStats* stats) {
-  CypherEvaluator eval(graph);
+  CypherEvaluator eval(graph, options.hashed_in_lists);
 
   // Split WHERE into single-variable conjuncts (pushed into matching) and
   // residual conjuncts (evaluated on complete bindings).
@@ -467,9 +584,12 @@ Result<GraphResultSet> ExecuteCypher(const CypherQuery& query,
     if (part.nodes.empty()) {
       return Status::InvalidArgument("empty pattern part");
     }
+    // Resolve labels/types and build the reversed chain once per part, not
+    // once per intermediate binding.
+    auto prepared = matcher.Prepare(part);
     std::vector<Binding> next;
     for (const Binding& b : bindings) {
-      matcher.MatchPart(part, b, &next);
+      matcher.MatchPart(prepared, b, &next);
     }
     bindings = std::move(next);
     if (bindings.empty()) break;
@@ -502,16 +622,14 @@ Result<GraphResultSet> ExecuteCypher(const CypherQuery& query,
   }
 
   if (query.distinct) {
-    std::unordered_set<std::string> seen;
+    // Dedup on the value rows directly (the old path concatenated
+    // ToString() renderings of every cell into a string key per row).
+    std::unordered_set<std::vector<Value>, sql::ValueRowHash, sql::ValueRowEq>
+        seen;
     std::vector<std::vector<Value>> unique;
     unique.reserve(result.rows.size());
     for (auto& row : result.rows) {
-      std::string key;
-      for (const Value& v : row) {
-        key += v.ToString();
-        key.push_back('\x1f');
-      }
-      if (seen.insert(key).second) unique.push_back(std::move(row));
+      if (seen.insert(row).second) unique.push_back(std::move(row));
     }
     result.rows = std::move(unique);
   }

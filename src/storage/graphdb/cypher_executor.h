@@ -39,6 +39,13 @@ struct MatchOptions {
   /// Expansion bound applied when a variable-length pattern has no upper
   /// bound (Neo4j discourages unbounded expansion for the same reason).
   int unbounded_varlen_cap = 8;
+  /// Expand typed relationship patterns through the per-type adjacency
+  /// groups, touching only edges of the requested type. Off = legacy full
+  /// out/in-edge scan, kept as a benchmarking baseline.
+  bool typed_adjacency = true;
+  /// Probe IN-list predicates via a hashed set built once per query.
+  /// Off = legacy O(list) scan per candidate row.
+  bool hashed_in_lists = true;
 };
 
 /// Execute `query` against `graph`.

@@ -4,36 +4,48 @@ namespace raptor::graphdb {
 
 namespace {
 
-std::string IndexKey(std::string_view label, std::string_view prop) {
-  std::string key(label);
-  key.push_back('\x1f');
-  key.append(prop);
-  return key;
-}
-
 const std::vector<NodeId> kNoNodes;
 const std::vector<EdgeId> kNoEdges;
 
 }  // namespace
 
+std::vector<EdgeId>& PropertyGraph::TypedAdjacency::For(uint32_t type_id) {
+  for (auto& [tid, edges] : groups) {
+    if (tid == type_id) return edges;
+  }
+  groups.emplace_back(type_id, std::vector<EdgeId>());
+  return groups.back().second;
+}
+
+const std::vector<EdgeId>* PropertyGraph::TypedAdjacency::Find(
+    uint32_t type_id) const {
+  for (const auto& [tid, edges] : groups) {
+    if (tid == type_id) return &edges;
+  }
+  return nullptr;
+}
+
 NodeId PropertyGraph::AddNode(std::string label, PropertyMap props) {
   NodeId id = nodes_.size();
   Node n;
   n.id = id;
+  n.label_id = labels_.Intern(label);
   n.label = std::move(label);
   n.props = std::move(props);
-  by_label_[n.label].push_back(id);
+  if (n.label_id >= by_label_.size()) by_label_.resize(n.label_id + 1);
+  by_label_[n.label_id].push_back(id);
   // Maintain any matching indexes.
   for (auto& [key, index] : node_indexes_) {
-    size_t sep = key.find('\x1f');
-    if (key.compare(0, sep, n.label) != 0) continue;
-    std::string prop = key.substr(sep + 1);
-    const Value* v = n.FindProp(prop);
-    if (v != nullptr) index[v->ToString()].push_back(id);
+    if (static_cast<uint32_t>(key >> 32) != n.label_id) continue;
+    uint32_t prop_id = static_cast<uint32_t>(key);
+    const Value* v = n.FindProp(index_props_.Name(prop_id));
+    if (v != nullptr) index[*v].push_back(id);
   }
   nodes_.push_back(std::move(n));
   out_edges_.emplace_back();
   in_edges_.emplace_back();
+  out_by_type_.emplace_back();
+  in_by_type_.emplace_back();
   return id;
 }
 
@@ -44,11 +56,14 @@ EdgeId PropertyGraph::AddEdge(NodeId src, NodeId dst, std::string type,
   e.id = id;
   e.src = src;
   e.dst = dst;
+  e.type_id = edge_types_.Intern(type);
   e.type = std::move(type);
   e.props = std::move(props);
-  edges_.push_back(std::move(e));
   out_edges_[src].push_back(id);
   in_edges_[dst].push_back(id);
+  out_by_type_[src].For(e.type_id).push_back(id);
+  in_by_type_[dst].For(e.type_id).push_back(id);
+  edges_.push_back(std::move(e));
   return id;
 }
 
@@ -60,34 +75,57 @@ const std::vector<EdgeId>& PropertyGraph::InEdges(NodeId id) const {
   return id < in_edges_.size() ? in_edges_[id] : kNoEdges;
 }
 
+const std::vector<EdgeId>& PropertyGraph::OutEdges(NodeId id,
+                                                   uint32_t type_id) const {
+  if (id >= out_by_type_.size() || type_id == kNoSymbol) return kNoEdges;
+  const std::vector<EdgeId>* edges = out_by_type_[id].Find(type_id);
+  return edges != nullptr ? *edges : kNoEdges;
+}
+
+const std::vector<EdgeId>& PropertyGraph::InEdges(NodeId id,
+                                                  uint32_t type_id) const {
+  if (id >= in_by_type_.size() || type_id == kNoSymbol) return kNoEdges;
+  const std::vector<EdgeId>* edges = in_by_type_[id].Find(type_id);
+  return edges != nullptr ? *edges : kNoEdges;
+}
+
 const std::vector<NodeId>& PropertyGraph::NodesWithLabel(
     std::string_view label) const {
-  auto it = by_label_.find(std::string(label));
-  return it == by_label_.end() ? kNoNodes : it->second;
+  uint32_t label_id = labels_.Lookup(label);
+  return label_id == kNoSymbol ? kNoNodes : by_label_[label_id];
 }
 
 void PropertyGraph::CreateNodeIndex(std::string_view label,
                                     std::string_view prop) {
-  std::string key = IndexKey(label, prop);
+  uint32_t label_id = labels_.Intern(label);
+  if (label_id >= by_label_.size()) by_label_.resize(label_id + 1);
+  uint32_t prop_id = index_props_.Intern(prop);
+  uint64_t key = IndexKey(label_id, prop_id);
   if (node_indexes_.count(key)) return;
-  auto& index = node_indexes_[key];
-  for (NodeId id : NodesWithLabel(label)) {
+  ValueIndex& index = node_indexes_[key];
+  for (NodeId id : by_label_[label_id]) {
     const Value* v = nodes_[id].FindProp(prop);
-    if (v != nullptr) index[v->ToString()].push_back(id);
+    if (v != nullptr) index[*v].push_back(id);
   }
 }
 
 bool PropertyGraph::HasNodeIndex(std::string_view label,
                                  std::string_view prop) const {
-  return node_indexes_.count(IndexKey(label, prop)) > 0;
+  uint32_t label_id = labels_.Lookup(label);
+  uint32_t prop_id = index_props_.Lookup(prop);
+  if (label_id == kNoSymbol || prop_id == kNoSymbol) return false;
+  return node_indexes_.count(IndexKey(label_id, prop_id)) > 0;
 }
 
 const std::vector<NodeId>& PropertyGraph::ProbeNodes(std::string_view label,
                                                      std::string_view prop,
                                                      const Value& value) const {
-  auto it = node_indexes_.find(IndexKey(label, prop));
+  uint32_t label_id = labels_.Lookup(label);
+  uint32_t prop_id = index_props_.Lookup(prop);
+  if (label_id == kNoSymbol || prop_id == kNoSymbol) return kNoNodes;
+  auto it = node_indexes_.find(IndexKey(label_id, prop_id));
   if (it == node_indexes_.end()) return kNoNodes;
-  auto jt = it->second.find(value.ToString());
+  auto jt = it->second.find(value);
   return jt == it->second.end() ? kNoNodes : jt->second;
 }
 

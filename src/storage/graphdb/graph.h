@@ -1,15 +1,27 @@
 // In-memory property graph, the storage unit of the embedded graph engine
 // that substitutes Neo4j. Nodes carry a label and a property map; edges
-// carry a type and a property map. Equality indexes over (label, property)
-// pairs support fast seeding of pattern matches.
+// carry a type and a property map.
+//
+// Hot-path design:
+//  * node labels, edge types, and indexed property names are interned into
+//    dense uint32 ids, so pattern matching compares integers, not strings;
+//  * per-node adjacency is additionally grouped by edge-type id, so a typed
+//    expansion touches only edges of the requested type instead of the full
+//    out/in-edge list;
+//  * equality indexes over (label, property) pairs are keyed by Value with
+//    a Compare()-consistent hash, so probes never stringify;
+//  * property maps use a transparent comparator, so FindProp(string_view)
+//    never allocates a key.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/status.h"
 #include "storage/relational/value.h"
 
@@ -18,17 +30,19 @@ namespace raptor::graphdb {
 using NodeId = uint64_t;
 using EdgeId = uint64_t;
 using Value = sql::Value;
-using PropertyMap = std::map<std::string, Value>;
+// std::less<> enables heterogeneous (string_view) lookup without allocating.
+using PropertyMap = std::map<std::string, Value, std::less<>>;
 
 constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 
 struct Node {
   NodeId id = 0;
+  uint32_t label_id = 0;
   std::string label;
   PropertyMap props;
 
   const Value* FindProp(std::string_view name) const {
-    auto it = props.find(std::string(name));
+    auto it = props.find(name);
     return it == props.end() ? nullptr : &it->second;
   }
 };
@@ -37,11 +51,12 @@ struct Edge {
   EdgeId id = 0;
   NodeId src = 0;
   NodeId dst = 0;
+  uint32_t type_id = 0;
   std::string type;
   PropertyMap props;
 
   const Value* FindProp(std::string_view name) const {
-    auto it = props.find(std::string(name));
+    auto it = props.find(name);
     return it == props.end() ? nullptr : &it->second;
   }
 };
@@ -59,6 +74,19 @@ class PropertyGraph {
   const std::vector<EdgeId>& OutEdges(NodeId id) const;
   const std::vector<EdgeId>& InEdges(NodeId id) const;
 
+  /// Edges of `id` whose interned type equals `type_id` only. Passing
+  /// kNoSymbol (a type absent from the graph) yields the empty list.
+  const std::vector<EdgeId>& OutEdges(NodeId id, uint32_t type_id) const;
+  const std::vector<EdgeId>& InEdges(NodeId id, uint32_t type_id) const;
+
+  /// Interned id of a label / edge type, or kNoSymbol if it never occurs.
+  uint32_t LookupLabel(std::string_view label) const {
+    return labels_.Lookup(label);
+  }
+  uint32_t LookupEdgeType(std::string_view type) const {
+    return edge_types_.Lookup(type);
+  }
+
   /// All nodes with the given label.
   const std::vector<NodeId>& NodesWithLabel(std::string_view label) const;
 
@@ -75,17 +103,40 @@ class PropertyGraph {
 
   size_t node_count() const { return nodes_.size(); }
   size_t edge_count() const { return edges_.size(); }
+  size_t label_count() const { return labels_.size(); }
+  size_t edge_type_count() const { return edge_types_.size(); }
 
  private:
+  /// Per-node adjacency grouped by edge-type id. Nodes see few distinct
+  /// edge types, so a flat (type, edges) vector beats a per-node hash map
+  /// in both memory and probe cost.
+  struct TypedAdjacency {
+    std::vector<std::pair<uint32_t, std::vector<EdgeId>>> groups;
+
+    std::vector<EdgeId>& For(uint32_t type_id);
+    const std::vector<EdgeId>* Find(uint32_t type_id) const;
+  };
+
+  using ValueIndex =
+      std::unordered_map<Value, std::vector<NodeId>, sql::ValueHash,
+                         sql::ValueEq>;
+
+  static uint64_t IndexKey(uint32_t label_id, uint32_t prop_id) {
+    return (static_cast<uint64_t>(label_id) << 32) | prop_id;
+  }
+
+  StringInterner labels_;
+  StringInterner edge_types_;
+  StringInterner index_props_;
   std::vector<Node> nodes_;
   std::vector<Edge> edges_;
   std::vector<std::vector<EdgeId>> out_edges_;
   std::vector<std::vector<EdgeId>> in_edges_;
-  std::unordered_map<std::string, std::vector<NodeId>> by_label_;
-  // "label\x1fprop" -> value-string -> node ids
-  std::unordered_map<std::string,
-                     std::unordered_map<std::string, std::vector<NodeId>>>
-      node_indexes_;
+  std::vector<TypedAdjacency> out_by_type_;
+  std::vector<TypedAdjacency> in_by_type_;
+  std::vector<std::vector<NodeId>> by_label_;  // label id -> node ids
+  // (label_id << 32 | prop_id) -> value -> node ids
+  std::unordered_map<uint64_t, ValueIndex> node_indexes_;
 };
 
 }  // namespace raptor::graphdb

@@ -102,13 +102,8 @@ class Evaluator {
       case ExprKind::kInList: {
         auto lhs = Eval(*e.lhs, tuple);
         if (!lhs.ok()) return lhs.status();
-        bool found = false;
-        for (const Value& v : e.in_list) {
-          if (lhs.value().Compare(v) == 0) {
-            found = true;
-            break;
-          }
-        }
+        // Hashed-set probe instead of the old O(list) scan per row.
+        bool found = in_sets_.Get(e).count(lhs.value()) > 0;
         return Value(static_cast<int64_t>(e.negated ? !found : found));
       }
       case ExprKind::kBinary: {
@@ -169,6 +164,7 @@ class Evaluator {
 
  private:
   const Binder& binder_;
+  InListCache<Expr> in_sets_;
 };
 
 /// Which aliases an expression references.
@@ -211,15 +207,6 @@ struct Conjunct {
   std::set<int> aliases;
   bool applied = false;
 };
-
-std::string HashKey(const std::vector<Value>& values) {
-  std::string key;
-  for (const Value& v : values) {
-    key += v.ToString();
-    key.push_back('\x1f');
-  }
-  return key;
-}
 
 }  // namespace
 
@@ -410,24 +397,29 @@ Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
     std::vector<Tuple> next;
     if (!join_keys.empty()) {
       // Hash join: build on the new table's candidates, probe with tuples.
-      std::unordered_map<std::string, std::vector<RowId>> build;
+      // Keys are the value rows themselves — the old path concatenated
+      // ToString() renderings of every key cell per candidate row.
+      std::unordered_map<std::vector<Value>, std::vector<RowId>, ValueRowHash,
+                         ValueRowEq>
+          build;
       const Table* table = tables[a];
+      std::vector<Value> key_vals;
       for (RowId rid : candidates[a]) {
-        std::vector<Value> key_vals;
+        key_vals.clear();
         key_vals.reserve(join_keys.size());
         for (const auto& [nc, oc] : join_keys) {
           key_vals.push_back(table->rows()[rid][nc.col_idx]);
         }
-        build[HashKey(key_vals)].push_back(rid);
+        build[key_vals].push_back(rid);
       }
       for (const Tuple& t : tuples) {
-        std::vector<Value> key_vals;
+        key_vals.clear();
         key_vals.reserve(join_keys.size());
         for (const auto& [nc, oc] : join_keys) {
           key_vals.push_back(
               binder.table(oc.alias_idx)->rows()[t[oc.alias_idx]][oc.col_idx]);
         }
-        auto it = build.find(HashKey(key_vals));
+        auto it = build.find(key_vals);
         if (it == build.end()) continue;
         for (RowId rid : it->second) {
           Tuple nt = t;
@@ -556,13 +548,12 @@ Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
                      });
   }
   if (stmt.distinct) {
-    std::unordered_set<std::string> seen;
+    // Dedup on the value rows directly; no per-row string key.
+    std::unordered_set<Row, ValueRowHash, ValueRowEq> seen;
     std::vector<Row> unique;
     unique.reserve(result.rows.size());
     for (Row& r : result.rows) {
-      std::vector<Value> vals(r.begin(), r.end());
-      std::string key = HashKey(vals);
-      if (seen.insert(key).second) unique.push_back(std::move(r));
+      if (seen.insert(r).second) unique.push_back(std::move(r));
     }
     result.rows = std::move(unique);
   }

@@ -11,7 +11,7 @@ Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
 }
 
 int Schema::FindColumn(std::string_view name) const {
-  auto it = by_name_.find(std::string(name));
+  auto it = by_name_.find(name);
   return it == by_name_.end() ? -1 : it->second;
 }
 
@@ -23,7 +23,7 @@ Status Table::Insert(Row row) {
   }
   RowId id = rows_.size();
   for (auto& [col, index] : indexes_) {
-    index[row[col].ToString()].push_back(id);
+    index[row[col]].push_back(id);
   }
   rows_.push_back(std::move(row));
   return Status::OK();
@@ -39,7 +39,7 @@ Status Table::CreateIndex(std::string_view column) {
   if (indexes_.count(col)) return Status::OK();
   auto& index = indexes_[col];
   for (RowId id = 0; id < rows_.size(); ++id) {
-    index[rows_[id][col].ToString()].push_back(id);
+    index[rows_[id][col]].push_back(id);
   }
   return Status::OK();
 }
@@ -52,7 +52,7 @@ const std::vector<RowId>& Table::Probe(int column_idx, const Value& v) const {
   static const std::vector<RowId> kEmpty;
   auto it = indexes_.find(column_idx);
   if (it == indexes_.end()) return kEmpty;
-  auto jt = it->second.find(v.ToString());
+  auto jt = it->second.find(v);
   return jt == it->second.end() ? kEmpty : jt->second;
 }
 

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/status.h"
 #include "storage/relational/value.h"
 
@@ -31,7 +32,9 @@ class Schema {
 
  private:
   std::vector<Column> columns_;
-  std::unordered_map<std::string, int> by_name_;
+  // Transparent hash: FindColumn(string_view) probes without allocating.
+  std::unordered_map<std::string, int, StringViewHash, std::equal_to<>>
+      by_name_;
 };
 
 using Row = std::vector<Value>;
@@ -64,12 +67,15 @@ class Table {
   size_t row_count() const { return rows_.size(); }
 
  private:
+  // Keyed directly on Value with a Compare()-consistent hash, so inserts
+  // and probes never render the cell to a string.
+  using ValueIndex =
+      std::unordered_map<Value, std::vector<RowId>, ValueHash, ValueEq>;
+
   std::string name_;
   Schema schema_;
   std::vector<Row> rows_;
-  // column index -> (value key -> row ids)
-  std::unordered_map<int, std::unordered_map<std::string, std::vector<RowId>>>
-      indexes_;
+  std::unordered_map<int, ValueIndex> indexes_;  // column index -> index
 };
 
 }  // namespace raptor::sql

@@ -3,7 +3,10 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <variant>
+#include <vector>
 
 namespace raptor::sql {
 
@@ -49,6 +52,65 @@ class Value {
 
  private:
   std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+/// Hash consistent with Compare() equality: values comparing equal hash
+/// equal, including across int/double coercion (Value(1) == Value(1.0)).
+/// Enables Value-keyed hash indexes and IN-list sets with no ToString()
+/// allocation per probe.
+struct ValueHash {
+  size_t operator()(const Value& v) const;
+};
+
+struct ValueEq {
+  bool operator()(const Value& a, const Value& b) const {
+    return a.Compare(b) == 0;
+  }
+};
+
+/// Hash/equality over whole value rows (join keys, DISTINCT): replaces the
+/// old per-row ToString() key concatenation with direct hashing.
+struct ValueRowHash {
+  size_t operator()(const std::vector<Value>& row) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    ValueHash vh;
+    for (const Value& v : row) {
+      h ^= vh(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+struct ValueRowEq {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].Compare(b[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+/// Per-statement cache of hashed IN-list membership sets, shared by the SQL
+/// and Cypher evaluators: built once per expression on first probe, so each
+/// candidate row pays an O(1) set lookup instead of an O(list) scan.
+/// ExprT only needs an `in_list` member of std::vector<Value>.
+template <typename ExprT>
+class InListCache {
+ public:
+  using Set = std::unordered_set<Value, ValueHash, ValueEq>;
+
+  const Set& Get(const ExprT& e) const {
+    auto it = sets_.find(&e);
+    if (it == sets_.end()) {
+      it = sets_.emplace(&e, Set(e.in_list.begin(), e.in_list.end())).first;
+    }
+    return it->second;
+  }
+
+ private:
+  mutable std::unordered_map<const ExprT*, Set> sets_;
 };
 
 }  // namespace raptor::sql

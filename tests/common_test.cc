@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/interner.h"
 #include "common/levenshtein.h"
 #include "common/status.h"
 #include "common/strings.h"
@@ -34,6 +35,31 @@ TEST(LevenshteinTest, KnownDistances) {
   EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
   EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
   EXPECT_EQ(LevenshteinDistance("same", "same"), 0u);
+}
+
+TEST(StringInternerTest, DenseIdsAndLookup) {
+  StringInterner interner;
+  uint32_t a = interner.Intern("proc");
+  uint32_t b = interner.Intern("file");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(interner.Intern("proc"), a);  // idempotent
+  EXPECT_EQ(interner.Lookup("file"), b);
+  EXPECT_EQ(interner.Lookup("ip"), kNoSymbol);
+  EXPECT_EQ(interner.Name(a), "proc");
+  EXPECT_EQ(interner.Name(b), "file");
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(StringInternerTest, NamesStableAcrossGrowth) {
+  StringInterner interner;
+  uint32_t first = interner.Intern("first-symbol");
+  // Force rehashing/growth; Name() views must stay valid.
+  for (int i = 0; i < 1000; ++i) {
+    interner.Intern("sym" + std::to_string(i));
+  }
+  EXPECT_EQ(interner.Name(first), "first-symbol");
+  EXPECT_EQ(interner.Lookup("sym999"), interner.size() - 1);
 }
 
 }  // namespace

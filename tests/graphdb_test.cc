@@ -158,6 +158,70 @@ TEST_F(GraphDbTest, RelationshipUniqueness) {
   EXPECT_TRUE(rs.value().rows.empty());
 }
 
+TEST_F(GraphDbTest, TypedAdjacencyMatchesFullScanResults) {
+  // The grouped-by-type expansion must return exactly what the legacy full
+  // edge-list scan returns, while traversing fewer edges.
+  const char* q =
+      "MATCH (p:proc)-[e:write]->(f:file) RETURN p.exename, f.name";
+  MatchStats fast_stats, slow_stats;
+  auto fast = db_.Query(q, &fast_stats);
+  db_.options().typed_adjacency = false;
+  auto slow = db_.Query(q, &slow_stats);
+  db_.options().typed_adjacency = true;
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(fast.value().rows, slow.value().rows);
+  // tar has 1 write among 2 out-edges; the typed path skips the read.
+  EXPECT_LT(fast_stats.edges_traversed, slow_stats.edges_traversed);
+}
+
+TEST_F(GraphDbTest, TypedExpansionOfAbsentTypeMatchesNothing) {
+  auto rs = db_.Query("MATCH (p:proc)-[e:no_such_op]->(o) RETURN p.exename");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_TRUE(rs.value().rows.empty());
+}
+
+TEST_F(GraphDbTest, InternedLabelsAndTypes) {
+  const PropertyGraph& g = db_.graph();
+  uint32_t proc = g.LookupLabel("proc");
+  uint32_t file = g.LookupLabel("file");
+  ASSERT_NE(proc, kNoSymbol);
+  ASSERT_NE(file, kNoSymbol);
+  EXPECT_NE(proc, file);
+  EXPECT_EQ(g.LookupLabel("socket"), kNoSymbol);
+  EXPECT_EQ(g.node(tar_).label_id, proc);
+  uint32_t read = g.LookupEdgeType("read");
+  ASSERT_NE(read, kNoSymbol);
+  // Typed adjacency returns exactly the read-edges of tar.
+  ASSERT_EQ(g.OutEdges(tar_, read).size(), 1u);
+  EXPECT_EQ(g.edge(g.OutEdges(tar_, read)[0]).dst, passwd_);
+  EXPECT_TRUE(g.OutEdges(tar_, kNoSymbol).empty());
+}
+
+TEST_F(GraphDbTest, InListUsesHashedProbe) {
+  const char* q =
+      "MATCH (f:file) WHERE f.name IN ['/etc/passwd', '/tmp/upload.tar'] "
+      "RETURN f.name";
+  auto hashed = db_.Query(q);
+  db_.options().hashed_in_lists = false;
+  auto scanned = db_.Query(q);
+  db_.options().hashed_in_lists = true;
+  ASSERT_TRUE(hashed.ok()) << hashed.status().ToString();
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(hashed.value().rows.size(), 2u);
+  EXPECT_EQ(hashed.value().rows, scanned.value().rows);
+}
+
+TEST_F(GraphDbTest, FindPropHeterogeneousLookup) {
+  // FindProp takes a string_view and must not require a std::string key.
+  const Node& n = db_.graph().node(tar_);
+  std::string_view key = "exename";
+  const Value* v = n.FindProp(key);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->AsText(), "/bin/tar");
+  EXPECT_EQ(n.FindProp("no_such_prop"), nullptr);
+}
+
 TEST_F(GraphDbTest, QueryRoundTrip) {
   const char* text =
       "MATCH (p:proc {exename: '/bin/tar'})-[e:read]->(f:file) "

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "storage/relational/database.h"
 
 namespace raptor::sql {
@@ -141,6 +143,49 @@ TEST_F(RelationalTest, IndexProbeUsedForEquality) {
   // The probe should touch only the matching row, not all four.
   EXPECT_EQ(stats.base_rows_scanned, 1u);
   EXPECT_EQ(stats.index_probe_rows, 1u);
+}
+
+TEST_F(RelationalTest, IndexProbeUsedForInList) {
+  ExecStats stats;
+  auto rs = db_.Query(
+      "SELECT id FROM entities WHERE name IN ('/bin/tar', '/bin/bzip2', "
+      "'/no/such')",
+      &stats);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs.value().rows.size(), 2u);
+  // Only the two matching rows are touched — the IN probes the name index.
+  EXPECT_EQ(stats.base_rows_scanned, 2u);
+  EXPECT_EQ(stats.index_probe_rows, 2u);
+}
+
+TEST_F(RelationalTest, ValueHashConsistentWithCompare) {
+  ValueHash hash;
+  ValueEq eq;
+  // int/double coercion: equal by Compare implies equal hashes.
+  EXPECT_TRUE(eq(Value(int64_t{1}), Value(1.0)));
+  EXPECT_EQ(hash(Value(int64_t{1})), hash(Value(1.0)));
+  EXPECT_EQ(hash(Value::Null()), hash(Value::Null()));
+  // Numeric and text never compare equal, even when rendered alike.
+  EXPECT_FALSE(eq(Value(int64_t{1}), Value("1")));
+  // NaN equals itself, sorts below every number, and hashes consistently
+  // regardless of payload bits (equality must stay an equivalence relation
+  // for the Value-keyed indexes).
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(eq(Value(nan), Value(-nan)));
+  EXPECT_EQ(hash(Value(nan)), hash(Value(-nan)));
+  EXPECT_FALSE(eq(Value(nan), Value(1.0)));
+  EXPECT_LT(Value(nan).Compare(Value(-1e300)), 0);
+}
+
+TEST_F(RelationalTest, IndexProbeDistinguishesIntFromText) {
+  // The old string-keyed index conflated Value(1) and Value("1"); the
+  // Value-keyed index must not return int-keyed rows for a text probe.
+  const Table* t = db_.FindTable("events");
+  ASSERT_NE(t, nullptr);
+  int col = t->schema().FindColumn("subject");
+  ASSERT_TRUE(t->HasIndex(col));
+  EXPECT_EQ(t->Probe(col, Value(int64_t{1})).size(), 2u);
+  EXPECT_TRUE(t->Probe(col, Value("1")).empty());
 }
 
 TEST_F(RelationalTest, StatementRoundTrip) {
