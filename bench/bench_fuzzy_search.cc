@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
+#include "tests/fixtures/synthetic_graph.h"
 
 using namespace raptor;
 
@@ -23,51 +24,37 @@ namespace {
 /// matcher runs for `-[*1..3]->` patterns, where the per-type groups prune
 /// every hop of the expansion rather than just the final edge filter.
 void RunLargeGraphVarlenWorkload(bench::BenchReport* report) {
+  fixtures::SyntheticGraphSpec spec;
   // >= 2 so both node populations are non-empty (Rng::Uniform needs n > 0).
-  const long long n_nodes =
-      std::max(2LL, bench::EnvLong("BENCH_LARGE_NODES", 100'000));
-  const long long n_edges = bench::EnvLong("BENCH_LARGE_EDGES", 500'000);
-  const int n_edge_types = 16;
+  spec.nodes = std::max(2LL, bench::EnvLong("BENCH_LARGE_NODES", 100'000));
+  spec.edges = bench::EnvLong("BENCH_LARGE_EDGES", 500'000);
+  // A small population of seed processes over a large entity pool, so the
+  // measurement is dominated by the DFS expansion work, not seed scanning.
+  // Clamped so tiny BENCH_LARGE_NODES overrides still leave file nodes.
+  spec.proc_count = std::min(1000LL, spec.nodes / 2);
+  spec.global_name_index = true;  // one "/n<i>" namespace over all nodes
+  spec.file_prop = "name";
+  spec.file_prefix = "/n";
+  spec.edges_proc_to_file = false;  // uniform src/dst over all nodes
 
   std::printf(
       "\nLarge-graph variable-length expansion: %lld nodes, %lld edges, %d "
       "edge types\n",
-      n_nodes, n_edges, n_edge_types);
+      spec.nodes, spec.edges, spec.edge_types);
 
-  // A small population of seed processes over a large entity pool, so the
-  // measurement is dominated by the DFS expansion work, not seed scanning.
-  // Clamped so tiny BENCH_LARGE_NODES overrides still leave file nodes.
-  const long long n_procs = std::min(1000LL, n_nodes / 2);
   graphdb::GraphDatabase db;
-  graphdb::PropertyGraph& g = db.graph();
   Rng rng(7);
-  std::vector<graphdb::NodeId> nodes;
-  nodes.reserve(n_nodes);
-  for (long long i = 0; i < n_nodes; ++i) {
-    nodes.push_back(g.AddNode(
-        i < n_procs ? "proc" : "file",
-        {{"name", graphdb::Value("/n" + std::to_string(i))}}));
-  }
-  for (long long i = 0; i < n_edges; ++i) {
-    std::string type = "op" + std::to_string(rng.Uniform(n_edge_types));
-    g.AddEdge(nodes[rng.Uniform(nodes.size())], nodes[rng.Uniform(nodes.size())],
-              std::move(type), {});
-  }
+  fixtures::SyntheticGraph sg =
+      fixtures::BuildSyntheticGraph(db.graph(), spec, rng);
 
   // Typed variable-length expansion (the per-type groups prune every hop
   // of the DFS; an untyped `*1..3` would scan the full adjacency anyway)
   // combined with a propagated-id-sized IN filter on the endpoint, which
   // the matcher evaluates for every admissible node the DFS reaches.
   const int n_in_list = 2048;
-  std::string in_list;
-  for (int i = 0; i < n_in_list; ++i) {
-    if (i > 0) in_list += ", ";
-    in_list += "'/n" + std::to_string(n_procs + rng.Uniform(n_nodes - n_procs)) +
-               "'";
-  }
-  std::string query =
-      "MATCH (p:proc)-[:op3*1..3]->(f:file) WHERE f.name IN [" + in_list +
-      "] RETURN DISTINCT f.name";
+  std::string query = "MATCH (p:proc)-[:op3*1..3]->(f:file) WHERE f.name IN [" +
+                      fixtures::RandomFileNameInList(spec, sg, rng, n_in_list) +
+                      "] RETURN DISTINCT f.name";
 
   int rounds = bench::Rounds(5);
   auto measure = [&](bool typed) {
@@ -103,8 +90,8 @@ void RunLargeGraphVarlenWorkload(bench::BenchReport* report) {
   double speedup = fast > 0 ? legacy / fast : 0;
   std::printf("  speedup (legacy / typed+hashed): %.1fx\n", speedup);
 
-  report->Param("large_nodes", n_nodes);
-  report->Param("large_edges", n_edges);
+  report->Param("large_nodes", spec.nodes);
+  report->Param("large_edges", spec.edges);
   report->Param("large_in_list", n_in_list);
   report->Metric("varlen_expansion", "typed_seconds", fast);
   report->Metric("varlen_expansion", "legacy_seconds", legacy);

@@ -7,11 +7,13 @@
 // Each query runs BENCH_ROUNDS rounds (default 20) on a log scaled by
 // BENCH_SCALE (default 10x the test profile).
 //
-// A second section measures the indexed/interned graph hot path on a
-// synthetic large provenance graph (BENCH_LARGE_NODES nodes /
-// BENCH_LARGE_EDGES edges, default 100k/500k): typed expansion through the
-// per-type adjacency groups plus hashed IN-list probing, versus the legacy
-// full-edge-scan + linear IN-scan code path (MatchOptions toggles).
+// A second section measures the indexed/interned graph hot path on the
+// shared synthetic large provenance graph fixture (BENCH_LARGE_NODES nodes
+// / BENCH_LARGE_EDGES edges, default 100k/500k): typed expansion through
+// the per-type adjacency groups plus hashed IN-list probing, versus the
+// legacy full-edge-scan + linear IN-scan code path (MatchOptions toggles).
+// A third section measures LIMIT/DISTINCT pushdown on the same graph:
+// streaming early-exit versus the legacy materialize-then-truncate path.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -20,60 +22,103 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
+#include "tests/fixtures/synthetic_graph.h"
 
 using namespace raptor;
 
 namespace {
 
+/// LIMIT/DISTINCT pushdown on the fixture graph: the streaming pipeline
+/// stops seed iteration once LIMIT rows exist, while the legacy path
+/// materializes every binding and truncates at the end.
+void RunLimitPushdownWorkload(graphdb::GraphDatabase& db,
+                              bench::BenchReport* report) {
+  struct Workload {
+    const char* key;
+    std::string query;
+  };
+  const Workload workloads[] = {
+      {"limit1",
+       "MATCH (p:proc)-[e:op7]->(f:file) RETURN p.exename, f.name LIMIT 1"},
+      {"limit10",
+       "MATCH (p:proc)-[e:op7]->(f:file) RETURN p.exename, f.name LIMIT 10"},
+      {"distinct_limit10",
+       "MATCH (p:proc)-[e:op3]->(f:file) RETURN DISTINCT p.exename LIMIT 10"},
+  };
+  std::printf("\nLIMIT/DISTINCT pushdown (streaming vs legacy):\n");
+
+  int rounds = bench::Rounds(5);
+  auto measure = [&](const std::string& query, bool streaming,
+                     size_t* seeds_out) {
+    db.options().push_limit = streaming;
+    db.options().streaming_distinct = streaming;
+    db.options().binding_frames = streaming;
+    std::vector<double> times;
+    Stopwatch timer;
+    for (int i = 0; i < rounds; ++i) {
+      graphdb::MatchStats stats;
+      timer.Restart();
+      auto rs = db.Query(query, &stats);
+      times.push_back(timer.ElapsedSeconds());
+      if (!rs.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     rs.status().ToString().c_str());
+        std::exit(1);
+      }
+      *seeds_out = stats.seed_candidates;
+    }
+    return bench::Mean(times);
+  };
+
+  for (const Workload& w : workloads) {
+    size_t streaming_seeds = 0, legacy_seeds = 0;
+    double streaming = measure(w.query, /*streaming=*/true, &streaming_seeds);
+    double legacy = measure(w.query, /*streaming=*/false, &legacy_seeds);
+    double speedup = streaming > 0 ? legacy / streaming : 0;
+    std::printf(
+        "  %s: streaming %.6f s (%zu seeds visited), legacy %.6f s "
+        "(%zu seeds visited), speedup %.1fx\n",
+        w.key, streaming, streaming_seeds, legacy, legacy_seeds, speedup);
+    report->Metric("limit_pushdown",
+                   std::string(w.key) + "_streaming_seconds", streaming);
+    report->Metric("limit_pushdown", std::string(w.key) + "_legacy_seconds",
+                   legacy);
+    report->Metric("limit_pushdown", std::string(w.key) + "_speedup", speedup);
+    report->Metric("limit_pushdown",
+                   std::string(w.key) + "_streaming_seeds",
+                   static_cast<double>(streaming_seeds));
+    report->Metric("limit_pushdown", std::string(w.key) + "_legacy_seeds",
+                   static_cast<double>(legacy_seeds));
+  }
+  db.options() = graphdb::MatchOptions{};
+}
+
 /// Typed expansion + IN-filter probing on a synthetic large graph.
 void RunLargeGraphWorkload(bench::BenchReport* report) {
+  fixtures::SyntheticGraphSpec spec;
   // >= 2 so both node populations are non-empty (Rng::Uniform needs n > 0).
-  const long long n_nodes =
-      std::max(2LL, bench::EnvLong("BENCH_LARGE_NODES", 100'000));
-  const long long n_edges = bench::EnvLong("BENCH_LARGE_EDGES", 500'000);
-  const int n_edge_types = 16;
+  spec.nodes = std::max(2LL, bench::EnvLong("BENCH_LARGE_NODES", 100'000));
+  spec.edges = bench::EnvLong("BENCH_LARGE_EDGES", 500'000);
   // Propagated entity-id IN domains reach thousands of ids on large logs;
   // the legacy path scans the whole list per candidate row.
   const int n_in_list = 2048;
-  const long long n_procs = n_nodes / 2;
-  const long long n_files = n_nodes - n_procs;
 
   std::printf(
       "\nLarge-graph hot path: %lld nodes, %lld edges, %d edge types, "
       "IN-list of %d file names\n",
-      n_nodes, n_edges, n_edge_types, n_in_list);
+      spec.nodes, spec.edges, spec.edge_types, n_in_list);
 
   graphdb::GraphDatabase db;
-  graphdb::PropertyGraph& g = db.graph();
   Rng rng(42);
   Stopwatch sw;
-  std::vector<graphdb::NodeId> procs, files;
-  procs.reserve(n_procs);
-  files.reserve(n_files);
-  for (long long i = 0; i < n_procs; ++i) {
-    procs.push_back(g.AddNode(
-        "proc", {{"exename", graphdb::Value("/bin/p" + std::to_string(i))}}));
-  }
-  for (long long i = 0; i < n_files; ++i) {
-    files.push_back(g.AddNode(
-        "file", {{"name", graphdb::Value("/data/f" + std::to_string(i))}}));
-  }
-  for (long long i = 0; i < n_edges; ++i) {
-    std::string type = "op" + std::to_string(rng.Uniform(n_edge_types));
-    g.AddEdge(procs[rng.Uniform(procs.size())], files[rng.Uniform(files.size())],
-              std::move(type), {});
-  }
+  fixtures::SyntheticGraph sg =
+      fixtures::BuildSyntheticGraph(db.graph(), spec, rng);
   double build_seconds = sw.ElapsedSeconds();
 
   // Query: typed expansion to files whose name is in a large IN list.
-  std::string in_list;
-  for (int i = 0; i < n_in_list; ++i) {
-    if (i > 0) in_list += ", ";
-    in_list += "'/data/f" + std::to_string(rng.Uniform(files.size())) + "'";
-  }
-  std::string query =
-      "MATCH (p:proc)-[e:op7]->(f:file) WHERE f.name IN [" + in_list +
-      "] RETURN p.exename, f.name";
+  std::string query = "MATCH (p:proc)-[e:op7]->(f:file) WHERE f.name IN [" +
+                      fixtures::RandomFileNameInList(spec, sg, rng, n_in_list) +
+                      "] RETURN p.exename, f.name";
 
   int rounds = bench::Rounds(5);
   auto measure = [&](bool typed, bool hashed) {
@@ -111,14 +156,16 @@ void RunLargeGraphWorkload(bench::BenchReport* report) {
       "  build: %.3f s; speedup (legacy / indexed+interned): %.1fx\n",
       build_seconds, speedup);
 
-  report->Param("large_nodes", n_nodes);
-  report->Param("large_edges", n_edges);
-  report->Param("large_edge_types", n_edge_types);
+  report->Param("large_nodes", spec.nodes);
+  report->Param("large_edges", spec.edges);
+  report->Param("large_edge_types", spec.edge_types);
   report->Param("large_in_list", n_in_list);
   report->Metric("large_graph", "build_seconds", build_seconds);
   report->Metric("large_graph", "indexed_seconds", fast);
   report->Metric("large_graph", "legacy_seconds", legacy);
   report->Metric("large_graph", "speedup", speedup);
+
+  RunLimitPushdownWorkload(db, report);
 }
 
 }  // namespace

@@ -1,0 +1,15 @@
+// Shared hash utilities for composite keys (value rows, projected result
+// rows): one combine formula, so every row-level hash in the codebase has
+// the same distribution and fixes land everywhere at once.
+#pragma once
+
+#include <cstddef>
+
+namespace raptor {
+
+/// Boost-style hash combine: folds `h` into `seed`.
+inline size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace raptor

@@ -1,0 +1,98 @@
+// Vector with inline storage for the first N elements, spilling to the heap
+// only past that capacity. Binding frames in the query matchers hold per-row
+// state (bound node/edge slots, the relationship-uniqueness stack) whose
+// size is almost always a handful of entries, so inline storage makes frame
+// setup and reset allocation-free on the hot path.
+//
+// Restricted to trivially copyable element types (ids, small PODs): the
+// implementation copies raw elements between the inline buffer and the heap
+// on spill, and copies the whole inline buffer in the defaulted copy ops.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace raptor {
+
+template <typename T, size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector requires trivially copyable elements");
+  static_assert(N > 0, "SmallVector requires non-zero inline capacity");
+
+ public:
+  SmallVector() = default;
+  SmallVector(size_t n, const T& value) { assign(n, value); }
+
+  void push_back(const T& value) {
+    if (!spilled_ && size_ < N) {
+      inline_[size_++] = value;
+      return;
+    }
+    Spill();
+    heap_.push_back(value);
+    ++size_;
+  }
+
+  void pop_back() {
+    --size_;
+    if (spilled_) heap_.pop_back();
+  }
+
+  void assign(size_t n, const T& value) {
+    clear();
+    if (n <= N) {
+      for (size_t i = 0; i < n; ++i) inline_[i] = value;
+    } else {
+      heap_.assign(n, value);
+      spilled_ = true;
+    }
+    size_ = n;
+  }
+
+  void clear() {
+    size_ = 0;
+    heap_.clear();
+    spilled_ = false;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// True when the contents live on the heap (exposed for tests).
+  bool spilled() const { return spilled_; }
+
+  T& operator[](size_t i) { return data()[i]; }
+  const T& operator[](size_t i) const { return data()[i]; }
+  T& back() { return data()[size_ - 1]; }
+  const T& back() const { return data()[size_ - 1]; }
+
+  T* data() { return spilled_ ? heap_.data() : inline_; }
+  const T* data() const { return spilled_ ? heap_.data() : inline_; }
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+ private:
+  void Spill() {
+    if (spilled_) return;
+    heap_.assign(inline_, inline_ + size_);
+    spilled_ = true;
+  }
+
+  size_t size_ = 0;
+  bool spilled_ = false;  // sticky until clear()/assign()
+  T inline_[N] = {};
+  std::vector<T> heap_;
+};
+
+template <typename T, size_t N>
+bool Contains(const SmallVector<T, N>& v, const T& value) {
+  for (const T& x : v) {
+    if (x == value) return true;
+  }
+  return false;
+}
+
+}  // namespace raptor

@@ -421,10 +421,14 @@ Result<DataQuery> CompilePattern(const AnalyzedQuery& aq, size_t idx,
     }
   }
 
-  std::string ret = "RETURN s.id AS sid, o.id AS oid";
-  if (out.has_event_columns) {
-    ret += ", e.id AS eid, e.start_time AS est, e.end_time AS eet";
-  }
+  // Multi-hop paths return pure entity pairs (path existence); many paths
+  // can connect the same pair, so DISTINCT dedups at the matcher — where
+  // the streaming seen-set short-circuits — instead of blowing up the join
+  // phase with one row per path.
+  std::string ret = out.has_event_columns
+                        ? "RETURN s.id AS sid, o.id AS oid, e.id AS eid, "
+                          "e.start_time AS est, e.end_time AS eet"
+                        : "RETURN DISTINCT s.id AS sid, o.id AS oid";
   out.text = "MATCH " + match;
   if (!where.empty()) out.text += " WHERE " + Join(where, " AND ");
   out.text += " " + ret;

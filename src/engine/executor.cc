@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/hash.h"
 #include "common/interner.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
@@ -57,6 +58,18 @@ constexpr long long kUnboundEntity = std::numeric_limits<long long>::min();
 struct Assignment {
   std::vector<long long> entities;          // entity slot -> audit entity
   std::vector<const PatternMatch*> events;  // pattern index -> match
+};
+
+/// Hash over projected result rows for DISTINCT, replacing the old
+/// delimiter-joined string key (one concatenation per row).
+struct StringRowHash {
+  size_t operator()(const std::vector<std::string>& row) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const std::string& s : row) {
+      h = HashCombine(h, std::hash<std::string>{}(s));
+    }
+    return h;
+  }
 };
 
 }  // namespace
@@ -411,7 +424,7 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
     report.results.columns.push_back(r.attr.empty() ? r.id
                                                     : r.id + "." + r.attr);
   }
-  std::unordered_set<std::string> seen;
+  std::unordered_set<std::vector<std::string>, StringRowHash> seen;
   for (const Assignment& a : satisfying) {
     std::vector<std::string> row;
     row.reserve(aq.returns.size());
@@ -445,10 +458,7 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
                           : store_->entities()[ent - 1].Attribute(r.attr));
       }
     }
-    if (query.distinct) {
-      std::string key = Join(row, "\x1f");
-      if (!seen.insert(key).second) continue;
-    }
+    if (query.distinct && !seen.insert(row).second) continue;
     report.results.rows.push_back(std::move(row));
   }
   report.matched_event_ids.assign(matched_events.begin(),

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
+#include "common/small_vector.h"
 #include "common/strings.h"
 #include "storage/graphdb/cypher_parser.h"
 
@@ -12,18 +15,51 @@ namespace raptor::graphdb {
 
 namespace {
 
-struct Binding {
+constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+/// Interned variable slots, built once per query: every node/edge variable
+/// across all pattern parts maps to a dense id, so the frame binding can
+/// hold bound entities in flat vectors instead of string-keyed maps.
+struct VarTable {
+  StringInterner nodes;
+  StringInterner edges;
+};
+
+/// Legacy binding representation: one hash container per variable class
+/// plus the relationship-uniqueness set. Kept as a benchmarking baseline
+/// behind MatchOptions::binding_frames = false.
+struct MapBinding {
   std::unordered_map<std::string, NodeId> nodes;
   std::unordered_map<std::string, EdgeId> edges;
   std::unordered_set<EdgeId> used_edges;  // relationship uniqueness
 };
 
-/// A node pattern with its label resolved to the graph's interned id, so
-/// candidate checks compare integers instead of strings.
+/// Flat binding frame keyed on interned slots. The streaming pipeline
+/// threads exactly one frame through the whole search (bind on descent,
+/// unbind on backtrack), and the inline small-vector storage makes frame
+/// setup allocation-free for typical variable counts.
+struct FrameBinding {
+  SmallVector<NodeId, 8> nodes;       // node slot -> id, kInvalidNode unbound
+  SmallVector<EdgeId, 8> edges;       // edge slot -> id, kInvalidEdge unbound
+  SmallVector<EdgeId, 16> used_edges;  // LIFO stack of in-use edges
+};
+
+void InitBinding(MapBinding&, const VarTable&) {}
+
+void InitBinding(FrameBinding& b, const VarTable& vars) {
+  b.nodes.assign(vars.nodes.size(), kInvalidNode);
+  b.edges.assign(vars.edges.size(), kInvalidEdge);
+  b.used_edges.clear();
+}
+
+/// A node pattern with its label resolved to the graph's interned id and
+/// its variable to the query's slot, so candidate checks compare integers
+/// instead of strings.
 struct ResolvedNode {
   const NodePattern* pat = nullptr;
   bool has_label = false;
   uint32_t label_id = kNoSymbol;  // kNoSymbol: label absent, matches nothing
+  uint32_t var_slot = kNoSymbol;  // kNoSymbol: anonymous node
 
   bool Matches(const Node& node) const {
     if (has_label && node.label_id != label_id) return false;
@@ -41,6 +77,7 @@ struct ResolvedRel {
   const RelPattern* pat = nullptr;
   bool has_type = false;
   uint32_t type_id = kNoSymbol;
+  uint32_t var_slot = kNoSymbol;
 
   bool Matches(const Edge& edge) const {
     if (has_type && edge.type_id != type_id) return false;
@@ -52,65 +89,151 @@ struct ResolvedRel {
   }
 };
 
-ResolvedNode ResolveNode(const PropertyGraph& graph, const NodePattern& pat) {
+ResolvedNode ResolveNode(const PropertyGraph& graph, const VarTable& vars,
+                         const NodePattern& pat) {
   ResolvedNode r;
   r.pat = &pat;
   if (!pat.label.empty()) {
     r.has_label = true;
     r.label_id = graph.LookupLabel(pat.label);
   }
+  if (!pat.var.empty()) r.var_slot = vars.nodes.Lookup(pat.var);
   return r;
 }
 
-ResolvedRel ResolveRel(const PropertyGraph& graph, const RelPattern& pat) {
+ResolvedRel ResolveRel(const PropertyGraph& graph, const VarTable& vars,
+                       const RelPattern& pat) {
   ResolvedRel r;
   r.pat = &pat;
   if (!pat.type.empty()) {
     r.has_type = true;
     r.type_id = graph.LookupEdgeType(pat.type);
   }
+  if (!pat.var.empty()) r.var_slot = vars.edges.Lookup(pat.var);
   return r;
 }
 
+// ---- Binding operations, overloaded per representation -------------------
+
+bool NodeBound(const MapBinding& b, const ResolvedNode& rn) {
+  return !rn.pat->var.empty() && b.nodes.count(rn.pat->var) > 0;
+}
+bool NodeBound(const FrameBinding& b, const ResolvedNode& rn) {
+  return rn.var_slot != kNoSymbol && b.nodes[rn.var_slot] != kInvalidNode;
+}
+
+/// Precondition: NodeBound(b, rn).
+NodeId BoundNode(const MapBinding& b, const ResolvedNode& rn) {
+  return b.nodes.at(rn.pat->var);
+}
+NodeId BoundNode(const FrameBinding& b, const ResolvedNode& rn) {
+  return b.nodes[rn.var_slot];
+}
+
+void SetNode(MapBinding& b, const ResolvedNode& rn, NodeId id) {
+  b.nodes[rn.pat->var] = id;
+}
+void SetNode(FrameBinding& b, const ResolvedNode& rn, NodeId id) {
+  b.nodes[rn.var_slot] = id;
+}
+
+void ClearNode(MapBinding& b, const ResolvedNode& rn) {
+  b.nodes.erase(rn.pat->var);
+}
+void ClearNode(FrameBinding& b, const ResolvedNode& rn) {
+  b.nodes[rn.var_slot] = kInvalidNode;
+}
+
+bool EdgeBound(const MapBinding& b, const ResolvedRel& rr) {
+  return !rr.pat->var.empty() && b.edges.count(rr.pat->var) > 0;
+}
+bool EdgeBound(const FrameBinding& b, const ResolvedRel& rr) {
+  return rr.var_slot != kNoSymbol && b.edges[rr.var_slot] != kInvalidEdge;
+}
+
+/// Precondition: EdgeBound(b, rr).
+EdgeId BoundEdge(const MapBinding& b, const ResolvedRel& rr) {
+  return b.edges.at(rr.pat->var);
+}
+EdgeId BoundEdge(const FrameBinding& b, const ResolvedRel& rr) {
+  return b.edges[rr.var_slot];
+}
+
+void SetEdge(MapBinding& b, const ResolvedRel& rr, EdgeId id) {
+  b.edges[rr.pat->var] = id;
+}
+void SetEdge(FrameBinding& b, const ResolvedRel& rr, EdgeId id) {
+  b.edges[rr.var_slot] = id;
+}
+
+void ClearEdge(MapBinding& b, const ResolvedRel& rr) {
+  b.edges.erase(rr.pat->var);
+}
+void ClearEdge(FrameBinding& b, const ResolvedRel& rr) {
+  b.edges[rr.var_slot] = kInvalidEdge;
+}
+
+bool EdgeUsed(const MapBinding& b, EdgeId id) {
+  return b.used_edges.count(id) > 0;
+}
+bool EdgeUsed(const FrameBinding& b, EdgeId id) {
+  return Contains(b.used_edges, id);
+}
+
+void PushUsedEdge(MapBinding& b, EdgeId id) { b.used_edges.insert(id); }
+void PushUsedEdge(FrameBinding& b, EdgeId id) { b.used_edges.push_back(id); }
+
+/// Precondition: `id` was the most recent PushUsedEdge (the matcher's
+/// insert/recurse/erase discipline is strictly LIFO).
+void PopUsedEdge(MapBinding& b, EdgeId id) { b.used_edges.erase(id); }
+void PopUsedEdge(FrameBinding& b, EdgeId id) {
+  (void)id;
+  b.used_edges.pop_back();
+}
+
 /// How selective a node pattern is, for choosing the search seed.
-int ConstraintScore(const NodePattern& pat, const Binding& binding) {
-  if (!pat.var.empty() && binding.nodes.count(pat.var)) return 100;
+template <class BindingT>
+int ConstraintScore(const ResolvedNode& rn, const BindingT& binding) {
+  if (NodeBound(binding, rn)) return 100;
   int score = 0;
-  if (!pat.label.empty()) ++score;
-  score += 2 * static_cast<int>(pat.props.size());
+  if (!rn.pat->label.empty()) ++score;
+  score += 2 * static_cast<int>(rn.pat->props.size());
   return score;
 }
 
-/// Evaluate a WHERE / RETURN expression against a bound row.
+/// Evaluate a WHERE / RETURN expression against a (possibly partially)
+/// bound row, in either binding representation.
 class CypherEvaluator {
  public:
-  CypherEvaluator(const PropertyGraph& graph, bool hashed_in_lists)
-      : graph_(graph), hashed_in_lists_(hashed_in_lists) {}
+  CypherEvaluator(const PropertyGraph& graph, const VarTable& vars,
+                  bool hashed_in_lists)
+      : graph_(graph), vars_(vars), hashed_in_lists_(hashed_in_lists) {}
 
-  Result<Value> Eval(const CypherExpr& e, const Binding& b) const {
+  template <class BindingT>
+  Result<Value> Eval(const CypherExpr& e, const BindingT& b) const {
     switch (e.kind) {
       case CypherExprKind::kLiteral:
         return e.literal;
       case CypherExprKind::kVarRef: {
-        auto it = b.nodes.find(e.var);
-        if (it != b.nodes.end()) {
-          return Value(static_cast<int64_t>(it->second));
+        NodeId nid;
+        if (LookupNodeVar(b, e, &nid)) {
+          return Value(static_cast<int64_t>(nid));
         }
-        auto jt = b.edges.find(e.var);
-        if (jt != b.edges.end()) {
-          return Value(static_cast<int64_t>(jt->second));
+        EdgeId eid;
+        if (LookupEdgeVar(b, e, &eid)) {
+          return Value(static_cast<int64_t>(eid));
         }
         return Status::NotFound("unbound variable: " + e.var);
       }
       case CypherExprKind::kPropRef: {
-        auto it = b.nodes.find(e.var);
-        if (it != b.nodes.end()) {
-          const Value* v = graph_.node(it->second).FindProp(e.prop);
+        NodeId nid;
+        if (LookupNodeVar(b, e, &nid)) {
+          const Value* v = graph_.node(nid).FindProp(e.prop);
           return v != nullptr ? *v : Value::Null();
         }
-        auto jt = b.edges.find(e.var);
-        if (jt != b.edges.end()) {
-          const Value* v = graph_.edge(jt->second).FindProp(e.prop);
+        EdgeId eid;
+        if (LookupEdgeVar(b, e, &eid)) {
+          const Value* v = graph_.edge(eid).FindProp(e.prop);
           return v != nullptr ? *v : Value::Null();
         }
         return Status::NotFound("unbound variable: " + e.var);
@@ -198,9 +321,58 @@ class CypherEvaluator {
   }
 
  private:
+  /// Interned slots of an expression's variable, resolved once per expr
+  /// node and cached by pointer: repeated evaluations (one per result row)
+  /// pay a pointer-hash probe instead of re-hashing the variable name.
+  struct VarSlots {
+    uint32_t node_slot = kNoSymbol;
+    uint32_t edge_slot = kNoSymbol;
+  };
+  const VarSlots& SlotsFor(const CypherExpr& e) const {
+    auto it = slots_.find(&e);
+    if (it == slots_.end()) {
+      it = slots_
+               .emplace(&e, VarSlots{vars_.nodes.Lookup(e.var),
+                                     vars_.edges.Lookup(e.var)})
+               .first;
+    }
+    return it->second;
+  }
+
+  bool LookupNodeVar(const MapBinding& b, const CypherExpr& e,
+                     NodeId* out) const {
+    auto it = b.nodes.find(e.var);
+    if (it == b.nodes.end()) return false;
+    *out = it->second;
+    return true;
+  }
+  bool LookupNodeVar(const FrameBinding& b, const CypherExpr& e,
+                     NodeId* out) const {
+    uint32_t slot = SlotsFor(e).node_slot;
+    if (slot == kNoSymbol || b.nodes[slot] == kInvalidNode) return false;
+    *out = b.nodes[slot];
+    return true;
+  }
+  bool LookupEdgeVar(const MapBinding& b, const CypherExpr& e,
+                     EdgeId* out) const {
+    auto it = b.edges.find(e.var);
+    if (it == b.edges.end()) return false;
+    *out = it->second;
+    return true;
+  }
+  bool LookupEdgeVar(const FrameBinding& b, const CypherExpr& e,
+                     EdgeId* out) const {
+    uint32_t slot = SlotsFor(e).edge_slot;
+    if (slot == kNoSymbol || b.edges[slot] == kInvalidEdge) return false;
+    *out = b.edges[slot];
+    return true;
+  }
+
   const PropertyGraph& graph_;
+  const VarTable& vars_;
   bool hashed_in_lists_;
   sql::InListCache<CypherExpr> in_sets_;
+  mutable std::unordered_map<const CypherExpr*, VarSlots> slots_;
 };
 
 /// Split an AND-tree into conjuncts.
@@ -241,16 +413,34 @@ void CollectVars(const CypherExpr& e, std::unordered_set<std::string>* vars) {
 using PushdownFilters =
     std::unordered_map<std::string, std::vector<const CypherExpr*>>;
 
+/// Start-node candidates for one chain: either a non-owning span (an index
+/// bucket or a label bucket, iterated lazily so LIMIT pushdown can stop
+/// early without materializing the tail), an owned list (bound variable,
+/// multi-value probe unions), or a full node scan.
+struct SeedSet {
+  const std::vector<NodeId>* list = nullptr;  // non-owning span
+  std::vector<NodeId> owned;                  // owning storage
+  bool full_scan = false;
+
+  const std::vector<NodeId>& ids() const { return list ? *list : owned; }
+};
+
+/// The streaming matcher: drives all pattern parts depth-first, calling
+/// `sink(binding)` once per complete query binding. Every traversal method
+/// returns true to continue and false to stop the whole search (LIMIT
+/// pushdown); after a stop the binding contents are unspecified.
+template <class BindingT, class Sink>
 class Matcher {
  public:
   Matcher(const PropertyGraph& graph, const MatchOptions& options,
           const PushdownFilters& pushdown, const CypherEvaluator& eval,
-          MatchStats* stats)
+          MatchStats* stats, Sink& sink)
       : graph_(graph),
         options_(options),
         pushdown_(pushdown),
         eval_(eval),
-        stats_(stats) {}
+        stats_(stats),
+        sink_(sink) {}
 
   /// The chain being matched, with every label / edge type resolved to its
   /// interned id once up front instead of per candidate.
@@ -269,32 +459,41 @@ class Matcher {
     ResolvedPart resolved_rev;
   };
 
-  PreparedPart Prepare(const PatternPart& part) const {
-    PreparedPart pp;
-    pp.fwd = &part;
-    pp.rev = Reverse(part);
-    pp.resolved_fwd = Resolve(part);
-    pp.resolved_rev = Resolve(pp.rev);
-    return pp;
+  Status PrepareParts(const std::vector<PatternPart>& parts,
+                      const VarTable& vars) {
+    parts_.reserve(parts.size());
+    for (const PatternPart& part : parts) {
+      if (part.nodes.empty()) {
+        return Status::InvalidArgument("empty pattern part");
+      }
+      PreparedPart pp;
+      pp.fwd = &part;
+      pp.rev = Reverse(part);
+      pp.resolved_fwd = Resolve(part, vars);
+      pp.resolved_rev = Resolve(pp.rev, vars);
+      parts_.push_back(std::move(pp));
+    }
+    return Status::OK();
   }
 
-  /// Extend `binding` with all matches of the prepared part; append to
-  /// `out`.
-  void MatchPart(const PreparedPart& pp, const Binding& binding,
-                 std::vector<Binding>* out) {
-    // Choose search direction: seed from the more-constrained endpoint.
-    int fwd = ConstraintScore(pp.fwd->nodes.front(), binding);
-    int bwd = ConstraintScore(pp.fwd->nodes.back(), binding);
-    if (bwd > fwd) {
-      MatchChainFrom(pp.rev, pp.resolved_rev, /*reversed=*/true, binding,
-                     out);
-    } else {
-      MatchChainFrom(*pp.fwd, pp.resolved_fwd, /*reversed=*/false, binding,
-                     out);
-    }
-  }
+  /// Match every part against `binding`; false if the sink stopped early.
+  bool Run(BindingT& binding) { return MatchFrom(0, binding); }
 
  private:
+  bool MatchFrom(size_t part_idx, BindingT& binding) {
+    if (part_idx == parts_.size()) return sink_(binding);
+    const PreparedPart& pp = parts_[part_idx];
+    // Choose search direction: seed from the more-constrained endpoint.
+    int fwd = ConstraintScore(pp.resolved_fwd.nodes.front(), binding);
+    int bwd = ConstraintScore(pp.resolved_fwd.nodes.back(), binding);
+    if (bwd > fwd) {
+      return MatchChainFrom(pp.resolved_rev, /*reversed=*/true, part_idx,
+                            binding);
+    }
+    return MatchChainFrom(pp.resolved_fwd, /*reversed=*/false, part_idx,
+                          binding);
+  }
+
   static PatternPart Reverse(const PatternPart& part) {
     PatternPart rev;
     rev.nodes.assign(part.nodes.rbegin(), part.nodes.rend());
@@ -302,21 +501,21 @@ class Matcher {
     return rev;
   }
 
-  ResolvedPart Resolve(const PatternPart& part) const {
+  ResolvedPart Resolve(const PatternPart& part, const VarTable& vars) const {
     ResolvedPart rp;
     rp.nodes.reserve(part.nodes.size());
     rp.rels.reserve(part.rels.size());
     for (const NodePattern& n : part.nodes) {
-      rp.nodes.push_back(ResolveNode(graph_, n));
+      rp.nodes.push_back(ResolveNode(graph_, vars, n));
     }
     for (const RelPattern& r : part.rels) {
-      rp.rels.push_back(ResolveRel(graph_, r));
+      rp.rels.push_back(ResolveRel(graph_, vars, r));
     }
     return rp;
   }
 
   /// Evaluate the pushed-down filters of `var` on the binding.
-  bool PassesFilters(const std::string& var, const Binding& binding) const {
+  bool PassesFilters(const std::string& var, const BindingT& binding) const {
     if (var.empty()) return true;
     auto it = pushdown_.find(var);
     if (it == pushdown_.end()) return true;
@@ -327,94 +526,137 @@ class Matcher {
     return true;
   }
 
-  std::vector<NodeId> SeedCandidates(const ResolvedNode& rnode,
-                                     const Binding& binding) {
+  /// Access-path selection for the chain's start node. Competing index
+  /// probes (inline properties and indexed WHERE equality / IN filters) are
+  /// ranked by exact per-value cardinality when selective_seeds is on; the
+  /// legacy choice takes the first indexed inline property, then the first
+  /// usable WHERE filter. Candidates still pass through ResolvedNode::
+  /// Matches at visit time, so the winning probe needs no re-filtering
+  /// here and single-value probes stay lazily iterated spans.
+  SeedSet SelectSeeds(const ResolvedNode& rnode, const BindingT& binding) {
     const NodePattern& pat = *rnode.pat;
-    std::vector<NodeId> seeds;
-    if (!pat.var.empty()) {
-      auto it = binding.nodes.find(pat.var);
-      if (it != binding.nodes.end()) {
-        if (rnode.Matches(graph_.node(it->second))) {
-          seeds.push_back(it->second);
+    SeedSet seeds;
+    if (NodeBound(binding, rnode)) {
+      seeds.owned.push_back(BoundNode(binding, rnode));
+      return seeds;
+    }
+    if (pat.label.empty()) {
+      seeds.full_scan = true;
+      return seeds;
+    }
+
+    // One probe-able access path: an indexed property plus the value(s) an
+    // equality / IN constraint allows for it. Single-value probes keep the
+    // bucket span found while scoring, so the winner is never re-probed;
+    // multi-value probes rank by ProbeCountNodes without materializing.
+    struct Option {
+      std::string_view prop;
+      const std::vector<NodeId>* bucket = nullptr;  // single-value probe
+      const std::vector<Value>* multi = nullptr;
+      size_t count = 0;
+    };
+    SmallVector<Option, 4> options;
+    for (const PropConstraint& pc : pat.props) {
+      if (!graph_.HasNodeIndex(pat.label, pc.key)) continue;
+      Option o;
+      o.prop = pc.key;
+      o.bucket = &graph_.ProbeNodes(pat.label, pc.key, pc.value);
+      o.count = o.bucket->size();
+      options.push_back(o);
+      if (!options_.selective_seeds) break;  // legacy: first indexed prop
+    }
+    // Index seek from WHERE predicates (Neo4j-style): an indexed equality /
+    // IN filter on this variable beats a label scan. The legacy path only
+    // reaches these when no inline property is indexed.
+    if (!pat.var.empty() && (options.empty() || options_.selective_seeds)) {
+      auto fit = pushdown_.find(pat.var);
+      if (fit != pushdown_.end()) {
+        for (const CypherExpr* f : fit->second) {
+          Option o;
+          const Value* eq_value = nullptr;
+          if (f->kind == CypherExprKind::kBinary &&
+              f->op == CypherBinaryOp::kEq &&
+              f->lhs->kind == CypherExprKind::kPropRef &&
+              f->rhs->kind == CypherExprKind::kLiteral) {
+            o.prop = f->lhs->prop;
+            eq_value = &f->rhs->literal;
+          } else if (f->kind == CypherExprKind::kInList && !f->negated &&
+                     f->lhs->kind == CypherExprKind::kPropRef) {
+            o.prop = f->lhs->prop;
+            o.multi = &f->in_list;
+          }
+          if (o.prop.empty() || !graph_.HasNodeIndex(pat.label, o.prop)) {
+            continue;
+          }
+          if (eq_value != nullptr) {
+            o.bucket = &graph_.ProbeNodes(pat.label, o.prop, *eq_value);
+            o.count = o.bucket->size();
+          } else if (options_.selective_seeds) {
+            // Ranking only; the legacy path takes the first option as-is.
+            for (const Value& v : *o.multi) {
+              o.count += graph_.ProbeCountNodes(pat.label, o.prop, v);
+            }
+          }
+          options.push_back(o);
+          if (!options_.selective_seeds) break;  // legacy: first usable
         }
-        return seeds;
       }
     }
-    // Try an index probe on any inline property.
-    if (!pat.label.empty()) {
-      for (const PropConstraint& pc : pat.props) {
-        if (graph_.HasNodeIndex(pat.label, pc.key)) {
-          for (NodeId id : graph_.ProbeNodes(pat.label, pc.key, pc.value)) {
-            if (rnode.Matches(graph_.node(id))) seeds.push_back(id);
-          }
-          return seeds;
+
+    if (!options.empty()) {
+      const Option* best = &options[0];
+      if (options_.selective_seeds) {
+        for (const Option& o : options) {
+          if (o.count < best->count) best = &o;
         }
       }
-      // Index seek from WHERE predicates (Neo4j-style): an indexed
-      // equality / IN filter on this variable beats a label scan.
-      if (!pat.var.empty()) {
-        auto fit = pushdown_.find(pat.var);
-        if (fit != pushdown_.end()) {
-          for (const CypherExpr* f : fit->second) {
-            std::vector<Value> probe_values;
-            std::string prop;
-            if (f->kind == CypherExprKind::kBinary &&
-                f->op == CypherBinaryOp::kEq &&
-                f->lhs->kind == CypherExprKind::kPropRef &&
-                f->rhs->kind == CypherExprKind::kLiteral) {
-              prop = f->lhs->prop;
-              probe_values.push_back(f->rhs->literal);
-            } else if (f->kind == CypherExprKind::kInList && !f->negated &&
-                       f->lhs->kind == CypherExprKind::kPropRef) {
-              prop = f->lhs->prop;
-              probe_values = f->in_list;
-            }
-            if (prop.empty() || !graph_.HasNodeIndex(pat.label, prop)) {
-              continue;
-            }
-            for (const Value& v : probe_values) {
-              for (NodeId id : graph_.ProbeNodes(pat.label, prop, v)) {
-                if (rnode.Matches(graph_.node(id))) seeds.push_back(id);
-              }
-            }
-            std::sort(seeds.begin(), seeds.end());
-            seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
-            return seeds;
+      if (best->bucket != nullptr) {
+        seeds.list = best->bucket;
+      } else {
+        for (const Value& v : *best->multi) {
+          for (NodeId id : graph_.ProbeNodes(pat.label, best->prop, v)) {
+            seeds.owned.push_back(id);
           }
         }
-      }
-      for (NodeId id : graph_.NodesWithLabel(pat.label)) {
-        if (rnode.Matches(graph_.node(id))) seeds.push_back(id);
+        std::sort(seeds.owned.begin(), seeds.owned.end());
+        seeds.owned.erase(std::unique(seeds.owned.begin(), seeds.owned.end()),
+                          seeds.owned.end());
       }
       return seeds;
     }
-    for (NodeId id = 0; id < graph_.node_count(); ++id) {
-      if (rnode.Matches(graph_.node(id))) seeds.push_back(id);
-    }
+    seeds.list = &graph_.NodesWithLabel(pat.label);
     return seeds;
   }
 
-  void MatchChainFrom(const PatternPart& part, const ResolvedPart& rp,
-                      bool reversed, const Binding& binding,
-                      std::vector<Binding>* out) {
-    std::vector<NodeId> seeds = SeedCandidates(rp.nodes[0], binding);
-    if (stats_ != nullptr) stats_->seed_candidates += seeds.size();
-    // One scratch copy for all seeds: Extend() restores the binding on
-    // backtrack, so bind/unbind the seed variable in place instead of
-    // deep-copying three hash containers per candidate.
-    const std::string& var = part.nodes[0].var;
-    Binding b = binding;
-    bool bindable = !var.empty() && !binding.nodes.count(var);
-    for (NodeId seed : seeds) {
+  bool MatchChainFrom(const ResolvedPart& rp, bool reversed, size_t part_idx,
+                      BindingT& binding) {
+    const ResolvedNode& rseed = rp.nodes[0];
+    SeedSet seeds = SelectSeeds(rseed, binding);
+    // Bind/unbind the seed variable in place: Extend() restores the binding
+    // on backtrack, so the whole search threads one binding with no copies.
+    bool bindable = !rseed.pat->var.empty() && !NodeBound(binding, rseed);
+    bool keep_going = true;
+    auto visit = [&](NodeId seed) {
+      if (stats_ != nullptr) ++stats_->seed_candidates;
+      if (!rseed.Matches(graph_.node(seed))) return true;
       if (bindable) {
-        // Overwrite in place; the entry is erased once after the loop, so
-        // later iterations pay a hash lookup instead of a malloc/free pair.
-        b.nodes[var] = seed;
-        if (!PassesFilters(var, b)) continue;
+        SetNode(binding, rseed, seed);
+        if (!PassesFilters(rseed.pat->var, binding)) return true;
       }
-      Extend(rp, reversed, 0, seed, b, out);
+      return Extend(rp, reversed, part_idx, 0, seed, binding);
+    };
+    if (seeds.full_scan) {
+      for (NodeId id = 0; id < graph_.node_count() && keep_going; ++id) {
+        keep_going = visit(id);
+      }
+    } else {
+      for (NodeId id : seeds.ids()) {
+        keep_going = visit(id);
+        if (!keep_going) break;
+      }
     }
-    if (bindable) b.nodes.erase(var);
+    if (bindable) ClearNode(binding, rseed);
+    return keep_going;
   }
 
   /// Edges to expand from `node` for relationship `rrel`: the per-type
@@ -429,105 +671,111 @@ class Matcher {
     return reversed ? graph_.InEdges(node) : graph_.OutEdges(node);
   }
 
-  /// We are standing at `node`, having matched part.nodes[idx]; match
-  /// part.rels[idx] and continue.
-  void Extend(const ResolvedPart& part, bool reversed, size_t idx, NodeId node,
-              Binding& binding, std::vector<Binding>* out) {
-    if (idx == part.rels.size()) {
-      out->push_back(binding);
-      if (stats_ != nullptr) ++stats_->bindings_emitted;
-      return;
-    }
-    const ResolvedRel& rrel = part.rels[idx];
+  /// We are standing at `node`, having matched rp.nodes[idx]; match
+  /// rp.rels[idx] and continue — into the next pattern part (and finally
+  /// the sink) once this chain is exhausted.
+  bool Extend(const ResolvedPart& rp, bool reversed, size_t part_idx,
+              size_t idx, NodeId node, BindingT& binding) {
+    if (idx == rp.rels.size()) return MatchFrom(part_idx + 1, binding);
+    const ResolvedRel& rrel = rp.rels[idx];
     const RelPattern& rel = *rrel.pat;
-    const ResolvedNode& next_rnode = part.nodes[idx + 1];
-    const NodePattern& next_pat = *next_rnode.pat;
+    const ResolvedNode& next_rnode = rp.nodes[idx + 1];
 
     if (!rel.varlen) {
       for (EdgeId eid : ExpansionEdges(node, reversed, rrel)) {
         if (stats_ != nullptr) ++stats_->edges_traversed;
         const Edge& e = graph_.edge(eid);
         if (!rrel.Matches(e)) continue;
-        if (binding.used_edges.count(eid)) continue;
-        if (!rel.var.empty()) {
-          auto it = binding.edges.find(rel.var);
-          if (it != binding.edges.end() && it->second != eid) continue;
+        if (EdgeUsed(binding, eid)) continue;
+        if (!rel.var.empty() && EdgeBound(binding, rrel) &&
+            BoundEdge(binding, rrel) != eid) {
+          continue;
         }
         NodeId next = reversed ? e.src : e.dst;
         if (!AdmitNode(next, next_rnode, binding)) continue;
 
         // Bind, check pushed-down filters, recurse, unbind.
-        bool node_was_new = BindNode(next_pat, next, binding);
+        bool node_was_new = BindNode(next_rnode, next, binding);
         bool edge_was_new = false;
-        if (!rel.var.empty() && !binding.edges.count(rel.var)) {
-          binding.edges[rel.var] = eid;
+        if (!rel.var.empty() && !EdgeBound(binding, rrel)) {
+          SetEdge(binding, rrel, eid);
           edge_was_new = true;
         }
-        binding.used_edges.insert(eid);
-        bool pass = (!node_was_new || PassesFilters(next_pat.var, binding)) &&
-                    (!edge_was_new || PassesFilters(rel.var, binding));
-        if (pass) Extend(part, reversed, idx + 1, next, binding, out);
-        binding.used_edges.erase(eid);
-        if (edge_was_new) binding.edges.erase(rel.var);
-        if (node_was_new) binding.nodes.erase(next_pat.var);
+        PushUsedEdge(binding, eid);
+        bool pass =
+            (!node_was_new || PassesFilters(next_rnode.pat->var, binding)) &&
+            (!edge_was_new || PassesFilters(rel.var, binding));
+        bool keep_going = true;
+        if (pass) {
+          keep_going = Extend(rp, reversed, part_idx, idx + 1, next, binding);
+        }
+        PopUsedEdge(binding, eid);
+        if (edge_was_new) ClearEdge(binding, rrel);
+        if (node_was_new) ClearNode(binding, next_rnode);
+        if (!keep_going) return false;
       }
-      return;
+      return true;
     }
 
     // Variable-length expansion: bounded DFS. Type/prop constraints apply to
-    // every hop (Neo4j semantics); the endpoint must match next_pat.
-    int max_len = rel.max_len >= 0 ? rel.max_len : options_.unbounded_varlen_cap;
+    // every hop (Neo4j semantics); the endpoint must match next_rnode.
+    int max_len =
+        rel.max_len >= 0 ? rel.max_len : options_.unbounded_varlen_cap;
     int min_len = std::max(0, rel.min_len);
-    VarlenDfs(part, reversed, idx, min_len, max_len, node, /*depth=*/0,
-              binding, out);
+    return VarlenDfs(rp, reversed, part_idx, idx, min_len, max_len, node,
+                     /*depth=*/0, binding);
   }
 
   /// One level of the bounded variable-length DFS (a plain recursive member
   /// instead of a per-call std::function: seed loops over large graphs call
   /// this tens of thousands of times).
-  void VarlenDfs(const ResolvedPart& part, bool reversed, size_t idx,
-                 int min_len, int max_len, NodeId cur, int depth,
-                 Binding& binding, std::vector<Binding>* out) {
-    const ResolvedRel& rrel = part.rels[idx];
-    const ResolvedNode& next_rnode = part.nodes[idx + 1];
-    const NodePattern& next_pat = *next_rnode.pat;
+  bool VarlenDfs(const ResolvedPart& rp, bool reversed, size_t part_idx,
+                 size_t idx, int min_len, int max_len, NodeId cur, int depth,
+                 BindingT& binding) {
+    const ResolvedRel& rrel = rp.rels[idx];
+    const ResolvedNode& next_rnode = rp.nodes[idx + 1];
     if (depth >= min_len && AdmitNode(cur, next_rnode, binding) &&
         // A zero-length path may only close when start==end is allowed.
         (depth > 0 || min_len == 0)) {
-      bool node_was_new = BindNode(next_pat, cur, binding);
-      if (!node_was_new || PassesFilters(next_pat.var, binding)) {
-        Extend(part, reversed, idx + 1, cur, binding, out);
+      bool node_was_new = BindNode(next_rnode, cur, binding);
+      bool keep_going = true;
+      if (!node_was_new || PassesFilters(next_rnode.pat->var, binding)) {
+        keep_going = Extend(rp, reversed, part_idx, idx + 1, cur, binding);
       }
-      if (node_was_new) binding.nodes.erase(next_pat.var);
+      if (node_was_new) ClearNode(binding, next_rnode);
+      if (!keep_going) return false;
     }
-    if (depth == max_len) return;
+    if (depth == max_len) return true;
     for (EdgeId eid : ExpansionEdges(cur, reversed, rrel)) {
       if (stats_ != nullptr) ++stats_->edges_traversed;
       const Edge& e = graph_.edge(eid);
       if (!rrel.Matches(e)) continue;
-      if (binding.used_edges.count(eid)) continue;
-      binding.used_edges.insert(eid);
-      VarlenDfs(part, reversed, idx, min_len, max_len,
-                reversed ? e.src : e.dst, depth + 1, binding, out);
-      binding.used_edges.erase(eid);
+      if (EdgeUsed(binding, eid)) continue;
+      PushUsedEdge(binding, eid);
+      bool keep_going = VarlenDfs(rp, reversed, part_idx, idx, min_len,
+                                  max_len, reversed ? e.src : e.dst,
+                                  depth + 1, binding);
+      PopUsedEdge(binding, eid);
+      if (!keep_going) return false;
     }
+    return true;
   }
 
   bool AdmitNode(NodeId id, const ResolvedNode& rnode,
-                 const Binding& binding) const {
+                 const BindingT& binding) const {
     if (!rnode.Matches(graph_.node(id))) return false;
-    if (!rnode.pat->var.empty()) {
-      auto it = binding.nodes.find(rnode.pat->var);
-      if (it != binding.nodes.end() && it->second != id) return false;
+    if (NodeBound(binding, rnode) && BoundNode(binding, rnode) != id) {
+      return false;
     }
     return true;
   }
 
   /// Returns true if this call introduced the binding (caller must unbind).
-  bool BindNode(const NodePattern& pat, NodeId id, Binding& binding) const {
-    if (pat.var.empty()) return false;
-    if (binding.nodes.count(pat.var)) return false;
-    binding.nodes[pat.var] = id;
+  bool BindNode(const ResolvedNode& rnode, NodeId id,
+                BindingT& binding) const {
+    if (rnode.pat->var.empty()) return false;
+    if (NodeBound(binding, rnode)) return false;
+    SetNode(binding, rnode, id);
     return true;
   }
 
@@ -536,7 +784,126 @@ class Matcher {
   const PushdownFilters& pushdown_;
   const CypherEvaluator& eval_;
   MatchStats* stats_;
+  Sink& sink_;
+  std::vector<PreparedPart> parts_;
 };
+
+/// Terminal stage of the streaming pipeline: evaluates residual WHERE
+/// conjuncts, projects RETURN items, applies DISTINCT through an
+/// incremental seen-set, and signals a stop once LIMIT rows exist.
+template <class BindingT>
+class RowSink {
+ public:
+  RowSink(const CypherQuery& query, const CypherEvaluator& eval,
+          const std::vector<const CypherExpr*>& residual, bool streaming_distinct,
+          bool push_limit, MatchStats* stats, GraphResultSet* result)
+      : query_(query),
+        eval_(eval),
+        residual_(residual),
+        streaming_distinct_(streaming_distinct),
+        push_limit_(push_limit),
+        stats_(stats),
+        result_(result) {}
+
+  /// False stops the search: either LIMIT is satisfied or evaluation
+  /// failed (check error() afterwards).
+  bool operator()(const BindingT& binding) {
+    if (stats_ != nullptr) ++stats_->bindings_emitted;
+    for (const CypherExpr* c : residual_) {
+      auto cond = eval_.Eval(*c, binding);
+      if (!cond.ok()) {
+        error_ = cond.status();
+        return false;
+      }
+      if (!CypherEvaluator::Truthy(cond.value())) return true;
+    }
+    std::vector<Value> row;
+    row.reserve(query_.items.size());
+    for (const CypherReturnItem& item : query_.items) {
+      auto v = eval_.Eval(*item.expr, binding);
+      if (!v.ok()) {
+        error_ = v.status();
+        return false;
+      }
+      row.push_back(std::move(v).value());
+    }
+    if (streaming_distinct_ && !seen_.insert(row).second) return true;
+    result_->rows.push_back(std::move(row));
+    if (stats_ != nullptr) ++stats_->rows_emitted;
+    if (push_limit_ &&
+        result_->rows.size() >= static_cast<size_t>(query_.limit)) {
+      return false;
+    }
+    return true;
+  }
+
+  const Status& error() const { return error_; }
+
+ private:
+  const CypherQuery& query_;
+  const CypherEvaluator& eval_;
+  const std::vector<const CypherExpr*>& residual_;
+  bool streaming_distinct_;
+  bool push_limit_;
+  MatchStats* stats_;
+  GraphResultSet* result_;
+  Status error_ = Status::OK();
+  std::unordered_set<std::vector<Value>, sql::ValueRowHash, sql::ValueRowEq>
+      seen_;
+};
+
+template <class BindingT>
+Result<GraphResultSet> RunPipeline(
+    const CypherQuery& query, const PropertyGraph& graph,
+    const MatchOptions& options, MatchStats* stats, const VarTable& vars,
+    const PushdownFilters& pushdown,
+    const std::vector<const CypherExpr*>& residual,
+    const CypherEvaluator& eval) {
+  GraphResultSet result;
+  for (const CypherReturnItem& item : query.items) {
+    result.columns.push_back(item.alias.empty() ? item.expr->ToString()
+                                                : item.alias);
+  }
+
+  bool streaming_distinct = query.distinct && options.streaming_distinct;
+  // A LIMIT on a DISTINCT query counts post-dedup rows, so it only pushes
+  // down when the dedup itself is streaming.
+  bool push_limit = options.push_limit && query.limit >= 0 &&
+                    (!query.distinct || streaming_distinct);
+
+  RowSink<BindingT> sink(query, eval, residual, streaming_distinct,
+                         push_limit, stats, &result);
+  Matcher<BindingT, RowSink<BindingT>> matcher(graph, options, pushdown, eval,
+                                               stats, sink);
+  // Structural validation always runs, so a pushed-down LIMIT 0 reports the
+  // same malformed-pattern errors as every other configuration; only the
+  // search itself is skipped (runtime evaluation errors are suppressed past
+  // a satisfied limit in any configuration, and 0 is satisfied up front).
+  RAPTOR_RETURN_NOT_OK(matcher.PrepareParts(query.patterns, vars));
+  if (!(push_limit && query.limit == 0)) {
+    BindingT binding;
+    InitBinding(binding, vars);
+    matcher.Run(binding);
+    RAPTOR_RETURN_NOT_OK(sink.error());
+  }
+
+  if (query.distinct && !streaming_distinct) {
+    // Legacy final dedup pass over the materialized result.
+    std::unordered_set<std::vector<Value>, sql::ValueRowHash, sql::ValueRowEq>
+        seen;
+    std::vector<std::vector<Value>> unique;
+    unique.reserve(result.rows.size());
+    for (auto& row : result.rows) {
+      if (seen.insert(row).second) unique.push_back(std::move(row));
+    }
+    result.rows = std::move(unique);
+  }
+  if (query.limit >= 0 &&
+      result.rows.size() > static_cast<size_t>(query.limit)) {
+    result.rows.resize(static_cast<size_t>(query.limit));
+  }
+  return result;
+}
 
 }  // namespace
 
@@ -559,7 +926,19 @@ Result<GraphResultSet> ExecuteCypher(const CypherQuery& query,
                                      const PropertyGraph& graph,
                                      const MatchOptions& options,
                                      MatchStats* stats) {
-  CypherEvaluator eval(graph, options.hashed_in_lists);
+  // Intern every pattern variable into a dense slot up front; the frame
+  // binding and the evaluator resolve variables through this table.
+  VarTable vars;
+  for (const PatternPart& part : query.patterns) {
+    for (const NodePattern& n : part.nodes) {
+      if (!n.var.empty()) vars.nodes.Intern(n.var);
+    }
+    for (const RelPattern& r : part.rels) {
+      if (!r.var.empty()) vars.edges.Intern(r.var);
+    }
+  }
+
+  CypherEvaluator eval(graph, vars, options.hashed_in_lists);
 
   // Split WHERE into single-variable conjuncts (pushed into matching) and
   // residual conjuncts (evaluated on complete bindings).
@@ -568,76 +947,21 @@ Result<GraphResultSet> ExecuteCypher(const CypherQuery& query,
   PushdownFilters pushdown;
   std::vector<const CypherExpr*> residual;
   for (const CypherExpr* c : conjuncts) {
-    std::unordered_set<std::string> vars;
-    CollectVars(*c, &vars);
-    if (vars.size() == 1) {
-      pushdown[*vars.begin()].push_back(c);
+    std::unordered_set<std::string> cvars;
+    CollectVars(*c, &cvars);
+    if (cvars.size() == 1) {
+      pushdown[*cvars.begin()].push_back(c);
     } else {
       residual.push_back(c);
     }
   }
 
-  Matcher matcher(graph, options, pushdown, eval, stats);
-  std::vector<Binding> bindings;
-  bindings.emplace_back();
-  for (const PatternPart& part : query.patterns) {
-    if (part.nodes.empty()) {
-      return Status::InvalidArgument("empty pattern part");
-    }
-    // Resolve labels/types and build the reversed chain once per part, not
-    // once per intermediate binding.
-    auto prepared = matcher.Prepare(part);
-    std::vector<Binding> next;
-    for (const Binding& b : bindings) {
-      matcher.MatchPart(prepared, b, &next);
-    }
-    bindings = std::move(next);
-    if (bindings.empty()) break;
+  if (options.binding_frames) {
+    return RunPipeline<FrameBinding>(query, graph, options, stats, vars,
+                                     pushdown, residual, eval);
   }
-
-  GraphResultSet result;
-  for (const CypherReturnItem& item : query.items) {
-    result.columns.push_back(item.alias.empty() ? item.expr->ToString()
-                                                : item.alias);
-  }
-  for (const Binding& b : bindings) {
-    bool pass = true;
-    for (const CypherExpr* c : residual) {
-      auto cond = eval.Eval(*c, b);
-      if (!cond.ok()) return cond.status();
-      if (!CypherEvaluator::Truthy(cond.value())) {
-        pass = false;
-        break;
-      }
-    }
-    if (!pass) continue;
-    std::vector<Value> row;
-    row.reserve(query.items.size());
-    for (const CypherReturnItem& item : query.items) {
-      auto v = eval.Eval(*item.expr, b);
-      if (!v.ok()) return v.status();
-      row.push_back(std::move(v).value());
-    }
-    result.rows.push_back(std::move(row));
-  }
-
-  if (query.distinct) {
-    // Dedup on the value rows directly (the old path concatenated
-    // ToString() renderings of every cell into a string key per row).
-    std::unordered_set<std::vector<Value>, sql::ValueRowHash, sql::ValueRowEq>
-        seen;
-    std::vector<std::vector<Value>> unique;
-    unique.reserve(result.rows.size());
-    for (auto& row : result.rows) {
-      if (seen.insert(row).second) unique.push_back(std::move(row));
-    }
-    result.rows = std::move(unique);
-  }
-  if (query.limit >= 0 &&
-      result.rows.size() > static_cast<size_t>(query.limit)) {
-    result.rows.resize(static_cast<size_t>(query.limit));
-  }
-  return result;
+  return RunPipeline<MapBinding>(query, graph, options, stats, vars, pushdown,
+                                 residual, eval);
 }
 
 Result<GraphResultSet> GraphDatabase::Query(std::string_view cypher,

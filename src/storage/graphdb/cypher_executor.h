@@ -1,15 +1,26 @@
 // Pattern matcher + executor for the Cypher subset.
 //
-// Matching is backtracking subgraph search, Neo4j-like in miniature:
-//  * each comma-separated pattern part is matched against the graph in
-//    sequence, threading variable bindings through (shared variables join
-//    parts);
+// Matching is a streaming backtracking subgraph search, Neo4j-like in
+// miniature:
+//  * each comma-separated pattern part is matched against the graph
+//    depth-first, threading variable bindings through (shared variables
+//    join parts); a completed binding streams straight into the row sink
+//    instead of materializing a binding list per part;
 //  * the more-constrained endpoint of a chain seeds the search (bound
-//    variable > inline props via index probe > label scan > full scan);
+//    variable > most selective index probe > label scan > full scan),
+//    ranking competing index probes by per-value cardinality;
 //  * variable-length relationships expand by bounded DFS with relationship
 //    uniqueness (Cypher's relationship-isomorphism semantics);
-//  * WHERE is evaluated on fully bound rows, RETURN projects node/edge
-//    properties, DISTINCT/LIMIT post-process.
+//  * WHERE is evaluated on fully bound rows; the row sink applies DISTINCT
+//    through an incremental seen-set and stops the whole search — including
+//    seed iteration — once LIMIT rows have been emitted, so `LIMIT 1` over
+//    a label scan no longer visits every seed.
+//
+// Binding state is either a flat small-vector frame keyed on interned
+// variable slots (default) or the legacy trio of hash containers, selected
+// by MatchOptions::binding_frames; all streaming behaviors keep the legacy
+// materialize-then-truncate path reachable through MatchOptions toggles so
+// benchmarks and differential tests can compare both.
 #pragma once
 
 #include <string>
@@ -30,9 +41,10 @@ struct GraphResultSet {
 
 /// Execution counters, exposed for the scheduler-ablation benchmark.
 struct MatchStats {
-  size_t seed_candidates = 0;   // start-node candidates considered
+  size_t seed_candidates = 0;   // start-node candidates visited
   size_t edges_traversed = 0;   // edge expansions
-  size_t bindings_emitted = 0;  // complete pattern bindings before WHERE
+  size_t bindings_emitted = 0;  // complete query bindings before WHERE
+  size_t rows_emitted = 0;      // result rows produced (after WHERE/DISTINCT)
 };
 
 struct MatchOptions {
@@ -46,6 +58,20 @@ struct MatchOptions {
   /// Probe IN-list predicates via a hashed set built once per query.
   /// Off = legacy O(list) scan per candidate row.
   bool hashed_in_lists = true;
+  /// Push LIMIT into the matcher: stop seed iteration and expansion once
+  /// LIMIT rows have been emitted. Off = legacy materialize-then-truncate.
+  /// (DISTINCT queries only push when streaming_distinct is also on, since
+  /// the limit counts post-dedup rows.)
+  bool push_limit = true;
+  /// Apply DISTINCT through an incremental seen-set as rows are emitted.
+  /// Off = legacy final dedup pass over the materialized result.
+  bool streaming_distinct = true;
+  /// Hold bindings in a flat small-vector frame keyed on interned variable
+  /// slots. Off = legacy per-binding hash containers, kept as a baseline.
+  bool binding_frames = true;
+  /// Seed from the most selective applicable index probe, ranked by exact
+  /// per-value cardinality. Off = legacy first-indexed-property choice.
+  bool selective_seeds = true;
 };
 
 /// Execute `query` against `graph`.

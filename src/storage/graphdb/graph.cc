@@ -129,4 +129,23 @@ const std::vector<NodeId>& PropertyGraph::ProbeNodes(std::string_view label,
   return jt == it->second.end() ? kNoNodes : jt->second;
 }
 
+size_t PropertyGraph::ProbeCountNodes(std::string_view label,
+                                      std::string_view prop,
+                                      const Value& value) const {
+  return ProbeNodes(label, prop, value).size();
+}
+
+PropertyGraph::NodeIndexStats PropertyGraph::GetNodeIndexStats(
+    std::string_view label, std::string_view prop) const {
+  NodeIndexStats stats;
+  uint32_t label_id = labels_.Lookup(label);
+  uint32_t prop_id = index_props_.Lookup(prop);
+  if (label_id == kNoSymbol || prop_id == kNoSymbol) return stats;
+  auto it = node_indexes_.find(IndexKey(label_id, prop_id));
+  if (it == node_indexes_.end()) return stats;
+  stats.distinct_keys = it->second.size();
+  for (const auto& [value, ids] : it->second) stats.entries += ids.size();
+  return stats;
+}
+
 }  // namespace raptor::graphdb

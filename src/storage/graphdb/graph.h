@@ -101,6 +101,25 @@ class PropertyGraph {
                                         std::string_view prop,
                                         const Value& value) const;
 
+  /// Size of the candidate set ProbeNodes(label, prop, value) would return,
+  /// without materializing it. The matcher ranks competing index probes by
+  /// this exact per-value cardinality (the same access-path choice the SQL
+  /// planner makes from its candidate-set sizes).
+  size_t ProbeCountNodes(std::string_view label, std::string_view prop,
+                         const Value& value) const;
+
+  /// Aggregate cardinality statistics of one (label, prop) equality index.
+  struct NodeIndexStats {
+    size_t distinct_keys = 0;  // distinct property values indexed
+    size_t entries = 0;        // total node entries across all keys
+  };
+
+  /// Stats for the (label, prop) index; all-zero when no such index exists.
+  /// Introspection/diagnostics surface (O(distinct_keys) walk): the matcher
+  /// ranks access paths by the exact ProbeCountNodes of the probed values.
+  NodeIndexStats GetNodeIndexStats(std::string_view label,
+                                   std::string_view prop) const;
+
   size_t node_count() const { return nodes_.size(); }
   size_t edge_count() const { return edges_.size(); }
   size_t label_count() const { return labels_.size(); }

@@ -36,7 +36,7 @@ Result<ResultSet> Database::Query(std::string_view sql,
 
 Result<ResultSet> Database::Execute(const SelectStmt& stmt,
                                     ExecStats* stats) const {
-  return ExecuteSelect(stmt, *this, stats);
+  return ExecuteSelect(stmt, *this, options_, stats);
 }
 
 const Table* Database::FindTable(std::string_view name) const {

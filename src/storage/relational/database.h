@@ -19,6 +19,9 @@ class Database : public Catalog {
   /// Create a new empty table. Fails with AlreadyExists on name collision.
   Status CreateTable(std::string_view name, Schema schema);
 
+  /// Streaming toggles applied to every query executed through this facade.
+  SelectOptions& options() { return options_; }
+
   /// Insert one row into `table`.
   Status Insert(std::string_view table, Row row);
 
@@ -41,6 +44,7 @@ class Database : public Catalog {
 
  private:
   std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
+  SelectOptions options_;
 };
 
 }  // namespace raptor::sql

@@ -208,6 +208,194 @@ struct Conjunct {
   bool applied = false;
 };
 
+/// One level of the left-deep join pipeline, planned before execution:
+/// equi-join keys against already-bound aliases (with the hash table built
+/// on the level's filtered candidates), plus the residual conjuncts that
+/// become fully bound once this level binds.
+struct JoinLevel {
+  std::vector<std::pair<BoundColumn, BoundColumn>> keys;  // (new, old)
+  std::unordered_map<std::vector<Value>, std::vector<RowId>, ValueRowHash,
+                     ValueRowEq>
+      build;
+  std::vector<const Expr*> ready;
+};
+
+/// The streaming executor: threads one tuple through the join levels
+/// depth-first and emits projected rows as they complete, so LIMIT can stop
+/// the whole pipeline — including the first table's base scan — early.
+/// Every method returns true to continue and false to stop (limit reached
+/// or evaluation error; check `error` afterwards).
+class TuplePipeline {
+ public:
+  TuplePipeline(const SelectStmt& stmt, const Binder& binder,
+                const Evaluator& eval, const std::vector<JoinLevel>& levels,
+                const std::vector<std::vector<RowId>>& candidates,
+                const std::vector<const Expr*>& projected, bool has_star,
+                bool streaming_distinct, bool push_limit, ExecStats* stats,
+                ResultSet* result)
+      : stmt_(stmt),
+        binder_(binder),
+        eval_(eval),
+        levels_(levels),
+        candidates_(candidates),
+        projected_(projected),
+        has_star_(has_star),
+        streaming_distinct_(streaming_distinct),
+        push_limit_(push_limit),
+        stats_(stats),
+        result_(result) {}
+
+  /// Defer the first table's filtering into the pipeline: scan `seed`
+  /// (or all `row_count` rows when scan_all) lazily, applying `filters`
+  /// inline, so an early stop skips the tail of the base scan.
+  void SetLazyFirstTable(const std::vector<RowId>* seed, bool scan_all,
+                         RowId row_count,
+                         const std::vector<const Expr*>* filters) {
+    lazy0_seed_ = seed;
+    lazy0_scan_all_ = scan_all;
+    lazy0_row_count_ = row_count;
+    lazy0_filters_ = filters;
+  }
+
+  void Run() {
+    Tuple tuple(levels_.size(), kUnbound);
+    EmitFrom(0, tuple);
+  }
+
+  const Status& error() const { return error_; }
+
+ private:
+  bool EmitFrom(size_t a, Tuple& t) {
+    if (a == levels_.size()) return EmitRow(t);
+    const JoinLevel& level = levels_[a];
+    if (!level.keys.empty()) {
+      // Hash join: probe the level's build table with the bound aliases.
+      key_scratch_.clear();
+      key_scratch_.reserve(level.keys.size());
+      for (const auto& [nc, oc] : level.keys) {
+        key_scratch_.push_back(
+            binder_.table(oc.alias_idx)->rows()[t[oc.alias_idx]][oc.col_idx]);
+      }
+      auto it = level.build.find(key_scratch_);
+      if (it == level.build.end()) return true;
+      for (RowId rid : it->second) {
+        if (!BindAndDescend(a, rid, t)) return false;
+      }
+      return true;
+    }
+    if (a == 0 && (lazy0_seed_ != nullptr || lazy0_scan_all_)) {
+      return ScanFirstTable(t);
+    }
+    // Cross product with the filtered candidates.
+    for (RowId rid : candidates_[a]) {
+      if (!BindAndDescend(a, rid, t)) return false;
+    }
+    return true;
+  }
+
+  bool ScanFirstTable(Tuple& t) {
+    bool keep_going = true;
+    auto visit = [&](RowId rid) {
+      if (stats_ != nullptr) ++stats_->base_rows_scanned;
+      t[0] = rid;
+      bool pass = true;
+      for (const Expr* f : *lazy0_filters_) {
+        auto v = eval_.Eval(*f, t);
+        if (!v.ok()) {
+          error_ = v.status();
+          t[0] = kUnbound;
+          return false;
+        }
+        if (!Evaluator::Truthy(v.value())) {
+          pass = false;
+          break;
+        }
+      }
+      bool cont = pass ? Descend(0, t) : true;
+      t[0] = kUnbound;
+      return cont;
+    };
+    if (lazy0_scan_all_) {
+      for (RowId rid = 0; rid < lazy0_row_count_ && keep_going; ++rid) {
+        keep_going = visit(rid);
+      }
+    } else {
+      for (RowId rid : *lazy0_seed_) {
+        keep_going = visit(rid);
+        if (!keep_going) break;
+      }
+    }
+    return keep_going;
+  }
+
+  bool BindAndDescend(size_t a, RowId rid, Tuple& t) {
+    t[a] = rid;
+    bool cont = Descend(a, t);
+    t[a] = kUnbound;
+    return cont;
+  }
+
+  /// `t[a]` just bound: count it, apply the conjuncts that became fully
+  /// bound at this level, and continue to the next one.
+  bool Descend(size_t a, Tuple& t) {
+    if (stats_ != nullptr) ++stats_->join_output_tuples;
+    for (const Expr* e : levels_[a].ready) {
+      auto v = eval_.Eval(*e, t);
+      if (!v.ok()) {
+        error_ = v.status();
+        return false;
+      }
+      if (!Evaluator::Truthy(v.value())) return true;
+    }
+    return EmitFrom(a + 1, t);
+  }
+
+  bool EmitRow(const Tuple& t) {
+    Row row;
+    if (has_star_) {
+      for (size_t a = 0; a < levels_.size(); ++a) {
+        const Row& src = binder_.table(a)->rows()[t[a]];
+        row.insert(row.end(), src.begin(), src.end());
+      }
+    }
+    for (const Expr* e : projected_) {
+      auto v = eval_.Eval(*e, t);
+      if (!v.ok()) {
+        error_ = v.status();
+        return false;
+      }
+      row.push_back(std::move(v).value());
+    }
+    if (streaming_distinct_ && !seen_.insert(row).second) return true;
+    result_->rows.push_back(std::move(row));
+    if (stats_ != nullptr) ++stats_->rows_emitted;
+    if (push_limit_ &&
+        result_->rows.size() >= static_cast<size_t>(stmt_.limit)) {
+      return false;
+    }
+    return true;
+  }
+
+  const SelectStmt& stmt_;
+  const Binder& binder_;
+  const Evaluator& eval_;
+  const std::vector<JoinLevel>& levels_;
+  const std::vector<std::vector<RowId>>& candidates_;
+  const std::vector<const Expr*>& projected_;
+  bool has_star_;
+  bool streaming_distinct_;
+  bool push_limit_;
+  ExecStats* stats_;
+  ResultSet* result_;
+  const std::vector<RowId>* lazy0_seed_ = nullptr;
+  bool lazy0_scan_all_ = false;
+  RowId lazy0_row_count_ = 0;
+  const std::vector<const Expr*>* lazy0_filters_ = nullptr;
+  Status error_ = Status::OK();
+  std::unordered_set<Row, ValueRowHash, ValueRowEq> seen_;
+  std::vector<Value> key_scratch_;
+};
+
 }  // namespace
 
 std::string ResultSet::ToString(size_t max_rows) const {
@@ -226,6 +414,7 @@ std::string ResultSet::ToString(size_t max_rows) const {
 }
 
 Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
+                                const SelectOptions& options,
                                 ExecStats* stats) {
   ExecStats local_stats;
   if (stats == nullptr) stats = &local_stats;
@@ -266,26 +455,44 @@ Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
     conjuncts.push_back(std::move(c));
   }
 
+  size_t n_aliases = aliases.size();
+
+  // Effective streaming toggles for this statement: a LIMIT on a DISTINCT
+  // query counts post-dedup rows, so it only pushes down when the dedup is
+  // streaming; ORDER BY must see every row, so it disables the pushdown.
+  bool streaming_distinct = stmt.distinct && options.streaming_distinct;
+  bool push_limit = options.push_limit && stmt.limit >= 0 &&
+                    stmt.order_by.empty() &&
+                    (!stmt.distinct || streaming_distinct);
+
   // --- Base-table filtering -------------------------------------------------
   // For each alias, gather its single-table conjuncts; try index probes for
   // equality / IN conjuncts on indexed columns, then filter the candidates.
-  std::vector<std::vector<RowId>> candidates(aliases.size());
-  for (size_t a = 0; a < aliases.size(); ++a) {
-    const Table* table = tables[a];
-    std::vector<const Expr*> filters;
+  // With LIMIT pushed down, the first table's filtering is deferred into
+  // the pipeline so its scan stops early; later tables always materialize
+  // (hash-join build sides and cross products iterate them repeatedly).
+  std::vector<std::vector<const Expr*>> filters(n_aliases);
+  for (size_t a = 0; a < n_aliases; ++a) {
     for (Conjunct& c : conjuncts) {
       if (c.aliases.size() == 1 && *c.aliases.begin() == static_cast<int>(a)) {
-        filters.push_back(c.expr);
+        filters[a].push_back(c.expr);
         c.applied = true;
       }
     }
+  }
+  std::vector<std::vector<RowId>> candidates(n_aliases);
+  std::vector<RowId> lazy0_seed;
+  bool lazy0 = false;
+  bool lazy0_scan_all = false;
+  for (size_t a = 0; a < n_aliases; ++a) {
+    const Table* table = tables[a];
     // Index selection: gather every probe-able equality / IN conjunct on
     // this alias and pick the most selective one (smallest candidate set),
     // the standard access-path choice a relational planner makes.
     std::vector<RowId> seed;
     bool seeded = false;
     size_t best_size = static_cast<size_t>(-1);
-    for (const Expr* f : filters) {
+    for (const Expr* f : filters[a]) {
       std::vector<RowId> candidate;
       bool usable = false;
       if (f->kind == ExprKind::kBinary && f->op == BinaryOp::kEq) {
@@ -330,21 +537,26 @@ Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
         seeded = true;
       }
     }
+    if (seeded) stats->index_probe_rows += seed.size();
+    if (a == 0 && push_limit) {
+      lazy0 = true;
+      lazy0_scan_all = !seeded;
+      lazy0_seed = std::move(seed);
+      continue;
+    }
     if (!seeded) {
       seed.resize(table->row_count());
       for (RowId i = 0; i < table->row_count(); ++i) seed[i] = i;
-    } else {
-      stats->index_probe_rows += seed.size();
     }
     // Apply all single-table filters.
-    Tuple probe(aliases.size(), kUnbound);
+    Tuple probe(n_aliases, kUnbound);
     std::vector<RowId>& out = candidates[a];
     out.reserve(seed.size());
     for (RowId rid : seed) {
       ++stats->base_rows_scanned;
       probe[a] = rid;
       bool pass = true;
-      for (const Expr* f : filters) {
+      for (const Expr* f : filters[a]) {
         auto v = eval.Eval(*f, probe);
         if (!v.ok()) return v.status();
         if (!Evaluator::Truthy(v.value())) {
@@ -356,15 +568,16 @@ Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
     }
   }
 
-  // --- Left-deep joins ------------------------------------------------------
-  std::vector<Tuple> tuples;
-  tuples.push_back(Tuple(aliases.size(), kUnbound));
+  // --- Join planning (left-deep, FROM order) --------------------------------
+  // Classify the remaining conjuncts level by level: equi-join keys against
+  // already-bound aliases (hash-join build tables constructed up front from
+  // the filtered candidates), and residual conjuncts applied at the first
+  // level where all their aliases are bound.
+  std::vector<JoinLevel> levels(n_aliases);
   std::set<int> bound;
-
-  for (size_t a = 0; a < aliases.size(); ++a) {
+  for (size_t a = 0; a < n_aliases; ++a) {
     // Equi-join conjuncts linking alias `a` to already-bound aliases:
     // colref(a) = colref(bound).
-    std::vector<std::pair<BoundColumn, BoundColumn>> join_keys;  // (new, old)
     for (Conjunct& c : conjuncts) {
       if (c.applied || c.expr->kind != ExprKind::kBinary ||
           c.expr->op != BinaryOp::kEq) {
@@ -386,64 +599,16 @@ Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
         return bound.count(b.alias_idx) > 0;
       };
       if (is_new(lc) && is_bound(rc)) {
-        join_keys.emplace_back(lc, rc);
+        levels[a].keys.emplace_back(lc, rc);
         c.applied = true;
       } else if (is_new(rc) && is_bound(lc)) {
-        join_keys.emplace_back(rc, lc);
+        levels[a].keys.emplace_back(rc, lc);
         c.applied = true;
-      }
-    }
-
-    std::vector<Tuple> next;
-    if (!join_keys.empty()) {
-      // Hash join: build on the new table's candidates, probe with tuples.
-      // Keys are the value rows themselves — the old path concatenated
-      // ToString() renderings of every key cell per candidate row.
-      std::unordered_map<std::vector<Value>, std::vector<RowId>, ValueRowHash,
-                         ValueRowEq>
-          build;
-      const Table* table = tables[a];
-      std::vector<Value> key_vals;
-      for (RowId rid : candidates[a]) {
-        key_vals.clear();
-        key_vals.reserve(join_keys.size());
-        for (const auto& [nc, oc] : join_keys) {
-          key_vals.push_back(table->rows()[rid][nc.col_idx]);
-        }
-        build[key_vals].push_back(rid);
-      }
-      for (const Tuple& t : tuples) {
-        key_vals.clear();
-        key_vals.reserve(join_keys.size());
-        for (const auto& [nc, oc] : join_keys) {
-          key_vals.push_back(
-              binder.table(oc.alias_idx)->rows()[t[oc.alias_idx]][oc.col_idx]);
-        }
-        auto it = build.find(key_vals);
-        if (it == build.end()) continue;
-        for (RowId rid : it->second) {
-          Tuple nt = t;
-          nt[a] = rid;
-          next.push_back(std::move(nt));
-        }
-      }
-    } else {
-      // Cross product with the filtered candidates.
-      next.reserve(tuples.size() * std::max<size_t>(1, candidates[a].size()));
-      for (const Tuple& t : tuples) {
-        for (RowId rid : candidates[a]) {
-          Tuple nt = t;
-          nt[a] = rid;
-          next.push_back(std::move(nt));
-        }
       }
     }
     bound.insert(static_cast<int>(a));
-    stats->join_output_tuples += next.size();
-
-    // Apply any residual conjuncts that just became fully bound (e.g.
+    // Residual conjuncts that become fully bound at this level (e.g.
     // temporal constraints between two event aliases).
-    std::vector<const Expr*> now_ready;
     for (Conjunct& c : conjuncts) {
       if (c.applied) continue;
       bool ready = true;
@@ -454,37 +619,31 @@ Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
         }
       }
       if (ready) {
-        now_ready.push_back(c.expr);
+        levels[a].ready.push_back(c.expr);
         c.applied = true;
       }
     }
-    if (!now_ready.empty()) {
-      std::vector<Tuple> filtered;
-      filtered.reserve(next.size());
-      for (const Tuple& t : next) {
-        bool pass = true;
-        for (const Expr* e : now_ready) {
-          auto v = eval.Eval(*e, t);
-          if (!v.ok()) return v.status();
-          if (!Evaluator::Truthy(v.value())) {
-            pass = false;
-            break;
-          }
-        }
-        if (pass) filtered.push_back(t);
+  }
+  for (size_t a = 0; a < n_aliases; ++a) {
+    if (levels[a].keys.empty()) continue;
+    const Table* table = tables[a];
+    std::vector<Value> key_vals;
+    for (RowId rid : candidates[a]) {
+      key_vals.clear();
+      key_vals.reserve(levels[a].keys.size());
+      for (const auto& [nc, oc] : levels[a].keys) {
+        key_vals.push_back(table->rows()[rid][nc.col_idx]);
       }
-      next = std::move(filtered);
+      levels[a].build[key_vals].push_back(rid);
     }
-    tuples = std::move(next);
-    if (tuples.empty()) break;
   }
 
-  // --- Projection -----------------------------------------------------------
+  // --- Projection setup -----------------------------------------------------
   ResultSet result;
   std::vector<const Expr*> projected;
   for (const SelectItem& item : stmt.items) {
     if (item.star) {
-      for (size_t a = 0; a < aliases.size(); ++a) {
+      for (size_t a = 0; a < n_aliases; ++a) {
         for (size_t c = 0; c < tables[a]->schema().size(); ++c) {
           result.columns.push_back(aliases[a] + "." +
                                    tables[a]->schema().column(c).name);
@@ -499,20 +658,18 @@ Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
   bool has_star = std::any_of(stmt.items.begin(), stmt.items.end(),
                               [](const SelectItem& i) { return i.star; });
 
-  for (const Tuple& t : tuples) {
-    Row row;
-    if (has_star) {
-      for (size_t a = 0; a < aliases.size(); ++a) {
-        const Row& src = tables[a]->rows()[t[a]];
-        row.insert(row.end(), src.begin(), src.end());
-      }
+  // --- Streaming scan / join / emit pipeline --------------------------------
+  if (!(push_limit && stmt.limit == 0)) {
+    TuplePipeline pipeline(stmt, binder, eval, levels, candidates, projected,
+                           has_star, streaming_distinct, push_limit, stats,
+                           &result);
+    if (lazy0) {
+      pipeline.SetLazyFirstTable(lazy0_scan_all ? nullptr : &lazy0_seed,
+                                 lazy0_scan_all, tables[0]->row_count(),
+                                 &filters[0]);
     }
-    for (const Expr* e : projected) {
-      auto v = eval.Eval(*e, t);
-      if (!v.ok()) return v.status();
-      row.push_back(std::move(v).value());
-    }
-    result.rows.push_back(std::move(row));
+    pipeline.Run();
+    RAPTOR_RETURN_NOT_OK(pipeline.error());
   }
 
   // --- ORDER BY / DISTINCT / LIMIT -------------------------------------------
@@ -547,8 +704,9 @@ Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
                        return false;
                      });
   }
-  if (stmt.distinct) {
-    // Dedup on the value rows directly; no per-row string key.
+  if (stmt.distinct && !streaming_distinct) {
+    // Legacy final dedup pass on the value rows (streaming dedup already
+    // filtered duplicates during emission).
     std::unordered_set<Row, ValueRowHash, ValueRowEq> seen;
     std::vector<Row> unique;
     unique.reserve(result.rows.size());

@@ -6,9 +6,17 @@
 //  * base tables are filtered first, using hash indexes for equality and
 //    IN probes where available;
 //  * joins are left-deep in FROM order, hash joins on available equi-join
-//    keys, nested-loop otherwise;
+//    keys, nested-loop otherwise — executed as a streaming pipeline that
+//    threads one tuple through the levels instead of materializing a tuple
+//    vector per join level;
 //  * residual predicates (e.g. temporal constraints between event aliases,
-//    which are non-equi) are applied as soon as their aliases are bound.
+//    which are non-equi) are applied as soon as their aliases are bound;
+//  * with LIMIT pushed down (SelectOptions::push_limit) the pipeline —
+//    including the first table's base scan — stops as soon as LIMIT rows
+//    have been emitted, and DISTINCT short-circuits through an incremental
+//    seen-set (SelectOptions::streaming_distinct) instead of a final dedup
+//    pass. ORDER BY forces full materialization, so it disables the LIMIT
+//    pushdown but not the streaming dedup.
 //
 // This gives the honest behaviour Table VIII depends on: a giant SQL query
 // with many joins and non-equi temporal constraints pays for large
@@ -37,6 +45,20 @@ struct ExecStats {
   size_t base_rows_scanned = 0;     // rows touched by base-table filters
   size_t index_probe_rows = 0;      // rows fetched through index probes
   size_t join_output_tuples = 0;    // tuples produced across all joins
+  size_t rows_emitted = 0;          // result rows produced
+};
+
+/// Streaming toggles; the all-false combination is the legacy
+/// materialize-then-truncate behavior, kept for benchmark baselines and
+/// differential tests.
+struct SelectOptions {
+  /// Stop the scan/join pipeline once LIMIT rows have been emitted
+  /// (DISTINCT queries only push when streaming_distinct is also on, since
+  /// the limit counts post-dedup rows; ORDER BY disables the pushdown).
+  bool push_limit = true;
+  /// Apply DISTINCT through an incremental seen-set during emission.
+  /// Off = legacy final dedup pass over the materialized result.
+  bool streaming_distinct = true;
 };
 
 class Catalog {
@@ -47,6 +69,7 @@ class Catalog {
 
 /// Execute `stmt` against `catalog`. Thread-compatible (no shared state).
 Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
+                                const SelectOptions& options = {},
                                 ExecStats* stats = nullptr);
 
 }  // namespace raptor::sql

@@ -8,6 +8,8 @@
 #include <variant>
 #include <vector>
 
+#include "common/hash.h"
+
 namespace raptor::sql {
 
 enum class ColumnType {
@@ -74,9 +76,7 @@ struct ValueRowHash {
   size_t operator()(const std::vector<Value>& row) const {
     size_t h = 0x9e3779b97f4a7c15ULL;
     ValueHash vh;
-    for (const Value& v : row) {
-      h ^= vh(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    }
+    for (const Value& v : row) h = HashCombine(h, vh(v));
     return h;
   }
 };

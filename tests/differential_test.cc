@@ -1,0 +1,272 @@
+// Differential testing of the streaming query pipelines: every MatchOptions
+// / SelectOptions toggle combination must agree with the reference
+// configuration on a catalog of Cypher and SQL queries over randomized
+// small graphs/tables built from the shared synthetic-graph fixture.
+//
+// Queries without LIMIT must return identical (order-normalized) result
+// multisets. Queries with LIMIT may legitimately return different subsets
+// across configurations (toggles change seed and expansion order), so they
+// are checked structurally instead: the row count must be
+// min(limit, full_result_count) and every returned row must come from the
+// full (un-limited) reference result; DISTINCT additionally requires the
+// returned rows to be unique.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "storage/graphdb/cypher_executor.h"
+#include "storage/relational/database.h"
+#include "tests/fixtures/synthetic_graph.h"
+
+namespace raptor {
+namespace {
+
+/// Row rendering shared by both backends, preserving emission order (for
+/// ordered-query comparisons).
+std::vector<std::string> RenderRowsOrdered(
+    const std::vector<std::vector<sql::Value>>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const sql::Value& v : row) cells.push_back(v.ToString());
+    out.push_back(Join(cells, "\x1f"));
+  }
+  return out;
+}
+
+/// Order-normalized rendering for multiset comparisons.
+std::vector<std::string> RenderRows(
+    const std::vector<std::vector<sql::Value>>& rows) {
+  std::vector<std::string> out = RenderRowsOrdered(rows);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Multiset containment: every row of `subset` occurs in `full` at least as
+/// many times. Both inputs are sorted.
+bool IsMultiSubset(const std::vector<std::string>& subset,
+                   const std::vector<std::string>& full) {
+  std::map<std::string, int> counts;
+  for (const std::string& r : full) ++counts[r];
+  for (const std::string& r : subset) {
+    if (--counts[r] < 0) return false;
+  }
+  return true;
+}
+
+bool AllUnique(const std::vector<std::string>& sorted_rows) {
+  return std::adjacent_find(sorted_rows.begin(), sorted_rows.end()) ==
+         sorted_rows.end();
+}
+
+struct CatalogQuery {
+  const char* text;      // base query, no LIMIT clause
+  bool distinct;         // query declares DISTINCT
+  bool ordered = false;  // results are deterministically ordered (SQL only)
+};
+
+const long long kLimits[] = {-1, 0, 3, 1000};  // -1 = no LIMIT clause
+
+std::string WithLimit(const CatalogQuery& q, long long limit) {
+  if (limit < 0) return q.text;
+  return std::string(q.text) + " LIMIT " + std::to_string(limit);
+}
+
+// --------------------------------------------------------------- Cypher
+
+class CypherDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CypherDifferentialTest, AllToggleCombosAgree) {
+  uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  fixtures::SyntheticGraphSpec spec;
+  spec.nodes = 16 + 8 * static_cast<long long>(seed % 3);
+  spec.edges = spec.nodes * 3;
+  spec.edge_types = 4;
+  graphdb::GraphDatabase db;
+  fixtures::BuildSyntheticGraph(db.graph(), spec, rng);
+  // Randomize index availability so both probe and scan seeding run.
+  if (seed % 2 == 0) db.graph().CreateNodeIndex("proc", "exename");
+  if (seed % 3 != 1) db.graph().CreateNodeIndex("file", "name");
+
+  const CatalogQuery catalog[] = {
+      {"MATCH (p:proc)-[e:op1]->(f:file) RETURN p.exename, f.name", false},
+      {"MATCH (p:proc {exename: '/bin/p1'})-[e]->(f:file) RETURN f.name",
+       false},
+      {"MATCH (f:file) WHERE f.name IN ['/data/f0', '/data/f3', '/data/f7', "
+       "'/data/none'] RETURN f.name",
+       false},
+      {"MATCH (p:proc)-[e:op2]->(f:file) RETURN DISTINCT p.exename", true},
+      {"MATCH (p:proc)-[e]->(f:file) WHERE f.name CONTAINS '1' "
+       "RETURN p.exename, f.name",
+       false},
+      {"MATCH (p:proc)-[*1..3]->(f:file) RETURN DISTINCT f.name", true},
+      {"MATCH (p:proc)-[e1:op0]->(f:file), (p)-[e2:op1]->(g:file) "
+       "RETURN p.exename, g.name",
+       false},
+      {"MATCH (p:proc) WHERE p.exename IN ['/bin/p0', '/bin/p2', '/bin/p4'] "
+       "RETURN DISTINCT p.exename",
+       true},
+  };
+
+  for (const CatalogQuery& q : catalog) {
+    // Reference: default (all-optimized) configuration, no LIMIT.
+    db.options() = graphdb::MatchOptions{};
+    auto full_rs = db.Query(q.text);
+    ASSERT_TRUE(full_rs.ok()) << q.text << ": " << full_rs.status().ToString();
+    std::vector<std::string> full = RenderRows(full_rs.value().rows);
+
+    for (long long limit : kLimits) {
+      std::string text = WithLimit(q, limit);
+      for (int combo = 0; combo < 64; ++combo) {
+        graphdb::MatchOptions opts;
+        opts.typed_adjacency = combo & 1;
+        opts.hashed_in_lists = combo & 2;
+        opts.push_limit = combo & 4;
+        opts.streaming_distinct = combo & 8;
+        opts.binding_frames = combo & 16;
+        opts.selective_seeds = combo & 32;
+        db.options() = opts;
+
+        auto rs = db.Query(text);
+        ASSERT_TRUE(rs.ok()) << text << ": " << rs.status().ToString();
+        std::vector<std::string> got = RenderRows(rs.value().rows);
+        if (limit < 0) {
+          EXPECT_EQ(got, full) << text << " combo=" << combo;
+          continue;
+        }
+        size_t expect_n =
+            std::min<size_t>(static_cast<size_t>(limit), full.size());
+        EXPECT_EQ(got.size(), expect_n) << text << " combo=" << combo;
+        EXPECT_TRUE(IsMultiSubset(got, full)) << text << " combo=" << combo;
+        if (q.distinct) {
+          EXPECT_TRUE(AllUnique(got)) << text << " combo=" << combo;
+        }
+      }
+    }
+  }
+  db.options() = graphdb::MatchOptions{};
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CypherDifferentialTest,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u));
+
+// ------------------------------------------------------------------ SQL
+
+class SqlDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SqlDifferentialTest, AllToggleCombosAgree) {
+  uint64_t seed = GetParam();
+  Rng rng(seed * 977 + 13);
+
+  sql::Database db;
+  ASSERT_TRUE(db.CreateTable("t", sql::Schema({{"id", sql::ColumnType::kInt64},
+                                               {"name", sql::ColumnType::kText},
+                                               {"score",
+                                                sql::ColumnType::kInt64}}))
+                  .ok());
+  ASSERT_TRUE(db.CreateTable("u", sql::Schema({{"id", sql::ColumnType::kInt64},
+                                               {"tid", sql::ColumnType::kInt64},
+                                               {"tag", sql::ColumnType::kText}}))
+                  .ok());
+  static const char* kNames[] = {"/bin/tar", "/bin/cat", "/tmp/x.sh",
+                                 "/etc/passwd"};
+  static const char* kTags[] = {"x", "y", "z"};
+  const int t_rows = 30 + static_cast<int>(seed % 3) * 10;
+  for (int i = 0; i < t_rows; ++i) {
+    ASSERT_TRUE(db.Insert("t", {sql::Value(static_cast<int64_t>(i)),
+                                sql::Value(kNames[rng.Uniform(4)]),
+                                sql::Value(static_cast<int64_t>(
+                                    rng.Uniform(100)))})
+                    .ok());
+  }
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(db.Insert("u", {sql::Value(static_cast<int64_t>(i)),
+                                sql::Value(static_cast<int64_t>(
+                                    rng.Uniform(t_rows))),
+                                sql::Value(kTags[rng.Uniform(3)])})
+                    .ok());
+  }
+  if (seed % 2 == 0) {
+    ASSERT_TRUE(db.CreateIndex("t", "name").ok());
+  }
+  if (seed % 3 != 1) {
+    ASSERT_TRUE(db.CreateIndex("u", "tid").ok());
+  }
+
+  const CatalogQuery catalog[] = {
+      {"SELECT id FROM t WHERE score > 40", false},
+      {"SELECT DISTINCT name FROM t", true},
+      {"SELECT id FROM t WHERE name IN ('/bin/tar', '/tmp/x.sh', '/none')",
+       false},
+      {"SELECT t.id, u.tag FROM t, u WHERE t.id = u.tid", false},
+      {"SELECT t.id, u.tag FROM t, u WHERE t.id = u.tid AND u.tag = 'x' "
+       "AND t.score > 20",
+       false},
+      {"SELECT DISTINCT u.tag FROM t, u WHERE t.id = u.tid", true},
+      {"SELECT id FROM t ORDER BY id DESC", false, /*ordered=*/true},
+      {"SELECT name, score FROM t WHERE score > 10 AND name LIKE '/bin/%'",
+       false},
+  };
+
+  for (const CatalogQuery& q : catalog) {
+    db.options() = sql::SelectOptions{};
+    auto full_rs = db.Query(q.text);
+    ASSERT_TRUE(full_rs.ok()) << q.text << ": " << full_rs.status().ToString();
+    // Ordered queries compare positionally (no sort normalization).
+    std::vector<std::string> full_ordered =
+        RenderRowsOrdered(full_rs.value().rows);
+    std::vector<std::string> full = full_ordered;
+    std::sort(full.begin(), full.end());
+
+    for (long long limit : kLimits) {
+      std::string text = WithLimit(q, limit);
+      for (int combo = 0; combo < 4; ++combo) {
+        sql::SelectOptions opts;
+        opts.push_limit = combo & 1;
+        opts.streaming_distinct = combo & 2;
+        db.options() = opts;
+
+        auto rs = db.Query(text);
+        ASSERT_TRUE(rs.ok()) << text << ": " << rs.status().ToString();
+        if (q.ordered) {
+          // Deterministic order: the LIMIT prefix must match exactly.
+          std::vector<std::string> got = RenderRowsOrdered(rs.value().rows);
+          std::vector<std::string> expect = full_ordered;
+          if (limit >= 0 && expect.size() > static_cast<size_t>(limit)) {
+            expect.resize(static_cast<size_t>(limit));
+          }
+          EXPECT_EQ(got, expect) << text << " combo=" << combo;
+          continue;
+        }
+        std::vector<std::string> got = RenderRows(rs.value().rows);
+        if (limit < 0) {
+          EXPECT_EQ(got, full) << text << " combo=" << combo;
+          continue;
+        }
+        size_t expect_n =
+            std::min<size_t>(static_cast<size_t>(limit), full.size());
+        EXPECT_EQ(got.size(), expect_n) << text << " combo=" << combo;
+        EXPECT_TRUE(IsMultiSubset(got, full)) << text << " combo=" << combo;
+        if (q.distinct) {
+          EXPECT_TRUE(AllUnique(got)) << text << " combo=" << combo;
+        }
+      }
+    }
+  }
+  db.options() = sql::SelectOptions{};
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlDifferentialTest,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace raptor

@@ -1,0 +1,125 @@
+// Shared synthetic provenance-graph fixture: the 100k-node / 500k-edge
+// workload generator previously duplicated by bench_query_execution.cc and
+// bench_fuzzy_search.cc, now reusable by benches, stress tests, and the
+// differential test harness.
+//
+// Generation is fully determined by (spec, rng seed): the caller owns the
+// Rng so follow-up draws (IN-list sampling, query randomization) continue
+// the same deterministic stream. The two naming modes reproduce the
+// original benches byte-for-byte:
+//  * two-population mode (default): process nodes first, then file nodes,
+//    each named prefix + within-population index
+//    ("/bin/p0".."/bin/pN", "/data/f0".."/data/fM");
+//  * global_name_index mode: one interleaved population where every node is
+//    named prefix + global node index ("/n0".."/nK"), procs first.
+// Edge endpoints either connect proc -> file (edges_proc_to_file) or join
+// two uniformly random nodes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/graphdb/graph.h"
+
+namespace raptor::fixtures {
+
+struct SyntheticGraphSpec {
+  long long nodes = 100'000;
+  long long edges = 500'000;
+  int edge_types = 16;         // edge types are "op0".."op<n-1>"
+  long long proc_count = -1;   // -1 => nodes / 2
+  const char* proc_label = "proc";
+  const char* file_label = "file";
+  const char* proc_prop = "exename";
+  const char* file_prop = "name";
+  const char* proc_prefix = "/bin/p";
+  const char* file_prefix = "/data/f";
+  /// Name every node file_prefix + global node index (file_prop keys the
+  /// property for both labels) instead of per-population prefixes.
+  bool global_name_index = false;
+  /// Edges run proc -> file; false draws both endpoints uniformly.
+  bool edges_proc_to_file = true;
+};
+
+struct SyntheticGraph {
+  std::vector<graphdb::NodeId> procs;
+  std::vector<graphdb::NodeId> files;
+};
+
+/// Populate `g` with the spec's node/edge workload, drawing from `rng`.
+inline SyntheticGraph BuildSyntheticGraph(graphdb::PropertyGraph& g,
+                                          const SyntheticGraphSpec& spec,
+                                          Rng& rng) {
+  SyntheticGraph out;
+  const long long n_procs =
+      spec.proc_count >= 0 ? spec.proc_count : spec.nodes / 2;
+  const long long n_files = spec.nodes - n_procs;
+  out.procs.reserve(n_procs);
+  out.files.reserve(n_files);
+  if (spec.global_name_index) {
+    for (long long i = 0; i < spec.nodes; ++i) {
+      graphdb::NodeId id = g.AddNode(
+          i < n_procs ? spec.proc_label : spec.file_label,
+          {{spec.file_prop,
+            graphdb::Value(spec.file_prefix + std::to_string(i))}});
+      (i < n_procs ? out.procs : out.files).push_back(id);
+    }
+  } else {
+    for (long long i = 0; i < n_procs; ++i) {
+      out.procs.push_back(g.AddNode(
+          spec.proc_label,
+          {{spec.proc_prop,
+            graphdb::Value(spec.proc_prefix + std::to_string(i))}}));
+    }
+    for (long long i = 0; i < n_files; ++i) {
+      out.files.push_back(g.AddNode(
+          spec.file_label,
+          {{spec.file_prop,
+            graphdb::Value(spec.file_prefix + std::to_string(i))}}));
+    }
+  }
+  // Draw order per edge is pinned to (type, src, dst) — sequenced
+  // explicitly, unlike inline AddEdge arguments — so identical specs +
+  // seeds reproduce the exact same graph on any compiler.
+  for (long long i = 0; i < spec.edges; ++i) {
+    std::string type = "op" + std::to_string(rng.Uniform(spec.edge_types));
+    graphdb::NodeId src, dst;
+    if (spec.edges_proc_to_file) {
+      src = out.procs[rng.Uniform(out.procs.size())];
+      dst = out.files[rng.Uniform(out.files.size())];
+    } else {
+      // Uniform over all nodes; ids are dense and in creation order, so
+      // drawing the index doubles as drawing the node id.
+      src = rng.Uniform(static_cast<uint64_t>(spec.nodes));
+      dst = rng.Uniform(static_cast<uint64_t>(spec.nodes));
+    }
+    g.AddEdge(src, dst, std::move(type), {});
+  }
+  return out;
+}
+
+/// The name of a uniformly random file node under the spec's naming scheme.
+inline std::string RandomFileName(const SyntheticGraphSpec& spec,
+                                  const SyntheticGraph& sg, Rng& rng) {
+  size_t idx = rng.Uniform(sg.files.size());
+  if (spec.global_name_index) {
+    return spec.file_prefix + std::to_string(sg.procs.size() + idx);
+  }
+  return spec.file_prefix + std::to_string(idx);
+}
+
+/// A Cypher IN-list body of `count` random (possibly repeated) file names:
+/// "'/data/f1', '/data/f2', ...".
+inline std::string RandomFileNameInList(const SyntheticGraphSpec& spec,
+                                        const SyntheticGraph& sg, Rng& rng,
+                                        int count) {
+  std::string out;
+  for (int i = 0; i < count; ++i) {
+    if (i > 0) out += ", ";
+    out += "'" + RandomFileName(spec, sg, rng) + "'";
+  }
+  return out;
+}
+
+}  // namespace raptor::fixtures

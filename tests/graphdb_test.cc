@@ -126,6 +126,115 @@ TEST_F(GraphDbTest, DistinctAndLimit) {
   EXPECT_EQ(rs.value().rows.size(), 2u);
 }
 
+TEST_F(GraphDbTest, LimitZeroReturnsNothing) {
+  for (bool push : {true, false}) {
+    db_.options().push_limit = push;
+    MatchStats stats;
+    auto rs = db_.Query("MATCH (p:proc)-[e]->(o) RETURN p.exename LIMIT 0",
+                        &stats);
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    EXPECT_TRUE(rs.value().rows.empty());
+    // The pushed-down LIMIT 0 never starts matching at all.
+    if (push) {
+      EXPECT_EQ(stats.seed_candidates, 0u);
+    }
+  }
+  db_.options().push_limit = true;
+}
+
+TEST_F(GraphDbTest, LimitLargerThanResultSet) {
+  auto rs = db_.Query("MATCH (p:proc)-[e:read]->(f:file) "
+                      "RETURN p.exename LIMIT 100");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs.value().rows.size(), 2u);  // tar and bzip2 reads only
+}
+
+TEST_F(GraphDbTest, DistinctLimitCountsPostDedupRows) {
+  // tar has 2 out-edges, so non-distinct rows would reach the limit before
+  // two distinct exenames exist. The limit must count deduped rows — in
+  // the streaming configuration and in the legacy combination where the
+  // pushdown has to disable itself (final dedup + push_limit).
+  const char* q =
+      "MATCH (p:proc)-[e]->(o) RETURN DISTINCT p.exename LIMIT 2";
+  for (bool streaming : {true, false}) {
+    db_.options().streaming_distinct = streaming;
+    auto rs = db_.Query(q);
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    ASSERT_EQ(rs.value().rows.size(), 2u) << "streaming=" << streaming;
+    EXPECT_NE(rs.value().rows[0][0].AsText(), rs.value().rows[1][0].AsText());
+  }
+  db_.options().streaming_distinct = true;
+}
+
+TEST_F(GraphDbTest, LimitWithMultiPatternJoin) {
+  // Both proc chains (tar, bzip2) satisfy the two-part join; LIMIT 1 must
+  // return exactly one of them, fully bound.
+  auto full = db_.Query(
+      "MATCH (p1:proc)-[e1:read]->(f1:file), (p1)-[e2:write]->(f2:file) "
+      "RETURN p1.exename, f2.name");
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(full.value().rows.size(), 2u);
+  auto limited = db_.Query(
+      "MATCH (p1:proc)-[e1:read]->(f1:file), (p1)-[e2:write]->(f2:file) "
+      "RETURN p1.exename, f2.name LIMIT 1");
+  ASSERT_TRUE(limited.ok()) << limited.status().ToString();
+  ASSERT_EQ(limited.value().rows.size(), 1u);
+  bool found = false;
+  for (const auto& row : full.value().rows) {
+    if (row == limited.value().rows[0]) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(GraphDbTest, PushedLimitStopsSeedIteration) {
+  const char* q = "MATCH (p:proc)-[e]->(o) RETURN p.exename LIMIT 1";
+  MatchStats pushed, legacy;
+  auto fast = db_.Query(q, &pushed);
+  db_.options().push_limit = false;
+  auto slow = db_.Query(q, &legacy);
+  db_.options().push_limit = true;
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(fast.value().rows.size(), 1u);
+  EXPECT_EQ(slow.value().rows.size(), 1u);
+  // Streaming stops after the first complete match; the legacy path visits
+  // every proc seed before truncating.
+  EXPECT_LT(pushed.seed_candidates, legacy.seed_candidates);
+  EXPECT_EQ(pushed.seed_candidates, 1u);
+}
+
+TEST_F(GraphDbTest, SelectiveSeedsPickSmallestIndexProbe) {
+  // Several procs share an exename while pid stays unique; with both props
+  // indexed, the pattern lists exename first, so the legacy choice probes
+  // the big bucket while the selective one probes the single-pid bucket.
+  PropertyGraph& g = db_.graph();
+  for (int i = 0; i < 8; ++i) {
+    g.AddNode("proc", {{"exename", Value("/bin/dup")},
+                       {"pid", Value(int64_t{500 + i})}});
+  }
+  g.CreateNodeIndex("proc", "pid");
+  EXPECT_EQ(g.ProbeCountNodes("proc", "exename", Value("/bin/dup")), 8u);
+  EXPECT_EQ(g.ProbeCountNodes("proc", "pid", Value(int64_t{503})), 1u);
+  auto stats = g.GetNodeIndexStats("proc", "exename");
+  EXPECT_EQ(stats.entries, 11u);       // 3 fixture procs + 8 dups
+  EXPECT_EQ(stats.distinct_keys, 4u);  // tar, bzip2, curl, dup
+  EXPECT_EQ(g.GetNodeIndexStats("proc", "nope").entries, 0u);
+
+  const char* q =
+      "MATCH (p:proc {exename: '/bin/dup', pid: 503}) RETURN p.pid";
+  MatchStats selective, legacy;
+  auto fast = db_.Query(q, &selective);
+  db_.options().selective_seeds = false;
+  auto slow = db_.Query(q, &legacy);
+  db_.options().selective_seeds = true;
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(fast.value().rows, slow.value().rows);
+  ASSERT_EQ(fast.value().rows.size(), 1u);
+  EXPECT_EQ(selective.seed_candidates, 1u);  // pid probe
+  EXPECT_EQ(legacy.seed_candidates, 8u);     // exename probe
+}
+
 TEST_F(GraphDbTest, StartsWithEndsWith) {
   auto rs = db_.Query(
       "MATCH (f:file) WHERE f.name STARTS WITH '/tmp' AND "

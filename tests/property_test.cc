@@ -6,9 +6,11 @@
 
 #include <algorithm>
 #include <string>
+#include <unordered_map>
 
 #include "common/levenshtein.h"
 #include "common/rng.h"
+#include "common/small_vector.h"
 #include "common/strings.h"
 #include "nlp/ioc.h"
 #include "nlp/protect.h"
@@ -149,6 +151,174 @@ TEST_P(SqlOraclePropertyTest, FiltersAgreeWithBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SqlOraclePropertyTest,
                          ::testing::Values(101u, 202u, 303u));
+
+// ------------------------------------------- Value hashing vs. Compare()
+
+/// ValueHash/ValueEq back every hash index, IN-list set, and DISTINCT
+/// seen-set, so they must stay consistent with Value::Compare across every
+/// type pairing — including int/double coercion and numeric-looking text.
+class ValueHashPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ValueHashPropertyTest, HashAndEqConsistentWithCompare) {
+  Rng rng(GetParam());
+  auto random_value = [&rng]() {
+    switch (rng.Uniform(6)) {
+      case 0: return sql::Value();
+      case 1: return sql::Value(static_cast<int64_t>(rng.Uniform(5)));
+      // Integral double: must collide with the equal int (1 == 1.0).
+      case 2: return sql::Value(static_cast<double>(rng.Uniform(5)));
+      case 3: return sql::Value(static_cast<double>(rng.Uniform(5)) + 0.5);
+      // Numeric-looking text must NOT equal the number ("1" != 1).
+      case 4: return sql::Value(std::to_string(rng.Uniform(5)));
+      default: return sql::Value("/bin/p" + std::to_string(rng.Uniform(3)));
+    }
+  };
+  sql::ValueHash hash;
+  sql::ValueEq eq;
+  std::vector<sql::Value> values;
+  for (int i = 0; i < 80; ++i) values.push_back(random_value());
+  for (const sql::Value& a : values) {
+    for (const sql::Value& b : values) {
+      bool equal = a.Compare(b) == 0;
+      EXPECT_EQ(eq(a, b), equal)
+          << a.ToString() << " vs " << b.ToString();
+      if (equal) {
+        EXPECT_EQ(hash(a), hash(b)) << a.ToString() << " vs " << b.ToString();
+      }
+    }
+  }
+  // Row-level hash/eq: equal rows hash equal, unequal rows compare unequal.
+  sql::ValueRowHash row_hash;
+  sql::ValueRowEq row_eq;
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<sql::Value> row_a, row_b;
+    size_t len = rng.Uniform(4);
+    for (size_t i = 0; i < len; ++i) {
+      row_a.push_back(random_value());
+      row_b.push_back(random_value());
+    }
+    bool equal = true;
+    for (size_t i = 0; i < len; ++i) {
+      if (row_a[i].Compare(row_b[i]) != 0) equal = false;
+    }
+    EXPECT_EQ(row_eq(row_a, row_b), equal);
+    if (equal) {
+      EXPECT_EQ(row_hash(row_a), row_hash(row_b));
+    }
+    EXPECT_TRUE(row_eq(row_a, row_a));
+    EXPECT_EQ(row_hash(row_a), row_hash(row_a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueHashPropertyTest,
+                         ::testing::Values(71u, 72u, 73u));
+
+// ------------------------------------- SmallVector / binding-frame slots
+
+/// SmallVector backs the matcher's binding frames; random op sequences
+/// must agree with a std::vector reference across the inline/heap spill
+/// boundary.
+class SmallVectorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SmallVectorPropertyTest, AgreesWithVectorReference) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    SmallVector<uint64_t, 4> sv;
+    std::vector<uint64_t> ref;
+    for (int op = 0; op < 60; ++op) {
+      switch (rng.Uniform(4)) {
+        case 0: {
+          uint64_t v = rng.Uniform(100);
+          sv.push_back(v);
+          ref.push_back(v);
+          break;
+        }
+        case 1:
+          if (!ref.empty()) {
+            sv.pop_back();
+            ref.pop_back();
+          }
+          break;
+        case 2: {
+          size_t n = rng.Uniform(10);
+          uint64_t v = rng.Uniform(100);
+          sv.assign(n, v);
+          ref.assign(n, v);
+          break;
+        }
+        default:
+          if (rng.Uniform(8) == 0) {
+            sv.clear();
+            ref.clear();
+          }
+          break;
+      }
+      ASSERT_EQ(sv.size(), ref.size());
+      ASSERT_EQ(sv.empty(), ref.empty());
+      for (size_t i = 0; i < ref.size(); ++i) ASSERT_EQ(sv[i], ref[i]);
+      if (!ref.empty()) {
+        ASSERT_EQ(sv.back(), ref.back());
+      }
+      for (uint64_t probe = 0; probe < 5; ++probe) {
+        ASSERT_EQ(Contains(sv, probe),
+                  std::find(ref.begin(), ref.end(), probe) != ref.end());
+      }
+    }
+    // Copies must be independent of the original.
+    SmallVector<uint64_t, 4> copy = sv;
+    sv.push_back(7);
+    ASSERT_EQ(copy.size(), ref.size());
+    for (size_t i = 0; i < ref.size(); ++i) ASSERT_EQ(copy[i], ref[i]);
+  }
+}
+
+/// Binding-frame round trip: a flat slot frame (the matcher's FrameBinding
+/// layout — SmallVector indexed by interned slot, sentinel = unbound) must
+/// behave exactly like the legacy map-based binding under random
+/// bind/unbind/read sequences, including slot counts past the inline
+/// capacity.
+TEST_P(SmallVectorPropertyTest, SlotFrameMatchesMapBinding) {
+  constexpr uint64_t kUnbound = static_cast<uint64_t>(-1);
+  Rng rng(GetParam() * 131 + 7);
+  for (int trial = 0; trial < 50; ++trial) {
+    uint32_t slot_count = 1 + static_cast<uint32_t>(rng.Uniform(20));
+    SmallVector<uint64_t, 8> frame(slot_count, kUnbound);
+    std::unordered_map<uint32_t, uint64_t> map;
+    for (int op = 0; op < 200; ++op) {
+      uint32_t slot = static_cast<uint32_t>(rng.Uniform(slot_count));
+      switch (rng.Uniform(3)) {
+        case 0:  // bind (write)
+          frame[slot] = op;
+          map[slot] = op;
+          break;
+        case 1:  // unbind
+          frame[slot] = kUnbound;
+          map.erase(slot);
+          break;
+        default:  // read
+          break;
+      }
+      auto it = map.find(slot);
+      if (it == map.end()) {
+        ASSERT_EQ(frame[slot], kUnbound);
+      } else {
+        ASSERT_EQ(frame[slot], it->second);
+      }
+    }
+    // Full-frame sweep: bound slots agree everywhere, not just at the
+    // last-touched slot.
+    for (uint32_t s = 0; s < slot_count; ++s) {
+      auto it = map.find(s);
+      ASSERT_EQ(frame[s] != kUnbound, it != map.end());
+      if (it != map.end()) {
+        ASSERT_EQ(frame[s], it->second);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmallVectorPropertyTest,
+                         ::testing::Values(81u, 82u, 83u));
 
 // --------------------------------------------------- IOC recognizer fuzzing
 

@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Extract the schema keys of a BENCH_<name>.json report.
+
+Prints the bench name, its parameter keys, and every label/metric pair
+(sorted, one per line, values omitted). CI diffs this against the
+checked-in baseline under bench/baselines/ so that renaming or dropping a
+metric — which would silently break the perf-trajectory tracking across
+commits — fails loudly, while value changes pass.
+
+Usage: bench_schema_keys.py BENCH_query_execution.json
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as f:
+        report = json.load(f)
+    lines = ["bench: " + report["bench"]]
+    lines += sorted("param: " + key for key in report.get("params", {}))
+    lines += sorted(
+        "metric: {}/{}".format(m["label"], m["metric"])
+        for m in report.get("metrics", [])
+    )
+    print("\n".join(lines))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
