@@ -14,6 +14,11 @@
 // legacy full-edge-scan + linear IN-scan code path (MatchOptions toggles).
 // A third section measures LIMIT/DISTINCT pushdown on the same graph:
 // streaming early-exit versus the legacy materialize-then-truncate path.
+// A fourth section measures shard-parallel execution on both backends:
+// whole-graph Cypher matching and SQL scans/joins fanned out over the
+// storage shards versus the forced-serial path, plus the LIMIT 1 guard
+// (small pushed limits must bypass the fan-out and stay on the serial
+// fast path).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -22,6 +27,7 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "tests/fixtures/synthetic_graph.h"
 
 using namespace raptor;
@@ -53,6 +59,9 @@ void RunLimitPushdownWorkload(graphdb::GraphDatabase& db,
     db.options().push_limit = streaming;
     db.options().streaming_distinct = streaming;
     db.options().binding_frames = streaming;
+    // Serial on both sides: this workload isolates the streaming pushdown
+    // (RunParallelMatchWorkload measures the shard fan-out).
+    db.options().parallel_shards = 1;
     std::vector<double> times;
     Stopwatch timer;
     for (int i = 0; i < rounds; ++i) {
@@ -93,6 +102,143 @@ void RunLimitPushdownWorkload(graphdb::GraphDatabase& db,
   db.options() = graphdb::MatchOptions{};
 }
 
+/// Shard-parallel matching vs the serial path on the same fixture graph
+/// (the facade shards storage 4 ways by default): one whole-graph match
+/// that fans seed iteration out over the worker pool, and a LIMIT 1 probe
+/// that must stay on the serial early-exit fast path (parallel_min_limit),
+/// whose ratio to the forced-serial run should therefore stay ~1.
+void RunParallelMatchWorkload(graphdb::GraphDatabase& db,
+                              bench::BenchReport* report) {
+  std::printf("\nShard-parallel Cypher (serial vs %zu shards, pool %zu):\n",
+              db.graph().shard_count(), ThreadPool::Shared().size());
+
+  int rounds = bench::Rounds(5);
+  auto measure = [&](const std::string& query, int shards, size_t* rows_out) {
+    db.options() = graphdb::MatchOptions{};
+    db.options().parallel_shards = shards;
+    std::vector<double> times;
+    Stopwatch timer;
+    for (int i = 0; i < rounds; ++i) {
+      timer.Restart();
+      auto rs = db.Query(query);
+      times.push_back(timer.ElapsedSeconds());
+      if (!rs.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     rs.status().ToString().c_str());
+        std::exit(1);
+      }
+      *rows_out = rs.value().rows.size();
+    }
+    return bench::Mean(times);
+  };
+
+  const std::string full_query =
+      "MATCH (p:proc)-[e:op7]->(f:file) WHERE f.name CONTAINS '9' "
+      "RETURN p.exename, f.name";
+  size_t rows_serial = 0, rows_sharded = 0;
+  double serial = measure(full_query, /*shards=*/1, &rows_serial);
+  double sharded = measure(full_query, /*shards=*/4, &rows_sharded);
+  double speedup = sharded > 0 ? serial / sharded : 0;
+  std::printf(
+      "  parallel_match: serial %.6f s, sharded %.6f s (%zu rows), "
+      "speedup %.2fx\n",
+      serial, sharded, rows_sharded, speedup);
+  if (rows_serial != rows_sharded) {
+    std::fprintf(stderr, "row count mismatch: %zu vs %zu\n", rows_serial,
+                 rows_sharded);
+    std::exit(1);
+  }
+  report->Metric("parallel", "match_serial_seconds", serial);
+  report->Metric("parallel", "match_sharded_seconds", sharded);
+  report->Metric("parallel", "match_speedup", speedup);
+
+  const std::string limit1_query =
+      "MATCH (p:proc)-[e:op7]->(f:file) RETURN p.exename, f.name LIMIT 1";
+  size_t rows = 0;
+  double l1_serial = measure(limit1_query, /*shards=*/1, &rows);
+  double l1_default = measure(limit1_query, /*shards=*/4, &rows);
+  double ratio = l1_serial > 0 ? l1_default / l1_serial : 0;
+  std::printf(
+      "  parallel_match_limit1: serial %.6f s, default %.6f s, "
+      "ratio %.2fx (must stay near 1: small limits bypass the fan-out)\n",
+      l1_serial, l1_default, ratio);
+  report->Metric("parallel", "match_limit1_serial_seconds", l1_serial);
+  report->Metric("parallel", "match_limit1_default_seconds", l1_default);
+  report->Metric("parallel", "match_limit1_ratio", ratio);
+  db.options() = graphdb::MatchOptions{};
+}
+
+/// Shard-parallel SELECT vs the serial path: a filtered full scan and a
+/// hash join whose probe side rides the partitioned base scan.
+void RunParallelSelectWorkload(long long rows_n,
+                               bench::BenchReport* report) {
+  sql::Database db;  // kDefaultShardCount-way sharded storage
+  if (!db.CreateTable("big", sql::Schema({{"id", sql::ColumnType::kInt64},
+                                          {"name", sql::ColumnType::kText},
+                                          {"score", sql::ColumnType::kInt64}}))
+           .ok() ||
+      !db.CreateTable("dim", sql::Schema({{"id", sql::ColumnType::kInt64},
+                                          {"tag", sql::ColumnType::kText}}))
+           .ok()) {
+    std::fprintf(stderr, "table creation failed\n");
+    std::exit(1);
+  }
+  Rng rng(271828);
+  for (long long i = 0; i < rows_n; ++i) {
+    (void)db.Insert("big", {sql::Value(static_cast<int64_t>(i)),
+                            sql::Value("/data/f" + std::to_string(i)),
+                            sql::Value(static_cast<int64_t>(rng.Uniform(100)))});
+  }
+  for (int i = 0; i < 100; ++i) {
+    (void)db.Insert("dim", {sql::Value(static_cast<int64_t>(i)),
+                            sql::Value("tag" + std::to_string(i))});
+  }
+  std::printf("\nShard-parallel SQL on %lld rows (serial vs sharded):\n",
+              rows_n);
+
+  int rounds = bench::Rounds(5);
+  auto measure = [&](const char* query, int shards) {
+    db.options() = sql::SelectOptions{};
+    db.options().parallel_shards = shards;
+    std::vector<double> times;
+    Stopwatch timer;
+    for (int i = 0; i < rounds; ++i) {
+      timer.Restart();
+      auto rs = db.Query(query);
+      times.push_back(timer.ElapsedSeconds());
+      if (!rs.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     rs.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+    return bench::Mean(times);
+  };
+
+  const char* scan_query =
+      "SELECT id FROM big WHERE score > 50 AND name LIKE '%7%'";
+  double scan_serial = measure(scan_query, 1);
+  double scan_sharded = measure(scan_query, 4);
+  double scan_speedup = scan_sharded > 0 ? scan_serial / scan_sharded : 0;
+  std::printf("  parallel_select: serial %.6f s, sharded %.6f s, %.2fx\n",
+              scan_serial, scan_sharded, scan_speedup);
+  report->Metric("parallel", "select_serial_seconds", scan_serial);
+  report->Metric("parallel", "select_sharded_seconds", scan_sharded);
+  report->Metric("parallel", "select_speedup", scan_speedup);
+
+  const char* join_query =
+      "SELECT t.id, u.tag FROM big t, dim u WHERE t.score = u.id "
+      "AND t.score > 60";
+  double join_serial = measure(join_query, 1);
+  double join_sharded = measure(join_query, 4);
+  double join_speedup = join_sharded > 0 ? join_serial / join_sharded : 0;
+  std::printf("  parallel_join: serial %.6f s, sharded %.6f s, %.2fx\n",
+              join_serial, join_sharded, join_speedup);
+  report->Metric("parallel", "join_serial_seconds", join_serial);
+  report->Metric("parallel", "join_sharded_seconds", join_sharded);
+  report->Metric("parallel", "join_speedup", join_speedup);
+}
+
 /// Typed expansion + IN-filter probing on a synthetic large graph.
 void RunLargeGraphWorkload(bench::BenchReport* report) {
   fixtures::SyntheticGraphSpec spec;
@@ -124,6 +270,9 @@ void RunLargeGraphWorkload(bench::BenchReport* report) {
   auto measure = [&](bool typed, bool hashed) {
     db.options().typed_adjacency = typed;
     db.options().hashed_in_lists = hashed;
+    // Serial on both sides: this workload isolates the indexed/interned
+    // hot path (RunParallelMatchWorkload measures the shard fan-out).
+    db.options().parallel_shards = 1;
     std::vector<double> times;
     size_t rows = 0, edges_traversed = 0;
     Stopwatch timer;
@@ -166,6 +315,8 @@ void RunLargeGraphWorkload(bench::BenchReport* report) {
   report->Metric("large_graph", "speedup", speedup);
 
   RunLimitPushdownWorkload(db, report);
+  RunParallelMatchWorkload(db, report);
+  RunParallelSelectWorkload(spec.nodes, report);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include "common/interner.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace raptor::engine {
 
@@ -232,8 +233,16 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
 
   // Re-filter earlier pattern matches with the final entity domains (later
   // patterns may have narrowed entities that earlier executions bound).
+  // Patterns are independent here — each task reads the shared (now
+  // frozen) constraint domains and rewrites only its own match list — so
+  // the pass fans out over the shared worker pool once there is enough
+  // work to amortize dispatch (typical hunts filter a few dozen matches,
+  // which stay on the inline path).
   if (options.propagate_constraints) {
-    for (size_t i = 0; i < n_patterns; ++i) {
+    size_t total_matches = 0;
+    for (const auto& m : matches) total_matches += m.size();
+    constexpr size_t kParallelRefilterMinMatches = 4096;
+    auto refilter = [&](size_t i) {
       const Pattern& p = query.patterns[i];
       auto sit = joinable(p.subject.id) ? constraints.find(p.subject.id)
                                         : constraints.end();
@@ -253,6 +262,11 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
         kept.push_back(m);
       }
       matches[i] = std::move(kept);
+    };
+    if (n_patterns > 1 && total_matches >= kParallelRefilterMinMatches) {
+      ThreadPool::Shared().ParallelFor(n_patterns, refilter);
+    } else {
+      for (size_t i = 0; i < n_patterns; ++i) refilter(i);
     }
   }
 

@@ -1,6 +1,8 @@
 #include "storage/graphdb/cypher_executor.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <unordered_map>
@@ -9,7 +11,9 @@
 
 #include "common/small_vector.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "storage/graphdb/cypher_parser.h"
+#include "storage/shard_parallel.h"
 
 namespace raptor::graphdb {
 
@@ -413,16 +417,26 @@ void CollectVars(const CypherExpr& e, std::unordered_set<std::string>* vars) {
 using PushdownFilters =
     std::unordered_map<std::string, std::vector<const CypherExpr*>>;
 
-/// Start-node candidates for one chain: either a non-owning span (an index
-/// bucket or a label bucket, iterated lazily so LIMIT pushdown can stop
-/// early without materializing the tail), an owned list (bound variable,
-/// multi-value probe unions), or a full node scan.
+/// Start-node candidates for one chain: either per-shard non-owning spans
+/// (index buckets or label buckets, one per storage shard, iterated lazily
+/// so LIMIT pushdown can stop early without materializing the tail), an
+/// owned list (bound variable, multi-value probe unions), or a full node
+/// scan. The per-shard layout is what lets the parallel driver hand each
+/// worker exactly its shard's seeds.
 struct SeedSet {
-  const std::vector<NodeId>* list = nullptr;  // non-owning span
-  std::vector<NodeId> owned;                  // owning storage
+  SmallVector<const std::vector<NodeId>*, 8> spans;  // indexed by shard
+  std::vector<NodeId> owned;                         // owning storage
   bool full_scan = false;
 
-  const std::vector<NodeId>& ids() const { return list ? *list : owned; }
+  size_t SeedCount(const PropertyGraph& graph) const {
+    if (full_scan) return graph.node_count();
+    if (!spans.empty()) {
+      size_t n = 0;
+      for (const std::vector<NodeId>* span : spans) n += span->size();
+      return n;
+    }
+    return owned.size();
+  }
 };
 
 /// The streaming matcher: drives all pattern parts depth-first, calling
@@ -461,7 +475,7 @@ class Matcher {
 
   Status PrepareParts(const std::vector<PatternPart>& parts,
                       const VarTable& vars) {
-    parts_.reserve(parts.size());
+    own_parts_.reserve(parts.size());
     for (const PatternPart& part : parts) {
       if (part.nodes.empty()) {
         return Status::InvalidArgument("empty pattern part");
@@ -471,26 +485,70 @@ class Matcher {
       pp.rev = Reverse(part);
       pp.resolved_fwd = Resolve(part, vars);
       pp.resolved_rev = Resolve(pp.rev, vars);
-      parts_.push_back(std::move(pp));
+      own_parts_.push_back(std::move(pp));
     }
+    parts_ = &own_parts_;
     return Status::OK();
   }
+
+  /// Reuse another matcher's prepared parts (immutable after PrepareParts)
+  /// instead of re-resolving the query: the parallel driver prepares once
+  /// and shares across all shard workers. `other` must outlive this
+  /// matcher.
+  void SharePreparedParts(const Matcher& other) { parts_ = other.parts_; }
 
   /// Match every part against `binding`; false if the sink stopped early.
   bool Run(BindingT& binding) { return MatchFrom(0, binding); }
 
+  /// Restrict top-level (part 0) seed iteration to one storage shard; the
+  /// parallel driver runs one matcher per shard with disjoint seed sets.
+  void RestrictTopSeedsToShard(int shard) { seed_shard_ = shard; }
+
+  /// Cooperative LIMIT cancellation: once `claimed` reaches `cap`, the
+  /// top-level seed loop stops even if this worker never emitted a row.
+  void SetSharedRowBudget(const std::atomic<size_t>* claimed, size_t cap) {
+    shared_claimed_ = claimed;
+    shared_cap_ = cap;
+  }
+
+  /// Materialize the top-level seed set once, mirroring MatchFrom's
+  /// direction choice on the (empty) top-level binding. The parallel
+  /// driver sizes its fan-out threshold on the result (SeedCount) and
+  /// shares it across every shard worker (SetTopSeeds), so a multi-value
+  /// probe union is built a single time instead of once per worker.
+  /// Precondition: PrepareParts succeeded and parts are non-empty.
+  SeedSet PlanTopSeeds(const BindingT& binding) {
+    return SelectSeeds(TopSeedNode(binding), binding);
+  }
+
+  /// Use a precomputed seed set for part 0 instead of re-deriving it.
+  /// `seeds` must come from PlanTopSeeds on an identically-prepared
+  /// matcher (the direction choice is deterministic on the empty binding)
+  /// and must outlive this matcher's Run.
+  void SetTopSeeds(const SeedSet* seeds) { shared_top_seeds_ = seeds; }
+
  private:
-  bool MatchFrom(size_t part_idx, BindingT& binding) {
-    if (part_idx == parts_.size()) return sink_(binding);
-    const PreparedPart& pp = parts_[part_idx];
-    // Choose search direction: seed from the more-constrained endpoint.
+  /// Choose a part's search direction: seed from the more-constrained
+  /// endpoint. The single authority for both the matcher (MatchFrom) and
+  /// the parallel driver's seed plan (TopSeedNode) — they must agree or
+  /// workers would iterate seeds for the wrong chain endpoint.
+  const ResolvedPart& ChooseDirection(const PreparedPart& pp,
+                                      const BindingT& binding) const {
     int fwd = ConstraintScore(pp.resolved_fwd.nodes.front(), binding);
     int bwd = ConstraintScore(pp.resolved_fwd.nodes.back(), binding);
-    if (bwd > fwd) {
-      return MatchChainFrom(pp.resolved_rev, /*reversed=*/true, part_idx,
-                            binding);
-    }
-    return MatchChainFrom(pp.resolved_fwd, /*reversed=*/false, part_idx,
+    return bwd > fwd ? pp.resolved_rev : pp.resolved_fwd;
+  }
+
+  /// The seed node of part 0 under MatchFrom's direction choice.
+  const ResolvedNode& TopSeedNode(const BindingT& binding) const {
+    return ChooseDirection((*parts_)[0], binding).nodes[0];
+  }
+
+  bool MatchFrom(size_t part_idx, BindingT& binding) {
+    if (part_idx == parts_->size()) return sink_(binding);
+    const PreparedPart& pp = (*parts_)[part_idx];
+    const ResolvedPart& rp = ChooseDirection(pp, binding);
+    return MatchChainFrom(rp, /*reversed=*/&rp == &pp.resolved_rev, part_idx,
                           binding);
   }
 
@@ -528,11 +586,13 @@ class Matcher {
 
   /// Access-path selection for the chain's start node. Competing index
   /// probes (inline properties and indexed WHERE equality / IN filters) are
-  /// ranked by exact per-value cardinality when selective_seeds is on; the
-  /// legacy choice takes the first indexed inline property, then the first
-  /// usable WHERE filter. Candidates still pass through ResolvedNode::
-  /// Matches at visit time, so the winning probe needs no re-filtering
-  /// here and single-value probes stay lazily iterated spans.
+  /// ranked by exact per-value cardinality (summed over every storage
+  /// shard, so the ranking stays exact on sharded graphs) when
+  /// selective_seeds is on; the legacy choice takes the first indexed
+  /// inline property, then the first usable WHERE filter. Candidates still
+  /// pass through ResolvedNode::Matches at visit time, so the winning
+  /// probe needs no re-filtering here, and single-value probes stay lazily
+  /// iterated per-shard spans.
   SeedSet SelectSeeds(const ResolvedNode& rnode, const BindingT& binding) {
     const NodePattern& pat = *rnode.pat;
     SeedSet seeds;
@@ -546,12 +606,12 @@ class Matcher {
     }
 
     // One probe-able access path: an indexed property plus the value(s) an
-    // equality / IN constraint allows for it. Single-value probes keep the
-    // bucket span found while scoring, so the winner is never re-probed;
-    // multi-value probes rank by ProbeCountNodes without materializing.
+    // equality / IN constraint allows for it. Ranking uses ProbeCountNodes
+    // (a per-shard bucket-size sum) without materializing anything; only
+    // the winner's buckets become seed spans.
     struct Option {
       std::string_view prop;
-      const std::vector<NodeId>* bucket = nullptr;  // single-value probe
+      const Value* eq = nullptr;
       const std::vector<Value>* multi = nullptr;
       size_t count = 0;
     };
@@ -560,8 +620,8 @@ class Matcher {
       if (!graph_.HasNodeIndex(pat.label, pc.key)) continue;
       Option o;
       o.prop = pc.key;
-      o.bucket = &graph_.ProbeNodes(pat.label, pc.key, pc.value);
-      o.count = o.bucket->size();
+      o.eq = &pc.value;
+      o.count = graph_.ProbeCountNodes(pat.label, pc.key, pc.value);
       options.push_back(o);
       if (!options_.selective_seeds) break;  // legacy: first indexed prop
     }
@@ -573,13 +633,12 @@ class Matcher {
       if (fit != pushdown_.end()) {
         for (const CypherExpr* f : fit->second) {
           Option o;
-          const Value* eq_value = nullptr;
           if (f->kind == CypherExprKind::kBinary &&
               f->op == CypherBinaryOp::kEq &&
               f->lhs->kind == CypherExprKind::kPropRef &&
               f->rhs->kind == CypherExprKind::kLiteral) {
             o.prop = f->lhs->prop;
-            eq_value = &f->rhs->literal;
+            o.eq = &f->rhs->literal;
           } else if (f->kind == CypherExprKind::kInList && !f->negated &&
                      f->lhs->kind == CypherExprKind::kPropRef) {
             o.prop = f->lhs->prop;
@@ -588,9 +647,8 @@ class Matcher {
           if (o.prop.empty() || !graph_.HasNodeIndex(pat.label, o.prop)) {
             continue;
           }
-          if (eq_value != nullptr) {
-            o.bucket = &graph_.ProbeNodes(pat.label, o.prop, *eq_value);
-            o.count = o.bucket->size();
+          if (o.eq != nullptr) {
+            o.count = graph_.ProbeCountNodes(pat.label, o.prop, *o.eq);
           } else if (options_.selective_seeds) {
             // Ranking only; the legacy path takes the first option as-is.
             for (const Value& v : *o.multi) {
@@ -610,12 +668,17 @@ class Matcher {
           if (o.count < best->count) best = &o;
         }
       }
-      if (best->bucket != nullptr) {
-        seeds.list = best->bucket;
+      if (best->eq != nullptr) {
+        for (size_t s = 0; s < graph_.shard_count(); ++s) {
+          seeds.spans.push_back(
+              &graph_.ProbeNodes(pat.label, best->prop, *best->eq, s));
+        }
       } else {
         for (const Value& v : *best->multi) {
-          for (NodeId id : graph_.ProbeNodes(pat.label, best->prop, v)) {
-            seeds.owned.push_back(id);
+          for (size_t s = 0; s < graph_.shard_count(); ++s) {
+            for (NodeId id : graph_.ProbeNodes(pat.label, best->prop, v, s)) {
+              seeds.owned.push_back(id);
+            }
           }
         }
         std::sort(seeds.owned.begin(), seeds.owned.end());
@@ -624,14 +687,24 @@ class Matcher {
       }
       return seeds;
     }
-    seeds.list = &graph_.NodesWithLabel(pat.label);
+    for (size_t s = 0; s < graph_.shard_count(); ++s) {
+      seeds.spans.push_back(&graph_.NodesWithLabel(pat.label, s));
+    }
     return seeds;
   }
 
   bool MatchChainFrom(const ResolvedPart& rp, bool reversed, size_t part_idx,
                       BindingT& binding) {
     const ResolvedNode& rseed = rp.nodes[0];
-    SeedSet seeds = SelectSeeds(rseed, binding);
+    SeedSet local_seeds;
+    // Part 0 of a parallel worker reuses the driver's precomputed seed set
+    // (same direction choice on the empty binding) instead of re-deriving
+    // — in particular re-materializing a multi-value probe union.
+    const SeedSet* shared =
+        part_idx == 0 && shared_top_seeds_ != nullptr ? shared_top_seeds_
+                                                      : nullptr;
+    if (shared == nullptr) local_seeds = SelectSeeds(rseed, binding);
+    const SeedSet& seeds = shared != nullptr ? *shared : local_seeds;
     // Bind/unbind the seed variable in place: Extend() restores the binding
     // on backtrack, so the whole search threads one binding with no copies.
     bool bindable = !rseed.pat->var.empty() && !NodeBound(binding, rseed);
@@ -645,13 +718,42 @@ class Matcher {
       }
       return Extend(rp, reversed, part_idx, 0, seed, binding);
     };
+    // A parallel worker only walks the top-level seeds of its own shard;
+    // deeper parts (and the serial matcher) walk every shard in order. The
+    // shared LIMIT budget is also polled here, so a worker whose shard
+    // yields no matches stops scanning as soon as its siblings fill the
+    // limit instead of draining its seed set for nothing.
+    bool top = part_idx == 0;
+    int only_shard = top ? seed_shard_ : -1;
+    auto budget_spent = [&] {
+      return top && shared_claimed_ != nullptr &&
+             shared_claimed_->load(std::memory_order_relaxed) >= shared_cap_;
+    };
     if (seeds.full_scan) {
-      for (NodeId id = 0; id < graph_.node_count() && keep_going; ++id) {
-        keep_going = visit(id);
+      // The start/stride walk relies on storage::ShardLayout's documented
+      // round-robin low-bits assignment (dense ids, power-of-two shard
+      // count); a layout change must update it alongside ShardOf.
+      NodeId start = only_shard >= 0 ? static_cast<NodeId>(only_shard) : 0;
+      NodeId stride = only_shard >= 0 ? graph_.shard_count() : 1;
+      for (NodeId id = start; id < graph_.node_count() && keep_going;
+           id += stride) {
+        keep_going = !budget_spent() && visit(id);
+      }
+    } else if (!seeds.spans.empty()) {
+      for (size_t s = 0; s < seeds.spans.size() && keep_going; ++s) {
+        if (only_shard >= 0 && s != static_cast<size_t>(only_shard)) continue;
+        for (NodeId id : *seeds.spans[s]) {
+          keep_going = !budget_spent() && visit(id);
+          if (!keep_going) break;
+        }
       }
     } else {
-      for (NodeId id : seeds.ids()) {
-        keep_going = visit(id);
+      for (NodeId id : seeds.owned) {
+        if (only_shard >= 0 &&
+            graph_.ShardOf(id) != static_cast<size_t>(only_shard)) {
+          continue;
+        }
+        keep_going = !budget_spent() && visit(id);
         if (!keep_going) break;
       }
     }
@@ -785,23 +887,39 @@ class Matcher {
   const CypherEvaluator& eval_;
   MatchStats* stats_;
   Sink& sink_;
-  std::vector<PreparedPart> parts_;
+  std::vector<PreparedPart> own_parts_;
+  // Either &own_parts_ (after PrepareParts) or a sharing matcher's parts
+  // (SharePreparedParts); immutable once matching starts.
+  const std::vector<PreparedPart>* parts_ = &own_parts_;
+  int seed_shard_ = -1;  // -1: walk every shard (serial matcher)
+  const SeedSet* shared_top_seeds_ = nullptr;  // driver-owned part-0 seeds
+  const std::atomic<size_t>* shared_claimed_ = nullptr;
+  size_t shared_cap_ = 0;
 };
 
 /// Terminal stage of the streaming pipeline: evaluates residual WHERE
 /// conjuncts, projects RETURN items, applies DISTINCT through an
-/// incremental seen-set, and signals a stop once LIMIT rows exist.
+/// incremental seen-set, and signals a stop once LIMIT rows exist. The
+/// limit is enforced either locally (`local_cap`: the serial matcher, and
+/// parallel DISTINCT workers whose merged seen-sets re-dedup at the
+/// barrier) or through a shared atomic budget (`shared_claimed`/
+/// `shared_cap`: parallel non-DISTINCT workers claim one slot per emitted
+/// row, so the fleet never emits more than the limit in total).
 template <class BindingT>
 class RowSink {
  public:
   RowSink(const CypherQuery& query, const CypherEvaluator& eval,
-          const std::vector<const CypherExpr*>& residual, bool streaming_distinct,
-          bool push_limit, MatchStats* stats, GraphResultSet* result)
+          const std::vector<const CypherExpr*>& residual,
+          bool streaming_distinct, size_t local_cap,
+          std::atomic<size_t>* shared_claimed, size_t shared_cap,
+          MatchStats* stats, GraphResultSet* result)
       : query_(query),
         eval_(eval),
         residual_(residual),
         streaming_distinct_(streaming_distinct),
-        push_limit_(push_limit),
+        local_cap_(local_cap),
+        shared_claimed_(shared_claimed),
+        shared_cap_(shared_cap),
         stats_(stats),
         result_(result) {}
 
@@ -828,13 +946,14 @@ class RowSink {
       row.push_back(std::move(v).value());
     }
     if (streaming_distinct_ && !seen_.insert(row).second) return true;
+    if (shared_claimed_ != nullptr &&
+        shared_claimed_->fetch_add(1, std::memory_order_relaxed) >=
+            shared_cap_) {
+      return false;  // budget exhausted by other workers; drop the row
+    }
     result_->rows.push_back(std::move(row));
     if (stats_ != nullptr) ++stats_->rows_emitted;
-    if (push_limit_ &&
-        result_->rows.size() >= static_cast<size_t>(query_.limit)) {
-      return false;
-    }
-    return true;
+    return result_->rows.size() < local_cap_;
   }
 
   const Status& error() const { return error_; }
@@ -844,13 +963,72 @@ class RowSink {
   const CypherEvaluator& eval_;
   const std::vector<const CypherExpr*>& residual_;
   bool streaming_distinct_;
-  bool push_limit_;
+  size_t local_cap_;
+  std::atomic<size_t>* shared_claimed_;
+  size_t shared_cap_;
   MatchStats* stats_;
   GraphResultSet* result_;
   Status error_ = Status::OK();
   std::unordered_set<std::vector<Value>, sql::ValueRowHash, sql::ValueRowEq>
       seen_;
 };
+
+/// Shard-parallel execution: one task per storage shard on the shared
+/// thread pool, each running a full matcher restricted to its shard's
+/// top-level seeds, streaming into a thread-local sink. Results merge in
+/// shard order, which is deterministic for a fixed graph + shard count.
+template <class BindingT>
+Status RunShardParallel(const CypherQuery& query, const PropertyGraph& graph,
+                        const MatchOptions& options, MatchStats* stats,
+                        const VarTable& vars, const PushdownFilters& pushdown,
+                        const std::vector<const CypherExpr*>& residual,
+                        bool streaming_distinct, bool push_limit,
+                        const Matcher<BindingT, RowSink<BindingT>>& prepared,
+                        const SeedSet& top_seeds, GraphResultSet* result) {
+  size_t n_shards = graph.shard_count();
+  struct ShardRun {
+    GraphResultSet rs;
+    MatchStats stats;
+    Status error = Status::OK();
+  };
+  std::vector<ShardRun> runs(n_shards);
+  // LIMIT policy (shared atomic claims vs per-worker caps merged with a
+  // re-dedup): see storage/shard_parallel.h.
+  storage::ShardRowBudget budget(push_limit, streaming_distinct, query.limit);
+
+  size_t workers =
+      std::min<size_t>(static_cast<size_t>(options.parallel_shards), n_shards);
+  ThreadPool::Shared().ParallelFor(n_shards, workers, [&](size_t s) {
+    ShardRun& run = runs[s];
+    // Evaluator caches (IN-list sets, variable-slot maps) are mutable, so
+    // every worker owns one.
+    CypherEvaluator shard_eval(graph, vars, options.hashed_in_lists);
+    RowSink<BindingT> sink(query, shard_eval, residual, streaming_distinct,
+                           budget.local_cap, budget.shared_claimed(),
+                           budget.shared_cap, &run.stats, &run.rs);
+    Matcher<BindingT, RowSink<BindingT>> matcher(
+        graph, options, pushdown, shard_eval, &run.stats, sink);
+    matcher.SharePreparedParts(prepared);
+    matcher.SetTopSeeds(&top_seeds);
+    matcher.RestrictTopSeedsToShard(static_cast<int>(s));
+    if (budget.shared) {
+      matcher.SetSharedRowBudget(&budget.claimed, budget.shared_cap);
+    }
+    BindingT binding;
+    InitBinding(binding, vars);
+    matcher.Run(binding);
+    run.error = sink.error();
+  });
+
+  return storage::MergeShardRuns(
+      runs, streaming_distinct, &result->rows, [&](ShardRun& run) {
+        if (stats == nullptr) return;
+        stats->seed_candidates += run.stats.seed_candidates;
+        stats->edges_traversed += run.stats.edges_traversed;
+        stats->bindings_emitted += run.stats.bindings_emitted;
+        stats->rows_emitted += run.stats.rows_emitted;
+      });
+}
 
 template <class BindingT>
 Result<GraphResultSet> RunPipeline(
@@ -870,9 +1048,12 @@ Result<GraphResultSet> RunPipeline(
   // down when the dedup itself is streaming.
   bool push_limit = options.push_limit && query.limit >= 0 &&
                     (!query.distinct || streaming_distinct);
+  size_t local_cap =
+      push_limit ? static_cast<size_t>(query.limit) : static_cast<size_t>(-1);
 
-  RowSink<BindingT> sink(query, eval, residual, streaming_distinct,
-                         push_limit, stats, &result);
+  RowSink<BindingT> sink(query, eval, residual, streaming_distinct, local_cap,
+                         /*shared_claimed=*/nullptr, /*shared_cap=*/0, stats,
+                         &result);
   Matcher<BindingT, RowSink<BindingT>> matcher(graph, options, pushdown, eval,
                                                stats, sink);
   // Structural validation always runs, so a pushed-down LIMIT 0 reports the
@@ -883,8 +1064,32 @@ Result<GraphResultSet> RunPipeline(
   if (!(push_limit && query.limit == 0)) {
     BindingT binding;
     InitBinding(binding, vars);
-    matcher.Run(binding);
-    RAPTOR_RETURN_NOT_OK(sink.error());
+    // Fan out over shards only when it can pay off: a sharded graph, more
+    // than one worker allowed, no small pushed LIMIT (the serial
+    // early-exit path finishes those in a handful of seed visits), and a
+    // seed set big enough to amortize dispatch. The set is materialized
+    // once here and shared by every shard worker; when the threshold
+    // rejects it, the set was by definition small and the serial matcher
+    // re-derives it cheaply.
+    bool parallel =
+        !query.patterns.empty() && options.parallel_shards > 1 &&
+        graph.shard_count() > 1 &&
+        !(push_limit &&
+          query.limit < static_cast<long long>(options.parallel_min_limit));
+    SeedSet top_seeds;
+    if (parallel) {
+      top_seeds = matcher.PlanTopSeeds(binding);
+      parallel = top_seeds.SeedCount(graph) >=
+                 static_cast<size_t>(std::max(0, options.parallel_min_seeds));
+    }
+    if (parallel) {
+      RAPTOR_RETURN_NOT_OK(RunShardParallel<BindingT>(
+          query, graph, options, stats, vars, pushdown, residual,
+          streaming_distinct, push_limit, matcher, top_seeds, &result));
+    } else {
+      matcher.Run(binding);
+      RAPTOR_RETURN_NOT_OK(sink.error());
+    }
   }
 
   if (query.distinct && !streaming_distinct) {

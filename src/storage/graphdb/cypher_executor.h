@@ -21,6 +21,17 @@
 // by MatchOptions::binding_frames; all streaming behaviors keep the legacy
 // materialize-then-truncate path reachable through MatchOptions toggles so
 // benchmarks and differential tests can compare both.
+//
+// Shard-parallel matching: when the graph is sharded and the top-level
+// seed set is large enough, seed iteration fans out one worker per storage
+// shard onto the shared thread pool (common/thread_pool.h). Each worker
+// streams into a thread-local row sink; the per-shard results are merged
+// in shard order (deterministic for a fixed graph + shard count). A
+// pushed-down LIMIT cancels cooperatively through an atomic row budget
+// shared by all workers (so total emitted rows never exceed the limit),
+// and DISTINCT dedups locally per worker with the seen-sets merged at the
+// barrier. Queries that stay serial (parallel_shards = 1, tiny seed sets,
+// small pushed limits) take exactly the pre-sharding code path.
 #pragma once
 
 #include <string>
@@ -72,6 +83,17 @@ struct MatchOptions {
   /// Seed from the most selective applicable index probe, ranked by exact
   /// per-value cardinality. Off = legacy first-indexed-property choice.
   bool selective_seeds = true;
+  /// Maximum shard-parallel workers for whole-graph matching; the
+  /// effective worker count is min(parallel_shards, graph.shard_count()).
+  /// 1 = always serial (the baseline the differential tests compare
+  /// against).
+  int parallel_shards = 4;
+  /// Stay serial when the top-level seed set is smaller than this: tiny
+  /// queries lose more to worker dispatch than they gain from parallelism.
+  int parallel_min_seeds = 64;
+  /// Stay serial when a pushed-down LIMIT is below this: the serial
+  /// early-exit path finishes such queries in a handful of seed visits.
+  int parallel_min_limit = 8;
 };
 
 /// Execute `query` against `graph`.
@@ -80,9 +102,16 @@ Result<GraphResultSet> ExecuteCypher(const CypherQuery& query,
                                      const MatchOptions& options = {},
                                      MatchStats* stats = nullptr);
 
+/// Default storage shard count used by the database facades (the raw
+/// PropertyGraph still defaults to one shard).
+constexpr size_t kDefaultShardCount = 4;
+
 /// Graph database facade: owns a graph, parses and executes Cypher text.
 class GraphDatabase {
  public:
+  explicit GraphDatabase(size_t shard_count = kDefaultShardCount)
+      : graph_(shard_count) {}
+
   PropertyGraph& graph() { return graph_; }
   const PropertyGraph& graph() const { return graph_; }
 

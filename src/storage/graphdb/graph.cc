@@ -25,33 +25,40 @@ const std::vector<EdgeId>* PropertyGraph::TypedAdjacency::Find(
   return nullptr;
 }
 
+PropertyGraph::PropertyGraph(size_t shard_count) : layout_(shard_count) {
+  shards_.resize(layout_.count());
+}
+
 NodeId PropertyGraph::AddNode(std::string label, PropertyMap props) {
-  NodeId id = nodes_.size();
+  NodeId id = node_count_++;
+  Shard& shard = shards_[layout_.ShardOf(id)];
   Node n;
   n.id = id;
   n.label_id = labels_.Intern(label);
   n.label = std::move(label);
   n.props = std::move(props);
-  if (n.label_id >= by_label_.size()) by_label_.resize(n.label_id + 1);
-  by_label_[n.label_id].push_back(id);
-  // Maintain any matching indexes.
-  for (auto& [key, index] : node_indexes_) {
+  if (n.label_id >= shard.by_label.size()) {
+    shard.by_label.resize(n.label_id + 1);
+  }
+  shard.by_label[n.label_id].push_back(id);
+  // Maintain this shard's slice of any matching index.
+  for (auto& [key, index] : shard.node_indexes) {
     if (static_cast<uint32_t>(key >> 32) != n.label_id) continue;
     uint32_t prop_id = static_cast<uint32_t>(key);
     const Value* v = n.FindProp(index_props_.Name(prop_id));
     if (v != nullptr) index[*v].push_back(id);
   }
-  nodes_.push_back(std::move(n));
-  out_edges_.emplace_back();
-  in_edges_.emplace_back();
-  out_by_type_.emplace_back();
-  in_by_type_.emplace_back();
+  shard.nodes.push_back(std::move(n));
+  shard.out_edges.emplace_back();
+  shard.in_edges.emplace_back();
+  shard.out_by_type.emplace_back();
+  shard.in_by_type.emplace_back();
   return id;
 }
 
 EdgeId PropertyGraph::AddEdge(NodeId src, NodeId dst, std::string type,
                               PropertyMap props) {
-  EdgeId id = edges_.size();
+  EdgeId id = edge_count_++;
   Edge e;
   e.id = id;
   e.src = src;
@@ -59,53 +66,72 @@ EdgeId PropertyGraph::AddEdge(NodeId src, NodeId dst, std::string type,
   e.type_id = edge_types_.Intern(type);
   e.type = std::move(type);
   e.props = std::move(props);
-  out_edges_[src].push_back(id);
-  in_edges_[dst].push_back(id);
-  out_by_type_[src].For(e.type_id).push_back(id);
-  in_by_type_[dst].For(e.type_id).push_back(id);
-  edges_.push_back(std::move(e));
+  Shard& src_shard = shards_[layout_.ShardOf(src)];
+  Shard& dst_shard = shards_[layout_.ShardOf(dst)];
+  src_shard.out_edges[layout_.LocalOf(src)].push_back(id);
+  dst_shard.in_edges[layout_.LocalOf(dst)].push_back(id);
+  src_shard.out_by_type[layout_.LocalOf(src)].For(e.type_id).push_back(id);
+  dst_shard.in_by_type[layout_.LocalOf(dst)].For(e.type_id).push_back(id);
+  shards_[layout_.ShardOf(id)].edges.push_back(std::move(e));
   return id;
 }
 
 const std::vector<EdgeId>& PropertyGraph::OutEdges(NodeId id) const {
-  return id < out_edges_.size() ? out_edges_[id] : kNoEdges;
+  if (id >= node_count_) return kNoEdges;
+  return shards_[layout_.ShardOf(id)].out_edges[layout_.LocalOf(id)];
 }
 
 const std::vector<EdgeId>& PropertyGraph::InEdges(NodeId id) const {
-  return id < in_edges_.size() ? in_edges_[id] : kNoEdges;
+  if (id >= node_count_) return kNoEdges;
+  return shards_[layout_.ShardOf(id)].in_edges[layout_.LocalOf(id)];
 }
 
 const std::vector<EdgeId>& PropertyGraph::OutEdges(NodeId id,
                                                    uint32_t type_id) const {
-  if (id >= out_by_type_.size() || type_id == kNoSymbol) return kNoEdges;
-  const std::vector<EdgeId>* edges = out_by_type_[id].Find(type_id);
+  if (id >= node_count_ || type_id == kNoSymbol) return kNoEdges;
+  const std::vector<EdgeId>* edges =
+      shards_[layout_.ShardOf(id)].out_by_type[layout_.LocalOf(id)].Find(
+          type_id);
   return edges != nullptr ? *edges : kNoEdges;
 }
 
 const std::vector<EdgeId>& PropertyGraph::InEdges(NodeId id,
                                                   uint32_t type_id) const {
-  if (id >= in_by_type_.size() || type_id == kNoSymbol) return kNoEdges;
-  const std::vector<EdgeId>* edges = in_by_type_[id].Find(type_id);
+  if (id >= node_count_ || type_id == kNoSymbol) return kNoEdges;
+  const std::vector<EdgeId>* edges =
+      shards_[layout_.ShardOf(id)].in_by_type[layout_.LocalOf(id)].Find(
+          type_id);
   return edges != nullptr ? *edges : kNoEdges;
 }
 
 const std::vector<NodeId>& PropertyGraph::NodesWithLabel(
     std::string_view label) const {
+  return NodesWithLabel(label, 0);
+}
+
+const std::vector<NodeId>& PropertyGraph::NodesWithLabel(
+    std::string_view label, size_t shard) const {
   uint32_t label_id = labels_.Lookup(label);
-  return label_id == kNoSymbol ? kNoNodes : by_label_[label_id];
+  if (label_id == kNoSymbol) return kNoNodes;
+  const Shard& s = shards_[shard];
+  return label_id < s.by_label.size() ? s.by_label[label_id] : kNoNodes;
 }
 
 void PropertyGraph::CreateNodeIndex(std::string_view label,
                                     std::string_view prop) {
   uint32_t label_id = labels_.Intern(label);
-  if (label_id >= by_label_.size()) by_label_.resize(label_id + 1);
   uint32_t prop_id = index_props_.Intern(prop);
   uint64_t key = IndexKey(label_id, prop_id);
-  if (node_indexes_.count(key)) return;
-  ValueIndex& index = node_indexes_[key];
-  for (NodeId id : by_label_[label_id]) {
-    const Value* v = nodes_[id].FindProp(prop);
-    if (v != nullptr) index[*v].push_back(id);
+  if (shards_[0].node_indexes.count(key)) return;
+  for (Shard& shard : shards_) {
+    if (label_id >= shard.by_label.size()) {
+      shard.by_label.resize(label_id + 1);
+    }
+    ValueIndex& index = shard.node_indexes[key];
+    for (NodeId id : shard.by_label[label_id]) {
+      const Value* v = node(id).FindProp(prop);
+      if (v != nullptr) index[*v].push_back(id);
+    }
   }
 }
 
@@ -114,37 +140,65 @@ bool PropertyGraph::HasNodeIndex(std::string_view label,
   uint32_t label_id = labels_.Lookup(label);
   uint32_t prop_id = index_props_.Lookup(prop);
   if (label_id == kNoSymbol || prop_id == kNoSymbol) return false;
-  return node_indexes_.count(IndexKey(label_id, prop_id)) > 0;
+  // Indexes are created in every shard at once; shard 0 is authoritative.
+  return shards_[0].node_indexes.count(IndexKey(label_id, prop_id)) > 0;
+}
+
+const PropertyGraph::ValueIndex* PropertyGraph::FindIndex(
+    std::string_view label, std::string_view prop, size_t shard) const {
+  uint32_t label_id = labels_.Lookup(label);
+  uint32_t prop_id = index_props_.Lookup(prop);
+  if (label_id == kNoSymbol || prop_id == kNoSymbol) return nullptr;
+  auto it = shards_[shard].node_indexes.find(IndexKey(label_id, prop_id));
+  return it == shards_[shard].node_indexes.end() ? nullptr : &it->second;
 }
 
 const std::vector<NodeId>& PropertyGraph::ProbeNodes(std::string_view label,
                                                      std::string_view prop,
                                                      const Value& value) const {
-  uint32_t label_id = labels_.Lookup(label);
-  uint32_t prop_id = index_props_.Lookup(prop);
-  if (label_id == kNoSymbol || prop_id == kNoSymbol) return kNoNodes;
-  auto it = node_indexes_.find(IndexKey(label_id, prop_id));
-  if (it == node_indexes_.end()) return kNoNodes;
-  auto jt = it->second.find(value);
-  return jt == it->second.end() ? kNoNodes : jt->second;
+  return ProbeNodes(label, prop, value, 0);
+}
+
+const std::vector<NodeId>& PropertyGraph::ProbeNodes(std::string_view label,
+                                                     std::string_view prop,
+                                                     const Value& value,
+                                                     size_t shard) const {
+  const ValueIndex* index = FindIndex(label, prop, shard);
+  if (index == nullptr) return kNoNodes;
+  auto it = index->find(value);
+  return it == index->end() ? kNoNodes : it->second;
 }
 
 size_t PropertyGraph::ProbeCountNodes(std::string_view label,
                                       std::string_view prop,
                                       const Value& value) const {
-  return ProbeNodes(label, prop, value).size();
+  size_t count = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    count += ProbeNodes(label, prop, value, s).size();
+  }
+  return count;
 }
 
 PropertyGraph::NodeIndexStats PropertyGraph::GetNodeIndexStats(
     std::string_view label, std::string_view prop) const {
   NodeIndexStats stats;
-  uint32_t label_id = labels_.Lookup(label);
-  uint32_t prop_id = index_props_.Lookup(prop);
-  if (label_id == kNoSymbol || prop_id == kNoSymbol) return stats;
-  auto it = node_indexes_.find(IndexKey(label_id, prop_id));
-  if (it == node_indexes_.end()) return stats;
-  stats.distinct_keys = it->second.size();
-  for (const auto& [value, ids] : it->second) stats.entries += ids.size();
+  std::vector<const ValueIndex*> indexes(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    indexes[s] = FindIndex(label, prop, s);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (indexes[s] == nullptr) continue;
+    for (const auto& [value, ids] : *indexes[s]) {
+      stats.entries += ids.size();
+      // A value counts toward distinct_keys only in the first shard that
+      // holds it, so keys split across shards are not double-counted.
+      bool seen_earlier = false;
+      for (size_t t = 0; t < s && !seen_earlier; ++t) {
+        seen_earlier = indexes[t] != nullptr && indexes[t]->count(value) > 0;
+      }
+      if (!seen_earlier) ++stats.distinct_keys;
+    }
+  }
   return stats;
 }
 

@@ -12,6 +12,22 @@
 //    a Compare()-consistent hash, so probes never stringify;
 //  * property maps use a transparent comparator, so FindProp(string_view)
 //    never allocates a key.
+//
+// Sharding: node, edge, adjacency, label-bucket and index storage is
+// partitioned into a power-of-two number of shards, hashed on entity id
+// (shard = id & mask; ids stay dense and global, so creation order and the
+// public id space are unchanged). Each shard owns its nodes' adjacency
+// lists, its slice of every (label, prop) hash index, and its label
+// buckets, which lets the query executor fan seed iteration out one worker
+// per shard. The pre-sharding accessors that return a single bucket
+// reference (NodesWithLabel / ProbeNodes without a shard argument) remain
+// valid as the single-shard (shard_count() == 1) case; shard-agnostic
+// aggregates (ProbeCountNodes, GetNodeIndexStats) sum over shards and stay
+// exact for any shard count.
+//
+// Thread-safety contract: construction and mutation (AddNode / AddEdge /
+// CreateNodeIndex) are single-threaded; all const member functions are
+// race-free when called concurrently from any number of threads.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +40,7 @@
 #include "common/interner.h"
 #include "common/status.h"
 #include "storage/relational/value.h"
+#include "storage/shard_layout.h"
 
 namespace raptor::graphdb {
 
@@ -63,13 +80,26 @@ struct Edge {
 
 class PropertyGraph {
  public:
+  /// `shard_count` is rounded up to a power of two; 1 (the default)
+  /// reproduces the unsharded layout exactly.
+  explicit PropertyGraph(size_t shard_count = 1);
+
   NodeId AddNode(std::string label, PropertyMap props);
 
   /// Precondition: src and dst are valid node ids.
   EdgeId AddEdge(NodeId src, NodeId dst, std::string type, PropertyMap props);
 
-  const Node& node(NodeId id) const { return nodes_[id]; }
-  const Edge& edge(EdgeId id) const { return edges_[id]; }
+  const Node& node(NodeId id) const {
+    return shards_[layout_.ShardOf(id)].nodes[layout_.LocalOf(id)];
+  }
+  const Edge& edge(EdgeId id) const {
+    return shards_[layout_.ShardOf(id)].edges[layout_.LocalOf(id)];
+  }
+
+  size_t shard_count() const { return shards_.size(); }
+
+  /// Shard owning node (or edge) `id`.
+  size_t ShardOf(uint64_t id) const { return layout_.ShardOf(id); }
 
   const std::vector<EdgeId>& OutEdges(NodeId id) const;
   const std::vector<EdgeId>& InEdges(NodeId id) const;
@@ -87,24 +117,39 @@ class PropertyGraph {
     return edge_types_.Lookup(type);
   }
 
-  /// All nodes with the given label.
+  /// All nodes with the given label. Precondition: shard_count() == 1
+  /// (the sharded layout exposes per-shard buckets below).
   const std::vector<NodeId>& NodesWithLabel(std::string_view label) const;
 
-  /// Build an equality index on (label, prop). No-op if already present.
+  /// The nodes of `shard` with the given label, in creation order.
+  /// Precondition: shard < shard_count().
+  const std::vector<NodeId>& NodesWithLabel(std::string_view label,
+                                            size_t shard) const;
+
+  /// Build an equality index on (label, prop) in every shard. No-op if
+  /// already present.
   void CreateNodeIndex(std::string_view label, std::string_view prop);
 
   bool HasNodeIndex(std::string_view label, std::string_view prop) const;
 
   /// Nodes with node.label == label && node.props[prop] == value.
-  /// Precondition: HasNodeIndex(label, prop).
+  /// Precondition: HasNodeIndex(label, prop) && shard_count() == 1.
   const std::vector<NodeId>& ProbeNodes(std::string_view label,
                                         std::string_view prop,
                                         const Value& value) const;
 
-  /// Size of the candidate set ProbeNodes(label, prop, value) would return,
-  /// without materializing it. The matcher ranks competing index probes by
-  /// this exact per-value cardinality (the same access-path choice the SQL
-  /// planner makes from its candidate-set sizes).
+  /// The index bucket of `shard` only; a value's full candidate set is the
+  /// disjoint union of its buckets across all shards.
+  /// Precondition: HasNodeIndex(label, prop) && shard < shard_count().
+  const std::vector<NodeId>& ProbeNodes(std::string_view label,
+                                        std::string_view prop,
+                                        const Value& value,
+                                        size_t shard) const;
+
+  /// Size of the candidate set for (label, prop) == value, summed over all
+  /// shards without materializing it. The matcher ranks competing index
+  /// probes by this exact per-value cardinality (the same access-path
+  /// choice the SQL planner makes from its candidate-set sizes).
   size_t ProbeCountNodes(std::string_view label, std::string_view prop,
                          const Value& value) const;
 
@@ -114,14 +159,16 @@ class PropertyGraph {
     size_t entries = 0;        // total node entries across all keys
   };
 
-  /// Stats for the (label, prop) index; all-zero when no such index exists.
-  /// Introspection/diagnostics surface (O(distinct_keys) walk): the matcher
+  /// Stats for the (label, prop) index, aggregated over every shard: a
+  /// value split across shards counts once in distinct_keys, and entries
+  /// sum across shards. All-zero when no such index exists. Introspection /
+  /// diagnostics surface (O(distinct_keys * shards) walk): the matcher
   /// ranks access paths by the exact ProbeCountNodes of the probed values.
   NodeIndexStats GetNodeIndexStats(std::string_view label,
                                    std::string_view prop) const;
 
-  size_t node_count() const { return nodes_.size(); }
-  size_t edge_count() const { return edges_.size(); }
+  size_t node_count() const { return node_count_; }
+  size_t edge_count() const { return edge_count_; }
   size_t label_count() const { return labels_.size(); }
   size_t edge_type_count() const { return edge_types_.size(); }
 
@@ -140,22 +187,36 @@ class PropertyGraph {
       std::unordered_map<Value, std::vector<NodeId>, sql::ValueHash,
                          sql::ValueEq>;
 
+  /// One entity-id-hashed partition: the node/edge records whose id hashes
+  /// here, the adjacency of this shard's nodes (indexed by the layout's
+  /// local index), this shard's label buckets, and this shard's slice of
+  /// every equality index (global node ids).
+  struct Shard {
+    std::vector<Node> nodes;
+    std::vector<Edge> edges;
+    std::vector<std::vector<EdgeId>> out_edges;
+    std::vector<std::vector<EdgeId>> in_edges;
+    std::vector<TypedAdjacency> out_by_type;
+    std::vector<TypedAdjacency> in_by_type;
+    std::vector<std::vector<NodeId>> by_label;  // label id -> node ids
+    // (label_id << 32 | prop_id) -> value -> node ids
+    std::unordered_map<uint64_t, ValueIndex> node_indexes;
+  };
+
   static uint64_t IndexKey(uint32_t label_id, uint32_t prop_id) {
     return (static_cast<uint64_t>(label_id) << 32) | prop_id;
   }
 
+  const ValueIndex* FindIndex(std::string_view label, std::string_view prop,
+                              size_t shard) const;
+
   StringInterner labels_;
   StringInterner edge_types_;
   StringInterner index_props_;
-  std::vector<Node> nodes_;
-  std::vector<Edge> edges_;
-  std::vector<std::vector<EdgeId>> out_edges_;
-  std::vector<std::vector<EdgeId>> in_edges_;
-  std::vector<TypedAdjacency> out_by_type_;
-  std::vector<TypedAdjacency> in_by_type_;
-  std::vector<std::vector<NodeId>> by_label_;  // label id -> node ids
-  // (label_id << 32 | prop_id) -> value -> node ids
-  std::unordered_map<uint64_t, ValueIndex> node_indexes_;
+  std::vector<Shard> shards_;
+  storage::ShardLayout layout_;
+  size_t node_count_ = 0;
+  size_t edge_count_ = 0;
 };
 
 }  // namespace raptor::graphdb

@@ -7,7 +7,9 @@ Status Database::CreateTable(std::string_view name, Schema schema) {
   if (tables_.count(key)) {
     return Status::AlreadyExists("table exists: " + key);
   }
-  tables_.emplace(key, std::make_unique<Table>(key, std::move(schema)));
+  tables_.emplace(key,
+                  std::make_unique<Table>(key, std::move(schema),
+                                          shard_count_));
   return Status::OK();
 }
 

@@ -14,8 +14,18 @@
 
 namespace raptor::sql {
 
+/// Default storage shard count used by the database facade (a raw Table
+/// still defaults to one shard).
+constexpr size_t kDefaultShardCount = 4;
+
 class Database : public Catalog {
  public:
+  /// Every table created through this facade partitions its rows and
+  /// indexes into `shard_count` entity-id-hashed shards (rounded up to a
+  /// power of two), enabling shard-parallel SELECT execution.
+  explicit Database(size_t shard_count = kDefaultShardCount)
+      : shard_count_(shard_count) {}
+
   /// Create a new empty table. Fails with AlreadyExists on name collision.
   Status CreateTable(std::string_view name, Schema schema);
 
@@ -45,6 +55,7 @@ class Database : public Catalog {
  private:
   std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
   SelectOptions options_;
+  size_t shard_count_ = kDefaultShardCount;
 };
 
 }  // namespace raptor::sql

@@ -1,6 +1,8 @@
 #include "storage/relational/sql_executor.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <set>
@@ -8,6 +10,8 @@
 #include <unordered_set>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
+#include "storage/shard_parallel.h"
 
 namespace raptor::sql {
 
@@ -92,7 +96,7 @@ class Evaluator {
                                   e.ToString());
         }
         return binder_.table(bc.value().alias_idx)
-            ->rows()[rid][bc.value().col_idx];
+            ->row(rid)[bc.value().col_idx];
       }
       case ExprKind::kUnaryNot: {
         auto inner = Eval(*e.lhs, tuple);
@@ -208,15 +212,69 @@ struct Conjunct {
   bool applied = false;
 };
 
+/// Hash-join build storage: per-key row ids chained through fixed-size
+/// chunks allocated from one arena, instead of one heap vector per key.
+/// Appends preserve insertion order (head/tail chain), so probe iteration
+/// visits row ids exactly as the per-key vectors used to.
+class RowIdChunks {
+ public:
+  static constexpr uint32_t kNone = static_cast<uint32_t>(-1);
+
+  struct Ref {
+    uint32_t head = kNone;
+    uint32_t tail = kNone;
+  };
+
+  void Append(Ref& ref, RowId rid) {
+    if (ref.tail == kNone || chunks_[ref.tail].count == kChunkRows) {
+      uint32_t c = static_cast<uint32_t>(chunks_.size());
+      chunks_.emplace_back();
+      if (ref.tail == kNone) {
+        ref.head = c;
+      } else {
+        chunks_[ref.tail].next = c;
+      }
+      ref.tail = c;
+    }
+    Chunk& chunk = chunks_[ref.tail];
+    chunk.rows[chunk.count++] = rid;
+  }
+
+  /// Invoke fn(rid) over the chain in insertion order; stops and returns
+  /// false as soon as fn returns false.
+  template <class Fn>
+  bool ForEach(const Ref& ref, Fn&& fn) const {
+    for (uint32_t c = ref.head; c != kNone; c = chunks_[c].next) {
+      const Chunk& chunk = chunks_[c];
+      for (uint32_t i = 0; i < chunk.count; ++i) {
+        if (!fn(chunk.rows[i])) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  static constexpr uint32_t kChunkRows = 8;
+
+  struct Chunk {
+    RowId rows[kChunkRows];
+    uint32_t count = 0;
+    uint32_t next = kNone;
+  };
+
+  std::vector<Chunk> chunks_;
+};
+
 /// One level of the left-deep join pipeline, planned before execution:
 /// equi-join keys against already-bound aliases (with the hash table built
-/// on the level's filtered candidates), plus the residual conjuncts that
-/// become fully bound once this level binds.
+/// on the level's filtered candidates as chunked candidate blocks), plus
+/// the residual conjuncts that become fully bound once this level binds.
 struct JoinLevel {
   std::vector<std::pair<BoundColumn, BoundColumn>> keys;  // (new, old)
-  std::unordered_map<std::vector<Value>, std::vector<RowId>, ValueRowHash,
+  std::unordered_map<std::vector<Value>, RowIdChunks::Ref, ValueRowHash,
                      ValueRowEq>
       build;
+  RowIdChunks build_rows;
   std::vector<const Expr*> ready;
 };
 
@@ -231,7 +289,7 @@ class TuplePipeline {
                 const Evaluator& eval, const std::vector<JoinLevel>& levels,
                 const std::vector<std::vector<RowId>>& candidates,
                 const std::vector<const Expr*>& projected, bool has_star,
-                bool streaming_distinct, bool push_limit, ExecStats* stats,
+                bool streaming_distinct, size_t local_cap, ExecStats* stats,
                 ResultSet* result)
       : stmt_(stmt),
         binder_(binder),
@@ -241,9 +299,23 @@ class TuplePipeline {
         projected_(projected),
         has_star_(has_star),
         streaming_distinct_(streaming_distinct),
-        push_limit_(push_limit),
+        local_cap_(local_cap),
         stats_(stats),
         result_(result) {}
+
+  /// Restrict the first table's iteration to rows of one storage shard;
+  /// the parallel driver runs one pipeline per shard with disjoint scans.
+  void RestrictFirstTableToShard(size_t shard, size_t shard_count) {
+    shard_ = static_cast<int64_t>(shard);
+    shard_count_ = shard_count;
+  }
+
+  /// Cooperative LIMIT cancellation shared by all parallel workers: every
+  /// emitted row claims one slot; the scan stops once `cap` are claimed.
+  void SetSharedRowBudget(std::atomic<size_t>* claimed, size_t cap) {
+    shared_claimed_ = claimed;
+    shared_cap_ = cap;
+  }
 
   /// Defer the first table's filtering into the pipeline: scan `seed`
   /// (or all `row_count` rows when scan_all) lazily, applying `filters`
@@ -274,28 +346,46 @@ class TuplePipeline {
       key_scratch_.reserve(level.keys.size());
       for (const auto& [nc, oc] : level.keys) {
         key_scratch_.push_back(
-            binder_.table(oc.alias_idx)->rows()[t[oc.alias_idx]][oc.col_idx]);
+            binder_.table(oc.alias_idx)->row(t[oc.alias_idx])[oc.col_idx]);
       }
       auto it = level.build.find(key_scratch_);
       if (it == level.build.end()) return true;
-      for (RowId rid : it->second) {
-        if (!BindAndDescend(a, rid, t)) return false;
-      }
-      return true;
+      return level.build_rows.ForEach(
+          it->second, [&](RowId rid) { return BindAndDescend(a, rid, t); });
     }
     if (a == 0 && (lazy0_seed_ != nullptr || lazy0_scan_all_)) {
       return ScanFirstTable(t);
     }
-    // Cross product with the filtered candidates.
+    // Cross product with the filtered candidates (this worker's shard only
+    // when the scan is partitioned).
     for (RowId rid : candidates_[a]) {
+      if (a == 0 && SkipsShard(rid)) continue;
       if (!BindAndDescend(a, rid, t)) return false;
     }
     return true;
   }
 
+  /// True when the first table's iteration is partitioned and `rid`
+  /// belongs to a different worker's shard. The mask mirrors
+  /// storage::ShardLayout's documented round-robin low-bits assignment
+  /// (shard_count_ is the table's power-of-two shard count), as does the
+  /// start/stride walk in ScanFirstTable — a layout change must update
+  /// both alongside ShardLayout::ShardOf.
+  bool SkipsShard(RowId rid) const {
+    return shard_ >= 0 &&
+           (rid & (shard_count_ - 1)) != static_cast<size_t>(shard_);
+  }
+
+  /// True once the shared LIMIT budget has been drained by any worker.
+  bool BudgetSpent() const {
+    return shared_claimed_ != nullptr &&
+           shared_claimed_->load(std::memory_order_relaxed) >= shared_cap_;
+  }
+
   bool ScanFirstTable(Tuple& t) {
     bool keep_going = true;
     auto visit = [&](RowId rid) {
+      if (BudgetSpent()) return false;
       if (stats_ != nullptr) ++stats_->base_rows_scanned;
       t[0] = rid;
       bool pass = true;
@@ -316,11 +406,15 @@ class TuplePipeline {
       return cont;
     };
     if (lazy0_scan_all_) {
-      for (RowId rid = 0; rid < lazy0_row_count_ && keep_going; ++rid) {
+      RowId start = shard_ >= 0 ? static_cast<RowId>(shard_) : 0;
+      RowId stride = shard_ >= 0 ? shard_count_ : 1;
+      for (RowId rid = start; rid < lazy0_row_count_ && keep_going;
+           rid += stride) {
         keep_going = visit(rid);
       }
     } else {
       for (RowId rid : *lazy0_seed_) {
+        if (SkipsShard(rid)) continue;
         keep_going = visit(rid);
         if (!keep_going) break;
       }
@@ -354,7 +448,7 @@ class TuplePipeline {
     Row row;
     if (has_star_) {
       for (size_t a = 0; a < levels_.size(); ++a) {
-        const Row& src = binder_.table(a)->rows()[t[a]];
+        const Row& src = binder_.table(a)->row(t[a]);
         row.insert(row.end(), src.begin(), src.end());
       }
     }
@@ -367,13 +461,14 @@ class TuplePipeline {
       row.push_back(std::move(v).value());
     }
     if (streaming_distinct_ && !seen_.insert(row).second) return true;
+    if (shared_claimed_ != nullptr &&
+        shared_claimed_->fetch_add(1, std::memory_order_relaxed) >=
+            shared_cap_) {
+      return false;  // budget exhausted by other workers; drop the row
+    }
     result_->rows.push_back(std::move(row));
     if (stats_ != nullptr) ++stats_->rows_emitted;
-    if (push_limit_ &&
-        result_->rows.size() >= static_cast<size_t>(stmt_.limit)) {
-      return false;
-    }
-    return true;
+    return result_->rows.size() < local_cap_;
   }
 
   const SelectStmt& stmt_;
@@ -384,7 +479,11 @@ class TuplePipeline {
   const std::vector<const Expr*>& projected_;
   bool has_star_;
   bool streaming_distinct_;
-  bool push_limit_;
+  size_t local_cap_;
+  int64_t shard_ = -1;     // -1: iterate every shard (serial pipeline)
+  size_t shard_count_ = 1;
+  std::atomic<size_t>* shared_claimed_ = nullptr;
+  size_t shared_cap_ = 0;
   ExecStats* stats_;
   ResultSet* result_;
   const std::vector<RowId>* lazy0_seed_ = nullptr;
@@ -486,15 +585,22 @@ Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
   bool lazy0_scan_all = false;
   for (size_t a = 0; a < n_aliases; ++a) {
     const Table* table = tables[a];
-    // Index selection: gather every probe-able equality / IN conjunct on
-    // this alias and pick the most selective one (smallest candidate set),
-    // the standard access-path choice a relational planner makes.
+    // Index selection: rank every probe-able equality / IN conjunct on
+    // this alias by its aggregate per-shard cardinality (Table::ProbeCount,
+    // no materialization), then materialize only the winner — the same
+    // cheapest-access-path choice the graph matcher makes through
+    // ProbeCountNodes. (For IN probes the rank sums per-value counts, an
+    // upper bound on the deduplicated union.)
     std::vector<RowId> seed;
     bool seeded = false;
-    size_t best_size = static_cast<size_t>(-1);
+    int best_col = -1;
+    const Value* best_eq = nullptr;
+    const std::vector<Value>* best_in = nullptr;
+    size_t best_count = static_cast<size_t>(-1);
     for (const Expr* f : filters[a]) {
-      std::vector<RowId> candidate;
-      bool usable = false;
+      int col_idx = -1;
+      const Value* eq = nullptr;
+      const std::vector<Value>* in = nullptr;
       if (f->kind == ExprKind::kBinary && f->op == BinaryOp::kEq) {
         const Expr* col = nullptr;
         const Expr* lit = nullptr;
@@ -511,8 +617,8 @@ Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
           auto bc = binder.Resolve(*col);
           if (bc.ok() && bc.value().alias_idx == static_cast<int>(a) &&
               table->HasIndex(bc.value().col_idx)) {
-            candidate = table->Probe(bc.value().col_idx, lit->literal);
-            usable = true;
+            col_idx = bc.value().col_idx;
+            eq = &lit->literal;
           }
         }
       } else if (f->kind == ExprKind::kInList && !f->negated &&
@@ -520,24 +626,49 @@ Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
         auto bc = binder.Resolve(*f->lhs);
         if (bc.ok() && bc.value().alias_idx == static_cast<int>(a) &&
             table->HasIndex(bc.value().col_idx)) {
-          std::unordered_set<RowId> merged;
-          for (const Value& v : f->in_list) {
-            for (RowId rid : table->Probe(bc.value().col_idx, v)) {
+          col_idx = bc.value().col_idx;
+          in = &f->in_list;
+        }
+      }
+      if (col_idx < 0) continue;
+      size_t count = 0;
+      if (eq != nullptr) {
+        count = table->ProbeCount(col_idx, *eq);
+      } else {
+        for (const Value& v : *in) count += table->ProbeCount(col_idx, v);
+      }
+      if (count < best_count) {
+        best_count = count;
+        best_col = col_idx;
+        best_eq = eq;
+        best_in = in;
+      }
+    }
+    if (best_col >= 0) {
+      // Materialize the winner: union of its per-shard buckets, re-sorted
+      // into global row order (buckets are disjoint across shards; IN
+      // probes additionally dedup across values).
+      if (best_eq != nullptr) {
+        for (size_t s = 0; s < table->shard_count(); ++s) {
+          const std::vector<RowId>& bucket =
+              table->Probe(best_col, *best_eq, s);
+          seed.insert(seed.end(), bucket.begin(), bucket.end());
+        }
+      } else {
+        std::unordered_set<RowId> merged;
+        for (const Value& v : *best_in) {
+          for (size_t s = 0; s < table->shard_count(); ++s) {
+            for (RowId rid : table->Probe(best_col, v, s)) {
               merged.insert(rid);
             }
           }
-          candidate.assign(merged.begin(), merged.end());
-          std::sort(candidate.begin(), candidate.end());
-          usable = true;
         }
+        seed.assign(merged.begin(), merged.end());
       }
-      if (usable && candidate.size() < best_size) {
-        best_size = candidate.size();
-        seed = std::move(candidate);
-        seeded = true;
-      }
+      std::sort(seed.begin(), seed.end());
+      seeded = true;
+      stats->index_probe_rows += seed.size();
     }
-    if (seeded) stats->index_probe_rows += seed.size();
     if (a == 0 && push_limit) {
       lazy0 = true;
       lazy0_scan_all = !seeded;
@@ -632,9 +763,9 @@ Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
       key_vals.clear();
       key_vals.reserve(levels[a].keys.size());
       for (const auto& [nc, oc] : levels[a].keys) {
-        key_vals.push_back(table->rows()[rid][nc.col_idx]);
+        key_vals.push_back(table->row(rid)[nc.col_idx]);
       }
-      levels[a].build[key_vals].push_back(rid);
+      levels[a].build_rows.Append(levels[a].build[key_vals], rid);
     }
   }
 
@@ -659,17 +790,75 @@ Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
                               [](const SelectItem& i) { return i.star; });
 
   // --- Streaming scan / join / emit pipeline --------------------------------
+  size_t local_cap =
+      push_limit ? static_cast<size_t>(stmt.limit) : static_cast<size_t>(-1);
+  // Fan the base scan (and with it the whole probe pipeline) out over the
+  // first table's shards only when it can pay off: a sharded table, more
+  // than one worker allowed, a scan large enough to amortize dispatch, and
+  // no small pushed LIMIT (the serial early-exit path finishes those in a
+  // handful of row visits).
+  size_t scan_size = n_aliases == 0 ? 0
+                     : lazy0 ? (lazy0_scan_all ? tables[0]->row_count()
+                                               : lazy0_seed.size())
+                             : candidates[0].size();
+  size_t n_shards = n_aliases == 0 ? 1 : tables[0]->shard_count();
+  bool parallel =
+      options.parallel_shards > 1 && n_shards > 1 &&
+      scan_size >= static_cast<size_t>(std::max(0, options.parallel_min_rows)) &&
+      !(push_limit &&
+        stmt.limit < static_cast<long long>(options.parallel_min_limit));
   if (!(push_limit && stmt.limit == 0)) {
-    TuplePipeline pipeline(stmt, binder, eval, levels, candidates, projected,
-                           has_star, streaming_distinct, push_limit, stats,
-                           &result);
-    if (lazy0) {
-      pipeline.SetLazyFirstTable(lazy0_scan_all ? nullptr : &lazy0_seed,
-                                 lazy0_scan_all, tables[0]->row_count(),
-                                 &filters[0]);
+    if (!parallel) {
+      TuplePipeline pipeline(stmt, binder, eval, levels, candidates, projected,
+                             has_star, streaming_distinct, local_cap, stats,
+                             &result);
+      if (lazy0) {
+        pipeline.SetLazyFirstTable(lazy0_scan_all ? nullptr : &lazy0_seed,
+                                   lazy0_scan_all, tables[0]->row_count(),
+                                   &filters[0]);
+      }
+      pipeline.Run();
+      RAPTOR_RETURN_NOT_OK(pipeline.error());
+    } else {
+      struct ShardRun {
+        ResultSet rs;
+        ExecStats stats;
+        Status error = Status::OK();
+      };
+      std::vector<ShardRun> runs(n_shards);
+      // LIMIT policy (shared atomic claims vs per-worker caps merged with
+      // a re-dedup): see storage/shard_parallel.h.
+      storage::ShardRowBudget budget(push_limit, streaming_distinct,
+                                     stmt.limit);
+      size_t workers = std::min<size_t>(
+          static_cast<size_t>(options.parallel_shards), n_shards);
+      ThreadPool::Shared().ParallelFor(n_shards, workers, [&](size_t s) {
+        ShardRun& run = runs[s];
+        // Evaluator IN-list caches are mutable, so every worker owns one.
+        Evaluator shard_eval(binder);
+        TuplePipeline pipeline(stmt, binder, shard_eval, levels, candidates,
+                               projected, has_star, streaming_distinct,
+                               budget.local_cap, &run.stats, &run.rs);
+        if (lazy0) {
+          pipeline.SetLazyFirstTable(lazy0_scan_all ? nullptr : &lazy0_seed,
+                                     lazy0_scan_all, tables[0]->row_count(),
+                                     &filters[0]);
+        }
+        pipeline.RestrictFirstTableToShard(s, n_shards);
+        if (budget.shared) {
+          pipeline.SetSharedRowBudget(&budget.claimed, budget.shared_cap);
+        }
+        pipeline.Run();
+        run.error = pipeline.error();
+      });
+      RAPTOR_RETURN_NOT_OK(storage::MergeShardRuns(
+          runs, streaming_distinct, &result.rows, [&](ShardRun& run) {
+            stats->base_rows_scanned += run.stats.base_rows_scanned;
+            stats->index_probe_rows += run.stats.index_probe_rows;
+            stats->join_output_tuples += run.stats.join_output_tuples;
+            stats->rows_emitted += run.stats.rows_emitted;
+          }));
     }
-    pipeline.Run();
-    RAPTOR_RETURN_NOT_OK(pipeline.error());
   }
 
   // --- ORDER BY / DISTINCT / LIMIT -------------------------------------------

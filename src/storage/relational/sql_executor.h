@@ -16,7 +16,19 @@
 //    have been emitted, and DISTINCT short-circuits through an incremental
 //    seen-set (SelectOptions::streaming_distinct) instead of a final dedup
 //    pass. ORDER BY forces full materialization, so it disables the LIMIT
-//    pushdown but not the streaming dedup.
+//    pushdown but not the streaming dedup;
+//  * hash-join build sides store per-key row ids as chunked candidate
+//    blocks in one arena per level instead of one heap vector per key,
+//    cutting allocation churn on large builds;
+//  * when the base table is sharded and its scan is large enough, the
+//    scan — and with it the whole downstream join/probe pipeline — fans
+//    out one worker per storage shard onto the shared thread pool
+//    (common/thread_pool.h). Workers emit into thread-local result sets
+//    merged in shard order; a pushed-down LIMIT cancels cooperatively via
+//    an atomic row budget, and streaming DISTINCT dedups locally with the
+//    seen-sets merged at the barrier. ORDER BY sorts after the merge, so
+//    rows comparing equal on every key may order differently than a serial
+//    run; key-unique sorts are unaffected.
 //
 // This gives the honest behaviour Table VIII depends on: a giant SQL query
 // with many joins and non-equi temporal constraints pays for large
@@ -59,6 +71,16 @@ struct SelectOptions {
   /// Apply DISTINCT through an incremental seen-set during emission.
   /// Off = legacy final dedup pass over the materialized result.
   bool streaming_distinct = true;
+  /// Maximum shard-parallel workers for the base scan / probe pipeline;
+  /// the effective worker count is min(parallel_shards, base table
+  /// shard_count()). 1 = always serial (the differential baseline).
+  int parallel_shards = 4;
+  /// Stay serial when the base-table scan (or its index seed list) is
+  /// smaller than this: tiny scans lose more to dispatch than they gain.
+  int parallel_min_rows = 256;
+  /// Stay serial when a pushed-down LIMIT is below this: the serial
+  /// early-exit path finishes such queries in a handful of row visits.
+  int parallel_min_limit = 8;
 };
 
 class Catalog {

@@ -4,6 +4,12 @@
 
 namespace raptor::sql {
 
+namespace {
+
+const std::vector<RowId> kNoRows;
+
+}  // namespace
+
 Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
   for (size_t i = 0; i < columns_.size(); ++i) {
     by_name_.emplace(columns_[i].name, static_cast<int>(i));
@@ -15,17 +21,25 @@ int Schema::FindColumn(std::string_view name) const {
   return it == by_name_.end() ? -1 : it->second;
 }
 
+Table::Table(std::string name, Schema schema, size_t shard_count)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      layout_(shard_count) {
+  shards_.resize(layout_.count());
+}
+
 Status Table::Insert(Row row) {
   if (row.size() != schema_.size()) {
     return Status::InvalidArgument(
         StrFormat("table %s expects %zu columns, got %zu", name_.c_str(),
                   schema_.size(), row.size()));
   }
-  RowId id = rows_.size();
-  for (auto& [col, index] : indexes_) {
+  RowId id = row_count_++;
+  Shard& shard = shards_[layout_.ShardOf(id)];
+  for (auto& [col, index] : shard.indexes) {
     index[row[col]].push_back(id);
   }
-  rows_.push_back(std::move(row));
+  shard.rows.push_back(std::move(row));
   return Status::OK();
 }
 
@@ -36,24 +50,41 @@ Status Table::CreateIndex(std::string_view column) {
                                       std::string(column).c_str(),
                                       name_.c_str()));
   }
-  if (indexes_.count(col)) return Status::OK();
-  auto& index = indexes_[col];
-  for (RowId id = 0; id < rows_.size(); ++id) {
-    index[rows_[id][col]].push_back(id);
+  if (shards_[0].indexes.count(col)) return Status::OK();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = shards_[s];
+    ValueIndex& index = shard.indexes[col];
+    for (size_t local = 0; local < shard.rows.size(); ++local) {
+      RowId id = layout_.GlobalOf(s, local);
+      index[shard.rows[local][col]].push_back(id);
+    }
   }
   return Status::OK();
 }
 
 bool Table::HasIndex(int column_idx) const {
-  return indexes_.count(column_idx) > 0;
+  // Indexes are created in every shard at once; shard 0 is authoritative.
+  return shards_[0].indexes.count(column_idx) > 0;
 }
 
 const std::vector<RowId>& Table::Probe(int column_idx, const Value& v) const {
-  static const std::vector<RowId> kEmpty;
-  auto it = indexes_.find(column_idx);
-  if (it == indexes_.end()) return kEmpty;
+  return Probe(column_idx, v, 0);
+}
+
+const std::vector<RowId>& Table::Probe(int column_idx, const Value& v,
+                                       size_t shard) const {
+  auto it = shards_[shard].indexes.find(column_idx);
+  if (it == shards_[shard].indexes.end()) return kNoRows;
   auto jt = it->second.find(v);
-  return jt == it->second.end() ? kEmpty : jt->second;
+  return jt == it->second.end() ? kNoRows : jt->second;
+}
+
+size_t Table::ProbeCount(int column_idx, const Value& v) const {
+  size_t count = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    count += Probe(column_idx, v, s).size();
+  }
+  return count;
 }
 
 }  // namespace raptor::sql

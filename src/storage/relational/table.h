@@ -1,5 +1,18 @@
 // In-memory row-store table with hash equality indexes, the storage unit of
 // the embedded relational engine that substitutes PostgreSQL.
+//
+// Sharding: rows and index storage partition into a power-of-two number of
+// entity-id-hashed shards (shard = row id & mask; row ids stay dense and
+// global, assigned in insert order). Each shard owns its rows and its slice
+// of every hash index, which lets the SQL executor partition base-table
+// scans and hash-join probe sides one worker per shard. The pre-sharding
+// accessors that return whole-table references (rows(), Probe() without a
+// shard argument) remain valid as the single-shard (shard_count() == 1)
+// case; row(id) and the per-shard probes work for any shard count.
+//
+// Thread-safety contract: construction and mutation (Insert / CreateIndex)
+// are single-threaded; all const member functions are race-free when
+// called concurrently from any number of threads.
 #pragma once
 
 #include <string>
@@ -9,6 +22,7 @@
 #include "common/interner.h"
 #include "common/status.h"
 #include "storage/relational/value.h"
+#include "storage/shard_layout.h"
 
 namespace raptor::sql {
 
@@ -44,27 +58,51 @@ using RowId = size_t;
 /// equality probes on indexed columns.
 class Table {
  public:
-  Table(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+  /// `shard_count` is rounded up to a power of two; 1 (the default)
+  /// reproduces the unsharded layout exactly.
+  Table(std::string name, Schema schema, size_t shard_count = 1);
 
   /// Append one row. Arity must match the schema; values are checked
   /// loosely (NULL is accepted for any column).
   Status Insert(Row row);
 
-  /// Create (or no-op if present) a hash index on `column`. Existing rows
-  /// are indexed immediately; inserts maintain it.
+  /// Create (or no-op if present) a hash index on `column` in every shard.
+  /// Existing rows are indexed immediately; inserts maintain it.
   Status CreateIndex(std::string_view column);
 
   bool HasIndex(int column_idx) const;
 
   /// Row ids whose `column_idx` cell equals `v` (index probe).
-  /// Precondition: HasIndex(column_idx).
+  /// Precondition: HasIndex(column_idx) && shard_count() == 1 (the sharded
+  /// layout exposes the per-shard probe below).
   const std::vector<RowId>& Probe(int column_idx, const Value& v) const;
+
+  /// The index bucket of `shard` only (global row ids, ascending); a
+  /// value's full candidate set is the disjoint union of its buckets
+  /// across all shards. Precondition: HasIndex(column_idx) &&
+  /// shard < shard_count().
+  const std::vector<RowId>& Probe(int column_idx, const Value& v,
+                                  size_t shard) const;
+
+  /// Candidate count for column == v summed over all shards, without
+  /// materializing the union (exact for any shard count).
+  size_t ProbeCount(int column_idx, const Value& v) const;
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
-  const std::vector<Row>& rows() const { return rows_; }
-  size_t row_count() const { return rows_.size(); }
+
+  const Row& row(RowId id) const {
+    return shards_[layout_.ShardOf(id)].rows[layout_.LocalOf(id)];
+  }
+
+  /// Whole-table row storage. Precondition: shard_count() == 1.
+  const std::vector<Row>& rows() const { return shards_[0].rows; }
+
+  size_t row_count() const { return row_count_; }
+  size_t shard_count() const { return shards_.size(); }
+
+  /// Shard owning row `id`.
+  size_t ShardOf(RowId id) const { return layout_.ShardOf(id); }
 
  private:
   // Keyed directly on Value with a Compare()-consistent hash, so inserts
@@ -72,10 +110,18 @@ class Table {
   using ValueIndex =
       std::unordered_map<Value, std::vector<RowId>, ValueHash, ValueEq>;
 
+  /// One entity-id-hashed partition: the rows whose id hashes here and
+  /// this shard's slice of every column index (global row ids).
+  struct Shard {
+    std::vector<Row> rows;
+    std::unordered_map<int, ValueIndex> indexes;  // column index -> index
+  };
+
   std::string name_;
   Schema schema_;
-  std::vector<Row> rows_;
-  std::unordered_map<int, ValueIndex> indexes_;  // column index -> index
+  std::vector<Shard> shards_;
+  storage::ShardLayout layout_;
+  size_t row_count_ = 0;
 };
 
 }  // namespace raptor::sql

@@ -1,0 +1,78 @@
+// Shared policy pieces of the shard-parallel query drivers (the Cypher
+// matcher and the SQL pipeline): LIMIT row-budget selection and the
+// shard-order merge. Both engines fan one worker per storage shard onto
+// the common thread pool and stream into thread-local result sets; the
+// subtle parts — how a pushed-down LIMIT is enforced across workers and
+// how DISTINCT survives the merge — live here once so the two executors
+// cannot drift apart.
+//
+// Budget policy: without DISTINCT every emitted row counts globally, so
+// workers claim emission slots from one atomic counter (exactly `limit`
+// claims succeed, and idle workers poll the counter to abandon their
+// scans early). With streaming DISTINCT a global count cannot know about
+// cross-shard duplicates, so each worker dedups locally up to the limit
+// and the merge dedups again. That guarantees the merged unique-row count
+// is never BELOW min(limit, full distinct count) — every worker either
+// filled the limit by itself or exhausted its shard — but it can exceed
+// the limit (disjoint shards can each contribute up to `limit` rows): the
+// executors' trailing LIMIT resize is load-bearing for pushed-down
+// DISTINCT limits, not a legacy safety net.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/relational/value.h"
+
+namespace raptor::storage {
+
+/// LIMIT enforcement for a fleet of shard workers. Wire `shared_claimed()`
+/// / `shared_cap` and `local_cap` into each worker's row sink.
+struct ShardRowBudget {
+  std::atomic<size_t> claimed{0};
+  size_t shared_cap = 0;
+  size_t local_cap = static_cast<size_t>(-1);
+  bool shared = false;
+
+  ShardRowBudget(bool push_limit, bool streaming_distinct, long long limit) {
+    if (!push_limit) return;
+    if (streaming_distinct) {
+      local_cap = static_cast<size_t>(limit);
+    } else {
+      shared = true;
+      shared_cap = static_cast<size_t>(limit);
+    }
+  }
+
+  std::atomic<size_t>* shared_claimed() { return shared ? &claimed : nullptr; }
+};
+
+/// Merge per-shard worker results in shard order (deterministic for a
+/// fixed storage layout): fail on the first worker error, let `on_run`
+/// fold each worker's stats, move rows into `out`, and — with streaming
+/// DISTINCT — drop cross-shard duplicates that the workers' local
+/// seen-sets could not observe. `Run` must expose a `Status error` and a
+/// result set with value rows at `rs.rows`.
+template <class Run, class OnRun>
+Status MergeShardRuns(std::vector<Run>& runs, bool streaming_distinct,
+                      std::vector<std::vector<sql::Value>>* out,
+                      OnRun&& on_run) {
+  std::unordered_set<std::vector<sql::Value>, sql::ValueRowHash,
+                     sql::ValueRowEq>
+      seen;
+  for (Run& run : runs) {
+    RAPTOR_RETURN_NOT_OK(run.error);
+    on_run(run);
+    for (auto& row : run.rs.rows) {
+      if (streaming_distinct && !seen.insert(row).second) continue;
+      out->push_back(std::move(row));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace raptor::storage

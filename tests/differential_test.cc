@@ -1,15 +1,24 @@
 // Differential testing of the streaming query pipelines: every MatchOptions
-// / SelectOptions toggle combination must agree with the reference
-// configuration on a catalog of Cypher and SQL queries over randomized
-// small graphs/tables built from the shared synthetic-graph fixture.
+// / SelectOptions toggle combination — crossed with serial vs shard-
+// parallel execution (parallel_shards in {1, 4}, with the fan-out
+// thresholds zeroed so even these tiny fixtures exercise the parallel
+// drivers) — must agree with the reference configuration on a catalog of
+// Cypher and SQL queries over randomized small graphs/tables built from
+// the shared synthetic-graph fixture.
 //
 // Queries without LIMIT must return identical (order-normalized) result
 // multisets. Queries with LIMIT may legitimately return different subsets
-// across configurations (toggles change seed and expansion order), so they
-// are checked structurally instead: the row count must be
-// min(limit, full_result_count) and every returned row must come from the
-// full (un-limited) reference result; DISTINCT additionally requires the
+// across configurations (toggles change seed and expansion order, and
+// parallel workers race for the row budget), so they are checked
+// structurally instead: the row count must be min(limit,
+// full_result_count) and every returned row must come from the full
+// (un-limited) reference result; DISTINCT additionally requires the
 // returned rows to be unique.
+//
+// The graphs also carry planted attack subgraphs (a lateral-movement chain
+// and an exfil fan-in, tests/fixtures/synthetic_graph.h) whose exact
+// expected rows are asserted against the reference results — catching a
+// matcher that returns plausible counts but wrong entities.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -72,11 +81,23 @@ struct CatalogQuery {
   bool ordered = false;  // results are deterministically ordered (SQL only)
 };
 
-const long long kLimits[] = {-1, 0, 3, 1000};  // -1 = no LIMIT clause
+// 16 crosses the parallel_min_limit default (8): the shared atomic row
+// budget actually gates emission there, unlike 1000 which rarely binds.
+const long long kLimits[] = {-1, 0, 3, 16, 1000};  // -1 = no LIMIT clause
 
 std::string WithLimit(const CatalogQuery& q, long long limit) {
   if (limit < 0) return q.text;
   return std::string(q.text) + " LIMIT " + std::to_string(limit);
+}
+
+/// Expected rows of a plant-targeted query, rendered like RenderRows.
+std::vector<std::string> ExpectedRows(
+    std::vector<std::vector<std::string>> rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(Join(row, "\x1f"));
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 // --------------------------------------------------------------- Cypher
@@ -93,6 +114,11 @@ TEST_P(CypherDifferentialTest, AllToggleCombosAgree) {
   spec.edge_types = 4;
   graphdb::GraphDatabase db;
   fixtures::BuildSyntheticGraph(db.graph(), spec, rng);
+  fixtures::AttackPlantSpec plant_spec;
+  fixtures::AttackPlants plants =
+      fixtures::PlantAttackSubgraphs(db.graph(), spec, plant_spec);
+  ASSERT_EQ(plants.lateral_procs.size(), 5u);
+  ASSERT_EQ(plants.exfil_docs.size(), 6u);
   // Randomize index availability so both probe and scan seeding run.
   if (seed % 2 == 0) db.graph().CreateNodeIndex("proc", "exename");
   if (seed % 3 != 1) db.graph().CreateNodeIndex("file", "name");
@@ -115,18 +141,53 @@ TEST_P(CypherDifferentialTest, AllToggleCombosAgree) {
       {"MATCH (p:proc) WHERE p.exename IN ['/bin/p0', '/bin/p2', '/bin/p4'] "
        "RETURN DISTINCT p.exename",
        true},
+      // Plant-targeted queries: expected rows asserted exactly below.
+      {"MATCH (a:proc)-[e:lm_hop]->(b:proc) RETURN a.exename, b.exename",
+       false},
+      {"MATCH (a:proc {exename: '/attack/lm0'})-[e:lm_hop*1..4]->(b:proc) "
+       "RETURN b.exename",
+       false},
+      {"MATCH (p:proc)-[r:exfil_read]->(d:file), "
+       "(p)-[w:exfil_write]->(a:file) RETURN p.exename, d.name, a.name",
+       false},
+  };
+
+  // Known-plant expectations: the reference result of each plant-targeted
+  // query is fully determined by the planted subgraphs, independent of the
+  // random background graph.
+  std::vector<std::vector<std::string>> lm_edges, lm_reach, exfil_rows;
+  for (int i = 0; i < plant_spec.lateral_hops; ++i) {
+    lm_edges.push_back({"/attack/lm" + std::to_string(i),
+                        "/attack/lm" + std::to_string(i + 1)});
+  }
+  for (int i = 1; i <= plant_spec.lateral_hops; ++i) {
+    lm_reach.push_back({"/attack/lm" + std::to_string(i)});
+  }
+  for (int i = 0; i < plant_spec.exfil_docs; ++i) {
+    exfil_rows.push_back({"/attack/exfil", "/secret/doc" + std::to_string(i),
+                          "/attack/upload.tgz"});
+  }
+  std::map<std::string, std::vector<std::string>> planted = {
+      {catalog[8].text, ExpectedRows(lm_edges)},
+      {catalog[9].text, ExpectedRows(lm_reach)},
+      {catalog[10].text, ExpectedRows(exfil_rows)},
   };
 
   for (const CatalogQuery& q : catalog) {
-    // Reference: default (all-optimized) configuration, no LIMIT.
+    // Reference: default (all-optimized) configuration, no LIMIT, serial.
     db.options() = graphdb::MatchOptions{};
+    db.options().parallel_shards = 1;
     auto full_rs = db.Query(q.text);
     ASSERT_TRUE(full_rs.ok()) << q.text << ": " << full_rs.status().ToString();
     std::vector<std::string> full = RenderRows(full_rs.value().rows);
+    auto plant_it = planted.find(q.text);
+    if (plant_it != planted.end()) {
+      EXPECT_EQ(full, plant_it->second) << q.text;
+    }
 
     for (long long limit : kLimits) {
       std::string text = WithLimit(q, limit);
-      for (int combo = 0; combo < 64; ++combo) {
+      for (int combo = 0; combo < 128; ++combo) {
         graphdb::MatchOptions opts;
         opts.typed_adjacency = combo & 1;
         opts.hashed_in_lists = combo & 2;
@@ -134,6 +195,8 @@ TEST_P(CypherDifferentialTest, AllToggleCombosAgree) {
         opts.streaming_distinct = combo & 8;
         opts.binding_frames = combo & 16;
         opts.selective_seeds = combo & 32;
+        opts.parallel_shards = (combo & 64) ? 4 : 1;
+        opts.parallel_min_seeds = 0;  // fan out even on these tiny graphs
         db.options() = opts;
 
         auto rs = db.Query(text);
@@ -218,7 +281,9 @@ TEST_P(SqlDifferentialTest, AllToggleCombosAgree) {
   };
 
   for (const CatalogQuery& q : catalog) {
+    // Reference: default configuration, no LIMIT, serial.
     db.options() = sql::SelectOptions{};
+    db.options().parallel_shards = 1;
     auto full_rs = db.Query(q.text);
     ASSERT_TRUE(full_rs.ok()) << q.text << ": " << full_rs.status().ToString();
     // Ordered queries compare positionally (no sort normalization).
@@ -229,10 +294,12 @@ TEST_P(SqlDifferentialTest, AllToggleCombosAgree) {
 
     for (long long limit : kLimits) {
       std::string text = WithLimit(q, limit);
-      for (int combo = 0; combo < 4; ++combo) {
+      for (int combo = 0; combo < 8; ++combo) {
         sql::SelectOptions opts;
         opts.push_limit = combo & 1;
         opts.streaming_distinct = combo & 2;
+        opts.parallel_shards = (combo & 4) ? 4 : 1;
+        opts.parallel_min_rows = 0;  // fan out even on these tiny tables
         db.options() = opts;
 
         auto rs = db.Query(text);

@@ -14,8 +14,14 @@
 //    named prefix + global node index ("/n0".."/nK"), procs first.
 // Edge endpoints either connect proc -> file (edges_proc_to_file) or join
 // two uniformly random nodes.
+//
+// PlantAttackSubgraphs() additionally lays attack-shaped subgraphs with
+// known entity ids over any base graph — a lateral-movement chain and an
+// exfiltration fan-in — so tests can assert that hunting queries recover
+// exactly the planted structures.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -96,6 +102,90 @@ inline SyntheticGraph BuildSyntheticGraph(graphdb::PropertyGraph& g,
     }
     g.AddEdge(src, dst, std::move(type), {});
   }
+  return out;
+}
+
+/// Planted attack-shaped subgraphs with known entity ids, so stress and
+/// differential tests can assert on the exact matches a hunting query must
+/// return instead of bare row counts. Plants reuse the base spec's labels
+/// and property keys (so the same indexes cover them) but use distinctive
+/// name prefixes and edge types that the random background population
+/// never produces.
+struct AttackPlantSpec {
+  /// Lateral movement: a chain of processes p0 -> p1 -> ... -> p<hops>,
+  /// each hop an edge of type `lateral_edge` with increasing start_time
+  /// (the shape of an attacker pivoting host to host).
+  int lateral_hops = 4;
+  const char* lateral_prefix = "/attack/lm";
+  const char* lateral_edge = "lm_hop";
+  /// Exfiltration fan-in: one staging process reads `exfil_docs` sensitive
+  /// files and writes a single archive (many sources converging on one
+  /// sink before exfil).
+  int exfil_docs = 6;
+  const char* exfil_proc_name = "/attack/exfil";
+  const char* exfil_doc_prefix = "/secret/doc";
+  const char* exfil_archive_name = "/attack/upload.tgz";
+  const char* exfil_read_edge = "exfil_read";
+  const char* exfil_write_edge = "exfil_write";
+};
+
+struct AttackPlants {
+  std::vector<graphdb::NodeId> lateral_procs;  // chain order, hops+1 nodes
+  graphdb::NodeId exfil_proc = graphdb::kInvalidNode;
+  std::vector<graphdb::NodeId> exfil_docs;
+  graphdb::NodeId exfil_archive = graphdb::kInvalidNode;
+};
+
+/// The property key naming a node of `label` under the spec's scheme
+/// (global_name_index mode keys every label on file_prop).
+inline const char* NamePropFor(const SyntheticGraphSpec& spec,
+                               bool is_proc) {
+  if (spec.global_name_index || !is_proc) return spec.file_prop;
+  return spec.proc_prop;
+}
+
+/// Plant the lateral-movement chain and the exfil fan-in into `g`.
+/// Deterministic: node ids continue the graph's dense id space in the
+/// order laid out here, and the returned ids identify every plant.
+inline AttackPlants PlantAttackSubgraphs(graphdb::PropertyGraph& g,
+                                         const SyntheticGraphSpec& spec,
+                                         const AttackPlantSpec& plant = {}) {
+  AttackPlants out;
+  const char* proc_prop = NamePropFor(spec, /*is_proc=*/true);
+  const char* file_prop = NamePropFor(spec, /*is_proc=*/false);
+  // Lateral movement chain.
+  for (int i = 0; i <= plant.lateral_hops; ++i) {
+    out.lateral_procs.push_back(g.AddNode(
+        spec.proc_label,
+        {{proc_prop,
+          graphdb::Value(plant.lateral_prefix + std::to_string(i))}}));
+  }
+  for (int i = 0; i < plant.lateral_hops; ++i) {
+    g.AddEdge(out.lateral_procs[i], out.lateral_procs[i + 1],
+              plant.lateral_edge,
+              {{"start_time", graphdb::Value(static_cast<int64_t>(i * 10))},
+               {"end_time",
+                graphdb::Value(static_cast<int64_t>(i * 10 + 1))}});
+  }
+  // Exfil fan-in.
+  out.exfil_proc = g.AddNode(
+      spec.proc_label, {{proc_prop, graphdb::Value(plant.exfil_proc_name)}});
+  for (int i = 0; i < plant.exfil_docs; ++i) {
+    out.exfil_docs.push_back(g.AddNode(
+        spec.file_label,
+        {{file_prop,
+          graphdb::Value(plant.exfil_doc_prefix + std::to_string(i))}}));
+    g.AddEdge(out.exfil_proc, out.exfil_docs.back(), plant.exfil_read_edge,
+              {{"start_time", graphdb::Value(static_cast<int64_t>(100 + i))},
+               {"end_time",
+                graphdb::Value(static_cast<int64_t>(101 + i))}});
+  }
+  out.exfil_archive = g.AddNode(
+      spec.file_label,
+      {{file_prop, graphdb::Value(plant.exfil_archive_name)}});
+  g.AddEdge(out.exfil_proc, out.exfil_archive, plant.exfil_write_edge,
+            {{"start_time", graphdb::Value(static_cast<int64_t>(200))},
+             {"end_time", graphdb::Value(static_cast<int64_t>(201))}});
   return out;
 }
 
