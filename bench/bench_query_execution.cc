@@ -19,15 +19,23 @@
 // storage shards versus the forced-serial path, plus the LIMIT 1 guard
 // (small pushed limits must bypass the fan-out and stay on the serial
 // fast path).
+// A fifth section measures inter-query concurrency: N identical TBQL
+// hunts submitted through service::HuntService at 1/2/4 in-flight
+// (throughput in hunts/sec), plus the zero-copy merge counters of a
+// shard-parallel Cypher block query (adopted vs pushed rows; a non-zero
+// pushed count on the non-DISTINCT workload fails the bench).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
+#include "service/hunt_service.h"
 #include "tests/fixtures/synthetic_graph.h"
 
 using namespace raptor;
@@ -165,7 +173,88 @@ void RunParallelMatchWorkload(graphdb::GraphDatabase& db,
   report->Metric("parallel", "match_limit1_serial_seconds", l1_serial);
   report->Metric("parallel", "match_limit1_default_seconds", l1_default);
   report->Metric("parallel", "match_limit1_ratio", ratio);
+
+  // Zero-copy merge counters: the sharded non-DISTINCT run must adopt
+  // every worker block wholesale — any individually pushed row means the
+  // merge regressed to per-row moves.
   db.options() = graphdb::MatchOptions{};
+  db.options().parallel_shards = 4;
+  auto blocks = db.QueryBlocks(full_query);
+  if (!blocks.ok()) {
+    std::fprintf(stderr, "block query failed: %s\n",
+                 blocks.status().ToString().c_str());
+    std::exit(1);
+  }
+  size_t adopted = blocks.value().rows.adopted_rows();
+  size_t pushed = blocks.value().rows.pushed_rows();
+  std::printf(
+      "  zero_copy_merge: %zu rows adopted in %zu blocks, %zu pushed\n",
+      adopted, blocks.value().rows.block_count(), pushed);
+  if (pushed != 0) {
+    std::fprintf(stderr,
+                 "zero-copy merge regression: %zu rows moved row-by-row\n",
+                 pushed);
+    std::exit(1);
+  }
+  report->Metric("zero_copy", "match_adopted_rows",
+                 static_cast<double>(adopted));
+  report->Metric("zero_copy", "match_pushed_rows",
+                 static_cast<double>(pushed));
+  report->Metric("zero_copy", "match_blocks",
+                 static_cast<double>(blocks.value().rows.block_count()));
+  db.options() = graphdb::MatchOptions{};
+}
+
+/// Inter-query concurrency: identical TBQL hunts pushed through the
+/// HuntService at increasing admission widths. On multicore hardware
+/// throughput should scale with the width until the shared pool
+/// saturates; the 1-core dev container reports ~1x (see CI artifacts).
+void RunConcurrentHuntWorkload(bench::BenchReport* report) {
+  const cases::AttackCase* c = cases::FindCase("data_leak");
+  if (c == nullptr) {
+    std::fprintf(stderr, "data_leak case missing\n");
+    std::exit(1);
+  }
+  auto tr = bench::LoadCase(*c, bench::NoiseScale());
+  const std::string query = "proc p read || write file f return p, f";
+  const int hunts =
+      static_cast<int>(bench::EnvLong("BENCH_CONCURRENT_HUNTS", 12));
+  std::printf("\nConcurrent hunts (%d x \"%s\", store %zu events):\n", hunts,
+              query.c_str(), tr->store()->event_count());
+  double qps_by_width[3] = {0, 0, 0};
+  const size_t widths[3] = {1, 2, 4};
+  for (int w = 0; w < 3; ++w) {
+    service::HuntServiceOptions opts;
+    opts.max_concurrent = widths[w];
+    service::HuntService service(tr->store(), opts);
+    Stopwatch timer;
+    std::vector<service::HuntTicket> tickets;
+    tickets.reserve(hunts);
+    for (int i = 0; i < hunts; ++i) {
+      service::HuntRequest request;
+      request.text = query;
+      tickets.push_back(service.Submit(std::move(request)));
+    }
+    size_t rows = 0;
+    for (service::HuntTicket& t : tickets) {
+      if (!t.Wait().ok()) {
+        std::fprintf(stderr, "hunt failed: %s\n",
+                     t.status().ToString().c_str());
+        std::exit(1);
+      }
+      rows = t.response().report.results.rows.size();
+    }
+    double seconds = timer.ElapsedSeconds();
+    qps_by_width[w] = seconds > 0 ? hunts / seconds : 0;
+    std::printf(
+        "  in_flight=%zu: %.3f s total, %.1f hunts/s (%zu rows each)\n",
+        widths[w], seconds, qps_by_width[w], rows);
+    report->Metric("concurrent",
+                   "qps_inflight" + std::to_string(widths[w]),
+                   qps_by_width[w]);
+  }
+  report->Metric("concurrent", "speedup_4v1",
+                 qps_by_width[0] > 0 ? qps_by_width[2] / qps_by_width[0] : 0);
 }
 
 /// Shard-parallel SELECT vs the serial path: a filtered full scan and a
@@ -394,6 +483,7 @@ int main() {
   report.Metric("total", "giant_cypher_seconds", totals[3]);
 
   RunLargeGraphWorkload(&report);
+  RunConcurrentHuntWorkload(&report);
   report.Write();
   return 0;
 }

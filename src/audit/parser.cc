@@ -14,6 +14,11 @@ bool IsNetworkDirected(const SyscallRecord& rec) { return !rec.dst_ip.empty(); }
 
 Status AuditLogParser::Parse(const std::vector<SyscallRecord>& records,
                              ParsedLog* out) {
+  // `out` may already hold previously parsed batches (incremental
+  // ingestion): entities intern into the shared store, and only the events
+  // appended by THIS call are sorted and numbered — ids continue the
+  // existing sequence and earlier batches are never reshuffled.
+  size_t first = out->events.size();
   for (const SyscallRecord& rec : records) {
     ++stats_.records_seen;
     if (!IsMonitoredSyscall(rec.syscall)) {
@@ -22,11 +27,11 @@ Status AuditLogParser::Parse(const std::vector<SyscallRecord>& records,
     }
     RAPTOR_RETURN_NOT_OK(ParseOne(rec, out));
   }
-  std::stable_sort(out->events.begin(), out->events.end(),
+  std::stable_sort(out->events.begin() + first, out->events.end(),
                    [](const SystemEvent& a, const SystemEvent& b) {
                      return a.start_time < b.start_time;
                    });
-  for (size_t i = 0; i < out->events.size(); ++i) {
+  for (size_t i = first; i < out->events.size(); ++i) {
     out->events[i].id = i + 1;
   }
   return Status::OK();

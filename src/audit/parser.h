@@ -28,9 +28,12 @@ struct ParserStats {
 
 class AuditLogParser {
  public:
-  /// Parse raw records into `out`. Records may arrive in any order; the
-  /// emitted event stream is sorted by start_time. Unmonitored syscalls are
-  /// counted and skipped, malformed records yield InvalidArgument.
+  /// Parse raw records into `out`, appending to whatever earlier batches
+  /// already put there (entities intern into the shared store; event ids
+  /// continue the existing sequence). Records may arrive in any order
+  /// within a batch; the appended events are sorted by start_time among
+  /// themselves, earlier batches are left untouched. Unmonitored syscalls
+  /// are counted and skipped, malformed records yield InvalidArgument.
   Status Parse(const std::vector<SyscallRecord>& records, ParsedLog* out);
 
   const ParserStats& stats() const { return stats_; }

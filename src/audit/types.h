@@ -122,6 +122,10 @@ class EntityStore {
                          std::string_view dstip, int dstport,
                          std::string_view protocol);
 
+  /// Intern a fully-populated entity by its UniqueKey(), ignoring its
+  /// incoming id (batch ingestion remaps foreign ParsedLogs through this).
+  EntityId Intern(SystemEntity entity);
+
   /// Precondition: id was returned by one of the Intern* methods.
   const SystemEntity& Get(EntityId id) const { return entities_[id - 1]; }
 
@@ -131,8 +135,6 @@ class EntityStore {
   size_t size() const { return entities_.size(); }
 
  private:
-  EntityId Intern(SystemEntity entity);
-
   std::vector<SystemEntity> entities_;
   std::unordered_map<std::string, EntityId> by_key_;
 };

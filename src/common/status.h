@@ -23,6 +23,8 @@ enum class StatusCode {
   kUnsupported,
   kInternal,
   kTimeout,
+  kCancelled,
+  kUnavailable,
 };
 
 /// Lightweight error-or-success value returned by fallible operations.
@@ -57,6 +59,12 @@ class Status {
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -78,6 +86,8 @@ class Status {
       case StatusCode::kUnsupported: return "Unsupported";
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kTimeout: return "Timeout";
+      case StatusCode::kCancelled: return "Cancelled";
+      case StatusCode::kUnavailable: return "Unavailable";
     }
     return "Unknown";
   }

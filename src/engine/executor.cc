@@ -1,8 +1,11 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <deque>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
@@ -114,6 +117,31 @@ Result<ExecReport> TbqlExecutor::ExecuteText(std::string_view text,
   return Execute(query.value(), options);
 }
 
+std::vector<std::vector<size_t>> PatternDependencies(
+    const AnalyzedQuery& aq, const std::vector<size_t>& order) {
+  const tbql::TbqlQuery& query = *aq.query;
+  auto joinable = [&aq](const std::string& id) {
+    return aq.entities.at(id).type != tbql::EntityType::kNetwork;
+  };
+  std::vector<std::vector<size_t>> deps(query.patterns.size());
+  for (size_t oi = 0; oi < order.size(); ++oi) {
+    const Pattern& pi = query.patterns[order[oi]];
+    for (size_t oj = 0; oj < oi; ++oj) {
+      const Pattern& pj = query.patterns[order[oj]];
+      bool shared = false;
+      for (const std::string& id : {pi.subject.id, pi.object.id}) {
+        if (!joinable(id)) continue;
+        if (id == pj.subject.id || id == pj.object.id) {
+          shared = true;
+          break;
+        }
+      }
+      if (shared) deps[order[oi]].push_back(order[oj]);
+    }
+  }
+  return deps;
+}
+
 Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
                                          const ExecOptions& options) const {
   Stopwatch timer;
@@ -148,12 +176,41 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
   };
 
   // ---- Per-pattern execution with constraint propagation -------------------
+  // The constraint-propagation DAG chains every pattern pair sharing a
+  // joinable entity id in scheduler order; patterns with no edge are
+  // independent and may execute concurrently. Each pattern reads the
+  // shared domains when it starts (its DAG predecessors have all finished,
+  // so it sees exactly the serial schedule's domains) and intersects its
+  // own matched ids back in when it completes; the mutex only guards those
+  // two boundary touches, never a data query.
   EntityConstraints constraints;
+  std::mutex constraints_mu;
   std::vector<std::vector<PatternMatch>> matches(n_patterns);
-  for (size_t idx : order) {
+  std::vector<std::string> query_texts(n_patterns);
+  if (options.propagate_constraints) {
+    report.pattern_deps = PatternDependencies(aq, order);
+  } else {
+    report.pattern_deps.assign(n_patterns, {});
+  }
+
+  auto check_interrupt = [&options]() -> Status {
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      return Status::Cancelled("hunt cancelled");
+    }
+    if (options.deadline.has_value() &&
+        std::chrono::steady_clock::now() > *options.deadline) {
+      return Status::Timeout("hunt deadline exceeded");
+    }
+    return Status::OK();
+  };
+
+  auto run_pattern = [&](size_t idx) -> Status {
+    RAPTOR_RETURN_NOT_OK(check_interrupt());
     EntityConstraints relevant;
     if (options.propagate_constraints) {
       const Pattern& p = query.patterns[idx];
+      std::lock_guard<std::mutex> lock(constraints_mu);
       for (const std::string& id : {p.subject.id, p.object.id}) {
         if (!joinable(id)) continue;
         auto it = constraints.find(id);
@@ -162,36 +219,42 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
     }
     auto dq = CompilePattern(aq, idx, relevant, now);
     if (!dq.ok()) return dq.status();
-    report.executed_queries.push_back(dq.value().text);
+    query_texts[idx] = dq.value().text;
 
     std::vector<PatternMatch>& out = matches[idx];
     if (dq.value().backend == Backend::kRelational) {
-      auto rs = store_->relational().Query(dq.value().text);
+      sql::SelectOptions sopts = store_->relational().options();
+      sopts.cancel = options.cancel;
+      auto rs = store_->relational().QueryBlocks(dq.value().text, sopts);
       if (!rs.ok()) return rs.status();
-      out.reserve(rs.value().rows.size());
-      for (const sql::Row& row : rs.value().rows) {
+      out.reserve(rs.value().rows.row_count());
+      auto cursor = rs.value().cursor();
+      while (const sql::Row* row = cursor.Next()) {
         PatternMatch m;
-        m.event_id = row[0].AsInt();
-        m.subject_id = row[1].AsInt();
-        m.object_id = row[2].AsInt();
-        m.start_time = row[3].AsInt();
-        m.end_time = row[4].AsInt();
+        m.event_id = (*row)[0].AsInt();
+        m.subject_id = (*row)[1].AsInt();
+        m.object_id = (*row)[2].AsInt();
+        m.start_time = (*row)[3].AsInt();
+        m.end_time = (*row)[4].AsInt();
         m.has_event = true;
         out.push_back(m);
       }
     } else {
-      auto rs = store_->graph().Query(dq.value().text);
+      graphdb::MatchOptions gopts = store_->graph().options();
+      gopts.cancel = options.cancel;
+      auto rs = store_->graph().QueryBlocks(dq.value().text, gopts);
       if (!rs.ok()) return rs.status();
       bool has_event = dq.value().has_event_columns;
-      out.reserve(rs.value().rows.size());
-      for (const auto& row : rs.value().rows) {
+      out.reserve(rs.value().rows.row_count());
+      auto cursor = rs.value().cursor();
+      while (const std::vector<graphdb::Value>* row = cursor.Next()) {
         PatternMatch m;
-        m.subject_id = row[0].AsInt();
-        m.object_id = row[1].AsInt();
-        if (has_event && row.size() >= 5) {
-          m.event_id = row[2].AsInt();
-          m.start_time = row[3].AsInt();
-          m.end_time = row[4].AsInt();
+        m.subject_id = (*row)[0].AsInt();
+        m.object_id = (*row)[1].AsInt();
+        if (has_event && row->size() >= 5) {
+          m.event_id = (*row)[2].AsInt();
+          m.start_time = (*row)[3].AsInt();
+          m.end_time = (*row)[4].AsInt();
           m.has_event = true;
         }
         out.push_back(m);
@@ -208,6 +271,7 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
         EntitySet ids;
         ids.reserve(out.size());
         for (const PatternMatch& m : out) ids.insert(m.*pick);
+        std::lock_guard<std::mutex> lock(constraints_mu);
         auto it = constraints.find(id);
         if (it == constraints.end()) {
           constraints.emplace(id, std::move(ids));
@@ -229,6 +293,71 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
         }
       }
     }
+    return Status::OK();
+  };
+
+  bool parallel_patterns = options.parallel_patterns && n_patterns > 1 &&
+                           options.max_pattern_workers > 1;
+  if (!parallel_patterns) {
+    for (size_t idx : order) RAPTOR_RETURN_NOT_OK(run_pattern(idx));
+  } else {
+    // Dataflow ready-queue over the DAG on the shared pool: workers claim
+    // ready patterns, and each completion unlocks its dependents. The
+    // caller participates (ThreadPool::ParallelFor), so the schedule makes
+    // progress even when every pool helper is busy elsewhere; a worker
+    // only blocks while some other worker is executing a pattern, so the
+    // wait always terminates.
+    std::vector<size_t> indegree(n_patterns, 0);
+    std::vector<std::vector<size_t>> dependents(n_patterns);
+    for (size_t i = 0; i < n_patterns; ++i) {
+      indegree[i] = report.pattern_deps[i].size();
+      for (size_t d : report.pattern_deps[i]) dependents[d].push_back(i);
+    }
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<size_t> ready;
+    for (size_t idx : order) {
+      if (indegree[idx] == 0) ready.push_back(idx);
+    }
+    size_t remaining = n_patterns;
+    bool failed = false;
+    Status first_error;
+    size_t workers = std::min<size_t>(
+        static_cast<size_t>(options.max_pattern_workers), n_patterns);
+    ThreadPool::Shared().ParallelFor(workers, workers, [&](size_t) {
+      for (;;) {
+        size_t idx;
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          cv.wait(lock, [&] {
+            return failed || remaining == 0 || !ready.empty();
+          });
+          if (failed || remaining == 0) return;
+          idx = ready.front();
+          ready.pop_front();
+        }
+        Status st = run_pattern(idx);
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!st.ok()) {
+            if (!failed) {
+              failed = true;
+              first_error = st;
+            }
+          } else if (!failed) {
+            for (size_t dep : dependents[idx]) {
+              if (--indegree[dep] == 0) ready.push_back(dep);
+            }
+          }
+          --remaining;
+        }
+        cv.notify_all();
+      }
+    });
+    if (failed) return first_error;
+  }
+  for (size_t idx : order) {
+    report.executed_queries.push_back(std::move(query_texts[idx]));
   }
 
   // Re-filter earlier pattern matches with the final entity domains (later
@@ -302,6 +431,7 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
     assignments.push_back(std::move(seed));
   }
   for (size_t idx : join_order) {
+    RAPTOR_RETURN_NOT_OK(check_interrupt());
     const Pattern& p = query.patterns[idx];
     std::vector<Assignment> next;
     uint32_t s_slot = entity_slots.Lookup(p.subject.id);
@@ -331,6 +461,7 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
   }
 
   // ---- Temporal & attribute relationships ----------------------------------
+  RAPTOR_RETURN_NOT_OK(check_interrupt());
   auto event_of = [&](const Assignment& a,
                       const std::string& id) -> const PatternMatch* {
     auto pit = aq.pattern_by_id.find(id);

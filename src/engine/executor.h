@@ -12,8 +12,21 @@
 // Compared to the naive plan (one giant SQL/Cypher query), this avoids
 // weaving many joins and non-equi temporal constraints together, which is
 // what Table VIII measures.
+//
+// Pattern execution is DAG-scheduled: patterns that share a joinable
+// entity id are chained in scheduler order (constraint propagation needs
+// the predecessor's matched ids), while independent patterns carry no edge
+// and execute concurrently on the shared worker pool through a dataflow
+// ready queue. Because dependencies serialize exactly the pattern pairs
+// that interact through the constraint domains, the concurrent schedule
+// produces byte-identical reports to the serial one. Cooperative
+// cancellation and deadlines (HuntService tickets) are polled at pattern
+// boundaries and inside the storage executors' scan loops.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,6 +43,20 @@ struct ExecOptions {
   bool use_scheduler = true;
   /// Propagate matched entity ids into dependent data queries.
   bool propagate_constraints = true;
+  /// Execute independent patterns (no constraint-propagation edge between
+  /// them) concurrently on the shared worker pool. false: strictly
+  /// sequential in scheduler order (the differential baseline).
+  bool parallel_patterns = true;
+  /// Concurrency cap for the pattern dataflow (the effective width is also
+  /// bounded by the pattern count and the pool size).
+  int max_pattern_workers = 4;
+  /// Cooperative cancellation: polled at pattern boundaries, join levels,
+  /// and inside the storage executors' scan loops. When set mid-query the
+  /// hunt returns Status::Cancelled. Must outlive the call.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Absolute deadline; exceeded at any pattern/join boundary the hunt
+  /// returns Status::Timeout.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 struct TbqlResultSet {
@@ -52,12 +79,25 @@ struct ExecReport {
   double seconds = 0;
   /// All events matched by event patterns (deduplicated, for evaluation).
   std::vector<long long> matched_event_ids;
+  /// Constraint-propagation DAG the scheduler ran: pattern_deps[i] lists
+  /// the pattern indices that had to execute before pattern i (empty lists
+  /// throughout when constraint propagation is off — every pattern is
+  /// independent then).
+  std::vector<std::vector<size_t>> pattern_deps;
 };
 
 /// Pruning score of pattern `idx` (exposed for tests and the ablation
 /// bench): declared constraint count, plus a bonus shrinking with the
 /// maximum path length.
 double PruningScore(const tbql::AnalyzedQuery& aq, size_t idx);
+
+/// Constraint-propagation DAG under execution order `order` (pattern
+/// indices, most selective first): deps[i] lists every pattern ordered
+/// before i that shares a joinable (non-network) entity id with i. Those
+/// are exactly the pairs whose execution order affects the propagated
+/// entity domains; patterns with no edge may run concurrently.
+std::vector<std::vector<size_t>> PatternDependencies(
+    const tbql::AnalyzedQuery& aq, const std::vector<size_t>& order);
 
 class TbqlExecutor {
  public:

@@ -1,0 +1,307 @@
+#include "service/hunt_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/stopwatch.h"
+
+namespace raptor::service {
+
+namespace {
+
+std::chrono::microseconds ClampMicros(long long micros) {
+  return std::chrono::microseconds(std::max<long long>(0, micros));
+}
+
+}  // namespace
+
+// ---- HuntTicket ------------------------------------------------------------
+
+namespace {
+
+const Status& InvalidTicketStatus() {
+  static const Status* status = new Status(
+      Status::InvalidArgument("invalid hunt ticket (not from Submit)"));
+  return *status;
+}
+
+}  // namespace
+
+const Status& HuntTicket::Wait() const {
+  if (state_ == nullptr) return InvalidTicketStatus();
+  HuntTicket::State& st = *state_;
+  std::unique_lock<std::mutex> lock(st.mu);
+  st.cv.wait(lock, [&] { return st.done; });
+  return st.status;
+}
+
+bool HuntTicket::WaitFor(long long micros) const {
+  if (state_ == nullptr) return true;  // an invalid ticket is "finished"
+  HuntTicket::State& st = *state_;
+  std::unique_lock<std::mutex> lock(st.mu);
+  return st.cv.wait_for(lock, ClampMicros(micros), [&] { return st.done; });
+}
+
+void HuntTicket::WaitStarted() const {
+  if (state_ == nullptr) return;
+  HuntTicket::State& st = *state_;
+  std::unique_lock<std::mutex> lock(st.mu);
+  st.cv.wait(lock, [&] { return st.started || st.done; });
+}
+
+bool HuntTicket::done() const {
+  if (state_ == nullptr) return true;
+  HuntTicket::State& st = *state_;
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.done;
+}
+
+void HuntTicket::Cancel() const {
+  if (state_ == nullptr) return;
+  state_->cancel.store(true, std::memory_order_relaxed);
+}
+
+const Status& HuntTicket::status() const {
+  if (state_ == nullptr) return InvalidTicketStatus();
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->status;
+}
+
+const HuntResponse& HuntTicket::response() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->response;
+}
+
+HuntResponse HuntTicket::TakeResponse() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return std::move(state_->response);
+}
+
+uint64_t HuntTicket::id() const { return state_ == nullptr ? 0 : state_->id; }
+
+// ---- HuntService -----------------------------------------------------------
+
+HuntService::HuntService(const storage::AuditStore* store,
+                         HuntServiceOptions options)
+    : store_(store), options_(options) {
+  if (options_.max_concurrent == 0) options_.max_concurrent = 1;
+}
+
+HuntService::~HuntService() {
+  std::vector<StatePtr> abandoned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    for (auto& [tenant, queue] : queues_) {
+      for (StatePtr& st : queue) abandoned.push_back(std::move(st));
+      queue.clear();
+    }
+    queues_.clear();
+    tenant_rr_.clear();
+    queued_ = 0;
+    // Running hunts observe the flag at their next poll point.
+    for (const StatePtr& st : running_) {
+      st->cancel.store(true, std::memory_order_relaxed);
+    }
+  }
+  cv_.notify_all();
+  for (StatePtr& st : abandoned) {
+    Finish(st, Status::Cancelled("hunt service shut down"), HuntResponse{});
+  }
+  for (std::thread& t : workers_) t.join();
+}
+
+HuntTicket HuntService::Submit(HuntRequest request) {
+  auto state = std::make_shared<HuntTicket::State>();
+  if (request.timeout_micros >= 0) {
+    state->deadline = std::chrono::steady_clock::now() +
+                      ClampMicros(request.timeout_micros);
+  }
+  state->request = std::move(request);
+  bool rejected = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state->id = next_id_++;
+    ++stats_.submitted;
+    if (stop_ || queued_ >= options_.max_queue) {
+      rejected = true;
+      ++stats_.rejected;
+    } else {
+      StartWorkersLocked();
+      const std::string& tenant = state->request.tenant;
+      std::deque<StatePtr>& queue = queues_[tenant];
+      if (queue.empty()) tenant_rr_.push_back(tenant);
+      queue.push_back(state);
+      ++queued_;
+    }
+  }
+  HuntTicket ticket{state};
+  if (rejected) {
+    Finish(state, Status::Unavailable("hunt admission queue full"),
+           HuntResponse{});
+  } else {
+    cv_.notify_one();
+  }
+  return ticket;
+}
+
+Result<HuntResponse> HuntService::Run(HuntRequest request) {
+  HuntTicket ticket = Submit(std::move(request));
+  Status status = ticket.Wait();
+  if (!status.ok()) return status;
+  return ticket.TakeResponse();
+}
+
+size_t HuntService::InFlight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_ + running_.size();
+}
+
+HuntService::Stats HuntService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out = stats_;
+  out.tenants = queues_.size();
+  return out;
+}
+
+void HuntService::StartWorkersLocked() {
+  if (!workers_.empty()) return;
+  workers_.reserve(options_.max_concurrent);
+  for (size_t i = 0; i < options_.max_concurrent; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+HuntService::StatePtr HuntService::DequeueLocked() {
+  const std::string tenant = std::move(tenant_rr_.front());
+  tenant_rr_.pop_front();
+  std::deque<StatePtr>& queue = queues_.at(tenant);
+  StatePtr state = std::move(queue.front());
+  queue.pop_front();
+  --queued_;
+  // Keep the tenant in rotation while it has queued work; its next
+  // request waits behind every other tenant's head-of-line request.
+  if (!queue.empty()) tenant_rr_.push_back(tenant);
+  return state;
+}
+
+void HuntService::WorkerLoop() {
+  for (;;) {
+    StatePtr state;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || queued_ > 0; });
+      if (queued_ == 0) return;  // stop_ set and queue drained
+      state = DequeueLocked();
+      running_.push_back(state);
+    }
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->started = true;
+    }
+    state->cv.notify_all();
+    Status status = Status::OK();
+    HuntResponse response;
+    Process(state, &status, &response);
+    // Leave running_ BEFORE finishing the ticket: a waiter observing
+    // done() must also observe InFlight() without this hunt (the facade's
+    // ingest guard sequences on exactly that).
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      running_.erase(std::find(running_.begin(), running_.end(), state));
+    }
+    Finish(state, std::move(status), std::move(response));
+  }
+}
+
+void HuntService::Process(const StatePtr& state, Status* status,
+                          HuntResponse* response) {
+  // Queue-time expiry: cancellation and deadlines apply while waiting for
+  // admission, not just during execution.
+  if (state->cancel.load(std::memory_order_relaxed)) {
+    *status = Status::Cancelled("hunt cancelled");
+    return;
+  }
+  if (state->deadline.has_value() &&
+      std::chrono::steady_clock::now() > *state->deadline) {
+    *status = Status::Timeout("hunt deadline exceeded");
+    return;
+  }
+  auto result = Execute(*state);
+  if (result.ok()) {
+    *response = std::move(result).value();
+  } else {
+    *status = result.status();
+  }
+}
+
+Result<HuntResponse> HuntService::Execute(HuntTicket::State& state) const {
+  const HuntRequest& req = state.request;
+  HuntResponse response;
+  response.dialect = req.dialect;
+  Stopwatch timer;
+  switch (req.dialect) {
+    case QueryDialect::kTbql: {
+      engine::ExecOptions opts = req.exec;
+      opts.cancel = &state.cancel;
+      opts.deadline = state.deadline;
+      engine::TbqlExecutor executor(store_);
+      auto report = executor.ExecuteText(req.text, opts);
+      if (!report.ok()) return report.status();
+      response.report = std::move(report).value();
+      response.columns = response.report.results.columns;
+      break;
+    }
+    case QueryDialect::kCypher: {
+      graphdb::MatchOptions opts = store_->graph().options();
+      opts.cancel = &state.cancel;
+      auto rs = store_->graph().QueryBlocks(req.text, opts);
+      if (!rs.ok()) return rs.status();
+      response.columns = std::move(rs.value().columns);
+      response.rows = std::move(rs.value().rows);
+      break;
+    }
+    case QueryDialect::kSql: {
+      sql::SelectOptions opts = store_->relational().options();
+      opts.cancel = &state.cancel;
+      auto rs = store_->relational().QueryBlocks(req.text, opts);
+      if (!rs.ok()) return rs.status();
+      response.columns = std::move(rs.value().columns);
+      response.rows = std::move(rs.value().rows);
+      break;
+    }
+  }
+  // The raw backends poll only the cancel flag; map a deadline that
+  // expired mid-query onto the cooperative cancellation path.
+  if (state.deadline.has_value() &&
+      std::chrono::steady_clock::now() > *state.deadline) {
+    return Status::Timeout("hunt deadline exceeded");
+  }
+  response.seconds = timer.ElapsedSeconds();
+  return response;
+}
+
+void HuntService::Finish(const StatePtr& state, Status status,
+                         HuntResponse response) {
+  // Count the outcome BEFORE the ticket becomes observable-done, so a
+  // waiter that returns from Wait() reads up-to-date stats.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (status.code()) {
+      case StatusCode::kOk: ++stats_.completed; break;
+      case StatusCode::kCancelled: ++stats_.cancelled; break;
+      case StatusCode::kTimeout: ++stats_.timed_out; break;
+      case StatusCode::kUnavailable: break;  // counted at rejection
+      default: ++stats_.failed; break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->status = std::move(status);
+    state->response = std::move(response);
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+}  // namespace raptor::service

@@ -1,0 +1,226 @@
+// HuntService: the asynchronous, multi-tenant query front door.
+//
+// The library-call API (ThreatRaptor::Hunt, TbqlExecutor::Execute) serves
+// one analyst, one query at a time. Interactive hunting is a service
+// problem — many concurrent investigations over one audit store — so this
+// layer turns query execution into Submit()/HuntTicket:
+//
+//   service::HuntService svc(tr.store());
+//   auto t1 = svc.Submit({.text = "proc p read file f return p, f"});
+//   auto t2 = svc.Submit({.text = "MATCH (p:proc)-[e]->(f:file) RETURN f",
+//                         .dialect = service::QueryDialect::kCypher});
+//   t1.Wait();  // t2 ran concurrently on the admission workers
+//
+// Admission: up to max_concurrent read-only hunts execute at once (the
+// PR-3 thread-safety contract — single-threaded mutation, race-free const
+// queries — is what makes this sound); excess requests queue per tenant
+// and admit round-robin across tenants, so one chatty tenant cannot
+// starve the others. Each hunt's intra-query shard fan-out still runs on
+// the shared common/thread_pool.h pool, as does the TBQL engine's pattern
+// DAG, so total parallelism is bounded by the pool, not multiplied by it.
+//
+// Tickets are future-like handles: Wait()/WaitFor(), Cancel()
+// (cooperative — polled by the engine at pattern boundaries and by both
+// storage executors inside their scan loops), and a per-request deadline
+// that expires queued or running hunts with Status::Timeout. Results
+// stream through storage::RowCursor over chunked per-worker row blocks
+// (zero-copy out of the parallel merges) instead of a materialized result
+// set; the synchronous facade calls flatten a block result for
+// compatibility.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/executor.h"
+#include "storage/row_block.h"
+#include "storage/store.h"
+
+namespace raptor::service {
+
+enum class QueryDialect {
+  kTbql,    // TBQL text through engine::TbqlExecutor
+  kCypher,  // raw Cypher against the graph backend
+  kSql,     // raw SQL against the relational backend
+};
+
+struct HuntRequest {
+  std::string text;
+  QueryDialect dialect = QueryDialect::kTbql;
+  /// Fairness bucket: queued requests admit round-robin across tenants.
+  /// Empty is the (shared) default tenant.
+  std::string tenant;
+  /// Relative deadline applied from Submit() — covers queue wait AND
+  /// execution; expiry yields Status::Timeout. Negative: none.
+  long long timeout_micros = -1;
+  /// TBQL execution options. The service owns `cancel` and `deadline`
+  /// (they are overwritten from the ticket); the scheduling toggles pass
+  /// through.
+  engine::ExecOptions exec;
+};
+
+/// A finished hunt. Cypher/SQL rows arrive as chunked per-worker blocks
+/// (`rows`, stream with cursor()); TBQL hunts carry the full engine report
+/// (materialized string rows plus match metadata) in `report`.
+struct HuntResponse {
+  QueryDialect dialect = QueryDialect::kTbql;
+  std::vector<std::string> columns;
+  storage::RowBlocks<std::vector<sql::Value>> rows;
+  engine::ExecReport report;
+  double seconds = 0;  // execution time (excludes queue wait)
+
+  storage::RowCursor<std::vector<sql::Value>> cursor() const {
+    return storage::RowCursor<std::vector<sql::Value>>(&rows);
+  }
+};
+
+class HuntService;
+
+/// Future-like handle to a submitted hunt. Copyable (all copies share one
+/// state); valid tickets come from HuntService::Submit. A
+/// default-constructed (invalid) ticket behaves as already-finished with
+/// an InvalidArgument status — only response()/TakeResponse() require
+/// validity (their precondition implies it).
+class HuntTicket {
+ public:
+  HuntTicket() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Block until the hunt finishes; returns its final status.
+  const Status& Wait() const;
+
+  /// Block up to `micros`; true if the hunt finished in time.
+  bool WaitFor(long long micros) const;
+
+  /// Block until the hunt leaves the admission queue (or finishes without
+  /// running — rejected, cancelled, expired). Lets a client sequence
+  /// against the scheduler: after this, the hunt holds a worker slot.
+  void WaitStarted() const;
+
+  bool done() const;
+
+  /// Request cooperative cancellation: a queued hunt finishes Cancelled
+  /// without executing, a running one stops at the next poll point.
+  void Cancel() const;
+
+  /// Precondition: done().
+  const Status& status() const;
+  /// Precondition: done() && status().ok().
+  const HuntResponse& response() const;
+  /// Move the response out (the ticket keeps its status). Precondition:
+  /// done() && status().ok().
+  HuntResponse TakeResponse();
+
+  uint64_t id() const;
+
+ private:
+  friend class HuntService;
+
+  struct State {
+    // Immutable after Submit().
+    HuntRequest request;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    uint64_t id = 0;
+
+    std::atomic<bool> cancel{false};
+
+    std::mutex mu;
+    std::condition_variable cv;
+    bool started = false;  // dequeued onto an admission worker
+    bool done = false;
+    Status status;
+    HuntResponse response;
+  };
+
+  explicit HuntTicket(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+struct HuntServiceOptions {
+  /// Concurrent hunts admitted at once (= admission worker threads).
+  size_t max_concurrent = 4;
+  /// Queued (not yet admitted) requests across all tenants; Submit beyond
+  /// this finishes the ticket immediately with Status::Unavailable.
+  size_t max_queue = 1024;
+};
+
+class HuntService {
+ public:
+  /// `store` must outlive the service and must not be mutated while hunts
+  /// are queued or running (the const-query thread-safety contract).
+  explicit HuntService(const storage::AuditStore* store,
+                       HuntServiceOptions options = {});
+
+  /// Cancels queued hunts, requests cancellation of running ones, and
+  /// joins the admission workers.
+  ~HuntService();
+
+  HuntService(const HuntService&) = delete;
+  HuntService& operator=(const HuntService&) = delete;
+
+  /// Enqueue a hunt; never blocks on execution. The returned ticket is
+  /// already done() on admission rejection (queue full).
+  HuntTicket Submit(HuntRequest request);
+
+  /// Convenience synchronous path: Submit + Wait + TakeResponse.
+  Result<HuntResponse> Run(HuntRequest request);
+
+  /// Queued + running hunts (the facade refuses to mutate the store while
+  /// this is non-zero).
+  size_t InFlight() const;
+
+  struct Stats {
+    size_t submitted = 0;
+    size_t completed = 0;   // finished OK
+    size_t failed = 0;      // finished with a non-OK, non-cancel status
+    size_t cancelled = 0;
+    size_t timed_out = 0;
+    size_t rejected = 0;    // admission-queue overflow
+    size_t tenants = 0;     // distinct tenants seen
+  };
+  Stats stats() const;
+
+  size_t max_concurrent() const { return options_.max_concurrent; }
+
+ private:
+  using StatePtr = std::shared_ptr<HuntTicket::State>;
+
+  void StartWorkersLocked();
+  void WorkerLoop();
+  /// Pop the next request round-robin across tenant queues. Precondition:
+  /// queued_ > 0, mu_ held.
+  StatePtr DequeueLocked();
+  void Process(const StatePtr& state, Status* status, HuntResponse* response);
+  Result<HuntResponse> Execute(HuntTicket::State& state) const;
+  void Finish(const StatePtr& state, Status status, HuntResponse response);
+
+  const storage::AuditStore* store_;
+  HuntServiceOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, std::deque<StatePtr>> queues_;  // per tenant
+  std::deque<std::string> tenant_rr_;  // tenants with queued work
+  std::vector<StatePtr> running_;
+  size_t queued_ = 0;
+  uint64_t next_id_ = 1;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+  Stats stats_;
+};
+
+}  // namespace raptor::service

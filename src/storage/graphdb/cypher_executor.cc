@@ -426,6 +426,10 @@ using PushdownFilters =
 struct SeedSet {
   SmallVector<const std::vector<NodeId>*, 8> spans;  // indexed by shard
   std::vector<NodeId> owned;                         // owning storage
+  /// Plan-time split of `owned` into per-shard sub-lists (order preserved
+  /// within each shard). Built once by the parallel driver so workers walk
+  /// exactly their shard's seeds instead of skip-scanning the whole list.
+  std::vector<std::vector<NodeId>> owned_by_shard;
   bool full_scan = false;
 
   size_t SeedCount(const PropertyGraph& graph) const {
@@ -436,6 +440,12 @@ struct SeedSet {
       return n;
     }
     return owned.size();
+  }
+
+  void SplitOwnedByShard(const PropertyGraph& graph) {
+    if (owned.empty() || !owned_by_shard.empty()) return;
+    owned_by_shard.resize(graph.shard_count());
+    for (NodeId id : owned) owned_by_shard[graph.ShardOf(id)].push_back(id);
   }
 };
 
@@ -722,10 +732,16 @@ class Matcher {
     // deeper parts (and the serial matcher) walk every shard in order. The
     // shared LIMIT budget is also polled here, so a worker whose shard
     // yields no matches stops scanning as soon as its siblings fill the
-    // limit instead of draining its seed set for nothing.
+    // limit instead of draining its seed set for nothing. A cancellation
+    // flag (HuntService tickets) is polled at the same points, at every
+    // part level, so cancelled queries stop at seed granularity.
     bool top = part_idx == 0;
     int only_shard = top ? seed_shard_ : -1;
     auto budget_spent = [&] {
+      if (options_.cancel != nullptr &&
+          options_.cancel->load(std::memory_order_relaxed)) {
+        return true;
+      }
       return top && shared_claimed_ != nullptr &&
              shared_claimed_->load(std::memory_order_relaxed) >= shared_cap_;
     };
@@ -746,6 +762,13 @@ class Matcher {
           keep_going = !budget_spent() && visit(id);
           if (!keep_going) break;
         }
+      }
+    } else if (only_shard >= 0 && !seeds.owned_by_shard.empty()) {
+      // Plan-time per-shard sub-list: this worker's seeds only, no
+      // skip-scan over the shared materialized union.
+      for (NodeId id : seeds.owned_by_shard[only_shard]) {
+        keep_going = !budget_spent() && visit(id);
+        if (!keep_going) break;
       }
     } else {
       for (NodeId id : seeds.owned) {
@@ -912,7 +935,7 @@ class RowSink {
           const std::vector<const CypherExpr*>& residual,
           bool streaming_distinct, size_t local_cap,
           std::atomic<size_t>* shared_claimed, size_t shared_cap,
-          MatchStats* stats, GraphResultSet* result)
+          MatchStats* stats, std::vector<std::vector<Value>>* rows)
       : query_(query),
         eval_(eval),
         residual_(residual),
@@ -921,7 +944,7 @@ class RowSink {
         shared_claimed_(shared_claimed),
         shared_cap_(shared_cap),
         stats_(stats),
-        result_(result) {}
+        rows_(rows) {}
 
   /// False stops the search: either LIMIT is satisfied or evaluation
   /// failed (check error() afterwards).
@@ -951,9 +974,9 @@ class RowSink {
             shared_cap_) {
       return false;  // budget exhausted by other workers; drop the row
     }
-    result_->rows.push_back(std::move(row));
+    rows_->push_back(std::move(row));
     if (stats_ != nullptr) ++stats_->rows_emitted;
-    return result_->rows.size() < local_cap_;
+    return rows_->size() < local_cap_;
   }
 
   const Status& error() const { return error_; }
@@ -967,7 +990,7 @@ class RowSink {
   std::atomic<size_t>* shared_claimed_;
   size_t shared_cap_;
   MatchStats* stats_;
-  GraphResultSet* result_;
+  std::vector<std::vector<Value>>* rows_;
   Status error_ = Status::OK();
   std::unordered_set<std::vector<Value>, sql::ValueRowHash, sql::ValueRowEq>
       seen_;
@@ -975,8 +998,9 @@ class RowSink {
 
 /// Shard-parallel execution: one task per storage shard on the shared
 /// thread pool, each running a full matcher restricted to its shard's
-/// top-level seeds, streaming into a thread-local sink. Results merge in
-/// shard order, which is deterministic for a fixed graph + shard count.
+/// top-level seeds, streaming into a thread-local sink. Worker blocks
+/// merge in shard order (deterministic for a fixed graph + shard count);
+/// without DISTINCT each block is adopted wholesale — the zero-copy merge.
 template <class BindingT>
 Status RunShardParallel(const CypherQuery& query, const PropertyGraph& graph,
                         const MatchOptions& options, MatchStats* stats,
@@ -984,10 +1008,12 @@ Status RunShardParallel(const CypherQuery& query, const PropertyGraph& graph,
                         const std::vector<const CypherExpr*>& residual,
                         bool streaming_distinct, bool push_limit,
                         const Matcher<BindingT, RowSink<BindingT>>& prepared,
-                        const SeedSet& top_seeds, GraphResultSet* result) {
+                        const SeedSet& top_seeds, GraphBlockResult* result) {
   size_t n_shards = graph.shard_count();
   struct ShardRun {
-    GraphResultSet rs;
+    struct {
+      std::vector<std::vector<Value>> rows;
+    } rs;
     MatchStats stats;
     Status error = Status::OK();
   };
@@ -1005,7 +1031,7 @@ Status RunShardParallel(const CypherQuery& query, const PropertyGraph& graph,
     CypherEvaluator shard_eval(graph, vars, options.hashed_in_lists);
     RowSink<BindingT> sink(query, shard_eval, residual, streaming_distinct,
                            budget.local_cap, budget.shared_claimed(),
-                           budget.shared_cap, &run.stats, &run.rs);
+                           budget.shared_cap, &run.stats, &run.rs.rows);
     Matcher<BindingT, RowSink<BindingT>> matcher(
         graph, options, pushdown, shard_eval, &run.stats, sink);
     matcher.SharePreparedParts(prepared);
@@ -1031,13 +1057,13 @@ Status RunShardParallel(const CypherQuery& query, const PropertyGraph& graph,
 }
 
 template <class BindingT>
-Result<GraphResultSet> RunPipeline(
+Result<GraphBlockResult> RunPipeline(
     const CypherQuery& query, const PropertyGraph& graph,
     const MatchOptions& options, MatchStats* stats, const VarTable& vars,
     const PushdownFilters& pushdown,
     const std::vector<const CypherExpr*>& residual,
     const CypherEvaluator& eval) {
-  GraphResultSet result;
+  GraphBlockResult result;
   for (const CypherReturnItem& item : query.items) {
     result.columns.push_back(item.alias.empty() ? item.expr->ToString()
                                                 : item.alias);
@@ -1051,9 +1077,10 @@ Result<GraphResultSet> RunPipeline(
   size_t local_cap =
       push_limit ? static_cast<size_t>(query.limit) : static_cast<size_t>(-1);
 
+  std::vector<std::vector<Value>> serial_rows;
   RowSink<BindingT> sink(query, eval, residual, streaming_distinct, local_cap,
                          /*shared_claimed=*/nullptr, /*shared_cap=*/0, stats,
-                         &result);
+                         &serial_rows);
   Matcher<BindingT, RowSink<BindingT>> matcher(graph, options, pushdown, eval,
                                                stats, sink);
   // Structural validation always runs, so a pushed-down LIMIT 0 reports the
@@ -1083,29 +1110,38 @@ Result<GraphResultSet> RunPipeline(
                  static_cast<size_t>(std::max(0, options.parallel_min_seeds));
     }
     if (parallel) {
+      // Pre-split any materialized seed union (multi-value probes, bound
+      // vars) into per-shard sub-lists so workers skip the skip-scan.
+      top_seeds.SplitOwnedByShard(graph);
       RAPTOR_RETURN_NOT_OK(RunShardParallel<BindingT>(
           query, graph, options, stats, vars, pushdown, residual,
           streaming_distinct, push_limit, matcher, top_seeds, &result));
     } else {
       matcher.Run(binding);
       RAPTOR_RETURN_NOT_OK(sink.error());
+      result.rows.Adopt(std::move(serial_rows));
     }
+  }
+  if (options.cancel != nullptr &&
+      options.cancel->load(std::memory_order_relaxed)) {
+    return Status::Cancelled("cypher query cancelled");
   }
 
   if (query.distinct && !streaming_distinct) {
     // Legacy final dedup pass over the materialized result.
     std::unordered_set<std::vector<Value>, sql::ValueRowHash, sql::ValueRowEq>
         seen;
+    std::vector<std::vector<Value>> rows = result.rows.Flatten();
     std::vector<std::vector<Value>> unique;
-    unique.reserve(result.rows.size());
-    for (auto& row : result.rows) {
+    unique.reserve(rows.size());
+    for (auto& row : rows) {
       if (seen.insert(row).second) unique.push_back(std::move(row));
     }
-    result.rows = std::move(unique);
+    result.rows.Adopt(std::move(unique));
   }
   if (query.limit >= 0 &&
-      result.rows.size() > static_cast<size_t>(query.limit)) {
-    result.rows.resize(static_cast<size_t>(query.limit));
+      result.rows.row_count() > static_cast<size_t>(query.limit)) {
+    result.rows.Truncate(static_cast<size_t>(query.limit));
   }
   return result;
 }
@@ -1127,10 +1163,10 @@ std::string GraphResultSet::ToString(size_t max_rows) const {
   return out;
 }
 
-Result<GraphResultSet> ExecuteCypher(const CypherQuery& query,
-                                     const PropertyGraph& graph,
-                                     const MatchOptions& options,
-                                     MatchStats* stats) {
+Result<GraphBlockResult> ExecuteCypherBlocks(const CypherQuery& query,
+                                             const PropertyGraph& graph,
+                                             const MatchOptions& options,
+                                             MatchStats* stats) {
   // Intern every pattern variable into a dense slot up front; the frame
   // binding and the evaluator resolve variables through this table.
   VarTable vars;
@@ -1169,6 +1205,18 @@ Result<GraphResultSet> ExecuteCypher(const CypherQuery& query,
                                  residual, eval);
 }
 
+Result<GraphResultSet> ExecuteCypher(const CypherQuery& query,
+                                     const PropertyGraph& graph,
+                                     const MatchOptions& options,
+                                     MatchStats* stats) {
+  auto blocks = ExecuteCypherBlocks(query, graph, options, stats);
+  if (!blocks.ok()) return blocks.status();
+  GraphResultSet result;
+  result.columns = std::move(blocks.value().columns);
+  result.rows = blocks.value().rows.Flatten();
+  return result;
+}
+
 Result<GraphResultSet> GraphDatabase::Query(std::string_view cypher,
                                             MatchStats* stats) const {
   auto query = ParseCypher(cypher);
@@ -1179,6 +1227,19 @@ Result<GraphResultSet> GraphDatabase::Query(std::string_view cypher,
 Result<GraphResultSet> GraphDatabase::Execute(const CypherQuery& query,
                                               MatchStats* stats) const {
   return ExecuteCypher(query, graph_, options_, stats);
+}
+
+Result<GraphBlockResult> GraphDatabase::QueryBlocks(std::string_view cypher,
+                                                    MatchStats* stats) const {
+  return QueryBlocks(cypher, options_, stats);
+}
+
+Result<GraphBlockResult> GraphDatabase::QueryBlocks(
+    std::string_view cypher, const MatchOptions& options,
+    MatchStats* stats) const {
+  auto query = ParseCypher(cypher);
+  if (!query.ok()) return query.status();
+  return ExecuteCypherBlocks(query.value(), graph_, options, stats);
 }
 
 }  // namespace raptor::graphdb

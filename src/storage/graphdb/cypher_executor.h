@@ -34,12 +34,14 @@
 // small pushed limits) take exactly the pre-sharding code path.
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "storage/graphdb/cypher_ast.h"
 #include "storage/graphdb/graph.h"
+#include "storage/row_block.h"
 
 namespace raptor::graphdb {
 
@@ -48,6 +50,21 @@ struct GraphResultSet {
   std::vector<std::vector<Value>> rows;
 
   std::string ToString(size_t max_rows = 20) const;
+};
+
+/// Chunked result: rows live in per-worker blocks (one block per storage
+/// shard after a parallel run, one for a serial run) instead of a flat
+/// vector. A non-DISTINCT parallel merge adopts every worker block without
+/// touching individual rows (rows.pushed_rows() == 0); consumers stream
+/// through storage::RowCursor. GraphResultSet remains the materialized
+/// compatibility view (ExecuteCypher flattens one of these).
+struct GraphBlockResult {
+  std::vector<std::string> columns;
+  storage::RowBlocks<std::vector<Value>> rows;
+
+  storage::RowCursor<std::vector<Value>> cursor() const {
+    return storage::RowCursor<std::vector<Value>>(&rows);
+  }
 };
 
 /// Execution counters, exposed for the scheduler-ablation benchmark.
@@ -94,6 +111,10 @@ struct MatchOptions {
   /// Stay serial when a pushed-down LIMIT is below this: the serial
   /// early-exit path finishes such queries in a handful of seed visits.
   int parallel_min_limit = 8;
+  /// Cooperative cancellation: when non-null and set, seed iteration stops
+  /// (every worker polls it alongside the shared LIMIT budget) and the
+  /// query returns Status::Cancelled. The flag must outlive the call.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Execute `query` against `graph`.
@@ -101,6 +122,13 @@ Result<GraphResultSet> ExecuteCypher(const CypherQuery& query,
                                      const PropertyGraph& graph,
                                      const MatchOptions& options = {},
                                      MatchStats* stats = nullptr);
+
+/// Execute `query`, returning the chunked block result (the zero-copy
+/// parallel-merge path; ExecuteCypher is a flattening wrapper over this).
+Result<GraphBlockResult> ExecuteCypherBlocks(const CypherQuery& query,
+                                             const PropertyGraph& graph,
+                                             const MatchOptions& options = {},
+                                             MatchStats* stats = nullptr);
 
 /// Default storage shard count used by the database facades (the raw
 /// PropertyGraph still defaults to one shard).
@@ -116,11 +144,21 @@ class GraphDatabase {
   const PropertyGraph& graph() const { return graph_; }
 
   MatchOptions& options() { return options_; }
+  const MatchOptions& options() const { return options_; }
 
   Result<GraphResultSet> Query(std::string_view cypher,
                                MatchStats* stats = nullptr) const;
   Result<GraphResultSet> Execute(const CypherQuery& query,
                                  MatchStats* stats = nullptr) const;
+
+  /// Streaming variants returning chunked block results. The options
+  /// overload lets per-request settings (HuntService cancellation flags)
+  /// override the facade defaults without mutating shared state.
+  Result<GraphBlockResult> QueryBlocks(std::string_view cypher,
+                                       MatchStats* stats = nullptr) const;
+  Result<GraphBlockResult> QueryBlocks(std::string_view cypher,
+                                       const MatchOptions& options,
+                                       MatchStats* stats = nullptr) const;
 
  private:
   PropertyGraph graph_;

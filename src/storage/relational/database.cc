@@ -41,6 +41,19 @@ Result<ResultSet> Database::Execute(const SelectStmt& stmt,
   return ExecuteSelect(stmt, *this, options_, stats);
 }
 
+Result<BlockResultSet> Database::QueryBlocks(std::string_view sql,
+                                             ExecStats* stats) const {
+  return QueryBlocks(sql, options_, stats);
+}
+
+Result<BlockResultSet> Database::QueryBlocks(std::string_view sql,
+                                             const SelectOptions& options,
+                                             ExecStats* stats) const {
+  auto stmt = ParseSelect(sql);
+  if (!stmt.ok()) return stmt.status();
+  return ExecuteSelectBlocks(stmt.value(), *this, options, stats);
+}
+
 const Table* Database::FindTable(std::string_view name) const {
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();

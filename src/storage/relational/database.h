@@ -31,6 +31,7 @@ class Database : public Catalog {
 
   /// Streaming toggles applied to every query executed through this facade.
   SelectOptions& options() { return options_; }
+  const SelectOptions& options() const { return options_; }
 
   /// Insert one row into `table`.
   Status Insert(std::string_view table, Row row);
@@ -44,6 +45,15 @@ class Database : public Catalog {
   /// Execute an already-parsed statement.
   Result<ResultSet> Execute(const SelectStmt& stmt,
                             ExecStats* stats = nullptr) const;
+
+  /// Streaming variants returning chunked block results. The options
+  /// overload lets per-request settings (HuntService cancellation flags)
+  /// override the facade defaults without mutating shared state.
+  Result<BlockResultSet> QueryBlocks(std::string_view sql,
+                                     ExecStats* stats = nullptr) const;
+  Result<BlockResultSet> QueryBlocks(std::string_view sql,
+                                     const SelectOptions& options,
+                                     ExecStats* stats = nullptr) const;
 
   // Catalog:
   const Table* FindTable(std::string_view name) const override;

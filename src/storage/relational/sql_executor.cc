@@ -290,7 +290,7 @@ class TuplePipeline {
                 const std::vector<std::vector<RowId>>& candidates,
                 const std::vector<const Expr*>& projected, bool has_star,
                 bool streaming_distinct, size_t local_cap, ExecStats* stats,
-                ResultSet* result)
+                std::vector<Row>* rows)
       : stmt_(stmt),
         binder_(binder),
         eval_(eval),
@@ -301,7 +301,7 @@ class TuplePipeline {
         streaming_distinct_(streaming_distinct),
         local_cap_(local_cap),
         stats_(stats),
-        result_(result) {}
+        rows_(rows) {}
 
   /// Restrict the first table's iteration to rows of one storage shard;
   /// the parallel driver runs one pipeline per shard with disjoint scans.
@@ -315,6 +315,20 @@ class TuplePipeline {
   void SetSharedRowBudget(std::atomic<size_t>* claimed, size_t cap) {
     shared_claimed_ = claimed;
     shared_cap_ = cap;
+  }
+
+  /// Cooperative query cancellation (HuntService tickets): polled with the
+  /// shared LIMIT budget at every first-table row visit.
+  void SetCancelFlag(const std::atomic<bool>* cancel) { cancel_ = cancel; }
+
+  /// The first table's iteration list was pre-split per shard at plan
+  /// time: iterate it in full instead of skip-scanning by shard mask.
+  void SetFirstTablePrepartitioned() { first_prepartitioned_ = true; }
+
+  /// Replace candidates[0] with this worker's per-shard sub-list (used
+  /// with SetFirstTablePrepartitioned on the non-lazy parallel path).
+  void SetFirstCandidates(const std::vector<RowId>* cand0) {
+    first_candidates_ = cand0;
   }
 
   /// Defer the first table's filtering into the pipeline: scan `seed`
@@ -357,9 +371,20 @@ class TuplePipeline {
       return ScanFirstTable(t);
     }
     // Cross product with the filtered candidates (this worker's shard only
-    // when the scan is partitioned).
+    // when the scan is partitioned; a plan-time pre-split replaces the
+    // per-row shard mask with this worker's own sub-list).
+    if (a == 0 && first_candidates_ != nullptr) {
+      for (RowId rid : *first_candidates_) {
+        if (BudgetSpent()) return false;
+        if (!BindAndDescend(a, rid, t)) return false;
+      }
+      return true;
+    }
     for (RowId rid : candidates_[a]) {
-      if (a == 0 && SkipsShard(rid)) continue;
+      if (a == 0) {
+        if (BudgetSpent()) return false;
+        if (SkipsShard(rid)) continue;
+      }
       if (!BindAndDescend(a, rid, t)) return false;
     }
     return true;
@@ -376,8 +401,12 @@ class TuplePipeline {
            (rid & (shard_count_ - 1)) != static_cast<size_t>(shard_);
   }
 
-  /// True once the shared LIMIT budget has been drained by any worker.
+  /// True once the shared LIMIT budget has been drained by any worker, or
+  /// the query has been cancelled.
   bool BudgetSpent() const {
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      return true;
+    }
     return shared_claimed_ != nullptr &&
            shared_claimed_->load(std::memory_order_relaxed) >= shared_cap_;
   }
@@ -414,7 +443,7 @@ class TuplePipeline {
       }
     } else {
       for (RowId rid : *lazy0_seed_) {
-        if (SkipsShard(rid)) continue;
+        if (!first_prepartitioned_ && SkipsShard(rid)) continue;
         keep_going = visit(rid);
         if (!keep_going) break;
       }
@@ -466,9 +495,9 @@ class TuplePipeline {
             shared_cap_) {
       return false;  // budget exhausted by other workers; drop the row
     }
-    result_->rows.push_back(std::move(row));
+    rows_->push_back(std::move(row));
     if (stats_ != nullptr) ++stats_->rows_emitted;
-    return result_->rows.size() < local_cap_;
+    return rows_->size() < local_cap_;
   }
 
   const SelectStmt& stmt_;
@@ -484,8 +513,11 @@ class TuplePipeline {
   size_t shard_count_ = 1;
   std::atomic<size_t>* shared_claimed_ = nullptr;
   size_t shared_cap_ = 0;
+  const std::atomic<bool>* cancel_ = nullptr;
+  bool first_prepartitioned_ = false;
+  const std::vector<RowId>* first_candidates_ = nullptr;
   ExecStats* stats_;
-  ResultSet* result_;
+  std::vector<Row>* rows_;
   const std::vector<RowId>* lazy0_seed_ = nullptr;
   bool lazy0_scan_all_ = false;
   RowId lazy0_row_count_ = 0;
@@ -512,9 +544,10 @@ std::string ResultSet::ToString(size_t max_rows) const {
   return out;
 }
 
-Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
-                                const SelectOptions& options,
-                                ExecStats* stats) {
+Result<BlockResultSet> ExecuteSelectBlocks(const SelectStmt& stmt,
+                                           const Catalog& catalog,
+                                           const SelectOptions& options,
+                                           ExecStats* stats) {
   ExecStats local_stats;
   if (stats == nullptr) stats = &local_stats;
 
@@ -770,7 +803,7 @@ Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
   }
 
   // --- Projection setup -----------------------------------------------------
-  ResultSet result;
+  BlockResultSet result;
   std::vector<const Expr*> projected;
   for (const SelectItem& item : stmt.items) {
     if (item.star) {
@@ -809,23 +842,43 @@ Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
         stmt.limit < static_cast<long long>(options.parallel_min_limit));
   if (!(push_limit && stmt.limit == 0)) {
     if (!parallel) {
+      std::vector<Row> serial_rows;
       TuplePipeline pipeline(stmt, binder, eval, levels, candidates, projected,
                              has_star, streaming_distinct, local_cap, stats,
-                             &result);
+                             &serial_rows);
       if (lazy0) {
         pipeline.SetLazyFirstTable(lazy0_scan_all ? nullptr : &lazy0_seed,
                                    lazy0_scan_all, tables[0]->row_count(),
                                    &filters[0]);
       }
+      pipeline.SetCancelFlag(options.cancel);
       pipeline.Run();
       RAPTOR_RETURN_NOT_OK(pipeline.error());
+      result.rows.Adopt(std::move(serial_rows));
     } else {
       struct ShardRun {
-        ResultSet rs;
+        struct {
+          std::vector<Row> rows;
+        } rs;
         ExecStats stats;
         Status error = Status::OK();
       };
       std::vector<ShardRun> runs(n_shards);
+      // Pre-split the shared first-table iteration lists (index seed or
+      // filtered candidates) into per-shard sub-lists at plan time, so
+      // each worker walks its own list instead of skip-scanning the whole
+      // one per shard. Order within a shard is preserved, so the
+      // shard-order merge emits exactly the skip-scan rows.
+      std::vector<std::vector<RowId>> first_by_shard;
+      const std::vector<RowId>* first_list =
+          lazy0 ? (lazy0_scan_all ? nullptr : &lazy0_seed)
+                : (n_aliases > 0 ? &candidates[0] : nullptr);
+      if (first_list != nullptr) {
+        first_by_shard.resize(n_shards);
+        for (RowId rid : *first_list) {
+          first_by_shard[rid & (n_shards - 1)].push_back(rid);
+        }
+      }
       // LIMIT policy (shared atomic claims vs per-worker caps merged with
       // a re-dedup): see storage/shard_parallel.h.
       storage::ShardRowBudget budget(push_limit, streaming_distinct,
@@ -838,13 +891,17 @@ Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
         Evaluator shard_eval(binder);
         TuplePipeline pipeline(stmt, binder, shard_eval, levels, candidates,
                                projected, has_star, streaming_distinct,
-                               budget.local_cap, &run.stats, &run.rs);
+                               budget.local_cap, &run.stats, &run.rs.rows);
         if (lazy0) {
-          pipeline.SetLazyFirstTable(lazy0_scan_all ? nullptr : &lazy0_seed,
-                                     lazy0_scan_all, tables[0]->row_count(),
-                                     &filters[0]);
+          pipeline.SetLazyFirstTable(
+              lazy0_scan_all ? nullptr : &first_by_shard[s], lazy0_scan_all,
+              tables[0]->row_count(), &filters[0]);
+        } else if (first_list != nullptr) {
+          pipeline.SetFirstCandidates(&first_by_shard[s]);
         }
         pipeline.RestrictFirstTableToShard(s, n_shards);
+        if (first_list != nullptr) pipeline.SetFirstTablePrepartitioned();
+        pipeline.SetCancelFlag(options.cancel);
         if (budget.shared) {
           pipeline.SetSharedRowBudget(&budget.claimed, budget.shared_cap);
         }
@@ -859,6 +916,10 @@ Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
             stats->rows_emitted += run.stats.rows_emitted;
           }));
     }
+  }
+  if (options.cancel != nullptr &&
+      options.cancel->load(std::memory_order_relaxed)) {
+    return Status::Cancelled("sql query cancelled");
   }
 
   // --- ORDER BY / DISTINCT / LIMIT -------------------------------------------
@@ -884,7 +945,10 @@ Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
       key_cols.push_back(col);
       desc.push_back(o.descending);
     }
-    std::stable_sort(result.rows.begin(), result.rows.end(),
+    // Sorting needs random access over every row: flatten the blocks, sort,
+    // and re-adopt as one block.
+    std::vector<Row> rows = result.rows.Flatten();
+    std::stable_sort(rows.begin(), rows.end(),
                      [&](const Row& a, const Row& b) {
                        for (size_t k = 0; k < key_cols.size(); ++k) {
                          int cmp = a[key_cols[k]].Compare(b[key_cols[k]]);
@@ -892,22 +956,35 @@ Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
                        }
                        return false;
                      });
+    result.rows.Adopt(std::move(rows));
   }
   if (stmt.distinct && !streaming_distinct) {
     // Legacy final dedup pass on the value rows (streaming dedup already
     // filtered duplicates during emission).
     std::unordered_set<Row, ValueRowHash, ValueRowEq> seen;
+    std::vector<Row> rows = result.rows.Flatten();
     std::vector<Row> unique;
-    unique.reserve(result.rows.size());
-    for (Row& r : result.rows) {
+    unique.reserve(rows.size());
+    for (Row& r : rows) {
       if (seen.insert(r).second) unique.push_back(std::move(r));
     }
-    result.rows = std::move(unique);
+    result.rows.Adopt(std::move(unique));
   }
   if (stmt.limit >= 0 &&
-      result.rows.size() > static_cast<size_t>(stmt.limit)) {
-    result.rows.resize(static_cast<size_t>(stmt.limit));
+      result.rows.row_count() > static_cast<size_t>(stmt.limit)) {
+    result.rows.Truncate(static_cast<size_t>(stmt.limit));
   }
+  return result;
+}
+
+Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
+                                const SelectOptions& options,
+                                ExecStats* stats) {
+  auto blocks = ExecuteSelectBlocks(stmt, catalog, options, stats);
+  if (!blocks.ok()) return blocks.status();
+  ResultSet result;
+  result.columns = std::move(blocks.value().columns);
+  result.rows = blocks.value().rows.Flatten();
   return result;
 }
 

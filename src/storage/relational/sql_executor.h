@@ -36,12 +36,14 @@
 // them with per-pattern queries + constraint propagation.
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "storage/relational/sql_ast.h"
 #include "storage/relational/table.h"
+#include "storage/row_block.h"
 
 namespace raptor::sql {
 
@@ -50,6 +52,21 @@ struct ResultSet {
   std::vector<Row> rows;
 
   std::string ToString(size_t max_rows = 20) const;
+};
+
+/// Chunked result: rows live in per-worker blocks (one per storage shard
+/// after a parallel scan, one for a serial run). A non-DISTINCT parallel
+/// merge adopts each worker block wholesale (rows.pushed_rows() == 0 — the
+/// zero-copy merge); consumers stream through storage::RowCursor.
+/// ResultSet remains the materialized compatibility view (ExecuteSelect
+/// flattens one of these).
+struct BlockResultSet {
+  std::vector<std::string> columns;
+  storage::RowBlocks<Row> rows;
+
+  storage::RowCursor<Row> cursor() const {
+    return storage::RowCursor<Row>(&rows);
+  }
 };
 
 /// Execution counters, exposed for the scheduler-ablation benchmark.
@@ -81,6 +98,10 @@ struct SelectOptions {
   /// Stay serial when a pushed-down LIMIT is below this: the serial
   /// early-exit path finishes such queries in a handful of row visits.
   int parallel_min_limit = 8;
+  /// Cooperative cancellation: when non-null and set, the base scan stops
+  /// (every worker polls it alongside the shared LIMIT budget) and the
+  /// query returns Status::Cancelled. The flag must outlive the call.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 class Catalog {
@@ -93,5 +114,12 @@ class Catalog {
 Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const Catalog& catalog,
                                 const SelectOptions& options = {},
                                 ExecStats* stats = nullptr);
+
+/// Execute `stmt`, returning the chunked block result (the zero-copy
+/// parallel-merge path; ExecuteSelect is a flattening wrapper over this).
+Result<BlockResultSet> ExecuteSelectBlocks(const SelectStmt& stmt,
+                                           const Catalog& catalog,
+                                           const SelectOptions& options = {},
+                                           ExecStats* stats = nullptr);
 
 }  // namespace raptor::sql

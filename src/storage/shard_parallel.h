@@ -27,6 +27,7 @@
 
 #include "common/status.h"
 #include "storage/relational/value.h"
+#include "storage/row_block.h"
 
 namespace raptor::storage {
 
@@ -53,13 +54,16 @@ struct ShardRowBudget {
 
 /// Merge per-shard worker results in shard order (deterministic for a
 /// fixed storage layout): fail on the first worker error, let `on_run`
-/// fold each worker's stats, move rows into `out`, and — with streaming
-/// DISTINCT — drop cross-shard duplicates that the workers' local
-/// seen-sets could not observe. `Run` must expose a `Status error` and a
-/// result set with value rows at `rs.rows`.
+/// fold each worker's stats, and hand the rows to `out`. Without
+/// streaming DISTINCT every worker's row vector is adopted wholesale as
+/// one block — the zero-copy merge, no per-row moves. With streaming
+/// DISTINCT the merge must drop cross-shard duplicates that the workers'
+/// local seen-sets could not observe, so surviving rows are pushed one by
+/// one (observable through RowBlocks::pushed_rows). `Run` must expose a
+/// `Status error` and a result set with value rows at `rs.rows`.
 template <class Run, class OnRun>
 Status MergeShardRuns(std::vector<Run>& runs, bool streaming_distinct,
-                      std::vector<std::vector<sql::Value>>* out,
+                      RowBlocks<std::vector<sql::Value>>* out,
                       OnRun&& on_run) {
   std::unordered_set<std::vector<sql::Value>, sql::ValueRowHash,
                      sql::ValueRowEq>
@@ -67,9 +71,13 @@ Status MergeShardRuns(std::vector<Run>& runs, bool streaming_distinct,
   for (Run& run : runs) {
     RAPTOR_RETURN_NOT_OK(run.error);
     on_run(run);
+    if (!streaming_distinct) {
+      out->Adopt(std::move(run.rs.rows));
+      continue;
+    }
     for (auto& row : run.rs.rows) {
-      if (streaming_distinct && !seen.insert(row).second) continue;
-      out->push_back(std::move(row));
+      if (!seen.insert(row).second) continue;
+      out->Push(std::move(row));
     }
   }
   return Status::OK();

@@ -15,20 +15,49 @@ Status AuditStore::Load(const audit::ParsedLog& log) {
     return Status::InvalidArgument("AuditStore::Load called twice");
   }
   loaded_ = true;
-  entities_ = log.entities.entities();
-  if (options_.enable_reduction) {
-    events_ = ReduceEvents(log.events, options_.reduction, &reduction_stats_);
-  } else {
-    events_ = log.events;
-    reduction_stats_.input_events = events_.size();
-    reduction_stats_.output_events = events_.size();
+  return Append(log);
+}
+
+Status AuditStore::Append(const audit::ParsedLog& log) {
+  const std::vector<SystemEntity>& all_entities = log.entities.entities();
+  if (all_entities.size() < raw_entities_consumed_) {
+    return Status::InvalidArgument(
+        "AuditStore::Append requires an entity table extending the batches "
+        "already ingested");
   }
-  RAPTOR_RETURN_NOT_OK(LoadRelational());
-  RAPTOR_RETURN_NOT_OK(LoadGraph());
+  if (!schema_ready_) {
+    RAPTOR_RETURN_NOT_OK(InitSchemas());
+    schema_ready_ = true;
+  }
+
+  for (size_t i = raw_entities_consumed_; i < all_entities.size(); ++i) {
+    RAPTOR_RETURN_NOT_OK(AppendEntity(all_entities[i]));
+  }
+  raw_entities_consumed_ = all_entities.size();
+
+  // Reduce the batch's events independently (duplicates spanning batches
+  // are not merged — reduction windows close at the batch boundary) and
+  // renumber so ids stay dense positions into events().
+  std::vector<SystemEvent> batch = log.events;
+  std::vector<SystemEvent> reduced;
+  if (options_.enable_reduction) {
+    ReductionStats batch_stats;
+    reduced = ReduceEvents(batch, options_.reduction, &batch_stats);
+    reduction_stats_.input_events += batch_stats.input_events;
+    reduction_stats_.output_events += batch_stats.output_events;
+  } else {
+    reduced = std::move(batch);
+    reduction_stats_.input_events += reduced.size();
+    reduction_stats_.output_events += reduced.size();
+  }
+  for (SystemEvent& ev : reduced) {
+    ev.id = static_cast<audit::EventId>(events_.size()) + 1;
+    RAPTOR_RETURN_NOT_OK(AppendEvent(ev));
+  }
   return Status::OK();
 }
 
-Status AuditStore::LoadRelational() {
+Status AuditStore::InitSchemas() {
   Schema entity_schema({{"id", ColumnType::kInt64},
                         {"type", ColumnType::kText},
                         {"name", ColumnType::kText},
@@ -55,40 +84,9 @@ Status AuditStore::LoadRelational() {
                        {"failure_code", ColumnType::kInt64}});
   RAPTOR_RETURN_NOT_OK(relational_.CreateTable("events", event_schema));
 
-  for (const SystemEntity& e : entities_) {
-    Row row;
-    row.reserve(14);
-    row.emplace_back(static_cast<int64_t>(e.id));
-    row.emplace_back(audit::EntityTypeName(e.type));
-    row.emplace_back(e.name);
-    row.emplace_back(e.path);
-    row.emplace_back(static_cast<int64_t>(e.pid));
-    row.emplace_back(e.exename);
-    row.emplace_back(e.cmd);
-    row.emplace_back(e.srcip);
-    row.emplace_back(static_cast<int64_t>(e.srcport));
-    row.emplace_back(e.dstip);
-    row.emplace_back(static_cast<int64_t>(e.dstport));
-    row.emplace_back(e.protocol);
-    row.emplace_back(e.user);
-    row.emplace_back(e.group);
-    RAPTOR_RETURN_NOT_OK(relational_.Insert("entities", std::move(row)));
-  }
-  for (const SystemEvent& ev : events_) {
-    Row row;
-    row.reserve(9);
-    row.emplace_back(static_cast<int64_t>(ev.id));
-    row.emplace_back(static_cast<int64_t>(ev.subject));
-    row.emplace_back(static_cast<int64_t>(ev.object));
-    row.emplace_back(audit::EventOpName(ev.op));
-    row.emplace_back(audit::EntityTypeName(ev.object_type));
-    row.emplace_back(static_cast<int64_t>(ev.start_time));
-    row.emplace_back(static_cast<int64_t>(ev.end_time));
-    row.emplace_back(static_cast<int64_t>(ev.amount));
-    row.emplace_back(static_cast<int64_t>(ev.failure_code));
-    RAPTOR_RETURN_NOT_OK(relational_.Insert("events", std::move(row)));
-  }
-  // Indexes on the key attributes (Sec III-B).
+  // Indexes on the key attributes (Sec III-B). Created before the first
+  // row lands: inserts maintain every existing index, so batch appends
+  // stay indexed without a rebuild.
   RAPTOR_RETURN_NOT_OK(relational_.CreateIndex("entities", "id"));
   RAPTOR_RETURN_NOT_OK(relational_.CreateIndex("entities", "name"));
   RAPTOR_RETURN_NOT_OK(relational_.CreateIndex("entities", "exename"));
@@ -97,49 +95,8 @@ Status AuditStore::LoadRelational() {
   RAPTOR_RETURN_NOT_OK(relational_.CreateIndex("events", "subject"));
   RAPTOR_RETURN_NOT_OK(relational_.CreateIndex("events", "object"));
   RAPTOR_RETURN_NOT_OK(relational_.CreateIndex("events", "op"));
-  return Status::OK();
-}
 
-Status AuditStore::LoadGraph() {
   graphdb::PropertyGraph& g = graph_.graph();
-  for (const SystemEntity& e : entities_) {
-    graphdb::PropertyMap props;
-    props.emplace("id", Value(static_cast<int64_t>(e.id)));
-    switch (e.type) {
-      case EntityType::kFile:
-        props.emplace("name", Value(e.name));
-        props.emplace("path", Value(e.path));
-        break;
-      case EntityType::kProcess:
-        props.emplace("exename", Value(e.exename));
-        props.emplace("pid", Value(static_cast<int64_t>(e.pid)));
-        if (!e.cmd.empty()) props.emplace("cmd", Value(e.cmd));
-        break;
-      case EntityType::kNetwork:
-        props.emplace("srcip", Value(e.srcip));
-        props.emplace("srcport", Value(static_cast<int64_t>(e.srcport)));
-        props.emplace("dstip", Value(e.dstip));
-        props.emplace("dstport", Value(static_cast<int64_t>(e.dstport)));
-        props.emplace("protocol", Value(e.protocol));
-        break;
-    }
-    if (!e.user.empty()) props.emplace("user", Value(e.user));
-    graphdb::NodeId node =
-        g.AddNode(audit::EntityTypeName(e.type), std::move(props));
-    entity_to_node_.emplace(e.id, node);
-  }
-  for (const SystemEvent& ev : events_) {
-    graphdb::PropertyMap props;
-    props.emplace("id", Value(static_cast<int64_t>(ev.id)));
-    // The operation doubles as the relationship type and as a property so
-    // Cypher WHERE clauses can express complex op expressions.
-    props.emplace("op", Value(audit::EventOpName(ev.op)));
-    props.emplace("start_time", Value(static_cast<int64_t>(ev.start_time)));
-    props.emplace("end_time", Value(static_cast<int64_t>(ev.end_time)));
-    props.emplace("amount", Value(static_cast<int64_t>(ev.amount)));
-    g.AddEdge(entity_to_node_.at(ev.subject), entity_to_node_.at(ev.object),
-              audit::EventOpName(ev.op), std::move(props));
-  }
   g.CreateNodeIndex("file", "name");
   g.CreateNodeIndex("proc", "exename");
   g.CreateNodeIndex("ip", "dstip");
@@ -148,6 +105,87 @@ Status AuditStore::LoadGraph() {
   g.CreateNodeIndex("file", "id");
   g.CreateNodeIndex("proc", "id");
   g.CreateNodeIndex("ip", "id");
+  return Status::OK();
+}
+
+Status AuditStore::AppendEntity(const SystemEntity& e) {
+  Row row;
+  row.reserve(14);
+  row.emplace_back(static_cast<int64_t>(e.id));
+  row.emplace_back(audit::EntityTypeName(e.type));
+  row.emplace_back(e.name);
+  row.emplace_back(e.path);
+  row.emplace_back(static_cast<int64_t>(e.pid));
+  row.emplace_back(e.exename);
+  row.emplace_back(e.cmd);
+  row.emplace_back(e.srcip);
+  row.emplace_back(static_cast<int64_t>(e.srcport));
+  row.emplace_back(e.dstip);
+  row.emplace_back(static_cast<int64_t>(e.dstport));
+  row.emplace_back(e.protocol);
+  row.emplace_back(e.user);
+  row.emplace_back(e.group);
+  RAPTOR_RETURN_NOT_OK(relational_.Insert("entities", std::move(row)));
+
+  graphdb::PropertyMap props;
+  props.emplace("id", Value(static_cast<int64_t>(e.id)));
+  switch (e.type) {
+    case EntityType::kFile:
+      props.emplace("name", Value(e.name));
+      props.emplace("path", Value(e.path));
+      break;
+    case EntityType::kProcess:
+      props.emplace("exename", Value(e.exename));
+      props.emplace("pid", Value(static_cast<int64_t>(e.pid)));
+      if (!e.cmd.empty()) props.emplace("cmd", Value(e.cmd));
+      break;
+    case EntityType::kNetwork:
+      props.emplace("srcip", Value(e.srcip));
+      props.emplace("srcport", Value(static_cast<int64_t>(e.srcport)));
+      props.emplace("dstip", Value(e.dstip));
+      props.emplace("dstport", Value(static_cast<int64_t>(e.dstport)));
+      props.emplace("protocol", Value(e.protocol));
+      break;
+  }
+  if (!e.user.empty()) props.emplace("user", Value(e.user));
+  graphdb::NodeId node =
+      graph_.graph().AddNode(audit::EntityTypeName(e.type), std::move(props));
+  entity_to_node_.emplace(e.id, node);
+  entities_.push_back(e);
+  return Status::OK();
+}
+
+Status AuditStore::AppendEvent(const SystemEvent& ev) {
+  auto sit = entity_to_node_.find(ev.subject);
+  auto oit = entity_to_node_.find(ev.object);
+  if (sit == entity_to_node_.end() || oit == entity_to_node_.end()) {
+    return Status::InvalidArgument(
+        "event references an entity absent from the store");
+  }
+  Row row;
+  row.reserve(9);
+  row.emplace_back(static_cast<int64_t>(ev.id));
+  row.emplace_back(static_cast<int64_t>(ev.subject));
+  row.emplace_back(static_cast<int64_t>(ev.object));
+  row.emplace_back(audit::EventOpName(ev.op));
+  row.emplace_back(audit::EntityTypeName(ev.object_type));
+  row.emplace_back(static_cast<int64_t>(ev.start_time));
+  row.emplace_back(static_cast<int64_t>(ev.end_time));
+  row.emplace_back(static_cast<int64_t>(ev.amount));
+  row.emplace_back(static_cast<int64_t>(ev.failure_code));
+  RAPTOR_RETURN_NOT_OK(relational_.Insert("events", std::move(row)));
+
+  graphdb::PropertyMap props;
+  props.emplace("id", Value(static_cast<int64_t>(ev.id)));
+  // The operation doubles as the relationship type and as a property so
+  // Cypher WHERE clauses can express complex op expressions.
+  props.emplace("op", Value(audit::EventOpName(ev.op)));
+  props.emplace("start_time", Value(static_cast<int64_t>(ev.start_time)));
+  props.emplace("end_time", Value(static_cast<int64_t>(ev.end_time)));
+  props.emplace("amount", Value(static_cast<int64_t>(ev.amount)));
+  graph_.graph().AddEdge(sit->second, oit->second, audit::EventOpName(ev.op),
+                         std::move(props));
+  events_.push_back(ev);
   return Status::OK();
 }
 

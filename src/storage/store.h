@@ -27,8 +27,20 @@ class AuditStore {
 
   /// Load a parsed log: applies data reduction (if enabled), creates the
   /// relational tables `entities` and `events` plus the property graph,
-  /// and builds indexes. Call once per store.
+  /// and builds indexes. Call once per store (Append handles follow-up
+  /// batches).
   Status Load(const audit::ParsedLog& log);
+
+  /// Incremental ingestion of one batch. `log.entities` must EXTEND every
+  /// batch previously passed to Load/Append (entity interning is shared
+  /// across batches, so earlier entities reappear as a prefix and are
+  /// skipped by count); `log.events` are taken as entirely NEW events —
+  /// the caller drains consumed events between batches and never resubmits
+  /// them. Each batch is reduced independently (cross-batch duplicate
+  /// events are not merged) and appended to both backends; event ids
+  /// continue densely. Mutation is single-threaded: never call while
+  /// queries are running.
+  Status Append(const audit::ParsedLog& log);
 
   const sql::Database& relational() const { return relational_; }
   sql::Database& relational() { return relational_; }
@@ -52,8 +64,9 @@ class AuditStore {
   size_t event_count() const { return events_.size(); }
 
  private:
-  Status LoadRelational();
-  Status LoadGraph();
+  Status InitSchemas();
+  Status AppendEntity(const audit::SystemEntity& e);
+  Status AppendEvent(const audit::SystemEvent& ev);
 
   StoreOptions options_;
   sql::Database relational_;
@@ -62,7 +75,12 @@ class AuditStore {
   std::vector<audit::SystemEvent> events_;
   std::unordered_map<audit::EntityId, graphdb::NodeId> entity_to_node_;
   ReductionStats reduction_stats_;
-  bool loaded_ = false;
+  bool loaded_ = false;        // Load() was called (it remains call-once)
+  bool schema_ready_ = false;  // tables + indexes exist
+  // Entity prefix of the shared interning store already consumed by
+  // Append; the next Append ingests only the entities that follow. (Events
+  // carry no such counter: each batch passes only its new events.)
+  size_t raw_entities_consumed_ = 0;
 };
 
 }  // namespace raptor::storage

@@ -19,8 +19,11 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
 
 #include "audit/parser.h"
 #include "audit/simulator.h"
@@ -28,6 +31,7 @@
 #include "engine/executor.h"
 #include "engine/poirot.h"
 #include "extraction/extractor.h"
+#include "service/hunt_service.h"
 #include "storage/store.h"
 #include "synthesis/synthesizer.h"
 #include "tbql/analyzer.h"
@@ -40,6 +44,7 @@ struct ThreatRaptorOptions {
   extraction::ExtractionOptions extraction;
   synthesis::SynthesisOptions synthesis;
   engine::ExecOptions execution;
+  service::HuntServiceOptions service;
 };
 
 /// Result of an end-to-end OSCTI-driven hunt.
@@ -55,21 +60,43 @@ class ThreatRaptor {
       : options_(std::move(options)) {}
 
   /// Parse raw syscall records and load them into both storage backends.
-  /// Call exactly once before hunting.
+  /// May be called repeatedly: later batches append incrementally (entity
+  /// interning is shared across batches, event ids continue). Mutation is
+  /// single-threaded and must not overlap queued or running hunts.
   Status IngestSyscalls(const std::vector<audit::SyscallRecord>& records) {
-    audit::ParsedLog log;
-    audit::AuditLogParser parser;
-    RAPTOR_RETURN_NOT_OK(parser.Parse(records, &log));
-    return IngestParsedLog(log);
+    RAPTOR_RETURN_NOT_OK(RequireQuiescent());
+    RAPTOR_RETURN_NOT_OK(parser_.Parse(records, &accum_));
+    return SyncStore();
   }
 
-  /// Load an already-parsed log.
+  /// Load an already-parsed log. May be called repeatedly: each batch is
+  /// remapped into the accumulated entity store (the incoming log's entity
+  /// ids are batch-local) and appended. A malformed batch (an event
+  /// referencing an entity id absent from the batch's own entity table) is
+  /// rejected before anything is interned or appended.
   Status IngestParsedLog(const audit::ParsedLog& log) {
-    if (store_ != nullptr) {
-      return Status::InvalidArgument("audit data already ingested");
+    RAPTOR_RETURN_NOT_OK(RequireQuiescent());
+    // Validate first so rejection leaves no trace in the accumulator.
+    for (const audit::SystemEvent& ev : log.events) {
+      if (ev.subject < 1 || ev.subject > log.entities.size() ||
+          ev.object < 1 || ev.object > log.entities.size()) {
+        return Status::InvalidArgument(
+            "parsed log event references an unknown entity id");
+      }
     }
-    store_ = std::make_unique<storage::AuditStore>(options_.store);
-    return store_->Load(log);
+    std::unordered_map<audit::EntityId, audit::EntityId> remap;
+    remap.reserve(log.entities.size());
+    for (const audit::SystemEntity& e : log.entities.entities()) {
+      remap.emplace(e.id, accum_.entities.Intern(e));
+    }
+    for (const audit::SystemEvent& ev : log.events) {
+      audit::SystemEvent copy = ev;
+      copy.subject = remap.at(ev.subject);
+      copy.object = remap.at(ev.object);
+      copy.id = static_cast<audit::EventId>(accum_.events.size()) + 1;
+      accum_.events.push_back(std::move(copy));
+    }
+    return SyncStore();
   }
 
   /// Extract a threat behavior graph from OSCTI text (Algorithm 1).
@@ -86,18 +113,34 @@ class ThreatRaptor {
     return synthesizer.Synthesize(graph);
   }
 
-  /// Execute a TBQL query text in exact search mode.
+  /// Execute a TBQL query text in exact search mode. A thin synchronous
+  /// wrapper over the hunt service: Submit + Wait, so it shares admission
+  /// and scheduling with asynchronous clients.
   Result<engine::ExecReport> Hunt(std::string_view tbql_text) const {
     RAPTOR_RETURN_NOT_OK(RequireStore());
-    engine::TbqlExecutor executor(store_.get());
-    return executor.ExecuteText(tbql_text, options_.execution);
+    service::HuntRequest request;
+    request.text = std::string(tbql_text);
+    request.dialect = service::QueryDialect::kTbql;
+    request.exec = options_.execution;
+    auto response = Service().Run(std::move(request));
+    if (!response.ok()) return response.status();
+    return std::move(response).value().report;
   }
 
-  /// Execute a parsed TBQL query in exact search mode.
+  /// Execute a parsed TBQL query in exact search mode (directly on the
+  /// executor — parsed queries skip the service's text front door but run
+  /// on the same DAG-scheduled engine).
   Result<engine::ExecReport> Hunt(const tbql::TbqlQuery& query) const {
     RAPTOR_RETURN_NOT_OK(RequireStore());
     engine::TbqlExecutor executor(store_.get());
     return executor.Execute(query, options_.execution);
+  }
+
+  /// The asynchronous hunt service over this store (created on first use;
+  /// null before ingestion). Submit() TBQL/Cypher/SQL requests and hold
+  /// HuntTickets; up to options.service.max_concurrent hunts run at once.
+  service::HuntService* hunt_service() const {
+    return store_ == nullptr ? nullptr : &Service();
   }
 
   /// Execute a TBQL query in fuzzy search mode (Poirot-based alignment).
@@ -137,8 +180,52 @@ class ThreatRaptor {
     return Status::OK();
   }
 
+  /// Ingestion mutates the store, which the thread-safety contract only
+  /// allows while no (read-only) hunts are queued or running. This check
+  /// is best-effort, not a synchronization barrier: it catches the common
+  /// mistake, but a hunt submitted from another thread AFTER the check
+  /// still races with the mutation — callers own the contract that
+  /// ingestion and hunting never overlap in time.
+  Status RequireQuiescent() const {
+    std::lock_guard<std::mutex> lock(service_mu_);
+    if (service_ != nullptr && service_->InFlight() > 0) {
+      return Status::InvalidArgument(
+          "cannot ingest while hunts are in flight; drain the hunt service "
+          "first");
+    }
+    return Status::OK();
+  }
+
+  Status SyncStore() {
+    if (store_ == nullptr) {
+      store_ = std::make_unique<storage::AuditStore>(options_.store);
+    }
+    RAPTOR_RETURN_NOT_OK(store_->Append(accum_));
+    // The store consumed this batch's events; keep only the entity table
+    // (shared interning across batches) so long-running sessions do not
+    // retain a second full copy of every raw event.
+    accum_.events.clear();
+    return Status::OK();
+  }
+
+  service::HuntService& Service() const {
+    std::lock_guard<std::mutex> lock(service_mu_);
+    if (service_ == nullptr) {
+      service_ = std::make_unique<service::HuntService>(store_.get(),
+                                                        options_.service);
+    }
+    return *service_;
+  }
+
   ThreatRaptorOptions options_;
+  audit::AuditLogParser parser_;
+  audit::ParsedLog accum_;
   std::unique_ptr<storage::AuditStore> store_;
+  // Lazily constructed so purely-synchronous pipelines that never ingest
+  // pay nothing; destroyed before store_ (declaration order) so in-flight
+  // hunts are cancelled while the store is still alive.
+  mutable std::mutex service_mu_;
+  mutable std::unique_ptr<service::HuntService> service_;
 };
 
 }  // namespace raptor

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+
 #include "audit/parser.h"
 #include "engine/compiler.h"
 #include "engine/executor.h"
@@ -219,14 +222,64 @@ TEST_F(EngineTest, AllOptionsCombinationsAgree) {
   auto baseline = Run(query);
   for (bool sched : {false, true}) {
     for (bool prop : {false, true}) {
-      ExecOptions opts;
-      opts.use_scheduler = sched;
-      opts.propagate_constraints = prop;
-      auto report = Run(query, opts);
-      EXPECT_EQ(report.results.rows, baseline.results.rows)
-          << "sched=" << sched << " prop=" << prop;
+      for (bool par : {false, true}) {
+        ExecOptions opts;
+        opts.use_scheduler = sched;
+        opts.propagate_constraints = prop;
+        opts.parallel_patterns = par;
+        auto report = Run(query, opts);
+        EXPECT_EQ(report.results.rows, baseline.results.rows)
+            << "sched=" << sched << " prop=" << prop << " par=" << par;
+      }
     }
   }
+}
+
+TEST_F(EngineTest, PatternDependenciesChainSharedEntities) {
+  // p links patterns 0 and 1; pattern 2 (distinct process q) is
+  // independent of both and may execute concurrently.
+  auto q = tbql::ParseTbql(
+      "proc p read file f as e1 "
+      "proc p write file g as e2 "
+      "proc q send ip i as e3 return p");
+  ASSERT_TRUE(q.ok());
+  auto aq = tbql::Analyze(q.value());
+  ASSERT_TRUE(aq.ok());
+  std::vector<size_t> order = {0, 1, 2};
+  auto deps = PatternDependencies(aq.value(), order);
+  ASSERT_EQ(deps.size(), 3u);
+  EXPECT_TRUE(deps[0].empty());
+  EXPECT_EQ(deps[1], (std::vector<size_t>{0}));
+  EXPECT_TRUE(deps[2].empty());
+  // The executed report carries the same DAG.
+  auto report = Run(
+      "proc p read file f as e1 proc p write file g as e2 "
+      "proc q send ip i as e3 return p");
+  ASSERT_EQ(report.pattern_deps.size(), 3u);
+  EXPECT_EQ(report.pattern_deps[1], (std::vector<size_t>{0}));
+  EXPECT_TRUE(report.pattern_deps[2].empty());
+}
+
+TEST_F(EngineTest, PresetCancelFlagYieldsCancelled) {
+  std::atomic<bool> cancel{true};
+  ExecOptions opts;
+  opts.cancel = &cancel;
+  TbqlExecutor executor(&store_);
+  auto report =
+      executor.ExecuteText("proc p read file f return p, f", opts);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(EngineTest, ExpiredDeadlineYieldsTimeout) {
+  ExecOptions opts;
+  opts.deadline = std::chrono::steady_clock::now() -
+                  std::chrono::milliseconds(1);
+  TbqlExecutor executor(&store_);
+  auto report =
+      executor.ExecuteText("proc p read file f return p, f", opts);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kTimeout);
 }
 
 TEST_F(EngineTest, PruningScoreOrdersByConstraints) {

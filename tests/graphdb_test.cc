@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -480,6 +481,107 @@ TEST_F(GraphDbTest, QueryRoundTrip) {
   ASSERT_TRUE(rs1.ok());
   ASSERT_TRUE(rs2.ok()) << printed << " -> " << rs2.status().ToString();
   EXPECT_EQ(rs1.value().rows, rs2.value().rows);
+}
+
+TEST(BlockResultTest, ParallelNonDistinctAdoptsWorkerBlocksZeroCopy) {
+  GraphDatabase db(4);
+  Rng rng(11);
+  fixtures::SyntheticGraphSpec spec;
+  spec.nodes = 400;
+  spec.edges = 1200;
+  spec.edge_types = 4;
+  fixtures::BuildSyntheticGraph(db.graph(), spec, rng);
+  db.graph().CreateNodeIndex("proc", "exename");
+
+  db.options().parallel_min_seeds = 0;
+  const char* q = "MATCH (p:proc)-[e:op1]->(f:file) RETURN p.exename, f.name";
+  auto blocks = db.QueryBlocks(q);
+  ASSERT_TRUE(blocks.ok()) << blocks.status().ToString();
+  ASSERT_GT(blocks.value().rows.row_count(), 0u);
+  // Non-DISTINCT parallel merge: every row arrives in an adopted worker
+  // block — no per-row moves (the ROADMAP zero-copy merge item).
+  EXPECT_EQ(blocks.value().rows.pushed_rows(), 0u);
+  EXPECT_EQ(blocks.value().rows.adopted_rows(),
+            blocks.value().rows.row_count());
+  EXPECT_LE(blocks.value().rows.block_count(), db.graph().shard_count());
+
+  // The flattening wrapper sees the same rows in the same order.
+  auto flat = db.Query(q);
+  ASSERT_TRUE(flat.ok());
+  size_t i = 0;
+  auto cursor = blocks.value().cursor();
+  while (const std::vector<Value>* row = cursor.Next()) {
+    ASSERT_LT(i, flat.value().rows.size());
+    EXPECT_EQ(*row, flat.value().rows[i]);
+    ++i;
+  }
+  EXPECT_EQ(i, flat.value().rows.size());
+
+  // Streaming DISTINCT must re-dedup across shards, so its merge pushes
+  // rows one by one — observable through the same counters.
+  auto distinct = db.QueryBlocks(
+      "MATCH (p:proc)-[e:op2]->(f:file) RETURN DISTINCT p.exename");
+  ASSERT_TRUE(distinct.ok());
+  ASSERT_GT(distinct.value().rows.row_count(), 0u);
+  EXPECT_EQ(distinct.value().rows.adopted_rows(), 0u);
+}
+
+TEST(BlockResultTest, PresetCancelFlagCancelsQuery) {
+  GraphDatabase db(4);
+  Rng rng(12);
+  fixtures::SyntheticGraphSpec spec;
+  spec.nodes = 200;
+  spec.edges = 400;
+  fixtures::BuildSyntheticGraph(db.graph(), spec, rng);
+  std::atomic<bool> cancel{true};
+  MatchOptions options = db.options();
+  options.cancel = &cancel;
+  auto rs = db.QueryBlocks(
+      "MATCH (p:proc)-[e]->(f:file) RETURN p.exename", options);
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kCancelled);
+}
+
+TEST(BlockResultTest, PreSplitOwnedSeedsMatchSkipScan) {
+  // A multi-value IN probe materializes an owned seed union; the parallel
+  // driver pre-splits it per shard at plan time. Results must equal the
+  // serial run exactly (same rows, same shard-merge order).
+  GraphDatabase db(4);
+  Rng rng(13);
+  fixtures::SyntheticGraphSpec spec;
+  spec.nodes = 600;
+  spec.edges = 1800;
+  spec.edge_types = 3;
+  fixtures::SyntheticGraph sg =
+      fixtures::BuildSyntheticGraph(db.graph(), spec, rng);
+  db.graph().CreateNodeIndex("file", "name");
+  std::string q =
+      "MATCH (p:proc)-[e:op1]->(f:file) WHERE f.name IN [" +
+      fixtures::RandomFileNameInList(spec, sg, rng, 96) +
+      "] RETURN p.exename, f.name";
+
+  db.options() = MatchOptions{};
+  db.options().parallel_shards = 1;
+  auto serial = db.Query(q);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  db.options() = MatchOptions{};
+  db.options().parallel_shards = 4;
+  db.options().parallel_min_seeds = 0;
+  auto parallel = db.Query(q);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  auto normalize = [](const GraphResultSet& rs) {
+    std::vector<std::string> out;
+    for (const auto& row : rs.rows) {
+      std::string r;
+      for (const Value& v : row) r += v.ToString() + "\x1f";
+      out.push_back(std::move(r));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(normalize(parallel.value()), normalize(serial.value()));
 }
 
 }  // namespace

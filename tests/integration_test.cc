@@ -51,11 +51,76 @@ TEST(FacadeTest, RequiresIngestionBeforeHunting) {
   EXPECT_FALSE(tr.HuntWithOsctiText("some text").ok());
 }
 
-TEST(FacadeTest, DoubleIngestionRejected) {
+TEST(FacadeTest, IncrementalIngestionAppends) {
+  // Long-running service sessions ingest in batches: a second batch must
+  // append (interning entities already seen) instead of hard-erroring.
   const cases::AttackCase* c = cases::FindCase("tc_clearscope_3");
   ThreatRaptor tr;
   ASSERT_TRUE(tr.IngestSyscalls(cases::BuildCaseLog(*c)).ok());
-  EXPECT_FALSE(tr.IngestSyscalls(cases::BuildCaseLog(*c)).ok());
+  size_t entities_1 = tr.store()->entity_count();
+  size_t events_1 = tr.store()->event_count();
+  ASSERT_GT(events_1, 0u);
+
+  ASSERT_TRUE(tr.IngestSyscalls(cases::BuildCaseLog(*c)).ok());
+  // Identical records re-intern to the same entities; the events append.
+  EXPECT_EQ(tr.store()->entity_count(), entities_1);
+  EXPECT_EQ(tr.store()->event_count(), 2 * events_1);
+  // Event ids must stay dense 1-based positions after the append.
+  for (size_t i = 0; i < tr.store()->event_count(); ++i) {
+    EXPECT_EQ(tr.store()->events()[i].id, i + 1);
+  }
+  // Queries keep working over the merged store.
+  auto outcome = tr.HuntWithOsctiText(c->oscti_text);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+}
+
+TEST(FacadeTest, IngestParsedLogRemapsBatchLocalIds) {
+  // Two independently parsed logs have overlapping batch-local entity ids;
+  // IngestParsedLog must remap the second batch into the shared id space.
+  const cases::AttackCase* a = cases::FindCase("tc_clearscope_3");
+  const cases::AttackCase* b = cases::FindCase("data_leak");
+  audit::ParsedLog log_a, log_b;
+  audit::AuditLogParser parser_a, parser_b;
+  ASSERT_TRUE(parser_a.Parse(cases::BuildCaseLog(*a), &log_a).ok());
+  ASSERT_TRUE(parser_b.Parse(cases::BuildCaseLog(*b), &log_b).ok());
+
+  ThreatRaptor tr;
+  ASSERT_TRUE(tr.IngestParsedLog(log_a).ok());
+  size_t entities_a = tr.store()->entity_count();
+  ASSERT_TRUE(tr.IngestParsedLog(log_b).ok());
+  EXPECT_GT(tr.store()->entity_count(), entities_a);
+  // Every event's endpoints resolve inside the merged entity table.
+  for (const audit::SystemEvent& ev : tr.store()->events()) {
+    ASSERT_GE(ev.subject, 1u);
+    ASSERT_LE(ev.subject, tr.store()->entity_count());
+    ASSERT_GE(ev.object, 1u);
+    ASSERT_LE(ev.object, tr.store()->entity_count());
+  }
+}
+
+TEST(FacadeTest, MalformedParsedLogBatchRejectedAtomically) {
+  const cases::AttackCase* c = cases::FindCase("tc_clearscope_3");
+  ThreatRaptor tr;
+  ASSERT_TRUE(tr.IngestSyscalls(cases::BuildCaseLog(*c)).ok());
+  size_t entities_before = tr.store()->entity_count();
+  size_t events_before = tr.store()->event_count();
+
+  audit::ParsedLog bad;
+  audit::EntityId p = bad.entities.InternProcess("/bin/ghost", 1);
+  audit::SystemEvent ev;
+  ev.id = 1;
+  ev.subject = p;
+  ev.object = p + 999;  // no such entity in the batch
+  ev.op = audit::EventOp::kRead;
+  bad.events.push_back(ev);
+  EXPECT_FALSE(tr.IngestParsedLog(bad).ok());
+  // Nothing from the rejected batch may leak into the store — not even
+  // its entities — and later ingestion must still work.
+  EXPECT_EQ(tr.store()->entity_count(), entities_before);
+  EXPECT_EQ(tr.store()->event_count(), events_before);
+  ASSERT_TRUE(tr.IngestSyscalls(cases::BuildCaseLog(*c)).ok());
+  EXPECT_EQ(tr.store()->entity_count(), entities_before);
+  EXPECT_EQ(tr.store()->event_count(), 2 * events_before);
 }
 
 TEST(FacadeTest, ExtractionWorksWithoutIngestion) {

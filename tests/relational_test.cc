@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <string>
 #include <vector>
@@ -406,6 +407,109 @@ TEST_F(RelationalTest, StatementRoundTrip) {
   ASSERT_TRUE(rs1.ok());
   ASSERT_TRUE(rs2.ok()) << printed << " -> " << rs2.status().ToString();
   EXPECT_EQ(rs1.value().rows.size(), rs2.value().rows.size());
+}
+
+TEST(BlockResultTest, ParallelNonDistinctAdoptsWorkerBlocksZeroCopy) {
+  Database db(4);
+  ASSERT_TRUE(db.CreateTable("t", Schema({{"id", ColumnType::kInt64},
+                                          {"name", ColumnType::kText},
+                                          {"score", ColumnType::kInt64}}))
+                  .ok());
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(db.Insert("t", {Value(static_cast<int64_t>(i)),
+                                Value("/data/f" + std::to_string(i)),
+                                Value(static_cast<int64_t>(i * 13 % 100))})
+                    .ok());
+  }
+  db.options().parallel_min_rows = 0;
+
+  const char* q = "SELECT id, name FROM t WHERE score > 30";
+  auto blocks = db.QueryBlocks(q);
+  ASSERT_TRUE(blocks.ok()) << blocks.status().ToString();
+  ASSERT_GT(blocks.value().rows.row_count(), 0u);
+  // Non-DISTINCT parallel merge: adopted worker blocks only, no per-row
+  // moves (the ROADMAP zero-copy merge item).
+  EXPECT_EQ(blocks.value().rows.pushed_rows(), 0u);
+  EXPECT_EQ(blocks.value().rows.adopted_rows(),
+            blocks.value().rows.row_count());
+  EXPECT_LE(blocks.value().rows.block_count(), size_t{4});
+
+  // The flattening wrapper sees identical rows in identical order.
+  auto flat = db.Query(q);
+  ASSERT_TRUE(flat.ok());
+  size_t i = 0;
+  auto cursor = blocks.value().cursor();
+  while (const Row* row = cursor.Next()) {
+    ASSERT_LT(i, flat.value().rows.size());
+    EXPECT_EQ(*row, flat.value().rows[i]);
+    ++i;
+  }
+  EXPECT_EQ(i, flat.value().rows.size());
+
+  // Streaming DISTINCT re-dedups at the merge, pushing rows one by one.
+  auto distinct = db.QueryBlocks("SELECT DISTINCT score FROM t");
+  ASSERT_TRUE(distinct.ok());
+  ASSERT_GT(distinct.value().rows.row_count(), 0u);
+  EXPECT_EQ(distinct.value().rows.adopted_rows(), 0u);
+}
+
+TEST(BlockResultTest, PresetCancelFlagCancelsQuery) {
+  Database db(4);
+  ASSERT_TRUE(
+      db.CreateTable("t", Schema({{"id", ColumnType::kInt64}})).ok());
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(db.Insert("t", {Value(static_cast<int64_t>(i))}).ok());
+  }
+  std::atomic<bool> cancel{true};
+  SelectOptions options = db.options();
+  options.cancel = &cancel;
+  auto rs = db.QueryBlocks("SELECT id FROM t", options);
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kCancelled);
+}
+
+TEST(BlockResultTest, PreSplitSeedListsMatchSkipScan) {
+  // Indexed IN probes materialize a shared seed list; under a pushed LIMIT
+  // the parallel driver pre-splits it per shard at plan time. The budgeted
+  // result must stay within the full result, and exact without LIMIT.
+  Database db(4);
+  ASSERT_TRUE(db.CreateTable("t", Schema({{"id", ColumnType::kInt64},
+                                          {"grp", ColumnType::kInt64}}))
+                  .ok());
+  for (int i = 0; i < 800; ++i) {
+    ASSERT_TRUE(db.Insert("t", {Value(static_cast<int64_t>(i)),
+                                Value(static_cast<int64_t>(i % 10))})
+                    .ok());
+  }
+  ASSERT_TRUE(db.CreateIndex("t", "grp").ok());
+  const char* q = "SELECT id FROM t WHERE grp IN (1, 4, 7)";
+
+  db.options() = SelectOptions{};
+  db.options().parallel_shards = 1;
+  auto serial = db.Query(q);
+  ASSERT_TRUE(serial.ok());
+
+  db.options() = SelectOptions{};
+  db.options().parallel_shards = 4;
+  db.options().parallel_min_rows = 0;
+  auto parallel = db.Query(q);
+  ASSERT_TRUE(parallel.ok());
+  auto normalize = [](const ResultSet& rs) {
+    std::vector<int64_t> ids;
+    for (const Row& r : rs.rows) ids.push_back(r[0].AsInt());
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  EXPECT_EQ(normalize(parallel.value()), normalize(serial.value()));
+
+  auto limited = db.Query("SELECT id FROM t WHERE grp IN (1, 4, 7) LIMIT 40");
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited.value().rows.size(), 40u);
+  std::vector<int64_t> full_ids = normalize(serial.value());
+  for (const Row& r : limited.value().rows) {
+    EXPECT_TRUE(std::binary_search(full_ids.begin(), full_ids.end(),
+                                   r[0].AsInt()));
+  }
 }
 
 }  // namespace

@@ -1,0 +1,417 @@
+// HuntService behavior: concurrent execution equals serial execution
+// byte-for-byte, cancellation (queued and mid-query), deadlines, admission
+// control, tenant fairness, the zero-copy row-block plumbing, and the
+// facade's ingest-vs-inflight guard. Runs under the TSan CI job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cases/cases.h"
+#include "service/hunt_service.h"
+#include "storage/row_block.h"
+#include "threatraptor.h"
+
+namespace raptor {
+namespace {
+
+using service::HuntRequest;
+using service::HuntResponse;
+using service::HuntService;
+using service::HuntServiceOptions;
+using service::HuntTicket;
+using service::QueryDialect;
+
+HuntRequest Req(std::string text,
+                QueryDialect dialect = QueryDialect::kTbql,
+                std::string tenant = "", long long timeout_micros = -1) {
+  HuntRequest r;
+  r.text = std::move(text);
+  r.dialect = dialect;
+  r.tenant = std::move(tenant);
+  r.timeout_micros = timeout_micros;
+  return r;
+}
+
+/// A store big enough that hunts take real time: `procs` processes each
+/// reading `files_per_proc` distinct files (reduction disabled so every
+/// event survives). proc i is "/bin/svc<i>", file (i,j) is "/data/d<i>_<j>".
+std::unique_ptr<ThreatRaptor> BuildWideStore(int procs, int files_per_proc) {
+  ThreatRaptorOptions options;
+  options.store.enable_reduction = false;
+  auto tr = std::make_unique<ThreatRaptor>(options);
+  audit::ParsedLog log;
+  audit::Timestamp ts = 1'000'000;
+  for (int i = 0; i < procs; ++i) {
+    audit::EntityId p =
+        log.entities.InternProcess("/bin/svc" + std::to_string(i), 100 + i);
+    for (int j = 0; j < files_per_proc; ++j) {
+      audit::EntityId f = log.entities.InternFile(
+          "/data/d" + std::to_string(i) + "_" + std::to_string(j));
+      audit::SystemEvent ev;
+      ev.id = log.events.size() + 1;
+      ev.subject = p;
+      ev.object = f;
+      ev.object_type = audit::EntityType::kFile;
+      ev.op = audit::EventOp::kRead;
+      ev.start_time = ts;
+      ev.end_time = ts + 10;
+      ts += 100;
+      log.events.push_back(ev);
+    }
+  }
+  EXPECT_TRUE(tr->IngestParsedLog(log).ok());
+  return tr;
+}
+
+TEST(RowBlocksTest, AdoptPushTruncateFlatten) {
+  storage::RowBlocks<std::vector<int>> blocks;
+  blocks.Adopt({{1}, {2}, {3}});
+  blocks.Push({4});
+  blocks.Push({5});
+  blocks.Adopt({{6}, {7}});
+  EXPECT_EQ(blocks.row_count(), 7u);
+  EXPECT_EQ(blocks.adopted_rows(), 5u);
+  EXPECT_EQ(blocks.pushed_rows(), 2u);
+  EXPECT_EQ(blocks.block_count(), 3u);
+
+  storage::RowCursor<std::vector<int>> cursor(&blocks);
+  std::vector<int> seen;
+  while (const std::vector<int>* row = cursor.Next()) seen.push_back((*row)[0]);
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3, 4, 5, 6, 7}));
+
+  blocks.Truncate(4);  // keeps {1,2,3} and {4}, drops the rest
+  EXPECT_EQ(blocks.row_count(), 4u);
+  EXPECT_EQ(blocks.block_count(), 2u);
+  EXPECT_EQ(blocks.adopted_rows() + blocks.pushed_rows(), 4u);
+  std::vector<std::vector<int>> flat = blocks.Flatten();
+  EXPECT_EQ(flat, (std::vector<std::vector<int>>{{1}, {2}, {3}, {4}}));
+  EXPECT_EQ(blocks.row_count(), 0u);
+
+  storage::RowBlocks<std::vector<int>> exact;
+  exact.Adopt({{9}, {8}});
+  exact.Truncate(2);  // no-op boundary
+  EXPECT_EQ(exact.row_count(), 2u);
+  exact.Truncate(0);
+  EXPECT_EQ(exact.block_count(), 0u);
+}
+
+TEST(HuntServiceTest, InvalidTicketIsFinishedNotFatal) {
+  HuntTicket ticket;  // never came from Submit
+  EXPECT_FALSE(ticket.valid());
+  EXPECT_TRUE(ticket.done());
+  EXPECT_EQ(ticket.Wait().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(ticket.WaitFor(1'000));
+  ticket.WaitStarted();  // no-op
+  ticket.Cancel();       // no-op
+  EXPECT_EQ(ticket.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ticket.id(), 0u);
+}
+
+TEST(HuntServiceTest, TbqlMatchesDirectExecution) {
+  auto tr = BuildWideStore(20, 20);
+  const char* query = "proc p[\"%svc1%\"] read file f return p, f";
+  auto direct = tr->Hunt(tbql::ParseTbql(query).value());
+  ASSERT_TRUE(direct.ok());
+
+  HuntService service(tr->store());
+  auto response = service.Run(Req(query));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().report.results.rows,
+            direct.value().results.rows);
+  EXPECT_EQ(response.value().report.matched_event_ids,
+            direct.value().matched_event_ids);
+  EXPECT_EQ(response.value().columns, direct.value().results.columns);
+}
+
+TEST(HuntServiceTest, ConcurrentHuntsMatchSerialByteForByte) {
+  auto tr = BuildWideStore(24, 24);
+  struct Case {
+    QueryDialect dialect;
+    std::string text;
+  };
+  std::vector<Case> cases = {
+      {QueryDialect::kTbql, "proc p read file f return p, f"},
+      {QueryDialect::kTbql,
+       "proc p[\"%svc3%\"] read file f as e1 "
+       "proc p read file g[\"%_7%\"] as e2 with e1 before e2 "
+       "return distinct p, g"},
+      {QueryDialect::kCypher,
+       "MATCH (p:proc)-[e:read]->(f:file) WHERE f.name CONTAINS '_5' "
+       "RETURN p.exename, f.name"},
+      {QueryDialect::kSql,
+       "SELECT e.id, s.exename FROM events e, entities s "
+       "WHERE e.subject = s.id AND e.op = 'read' AND s.exename LIKE "
+       "'%svc1%'"},
+  };
+
+  // Serial ground truth through the same service API, one at a time.
+  HuntServiceOptions serial_opts;
+  serial_opts.max_concurrent = 1;
+  std::vector<HuntResponse> serial;
+  {
+    HuntService service(tr->store(), serial_opts);
+    for (const Case& c : cases) {
+      auto r = service.Run(Req(c.text, c.dialect));
+      ASSERT_TRUE(r.ok()) << c.text << " -> " << r.status().ToString();
+      serial.push_back(std::move(r).value());
+    }
+  }
+
+  // Several rounds of fully concurrent submission (duplicate each case so
+  // >= 2 hunts genuinely overlap per round even on a small pool).
+  HuntServiceOptions par_opts;
+  par_opts.max_concurrent = 4;
+  HuntService service(tr->store(), par_opts);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<HuntTicket> tickets;
+    for (int dup = 0; dup < 2; ++dup) {
+      for (const Case& c : cases) {
+        tickets.push_back(
+            service.Submit(Req(c.text, c.dialect)));
+      }
+    }
+    for (size_t i = 0; i < tickets.size(); ++i) {
+      const HuntResponse& expected = serial[i % cases.size()];
+      ASSERT_TRUE(tickets[i].Wait().ok())
+          << tickets[i].status().ToString();
+      const HuntResponse& got = tickets[i].response();
+      EXPECT_EQ(got.columns, expected.columns);
+      if (cases[i % cases.size()].dialect == QueryDialect::kTbql) {
+        EXPECT_EQ(got.report.results.rows, expected.report.results.rows);
+        EXPECT_EQ(got.report.matched_event_ids,
+                  expected.report.matched_event_ids);
+      } else {
+        // Compare streamed rows cell by cell through the cursors.
+        auto lhs = got.cursor();
+        auto rhs = expected.cursor();
+        const std::vector<sql::Value>* a = nullptr;
+        const std::vector<sql::Value>* b = nullptr;
+        size_t rows = 0;
+        while ((a = lhs.Next()) != nullptr) {
+          b = rhs.Next();
+          ASSERT_NE(b, nullptr);
+          ASSERT_EQ(a->size(), b->size());
+          for (size_t cell = 0; cell < a->size(); ++cell) {
+            EXPECT_EQ((*a)[cell].Compare((*b)[cell]), 0);
+          }
+          ++rows;
+        }
+        EXPECT_EQ(rhs.Next(), nullptr);
+        EXPECT_EQ(rows, expected.rows.row_count());
+      }
+    }
+  }
+  EXPECT_EQ(service.stats().failed, 0u);
+}
+
+/// Shared slow store (~90k events) for the timing-sensitive tests; built
+/// once so TSan runs stay tractable.
+ThreatRaptor& SlowStore() {
+  static std::unique_ptr<ThreatRaptor> tr = BuildWideStore(300, 300);
+  return *tr;
+}
+
+TEST(HuntServiceTest, CancelQueuedHuntNeverExecutes) {
+  ThreatRaptor& tr = SlowStore();
+  HuntServiceOptions opts;
+  opts.max_concurrent = 1;
+  HuntService service(tr.store(), opts);
+  // The blocker occupies the only worker; the victim waits in the queue.
+  HuntTicket blocker =
+      service.Submit(Req("proc p read file f return p, f"));
+  blocker.WaitStarted();
+  HuntTicket victim = service.Submit(Req("proc p read file f return f"));
+  victim.Cancel();
+  EXPECT_EQ(victim.Wait().code(), StatusCode::kCancelled);
+  blocker.Cancel();  // no need to sit out the blocker's full scan
+  (void)blocker.Wait();
+  EXPECT_GE(service.stats().cancelled, 1u);
+}
+
+TEST(HuntServiceTest, CancelRunningHuntStopsMidQuery) {
+  // ~90k result rows: the base scan alone takes long enough that a cancel
+  // issued right after admission lands mid-scan (the SQL executor polls
+  // the flag at every first-table row visit).
+  HuntService service(SlowStore().store());
+  HuntTicket ticket =
+      service.Submit(Req("proc p read file f return p, f"));
+  ticket.WaitStarted();
+  // Let the scan get going so the cancel exercises the mid-query polls
+  // rather than the pre-execution check.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ticket.Cancel();
+  EXPECT_EQ(ticket.Wait().code(), StatusCode::kCancelled);
+}
+
+TEST(HuntServiceTest, DeadlineExpiryQueuedAndRunning) {
+  HuntService service(SlowStore().store());
+  // Already-expired deadline: times out before execution starts.
+  auto expired = service.Submit(
+      Req("proc p read file f return p, f", QueryDialect::kTbql, "", 0));
+  EXPECT_EQ(expired.Wait().code(), StatusCode::kTimeout);
+  // Short deadline on a long hunt: expires mid-execution.
+  auto slow = service.Submit(Req(
+      "proc p read file f return p, f", QueryDialect::kTbql, "", 5'000));
+  EXPECT_EQ(slow.Wait().code(), StatusCode::kTimeout);
+  // A comfortable deadline does not fire.
+  auto ok = service.Submit(Req(
+      "proc p[\"%svc1_%\"] read file f return p", QueryDialect::kTbql, "",
+      60'000'000));
+  EXPECT_TRUE(ok.Wait().ok()) << ok.status().ToString();
+  EXPECT_GE(service.stats().timed_out, 2u);
+}
+
+TEST(HuntServiceTest, AdmissionQueueOverflowRejects) {
+  ThreatRaptor& tr = SlowStore();
+  HuntServiceOptions opts;
+  opts.max_concurrent = 1;
+  opts.max_queue = 1;
+  HuntService service(tr.store(), opts);
+  HuntTicket running =
+      service.Submit(Req("proc p read file f return p, f"));
+  running.WaitStarted();  // drain the queue so only the next submit queues
+  HuntTicket queued = service.Submit(Req("proc p read file f return p"));
+  HuntTicket rejected = service.Submit(Req("proc p read file f return f"));
+  EXPECT_EQ(rejected.Wait().code(), StatusCode::kUnavailable);
+  running.Cancel();
+  queued.Cancel();
+  (void)running.Wait();
+  (void)queued.Wait();
+  EXPECT_EQ(service.stats().rejected, 1u);
+}
+
+TEST(HuntServiceTest, TenantRoundRobinPreventsStarvation) {
+  auto tr = BuildWideStore(60, 60);
+  HuntServiceOptions opts;
+  opts.max_concurrent = 1;
+  HuntService service(tr->store(), opts);
+  const char* q = "proc p read file f return p, f";
+  // Tenant A floods the queue, tenant B arrives last; round-robin admits
+  // B's hunt right after A's head-of-line one, so B finishes while A's
+  // tail is still pending.
+  HuntTicket a1 = service.Submit(Req(q, QueryDialect::kTbql, "tenant-a"));
+  HuntTicket a2 = service.Submit(Req(q, QueryDialect::kTbql, "tenant-a"));
+  HuntTicket a3 = service.Submit(Req(q, QueryDialect::kTbql, "tenant-a"));
+  HuntTicket b1 = service.Submit(Req(q, QueryDialect::kTbql, "tenant-b"));
+  ASSERT_TRUE(b1.Wait().ok());
+  EXPECT_FALSE(a3.done());  // the flood's tail is still behind B
+  ASSERT_TRUE(a1.Wait().ok());
+  ASSERT_TRUE(a2.Wait().ok());
+  ASSERT_TRUE(a3.Wait().ok());
+  EXPECT_EQ(service.stats().tenants, 2u);
+}
+
+TEST(HuntServiceTest, CypherAndSqlBlocksAdoptedZeroCopy) {
+  // 100 proc seeds / 3000 base rows clear the parallel fan-out thresholds
+  // (parallel_min_seeds = 64, parallel_min_rows = 256), so both queries
+  // take the shard-parallel path and merge adopted worker blocks.
+  auto tr = BuildWideStore(100, 30);
+  HuntService service(tr->store());
+  // Both backends shard 4 ways by default; a whole-store non-DISTINCT
+  // query clears the parallel thresholds, so every row must arrive in an
+  // adopted worker block — no per-row merge moves.
+  auto cy = service.Run(Req(
+      "MATCH (p:proc)-[e:read]->(f:file) RETURN p.exename, f.name",
+      QueryDialect::kCypher));
+  ASSERT_TRUE(cy.ok()) << cy.status().ToString();
+  EXPECT_GT(cy.value().rows.row_count(), 0u);
+  EXPECT_EQ(cy.value().rows.pushed_rows(), 0u)
+      << "non-DISTINCT parallel merge must adopt whole worker blocks";
+  auto sq = service.Run(Req(
+      "SELECT e.id, e.subject FROM events e WHERE e.op = 'read'",
+      QueryDialect::kSql));
+  ASSERT_TRUE(sq.ok()) << sq.status().ToString();
+  EXPECT_GT(sq.value().rows.row_count(), 0u);
+  EXPECT_EQ(sq.value().rows.pushed_rows(), 0u);
+}
+
+TEST(HuntServiceTest, DagSchedulingMatchesSequentialPatternOrder) {
+  auto tr = BuildWideStore(24, 24);
+  const char* queries[] = {
+      // Chain through a shared process entity.
+      "proc p read file f[\"%_3%\"] as e1 proc p read file g[\"%_8%\"] as e2 "
+      "with e1 before e2 return distinct p, f, g",
+      // Two fully independent pattern pairs plus a dependent third.
+      "proc a read file x[\"%d2_%\"] as e1 proc b read file y[\"%d5_%\"] as "
+      "e2 proc a read file z[\"%_9%\"] as e3 return distinct a, b, z",
+  };
+  for (const char* q : queries) {
+    engine::TbqlExecutor executor(tr->store());
+    engine::ExecOptions sequential;
+    sequential.parallel_patterns = false;
+    auto base = executor.ExecuteText(q, sequential);
+    ASSERT_TRUE(base.ok()) << base.status().ToString();
+
+    engine::ExecOptions dag;
+    dag.parallel_patterns = true;
+    auto par = executor.ExecuteText(q, dag);
+    ASSERT_TRUE(par.ok()) << par.status().ToString();
+
+    EXPECT_EQ(par.value().results.rows, base.value().results.rows) << q;
+    EXPECT_EQ(par.value().executed_queries, base.value().executed_queries)
+        << q;
+    EXPECT_EQ(par.value().pattern_match_counts,
+              base.value().pattern_match_counts)
+        << q;
+    EXPECT_EQ(par.value().matched_event_ids, base.value().matched_event_ids)
+        << q;
+  }
+}
+
+TEST(HuntServiceTest, FacadeRefusesIngestWhileHuntsInFlight) {
+  auto tr = BuildWideStore(100, 100);
+  HuntService* service = tr->hunt_service();
+  ASSERT_NE(service, nullptr);
+  HuntTicket slow =
+      service->Submit(Req("proc p read file f return p, f"));
+  audit::ParsedLog more;
+  audit::EntityId p = more.entities.InternProcess("/bin/late", 9999);
+  audit::EntityId f = more.entities.InternFile("/data/late");
+  audit::SystemEvent ev;
+  ev.id = 1;
+  ev.subject = p;
+  ev.object = f;
+  ev.op = audit::EventOp::kRead;
+  ev.object_type = audit::EntityType::kFile;
+  ev.start_time = 1;
+  ev.end_time = 2;
+  more.events.push_back(ev);
+  // The hunt holds a worker slot (its scan runs ~100ms): mutation must be
+  // refused while it is in flight, and accepted once drained.
+  slow.WaitStarted();
+  EXPECT_FALSE(tr->IngestParsedLog(more).ok());
+  EXPECT_TRUE(slow.Wait().ok());
+  EXPECT_TRUE(tr->IngestParsedLog(more).ok());
+}
+
+TEST(HuntServiceTest, DestructorCancelsOutstandingHunts) {
+  ThreatRaptor& tr = SlowStore();
+  HuntTicket running, queued;
+  {
+    HuntServiceOptions opts;
+    opts.max_concurrent = 1;
+    HuntService service(tr.store(), opts);
+    running = service.Submit(Req("proc p read file f return p, f"));
+    running.WaitStarted();
+    queued = service.Submit(Req("proc p read file f return f"));
+  }
+  // Destruction finished both tickets one way or another.
+  ASSERT_TRUE(running.done());
+  ASSERT_TRUE(queued.done());
+  EXPECT_EQ(queued.status().code(), StatusCode::kCancelled);
+}
+
+TEST(HuntServiceTest, FacadeHuntRoutesThroughService) {
+  auto tr = BuildWideStore(10, 10);
+  auto report = tr->Hunt("proc p[\"%svc2%\"] read file f return p, f");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().results.rows.size(), 10u);
+  ASSERT_NE(tr->hunt_service(), nullptr);
+  EXPECT_GE(tr->hunt_service()->stats().completed, 1u);
+}
+
+}  // namespace
+}  // namespace raptor

@@ -10,13 +10,18 @@
 //   threatraptor gen-log <case-id> <out.jsonl>
 //       Export a case's audit log (benign noise + attack) as JSON lines.
 //   threatraptor hunt (--log <log.jsonl> | --case <case-id>) --query <tbql>
-//       Execute a TBQL query against a log in exact search mode.
+//       [--query <tbql> ...] [--jobs N]
+//       Execute TBQL queries against a log in exact search mode. Multiple
+//       --query arguments submit through the concurrent HuntService with
+//       up to N hunts in flight (default 1).
 //   threatraptor fuzzy (--log <log.jsonl> | --case <case-id>) --query <tbql>
 //       Execute a TBQL query in fuzzy (Poirot-alignment) search mode.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "audit/jsonl.h"
 #include "audit/parser.h"
@@ -38,6 +43,7 @@ int Usage() {
       "  threatraptor extract <oscti.txt>\n"
       "  threatraptor gen-log <case-id> <out.jsonl>\n"
       "  threatraptor hunt (--log <log.jsonl> | --case <id>) --query <tbql>\n"
+      "      [--query <tbql> ...] [--jobs N]\n"
       "  threatraptor fuzzy (--log <log.jsonl> | --case <id>) --query "
       "<tbql>\n"
       "  threatraptor explain --query <tbql>\n"
@@ -166,7 +172,10 @@ int GenLog(const std::string& id, const std::string& out_path) {
 struct HuntArgs {
   std::string log_path;
   std::string case_id;
-  std::string query;
+  std::vector<std::string> queries;
+  int jobs = 1;
+
+  const std::string& query() const { return queries.front(); }
 };
 
 bool ParseHuntArgs(int argc, char** argv, int start, HuntArgs* out) {
@@ -186,18 +195,33 @@ bool ParseHuntArgs(int argc, char** argv, int start, HuntArgs* out) {
     } else if (arg == "--query") {
       const char* v = next();
       if (v == nullptr) return false;
-      out->query = v;
+      out->queries.emplace_back(v);
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->jobs = std::atoi(v);
+      if (out->jobs < 1) return false;
     } else {
       return false;
     }
   }
   return (!out->log_path.empty() || !out->case_id.empty()) &&
-         !out->query.empty();
+         !out->queries.empty();
 }
 
 Result<std::unique_ptr<ThreatRaptor>> LoadForHunt(const HuntArgs& args) {
   return args.log_path.empty() ? LoadFromCase(args.case_id)
                                : LoadFromJsonl(args.log_path);
+}
+
+int PrintHuntReport(const engine::ExecReport& report) {
+  std::printf("%s", report.results.ToString(50).c_str());
+  std::printf("\n%zu rows in %.1f ms; data queries executed:\n",
+              report.results.rows.size(), report.seconds * 1e3);
+  for (const std::string& q : report.executed_queries) {
+    std::printf("  %s\n", q.c_str());
+  }
+  return 0;
 }
 
 int Hunt(const HuntArgs& args) {
@@ -206,20 +230,41 @@ int Hunt(const HuntArgs& args) {
     std::fprintf(stderr, "%s\n", tr.status().ToString().c_str());
     return 1;
   }
-  auto report = tr.value()->Hunt(args.query);
-  if (!report.ok()) {
-    std::fprintf(stderr, "query failed: %s\n",
-                 report.status().ToString().c_str());
-    return 1;
+  if (args.queries.size() == 1 && args.jobs <= 1) {
+    auto report = tr.value()->Hunt(args.query());
+    if (!report.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    return PrintHuntReport(report.value());
   }
-  std::printf("%s", report.value().results.ToString(50).c_str());
-  std::printf("\n%zu rows in %.1f ms; data queries executed:\n",
-              report.value().results.rows.size(),
-              report.value().seconds * 1e3);
-  for (const std::string& q : report.value().executed_queries) {
-    std::printf("  %s\n", q.c_str());
+  // Multiple queries (or an explicit --jobs): submit everything through
+  // the hunt service and let up to `jobs` hunts run concurrently; results
+  // print in submission order regardless of completion order.
+  service::HuntServiceOptions opts;
+  opts.max_concurrent = static_cast<size_t>(args.jobs);
+  service::HuntService service(tr.value()->store(), opts);
+  std::vector<service::HuntTicket> tickets;
+  tickets.reserve(args.queries.size());
+  for (const std::string& q : args.queries) {
+    service::HuntRequest request;
+    request.text = q;
+    tickets.push_back(service.Submit(std::move(request)));
   }
-  return 0;
+  int rc = 0;
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    std::printf("=== query %zu/%zu: %s\n", i + 1, tickets.size(),
+                args.queries[i].c_str());
+    const Status& status = tickets[i].Wait();
+    if (!status.ok()) {
+      std::fprintf(stderr, "query failed: %s\n", status.ToString().c_str());
+      rc = 1;
+      continue;
+    }
+    PrintHuntReport(tickets[i].response().report);
+  }
+  return rc;
 }
 
 int Fuzzy(const HuntArgs& args) {
@@ -230,7 +275,7 @@ int Fuzzy(const HuntArgs& args) {
   }
   engine::FuzzyOptions opts;
   opts.score_threshold = 0.5;
-  auto report = tr.value()->HuntFuzzy(args.query, opts);
+  auto report = tr.value()->HuntFuzzy(args.query(), opts);
   if (!report.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  report.status().ToString().c_str());
