@@ -24,9 +24,14 @@
 // (throughput in hunts/sec), plus the zero-copy merge counters of a
 // shard-parallel Cypher block query (adopted vs pushed rows; a non-zero
 // pushed count on the non-DISTINCT workload fails the bench).
+// A sixth section measures continuous hunting: a simulated live stream
+// ingested batch by batch through the epoch gate with standing hunts
+// attached (batches/sec, records/sec), and the per-refresh cost of the
+// dirty-seeded incremental path versus a full re-scan.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,6 +41,8 @@
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
 #include "service/hunt_service.h"
+#include "stream/event_stream.h"
+#include "stream/ingestor.h"
 #include "tests/fixtures/synthetic_graph.h"
 
 using namespace raptor;
@@ -255,6 +262,128 @@ void RunConcurrentHuntWorkload(bench::BenchReport* report) {
   }
   report->Metric("concurrent", "speedup_4v1",
                  qps_by_width[0] > 0 ? qps_by_width[2] / qps_by_width[0] : 0);
+}
+
+/// Continuous hunting: a simulated live stream ingested batch by batch
+/// through the epoch gate with standing hunts attached. Reports ingest
+/// throughput (with refreshes riding along) and the per-refresh cost of
+/// the dirty-seeded incremental path vs a forced full re-scan of the
+/// same query — the standing-hunt delta win.
+void RunStreamingWorkload(bench::BenchReport* report) {
+  stream::SimulatorSourceOptions feed;
+  long long scale = bench::EnvLong("BENCH_SCALE", 10);
+  feed.profile.num_users = 8;
+  feed.profile.num_processes = static_cast<int>(40 * scale);
+  feed.profile.mean_records_per_process = 30;
+  feed.profile.duration = 60LL * 60 * 1000 * 1000;
+  feed.batch_window_us = 2LL * 60 * 1000 * 1000;  // 2-minute batches
+  stream::SimulatorSource source(feed);
+
+  ThreatRaptorOptions options;
+  options.store.carry_over_window = true;
+  ThreatRaptor tr(options);
+  if (!tr.IngestSyscalls({}).ok()) {
+    std::fprintf(stderr, "stream bootstrap failed\n");
+    std::exit(1);
+  }
+  service::HuntService* service = tr.hunt_service();
+
+  // Two standing hunts over the same query: one allowed the dirty-seeded
+  // incremental path, one forced to re-scan fully every epoch.
+  struct RefreshCost {
+    std::mutex mu;
+    double seconds = 0;
+    size_t refreshes = 0;
+    size_t incremental = 0;
+    size_t rows = 0;
+  };
+  RefreshCost inc_cost, full_cost;
+  auto make_sink = [](RefreshCost* cost) {
+    service::StandingSink sink;
+    sink.on_update = [cost](const service::StandingUpdate& update) {
+      std::lock_guard<std::mutex> lock(cost->mu);
+      cost->seconds += update.seconds;
+      ++cost->refreshes;
+      if (update.incremental) ++cost->incremental;
+      cost->rows = update.total_rows;
+    };
+    return sink;
+  };
+  service::HuntRequest standing;
+  standing.dialect = service::QueryDialect::kCypher;
+  standing.text =
+      "MATCH (p:proc)-[e:read]->(f:file) RETURN p.exename, f.name";
+  service::StandingOptions inc_opts;
+  inc_opts.max_dirty_fraction = 1.0;
+  auto inc_handle =
+      service->SubmitStanding(standing, make_sink(&inc_cost), inc_opts);
+  service::StandingOptions full_opts;
+  full_opts.allow_incremental = false;
+  auto full_handle =
+      service->SubmitStanding(standing, make_sink(&full_cost), full_opts);
+
+  // Stream everything; refresh between batches so both subscriptions pay
+  // one refresh per epoch (coalescing would hide the per-refresh cost).
+  Stopwatch timer;
+  size_t batches = 0;
+  size_t records = 0;
+  for (;;) {
+    auto batch = source.Poll();
+    if (!batch.ok()) {
+      std::fprintf(stderr, "poll failed: %s\n",
+                   batch.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (!batch.value().records.empty()) {
+      ++batches;
+      records += batch.value().records.size();
+      if (!tr.IngestSyscalls(batch.value().records).ok()) {
+        std::fprintf(stderr, "stream ingest failed\n");
+        std::exit(1);
+      }
+      inc_handle.WaitEpoch(service->epoch());
+      full_handle.WaitEpoch(service->epoch());
+    }
+    if (batch.value().end_of_stream) break;
+  }
+  if (!tr.FlushIngest().ok()) std::exit(1);
+  inc_handle.WaitEpoch(service->epoch());
+  full_handle.WaitEpoch(service->epoch());
+  double seconds = timer.ElapsedSeconds();
+
+  std::lock_guard<std::mutex> li(inc_cost.mu);
+  std::lock_guard<std::mutex> lf(full_cost.mu);
+  if (inc_cost.rows != full_cost.rows || inc_cost.incremental == 0) {
+    std::fprintf(stderr,
+                 "standing differential broke: inc %zu rows (%zu "
+                 "incremental refreshes) vs full %zu rows\n",
+                 inc_cost.rows, inc_cost.incremental, full_cost.rows);
+    std::exit(1);
+  }
+  double inc_per = inc_cost.seconds / inc_cost.refreshes;
+  double full_per = full_cost.seconds / full_cost.refreshes;
+  std::printf(
+      "\nStreaming ingest (2 standing hunts attached, carry-over window):\n"
+      "  %zu batches / %zu records in %.3f s -> %.1f batches/s, %.0f "
+      "records/s\n"
+      "  store: %zu events after reduction; %llu epochs\n"
+      "  refresh cost: incremental %.3f ms vs full re-scan %.3f ms "
+      "(%.1fx; %zu/%zu refreshes dirty-seeded)\n",
+      batches, records, seconds, batches / seconds, records / seconds,
+      tr.store()->event_count(),
+      static_cast<unsigned long long>(service->epoch()), inc_per * 1e3,
+      full_per * 1e3, inc_per > 0 ? full_per / inc_per : 0,
+      inc_cost.incremental, inc_cost.refreshes);
+  report->Metric("streaming", "ingest_batches_per_sec", batches / seconds);
+  report->Metric("streaming", "ingest_records_per_sec", records / seconds);
+  report->Metric("streaming", "standing_refreshes",
+                 static_cast<double>(inc_cost.refreshes));
+  report->Metric("streaming", "incremental_refreshes",
+                 static_cast<double>(inc_cost.incremental));
+  report->Metric("streaming", "incremental_refresh_seconds", inc_per);
+  report->Metric("streaming", "full_refresh_seconds", full_per);
+  report->Metric("streaming", "incremental_vs_full_speedup",
+                 inc_per > 0 ? full_per / inc_per : 0);
 }
 
 /// Shard-parallel SELECT vs the serial path: a filtered full scan and a
@@ -484,6 +613,7 @@ int main() {
 
   RunLargeGraphWorkload(&report);
   RunConcurrentHuntWorkload(&report);
+  RunStreamingWorkload(&report);
   report.Write();
   return 0;
 }

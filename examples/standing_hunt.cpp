@@ -1,0 +1,120 @@
+// Continuous hunting: a live audit stream, epoch-coordinated ingest, and
+// a standing TBQL hunt that alerts as the attack unfolds.
+//
+//  1. Build a simulated live feed: 30 minutes of benign background
+//     activity with a data-exfiltration attack landing mid-stream,
+//     replayed in 5-minute batches (stream::SimulatorSource).
+//  2. Register a standing hunt for the exfil pattern BEFORE any data
+//     arrives — the sink prints an alert the first epoch the pattern
+//     matches.
+//  3. Attach a StreamIngestor: every batch parses, reduces (with the
+//     cross-batch carry-over window), and appends under the HuntService
+//     epoch gate — hunting keeps working the whole time.
+//
+// Build & run:  cmake -B build && cmake --build build
+//               ./build/example_standing_hunt
+#include <cstdio>
+
+#include "stream/event_stream.h"
+#include "stream/ingestor.h"
+#include "threatraptor.h"
+
+using namespace raptor;
+
+int main() {
+  // --- 1. the live feed -----------------------------------------------------
+  stream::SimulatorSourceOptions feed;
+  feed.profile.num_users = 6;
+  feed.profile.num_processes = 60;
+  feed.profile.mean_records_per_process = 25;
+  feed.profile.duration = 30LL * 60 * 1000 * 1000;
+  feed.batch_window_us = 5LL * 60 * 1000 * 1000;
+  stream::SimulatorSourceOptions::TimedAttack attack;
+  attack.at = 17LL * 60 * 1000 * 1000;  // strikes in the fourth batch
+  auto file_step = [](audit::EventOp op, const char* path, int syscalls,
+                      audit::Timestamp at) {
+    audit::AttackStep step;
+    step.exe = "/attack/stage";
+    step.pid = 6666;
+    step.op = op;
+    step.object_path = path;
+    step.syscall_count = syscalls;
+    step.bytes = 1 << 20;
+    step.at = at;
+    return step;
+  };
+  attack.steps = {
+      file_step(audit::EventOp::kRead, "/secret/payroll.db", 6, 0),
+      file_step(audit::EventOp::kWrite, "/tmp/.cache.tgz", 4, 2'000'000)};
+  audit::AttackStep connect;
+  connect.exe = "/attack/stage";
+  connect.pid = 6666;
+  connect.op = audit::EventOp::kConnect;
+  connect.dst_ip = "198.51.100.23";
+  connect.dst_port = 443;
+  connect.at = 4'000'000;
+  attack.steps.push_back(connect);
+  feed.attacks.push_back(attack);
+  stream::SimulatorSource source(feed);
+  std::printf("simulated feed: %zu records over 30 minutes, 5-minute "
+              "batches\n",
+              source.total_records());
+
+  // --- 2. the standing hunt -------------------------------------------------
+  ThreatRaptorOptions options;
+  options.store.carry_over_window = true;  // merge bursts across batches
+  ThreatRaptor tr(options);
+  if (!tr.IngestSyscalls({}).ok()) return 1;  // bootstrap store + service
+  service::HuntService* service = tr.hunt_service();
+
+  service::HuntRequest hunt;
+  hunt.text = "proc p[\"%attack%\"] read file f return p, f";
+  service::StandingSink sink;
+  sink.on_alert = [](const service::StandingUpdate& update) {
+    std::printf(">>> ALERT at epoch %llu: %zu new matching rows%s\n",
+                static_cast<unsigned long long>(update.epoch),
+                update.delta.row_count(),
+                update.incremental ? " (incremental refresh)" : "");
+    auto cursor = update.cursor();
+    while (const std::vector<sql::Value>* row = cursor.Next()) {
+      std::printf("      %s -> %s\n", (*row)[0].ToString().c_str(),
+                  (*row)[1].ToString().c_str());
+    }
+  };
+  service::StandingHandle handle =
+      service->SubmitStanding(hunt, sink);
+  std::printf("standing hunt registered: %s\n", hunt.text.c_str());
+
+  // --- 3. stream it in ------------------------------------------------------
+  stream::IngestorOptions iopts;
+  iopts.finish = [&] { return tr.FlushIngest(); };
+  stream::StreamIngestor ingestor(
+      &source,
+      [&](const std::vector<audit::SyscallRecord>& records) {
+        std::printf("batch: %zu records -> epoch %llu\n", records.size(),
+                    static_cast<unsigned long long>(service->epoch() + 1));
+        return tr.IngestSyscalls(records);
+      },
+      iopts);
+  ingestor.Start();
+  ingestor.WaitEnd();
+  if (!ingestor.stats().error.ok()) {
+    std::fprintf(stderr, "stream failed: %s\n",
+                 ingestor.stats().error.ToString().c_str());
+    return 1;
+  }
+  handle.WaitEpoch(service->epoch());
+
+  service::HuntService::Stats stats = service->stats();
+  std::printf("\nstream ended: %zu batches, %llu epochs, %zu standing "
+              "refreshes (%zu incremental, %zu alerts)\n",
+              ingestor.stats().batches,
+              static_cast<unsigned long long>(service->epoch()),
+              stats.standing_refreshes, stats.standing_incremental,
+              stats.standing_alerts);
+  std::printf("store: %zu entities, %zu events after reduction (ratio "
+              "%.3f)\n",
+              tr.store()->entity_count(), tr.store()->event_count(),
+              tr.store()->reduction_stats().reduction_ratio());
+  return handle.total_rows() > 0 ? 0 : 1;
+}

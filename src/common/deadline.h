@@ -1,0 +1,48 @@
+// DeadlinePoller: cheap cooperative deadline checks inside hot scan loops.
+//
+// The storage executors poll a cancellation flag at every seed / base-row
+// visit; polling a deadline the same way would put a clock read on the hot
+// path. The poller amortizes it: Expired() reads the clock only every
+// kStride calls (a relaxed counter otherwise) and latches the result, so a
+// scan stops within one stride of the deadline passing — microseconds of
+// overshoot instead of the whole remaining scan.
+#pragma once
+
+#include <chrono>
+#include <optional>
+
+namespace raptor {
+
+class DeadlinePoller {
+ public:
+  DeadlinePoller() = default;
+  explicit DeadlinePoller(
+      std::optional<std::chrono::steady_clock::time_point> deadline)
+      : deadline_(deadline) {}
+
+  bool armed() const { return deadline_.has_value(); }
+
+  /// True once the deadline has passed (sticky). Reads the clock on the
+  /// first call and then every kStride calls.
+  bool Expired() {
+    if (!deadline_.has_value() || expired_) return expired_;
+    if (calls_++ % kStride != 0) return false;
+    expired_ = std::chrono::steady_clock::now() > *deadline_;
+    return expired_;
+  }
+
+  /// Unamortized check for cold paths (query boundaries, final verdicts).
+  bool ExpiredNow() const {
+    return deadline_.has_value() &&
+           std::chrono::steady_clock::now() > *deadline_;
+  }
+
+ private:
+  static constexpr unsigned kStride = 1024;
+
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  unsigned calls_ = 0;
+  bool expired_ = false;
+};
+
+}  // namespace raptor

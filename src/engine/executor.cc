@@ -225,6 +225,7 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
     if (dq.value().backend == Backend::kRelational) {
       sql::SelectOptions sopts = store_->relational().options();
       sopts.cancel = options.cancel;
+      sopts.deadline = options.deadline;
       auto rs = store_->relational().QueryBlocks(dq.value().text, sopts);
       if (!rs.ok()) return rs.status();
       out.reserve(rs.value().rows.row_count());
@@ -242,6 +243,7 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
     } else {
       graphdb::MatchOptions gopts = store_->graph().options();
       gopts.cancel = options.cancel;
+      gopts.deadline = options.deadline;
       auto rs = store_->graph().QueryBlocks(dq.value().text, gopts);
       if (!rs.ok()) return rs.status();
       bool has_event = dq.value().has_event_columns;

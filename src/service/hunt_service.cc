@@ -1,9 +1,11 @@
 #include "service/hunt_service.h"
 
 #include <algorithm>
+#include <unordered_set>
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "storage/graphdb/cypher_parser.h"
 
 namespace raptor::service {
 
@@ -14,6 +16,82 @@ std::chrono::microseconds ClampMicros(long long micros) {
 }
 
 }  // namespace
+
+/// A registered standing hunt. Refreshes run one at a time (the scheduled
+/// flag, guarded by the service mutex, admits at most one queued/running
+/// refresh per subscription), so the refresh-only fields need no lock.
+struct StandingState {
+  // Immutable after SubmitStanding().
+  uint64_t id = 0;
+  HuntRequest request;
+  StandingSink sink;
+  StandingOptions options;
+
+  /// Unsubscribed (or service shut down); doubles as the cooperative
+  /// cancellation flag of an in-flight refresh.
+  std::atomic<bool> cancelled{false};
+
+  // Scheduling state, guarded by the service's mu_.
+  bool scheduled = false;      // a refresh is queued or running
+  uint64_t last_epoch = 0;     // newest epoch reflected in `seen`
+  bool baseline_done = false;  // the initial full refresh has run
+
+  // Subscriber-visible progress.
+  std::mutex mu;
+  std::condition_variable cv;
+  uint64_t delivered_epoch = 0;
+  size_t total_rows = 0;
+  bool detached = false;  // service destroyed; no further refreshes
+
+  // Refresh-only: every row ever delivered (set semantics for deltas).
+  std::unordered_set<std::vector<sql::Value>, sql::ValueRowHash,
+                     sql::ValueRowEq>
+      seen;
+};
+
+// ---- StandingHandle --------------------------------------------------------
+
+uint64_t StandingHandle::id() const {
+  return state_ == nullptr ? 0 : state_->id;
+}
+
+uint64_t StandingHandle::delivered_epoch() const {
+  if (state_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->delivered_epoch;
+}
+
+size_t StandingHandle::total_rows() const {
+  if (state_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->total_rows;
+}
+
+bool StandingHandle::WaitEpoch(uint64_t epoch,
+                               long long timeout_micros) const {
+  if (state_ == nullptr) return false;
+  StandingState& st = *state_;
+  std::unique_lock<std::mutex> lock(st.mu);
+  auto reached = [&] {
+    return st.delivered_epoch >= epoch || st.detached ||
+           st.cancelled.load(std::memory_order_relaxed);
+  };
+  if (timeout_micros < 0) {
+    st.cv.wait(lock, reached);
+  } else if (!st.cv.wait_for(lock, ClampMicros(timeout_micros), reached)) {
+    return false;
+  }
+  return st.delivered_epoch >= epoch;
+}
+
+void StandingHandle::Cancel() const {
+  if (state_ == nullptr) return;
+  state_->cancelled.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);  // pairs with WaitEpoch
+  }
+  state_->cv.notify_all();
+}
 
 // ---- HuntTicket ------------------------------------------------------------
 
@@ -89,6 +167,7 @@ HuntService::HuntService(const storage::AuditStore* store,
 
 HuntService::~HuntService() {
   std::vector<StatePtr> abandoned;
+  std::vector<StandingPtr> subs;
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
@@ -103,8 +182,19 @@ HuntService::~HuntService() {
     for (const StatePtr& st : running_) {
       st->cancel.store(true, std::memory_order_relaxed);
     }
+    subs = std::move(standing_);
+    standing_.clear();
   }
   cv_.notify_all();
+  ingest_cv_.notify_all();  // blocked writers return Cancelled
+  for (const StandingPtr& sub : subs) {
+    sub->cancelled.store(true, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(sub->mu);
+      sub->detached = true;
+    }
+    sub->cv.notify_all();
+  }
   for (StatePtr& st : abandoned) {
     Finish(st, Status::Cancelled("hunt service shut down"), HuntResponse{});
   }
@@ -128,11 +218,7 @@ HuntTicket HuntService::Submit(HuntRequest request) {
       ++stats_.rejected;
     } else {
       StartWorkersLocked();
-      const std::string& tenant = state->request.tenant;
-      std::deque<StatePtr>& queue = queues_[tenant];
-      if (queue.empty()) tenant_rr_.push_back(tenant);
-      queue.push_back(state);
-      ++queued_;
+      EnqueueLocked(state);
     }
   }
   HuntTicket ticket{state};
@@ -150,6 +236,102 @@ Result<HuntResponse> HuntService::Run(HuntRequest request) {
   Status status = ticket.Wait();
   if (!status.ok()) return status;
   return ticket.TakeResponse();
+}
+
+Result<uint64_t> HuntService::Ingest(
+    const std::function<Status(IngestReport*)>& mutate) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++ingests_waiting_;
+    // Writer preference: a waiting ingest (ingests_waiting_ > 0) holds off
+    // new admissions, so running hunts drain instead of being replaced.
+    // Queued hunts stay queued — nothing is refused.
+    ingest_cv_.wait(lock, [&] {
+      return stop_ || (running_.empty() && !ingest_active_);
+    });
+    --ingests_waiting_;
+    if (stop_) {
+      return Status::Cancelled("hunt service shut down");
+    }
+    ingest_active_ = true;
+  }
+  // The mutation runs on the calling thread with exclusive store access:
+  // no hunt is running, none admits until ingest_active_ clears, and
+  // concurrent Ingest calls serialize on the flag.
+  IngestReport report;
+  Status mutated = mutate(&report);
+  // Dedup before retaining: AppendStats reports subject+object per stored
+  // event, so a hot entity shows up once per event. The dirty set is kept
+  // for up to max_dirty_epochs and concatenated on every standing
+  // refresh — store unique ids, not the raw event-endpoint stream.
+  if (mutated.ok()) {
+    std::sort(report.touched_entities.begin(), report.touched_entities.end());
+    report.touched_entities.erase(std::unique(report.touched_entities.begin(),
+                                              report.touched_entities.end()),
+                                  report.touched_entities.end());
+  }
+  uint64_t new_epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ingest_active_ = false;
+    if (mutated.ok()) {
+      new_epoch = ++epoch_;
+      ++stats_.ingests;
+      dirty_.push_back({new_epoch, std::move(report.touched_entities)});
+      while (dirty_.size() > options_.max_dirty_epochs) dirty_.pop_front();
+      // Wake every live standing hunt; prune unsubscribed ones.
+      auto it = standing_.begin();
+      while (it != standing_.end()) {
+        if ((*it)->cancelled.load(std::memory_order_relaxed)) {
+          it = standing_.erase(it);
+        } else {
+          ScheduleStandingLocked(*it);
+          ++it;
+        }
+      }
+    }
+  }
+  cv_.notify_all();         // resume admissions (and standing refreshes)
+  ingest_cv_.notify_all();  // next writer in line
+  if (!mutated.ok()) return mutated;
+  return new_epoch;
+}
+
+uint64_t HuntService::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+StandingHandle HuntService::SubmitStanding(HuntRequest request,
+                                           StandingSink sink,
+                                           StandingOptions options) {
+  auto sub = std::make_shared<StandingState>();
+  sub->request = std::move(request);
+  sub->sink = std::move(sink);
+  sub->options = options;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sub->id = next_standing_id_++;
+    if (stop_) {
+      sub->cancelled.store(true, std::memory_order_relaxed);
+      sub->detached = true;
+      return StandingHandle{sub};
+    }
+    standing_.push_back(sub);
+    StartWorkersLocked();
+    ScheduleStandingLocked(sub);  // baseline refresh against current store
+  }
+  cv_.notify_one();
+  return StandingHandle{sub};
+}
+
+size_t HuntService::standing_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const StandingPtr& sub : standing_) {
+    if (!sub->cancelled.load(std::memory_order_relaxed)) ++n;
+  }
+  return n;
 }
 
 size_t HuntService::InFlight() const {
@@ -185,13 +367,44 @@ HuntService::StatePtr HuntService::DequeueLocked() {
   return state;
 }
 
+void HuntService::EnqueueLocked(const StatePtr& state) {
+  const std::string& tenant = state->request.tenant;
+  std::deque<StatePtr>& queue = queues_[tenant];
+  if (queue.empty()) tenant_rr_.push_back(tenant);
+  queue.push_back(state);
+  ++queued_;
+}
+
+void HuntService::ScheduleStandingLocked(const StandingPtr& sub) {
+  // At most one refresh per subscription is queued or running; a refresh
+  // that finds further epochs applied re-covers them in one pass, so
+  // back-to-back ingests coalesce instead of piling up executions. The
+  // refresh bypasses max_queue — it is bounded by the subscription count,
+  // not by client submissions.
+  if (sub->scheduled || sub->cancelled.load(std::memory_order_relaxed)) {
+    return;
+  }
+  auto state = std::make_shared<HuntTicket::State>();
+  state->id = next_id_++;
+  state->standing = sub;
+  state->request.tenant = sub->request.tenant;  // fairness bucket
+  sub->scheduled = true;
+  EnqueueLocked(state);
+}
+
 void HuntService::WorkerLoop() {
   for (;;) {
     StatePtr state;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stop_ || queued_ > 0; });
-      if (queued_ == 0) return;  // stop_ set and queue drained
+      // Admission pauses while a mutation holds the store or a writer is
+      // waiting for it (writer preference — ingest applies between hunt
+      // admissions instead of starving behind a full queue).
+      cv_.wait(lock, [&] {
+        return stop_ ||
+               (queued_ > 0 && !ingest_active_ && ingests_waiting_ == 0);
+      });
+      if (stop_) return;  // the destructor drained the queue
       state = DequeueLocked();
       running_.push_back(state);
     }
@@ -204,18 +417,32 @@ void HuntService::WorkerLoop() {
     HuntResponse response;
     Process(state, &status, &response);
     // Leave running_ BEFORE finishing the ticket: a waiter observing
-    // done() must also observe InFlight() without this hunt (the facade's
-    // ingest guard sequences on exactly that).
+    // done() must also observe InFlight() without this hunt, and a drained
+    // running set must wake any ingest waiting to mutate.
+    bool wake_ingest = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       running_.erase(std::find(running_.begin(), running_.end(), state));
+      wake_ingest = running_.empty() && ingests_waiting_ > 0;
     }
+    if (wake_ingest) ingest_cv_.notify_all();
     Finish(state, std::move(status), std::move(response));
   }
 }
 
 void HuntService::Process(const StatePtr& state, Status* status,
                           HuntResponse* response) {
+  if (state->standing != nullptr) {
+    // Internal standing refresh: errors go to the subscription's sink, so
+    // the internal ticket always finishes OK.
+    if (!state->standing->cancelled.load(std::memory_order_relaxed)) {
+      RunStanding(state->standing);
+    } else {
+      std::lock_guard<std::mutex> lock(mu_);
+      state->standing->scheduled = false;
+    }
+    return;
+  }
   // Queue-time expiry: cancellation and deadlines apply while waiting for
   // admission, not just during execution.
   if (state->cancel.load(std::memory_order_relaxed)) {
@@ -236,15 +463,22 @@ void HuntService::Process(const StatePtr& state, Status* status,
 }
 
 Result<HuntResponse> HuntService::Execute(HuntTicket::State& state) const {
-  const HuntRequest& req = state.request;
+  return ExecuteQuery(state.request, &state.cancel, state.deadline,
+                      /*seed_filter=*/nullptr);
+}
+
+Result<HuntResponse> HuntService::ExecuteQuery(
+    const HuntRequest& req, const std::atomic<bool>* cancel,
+    std::optional<std::chrono::steady_clock::time_point> deadline,
+    const std::unordered_set<graphdb::NodeId>* seed_filter) const {
   HuntResponse response;
   response.dialect = req.dialect;
   Stopwatch timer;
   switch (req.dialect) {
     case QueryDialect::kTbql: {
       engine::ExecOptions opts = req.exec;
-      opts.cancel = &state.cancel;
-      opts.deadline = state.deadline;
+      opts.cancel = cancel;
+      opts.deadline = deadline;
       engine::TbqlExecutor executor(store_);
       auto report = executor.ExecuteText(req.text, opts);
       if (!report.ok()) return report.status();
@@ -254,7 +488,9 @@ Result<HuntResponse> HuntService::Execute(HuntTicket::State& state) const {
     }
     case QueryDialect::kCypher: {
       graphdb::MatchOptions opts = store_->graph().options();
-      opts.cancel = &state.cancel;
+      opts.cancel = cancel;
+      opts.deadline = deadline;
+      opts.top_seed_filter = seed_filter;
       auto rs = store_->graph().QueryBlocks(req.text, opts);
       if (!rs.ok()) return rs.status();
       response.columns = std::move(rs.value().columns);
@@ -263,7 +499,8 @@ Result<HuntResponse> HuntService::Execute(HuntTicket::State& state) const {
     }
     case QueryDialect::kSql: {
       sql::SelectOptions opts = store_->relational().options();
-      opts.cancel = &state.cancel;
+      opts.cancel = cancel;
+      opts.deadline = deadline;
       auto rs = store_->relational().QueryBlocks(req.text, opts);
       if (!rs.ok()) return rs.status();
       response.columns = std::move(rs.value().columns);
@@ -271,21 +508,195 @@ Result<HuntResponse> HuntService::Execute(HuntTicket::State& state) const {
       break;
     }
   }
-  // The raw backends poll only the cancel flag; map a deadline that
-  // expired mid-query onto the cooperative cancellation path.
-  if (state.deadline.has_value() &&
-      std::chrono::steady_clock::now() > *state.deadline) {
+  // The storage executors poll the deadline amortized; catch an expiry
+  // their final stride missed.
+  if (deadline.has_value() && std::chrono::steady_clock::now() > *deadline) {
     return Status::Timeout("hunt deadline exceeded");
   }
   response.seconds = timer.ElapsedSeconds();
   return response;
 }
 
+bool HuntService::BuildDirtySeedFilter(
+    const std::string& cypher_text, const std::vector<audit::EntityId>& dirty,
+    double max_fraction, std::unordered_set<graphdb::NodeId>* out) const {
+  auto parsed = graphdb::ParseCypher(cypher_text);
+  if (!parsed.ok()) return false;
+  const graphdb::CypherQuery& q = parsed.value();
+  // Eligibility: a single chain (multi-part rows can combine an entirely
+  // old part 0 with new activity elsewhere) without LIMIT (re-execution
+  // under a limit is not monotone).
+  if (q.patterns.size() != 1 || q.limit >= 0) return false;
+
+  // Pattern radius: the farthest the part-0 seed of a match can sit from
+  // any node of that match, walking match edges. Every new row contains a
+  // new node or edge, whose endpoints are in `dirty` — so expanding the
+  // dirty nodes by the radius covers every seed a new row can have.
+  size_t radius = 0;
+  const graphdb::MatchOptions& mopts = store_->graph().options();
+  for (const graphdb::RelPattern& r : q.patterns[0].rels) {
+    if (r.varlen) {
+      radius += static_cast<size_t>(
+          r.max_len >= 0 ? r.max_len : mopts.unbounded_varlen_cap);
+    } else {
+      ++radius;
+    }
+  }
+
+  const graphdb::PropertyGraph& g = store_->graph().graph();
+  const size_t cap =
+      static_cast<size_t>(max_fraction * static_cast<double>(g.node_count()));
+  std::vector<graphdb::NodeId> frontier;
+  for (audit::EntityId e : dirty) {
+    graphdb::NodeId n = store_->NodeForEntity(e);
+    if (n == graphdb::kInvalidNode) continue;
+    if (out->insert(n).second) frontier.push_back(n);
+  }
+  if (out->size() > cap) return false;
+  for (size_t hop = 0; hop < radius && !frontier.empty(); ++hop) {
+    std::vector<graphdb::NodeId> next;
+    for (graphdb::NodeId n : frontier) {
+      for (graphdb::EdgeId eid : g.OutEdges(n)) {
+        graphdb::NodeId m = g.edge(eid).dst;
+        if (out->insert(m).second) next.push_back(m);
+      }
+      for (graphdb::EdgeId eid : g.InEdges(n)) {
+        graphdb::NodeId m = g.edge(eid).src;
+        if (out->insert(m).second) next.push_back(m);
+      }
+      if (out->size() > cap) return false;
+    }
+    frontier = std::move(next);
+  }
+  return true;
+}
+
+void HuntService::RunStanding(const StandingPtr& sub) {
+  // Snapshot the epoch window this refresh covers. The refresh occupies a
+  // running_ slot, so no ingest can advance the store mid-refresh.
+  uint64_t target = 0;
+  std::vector<audit::EntityId> dirty;
+  bool have_dirty = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    target = epoch_;
+    if (sub->baseline_done && sub->last_epoch < target && !dirty_.empty() &&
+        sub->last_epoch + 1 >= dirty_.front().epoch) {
+      // Every epoch in (last_epoch, target] is still retained: the union
+      // of their dirty sets bounds where new rows can seed.
+      have_dirty = true;
+      for (const DirtyEpoch& d : dirty_) {
+        if (d.epoch > sub->last_epoch) {
+          dirty.insert(dirty.end(), d.entities.begin(), d.entities.end());
+        }
+      }
+    }
+  }
+
+  std::unordered_set<graphdb::NodeId> filter;
+  const std::unordered_set<graphdb::NodeId>* seed_filter = nullptr;
+  if (have_dirty && sub->options.allow_incremental &&
+      sub->request.dialect == QueryDialect::kCypher &&
+      BuildDirtySeedFilter(sub->request.text, dirty,
+                           sub->options.max_dirty_fraction, &filter)) {
+    seed_filter = &filter;
+  }
+
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (sub->request.timeout_micros >= 0) {
+    deadline = std::chrono::steady_clock::now() +
+               ClampMicros(sub->request.timeout_micros);
+  }
+  Stopwatch timer;
+  auto result =
+      ExecuteQuery(sub->request, &sub->cancelled, deadline, seed_filter);
+  if (!result.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sub->scheduled = false;  // the next epoch retries (window unchanged)
+    }
+    if (sub->sink.on_error != nullptr &&
+        !sub->cancelled.load(std::memory_order_relaxed)) {
+      sub->sink.on_error(result.status());
+    }
+    // The attempt still counts as processing the epoch for WaitEpoch —
+    // otherwise a persistently-failing query (bad syntax, per-refresh
+    // deadline) would block waiters forever once no further epochs
+    // arrive. last_epoch stays put, so a later successful refresh
+    // re-covers the window and delivers anything missed here.
+    {
+      std::lock_guard<std::mutex> lock(sub->mu);
+      if (target > sub->delivered_epoch) sub->delivered_epoch = target;
+    }
+    sub->cv.notify_all();
+    return;
+  }
+  HuntResponse response = std::move(result).value();
+
+  // Delta: rows never delivered before (set semantics). A seed-filtered
+  // refresh produces a superset of the genuinely-new rows plus re-found
+  // old ones; the seen-set removes the latter.
+  StandingUpdate update;
+  update.subscription_id = sub->id;
+  update.epoch = target;
+  update.incremental = seed_filter != nullptr;
+  update.columns = std::move(response.columns);
+  auto add_row = [&](std::vector<sql::Value> row) {
+    auto [it, fresh] = sub->seen.insert(std::move(row));
+    if (fresh) update.delta.Push(std::vector<sql::Value>(*it));
+  };
+  if (sub->request.dialect == QueryDialect::kTbql) {
+    for (const std::vector<std::string>& row :
+         response.report.results.rows) {
+      std::vector<sql::Value> vrow;
+      vrow.reserve(row.size());
+      for (const std::string& cell : row) vrow.emplace_back(cell);
+      add_row(std::move(vrow));
+    }
+  } else {
+    auto cursor = response.cursor();
+    while (const std::vector<sql::Value>* row = cursor.Next()) {
+      add_row(*row);
+    }
+  }
+  update.seconds = timer.ElapsedSeconds();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.standing_refreshes;
+    if (update.incremental) ++stats_.standing_incremental;
+    if (!update.delta.empty()) ++stats_.standing_alerts;
+    sub->last_epoch = target;
+    sub->baseline_done = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(sub->mu);
+    sub->total_rows += update.delta.row_count();
+    update.total_rows = sub->total_rows;
+  }
+  if (!sub->cancelled.load(std::memory_order_relaxed)) {
+    if (sub->sink.on_update != nullptr) sub->sink.on_update(update);
+    if (!update.delta.empty() && sub->sink.on_alert != nullptr) {
+      sub->sink.on_alert(update);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(sub->mu);
+    sub->delivered_epoch = target;
+  }
+  sub->cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sub->scheduled = false;
+  }
+}
+
 void HuntService::Finish(const StatePtr& state, Status status,
                          HuntResponse response) {
   // Count the outcome BEFORE the ticket becomes observable-done, so a
-  // waiter that returns from Wait() reads up-to-date stats.
-  {
+  // waiter that returns from Wait() reads up-to-date stats. Internal
+  // standing refreshes are counted by RunStanding, not here.
+  if (state->standing == nullptr) {
     std::lock_guard<std::mutex> lock(mu_);
     switch (status.code()) {
       case StatusCode::kOk: ++stats_.completed; break;

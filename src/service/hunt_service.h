@@ -27,6 +27,26 @@
 // (zero-copy out of the parallel merges) instead of a materialized result
 // set; the synchronous facade calls flatten a block result for
 // compatibility.
+//
+// Epoch-coordinated ingest: the service is also the write gate for its
+// store. Ingest() quiesces the admission workers (queued hunts stay
+// queued, running ones drain), applies the caller's mutation, bumps the
+// store epoch, and records the batch's touched entities as that epoch's
+// dirty set — so ingestion and hunting interleave safely under the
+// const-query thread-safety contract instead of refusing each other.
+//
+// Standing hunts: SubmitStanding() registers a query that re-executes
+// against every new epoch on the same admission workers (fair with
+// one-shot hunts). Each refresh delivers the rows not previously seen as
+// a RowBlocks delta to the subscriber's sink, plus an alert callback when
+// the delta is non-empty. Single-part Cypher refreshes run incrementally:
+// part-0 seeds are restricted to the nodes within pattern radius of the
+// epochs' dirty entities (MatchOptions::top_seed_filter), falling back to
+// a full re-scan when the dirty region grows past a configured fraction
+// of the graph. Standing hunts have set semantics — each distinct row is
+// delivered once, in the first epoch it appears — so queries should be
+// monotone (LIMIT interacts poorly with re-execution and disables the
+// incremental path).
 #pragma once
 
 #include <atomic>
@@ -34,12 +54,14 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -87,6 +109,88 @@ struct HuntResponse {
 
 class HuntService;
 
+/// What one ingested batch did to the store; `touched_entities` (filled by
+/// the mutation callback, e.g. from storage::AppendStats) becomes the new
+/// epoch's dirty-entity set for incremental standing hunts.
+struct IngestReport {
+  std::vector<audit::EntityId> touched_entities;
+};
+
+/// One refresh of a standing hunt, delivered to its sink.
+struct StandingUpdate {
+  uint64_t subscription_id = 0;
+  /// Store epoch this refresh reflects (deltas cover everything up to it).
+  uint64_t epoch = 0;
+  std::vector<std::string> columns;
+  /// Rows that first appeared in this refresh (set semantics: a row is
+  /// delivered once, in the first epoch its query produces it).
+  storage::RowBlocks<std::vector<sql::Value>> delta;
+  /// Part-0 seeds were restricted to the dirty region (vs full re-scan).
+  bool incremental = false;
+  size_t total_rows = 0;  // accumulated rows delivered so far (incl. delta)
+  double seconds = 0;     // refresh execution time
+
+  storage::RowCursor<std::vector<sql::Value>> cursor() const {
+    return storage::RowCursor<std::vector<sql::Value>>(&delta);
+  }
+};
+
+/// Callbacks of a standing hunt. All fire on an admission worker thread,
+/// never concurrently for one subscription; any may be null.
+struct StandingSink {
+  /// Every refresh, including empty deltas.
+  std::function<void(const StandingUpdate&)> on_update;
+  /// Refreshes whose delta is non-empty — new matching activity.
+  std::function<void(const StandingUpdate&)> on_alert;
+  /// A refresh failed (the subscription stays registered and retries on
+  /// the next epoch).
+  std::function<void(const Status&)> on_error;
+};
+
+struct StandingOptions {
+  /// Allow dirty-seeded incremental refreshes (single-part Cypher only);
+  /// off forces a full re-scan every epoch.
+  bool allow_incremental = true;
+  /// Fall back to a full re-scan when the dirty seed region (after radius
+  /// expansion) exceeds this fraction of the graph's nodes.
+  double max_dirty_fraction = 0.25;
+};
+
+struct StandingState;
+
+/// Handle to a standing hunt. Copyable (all copies share one state); a
+/// default-constructed handle is invalid and inert.
+class StandingHandle {
+ public:
+  StandingHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  uint64_t id() const;
+
+  /// Newest epoch a refresh has processed — delivered to the sink, or
+  /// reported through on_error (a failed attempt still advances this so
+  /// waiters are not stranded; the rows follow with the next successful
+  /// refresh).
+  uint64_t delivered_epoch() const;
+  size_t total_rows() const;
+
+  /// Block until refreshes covering `epoch` have been processed (or the
+  /// subscription is cancelled / the service shuts down). True when the
+  /// epoch was reached; with a non-negative timeout, false on expiry.
+  bool WaitEpoch(uint64_t epoch, long long timeout_micros = -1) const;
+
+  /// Unsubscribe: no new refreshes are scheduled; an in-flight refresh
+  /// may still deliver one final update.
+  void Cancel() const;
+
+ private:
+  friend class HuntService;
+  explicit StandingHandle(std::shared_ptr<StandingState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<StandingState> state_;
+};
+
 /// Future-like handle to a submitted hunt. Copyable (all copies share one
 /// state); valid tickets come from HuntService::Submit. A
 /// default-constructed (invalid) ticket behaves as already-finished with
@@ -133,6 +237,9 @@ class HuntTicket {
     HuntRequest request;
     std::optional<std::chrono::steady_clock::time_point> deadline;
     uint64_t id = 0;
+    /// Non-null: this is an internal standing-hunt refresh, not a client
+    /// hunt (Process runs the refresh; stats count it separately).
+    std::shared_ptr<StandingState> standing;
 
     std::atomic<bool> cancel{false};
 
@@ -156,6 +263,9 @@ struct HuntServiceOptions {
   /// Queued (not yet admitted) requests across all tenants; Submit beyond
   /// this finishes the ticket immediately with Status::Unavailable.
   size_t max_queue = 1024;
+  /// Per-epoch dirty-entity sets retained for incremental standing hunts;
+  /// a subscriber further behind than this falls back to a full re-scan.
+  size_t max_dirty_epochs = 64;
 };
 
 class HuntService {
@@ -179,8 +289,32 @@ class HuntService {
   /// Convenience synchronous path: Submit + Wait + TakeResponse.
   Result<HuntResponse> Run(HuntRequest request);
 
-  /// Queued + running hunts (the facade refuses to mutate the store while
-  /// this is non-zero).
+  /// Apply a store mutation under the epoch gate: holds off new hunt
+  /// admissions, waits for running hunts to drain (queued hunts stay
+  /// queued — nothing is refused), runs `mutate` on the calling thread,
+  /// then bumps the store epoch, records the report's touched entities as
+  /// the epoch's dirty set, and schedules a refresh of every standing
+  /// hunt. Returns the new epoch. Concurrent Ingest calls serialize;
+  /// admissions resume as soon as the mutation finishes. A failed
+  /// mutation does not bump the epoch; the caller owns any partial-append
+  /// cleanup.
+  Result<uint64_t> Ingest(const std::function<Status(IngestReport*)>& mutate);
+
+  /// Store epochs applied so far (one per successful Ingest).
+  uint64_t epoch() const;
+
+  /// Register a standing hunt: `request` re-executes against every new
+  /// epoch (an initial refresh against the current store runs
+  /// immediately), streaming row deltas and alerts into `sink`. The
+  /// request's deadline applies per refresh; its tenant takes part in
+  /// admission fairness.
+  StandingHandle SubmitStanding(HuntRequest request, StandingSink sink,
+                                StandingOptions options = {});
+
+  /// Registered (not cancelled) standing hunts.
+  size_t standing_count() const;
+
+  /// Queued + running hunts (Ingest waits for running ones to drain).
   size_t InFlight() const;
 
   struct Stats {
@@ -191,6 +325,10 @@ class HuntService {
     size_t timed_out = 0;
     size_t rejected = 0;    // admission-queue overflow
     size_t tenants = 0;     // distinct tenants seen
+    size_t ingests = 0;     // successful epoch-gated mutations
+    size_t standing_refreshes = 0;    // standing executions completed
+    size_t standing_incremental = 0;  // ... that used dirty-seeded part 0
+    size_t standing_alerts = 0;       // ... that delivered a non-empty delta
   };
   Stats stats() const;
 
@@ -198,14 +336,37 @@ class HuntService {
 
  private:
   using StatePtr = std::shared_ptr<HuntTicket::State>;
+  using StandingPtr = std::shared_ptr<StandingState>;
 
   void StartWorkersLocked();
   void WorkerLoop();
   /// Pop the next request round-robin across tenant queues. Precondition:
   /// queued_ > 0, mu_ held.
   StatePtr DequeueLocked();
+  /// Enqueue `state` into its tenant's queue. Precondition: mu_ held.
+  void EnqueueLocked(const StatePtr& state);
+  /// Queue a refresh of `sub` unless one is already queued or running.
+  /// Precondition: mu_ held.
+  void ScheduleStandingLocked(const StandingPtr& sub);
   void Process(const StatePtr& state, Status* status, HuntResponse* response);
   Result<HuntResponse> Execute(HuntTicket::State& state) const;
+  /// Shared execution path for client hunts and standing refreshes.
+  /// `seed_filter` (Cypher only) restricts part-0 seeds for incremental
+  /// standing refreshes.
+  Result<HuntResponse> ExecuteQuery(
+      const HuntRequest& request, const std::atomic<bool>* cancel,
+      std::optional<std::chrono::steady_clock::time_point> deadline,
+      const std::unordered_set<graphdb::NodeId>* seed_filter) const;
+  /// Execute one standing refresh and deliver its update to the sink.
+  void RunStanding(const StandingPtr& sub);
+  /// Expand `dirty` entities into the node set any new row's part-0 seed
+  /// must fall in (pattern-radius BFS). False: the query is not eligible
+  /// for incremental refresh or the region outgrew `max_fraction` — do a
+  /// full re-scan.
+  bool BuildDirtySeedFilter(const std::string& cypher_text,
+                            const std::vector<audit::EntityId>& dirty,
+                            double max_fraction,
+                            std::unordered_set<graphdb::NodeId>* out) const;
   void Finish(const StatePtr& state, Status status, HuntResponse response);
 
   const storage::AuditStore* store_;
@@ -213,6 +374,8 @@ class HuntService {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  /// Wakes Ingest() waiters when the last running hunt drains.
+  std::condition_variable ingest_cv_;
   std::map<std::string, std::deque<StatePtr>> queues_;  // per tenant
   std::deque<std::string> tenant_rr_;  // tenants with queued work
   std::vector<StatePtr> running_;
@@ -221,6 +384,20 @@ class HuntService {
   bool stop_ = false;
   std::vector<std::thread> workers_;
   Stats stats_;
+
+  // --- epoch-coordinated ingest (guarded by mu_) ---
+  uint64_t epoch_ = 0;
+  bool ingest_active_ = false;    // a mutation holds the store
+  size_t ingests_waiting_ = 0;    // writers queued for the gate
+  struct DirtyEpoch {
+    uint64_t epoch = 0;
+    std::vector<audit::EntityId> entities;
+  };
+  std::deque<DirtyEpoch> dirty_;  // newest at back, bounded
+
+  // --- standing hunts (guarded by mu_) ---
+  std::vector<StandingPtr> standing_;
+  uint64_t next_standing_id_ = 1;
 };
 
 }  // namespace raptor::service

@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/small_vector.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
@@ -464,7 +465,8 @@ class Matcher {
         pushdown_(pushdown),
         eval_(eval),
         stats_(stats),
-        sink_(sink) {}
+        sink_(sink),
+        deadline_(options.deadline) {}
 
   /// The chain being matched, with every label / edge type resolved to its
   /// interned id once up front instead of per candidate.
@@ -719,7 +721,12 @@ class Matcher {
     // on backtrack, so the whole search threads one binding with no copies.
     bool bindable = !rseed.pat->var.empty() && !NodeBound(binding, rseed);
     bool keep_going = true;
+    // Incremental standing hunts restrict part-0 seeds to the caller's
+    // dirty-node set; deeper parts always see the whole graph.
+    const std::unordered_set<NodeId>* seed_filter =
+        part_idx == 0 ? options_.top_seed_filter : nullptr;
     auto visit = [&](NodeId seed) {
+      if (seed_filter != nullptr && seed_filter->count(seed) == 0) return true;
       if (stats_ != nullptr) ++stats_->seed_candidates;
       if (!rseed.Matches(graph_.node(seed))) return true;
       if (bindable) {
@@ -742,6 +749,7 @@ class Matcher {
           options_.cancel->load(std::memory_order_relaxed)) {
         return true;
       }
+      if (deadline_.Expired()) return true;
       return top && shared_claimed_ != nullptr &&
              shared_claimed_->load(std::memory_order_relaxed) >= shared_cap_;
     };
@@ -918,6 +926,7 @@ class Matcher {
   const SeedSet* shared_top_seeds_ = nullptr;  // driver-owned part-0 seeds
   const std::atomic<size_t>* shared_claimed_ = nullptr;
   size_t shared_cap_ = 0;
+  DeadlinePoller deadline_;  // polled with the cancel flag / LIMIT budget
 };
 
 /// Terminal stage of the streaming pipeline: evaluates residual WHERE
@@ -1125,6 +1134,9 @@ Result<GraphBlockResult> RunPipeline(
   if (options.cancel != nullptr &&
       options.cancel->load(std::memory_order_relaxed)) {
     return Status::Cancelled("cypher query cancelled");
+  }
+  if (DeadlinePoller(options.deadline).ExpiredNow()) {
+    return Status::Timeout("cypher query deadline exceeded");
   }
 
   if (query.distinct && !streaming_distinct) {

@@ -35,7 +35,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -115,6 +118,16 @@ struct MatchOptions {
   /// (every worker polls it alongside the shared LIMIT budget) and the
   /// query returns Status::Cancelled. The flag must outlive the call.
   const std::atomic<bool>* cancel = nullptr;
+  /// Absolute deadline polled inside the scan loops next to the cancel
+  /// flag (amortized clock reads — common/deadline.h), so a single giant
+  /// scan stops within one poll stride of expiry and the query returns
+  /// Status::Timeout.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Incremental standing hunts: restrict part-0 seed iteration to this
+  /// node set (seeds outside it are skipped before matching). The caller
+  /// owns completeness — the set must contain every part-0 node of any row
+  /// the query is expected to produce. Must outlive the call.
+  const std::unordered_set<NodeId>* top_seed_filter = nullptr;
 };
 
 /// Execute `query` against `graph`.

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/deadline.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "storage/shard_parallel.h"
@@ -321,6 +322,12 @@ class TuplePipeline {
   /// shared LIMIT budget at every first-table row visit.
   void SetCancelFlag(const std::atomic<bool>* cancel) { cancel_ = cancel; }
 
+  /// Deadline polled at the same points (amortized clock reads).
+  void SetDeadline(
+      std::optional<std::chrono::steady_clock::time_point> deadline) {
+    deadline_ = DeadlinePoller(deadline);
+  }
+
   /// The first table's iteration list was pre-split per shard at plan
   /// time: iterate it in full instead of skip-scanning by shard mask.
   void SetFirstTablePrepartitioned() { first_prepartitioned_ = true; }
@@ -401,12 +408,13 @@ class TuplePipeline {
            (rid & (shard_count_ - 1)) != static_cast<size_t>(shard_);
   }
 
-  /// True once the shared LIMIT budget has been drained by any worker, or
-  /// the query has been cancelled.
-  bool BudgetSpent() const {
+  /// True once the shared LIMIT budget has been drained by any worker, the
+  /// query has been cancelled, or its deadline has passed.
+  bool BudgetSpent() {
     if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
       return true;
     }
+    if (deadline_.Expired()) return true;
     return shared_claimed_ != nullptr &&
            shared_claimed_->load(std::memory_order_relaxed) >= shared_cap_;
   }
@@ -514,6 +522,7 @@ class TuplePipeline {
   std::atomic<size_t>* shared_claimed_ = nullptr;
   size_t shared_cap_ = 0;
   const std::atomic<bool>* cancel_ = nullptr;
+  DeadlinePoller deadline_;
   bool first_prepartitioned_ = false;
   const std::vector<RowId>* first_candidates_ = nullptr;
   ExecStats* stats_;
@@ -852,6 +861,7 @@ Result<BlockResultSet> ExecuteSelectBlocks(const SelectStmt& stmt,
                                    &filters[0]);
       }
       pipeline.SetCancelFlag(options.cancel);
+      pipeline.SetDeadline(options.deadline);
       pipeline.Run();
       RAPTOR_RETURN_NOT_OK(pipeline.error());
       result.rows.Adopt(std::move(serial_rows));
@@ -902,6 +912,7 @@ Result<BlockResultSet> ExecuteSelectBlocks(const SelectStmt& stmt,
         pipeline.RestrictFirstTableToShard(s, n_shards);
         if (first_list != nullptr) pipeline.SetFirstTablePrepartitioned();
         pipeline.SetCancelFlag(options.cancel);
+        pipeline.SetDeadline(options.deadline);
         if (budget.shared) {
           pipeline.SetSharedRowBudget(&budget.claimed, budget.shared_cap);
         }
@@ -920,6 +931,9 @@ Result<BlockResultSet> ExecuteSelectBlocks(const SelectStmt& stmt,
   if (options.cancel != nullptr &&
       options.cancel->load(std::memory_order_relaxed)) {
     return Status::Cancelled("sql query cancelled");
+  }
+  if (DeadlinePoller(options.deadline).ExpiredNow()) {
+    return Status::Timeout("sql query deadline exceeded");
   }
 
   // --- ORDER BY / DISTINCT / LIMIT -------------------------------------------

@@ -37,6 +37,8 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -102,6 +104,11 @@ struct SelectOptions {
   /// (every worker polls it alongside the shared LIMIT budget) and the
   /// query returns Status::Cancelled. The flag must outlive the call.
   const std::atomic<bool>* cancel = nullptr;
+  /// Absolute deadline polled inside the scan loops next to the cancel
+  /// flag (amortized clock reads — common/deadline.h), so a single giant
+  /// scan stops within one poll stride of expiry and the query returns
+  /// Status::Timeout.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 class Catalog {

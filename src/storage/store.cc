@@ -1,5 +1,9 @@
 #include "storage/store.h"
 
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
 namespace raptor::storage {
 
 using audit::EntityType;
@@ -18,7 +22,7 @@ Status AuditStore::Load(const audit::ParsedLog& log) {
   return Append(log);
 }
 
-Status AuditStore::Append(const audit::ParsedLog& log) {
+Status AuditStore::Append(const audit::ParsedLog& log, AppendStats* stats) {
   const std::vector<SystemEntity>& all_entities = log.entities.entities();
   if (all_entities.size() < raw_entities_consumed_) {
     return Status::InvalidArgument(
@@ -31,29 +35,89 @@ Status AuditStore::Append(const audit::ParsedLog& log) {
   }
 
   for (size_t i = raw_entities_consumed_; i < all_entities.size(); ++i) {
-    RAPTOR_RETURN_NOT_OK(AppendEntity(all_entities[i]));
+    RAPTOR_RETURN_NOT_OK(AppendEntity(all_entities[i], stats));
   }
   raw_entities_consumed_ = all_entities.size();
+  reduction_stats_.input_events += log.events.size();
 
-  // Reduce the batch's events independently (duplicates spanning batches
-  // are not merged — reduction windows close at the batch boundary) and
-  // renumber so ids stay dense positions into events().
-  std::vector<SystemEvent> batch = log.events;
+  bool carry = options_.enable_reduction && options_.carry_over_window;
+  // The batch to reduce: with the carry-over window the previous batch's
+  // withheld tail is folded in first (re-sorted by start_time, since the
+  // new batch may interleave with it), so duplicates spanning the boundary
+  // merge exactly as in a single load.
+  std::vector<SystemEvent> batch;
+  if (carry && !carry_.empty()) {
+    batch = std::move(carry_);
+    carry_.clear();
+    batch.insert(batch.end(), log.events.begin(), log.events.end());
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const SystemEvent& a, const SystemEvent& b) {
+                       return a.start_time < b.start_time;
+                     });
+  } else {
+    batch = log.events;
+  }
+
   std::vector<SystemEvent> reduced;
   if (options_.enable_reduction) {
-    ReductionStats batch_stats;
-    reduced = ReduceEvents(batch, options_.reduction, &batch_stats);
-    reduction_stats_.input_events += batch_stats.input_events;
-    reduction_stats_.output_events += batch_stats.output_events;
+    reduced = ReduceEvents(batch, options_.reduction);
   } else {
     reduced = std::move(batch);
-    reduction_stats_.input_events += reduced.size();
-    reduction_stats_.output_events += reduced.size();
   }
-  for (SystemEvent& ev : reduced) {
+
+  if (carry && !reduced.empty()) {
+    // Withhold the tail still inside the merge window: an event whose
+    // end_time is within merge_threshold_us of the stream head could still
+    // absorb a duplicate from the next (later-timed) batch.
+    audit::Timestamp head = 0;
+    for (const SystemEvent& ev : reduced) {
+      head = std::max(head, ev.end_time);
+    }
+    const audit::Timestamp cutoff = head - options_.reduction.merge_threshold_us;
+    std::vector<SystemEvent> store_now;
+    store_now.reserve(reduced.size());
+    for (SystemEvent& ev : reduced) {
+      (ev.end_time >= cutoff ? carry_ : store_now).push_back(std::move(ev));
+    }
+    // Bound the window: overflow stores the oldest withheld events now
+    // (they only lose their chance at a cross-batch merge).
+    if (carry_.size() > options_.max_carry_events) {
+      size_t excess = carry_.size() - options_.max_carry_events;
+      store_now.insert(store_now.end(),
+                       std::make_move_iterator(carry_.begin()),
+                       std::make_move_iterator(carry_.begin() + excess));
+      carry_.erase(carry_.begin(), carry_.begin() + excess);
+      std::stable_sort(store_now.begin(), store_now.end(),
+                       [](const SystemEvent& a, const SystemEvent& b) {
+                         return a.start_time < b.start_time;
+                       });
+    }
+    reduced = std::move(store_now);
+  }
+  if (stats != nullptr) stats->carried_events = carry_.size();
+
+  return StoreEvents(std::move(reduced), stats);
+}
+
+Status AuditStore::Flush(AppendStats* stats) {
+  if (carry_.empty()) return Status::OK();
+  std::vector<SystemEvent> tail = std::move(carry_);
+  carry_.clear();
+  if (stats != nullptr) stats->carried_events = 0;
+  return StoreEvents(std::move(tail), stats);
+}
+
+/// Renumber (ids stay dense positions into events()) and append to both
+/// backends, keeping the reduction ratio's output side in sync.
+Status AuditStore::StoreEvents(std::vector<SystemEvent> events,
+                               AppendStats* stats) {
+  for (SystemEvent& ev : events) {
     ev.id = static_cast<audit::EventId>(events_.size()) + 1;
-    RAPTOR_RETURN_NOT_OK(AppendEvent(ev));
+    RAPTOR_RETURN_NOT_OK(AppendEvent(ev, stats));
   }
+  // Withheld events count as reduction output: they are already reduced,
+  // just not yet visible (Flush moves them without re-reducing).
+  reduction_stats_.output_events = events_.size() + carry_.size();
   return Status::OK();
 }
 
@@ -108,7 +172,11 @@ Status AuditStore::InitSchemas() {
   return Status::OK();
 }
 
-Status AuditStore::AppendEntity(const SystemEntity& e) {
+Status AuditStore::AppendEntity(const SystemEntity& e, AppendStats* stats) {
+  if (stats != nullptr) {
+    ++stats->appended_entities;
+    stats->touched_entities.push_back(e.id);
+  }
   Row row;
   row.reserve(14);
   row.emplace_back(static_cast<int64_t>(e.id));
@@ -155,12 +223,17 @@ Status AuditStore::AppendEntity(const SystemEntity& e) {
   return Status::OK();
 }
 
-Status AuditStore::AppendEvent(const SystemEvent& ev) {
+Status AuditStore::AppendEvent(const SystemEvent& ev, AppendStats* stats) {
   auto sit = entity_to_node_.find(ev.subject);
   auto oit = entity_to_node_.find(ev.object);
   if (sit == entity_to_node_.end() || oit == entity_to_node_.end()) {
     return Status::InvalidArgument(
         "event references an entity absent from the store");
+  }
+  if (stats != nullptr) {
+    ++stats->appended_events;
+    stats->touched_entities.push_back(ev.subject);
+    stats->touched_entities.push_back(ev.object);
   }
   Row row;
   row.reserve(9);

@@ -19,6 +19,28 @@ namespace raptor::storage {
 struct StoreOptions {
   bool enable_reduction = true;
   ReductionOptions reduction;
+  /// Cross-batch reduction carry-over: Append withholds the tail of each
+  /// batch that is still inside the merge window (events whose end_time is
+  /// within merge_threshold_us of the batch's newest end_time), folds it
+  /// into the next batch before reduction, and only then stores it — so
+  /// duplicate events spanning a batch boundary merge exactly as they
+  /// would in a single load. Withheld events become visible when a later
+  /// batch outruns the window or on Flush(). Off (default): every batch
+  /// reduces independently and is visible immediately.
+  bool carry_over_window = false;
+  /// Upper bound on withheld events; overflow stores the oldest ones
+  /// immediately (they lose only their chance at a cross-batch merge).
+  size_t max_carry_events = 4096;
+};
+
+/// Per-Append observability: what one batch did to the store. Standing
+/// hunts use `touched_entities` (endpoints of stored events plus new
+/// entities) as the epoch's dirty set.
+struct AppendStats {
+  size_t appended_entities = 0;
+  size_t appended_events = 0;  // stored (visible) this call
+  size_t carried_events = 0;   // withheld in the carry-over window
+  std::vector<audit::EntityId> touched_entities;
 };
 
 class AuditStore {
@@ -36,11 +58,22 @@ class AuditStore {
   /// across batches, so earlier entities reappear as a prefix and are
   /// skipped by count); `log.events` are taken as entirely NEW events —
   /// the caller drains consumed events between batches and never resubmits
-  /// them. Each batch is reduced independently (cross-batch duplicate
-  /// events are not merged) and appended to both backends; event ids
-  /// continue densely. Mutation is single-threaded: never call while
-  /// queries are running.
-  Status Append(const audit::ParsedLog& log);
+  /// them. Without the carry-over window each batch is reduced
+  /// independently (cross-batch duplicate events are not merged); with it,
+  /// the previous batch's withheld tail is folded in first so boundary
+  /// duplicates merge. Appends go to both backends; event ids continue
+  /// densely. Mutation is single-threaded: never call while queries are
+  /// running.
+  Status Append(const audit::ParsedLog& log, AppendStats* stats = nullptr);
+
+  /// Store the carry-over window's withheld events (no-op when the window
+  /// is off or empty). Call at end of stream — standing hunts and one-shot
+  /// queries only see flushed events. Mutation, like Append.
+  Status Flush(AppendStats* stats = nullptr);
+
+  /// Events withheld by the carry-over window (invisible to queries until
+  /// a later batch or Flush() stores them).
+  size_t carried_event_count() const { return carry_.size(); }
 
   const sql::Database& relational() const { return relational_; }
   sql::Database& relational() { return relational_; }
@@ -65,8 +98,10 @@ class AuditStore {
 
  private:
   Status InitSchemas();
-  Status AppendEntity(const audit::SystemEntity& e);
-  Status AppendEvent(const audit::SystemEvent& ev);
+  Status AppendEntity(const audit::SystemEntity& e, AppendStats* stats);
+  Status AppendEvent(const audit::SystemEvent& ev, AppendStats* stats);
+  Status StoreEvents(std::vector<audit::SystemEvent> events,
+                     AppendStats* stats);
 
   StoreOptions options_;
   sql::Database relational_;
@@ -74,6 +109,10 @@ class AuditStore {
   std::vector<audit::SystemEntity> entities_;
   std::vector<audit::SystemEvent> events_;
   std::unordered_map<audit::EntityId, graphdb::NodeId> entity_to_node_;
+  // Carry-over window: reduced events still inside the merge window at the
+  // last batch's end, withheld from storage so the next batch can merge
+  // into them. Bounded by options_.max_carry_events.
+  std::vector<audit::SystemEvent> carry_;
   ReductionStats reduction_stats_;
   bool loaded_ = false;        // Load() was called (it remains call-once)
   bool schema_ready_ = false;  // tables + indexes exist

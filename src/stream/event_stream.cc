@@ -1,0 +1,121 @@
+#include "stream/event_stream.h"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+
+#include "audit/jsonl.h"
+
+namespace raptor::stream {
+
+// ---- JsonlTailSource -------------------------------------------------------
+
+Result<StreamBatch> JsonlTailSource::Poll() {
+  StreamBatch batch;
+  if (done_) {
+    batch.end_of_stream = true;
+    return batch;
+  }
+
+  std::string chunk;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    // A missing (not yet created) file is simply "no data yet".
+    if (in) {
+      in.seekg(0, std::ios::end);
+      auto size = static_cast<std::streamoff>(in.tellg());
+      if (size >= 0 && static_cast<size_t>(size) < offset_) {
+        // The file shrank (truncation / rotation-in-place): restart from
+        // the top, tail -F style; the carried partial line died with the
+        // old contents.
+        offset_ = 0;
+        partial_.clear();
+      }
+      size_t avail =
+          size > 0 && static_cast<size_t>(size) > offset_
+              ? static_cast<size_t>(size) - offset_
+              : 0;
+      if (avail > 0) {
+        in.seekg(static_cast<std::streamoff>(offset_));
+        if (in) {
+          chunk.resize(std::min(avail, options_.max_batch_bytes));
+          in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+          chunk.resize(static_cast<size_t>(in.gcount()));
+        }
+      }
+    }
+  }
+  offset_ += chunk.size();
+
+  // Consume up to the last complete line; the remainder is a line the
+  // writer has not finished yet and is carried to the next poll.
+  std::string text = std::move(partial_);
+  text += chunk;
+  size_t cut = text.rfind('\n');
+  if (cut == std::string::npos) {
+    partial_ = std::move(text);
+    text.clear();
+  } else {
+    partial_ = text.substr(cut + 1);
+    text.resize(cut + 1);
+  }
+
+  if (text.empty() && finished_) {
+    // Writer declared done and no new bytes arrived: flush a final
+    // unterminated line, then end the stream.
+    if (!partial_.empty()) {
+      text = std::move(partial_);
+      partial_.clear();
+    } else {
+      done_ = true;
+      batch.end_of_stream = true;
+      return batch;
+    }
+  }
+  if (text.empty()) return batch;
+
+  auto records = audit::ParseJsonlRecords(text);
+  if (!records.ok()) return records.status();
+  batch.records = std::move(records).value();
+  return batch;
+}
+
+// ---- SimulatorSource -------------------------------------------------------
+
+SimulatorSource::SimulatorSource(SimulatorSourceOptions options)
+    : options_(std::move(options)) {
+  audit::BenignWorkloadSimulator benign;
+  std::vector<std::vector<audit::SyscallRecord>> streams;
+  streams.push_back(benign.Generate(options_.profile));
+  for (const SimulatorSourceOptions::TimedAttack& attack : options_.attacks) {
+    streams.push_back(audit::CompileAttackScript(
+        attack.steps, options_.profile.start_time + attack.at, attack.seed));
+  }
+  records_ = audit::MergeStreams(std::move(streams));
+  window_end_ = options_.profile.start_time + options_.batch_window_us;
+}
+
+Result<StreamBatch> SimulatorSource::Poll() {
+  StreamBatch batch;
+  if (pos_ >= records_.size()) {
+    batch.end_of_stream = true;
+    return batch;
+  }
+  // Emit the next non-empty simulated-time window (records are sorted by
+  // timestamp, so each window is a contiguous span).
+  size_t end = pos_;
+  for (;;) {
+    while (end < records_.size() && records_[end].ts < window_end_) {
+      ++end;
+    }
+    window_end_ += options_.batch_window_us;
+    if (end > pos_ || end >= records_.size()) break;
+  }
+  batch.records.assign(records_.begin() + static_cast<long>(pos_),
+                       records_.begin() + static_cast<long>(end));
+  pos_ = end;
+  batch.end_of_stream = pos_ >= records_.size();
+  return batch;
+}
+
+}  // namespace raptor::stream

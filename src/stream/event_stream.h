@@ -1,0 +1,115 @@
+// Live event streams: the sources of continuous hunting.
+//
+// The batch pipeline loads a complete audit log and queries it; a real
+// deployment (the paper's Sysdig agents, sf-collector-style exporters)
+// produces an endless stream of records instead. EventStream is the pull
+// interface the ingest worker drains: each Poll() returns the records that
+// arrived since the last one, and eventually reports end-of-stream (a
+// finite capture) or keeps returning empty batches (a live tail).
+//
+// Two built-in sources:
+//  * JsonlTailSource follows a growing JSON-lines audit log on disk —
+//    byte-offset resume, partial-line carry (a writer may be mid-line when
+//    we read), tolerant of the file not existing yet.
+//  * SimulatorSource wraps audit/simulator.h: it lays the benign workload
+//    and any attack scripts on one timeline and replays it in fixed
+//    simulated-time windows, so tests and benches get a deterministic
+//    "live" feed with attacks landing mid-stream.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "audit/simulator.h"
+#include "audit/syscall.h"
+#include "common/status.h"
+
+namespace raptor::stream {
+
+/// One pull from a stream source. `records` may be empty while the source
+/// is idle; `end_of_stream` means no further records will ever arrive
+/// (every record has been returned by this or earlier polls).
+struct StreamBatch {
+  std::vector<audit::SyscallRecord> records;
+  bool end_of_stream = false;
+};
+
+class EventStream {
+ public:
+  virtual ~EventStream() = default;
+
+  /// Non-blocking pull of whatever arrived since the last Poll. The
+  /// caller (StreamIngestor) owns pacing and retries.
+  virtual Result<StreamBatch> Poll() = 0;
+};
+
+struct JsonlTailOptions {
+  /// At most this many bytes of new content are consumed per Poll, so one
+  /// giant backlog becomes several batches instead of one huge one.
+  size_t max_batch_bytes = 1 << 20;
+};
+
+/// Tails a JSON-lines audit log (audit/jsonl.h format) as it grows.
+/// Re-opens the file per poll (tail -F style), resumes at the consumed
+/// byte offset, and only parses complete lines — a trailing partial line
+/// is carried until its newline arrives. A missing file is "no data yet",
+/// not an error. Poll reports end_of_stream only after FinishFile() once
+/// the backlog (including a final unterminated line) is drained.
+class JsonlTailSource : public EventStream {
+ public:
+  explicit JsonlTailSource(std::string path, JsonlTailOptions options = {})
+      : path_(std::move(path)), options_(options) {}
+
+  Result<StreamBatch> Poll() override;
+
+  /// Declare the writer done: the next Poll that finds no new bytes
+  /// parses any carried partial line and reports end_of_stream.
+  void FinishFile() { finished_ = true; }
+
+  size_t bytes_consumed() const { return offset_; }
+
+ private:
+  std::string path_;
+  JsonlTailOptions options_;
+  size_t offset_ = 0;     // bytes of the file already consumed
+  std::string partial_;   // trailing unterminated line carried across polls
+  bool finished_ = false;
+  bool done_ = false;
+};
+
+struct SimulatorSourceOptions {
+  audit::BenignProfile profile;
+  /// Attack scripts laid over the benign timeline; each compiles at
+  /// profile.start_time + at.
+  struct TimedAttack {
+    std::vector<audit::AttackStep> steps;
+    audit::Timestamp at = 0;
+    uint64_t seed = 7;
+  };
+  std::vector<TimedAttack> attacks;
+  /// Simulated time per batch: each Poll returns the records of the next
+  /// window (by timestamp), so batch boundaries cut through bursts the
+  /// way a real collector's flush interval would.
+  audit::Timestamp batch_window_us = 60'000'000;  // one simulated minute
+};
+
+/// Deterministic "live" feed from the workload simulator. The whole
+/// timeline is generated up front (merged and time-sorted); Poll replays
+/// it one window at a time and reports end_of_stream with the last one.
+class SimulatorSource : public EventStream {
+ public:
+  explicit SimulatorSource(SimulatorSourceOptions options);
+
+  Result<StreamBatch> Poll() override;
+
+  size_t total_records() const { return records_.size(); }
+
+ private:
+  SimulatorSourceOptions options_;
+  std::vector<audit::SyscallRecord> records_;  // time-sorted timeline
+  size_t pos_ = 0;
+  audit::Timestamp window_end_ = 0;
+};
+
+}  // namespace raptor::stream

@@ -1,0 +1,110 @@
+#include "stream/ingestor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace raptor::stream {
+
+namespace {
+
+std::chrono::microseconds ClampMicros(long long micros) {
+  return std::chrono::microseconds(std::max<long long>(0, micros));
+}
+
+}  // namespace
+
+StreamIngestor::StreamIngestor(EventStream* source, ApplyBatchFn apply,
+                               IngestorOptions options)
+    : source_(source), apply_(std::move(apply)), options_(options) {}
+
+StreamIngestor::~StreamIngestor() { Stop(); }
+
+void StreamIngestor::Start() {
+  worker_ = std::thread([this] { Loop(); });
+}
+
+void StreamIngestor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+bool StreamIngestor::WaitEnd(long long timeout_micros) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto finished = [&] { return done_; };
+  if (timeout_micros < 0) {
+    cv_.wait(lock, finished);
+    return true;
+  }
+  return cv_.wait_for(lock, ClampMicros(timeout_micros), finished);
+}
+
+IngestorStats StreamIngestor::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void StreamIngestor::Loop() {
+  long long idle_micros = 0;
+  Status error = Status::OK();
+  bool ended = false;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) break;
+    }
+    auto batch = source_->Poll();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.polls;
+    }
+    if (!batch.ok()) {
+      error = batch.status();
+      break;
+    }
+    if (!batch.value().records.empty()) {
+      idle_micros = 0;
+      Status applied = apply_(batch.value().records);
+      if (!applied.ok()) {
+        error = applied;
+        break;
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.batches;
+      stats_.records += batch.value().records.size();
+    }
+    if (batch.value().end_of_stream) {
+      ended = true;
+      break;
+    }
+    if (batch.value().records.empty()) {
+      // Idle: pace the polling, give up on a stalled live source if asked.
+      idle_micros += options_.idle_wait_micros;
+      if (options_.idle_give_up_micros >= 0 &&
+          idle_micros >= options_.idle_give_up_micros) {
+        ended = true;
+        break;
+      }
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, ClampMicros(options_.idle_wait_micros),
+                   [&] { return stop_; });
+      if (stop_) break;
+    }
+  }
+  if (ended && error.ok() && options_.finish != nullptr) {
+    error = options_.finish();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.ended = ended && error.ok();
+    stats_.error = std::move(error);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace raptor::stream

@@ -1,0 +1,99 @@
+// StreamIngestor: the continuous-hunting ingest worker.
+//
+// Owns one background thread that drains an EventStream and applies each
+// non-empty batch through the caller's apply callback — in the standard
+// wiring, ThreatRaptor::IngestSyscalls, which parses the records, reduces
+// them (with the cross-batch carry-over window), and appends to the store
+// under HuntService's epoch gate. Every applied batch bumps the store
+// epoch and triggers the registered standing hunts, so attaching an
+// ingestor turns a loaded store into a monitored one:
+//
+//   stream::JsonlTailSource source("/var/log/audit.jsonl");
+//   stream::StreamIngestor ingestor(&source,
+//       [&](const auto& recs) { return tr.IngestSyscalls(recs); },
+//       {.finish = [&] { return tr.FlushIngest(); }});
+//   ingestor.Start();
+//   ... SubmitStanding hunts fire as the log grows ...
+//   ingestor.Stop();  // or WaitEnd() for finite captures
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "audit/syscall.h"
+#include "common/status.h"
+#include "stream/event_stream.h"
+
+namespace raptor::stream {
+
+/// Applies one raw-record batch to the store (parse + reduce + append,
+/// typically under the hunt service's epoch gate).
+using ApplyBatchFn =
+    std::function<Status(const std::vector<audit::SyscallRecord>&)>;
+
+struct IngestorOptions {
+  /// Pause between polls that returned no records (live tails); Stop()
+  /// interrupts it.
+  long long idle_wait_micros = 10'000;
+  /// Treat a live source as ended after this long without new records
+  /// (<0: tail forever until Stop). Lets the CLI follow a file that stops
+  /// growing without hanging.
+  long long idle_give_up_micros = -1;
+  /// Run once the stream ends (end_of_stream or idle give-up): e.g.
+  /// ThreatRaptor::FlushIngest to store the carry-over window's tail.
+  std::function<Status()> finish;
+};
+
+struct IngestorStats {
+  size_t polls = 0;
+  size_t batches = 0;   // non-empty batches applied
+  size_t records = 0;   // raw records applied
+  bool ended = false;   // stream ended (and finish ran)
+  Status error;         // first terminal error (poll or apply), if any
+};
+
+class StreamIngestor {
+ public:
+  /// `source` and everything `apply` touches must outlive the ingestor.
+  StreamIngestor(EventStream* source, ApplyBatchFn apply,
+                 IngestorOptions options = {});
+
+  /// Stops and joins.
+  ~StreamIngestor();
+
+  StreamIngestor(const StreamIngestor&) = delete;
+  StreamIngestor& operator=(const StreamIngestor&) = delete;
+
+  /// Launch the worker. Call once.
+  void Start();
+
+  /// Ask the worker to stop after its current batch, then join it. The
+  /// finish hook does NOT run (the stream did not end); safe to call
+  /// twice or without Start.
+  void Stop();
+
+  /// Block until the stream ends or a terminal error (true), or until
+  /// `timeout_micros` passes (false; <0 waits forever).
+  bool WaitEnd(long long timeout_micros = -1);
+
+  IngestorStats stats() const;
+
+ private:
+  void Loop();
+
+  EventStream* source_;
+  ApplyBatchFn apply_;
+  IngestorOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  IngestorStats stats_;
+  bool stop_ = false;
+  bool done_ = false;  // worker finished (ended, errored, or stopped)
+  std::thread worker_;
+};
+
+}  // namespace raptor::stream

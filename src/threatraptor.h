@@ -61,10 +61,13 @@ class ThreatRaptor {
 
   /// Parse raw syscall records and load them into both storage backends.
   /// May be called repeatedly: later batches append incrementally (entity
-  /// interning is shared across batches, event ids continue). Mutation is
-  /// single-threaded and must not overlap queued or running hunts.
+  /// interning is shared across batches, event ids continue). Batches
+  /// apply through the hunt service's epoch gate, so ingestion interleaves
+  /// safely with in-flight hunts (the mutation waits for running hunts to
+  /// drain instead of being refused). Concurrent ingest calls serialize on
+  /// the gate, but each call's parse must not race another — feed one
+  /// stream per facade.
   Status IngestSyscalls(const std::vector<audit::SyscallRecord>& records) {
-    RAPTOR_RETURN_NOT_OK(RequireQuiescent());
     RAPTOR_RETURN_NOT_OK(parser_.Parse(records, &accum_));
     return SyncStore();
   }
@@ -75,7 +78,6 @@ class ThreatRaptor {
   /// referencing an entity id absent from the batch's own entity table) is
   /// rejected before anything is interned or appended.
   Status IngestParsedLog(const audit::ParsedLog& log) {
-    RAPTOR_RETURN_NOT_OK(RequireQuiescent());
     // Validate first so rejection leaves no trace in the accumulator.
     for (const audit::SystemEvent& ev : log.events) {
       if (ev.subject < 1 || ev.subject > log.entities.size() ||
@@ -97,6 +99,24 @@ class ThreatRaptor {
       accum_.events.push_back(std::move(copy));
     }
     return SyncStore();
+  }
+
+  /// Store the cross-batch reduction window's withheld tail (see
+  /// storage::StoreOptions::carry_over_window). Call at end of stream —
+  /// queries and standing hunts only see flushed events. Applies through
+  /// the epoch gate like any other mutation; a no-op when nothing is
+  /// withheld or before ingestion.
+  Status FlushIngest() {
+    if (store_ == nullptr || store_->carried_event_count() == 0) {
+      return Status::OK();
+    }
+    auto epoch = Service().Ingest([&](service::IngestReport* report) {
+      storage::AppendStats stats;
+      RAPTOR_RETURN_NOT_OK(store_->Flush(&stats));
+      report->touched_entities = std::move(stats.touched_entities);
+      return Status::OK();
+    });
+    return epoch.ok() ? Status::OK() : epoch.status();
   }
 
   /// Extract a threat behavior graph from OSCTI text (Algorithm 1).
@@ -180,32 +200,25 @@ class ThreatRaptor {
     return Status::OK();
   }
 
-  /// Ingestion mutates the store, which the thread-safety contract only
-  /// allows while no (read-only) hunts are queued or running. This check
-  /// is best-effort, not a synchronization barrier: it catches the common
-  /// mistake, but a hunt submitted from another thread AFTER the check
-  /// still races with the mutation — callers own the contract that
-  /// ingestion and hunting never overlap in time.
-  Status RequireQuiescent() const {
-    std::lock_guard<std::mutex> lock(service_mu_);
-    if (service_ != nullptr && service_->InFlight() > 0) {
-      return Status::InvalidArgument(
-          "cannot ingest while hunts are in flight; drain the hunt service "
-          "first");
-    }
-    return Status::OK();
-  }
-
+  /// Apply the accumulated batch under the hunt service's epoch gate:
+  /// the mutation waits for running hunts to drain, applies, and bumps the
+  /// store epoch (waking standing hunts). The service is created here on
+  /// first ingest so every later mutation is gated.
   Status SyncStore() {
     if (store_ == nullptr) {
       store_ = std::make_unique<storage::AuditStore>(options_.store);
     }
-    RAPTOR_RETURN_NOT_OK(store_->Append(accum_));
-    // The store consumed this batch's events; keep only the entity table
-    // (shared interning across batches) so long-running sessions do not
-    // retain a second full copy of every raw event.
-    accum_.events.clear();
-    return Status::OK();
+    auto epoch = Service().Ingest([&](service::IngestReport* report) {
+      storage::AppendStats stats;
+      RAPTOR_RETURN_NOT_OK(store_->Append(accum_, &stats));
+      report->touched_entities = std::move(stats.touched_entities);
+      // The store consumed this batch's events; keep only the entity
+      // table (shared interning across batches) so long-running sessions
+      // do not retain a second full copy of every raw event.
+      accum_.events.clear();
+      return Status::OK();
+    });
+    return epoch.ok() ? Status::OK() : epoch.status();
   }
 
   service::HuntService& Service() const {

@@ -6,6 +6,7 @@
 #include "audit/simulator.h"
 #include "audit/syscall.h"
 #include "audit/types.h"
+#include "storage/store.h"
 
 namespace raptor::audit {
 namespace {
@@ -212,6 +213,61 @@ TEST(SimulatorTest, AttackScriptProducesOneEventPerStepAfterReduction) {
   long long total = 0;
   for (const auto& r : recs) total += r.ret;
   EXPECT_GE(total, 70000 - 7);  // bytes split across syscalls
+}
+
+TEST(SimulatorTest, CarryOverWindowRestoresSingleLoadReductionRatio) {
+  // A bursty attack stream (each step expands to many syscalls) split
+  // mid-burst across ingest batches. Per-batch reduction leaves boundary
+  // duplicates unmerged; the carry-over window must restore the ratio a
+  // single load achieves.
+  std::vector<AttackStep> steps;
+  for (int i = 0; i < 6; ++i) {
+    AttackStep step;
+    step.exe = "/bin/burst";
+    step.pid = 100;
+    step.op = EventOp::kWrite;
+    step.object_path = "/tmp/chunk" + std::to_string(i % 2);  // 2 targets
+    step.syscall_count = 9;
+    step.bytes = 9000;
+    step.at = i * 300'000;  // bursts overlap inside the 1 s merge window
+    steps.push_back(step);
+  }
+  auto records = CompileAttackScript(steps, 0, 42);
+  ASSERT_EQ(records.size(), 54u);
+
+  auto load_batched = [&](size_t batch_size, bool carry) {
+    storage::StoreOptions opts;
+    opts.carry_over_window = carry;
+    storage::AuditStore store(opts);
+    AuditLogParser parser;
+    ParsedLog accum;
+    for (size_t i = 0; i < records.size(); i += batch_size) {
+      std::vector<SyscallRecord> batch(
+          records.begin() + i,
+          records.begin() + std::min(i + batch_size, records.size()));
+      EXPECT_TRUE(parser.Parse(batch, &accum).ok());
+      EXPECT_TRUE((i == 0 ? store.Load(accum) : store.Append(accum)).ok());
+      accum.events.clear();
+    }
+    EXPECT_TRUE(store.Flush().ok());
+    return store.reduction_stats();
+  };
+
+  // Ground truth: everything in one batch.
+  storage::ReductionStats single = load_batched(records.size(), false);
+  ASSERT_EQ(single.input_events, records.size());
+  ASSERT_LT(single.output_events, records.size() / 3)
+      << "fixture must actually be reducible";
+
+  // Batches of 7 cut every burst; the window restores the single-load
+  // ratio exactly, while per-batch reduction degrades it.
+  storage::ReductionStats windowed = load_batched(7, true);
+  EXPECT_EQ(windowed.input_events, single.input_events);
+  EXPECT_EQ(windowed.output_events, single.output_events)
+      << "carry-over window must restore the single-load reduction ratio";
+  storage::ReductionStats per_batch = load_batched(7, false);
+  EXPECT_GT(per_batch.output_events, single.output_events)
+      << "without the window, boundary duplicates stay unmerged";
 }
 
 TEST(SimulatorTest, MergeStreamsSortsByTimestamp) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -540,6 +541,47 @@ TEST(BlockResultTest, PresetCancelFlagCancelsQuery) {
       "MATCH (p:proc)-[e]->(f:file) RETURN p.exename", options);
   ASSERT_FALSE(rs.ok());
   EXPECT_EQ(rs.status().code(), StatusCode::kCancelled);
+}
+
+TEST(BlockResultTest, DeadlineBoundsSingleGiantScan) {
+  // ROADMAP deadline-overshoot item: a deadline that expires mid-scan must
+  // stop INSIDE the storage executor (one poll stride), not after the
+  // whole 100k-node scan finishes. The fixture is the bench's 100k-node
+  // population with enough edges that a full match takes well beyond the
+  // deadline.
+  GraphDatabase db(4);
+  Rng rng(14);
+  fixtures::SyntheticGraphSpec spec;
+  spec.nodes = 100'000;
+  spec.edges = 150'000;
+  fixtures::BuildSyntheticGraph(db.graph(), spec, rng);
+
+  MatchOptions options = db.options();
+  options.deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  MatchStats stats;
+  auto start = std::chrono::steady_clock::now();
+  auto rs = db.QueryBlocks("MATCH (p:proc)-[e]->(f:file) RETURN p.exename",
+                           options, &stats);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kTimeout);
+  // Overshoot is bounded by the poll stride, not the scan length: far less
+  // than a full pass over 50k proc seeds (generous wall-clock margin for
+  // loaded CI runners).
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2'000);
+  EXPECT_LT(stats.seed_candidates, 50'000u)
+      << "scan should stop at a deadline poll, not drain every seed";
+
+  // A comfortable deadline does not fire.
+  options.deadline =
+      std::chrono::steady_clock::now() + std::chrono::minutes(5);
+  auto ok = db.QueryBlocks(
+      "MATCH (p:proc)-[e]->(f:file) RETURN p.exename LIMIT 5", options);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok.value().rows.row_count(), 5u);
 }
 
 TEST(BlockResultTest, PreSplitOwnedSeedsMatchSkipScan) {

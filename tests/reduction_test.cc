@@ -3,6 +3,7 @@
 #include "audit/types.h"
 #include "common/rng.h"
 #include "storage/reduction/reduction.h"
+#include "storage/store.h"
 
 namespace raptor::storage {
 namespace {
@@ -152,6 +153,84 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, ReductionPropertyTest,
     ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u),
                        ::testing::Values(0, 1'000, 1'000'000, 60'000'000)));
+
+// ---- cross-batch carry-over window (AuditStore) ----------------------------
+
+audit::ParsedLog TwoEntityLog() {
+  audit::ParsedLog log;
+  log.entities.InternProcess("/bin/burst", 1);  // id 1
+  log.entities.InternFile("/data/target");      // id 2
+  return log;
+}
+
+TEST(CarryOverTest, MergesDuplicatesSpanningBatchBoundary) {
+  StoreOptions opts;
+  opts.carry_over_window = true;
+  AuditStore store(opts);
+  audit::ParsedLog log = TwoEntityLog();
+  // Batch 1 ends mid-burst; batch 2 continues it within the merge window.
+  log.events = {Ev(1, 2, EventOp::kRead, 0, 10, 100)};
+  ASSERT_TRUE(store.Load(log).ok());
+  EXPECT_EQ(store.event_count(), 0u) << "tail withheld inside the window";
+  EXPECT_EQ(store.carried_event_count(), 1u);
+
+  log.events = {Ev(1, 2, EventOp::kRead, 500'000, 500'010, 200)};
+  ASSERT_TRUE(store.Append(log).ok());
+  ASSERT_TRUE(store.Flush().ok());
+  ASSERT_EQ(store.event_count(), 1u) << "boundary duplicates must merge";
+  EXPECT_EQ(store.events()[0].start_time, 0);
+  EXPECT_EQ(store.events()[0].end_time, 500'010);
+  EXPECT_EQ(store.events()[0].amount, 300);
+  EXPECT_EQ(store.carried_event_count(), 0u);
+  EXPECT_EQ(store.reduction_stats().input_events, 2u);
+  EXPECT_EQ(store.reduction_stats().output_events, 1u);
+
+  // The same split WITHOUT the window leaves two events (the pre-existing
+  // per-batch behavior this option fixes).
+  AuditStore plain;
+  log.events = {Ev(1, 2, EventOp::kRead, 0, 10, 100)};
+  ASSERT_TRUE(plain.Load(log).ok());
+  log.events = {Ev(1, 2, EventOp::kRead, 500'000, 500'010, 200)};
+  ASSERT_TRUE(plain.Append(log).ok());
+  EXPECT_EQ(plain.event_count(), 2u);
+}
+
+TEST(CarryOverTest, EventsOutsideTheWindowStoreImmediately) {
+  StoreOptions opts;
+  opts.carry_over_window = true;
+  AuditStore store(opts);
+  audit::ParsedLog log = TwoEntityLog();
+  // Two bursts 10 s apart: the old one can no longer merge with anything
+  // a later batch brings, so only the newest stays withheld.
+  log.events = {Ev(1, 2, EventOp::kRead, 0, 10, 100),
+                Ev(1, 2, EventOp::kRead, 10'000'000, 10'000'010, 200)};
+  ASSERT_TRUE(store.Load(log).ok());
+  EXPECT_EQ(store.event_count(), 1u);
+  EXPECT_EQ(store.carried_event_count(), 1u);
+}
+
+TEST(CarryOverTest, WindowOverflowFlushesOldest) {
+  StoreOptions opts;
+  opts.carry_over_window = true;
+  opts.max_carry_events = 2;
+  AuditStore store(opts);
+  audit::ParsedLog log;
+  log.entities.InternProcess("/bin/burst", 1);  // id 1, subject of all
+  for (int i = 0; i < 4; ++i) {
+    log.entities.InternFile("/data/t" + std::to_string(i));  // ids 2..5
+  }
+  // Four irreducible events, all inside one window: the bound keeps only
+  // the newest two withheld.
+  log.events = {Ev(1, 2, EventOp::kRead, 100, 110),
+                Ev(1, 3, EventOp::kRead, 200, 210),
+                Ev(1, 4, EventOp::kRead, 300, 310),
+                Ev(1, 5, EventOp::kRead, 400, 410)};
+  ASSERT_TRUE(store.Load(log).ok());
+  EXPECT_EQ(store.carried_event_count(), 2u);
+  EXPECT_EQ(store.event_count(), 2u);
+  ASSERT_TRUE(store.Flush().ok());
+  EXPECT_EQ(store.event_count(), 4u);
+}
 
 }  // namespace
 }  // namespace raptor::storage

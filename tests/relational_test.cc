@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <limits>
 #include <string>
 #include <vector>
@@ -466,6 +467,49 @@ TEST(BlockResultTest, PresetCancelFlagCancelsQuery) {
   auto rs = db.QueryBlocks("SELECT id FROM t", options);
   ASSERT_FALSE(rs.ok());
   EXPECT_EQ(rs.status().code(), StatusCode::kCancelled);
+}
+
+TEST(BlockResultTest, DeadlineBoundsSingleGiantScan) {
+  // ROADMAP deadline-overshoot item, relational side: the deadline is
+  // polled inside the base-scan loop, so a single giant scan stops within
+  // one poll stride of expiry instead of finishing first. 100k rows with
+  // a cross-join tail make the full query take well past the deadline.
+  Database db(4);
+  ASSERT_TRUE(db.CreateTable("big", Schema({{"id", ColumnType::kInt64},
+                                            {"name", ColumnType::kText}}))
+                  .ok());
+  ASSERT_TRUE(
+      db.CreateTable("dim", Schema({{"k", ColumnType::kInt64}})).ok());
+  for (int i = 0; i < 100'000; ++i) {
+    ASSERT_TRUE(db.Insert("big", {Value(static_cast<int64_t>(i)),
+                                  Value("/data/f" + std::to_string(i))})
+                    .ok());
+  }
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db.Insert("dim", {Value(static_cast<int64_t>(i))}).ok());
+  }
+
+  SelectOptions options = db.options();
+  options.deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  ExecStats stats;
+  auto start = std::chrono::steady_clock::now();
+  auto rs = db.QueryBlocks(
+      "SELECT b.id, d.k FROM big b, dim d WHERE b.name LIKE '%/data/%'",
+      options, &stats);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kTimeout);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2'000);
+
+  // A comfortable deadline does not fire.
+  options.deadline =
+      std::chrono::steady_clock::now() + std::chrono::minutes(5);
+  auto ok = db.QueryBlocks("SELECT id FROM big WHERE id < 10", options);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok.value().rows.row_count(), 10u);
 }
 
 TEST(BlockResultTest, PreSplitSeedListsMatchSkipScan) {

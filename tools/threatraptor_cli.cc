@@ -14,6 +14,13 @@
 //       Execute TBQL queries against a log in exact search mode. Multiple
 //       --query arguments submit through the concurrent HuntService with
 //       up to N hunts in flight (default 1).
+//   threatraptor hunt --follow <log.jsonl> --query <tbql> [--query ...]
+//       [--standing] [--idle-ms N]
+//       Continuous hunting: tail a growing JSON-lines audit log, ingesting
+//       batches through the epoch gate as they arrive. With --standing the
+//       queries register as standing hunts and print row deltas per epoch;
+//       without it they run once after the stream ends. The stream ends
+//       when the file stops growing for N ms (default 2000).
 //   threatraptor fuzzy (--log <log.jsonl> | --case <case-id>) --query <tbql>
 //       Execute a TBQL query in fuzzy (Poirot-alignment) search mode.
 #include <cstdio>
@@ -28,6 +35,8 @@
 #include "engine/explain.h"
 #include "storage/snapshot.h"
 #include "cases/cases.h"
+#include "stream/event_stream.h"
+#include "stream/ingestor.h"
 #include "threatraptor.h"
 
 namespace {
@@ -44,6 +53,8 @@ int Usage() {
       "  threatraptor gen-log <case-id> <out.jsonl>\n"
       "  threatraptor hunt (--log <log.jsonl> | --case <id>) --query <tbql>\n"
       "      [--query <tbql> ...] [--jobs N]\n"
+      "  threatraptor hunt --follow <log.jsonl> --query <tbql> [--query ...]\n"
+      "      [--standing] [--idle-ms N]\n"
       "  threatraptor fuzzy (--log <log.jsonl> | --case <id>) --query "
       "<tbql>\n"
       "  threatraptor explain --query <tbql>\n"
@@ -172,6 +183,9 @@ int GenLog(const std::string& id, const std::string& out_path) {
 struct HuntArgs {
   std::string log_path;
   std::string case_id;
+  std::string follow_path;  // continuous mode: tail this JSONL file
+  bool standing = false;    // register queries as standing hunts
+  long long idle_ms = 2000; // stream ends after this long without growth
   std::vector<std::string> queries;
   int jobs = 1;
 
@@ -192,6 +206,17 @@ bool ParseHuntArgs(int argc, char** argv, int start, HuntArgs* out) {
       const char* v = next();
       if (v == nullptr) return false;
       out->case_id = v;
+    } else if (arg == "--follow") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->follow_path = v;
+    } else if (arg == "--standing") {
+      out->standing = true;
+    } else if (arg == "--idle-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->idle_ms = std::atoll(v);
+      if (out->idle_ms < 0) return false;
     } else if (arg == "--query") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -205,7 +230,9 @@ bool ParseHuntArgs(int argc, char** argv, int start, HuntArgs* out) {
       return false;
     }
   }
-  return (!out->log_path.empty() || !out->case_id.empty()) &&
+  if (out->standing && out->follow_path.empty()) return false;
+  return (!out->log_path.empty() || !out->case_id.empty() ||
+          !out->follow_path.empty()) &&
          !out->queries.empty();
 }
 
@@ -224,7 +251,106 @@ int PrintHuntReport(const engine::ExecReport& report) {
   return 0;
 }
 
+/// Continuous hunting: tail a JSONL audit log, ingesting through the epoch
+/// gate; queries either stand (deltas print per epoch) or run once at the
+/// end of the stream.
+int FollowHunt(const HuntArgs& args) {
+  ThreatRaptor tr;
+  // Bootstrap an empty store so the service and schemas exist before the
+  // first standing refresh.
+  if (Status boot = tr.IngestSyscalls({}); !boot.ok()) {
+    std::fprintf(stderr, "%s\n", boot.ToString().c_str());
+    return 1;
+  }
+  service::HuntService* service = tr.hunt_service();
+
+  std::vector<service::StandingHandle> handles;
+  if (args.standing) {
+    for (size_t i = 0; i < args.queries.size(); ++i) {
+      service::HuntRequest request;
+      request.text = args.queries[i];
+      service::StandingSink sink;
+      size_t qidx = i;
+      sink.on_alert = [qidx, &args](const service::StandingUpdate& update) {
+        std::printf("[epoch %llu] query %zu (%s): +%zu rows (%zu total%s)\n",
+                    static_cast<unsigned long long>(update.epoch), qidx + 1,
+                    args.queries[qidx].c_str(), update.delta.row_count(),
+                    update.total_rows,
+                    update.incremental ? ", incremental" : "");
+        auto cursor = update.cursor();
+        while (const std::vector<sql::Value>* row = cursor.Next()) {
+          std::string line;
+          for (const sql::Value& v : *row) {
+            if (!line.empty()) line += " | ";
+            line += v.ToString();
+          }
+          std::printf("  %s\n", line.c_str());
+        }
+      };
+      sink.on_error = [qidx](const Status& status) {
+        std::fprintf(stderr, "standing query %zu failed: %s\n", qidx + 1,
+                     status.ToString().c_str());
+      };
+      handles.push_back(
+          service->SubmitStanding(std::move(request), std::move(sink)));
+    }
+  }
+
+  stream::JsonlTailSource source(args.follow_path);
+  stream::IngestorOptions iopts;
+  iopts.idle_give_up_micros = args.idle_ms * 1000;
+  iopts.finish = [&] { return tr.FlushIngest(); };
+  stream::StreamIngestor ingestor(
+      &source,
+      [&](const std::vector<audit::SyscallRecord>& records) {
+        return tr.IngestSyscalls(records);
+      },
+      iopts);
+  std::printf("following %s (stop after %lld ms idle)...\n",
+              args.follow_path.c_str(), args.idle_ms);
+  ingestor.Start();
+  ingestor.WaitEnd();
+  stream::IngestorStats stats = ingestor.stats();
+  if (!stats.error.ok()) {
+    std::fprintf(stderr, "stream failed: %s\n",
+                 stats.error.ToString().c_str());
+    return 1;
+  }
+  for (service::StandingHandle& h : handles) {
+    h.WaitEpoch(service->epoch());
+  }
+  std::printf("stream ended: %zu batches, %zu records, %llu epochs; "
+              "store has %zu entities, %zu events\n",
+              stats.batches, stats.records,
+              static_cast<unsigned long long>(service->epoch()),
+              tr.store()->entity_count(), tr.store()->event_count());
+  if (args.standing) {
+    for (size_t i = 0; i < handles.size(); ++i) {
+      std::printf("query %zu delivered %zu rows across %llu epochs\n", i + 1,
+                  handles[i].total_rows(),
+                  static_cast<unsigned long long>(
+                      handles[i].delivered_epoch()));
+    }
+    return 0;
+  }
+  // One-shot mode: run the queries against the fully-ingested store.
+  int rc = 0;
+  for (const std::string& q : args.queries) {
+    std::printf("=== %s\n", q.c_str());
+    auto report = tr.Hunt(q);
+    if (!report.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   report.status().ToString().c_str());
+      rc = 1;
+      continue;
+    }
+    PrintHuntReport(report.value());
+  }
+  return rc;
+}
+
 int Hunt(const HuntArgs& args) {
+  if (!args.follow_path.empty()) return FollowHunt(args);
   auto tr = LoadForHunt(args);
   if (!tr.ok()) {
     std::fprintf(stderr, "%s\n", tr.status().ToString().c_str());
