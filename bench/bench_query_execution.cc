@@ -28,9 +28,14 @@
 // ingested batch by batch through the epoch gate with standing hunts
 // attached (batches/sec, records/sec), and the per-refresh cost of the
 // dirty-seeded incremental path versus a full re-scan.
+// A seventh section measures durability: the same pre-collected batch
+// sequence ingested in-memory versus through the write-ahead log
+// (overhead ratio), plus checkpoint and crash-restore throughput in
+// MB/s and entities/s against a temporary data directory.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -386,6 +391,130 @@ void RunStreamingWorkload(bench::BenchReport* report) {
                  inc_per > 0 ? full_per / inc_per : 0);
 }
 
+/// Durability: the same pre-collected batch sequence ingested with the
+/// write-ahead log on versus purely in-memory (overhead ratio), then a
+/// full checkpoint and a crash-restore (Open after dropping the facade
+/// without Close), each reported as MB/s over the snapshot bytes and
+/// entities/s over the recovered entity+event population.
+void RunDurabilityWorkload(bench::BenchReport* report) {
+  long long scale = bench::EnvLong("BENCH_SCALE", 10);
+  stream::SimulatorSourceOptions feed;
+  feed.profile.num_users = 8;
+  feed.profile.num_processes = static_cast<int>(40 * scale);
+  feed.profile.mean_records_per_process = 30;
+  feed.profile.duration = 60LL * 60 * 1000 * 1000;
+  feed.batch_window_us = 2LL * 60 * 1000 * 1000;  // 2-minute batches
+  stream::SimulatorSource source(feed);
+  std::vector<std::vector<audit::SyscallRecord>> batches;
+  size_t records = 0;
+  for (;;) {
+    auto batch = source.Poll();
+    if (!batch.ok()) {
+      std::fprintf(stderr, "poll failed: %s\n",
+                   batch.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (!batch.value().records.empty()) {
+      records += batch.value().records.size();
+      batches.push_back(std::move(batch.value().records));
+    }
+    if (batch.value().end_of_stream) break;
+  }
+
+  // Baseline: identical batches into a plain in-memory facade.
+  Stopwatch memory_timer;
+  ThreatRaptor memory_tr;
+  for (const auto& batch : batches) {
+    if (!memory_tr.IngestSyscalls(batch).ok()) std::exit(1);
+  }
+  if (!memory_tr.FlushIngest().ok()) std::exit(1);
+  double memory_seconds = memory_timer.ElapsedSeconds();
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "raptor_bench_durable";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  persist::DurabilityOptions durability;
+  durability.data_dir = dir.string();
+
+  // Same batches with every mutation framed into the WAL first.
+  Stopwatch wal_timer;
+  auto durable = ThreatRaptor::Open(durability);
+  if (!durable.ok()) {
+    std::fprintf(stderr, "durable open failed: %s\n",
+                 durable.status().ToString().c_str());
+    std::exit(1);
+  }
+  ThreatRaptor* tr = durable.value().get();
+  for (const auto& batch : batches) {
+    if (!tr->IngestSyscalls(batch).ok()) std::exit(1);
+  }
+  if (!tr->FlushIngest().ok()) std::exit(1);
+  double wal_seconds = wal_timer.ElapsedSeconds();
+
+  // Explicit checkpoint: sharded snapshot + WAL rotation + prune.
+  Stopwatch checkpoint_timer;
+  if (!tr->Checkpoint().ok()) std::exit(1);
+  double checkpoint_seconds = checkpoint_timer.ElapsedSeconds();
+  persist::DurabilityStats stats = tr->durability_stats();
+  size_t entities = tr->store()->entity_count();
+  size_t events = tr->store()->event_count();
+  double population = static_cast<double>(entities + events);
+  double snapshot_mb = stats.snapshot_bytes / (1024.0 * 1024.0);
+
+  // Crash: drop the facade without Close, then recover from disk.
+  durable.value().reset();
+  Stopwatch restore_timer;
+  auto reopened = ThreatRaptor::Open(durability);
+  if (!reopened.ok()) {
+    std::fprintf(stderr, "restore failed: %s\n",
+                 reopened.status().ToString().c_str());
+    std::exit(1);
+  }
+  double restore_seconds = restore_timer.ElapsedSeconds();
+  if (!reopened.value()->durability_stats().restored ||
+      reopened.value()->store()->event_count() != events ||
+      reopened.value()->store()->entity_count() != entities) {
+    std::fprintf(stderr, "restore differential broke: %zu/%zu events, "
+                 "%zu/%zu entities\n",
+                 reopened.value()->store()->event_count(), events,
+                 reopened.value()->store()->entity_count(), entities);
+    std::exit(1);
+  }
+  reopened.value().reset();
+  std::filesystem::remove_all(dir, ec);
+
+  double overhead = memory_seconds > 0 ? wal_seconds / memory_seconds : 0;
+  std::printf(
+      "\nDurability (%zu batches / %zu records; snapshot %.2f MB, "
+      "%zu entities + %zu events):\n"
+      "  ingest: in-memory %.3f s, with WAL %.3f s (%.2fx overhead)\n"
+      "  checkpoint: %.3f s -> %.1f MB/s, %.0f entities/s\n"
+      "  restore:    %.3f s -> %.1f MB/s, %.0f entities/s\n",
+      batches.size(), records, snapshot_mb, entities, events,
+      memory_seconds, wal_seconds, overhead, checkpoint_seconds,
+      checkpoint_seconds > 0 ? snapshot_mb / checkpoint_seconds : 0,
+      checkpoint_seconds > 0 ? population / checkpoint_seconds : 0,
+      restore_seconds,
+      restore_seconds > 0 ? snapshot_mb / restore_seconds : 0,
+      restore_seconds > 0 ? population / restore_seconds : 0);
+  report->Metric("durability", "ingest_memory_seconds", memory_seconds);
+  report->Metric("durability", "ingest_wal_seconds", wal_seconds);
+  report->Metric("durability", "wal_overhead_ratio", overhead);
+  report->Metric("durability", "checkpoint_seconds", checkpoint_seconds);
+  report->Metric("durability", "checkpoint_mb_per_sec",
+                 checkpoint_seconds > 0 ? snapshot_mb / checkpoint_seconds
+                                        : 0);
+  report->Metric("durability", "checkpoint_entities_per_sec",
+                 checkpoint_seconds > 0 ? population / checkpoint_seconds
+                                        : 0);
+  report->Metric("durability", "restore_seconds", restore_seconds);
+  report->Metric("durability", "restore_mb_per_sec",
+                 restore_seconds > 0 ? snapshot_mb / restore_seconds : 0);
+  report->Metric("durability", "restore_entities_per_sec",
+                 restore_seconds > 0 ? population / restore_seconds : 0);
+}
+
 /// Shard-parallel SELECT vs the serial path: a filtered full scan and a
 /// hash join whose probe side rides the partitioned base scan.
 void RunParallelSelectWorkload(long long rows_n,
@@ -614,6 +743,7 @@ int main() {
   RunLargeGraphWorkload(&report);
   RunConcurrentHuntWorkload(&report);
   RunStreamingWorkload(&report);
+  RunDurabilityWorkload(&report);
   report.Write();
   return 0;
 }

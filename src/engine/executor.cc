@@ -523,7 +523,7 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
           if (attr == "id") return std::to_string(m->event_id);
           if (attr == "start_time") return std::to_string(m->start_time);
           if (attr == "end_time") return std::to_string(m->end_time);
-          const audit::SystemEvent& ev = store_->events()[m->event_id - 1];
+          const audit::SystemEvent& ev = store_->EventById(m->event_id);
           if (attr == "amount") return std::to_string(ev.amount);
           if (attr == "failure_code") return std::to_string(ev.failure_code);
           if (attr == "op") return audit::EventOpName(ev.op);
@@ -589,7 +589,7 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
         } else if (r.attr == "end_time") {
           row.push_back(std::to_string(m->end_time));
         } else {
-          const audit::SystemEvent& ev = store_->events()[m->event_id - 1];
+          const audit::SystemEvent& ev = store_->EventById(m->event_id);
           if (r.attr == "amount") {
             row.push_back(std::to_string(ev.amount));
           } else if (r.attr == "failure_code") {

@@ -1,0 +1,251 @@
+#include "persist/checkpointer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace raptor::persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view kCurrentHeader = "raptor-durable v2";
+
+std::string SnapshotDirName(uint64_t seq) {
+  return StrFormat("snap-%010llu", static_cast<unsigned long long>(seq));
+}
+
+/// Parse the numeric <seq> out of "wal-<seq>.seg" / "snap-<seq>"; false if
+/// the name does not match the pattern.
+bool ParseSeqSuffix(std::string_view name, std::string_view prefix,
+                    std::string_view suffix, uint64_t* seq) {
+  if (name.size() <= prefix.size() + suffix.size() ||
+      name.substr(0, prefix.size()) != prefix ||
+      name.substr(name.size() - suffix.size()) != suffix) {
+    return false;
+  }
+  std::string_view digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  long long v = 0;
+  if (!ParseInt64(digits, &v) || v < 0) return false;
+  *seq = static_cast<uint64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+Checkpointer::Checkpointer(DurabilityOptions options)
+    : options_(std::move(options)) {}
+
+Result<std::unique_ptr<Checkpointer>> Checkpointer::Open(
+    const DurabilityOptions& options) {
+  if (options.data_dir.empty()) {
+    return Status::InvalidArgument("Checkpointer::Open requires a data_dir");
+  }
+  std::unique_ptr<Checkpointer> cp(new Checkpointer(options));
+  RAPTOR_RETURN_NOT_OK(cp->Recover());
+  return cp;
+}
+
+SystemSnapshot Checkpointer::TakeRestoredSnapshot() {
+  SystemSnapshot snap = std::move(*restored_);
+  restored_.reset();
+  return snap;
+}
+
+Status Checkpointer::Recover() {
+  const std::string& dir = options_.data_dir;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::Internal("cannot create data dir: " + dir);
+
+  wal_ = std::make_unique<WalWriter>(dir, options_);
+
+  // Fresh directory: no CURRENT yet. Start segment 1 and publish an empty
+  // manifest so a crash before the first checkpoint still recovers.
+  const std::string current_path = dir + "/CURRENT";
+  if (!fs::exists(current_path)) {
+    RAPTOR_RETURN_NOT_OK(wal_->StartSegment(1));
+    wal_min_seq_ = 1;
+    return PublishCurrent("", 1);
+  }
+
+  // Parse CURRENT.
+  {
+    std::ifstream in(current_path);
+    if (!in) return Status::Internal("cannot read: " + current_path);
+    std::string header, snapshot_line, wal_line;
+    std::getline(in, header);
+    std::getline(in, snapshot_line);
+    std::getline(in, wal_line);
+    if (TrimView(header) != kCurrentHeader ||
+        !StartsWith(snapshot_line, "snapshot ") ||
+        !StartsWith(wal_line, "wal ")) {
+      return Status::ParseError("malformed CURRENT manifest: " +
+                                current_path);
+    }
+    std::string name(TrimView(std::string_view(snapshot_line).substr(9)));
+    if (name != "-") current_snapshot_ = std::move(name);
+    long long min_seq = 0;
+    if (!ParseInt64(TrimView(std::string_view(wal_line).substr(4)),
+                    &min_seq) ||
+        min_seq < 1) {
+      return Status::ParseError("bad WAL floor in CURRENT: " + current_path);
+    }
+    wal_min_seq_ = static_cast<uint64_t>(min_seq);
+  }
+
+  // Load the published snapshot.
+  if (!current_snapshot_.empty()) {
+    RAPTOR_ASSIGN_OR_RETURN(SystemSnapshot snap,
+                            ReadSnapshot(dir + "/" + current_snapshot_));
+    stats_.restored = true;
+    stats_.restored_epoch = snap.epoch;
+    restored_ = std::move(snap);
+    uint64_t snap_seq = 0;
+    if (ParseSeqSuffix(current_snapshot_, "snap-", "", &snap_seq)) {
+      next_snapshot_seq_ = snap_seq + 1;
+    }
+  }
+
+  // Scan for live segments (seq >= the manifest's floor). Segments below
+  // the floor are leftovers of an interrupted prune; ignore them.
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    uint64_t seq = 0;
+    if (ParseSeqSuffix(entry.path().filename().string(), "wal-", ".seg",
+                       &seq) &&
+        seq >= wal_min_seq_) {
+      tail_segments_.push_back(seq);
+    }
+  }
+  std::sort(tail_segments_.begin(), tail_segments_.end());
+  for (size_t i = 1; i < tail_segments_.size(); ++i) {
+    if (tail_segments_[i] != tail_segments_[i - 1] + 1) {
+      return Status::Internal(
+          StrFormat("WAL segment gap: %llu then %llu",
+                    static_cast<unsigned long long>(tail_segments_[i - 1]),
+                    static_cast<unsigned long long>(tail_segments_[i])));
+    }
+  }
+
+  if (tail_segments_.empty()) {
+    // The manifest promises a segment at the floor; its absence means the
+    // process died between publishing CURRENT and creating the segment,
+    // which PublishCurrent's ordering forbids — treat as a fresh start at
+    // the floor.
+    RAPTOR_RETURN_NOT_OK(wal_->StartSegment(wal_min_seq_));
+    return Status::OK();
+  }
+
+  // Validate the newest segment and truncate a torn tail so the writer
+  // can append; earlier segments are validated during ReplayTail.
+  const uint64_t last = tail_segments_.back();
+  std::vector<WalRecord> records;
+  uint64_t valid_bytes = 0;
+  bool truncated = false;
+  RAPTOR_RETURN_NOT_OK(ReadWalSegment(dir + "/" + WalSegmentName(last), last,
+                                      &records, &valid_bytes, &truncated));
+  if (truncated) stats_.wal_tail_truncated = true;
+  return wal_->OpenExisting(last, valid_bytes);
+}
+
+Status Checkpointer::ReplayTail(
+    const std::function<Status(const WalRecord&)>& apply) {
+  for (uint64_t seq : tail_segments_) {
+    std::vector<WalRecord> records;
+    RAPTOR_RETURN_NOT_OK(
+        ReadWalSegment(options_.data_dir + "/" + WalSegmentName(seq), seq,
+                       &records, nullptr, nullptr));
+    for (const WalRecord& record : records) {
+      RAPTOR_RETURN_NOT_OK(apply(record));
+      ++stats_.replayed_records;
+    }
+  }
+  tail_segments_.clear();
+  return Status::OK();
+}
+
+Status Checkpointer::PublishCurrent(const std::string& snapshot_name,
+                                    uint64_t wal_min) {
+  const std::string tmp = options_.data_dir + "/CURRENT.tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::Internal("cannot write: " + tmp);
+    out << kCurrentHeader << "\n"
+        << "snapshot " << (snapshot_name.empty() ? "-" : snapshot_name)
+        << "\n"
+        << "wal " << wal_min << "\n";
+    if (!out.good()) return Status::Internal("write failed: " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, options_.data_dir + "/CURRENT", ec);
+  if (ec) return Status::Internal("cannot publish CURRENT manifest");
+  current_snapshot_ = snapshot_name;
+  wal_min_seq_ = wal_min;
+  return Status::OK();
+}
+
+Status Checkpointer::WriteCheckpoint(const SystemSnapshot& snap) {
+  const std::string& dir = options_.data_dir;
+  const std::string name = SnapshotDirName(next_snapshot_seq_++);
+
+  // 1. Write the snapshot to a temp dir, then rename it into place (a
+  //    crash leaves only an unreferenced .tmp dir, pruned later).
+  const std::string tmp_dir = dir + "/." + name + ".tmp";
+  std::error_code ec;
+  fs::remove_all(tmp_dir, ec);  // leftover of an earlier crash
+  uint64_t bytes = 0;
+  RAPTOR_RETURN_NOT_OK(WriteSnapshot(tmp_dir, snap, options_, &bytes));
+  fs::rename(tmp_dir, dir + "/" + name, ec);
+  if (ec) return Status::Internal("cannot publish snapshot: " + name);
+
+  // 2. Rotate the WAL onto a fresh segment: every record in it is newer
+  //    than the snapshot, so replay-after-restore applies all of it
+  //    unconditionally.
+  const uint64_t new_min = wal_->active_seq() + 1;
+  RAPTOR_RETURN_NOT_OK(wal_->StartSegment(new_min));
+
+  // 3. Atomically publish both; only now is the old state dead.
+  RAPTOR_RETURN_NOT_OK(PublishCurrent(name, new_min));
+
+  // 4. Prune superseded artifacts.
+  Prune(name, new_min);
+
+  ++stats_.checkpoints;
+  stats_.snapshot_bytes = bytes;
+  return Status::OK();
+}
+
+void Checkpointer::Prune(const std::string& keep_snapshot, uint64_t wal_min) {
+  std::error_code ec;
+  std::vector<fs::path> doomed;
+  for (const auto& entry : fs::directory_iterator(options_.data_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    uint64_t seq = 0;
+    if (ParseSeqSuffix(name, "wal-", ".seg", &seq) && seq < wal_min) {
+      doomed.push_back(entry.path());
+    } else if (ParseSeqSuffix(name, "snap-", "", &seq) &&
+               name != keep_snapshot) {
+      doomed.push_back(entry.path());
+    } else if (StartsWith(name, ".snap-") && name.ends_with(".tmp")) {
+      doomed.push_back(entry.path());
+    }
+  }
+  for (const fs::path& p : doomed) fs::remove_all(p, ec);
+}
+
+DurabilityStats Checkpointer::stats() const {
+  DurabilityStats out = stats_;
+  if (wal_ != nullptr) {
+    out.wal_records = wal_->records_appended();
+    out.wal_bytes = wal_->bytes_appended();
+    out.wal_segments = wal_->segments_created();
+  }
+  return out;
+}
+
+}  // namespace raptor::persist

@@ -1,0 +1,79 @@
+// Checkpointer: the durable store's recovery and checkpoint protocol.
+//
+// A data directory holds:
+//   CURRENT          two-line manifest: active snapshot dir (or "-") and
+//                    the minimum live WAL segment sequence number
+//   snap-<seq>/      snapshot directories (persist/snapshot.h layout)
+//   wal-<seq>.seg    WAL segments (persist/wal.h layout)
+//
+// Open():   read CURRENT, load the named snapshot (if any), validate the
+//           live segments, truncate a torn tail, and re-arm the writer on
+//           the newest segment. ReplayTail() then feeds every intact
+//           post-snapshot record back to the caller.
+// Checkpoint: WriteCheckpoint() writes the new snapshot to a temp dir,
+//           renames it into place, rotates the WAL onto a fresh segment,
+//           publishes both through CURRENT (tmp + atomic rename), and only
+//           then deletes the superseded snapshot and segments. A crash at
+//           any point leaves either the old state or the new state fully
+//           intact — never a mix.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "persist/durability.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+
+namespace raptor::persist {
+
+class Checkpointer {
+ public:
+  /// Open (creating if needed) the data directory and recover its state.
+  /// Precondition: options.data_dir is non-empty.
+  static Result<std::unique_ptr<Checkpointer>> Open(
+      const DurabilityOptions& options);
+
+  /// A snapshot was recovered; TakeRestoredSnapshot() moves it out.
+  bool has_snapshot() const { return restored_.has_value(); }
+  SystemSnapshot TakeRestoredSnapshot();
+
+  /// Feed every intact WAL record newer than the snapshot to `apply`, in
+  /// append order. Call once, after restoring the snapshot and before the
+  /// first new append.
+  Status ReplayTail(const std::function<Status(const WalRecord&)>& apply);
+
+  /// The write-ahead appender the hunt service logs mutations through.
+  WalWriter* wal() { return wal_.get(); }
+
+  /// Publish `snap` as the new durable state (see the protocol above).
+  Status WriteCheckpoint(const SystemSnapshot& snap);
+
+  DurabilityStats stats() const;
+
+ private:
+  explicit Checkpointer(DurabilityOptions options);
+
+  Status Recover();
+  Status PublishCurrent(const std::string& snapshot_name, uint64_t wal_min);
+  /// Delete snapshots other than `keep_snapshot` and segments with
+  /// seq < wal_min. Best-effort: leftovers are re-pruned next checkpoint.
+  void Prune(const std::string& keep_snapshot, uint64_t wal_min);
+
+  DurabilityOptions options_;
+  std::optional<SystemSnapshot> restored_;
+  std::string current_snapshot_;  // dir name, empty if none
+  uint64_t wal_min_seq_ = 1;
+  /// Live segments found at Open, ascending seq; replay reads them back.
+  std::vector<uint64_t> tail_segments_;
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t next_snapshot_seq_ = 1;
+  DurabilityStats stats_;
+};
+
+}  // namespace raptor::persist

@@ -1,0 +1,297 @@
+#include "persist/codec.h"
+
+#include <cstring>
+
+namespace raptor::persist {
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutDouble(std::string* out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+bool ByteReader::Take(size_t n, const char** p) {
+  if (failed_ || data_.size() - pos_ < n) {
+    failed_ = true;
+    return false;
+  }
+  *p = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::ReadU8(uint8_t* v) {
+  const char* p = nullptr;
+  if (!Take(1, &p)) return false;
+  *v = static_cast<uint8_t>(*p);
+  return true;
+}
+
+bool ByteReader::ReadU32(uint32_t* v) {
+  const char* p = nullptr;
+  if (!Take(4, &p)) return false;
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  *v = out;
+  return true;
+}
+
+bool ByteReader::ReadU64(uint64_t* v) {
+  const char* p = nullptr;
+  if (!Take(8, &p)) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  *v = out;
+  return true;
+}
+
+bool ByteReader::ReadI64(int64_t* v) {
+  uint64_t u = 0;
+  if (!ReadU64(&u)) return false;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+bool ByteReader::ReadDouble(double* v) {
+  uint64_t bits = 0;
+  if (!ReadU64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(bits));
+  return true;
+}
+
+bool ByteReader::ReadString(std::string* v) {
+  uint32_t len = 0;
+  if (!ReadU32(&len)) return false;
+  const char* p = nullptr;
+  if (!Take(len, &p)) return false;
+  v->assign(p, len);
+  return true;
+}
+
+namespace {
+
+struct Crc32Table {
+  uint32_t t[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const Crc32Table table;
+  uint32_t crc = 0xffffffffu;
+  for (char ch : data) {
+    crc = table.t[(crc ^ static_cast<uint8_t>(ch)) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+void EncodeEntity(const audit::SystemEntity& e, std::string* out) {
+  PutU64(out, e.id);
+  PutU8(out, static_cast<uint8_t>(e.type));
+  PutString(out, e.name);
+  PutString(out, e.path);
+  PutI64(out, e.pid);
+  PutString(out, e.exename);
+  PutString(out, e.cmd);
+  PutString(out, e.srcip);
+  PutI64(out, e.srcport);
+  PutString(out, e.dstip);
+  PutI64(out, e.dstport);
+  PutString(out, e.protocol);
+  PutString(out, e.user);
+  PutString(out, e.group);
+}
+
+bool DecodeEntity(ByteReader* in, audit::SystemEntity* e) {
+  uint8_t type = 0;
+  int64_t pid = 0, srcport = 0, dstport = 0;
+  in->ReadU64(&e->id);
+  in->ReadU8(&type);
+  in->ReadString(&e->name);
+  in->ReadString(&e->path);
+  in->ReadI64(&pid);
+  in->ReadString(&e->exename);
+  in->ReadString(&e->cmd);
+  in->ReadString(&e->srcip);
+  in->ReadI64(&srcport);
+  in->ReadString(&e->dstip);
+  in->ReadI64(&dstport);
+  in->ReadString(&e->protocol);
+  in->ReadString(&e->user);
+  in->ReadString(&e->group);
+  if (in->failed() || type > 2) return false;
+  e->type = static_cast<audit::EntityType>(type);
+  e->pid = pid;
+  e->srcport = static_cast<int>(srcport);
+  e->dstport = static_cast<int>(dstport);
+  return true;
+}
+
+void EncodeEvent(const audit::SystemEvent& ev, std::string* out) {
+  PutU64(out, ev.id);
+  PutU64(out, ev.subject);
+  PutU64(out, ev.object);
+  PutU8(out, static_cast<uint8_t>(ev.object_type));
+  PutU8(out, static_cast<uint8_t>(ev.op));
+  PutI64(out, ev.start_time);
+  PutI64(out, ev.end_time);
+  PutI64(out, ev.amount);
+  PutI64(out, ev.failure_code);
+}
+
+bool DecodeEvent(ByteReader* in, audit::SystemEvent* ev) {
+  uint8_t object_type = 0, op = 0;
+  int64_t amount = 0, failure = 0;
+  in->ReadU64(&ev->id);
+  in->ReadU64(&ev->subject);
+  in->ReadU64(&ev->object);
+  in->ReadU8(&object_type);
+  in->ReadU8(&op);
+  in->ReadI64(&ev->start_time);
+  in->ReadI64(&ev->end_time);
+  in->ReadI64(&amount);
+  in->ReadI64(&failure);
+  if (in->failed() || object_type > 2 || op >= audit::kNumEventOps) {
+    return false;
+  }
+  ev->object_type = static_cast<audit::EntityType>(object_type);
+  ev->op = static_cast<audit::EventOp>(op);
+  ev->amount = amount;
+  ev->failure_code = static_cast<int>(failure);
+  return true;
+}
+
+void EncodeValue(const sql::Value& v, std::string* out) {
+  if (v.is_null()) {
+    PutU8(out, 0);
+  } else if (v.is_int()) {
+    PutU8(out, 1);
+    PutI64(out, v.AsInt());
+  } else if (v.is_double()) {
+    PutU8(out, 2);
+    PutDouble(out, v.AsDouble());
+  } else {
+    PutU8(out, 3);
+    PutString(out, v.AsText());
+  }
+}
+
+bool DecodeValue(ByteReader* in, sql::Value* v) {
+  uint8_t tag = 0;
+  if (!in->ReadU8(&tag)) return false;
+  switch (tag) {
+    case 0:
+      *v = sql::Value();
+      return true;
+    case 1: {
+      int64_t i = 0;
+      if (!in->ReadI64(&i)) return false;
+      *v = sql::Value(i);
+      return true;
+    }
+    case 2: {
+      double d = 0;
+      if (!in->ReadDouble(&d)) return false;
+      *v = sql::Value(d);
+      return true;
+    }
+    case 3: {
+      std::string s;
+      if (!in->ReadString(&s)) return false;
+      *v = sql::Value(std::move(s));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void EncodeParsedLog(const audit::ParsedLog& log, std::string* out) {
+  PutU64(out, log.entities.size());
+  for (const audit::SystemEntity& e : log.entities.entities()) {
+    EncodeEntity(e, out);
+  }
+  PutU64(out, log.events.size());
+  for (const audit::SystemEvent& ev : log.events) {
+    EncodeEvent(ev, out);
+  }
+}
+
+Result<audit::ParsedLog> DecodeParsedLog(std::string_view data) {
+  ByteReader in(data);
+  audit::ParsedLog log;
+  uint64_t n_entities = 0;
+  if (!in.ReadU64(&n_entities)) {
+    return Status::ParseError("parsed-log payload: bad entity count");
+  }
+  for (uint64_t i = 0; i < n_entities; ++i) {
+    audit::SystemEntity e;
+    if (!DecodeEntity(&in, &e)) {
+      return Status::ParseError("parsed-log payload: bad entity record");
+    }
+    // Interning in file order reassigns the same dense ids the encoder
+    // saw (entity tables are id-ordered), so events decode unchanged.
+    log.entities.Intern(std::move(e));
+  }
+  uint64_t n_events = 0;
+  if (!in.ReadU64(&n_events)) {
+    return Status::ParseError("parsed-log payload: bad event count");
+  }
+  for (uint64_t i = 0; i < n_events; ++i) {
+    audit::SystemEvent ev;
+    if (!DecodeEvent(&in, &ev)) {
+      return Status::ParseError("parsed-log payload: bad event record");
+    }
+    if (ev.subject == 0 || ev.subject > log.entities.size() ||
+        ev.object == 0 || ev.object > log.entities.size()) {
+      return Status::ParseError(
+          "parsed-log payload: event references unknown entity");
+    }
+    log.events.push_back(std::move(ev));
+  }
+  if (in.remaining() != 0) {
+    return Status::ParseError("parsed-log payload: trailing bytes");
+  }
+  return log;
+}
+
+}  // namespace raptor::persist

@@ -1,0 +1,78 @@
+// Binary codec shared by the WAL and the snapshot format: explicit
+// little-endian fixed-width integers, length-prefixed strings, a
+// table-driven CRC-32 for frame/file integrity, and the record encoders
+// for the audit data model (entities, events, parsed logs, sql::Values).
+//
+// Everything decodes through ByteReader, which bounds-checks every read
+// and latches a failure flag instead of throwing — torn WAL tails and
+// corrupt snapshot shards surface as a clean `false`, never as UB.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "audit/types.h"
+#include "common/status.h"
+#include "storage/relational/value.h"
+
+namespace raptor::persist {
+
+// ---- little-endian primitives ---------------------------------------------
+
+void PutU8(std::string* out, uint8_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutI64(std::string* out, int64_t v);
+void PutDouble(std::string* out, double v);
+/// u32 byte length followed by the raw bytes.
+void PutString(std::string* out, std::string_view s);
+
+/// Bounds-checked sequential decoder over a byte buffer. Any failed read
+/// latches failed() and makes every later read fail too, so decode loops
+/// can check once at the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool ReadU8(uint8_t* v);
+  bool ReadU32(uint32_t* v);
+  bool ReadU64(uint64_t* v);
+  bool ReadI64(int64_t* v);
+  bool ReadDouble(double* v);
+  bool ReadString(std::string* v);
+
+  bool failed() const { return failed_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t pos() const { return pos_; }
+
+ private:
+  bool Take(size_t n, const char** p);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, table-driven).
+uint32_t Crc32(std::string_view data);
+
+// ---- audit data model -----------------------------------------------------
+
+void EncodeEntity(const audit::SystemEntity& e, std::string* out);
+bool DecodeEntity(ByteReader* in, audit::SystemEntity* e);
+
+void EncodeEvent(const audit::SystemEvent& ev, std::string* out);
+bool DecodeEvent(ByteReader* in, audit::SystemEvent* ev);
+
+/// sql::Value with a leading type tag (0 null, 1 int64, 2 double, 3 text).
+void EncodeValue(const sql::Value& v, std::string* out);
+bool DecodeValue(ByteReader* in, sql::Value* v);
+
+/// A whole parsed log (entity table + event list), the WAL payload for
+/// IngestParsedLog batches.
+void EncodeParsedLog(const audit::ParsedLog& log, std::string* out);
+Result<audit::ParsedLog> DecodeParsedLog(std::string_view data);
+
+}  // namespace raptor::persist

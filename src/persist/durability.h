@@ -1,0 +1,72 @@
+// Durability knobs and observability for the persistence subsystem.
+//
+// One struct holds every persistence decision — where the data directory
+// lives, when WAL segments rotate, how often snapshots are cut, how far
+// back the store remembers — nested in HuntServiceOptions (the service is
+// the write gate, so it is also where durability is configured) instead of
+// scattering loose fields across StoreOptions and the CLI.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace raptor::persist {
+
+/// When WAL appends and snapshot shards reach stable storage.
+enum class FsyncMode {
+  /// Buffered writes only (flushed to the OS, not fsynced). Survives
+  /// process crashes — the common failure — but not power loss.
+  kNone = 0,
+  /// fsync the active segment after every appended record and every
+  /// snapshot file after it is written.
+  kAlways = 1,
+};
+
+/// All persistence knobs in one place. An empty `data_dir` means the store
+/// is purely in-memory (the pre-durability behavior); everything else is
+/// ignored in that case.
+struct DurabilityOptions {
+  /// Directory holding the WAL segments, snapshots and the CURRENT
+  /// manifest. Created on Open if missing. Empty: durability off.
+  std::string data_dir;
+
+  /// The active WAL segment rotates once it exceeds this many bytes
+  /// (checked between records; a single huge record still lands whole).
+  size_t segment_max_bytes = 8u << 20;
+
+  /// Cut a snapshot automatically every N successful ingest epochs.
+  /// 0: only explicit Checkpoint()/Close() calls snapshot.
+  uint64_t snapshot_interval_epochs = 0;
+
+  /// Retention horizon: at each checkpoint, evict events whose epoch is
+  /// more than this many epochs behind the current one (bounded-memory
+  /// mode). 0: keep everything forever.
+  uint64_t retention_horizon_epochs = 0;
+
+  /// Number of event shard files a snapshot is split into.
+  uint32_t snapshot_shards = 4;
+
+  FsyncMode fsync = FsyncMode::kNone;
+};
+
+/// Counters exposed by the Checkpointer (cumulative since Open).
+struct DurabilityStats {
+  // Write-ahead log.
+  uint64_t wal_records = 0;        // records appended this run
+  uint64_t wal_bytes = 0;          // framed bytes appended this run
+  uint64_t wal_segments = 0;       // segments created this run
+  // Snapshots.
+  uint64_t checkpoints = 0;        // snapshots written this run
+  uint64_t snapshot_bytes = 0;     // bytes of the last snapshot written
+  // Recovery (filled by Open).
+  bool restored = false;           // a snapshot was loaded
+  uint64_t restored_epoch = 0;     // epoch of the loaded snapshot
+  uint64_t replayed_records = 0;   // WAL records replayed after restore
+  bool wal_tail_truncated = false; // a torn final record was discarded
+  // Retention.
+  uint64_t events_evicted = 0;     // events removed by retention
+  uint64_t epochs_evicted = 0;     // epochs aged out by retention
+};
+
+}  // namespace raptor::persist

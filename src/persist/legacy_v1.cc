@@ -1,29 +1,16 @@
-#include "storage/snapshot.h"
+#include "persist/legacy_v1.h"
 
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "common/strings.h"
 
-namespace raptor::storage {
+namespace raptor::persist {
 
 namespace {
 
-constexpr std::string_view kHeader = "raptor-snapshot v1";
-
-std::string Escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '\t': out += "\\t"; break;
-      case '\n': out += "\\n"; break;
-      case '\\': out += "\\\\"; break;
-      default: out.push_back(c);
-    }
-  }
-  return out;
-}
+constexpr std::string_view kV1Header = "raptor-snapshot v1";
 
 Result<std::string> Unescape(std::string_view s) {
   std::string out;
@@ -61,41 +48,15 @@ Result<std::string> FieldStr(const std::vector<std::string>& fields,
 
 }  // namespace
 
-std::string SnapshotToString(const audit::ParsedLog& log) {
-  std::string out(kHeader);
-  out.push_back('\n');
-  out += StrFormat("E %zu\n", log.entities.size());
-  for (const audit::SystemEntity& e : log.entities.entities()) {
-    out += StrFormat(
-        "%d\t%s\t%s\t%lld\t%s\t%s\t%d\t%s\t%d\t%s\t%s\t%s\n",
-        static_cast<int>(e.type), Escape(e.name).c_str(),
-        Escape(e.exename).c_str(), static_cast<long long>(e.pid),
-        Escape(e.cmd).c_str(), Escape(e.srcip).c_str(), e.srcport,
-        Escape(e.dstip).c_str(), e.dstport, Escape(e.protocol).c_str(),
-        Escape(e.user).c_str(), Escape(e.group).c_str());
-  }
-  out += StrFormat("V %zu\n", log.events.size());
-  for (const audit::SystemEvent& ev : log.events) {
-    out += StrFormat("%llu\t%llu\t%d\t%lld\t%lld\t%lld\t%d\n",
-                     static_cast<unsigned long long>(ev.subject),
-                     static_cast<unsigned long long>(ev.object),
-                     static_cast<int>(ev.op),
-                     static_cast<long long>(ev.start_time),
-                     static_cast<long long>(ev.end_time),
-                     static_cast<long long>(ev.amount), ev.failure_code);
-  }
-  return out;
-}
-
-Result<audit::ParsedLog> SnapshotFromString(std::string_view data) {
+Result<audit::ParsedLog> ParseV1Snapshot(std::string_view data) {
   std::vector<std::string> lines = Split(data, '\n');
   size_t li = 0;
   auto next_line = [&]() -> const std::string* {
     return li < lines.size() ? &lines[li++] : nullptr;
   };
   const std::string* header = next_line();
-  if (header == nullptr || TrimView(*header) != kHeader) {
-    return Status::ParseError("not a raptor snapshot (bad header)");
+  if (header == nullptr || TrimView(*header) != kV1Header) {
+    return Status::ParseError("not a v1 raptor snapshot (bad header)");
   }
 
   audit::ParsedLog log;
@@ -178,19 +139,12 @@ Result<audit::ParsedLog> SnapshotFromString(std::string_view data) {
   return log;
 }
 
-Status SaveSnapshot(const audit::ParsedLog& log, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::NotFound("cannot write: " + path);
-  out << SnapshotToString(log);
-  return out.good() ? Status::OK() : Status::Internal("write failed: " + path);
-}
-
-Result<audit::ParsedLog> LoadSnapshot(const std::string& path) {
+Result<audit::ParsedLog> LoadV1Snapshot(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open: " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
-  return SnapshotFromString(ss.str());
+  return ParseV1Snapshot(ss.str());
 }
 
-}  // namespace raptor::storage
+}  // namespace raptor::persist

@@ -1,0 +1,25 @@
+// One-release compatibility shim for the retired v1 snapshot format (the
+// old storage/snapshot.h free functions: "raptor-snapshot v1", a
+// line-oriented tab-separated dump of a ParsedLog). New code persists
+// through persist::Checkpointer; this loader exists only so data written
+// by the previous release can be imported once — see
+// ThreatRaptor::ImportV1Snapshot — after which the durable store carries
+// it forward in the v2 format. Scheduled for removal next release.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "audit/types.h"
+#include "common/status.h"
+
+namespace raptor::persist {
+
+/// Parse a v1 snapshot blob into a ParsedLog. Fails with ParseError on
+/// malformed input or an unsupported version tag.
+Result<audit::ParsedLog> ParseV1Snapshot(std::string_view data);
+
+/// File convenience wrapper over ParseV1Snapshot.
+Result<audit::ParsedLog> LoadV1Snapshot(const std::string& path);
+
+}  // namespace raptor::persist

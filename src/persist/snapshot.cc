@@ -1,0 +1,278 @@
+#include "persist/snapshot.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "persist/codec.h"
+
+namespace raptor::persist {
+
+namespace {
+
+constexpr std::string_view kMetaMagic = "RSNPMETA";
+constexpr std::string_view kEntitiesMagic = "RSNPENTS";
+constexpr std::string_view kEventsMagic = "RSNPEVTS";
+
+std::string EventShardName(uint32_t shard) {
+  return StrFormat("events-%03u.bin", shard);
+}
+
+/// Write `body` (magic already included) with a trailing CRC, optionally
+/// fsynced.
+Status WriteFileChecked(const std::string& path, std::string body,
+                        const DurabilityOptions& options) {
+  PutU32(&body, Crc32(std::string_view(body)));
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("cannot create: " + path);
+  const bool ok =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size() &&
+      std::fflush(f) == 0 &&
+      (options.fsync != FsyncMode::kAlways || fsync(fileno(f)) == 0);
+  std::fclose(f);
+  if (!ok) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+/// Read a whole file and verify magic + trailing CRC; returns the body
+/// between them.
+Result<std::string> ReadFileChecked(const std::string& path,
+                                    std::string_view magic) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string data = ss.str();
+  if (data.size() < magic.size() + 4 ||
+      std::string_view(data).substr(0, magic.size()) != magic) {
+    return Status::ParseError("bad snapshot file header: " + path);
+  }
+  const std::string_view checked(data.data(), data.size() - 4);
+  ByteReader crc_reader(std::string_view(data).substr(data.size() - 4));
+  uint32_t crc = 0;
+  crc_reader.ReadU32(&crc);
+  if (Crc32(checked) != crc) {
+    return Status::ParseError("snapshot file checksum mismatch: " + path);
+  }
+  return data.substr(magic.size(), data.size() - magic.size() - 4);
+}
+
+}  // namespace
+
+Status WriteSnapshot(const std::string& dir, const SystemSnapshot& snap,
+                     const DurabilityOptions& options,
+                     uint64_t* bytes_written) {
+  std::error_code ec;
+  if (!std::filesystem::create_directories(dir, ec) || ec) {
+    return Status::Internal("cannot create snapshot dir: " + dir);
+  }
+  uint64_t total = 0;
+
+  const uint32_t shards = std::max<uint32_t>(1, options.snapshot_shards);
+  // meta.bin
+  {
+    std::string body(kMetaMagic);
+    PutU64(&body, snap.epoch);
+    PutU32(&body, shards);
+    PutU64(&body, snap.store.next_event_id);
+    PutU64(&body, snap.store.evicted_through);
+    PutU64(&body, snap.store.raw_entities_consumed);
+    PutU64(&body, snap.store.reduction_input_events);
+    PutU64(&body, snap.store.entities.size());
+    PutU64(&body, snap.store.events.size());
+    PutU64(&body, snap.store.carry.size());
+    for (const audit::SystemEvent& ev : snap.store.carry) {
+      EncodeEvent(ev, &body);
+    }
+    PutU64(&body, snap.epoch_marks.size());
+    for (const auto& [epoch, event_id] : snap.epoch_marks) {
+      PutU64(&body, epoch);
+      PutU64(&body, event_id);
+    }
+    PutU64(&body, snap.standing.size());
+    for (const StandingSeen& s : snap.standing) {
+      PutString(&body, s.key);
+      PutU64(&body, s.total_rows);
+      PutU64(&body, s.rows.size());
+      for (const std::vector<sql::Value>& row : s.rows) {
+        PutU32(&body, static_cast<uint32_t>(row.size()));
+        for (const sql::Value& v : row) EncodeValue(v, &body);
+      }
+    }
+    PutU64(&body, snap.stream_offsets.size());
+    for (const auto& [stream, offset] : snap.stream_offsets) {
+      PutString(&body, stream);
+      PutU64(&body, offset);
+    }
+    total += body.size() + 4;
+    RAPTOR_RETURN_NOT_OK(WriteFileChecked(dir + "/meta.bin", std::move(body),
+                                          options));
+  }
+
+  // entities.bin
+  {
+    std::string body(kEntitiesMagic);
+    PutU64(&body, snap.store.entities.size());
+    for (const audit::SystemEntity& e : snap.store.entities) {
+      EncodeEntity(e, &body);
+    }
+    total += body.size() + 4;
+    RAPTOR_RETURN_NOT_OK(
+        WriteFileChecked(dir + "/entities.bin", std::move(body), options));
+  }
+
+  // events-<k>.bin: N contiguous id ranges so restore concatenates shards
+  // back into one id-sorted vector.
+  const size_t n = snap.store.events.size();
+  const size_t per_shard = (n + shards - 1) / shards;
+  for (uint32_t k = 0; k < shards; ++k) {
+    const size_t begin = std::min(n, k * per_shard);
+    const size_t end = std::min(n, begin + per_shard);
+    std::string body(kEventsMagic);
+    PutU32(&body, k);
+    PutU64(&body, end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      EncodeEvent(snap.store.events[i], &body);
+    }
+    total += body.size() + 4;
+    RAPTOR_RETURN_NOT_OK(
+        WriteFileChecked(dir + "/" + EventShardName(k), std::move(body),
+                         options));
+  }
+
+  if (bytes_written != nullptr) *bytes_written = total;
+  return Status::OK();
+}
+
+Result<SystemSnapshot> ReadSnapshot(const std::string& dir) {
+  SystemSnapshot snap;
+  uint32_t shards = 0;
+  uint64_t n_entities = 0, n_events = 0;
+  {
+    RAPTOR_ASSIGN_OR_RETURN(std::string body,
+                            ReadFileChecked(dir + "/meta.bin", kMetaMagic));
+    ByteReader in(body);
+    in.ReadU64(&snap.epoch);
+    in.ReadU32(&shards);
+    in.ReadU64(&snap.store.next_event_id);
+    uint64_t evicted = 0;
+    in.ReadU64(&evicted);
+    snap.store.evicted_through = evicted;
+    in.ReadU64(&snap.store.raw_entities_consumed);
+    in.ReadU64(&snap.store.reduction_input_events);
+    in.ReadU64(&n_entities);
+    in.ReadU64(&n_events);
+    uint64_t n_carry = 0;
+    in.ReadU64(&n_carry);
+    for (uint64_t i = 0; i < n_carry && !in.failed(); ++i) {
+      audit::SystemEvent ev;
+      if (!DecodeEvent(&in, &ev)) {
+        return Status::ParseError("snapshot meta: bad carry event");
+      }
+      snap.store.carry.push_back(std::move(ev));
+    }
+    uint64_t n_marks = 0;
+    in.ReadU64(&n_marks);
+    for (uint64_t i = 0; i < n_marks && !in.failed(); ++i) {
+      uint64_t epoch = 0, event_id = 0;
+      in.ReadU64(&epoch);
+      in.ReadU64(&event_id);
+      snap.epoch_marks.emplace_back(epoch, event_id);
+    }
+    uint64_t n_standing = 0;
+    in.ReadU64(&n_standing);
+    for (uint64_t i = 0; i < n_standing && !in.failed(); ++i) {
+      StandingSeen s;
+      in.ReadString(&s.key);
+      in.ReadU64(&s.total_rows);
+      uint64_t n_rows = 0;
+      in.ReadU64(&n_rows);
+      for (uint64_t r = 0; r < n_rows && !in.failed(); ++r) {
+        uint32_t width = 0;
+        in.ReadU32(&width);
+        std::vector<sql::Value> row;
+        row.reserve(width);
+        for (uint32_t c = 0; c < width; ++c) {
+          sql::Value v;
+          if (!DecodeValue(&in, &v)) {
+            return Status::ParseError("snapshot meta: bad standing row");
+          }
+          row.push_back(std::move(v));
+        }
+        s.rows.push_back(std::move(row));
+      }
+      snap.standing.push_back(std::move(s));
+    }
+    uint64_t n_streams = 0;
+    in.ReadU64(&n_streams);
+    for (uint64_t i = 0; i < n_streams && !in.failed(); ++i) {
+      std::string stream;
+      uint64_t offset = 0;
+      in.ReadString(&stream);
+      in.ReadU64(&offset);
+      snap.stream_offsets.emplace_back(std::move(stream), offset);
+    }
+    if (in.failed() || in.remaining() != 0) {
+      return Status::ParseError("snapshot meta: malformed: " + dir);
+    }
+  }
+
+  {
+    RAPTOR_ASSIGN_OR_RETURN(
+        std::string body,
+        ReadFileChecked(dir + "/entities.bin", kEntitiesMagic));
+    ByteReader in(body);
+    uint64_t count = 0;
+    in.ReadU64(&count);
+    if (count != n_entities) {
+      return Status::ParseError("snapshot entities: count mismatch");
+    }
+    snap.store.entities.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      audit::SystemEntity e;
+      if (!DecodeEntity(&in, &e)) {
+        return Status::ParseError("snapshot entities: bad record");
+      }
+      snap.store.entities.push_back(std::move(e));
+    }
+    if (in.remaining() != 0) {
+      return Status::ParseError("snapshot entities: trailing bytes");
+    }
+  }
+
+  snap.store.events.reserve(n_events);
+  for (uint32_t k = 0; k < shards; ++k) {
+    RAPTOR_ASSIGN_OR_RETURN(
+        std::string body,
+        ReadFileChecked(dir + "/" + EventShardName(k), kEventsMagic));
+    ByteReader in(body);
+    uint32_t shard = 0;
+    uint64_t count = 0;
+    in.ReadU32(&shard);
+    in.ReadU64(&count);
+    if (in.failed() || shard != k) {
+      return Status::ParseError("snapshot events: shard id mismatch");
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+      audit::SystemEvent ev;
+      if (!DecodeEvent(&in, &ev)) {
+        return Status::ParseError("snapshot events: bad record");
+      }
+      snap.store.events.push_back(std::move(ev));
+    }
+    if (in.remaining() != 0) {
+      return Status::ParseError("snapshot events: trailing bytes");
+    }
+  }
+  if (snap.store.events.size() != n_events) {
+    return Status::ParseError("snapshot events: count mismatch");
+  }
+  return snap;
+}
+
+}  // namespace raptor::persist

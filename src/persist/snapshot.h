@@ -1,0 +1,66 @@
+// Binary sharded snapshot of the full system state: the store's logical
+// state (entity table, visible events, reduction carry-over window, id
+// counters), the service's standing-hunt seen-sets, the per-epoch event-id
+// watermarks retention needs, and the byte offsets of tailed streams —
+// everything required so that restart = load snapshot + replay WAL tail.
+//
+// Directory layout (one directory per snapshot, `snap-<seq>/`):
+//   meta.bin       counters, epoch marks, carry window, standing seen-sets,
+//                  stream offsets
+//   entities.bin   the full entity table, id-ordered
+//   events-<k>.bin event shard k of N: visible events split into N
+//                  contiguous id ranges (ranges, not hashes: each shard
+//                  stays id-sorted so restore concatenates, never merges)
+//
+// Every file is CRC-32-trailed; ReadSnapshot verifies before returning.
+// Writes go to a temporary directory that the Checkpointer renames into
+// place, so a crash mid-snapshot never corrupts the previous one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "persist/durability.h"
+#include "storage/relational/value.h"
+#include "storage/store.h"
+
+namespace raptor::persist {
+
+/// A standing hunt's delivered-row memory, keyed by the subscription's
+/// identity (dialect + tenant + query text). Restored seen-sets re-arm a
+/// resubmitted standing hunt so its post-restart baseline refresh delivers
+/// only genuinely-new rows and its accumulated totals continue.
+struct StandingSeen {
+  std::string key;
+  uint64_t total_rows = 0;
+  std::vector<std::vector<sql::Value>> rows;
+};
+
+/// Everything a checkpoint persists.
+struct SystemSnapshot {
+  /// Store epoch the snapshot reflects; restart resumes counting from it.
+  uint64_t epoch = 0;
+  storage::StoreSnapshotState store;
+  /// (epoch, last event id visible at that epoch) pairs, newest last —
+  /// how the retention policy translates an epoch horizon into an event-id
+  /// eviction watermark. Only tracked when retention is on.
+  std::vector<std::pair<uint64_t, uint64_t>> epoch_marks;
+  std::vector<StandingSeen> standing;
+  /// (stream name, bytes consumed) for every tailed source that reported
+  /// through the WAL; a restarted tail resumes at its offset.
+  std::vector<std::pair<std::string, uint64_t>> stream_offsets;
+};
+
+/// Write `snap` as a snapshot directory at `dir` (created; must not
+/// exist). `bytes_written` (optional) reports the total payload size.
+Status WriteSnapshot(const std::string& dir, const SystemSnapshot& snap,
+                     const DurabilityOptions& options,
+                     uint64_t* bytes_written);
+
+/// Load and verify a snapshot directory.
+Result<SystemSnapshot> ReadSnapshot(const std::string& dir);
+
+}  // namespace raptor::persist

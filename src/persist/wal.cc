@@ -1,0 +1,182 @@
+#include "persist/wal.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/strings.h"
+#include "persist/codec.h"
+
+namespace raptor::persist {
+
+namespace {
+
+constexpr std::string_view kSegmentMagic = "RWALSEG2";
+constexpr size_t kHeaderBytes = 8 + 8;  // magic + seq
+constexpr size_t kFrameBytes = 4 + 4;   // body length + crc
+
+std::string EncodeBody(const WalRecord& record) {
+  std::string body;
+  body.reserve(1 + 4 + record.stream.size() + 8 + 4 + record.payload.size());
+  PutU8(&body, static_cast<uint8_t>(record.type));
+  PutString(&body, record.stream);
+  PutU64(&body, record.stream_offset);
+  PutString(&body, record.payload);
+  return body;
+}
+
+bool DecodeBody(std::string_view body, WalRecord* record) {
+  ByteReader in(body);
+  uint8_t type = 0;
+  in.ReadU8(&type);
+  in.ReadString(&record->stream);
+  in.ReadU64(&record->stream_offset);
+  in.ReadString(&record->payload);
+  if (in.failed() || in.remaining() != 0 || type < 1 || type > 3) {
+    return false;
+  }
+  record->type = static_cast<WalRecordType>(type);
+  return true;
+}
+
+}  // namespace
+
+std::string WalSegmentName(uint64_t seq) {
+  return StrFormat("wal-%010llu.seg", static_cast<unsigned long long>(seq));
+}
+
+WalWriter::WalWriter(std::string dir, DurabilityOptions options)
+    : dir_(std::move(dir)), options_(options) {}
+
+WalWriter::~WalWriter() { Close(); }
+
+void WalWriter::Close() {
+  if (file_ == nullptr) return;
+  std::fflush(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+Status WalWriter::SyncIfConfigured() {
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("WAL flush failed: " + WalSegmentName(seq_));
+  }
+  if (options_.fsync == FsyncMode::kAlways && fsync(fileno(file_)) != 0) {
+    return Status::Internal("WAL fsync failed: " + WalSegmentName(seq_));
+  }
+  return Status::OK();
+}
+
+Status WalWriter::StartSegment(uint64_t seq) {
+  Close();
+  const std::string path = dir_ + "/" + WalSegmentName(seq);
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::Internal("cannot create WAL segment: " + path);
+  }
+  std::string header(kSegmentMagic);
+  PutU64(&header, seq);
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size()) {
+    return Status::Internal("cannot write WAL segment header: " + path);
+  }
+  RAPTOR_RETURN_NOT_OK(SyncIfConfigured());
+  seq_ = seq;
+  active_bytes_ = header.size();
+  ++segments_created_;
+  return Status::OK();
+}
+
+Status WalWriter::OpenExisting(uint64_t seq, uint64_t valid_bytes) {
+  Close();
+  const std::string path = dir_ + "/" + WalSegmentName(seq);
+  std::error_code ec;
+  // Drop a torn tail record before appending over it.
+  std::filesystem::resize_file(path, valid_bytes, ec);
+  if (ec) {
+    return Status::Internal("cannot truncate WAL segment: " + path);
+  }
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::Internal("cannot open WAL segment: " + path);
+  }
+  seq_ = seq;
+  active_bytes_ = valid_bytes;
+  return Status::OK();
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  if (file_ == nullptr) {
+    return Status::Internal("WAL writer has no active segment");
+  }
+  if (active_bytes_ > options_.segment_max_bytes) {
+    RAPTOR_RETURN_NOT_OK(StartSegment(seq_ + 1));
+  }
+  const std::string body = EncodeBody(record);
+  std::string frame;
+  frame.reserve(kFrameBytes + body.size());
+  PutU32(&frame, static_cast<uint32_t>(body.size()));
+  PutU32(&frame, Crc32(body));
+  frame += body;
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return Status::Internal("WAL append failed: " + WalSegmentName(seq_));
+  }
+  RAPTOR_RETURN_NOT_OK(SyncIfConfigured());
+  active_bytes_ += frame.size();
+  ++records_appended_;
+  bytes_appended_ += frame.size();
+  return Status::OK();
+}
+
+Status ReadWalSegment(const std::string& path, uint64_t expect_seq,
+                      std::vector<WalRecord>* records, uint64_t* valid_bytes,
+                      bool* truncated) {
+  if (truncated != nullptr) *truncated = false;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open WAL segment: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string data = ss.str();
+
+  if (data.size() < kHeaderBytes ||
+      std::string_view(data).substr(0, kSegmentMagic.size()) !=
+          kSegmentMagic) {
+    return Status::ParseError("bad WAL segment header: " + path);
+  }
+  ByteReader header(std::string_view(data).substr(kSegmentMagic.size(), 8));
+  uint64_t seq = 0;
+  header.ReadU64(&seq);
+  if (seq != expect_seq) {
+    return Status::ParseError(
+        StrFormat("WAL segment %s claims seq %llu, expected %llu",
+                  path.c_str(), static_cast<unsigned long long>(seq),
+                  static_cast<unsigned long long>(expect_seq)));
+  }
+
+  size_t pos = kHeaderBytes;
+  while (pos < data.size()) {
+    // A frame that does not fit or fails its checksum is a torn tail:
+    // the crash happened mid-append, everything before it is intact.
+    if (data.size() - pos < kFrameBytes) break;
+    ByteReader frame(std::string_view(data).substr(pos, kFrameBytes));
+    uint32_t len = 0, crc = 0;
+    frame.ReadU32(&len);
+    frame.ReadU32(&crc);
+    if (data.size() - pos - kFrameBytes < len) break;
+    std::string_view body(data.data() + pos + kFrameBytes, len);
+    if (Crc32(body) != crc) break;
+    WalRecord record;
+    if (!DecodeBody(body, &record)) {
+      return Status::ParseError("corrupt WAL record body: " + path);
+    }
+    records->push_back(std::move(record));
+    pos += kFrameBytes + len;
+  }
+  if (valid_bytes != nullptr) *valid_bytes = pos;
+  if (truncated != nullptr) *truncated = pos < data.size();
+  return Status::OK();
+}
+
+}  // namespace raptor::persist

@@ -1,0 +1,102 @@
+// Write-ahead segment log. Every mutation that passes through the hunt
+// service's write gate is serialized here BEFORE it applies to the store,
+// so a crash between "logged" and "applied" replays the record on restart
+// and a crash before "logged" loses nothing that was acknowledged.
+//
+// On-disk layout (per segment file `wal-<seq>.seg`):
+//   header:  "RWALSEG2" magic + u64 segment sequence number
+//   records: u32 body length | u32 crc32(body) | body
+//   body:    u8 type | string stream | u64 stream_offset | string payload
+//
+// Segments rotate when the active one exceeds DurabilityOptions::
+// segment_max_bytes, and on every checkpoint (the snapshot makes all
+// earlier segments dead, so the checkpointer starts a fresh one and
+// deletes the rest). Sequence numbers are monotonic across both causes.
+//
+// Readers tolerate a torn tail — a partially written final record (crash
+// mid-append) parses as "end of segment", not corruption; the writer
+// truncates it before appending again.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "persist/durability.h"
+
+namespace raptor::persist {
+
+enum class WalRecordType : uint8_t {
+  kSyscallBatch = 1,  // audit/jsonl.h-encoded raw syscall records
+  kParsedBatch = 2,   // codec.h-encoded ParsedLog
+  kFlush = 3,         // carry-over window flush (no payload)
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kSyscallBatch;
+  /// Source stream this batch came from (e.g. the tailed JSONL path);
+  /// empty for direct API ingests.
+  std::string stream;
+  /// Byte offset of the stream AFTER this batch — restored on Open so a
+  /// tail source resumes where the persisted state ends.
+  uint64_t stream_offset = 0;
+  std::string payload;
+};
+
+/// Segment file name for a sequence number (`wal-0000000001.seg`).
+std::string WalSegmentName(uint64_t seq);
+
+/// Appender over the active segment. Not thread-safe: the hunt service's
+/// write gate already serializes mutations, which is exactly the WAL
+/// append order.
+class WalWriter {
+ public:
+  WalWriter(std::string dir, DurabilityOptions options);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Create a fresh segment `seq` and make it active (checkpoint path, or
+  /// first open of an empty directory).
+  Status StartSegment(uint64_t seq);
+
+  /// Re-open an existing segment for appending, truncating it to
+  /// `valid_bytes` first (drops a torn tail record).
+  Status OpenExisting(uint64_t seq, uint64_t valid_bytes);
+
+  /// Frame, checksum and append one record; rotates to a new segment
+  /// first if the active one is over the size cap.
+  Status Append(const WalRecord& record);
+
+  uint64_t active_seq() const { return seq_; }
+  uint64_t records_appended() const { return records_appended_; }
+  uint64_t bytes_appended() const { return bytes_appended_; }
+  uint64_t segments_created() const { return segments_created_; }
+
+ private:
+  void Close();
+  Status SyncIfConfigured();
+
+  std::string dir_;
+  DurabilityOptions options_;
+  std::FILE* file_ = nullptr;
+  uint64_t seq_ = 0;
+  uint64_t active_bytes_ = 0;  // written to the active segment
+  uint64_t records_appended_ = 0;
+  uint64_t bytes_appended_ = 0;
+  uint64_t segments_created_ = 0;
+};
+
+/// Read every intact record of a segment. A torn tail (truncated frame or
+/// checksum mismatch on the final record) stops the read cleanly:
+/// `truncated` is set and `valid_bytes` reports the byte length of the
+/// intact prefix (header + whole records). A bad header or a checksum
+/// failure before the tail is a real error.
+Status ReadWalSegment(const std::string& path, uint64_t expect_seq,
+                      std::vector<WalRecord>* records, uint64_t* valid_bytes,
+                      bool* truncated);
+
+}  // namespace raptor::persist

@@ -163,6 +163,7 @@ HuntService::HuntService(const storage::AuditStore* store,
                          HuntServiceOptions options)
     : store_(store), options_(options) {
   if (options_.max_concurrent == 0) options_.max_concurrent = 1;
+  epoch_ = options_.initial_epoch;
 }
 
 HuntService::~HuntService() {
@@ -238,22 +239,53 @@ Result<HuntResponse> HuntService::Run(HuntRequest request) {
   return ticket.TakeResponse();
 }
 
+Status HuntService::AcquireGate() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++ingests_waiting_;
+  // Writer preference: a waiting ingest (ingests_waiting_ > 0) holds off
+  // new admissions, so running hunts drain instead of being replaced.
+  // Queued hunts stay queued — nothing is refused.
+  ingest_cv_.wait(lock, [&] {
+    return stop_ || (running_.empty() && !ingest_active_);
+  });
+  --ingests_waiting_;
+  if (stop_) {
+    return Status::Cancelled("hunt service shut down");
+  }
+  ingest_active_ = true;
+  return Status::OK();
+}
+
+void HuntService::ReleaseGate() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ingest_active_ = false;
+  }
+  cv_.notify_all();         // resume admissions
+  ingest_cv_.notify_all();  // next writer in line
+}
+
 Result<uint64_t> HuntService::Ingest(
     const std::function<Status(IngestReport*)>& mutate) {
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    ++ingests_waiting_;
-    // Writer preference: a waiting ingest (ingests_waiting_ > 0) holds off
-    // new admissions, so running hunts drain instead of being replaced.
-    // Queued hunts stay queued — nothing is refused.
-    ingest_cv_.wait(lock, [&] {
-      return stop_ || (running_.empty() && !ingest_active_);
-    });
-    --ingests_waiting_;
-    if (stop_) {
-      return Status::Cancelled("hunt service shut down");
+  return Ingest(mutate, /*wal_record=*/nullptr);
+}
+
+Result<uint64_t> HuntService::Ingest(
+    const std::function<Status(IngestReport*)>& mutate,
+    const persist::WalRecord* wal_record) {
+  RAPTOR_RETURN_NOT_OK(AcquireGate());
+  // Write-ahead: the record reaches the log before the mutation touches
+  // the store, under the same exclusion as the mutation itself (the gate
+  // serializes writers, so append order == apply order). If the append
+  // fails, the mutation never runs and the epoch does not advance.
+  bool logged = false;
+  if (wal_record != nullptr && wal_ != nullptr) {
+    Status appended = wal_->Append(*wal_record);
+    if (!appended.ok()) {
+      ReleaseGate();
+      return appended;
     }
-    ingest_active_ = true;
+    logged = true;
   }
   // The mutation runs on the calling thread with exclusive store access:
   // no hunt is running, none admits until ingest_active_ clears, and
@@ -277,6 +309,7 @@ Result<uint64_t> HuntService::Ingest(
     if (mutated.ok()) {
       new_epoch = ++epoch_;
       ++stats_.ingests;
+      if (logged) ++stats_.wal_records;
       dirty_.push_back({new_epoch, std::move(report.touched_entities)});
       while (dirty_.size() > options_.max_dirty_epochs) dirty_.pop_front();
       // Wake every live standing hunt; prune unsubscribed ones.
@@ -297,6 +330,67 @@ Result<uint64_t> HuntService::Ingest(
   return new_epoch;
 }
 
+Status HuntService::Exclusive(const std::function<Status()>& fn) {
+  RAPTOR_RETURN_NOT_OK(AcquireGate());
+  Status result = fn();
+  ReleaseGate();
+  return result;
+}
+
+void HuntService::AttachWal(persist::WalWriter* wal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wal_ = wal;
+}
+
+std::string HuntService::StandingKey(const HuntRequest& request) {
+  // Unit separators keep distinct (dialect, tenant, text) triples distinct
+  // even when a tenant name embeds query-ish characters.
+  std::string key;
+  key.reserve(request.tenant.size() + request.text.size() + 4);
+  key.push_back(static_cast<char>('0' + static_cast<int>(request.dialect)));
+  key.push_back('\x1f');
+  key += request.tenant;
+  key.push_back('\x1f');
+  key += request.text;
+  return key;
+}
+
+std::vector<persist::StandingSeen> HuntService::ExportStandingSeen() const {
+  std::vector<persist::StandingSeen> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const StandingPtr& sub : standing_) {
+    if (sub->cancelled.load(std::memory_order_relaxed)) continue;
+    persist::StandingSeen seen;
+    seen.key = StandingKey(sub->request);
+    // The caller holds the write gate, so no refresh is running and the
+    // refresh-only seen-set is safe to read.
+    seen.rows.assign(sub->seen.begin(), sub->seen.end());
+    std::sort(seen.rows.begin(), seen.rows.end(),
+              [](const std::vector<sql::Value>& a,
+                 const std::vector<sql::Value>& b) {
+                return std::lexicographical_compare(
+                    a.begin(), a.end(), b.begin(), b.end(),
+                    [](const sql::Value& x, const sql::Value& y) {
+                      return x.Compare(y) < 0;
+                    });
+              });
+    {
+      std::lock_guard<std::mutex> sub_lock(sub->mu);
+      seen.total_rows = sub->total_rows;
+    }
+    out.push_back(std::move(seen));
+  }
+  return out;
+}
+
+void HuntService::SeedStanding(std::vector<persist::StandingSeen> seeds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (persist::StandingSeen& seed : seeds) {
+    std::string key = seed.key;
+    standing_seeds_[std::move(key)] = std::move(seed);
+  }
+}
+
 uint64_t HuntService::epoch() const {
   std::lock_guard<std::mutex> lock(mu_);
   return epoch_;
@@ -312,6 +406,17 @@ StandingHandle HuntService::SubmitStanding(HuntRequest request,
   {
     std::lock_guard<std::mutex> lock(mu_);
     sub->id = next_standing_id_++;
+    // A restored seen-set re-arms this subscription: the baseline refresh
+    // against the recovered store delivers only rows the pre-restart run
+    // never saw, and the accumulated total carries over.
+    auto seed = standing_seeds_.find(StandingKey(sub->request));
+    if (seed != standing_seeds_.end()) {
+      for (std::vector<sql::Value>& row : seed->second.rows) {
+        sub->seen.insert(std::move(row));
+      }
+      sub->total_rows = seed->second.total_rows;
+      standing_seeds_.erase(seed);
+    }
     if (stop_) {
       sub->cancelled.store(true, std::memory_order_relaxed);
       sub->detached = true;

@@ -66,6 +66,9 @@
 
 #include "common/status.h"
 #include "engine/executor.h"
+#include "persist/durability.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
 #include "storage/row_block.h"
 #include "storage/store.h"
 
@@ -266,6 +269,15 @@ struct HuntServiceOptions {
   /// Per-epoch dirty-entity sets retained for incremental standing hunts;
   /// a subscriber further behind than this falls back to a full re-scan.
   size_t max_dirty_epochs = 64;
+  /// Epoch counter start value. A restored service resumes at its
+  /// snapshot's epoch so standing-hunt watermarks and checkpoint intervals
+  /// keep their meaning across restarts.
+  uint64_t initial_epoch = 0;
+  /// Persistence configuration. The service is the write gate, so it is
+  /// also where durability lives; the ThreatRaptor facade reads this to
+  /// open a persist::Checkpointer and attach its WAL. An empty data_dir
+  /// (the default) keeps the pre-durability in-memory behavior.
+  persist::DurabilityOptions durability;
 };
 
 class HuntService {
@@ -300,6 +312,41 @@ class HuntService {
   /// cleanup.
   Result<uint64_t> Ingest(const std::function<Status(IngestReport*)>& mutate);
 
+  /// Write-ahead variant: `wal_record` is appended to the attached WAL
+  /// under the gate BEFORE `mutate` runs, so an acknowledged mutation is
+  /// always recoverable. A failed append fails the ingest without running
+  /// the mutation (and without bumping the epoch); null `wal_record` (or
+  /// no attached WAL) degrades to the plain overload.
+  Result<uint64_t> Ingest(const std::function<Status(IngestReport*)>& mutate,
+                          const persist::WalRecord* wal_record);
+
+  /// Run `fn` with the same exclusivity as a mutation — admissions held
+  /// off, running hunts drained — but WITHOUT the epoch side effects: no
+  /// epoch bump, no dirty set, no standing refreshes. This is the
+  /// checkpoint/retention path: it must observe (and may rebuild) the
+  /// store while nothing reads it, yet must not wake subscribers over a
+  /// store whose visible contents did not change.
+  Status Exclusive(const std::function<Status()>& fn);
+
+  /// Attach (or detach, with nullptr) the write-ahead log appends go to.
+  /// The writer is owned by the caller and must outlive the attachment.
+  void AttachWal(persist::WalWriter* wal);
+
+  /// Export every live standing hunt's delivered-row memory for a
+  /// snapshot, keyed by subscription identity, rows sorted for
+  /// deterministic bytes. Call under Exclusive() or the write gate.
+  std::vector<persist::StandingSeen> ExportStandingSeen() const;
+
+  /// Pre-arm standing subscriptions about to be resubmitted after a
+  /// restore: when SubmitStanding sees a request whose identity matches a
+  /// seed, the subscription starts with the seed's seen-set and
+  /// accumulated total instead of empty — its baseline refresh then
+  /// delivers only rows the pre-restart run never saw.
+  void SeedStanding(std::vector<persist::StandingSeen> seeds);
+
+  /// Subscription identity used by ExportStandingSeen/SeedStanding.
+  static std::string StandingKey(const HuntRequest& request);
+
   /// Store epochs applied so far (one per successful Ingest).
   uint64_t epoch() const;
 
@@ -326,6 +373,7 @@ class HuntService {
     size_t rejected = 0;    // admission-queue overflow
     size_t tenants = 0;     // distinct tenants seen
     size_t ingests = 0;     // successful epoch-gated mutations
+    size_t wal_records = 0; // mutations logged write-ahead
     size_t standing_refreshes = 0;    // standing executions completed
     size_t standing_incremental = 0;  // ... that used dirty-seeded part 0
     size_t standing_alerts = 0;       // ... that delivered a non-empty delta
@@ -368,6 +416,11 @@ class HuntService {
                             double max_fraction,
                             std::unordered_set<graphdb::NodeId>* out) const;
   void Finish(const StatePtr& state, Status status, HuntResponse response);
+  /// Acquire/release exclusive store access (writer-preferring: waiting
+  /// here holds off new admissions until running hunts drain). Shared by
+  /// Ingest and Exclusive.
+  Status AcquireGate();
+  void ReleaseGate();
 
   const storage::AuditStore* store_;
   HuntServiceOptions options_;
@@ -398,6 +451,12 @@ class HuntService {
   // --- standing hunts (guarded by mu_) ---
   std::vector<StandingPtr> standing_;
   uint64_t next_standing_id_ = 1;
+  /// Restored seen-sets waiting for their subscription to be resubmitted,
+  /// keyed by StandingKey. Guarded by mu_.
+  std::map<std::string, persist::StandingSeen> standing_seeds_;
+
+  // --- durability (append serialized by the write gate) ---
+  persist::WalWriter* wal_ = nullptr;
 };
 
 }  // namespace raptor::service

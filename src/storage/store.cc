@@ -107,17 +107,22 @@ Status AuditStore::Flush(AppendStats* stats) {
   return StoreEvents(std::move(tail), stats);
 }
 
-/// Renumber (ids stay dense positions into events()) and append to both
-/// backends, keeping the reduction ratio's output side in sync.
+/// Renumber (ids are assigned in storage order, densely, and are never
+/// reused — retention evicts an id-prefix, so EventById stays O(1)) and
+/// append to both backends, keeping the reduction ratio's output side in
+/// sync.
 Status AuditStore::StoreEvents(std::vector<SystemEvent> events,
                                AppendStats* stats) {
   for (SystemEvent& ev : events) {
-    ev.id = static_cast<audit::EventId>(events_.size()) + 1;
+    ev.id = static_cast<audit::EventId>(next_event_id_++);
     RAPTOR_RETURN_NOT_OK(AppendEvent(ev, stats));
   }
   // Withheld events count as reduction output: they are already reduced,
-  // just not yet visible (Flush moves them without re-reducing).
-  reduction_stats_.output_events = events_.size() + carry_.size();
+  // just not yet visible (Flush moves them without re-reducing). Evicted
+  // events stay counted (next_event_id_ is monotonic), so retention does
+  // not skew the ratio over the surviving window.
+  reduction_stats_.output_events =
+      static_cast<size_t>(next_event_id_ - 1) + carry_.size();
   return Status::OK();
 }
 
@@ -177,6 +182,12 @@ Status AuditStore::AppendEntity(const SystemEntity& e, AppendStats* stats) {
     ++stats->appended_entities;
     stats->touched_entities.push_back(e.id);
   }
+  RAPTOR_RETURN_NOT_OK(InsertEntityRows(e));
+  entities_.push_back(e);
+  return Status::OK();
+}
+
+Status AuditStore::InsertEntityRows(const SystemEntity& e) {
   Row row;
   row.reserve(14);
   row.emplace_back(static_cast<int64_t>(e.id));
@@ -219,14 +230,12 @@ Status AuditStore::AppendEntity(const SystemEntity& e, AppendStats* stats) {
   graphdb::NodeId node =
       graph_.graph().AddNode(audit::EntityTypeName(e.type), std::move(props));
   entity_to_node_.emplace(e.id, node);
-  entities_.push_back(e);
   return Status::OK();
 }
 
 Status AuditStore::AppendEvent(const SystemEvent& ev, AppendStats* stats) {
-  auto sit = entity_to_node_.find(ev.subject);
-  auto oit = entity_to_node_.find(ev.object);
-  if (sit == entity_to_node_.end() || oit == entity_to_node_.end()) {
+  if (entity_to_node_.find(ev.subject) == entity_to_node_.end() ||
+      entity_to_node_.find(ev.object) == entity_to_node_.end()) {
     return Status::InvalidArgument(
         "event references an entity absent from the store");
   }
@@ -234,6 +243,18 @@ Status AuditStore::AppendEvent(const SystemEvent& ev, AppendStats* stats) {
     ++stats->appended_events;
     stats->touched_entities.push_back(ev.subject);
     stats->touched_entities.push_back(ev.object);
+  }
+  RAPTOR_RETURN_NOT_OK(InsertEventRows(ev));
+  events_.push_back(ev);
+  return Status::OK();
+}
+
+Status AuditStore::InsertEventRows(const SystemEvent& ev) {
+  auto sit = entity_to_node_.find(ev.subject);
+  auto oit = entity_to_node_.find(ev.object);
+  if (sit == entity_to_node_.end() || oit == entity_to_node_.end()) {
+    return Status::InvalidArgument(
+        "event references an entity absent from the store");
   }
   Row row;
   row.reserve(9);
@@ -258,13 +279,84 @@ Status AuditStore::AppendEvent(const SystemEvent& ev, AppendStats* stats) {
   props.emplace("amount", Value(static_cast<int64_t>(ev.amount)));
   graph_.graph().AddEdge(sit->second, oit->second, audit::EventOpName(ev.op),
                          std::move(props));
-  events_.push_back(ev);
   return Status::OK();
 }
 
 graphdb::NodeId AuditStore::NodeForEntity(audit::EntityId id) const {
   auto it = entity_to_node_.find(id);
   return it == entity_to_node_.end() ? graphdb::kInvalidNode : it->second;
+}
+
+StoreSnapshotState AuditStore::ExportSnapshotState() const {
+  StoreSnapshotState state;
+  state.entities = entities_;
+  state.events = events_;
+  state.carry = carry_;
+  state.next_event_id = next_event_id_;
+  state.evicted_through = evicted_through_;
+  state.raw_entities_consumed = raw_entities_consumed_;
+  state.reduction_input_events = reduction_stats_.input_events;
+  return state;
+}
+
+Status AuditStore::RestoreFrom(StoreSnapshotState state) {
+  if (loaded_ || schema_ready_ || !entities_.empty()) {
+    return Status::InvalidArgument(
+        "AuditStore::RestoreFrom requires a fresh store");
+  }
+  if (state.events.size() + state.evicted_through !=
+      state.next_event_id - 1) {
+    return Status::InvalidArgument(
+        "snapshot state event ids are not a dense range");
+  }
+  entities_ = std::move(state.entities);
+  events_ = std::move(state.events);
+  carry_ = std::move(state.carry);
+  next_event_id_ = state.next_event_id;
+  evicted_through_ = state.evicted_through;
+  raw_entities_consumed_ = state.raw_entities_consumed;
+  reduction_stats_.input_events =
+      static_cast<size_t>(state.reduction_input_events);
+  reduction_stats_.output_events =
+      static_cast<size_t>(next_event_id_ - 1) + carry_.size();
+  loaded_ = true;
+  return RebuildBackends();
+}
+
+Result<size_t> AuditStore::EvictEventsThrough(audit::EventId watermark) {
+  if (watermark <= evicted_through_) return size_t{0};
+  if (watermark > next_event_id_ - 1) {
+    return Status::InvalidArgument(
+        "retention watermark beyond the newest stored event");
+  }
+  const size_t drop = static_cast<size_t>(watermark - evicted_through_);
+  events_.erase(events_.begin(), events_.begin() + drop);
+  evicted_through_ = watermark;
+  RAPTOR_RETURN_NOT_OK(RebuildBackends());
+  return drop;
+}
+
+Status AuditStore::RebuildBackends() {
+  // Keep the configured query options across the teardown; everything
+  // else (tables, indexes, graph, node ids) is reproduced by re-running
+  // the inserts in id order.
+  sql::SelectOptions relational_opts = relational_.options();
+  graphdb::MatchOptions graph_opts = graph_.options();
+  relational_ = sql::Database();
+  graph_ = graphdb::GraphDatabase();
+  relational_.options() = relational_opts;
+  graph_.options() = graph_opts;
+  entity_to_node_.clear();
+  schema_ready_ = false;
+  RAPTOR_RETURN_NOT_OK(InitSchemas());
+  schema_ready_ = true;
+  for (const SystemEntity& e : entities_) {
+    RAPTOR_RETURN_NOT_OK(InsertEntityRows(e));
+  }
+  for (const SystemEvent& ev : events_) {
+    RAPTOR_RETURN_NOT_OK(InsertEventRows(ev));
+  }
+  return Status::OK();
 }
 
 }  // namespace raptor::storage

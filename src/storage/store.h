@@ -43,6 +43,25 @@ struct AppendStats {
   std::vector<audit::EntityId> touched_entities;
 };
 
+/// The store's complete logical state, detached from both backends: what a
+/// persist::Checkpointer snapshot carries and what RestoreFrom() rebuilds
+/// the backends from. Everything here is append-ordered (entities by id,
+/// events by id), which is what makes a rebuild reproduce node/edge ids —
+/// and therefore query results — byte-identically.
+struct StoreSnapshotState {
+  std::vector<audit::SystemEntity> entities;
+  /// Visible (stored) events, id-ordered. Under retention these are the
+  /// surviving suffix: ids `evicted_through + 1 .. next_event_id - 1`.
+  std::vector<audit::SystemEvent> events;
+  /// Carry-over window: reduced events withheld at a batch boundary.
+  std::vector<audit::SystemEvent> carry;
+  uint64_t next_event_id = 1;
+  audit::EventId evicted_through = 0;  // ids <= this were aged out
+  uint64_t raw_entities_consumed = 0;
+  /// Reduction input counter (output is derivable from the id space).
+  uint64_t reduction_input_events = 0;
+};
+
 class AuditStore {
  public:
   explicit AuditStore(StoreOptions options = {}) : options_(options) {}
@@ -85,8 +104,27 @@ class AuditStore {
   const std::vector<audit::SystemEntity>& entities() const {
     return entities_;
   }
-  /// Events after reduction, sorted by start_time.
+  /// Events after reduction, sorted by start_time. Under retention this
+  /// holds the surviving suffix of the id space; use EventById() to map an
+  /// event id to its record.
   const std::vector<audit::SystemEvent>& events() const { return events_; }
+
+  /// The event with id `id`. Event ids are stable across retention:
+  /// eviction removes an id-prefix, so surviving ids stay a dense range
+  /// and the lookup is O(1). Precondition: `id` is the id of a stored,
+  /// non-evicted event.
+  const audit::SystemEvent& EventById(audit::EventId id) const {
+    return events_[id - 1 - evicted_through_];
+  }
+
+  /// Newest event id handed out (0 before any event is stored). Ids are
+  /// never reused, including after retention.
+  audit::EventId last_event_id() const {
+    return static_cast<audit::EventId>(next_event_id_ - 1);
+  }
+
+  /// Events removed by retention; ids 1..evicted_through are gone.
+  audit::EventId evicted_through() const { return evicted_through_; }
 
   /// Graph node id for an entity id (kInvalidNode if absent).
   graphdb::NodeId NodeForEntity(audit::EntityId id) const;
@@ -96,12 +134,40 @@ class AuditStore {
   size_t entity_count() const { return entities_.size(); }
   size_t event_count() const { return events_.size(); }
 
+  /// Detach a copy of the store's logical state for a snapshot. Mutation-
+  /// free; call under the same exclusion as queries (the write gate).
+  StoreSnapshotState ExportSnapshotState() const;
+
+  /// Reset this store to `state`, rebuilding both backends (tables,
+  /// indexes, graph, entity→node map) by re-inserting entities and events
+  /// in id order — the same order the original inserts used, so node and
+  /// edge ids come out identical. Precondition: the store is fresh (no
+  /// Load/Append yet).
+  Status RestoreFrom(StoreSnapshotState state);
+
+  /// Retention: drop every stored event with id <= `watermark` and rebuild
+  /// the backends in place from the survivors. Event ids are NOT
+  /// renumbered (EventById stays valid for survivors); the reduction
+  /// ratio's output side keeps counting evicted events, so ratios over the
+  /// surviving window are unchanged. The carry-over window and the entity
+  /// table are untouched. Returns the number of events evicted.
+  Result<size_t> EvictEventsThrough(audit::EventId watermark);
+
  private:
   Status InitSchemas();
   Status AppendEntity(const audit::SystemEntity& e, AppendStats* stats);
   Status AppendEvent(const audit::SystemEvent& ev, AppendStats* stats);
   Status StoreEvents(std::vector<audit::SystemEvent> events,
                      AppendStats* stats);
+  /// Insert one entity / event into both backends (relational row + graph
+  /// node/edge). Shared by first-time appends and RestoreFrom/eviction
+  /// rebuilds; does not touch entities_/events_ bookkeeping.
+  Status InsertEntityRows(const audit::SystemEntity& e);
+  Status InsertEventRows(const audit::SystemEvent& ev);
+  /// Tear down and re-create both backends from entities_/events_ (same
+  /// insertion order → same node/edge ids), preserving configured query
+  /// options.
+  Status RebuildBackends();
 
   StoreOptions options_;
   sql::Database relational_;
@@ -114,6 +180,12 @@ class AuditStore {
   // into them. Bounded by options_.max_carry_events.
   std::vector<audit::SystemEvent> carry_;
   ReductionStats reduction_stats_;
+  /// Next event id to assign. Monotonic forever — under retention it
+  /// outruns events_.size(), so it is a counter, not a derived size.
+  uint64_t next_event_id_ = 1;
+  /// Retention watermark: events with id <= this were evicted. events_[0]
+  /// (when present) has id evicted_through_ + 1.
+  audit::EventId evicted_through_ = 0;
   bool loaded_ = false;        // Load() was called (it remains call-once)
   bool schema_ready_ = false;  // tables + indexes exist
   // Entity prefix of the shared interning store already consumed by

@@ -48,6 +48,10 @@ struct JsonlTailOptions {
   /// At most this many bytes of new content are consumed per Poll, so one
   /// giant backlog becomes several batches instead of one huge one.
   size_t max_batch_bytes = 1 << 20;
+  /// Resume tailing at this byte offset instead of the file's start —
+  /// pass a durable facade's restored_stream_offset() so a restarted tail
+  /// continues exactly after the last persisted batch.
+  size_t start_offset = 0;
 };
 
 /// Tails a JSON-lines audit log (audit/jsonl.h format) as it grows.
@@ -59,7 +63,9 @@ struct JsonlTailOptions {
 class JsonlTailSource : public EventStream {
  public:
   explicit JsonlTailSource(std::string path, JsonlTailOptions options = {})
-      : path_(std::move(path)), options_(options) {}
+      : path_(std::move(path)),
+        options_(options),
+        offset_(options.start_offset) {}
 
   Result<StreamBatch> Poll() override;
 
@@ -68,6 +74,11 @@ class JsonlTailSource : public EventStream {
   void FinishFile() { finished_ = true; }
 
   size_t bytes_consumed() const { return offset_; }
+
+  /// Byte offset just past the last *complete* line consumed — excludes a
+  /// carried partial line, so it is safe to persist and later pass back as
+  /// start_offset (the partial line re-reads from its beginning).
+  size_t committed_offset() const { return offset_ - partial_.size(); }
 
  private:
   std::string path_;

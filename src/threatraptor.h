@@ -18,12 +18,15 @@
 //   auto r = tr.Hunt("proc p[\"%curl%\"] connect ip i return p, i");
 #pragma once
 
+#include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "audit/parser.h"
 #include "audit/simulator.h"
@@ -31,6 +34,7 @@
 #include "engine/executor.h"
 #include "engine/poirot.h"
 #include "extraction/extractor.h"
+#include "persist/checkpointer.h"
 #include "service/hunt_service.h"
 #include "storage/store.h"
 #include "synthesis/synthesizer.h"
@@ -59,6 +63,42 @@ class ThreatRaptor {
   explicit ThreatRaptor(ThreatRaptorOptions options = {})
       : options_(std::move(options)) {}
 
+  /// Open a durable facade: recover the data directory named by
+  /// `durability` (load the latest snapshot, replay the WAL tail), and
+  /// route every later mutation through the write-ahead log. Restores the
+  /// store, the reduction carry-over window, standing-hunt seen-sets
+  /// (consumed by the next SubmitStanding of the same query — see
+  /// HuntService::SeedStanding), the retention watermarks, and tailed
+  /// streams' byte offsets (restored_stream_offset). An empty
+  /// `durability.data_dir` returns a plain in-memory facade.
+  static Result<std::unique_ptr<ThreatRaptor>> Open(
+      const persist::DurabilityOptions& durability,
+      ThreatRaptorOptions options = {});
+
+  /// Cut a snapshot now: under the service's exclusive gate, apply the
+  /// retention policy (if a horizon is configured), write a sharded
+  /// snapshot of the full system state, rotate the WAL and prune dead
+  /// segments. Unsupported on a non-durable facade.
+  Status Checkpoint();
+
+  /// Final checkpoint + detach persistence. Idempotent; the facade stays
+  /// queryable but further mutations are refused.
+  Status Close();
+
+  /// This facade persists through a data directory (came from Open with a
+  /// non-empty data_dir, and Close has not run).
+  bool durable() const { return checkpointer_ != nullptr; }
+
+  /// WAL / snapshot / recovery / retention counters (zeroed struct when
+  /// not durable).
+  persist::DurabilityStats durability_stats() const;
+
+  /// Byte offset at which `stream` (a name passed to the stream-tagged
+  /// IngestSyscalls overload, e.g. the tailed file's path) should resume,
+  /// as recovered by Open; nullopt if the stream is unknown.
+  std::optional<uint64_t> restored_stream_offset(
+      std::string_view stream) const;
+
   /// Parse raw syscall records and load them into both storage backends.
   /// May be called repeatedly: later batches append incrementally (entity
   /// interning is shared across batches, event ids continue). Batches
@@ -66,58 +106,36 @@ class ThreatRaptor {
   /// safely with in-flight hunts (the mutation waits for running hunts to
   /// drain instead of being refused). Concurrent ingest calls serialize on
   /// the gate, but each call's parse must not race another — feed one
-  /// stream per facade.
-  Status IngestSyscalls(const std::vector<audit::SyscallRecord>& records) {
-    RAPTOR_RETURN_NOT_OK(parser_.Parse(records, &accum_));
-    return SyncStore();
-  }
+  /// stream per facade. On a durable facade the raw batch is WAL-logged
+  /// before it applies.
+  Status IngestSyscalls(const std::vector<audit::SyscallRecord>& records);
+
+  /// Stream-tagged variant: additionally records that `records` ends at
+  /// byte `offset_after` of `stream`, atomically with the batch itself
+  /// (the offset rides in the WAL record and in snapshots), so a restart
+  /// resumes the tail exactly after the last persisted batch.
+  Status IngestSyscalls(const std::vector<audit::SyscallRecord>& records,
+                        std::string_view stream, uint64_t offset_after);
 
   /// Load an already-parsed log. May be called repeatedly: each batch is
   /// remapped into the accumulated entity store (the incoming log's entity
   /// ids are batch-local) and appended. A malformed batch (an event
   /// referencing an entity id absent from the batch's own entity table) is
-  /// rejected before anything is interned or appended.
-  Status IngestParsedLog(const audit::ParsedLog& log) {
-    // Validate first so rejection leaves no trace in the accumulator.
-    for (const audit::SystemEvent& ev : log.events) {
-      if (ev.subject < 1 || ev.subject > log.entities.size() ||
-          ev.object < 1 || ev.object > log.entities.size()) {
-        return Status::InvalidArgument(
-            "parsed log event references an unknown entity id");
-      }
-    }
-    std::unordered_map<audit::EntityId, audit::EntityId> remap;
-    remap.reserve(log.entities.size());
-    for (const audit::SystemEntity& e : log.entities.entities()) {
-      remap.emplace(e.id, accum_.entities.Intern(e));
-    }
-    for (const audit::SystemEvent& ev : log.events) {
-      audit::SystemEvent copy = ev;
-      copy.subject = remap.at(ev.subject);
-      copy.object = remap.at(ev.object);
-      copy.id = static_cast<audit::EventId>(accum_.events.size()) + 1;
-      accum_.events.push_back(std::move(copy));
-    }
-    return SyncStore();
-  }
+  /// rejected before anything is interned or appended (and before it is
+  /// WAL-logged).
+  Status IngestParsedLog(const audit::ParsedLog& log);
 
   /// Store the cross-batch reduction window's withheld tail (see
   /// storage::StoreOptions::carry_over_window). Call at end of stream —
   /// queries and standing hunts only see flushed events. Applies through
   /// the epoch gate like any other mutation; a no-op when nothing is
   /// withheld or before ingestion.
-  Status FlushIngest() {
-    if (store_ == nullptr || store_->carried_event_count() == 0) {
-      return Status::OK();
-    }
-    auto epoch = Service().Ingest([&](service::IngestReport* report) {
-      storage::AppendStats stats;
-      RAPTOR_RETURN_NOT_OK(store_->Flush(&stats));
-      report->touched_entities = std::move(stats.touched_entities);
-      return Status::OK();
-    });
-    return epoch.ok() ? Status::OK() : epoch.status();
-  }
+  Status FlushIngest();
+
+  /// One-release compatibility shim: ingest a v1 text snapshot (the
+  /// retired storage/snapshot.h format) as a parsed-log batch, carrying
+  /// the old data into the durable v2 world. See persist/legacy_v1.h.
+  Status ImportV1Snapshot(const std::string& path);
 
   /// Extract a threat behavior graph from OSCTI text (Algorithm 1).
   Result<extraction::ExtractionResult> ExtractBehaviorGraph(
@@ -200,32 +218,37 @@ class ThreatRaptor {
     return Status::OK();
   }
 
+  /// Mutations on a durable facade are logged write-ahead — except while
+  /// replaying the WAL itself, and never after Close().
+  bool ShouldLog() const {
+    return checkpointer_ != nullptr && !replaying_ && !closed_;
+  }
+
   /// Apply the accumulated batch under the hunt service's epoch gate:
-  /// the mutation waits for running hunts to drain, applies, and bumps the
+  /// the WAL record (durable facades) is appended first, then the
+  /// mutation waits for running hunts to drain, applies, and bumps the
   /// store epoch (waking standing hunts). The service is created here on
   /// first ingest so every later mutation is gated.
-  Status SyncStore() {
-    if (store_ == nullptr) {
-      store_ = std::make_unique<storage::AuditStore>(options_.store);
-    }
-    auto epoch = Service().Ingest([&](service::IngestReport* report) {
-      storage::AppendStats stats;
-      RAPTOR_RETURN_NOT_OK(store_->Append(accum_, &stats));
-      report->touched_entities = std::move(stats.touched_entities);
-      // The store consumed this batch's events; keep only the entity
-      // table (shared interning across batches) so long-running sessions
-      // do not retain a second full copy of every raw event.
-      accum_.events.clear();
-      return Status::OK();
-    });
-    return epoch.ok() ? Status::OK() : epoch.status();
-  }
+  Status SyncStore(persist::WalRecordType type, std::string payload,
+                   std::string_view stream, uint64_t offset_after);
+
+  /// Recovery body of Open: restore the snapshot (store, accumulator
+  /// interner, epoch marks, stream offsets, standing seeds) and replay
+  /// the WAL tail through the normal ingest path.
+  Status RecoverState();
+  Status ReplayWalRecord(const persist::WalRecord& record);
+  /// Record the (epoch → last event id) watermark retention uses, and cut
+  /// an automatic checkpoint when the configured interval elapsed.
+  Status NoteEpochApplied(uint64_t epoch);
 
   service::HuntService& Service() const {
     std::lock_guard<std::mutex> lock(service_mu_);
     if (service_ == nullptr) {
       service_ = std::make_unique<service::HuntService>(store_.get(),
                                                         options_.service);
+      if (checkpointer_ != nullptr) {
+        service_->AttachWal(checkpointer_->wal());
+      }
     }
     return *service_;
   }
@@ -233,6 +256,23 @@ class ThreatRaptor {
   ThreatRaptorOptions options_;
   audit::AuditLogParser parser_;
   audit::ParsedLog accum_;
+  // Durable state. Declared before store_/service_ so it is destroyed
+  // last: the service holds a raw pointer to the checkpointer's WAL
+  // writer until it is itself destroyed.
+  std::unique_ptr<persist::Checkpointer> checkpointer_;
+  bool replaying_ = false;  // WAL replay in progress; do not re-log
+  bool closed_ = false;     // Close() ran; mutations are refused
+  uint64_t last_checkpoint_epoch_ = 0;
+  /// (epoch, last event id) per applied epoch, oldest first — retention's
+  /// horizon→watermark translation. Only populated when a horizon is set.
+  /// Guarded by the write gate (mutations) / Exclusive (checkpoint).
+  std::vector<std::pair<uint64_t, uint64_t>> epoch_marks_;
+  uint64_t events_evicted_ = 0;
+  uint64_t epochs_evicted_ = 0;
+  /// stream name → bytes consumed, updated inside the gate with the batch
+  /// that consumed them; snapshots carry it, Open restores it.
+  mutable std::mutex offsets_mu_;
+  std::map<std::string, uint64_t, std::less<>> stream_offsets_;
   std::unique_ptr<storage::AuditStore> store_;
   // Lazily constructed so purely-synchronous pipelines that never ingest
   // pay nothing; destroyed before store_ (declaration order) so in-flight

@@ -1,0 +1,458 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "audit/parser.h"
+#include "audit/simulator.h"
+#include "persist/checkpointer.h"
+#include "persist/codec.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+#include "storage/store.h"
+
+namespace raptor::persist {
+namespace {
+
+namespace fs = std::filesystem;
+
+audit::ParsedLog MakeLog(int processes, uint64_t seed) {
+  audit::BenignProfile profile;
+  profile.num_processes = processes;
+  profile.seed = seed;
+  audit::BenignWorkloadSimulator sim;
+  audit::ParsedLog log;
+  audit::AuditLogParser parser;
+  EXPECT_TRUE(parser.Parse(sim.Generate(profile), &log).ok());
+  return log;
+}
+
+/// Fresh empty directory under the test temp root.
+std::string FreshDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+// ---- codec ----------------------------------------------------------------
+
+TEST(CodecTest, PrimitivesRoundTrip) {
+  std::string buf;
+  PutU8(&buf, 7);
+  PutU32(&buf, 0xdeadbeef);
+  PutU64(&buf, 1ull << 60);
+  PutI64(&buf, -42);
+  PutDouble(&buf, 2.5);
+  PutString(&buf, "hello\0world");
+  ByteReader in(buf);
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  double d = 0;
+  std::string s;
+  EXPECT_TRUE(in.ReadU8(&u8));
+  EXPECT_TRUE(in.ReadU32(&u32));
+  EXPECT_TRUE(in.ReadU64(&u64));
+  EXPECT_TRUE(in.ReadI64(&i64));
+  EXPECT_TRUE(in.ReadDouble(&d));
+  EXPECT_TRUE(in.ReadString(&s));
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u32, 0xdeadbeef);
+  EXPECT_EQ(u64, 1ull << 60);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(d, 2.5);
+  EXPECT_EQ(s, "hello");  // PutString took a C-literal view up to the NUL
+  EXPECT_EQ(in.remaining(), 0u);
+  EXPECT_FALSE(in.failed());
+  EXPECT_FALSE(in.ReadU8(&u8));  // exhausted latches failure
+  EXPECT_TRUE(in.failed());
+}
+
+TEST(CodecTest, ValueRoundTrip) {
+  const sql::Value values[] = {sql::Value::Null(), sql::Value(int64_t{-5}),
+                               sql::Value(1.25), sql::Value("text cell")};
+  std::string buf;
+  for (const sql::Value& v : values) EncodeValue(v, &buf);
+  ByteReader in(buf);
+  for (const sql::Value& v : values) {
+    sql::Value decoded;
+    ASSERT_TRUE(DecodeValue(&in, &decoded));
+    EXPECT_EQ(decoded, v);
+  }
+  EXPECT_EQ(in.remaining(), 0u);
+}
+
+TEST(CodecTest, ParsedLogRoundTrip) {
+  audit::ParsedLog log = MakeLog(25, 91);
+  std::string buf;
+  EncodeParsedLog(log, &buf);
+  auto restored = DecodeParsedLog(buf);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored.value().entities.size(), log.entities.size());
+  for (size_t i = 1; i <= log.entities.size(); ++i) {
+    const audit::SystemEntity& a = log.entities.Get(i);
+    const audit::SystemEntity& b = restored.value().entities.Get(i);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.UniqueKey(), b.UniqueKey());
+    EXPECT_EQ(a.user, b.user);
+  }
+  ASSERT_EQ(restored.value().events.size(), log.events.size());
+  for (size_t i = 0; i < log.events.size(); ++i) {
+    const audit::SystemEvent& a = log.events[i];
+    const audit::SystemEvent& b = restored.value().events[i];
+    EXPECT_EQ(a.subject, b.subject);
+    EXPECT_EQ(a.object, b.object);
+    EXPECT_EQ(a.op, b.op);
+    EXPECT_EQ(a.start_time, b.start_time);
+    EXPECT_EQ(a.end_time, b.end_time);
+    EXPECT_EQ(a.amount, b.amount);
+  }
+}
+
+TEST(CodecTest, ParsedLogRejectsCorruption) {
+  audit::ParsedLog log = MakeLog(5, 12);
+  std::string buf;
+  EncodeParsedLog(log, &buf);
+  EXPECT_FALSE(DecodeParsedLog(buf.substr(0, buf.size() / 2)).ok());
+  EXPECT_FALSE(DecodeParsedLog(buf + "x").ok());  // trailing bytes
+  EXPECT_FALSE(DecodeParsedLog("").ok());
+}
+
+// ---- WAL ------------------------------------------------------------------
+
+std::vector<WalRecord> SampleRecords() {
+  std::vector<WalRecord> records;
+  WalRecord a;
+  a.type = WalRecordType::kSyscallBatch;
+  a.stream = "/var/log/audit.jsonl";
+  a.stream_offset = 4096;
+  a.payload = "{\"op\":\"read\"}\n";
+  records.push_back(a);
+  WalRecord b;
+  b.type = WalRecordType::kParsedBatch;
+  b.payload = std::string("\x00\x01\x02 binary \xff", 12);
+  records.push_back(b);
+  WalRecord c;
+  c.type = WalRecordType::kFlush;
+  records.push_back(c);
+  return records;
+}
+
+TEST(WalTest, AppendAndReadBack) {
+  const std::string dir = FreshDir("wal_roundtrip");
+  ASSERT_TRUE(fs::create_directories(dir));
+  DurabilityOptions options;
+  options.data_dir = dir;
+  {
+    WalWriter writer(dir, options);
+    ASSERT_TRUE(writer.StartSegment(1).ok());
+    for (const WalRecord& r : SampleRecords()) {
+      ASSERT_TRUE(writer.Append(r).ok());
+    }
+    EXPECT_EQ(writer.records_appended(), 3u);
+  }
+  std::vector<WalRecord> records;
+  uint64_t valid_bytes = 0;
+  bool truncated = false;
+  ASSERT_TRUE(ReadWalSegment(dir + "/" + WalSegmentName(1), 1, &records,
+                             &valid_bytes, &truncated)
+                  .ok());
+  EXPECT_FALSE(truncated);
+  std::vector<WalRecord> expect = SampleRecords();
+  ASSERT_EQ(records.size(), expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(records[i].type, expect[i].type);
+    EXPECT_EQ(records[i].stream, expect[i].stream);
+    EXPECT_EQ(records[i].stream_offset, expect[i].stream_offset);
+    EXPECT_EQ(records[i].payload, expect[i].payload);
+  }
+  EXPECT_EQ(valid_bytes, fs::file_size(dir + "/" + WalSegmentName(1)));
+}
+
+TEST(WalTest, TornTailIsToleratedAndTruncated) {
+  const std::string dir = FreshDir("wal_torn");
+  ASSERT_TRUE(fs::create_directories(dir));
+  DurabilityOptions options;
+  options.data_dir = dir;
+  const std::string seg = dir + "/" + WalSegmentName(1);
+  {
+    WalWriter writer(dir, options);
+    ASSERT_TRUE(writer.StartSegment(1).ok());
+    for (const WalRecord& r : SampleRecords()) {
+      ASSERT_TRUE(writer.Append(r).ok());
+    }
+  }
+  const uint64_t intact_size = fs::file_size(seg);
+  {
+    // Crash mid-append: half a frame of garbage at the tail.
+    std::ofstream out(seg, std::ios::binary | std::ios::app);
+    out << "\x20\x00\x00\x00garbage";
+  }
+  std::vector<WalRecord> records;
+  uint64_t valid_bytes = 0;
+  bool truncated = false;
+  ASSERT_TRUE(
+      ReadWalSegment(seg, 1, &records, &valid_bytes, &truncated).ok());
+  EXPECT_TRUE(truncated);
+  EXPECT_EQ(records.size(), 3u);  // intact prefix fully readable
+  EXPECT_EQ(valid_bytes, intact_size);
+
+  // The writer truncates the torn tail and appends cleanly after it.
+  {
+    WalWriter writer(dir, options);
+    ASSERT_TRUE(writer.OpenExisting(1, valid_bytes).ok());
+    WalRecord extra;
+    extra.type = WalRecordType::kFlush;
+    ASSERT_TRUE(writer.Append(extra).ok());
+  }
+  records.clear();
+  ASSERT_TRUE(ReadWalSegment(seg, 1, &records, nullptr, &truncated).ok());
+  EXPECT_FALSE(truncated);
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records.back().type, WalRecordType::kFlush);
+}
+
+TEST(WalTest, RotatesWhenOverSizeCap) {
+  const std::string dir = FreshDir("wal_rotate");
+  ASSERT_TRUE(fs::create_directories(dir));
+  DurabilityOptions options;
+  options.data_dir = dir;
+  options.segment_max_bytes = 64;  // every large record forces rotation
+  WalWriter writer(dir, options);
+  ASSERT_TRUE(writer.StartSegment(1).ok());
+  WalRecord r;
+  r.payload = std::string(100, 'x');
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(writer.Append(r).ok());
+  EXPECT_GT(writer.active_seq(), 1u);
+  EXPECT_GT(writer.segments_created(), 1u);
+  // Sequence numbers stay contiguous on disk.
+  for (uint64_t seq = 1; seq <= writer.active_seq(); ++seq) {
+    EXPECT_TRUE(fs::exists(dir + "/" + WalSegmentName(seq))) << seq;
+  }
+}
+
+TEST(WalTest, ReadRejectsWrongSequence) {
+  const std::string dir = FreshDir("wal_wrong_seq");
+  ASSERT_TRUE(fs::create_directories(dir));
+  DurabilityOptions options;
+  options.data_dir = dir;
+  {
+    WalWriter writer(dir, options);
+    ASSERT_TRUE(writer.StartSegment(3).ok());
+  }
+  std::vector<WalRecord> records;
+  EXPECT_FALSE(ReadWalSegment(dir + "/" + WalSegmentName(3), 4, &records,
+                              nullptr, nullptr)
+                   .ok());
+}
+
+// ---- snapshot -------------------------------------------------------------
+
+SystemSnapshot MakeSnapshot() {
+  storage::AuditStore store;
+  EXPECT_TRUE(store.Load(MakeLog(20, 7)).ok());
+  SystemSnapshot snap;
+  snap.epoch = 9;
+  snap.store = store.ExportSnapshotState();
+  snap.epoch_marks = {{7, 100}, {9, store.last_event_id()}};
+  StandingSeen seen;
+  seen.key = "0\x1f\x1fproc p read file f return p";
+  seen.total_rows = 3;
+  seen.rows = {{sql::Value("curl"), sql::Value(int64_t{1})},
+               {sql::Value("tar"), sql::Value(int64_t{2})}};
+  snap.standing.push_back(seen);
+  snap.stream_offsets = {{"/var/log/a.jsonl", 123}, {"/tmp/b.jsonl", 456}};
+  return snap;
+}
+
+TEST(SnapshotTest, RoundTripPreservesEverything) {
+  const std::string dir = FreshDir("snap_roundtrip");
+  SystemSnapshot snap = MakeSnapshot();
+  DurabilityOptions options;
+  options.snapshot_shards = 3;
+  uint64_t bytes = 0;
+  ASSERT_TRUE(WriteSnapshot(dir, snap, options, &bytes).ok());
+  EXPECT_GT(bytes, 0u);
+
+  auto restored = ReadSnapshot(dir);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const SystemSnapshot& got = restored.value();
+  EXPECT_EQ(got.epoch, snap.epoch);
+  EXPECT_EQ(got.epoch_marks, snap.epoch_marks);
+  EXPECT_EQ(got.stream_offsets, snap.stream_offsets);
+  ASSERT_EQ(got.standing.size(), 1u);
+  EXPECT_EQ(got.standing[0].key, snap.standing[0].key);
+  EXPECT_EQ(got.standing[0].total_rows, snap.standing[0].total_rows);
+  EXPECT_EQ(got.standing[0].rows, snap.standing[0].rows);
+  EXPECT_EQ(got.store.next_event_id, snap.store.next_event_id);
+  EXPECT_EQ(got.store.evicted_through, snap.store.evicted_through);
+  ASSERT_EQ(got.store.entities.size(), snap.store.entities.size());
+  ASSERT_EQ(got.store.events.size(), snap.store.events.size());
+  for (size_t i = 0; i < snap.store.events.size(); ++i) {
+    EXPECT_EQ(got.store.events[i].id, snap.store.events[i].id);
+    EXPECT_EQ(got.store.events[i].subject, snap.store.events[i].subject);
+  }
+
+  // The restored state rebuilds into an equivalent store.
+  storage::AuditStore rebuilt;
+  ASSERT_TRUE(rebuilt.RestoreFrom(restored.value().store).ok());
+  storage::AuditStore original;
+  ASSERT_TRUE(original.Load(MakeLog(20, 7)).ok());
+  EXPECT_EQ(rebuilt.entity_count(), original.entity_count());
+  EXPECT_EQ(rebuilt.event_count(), original.event_count());
+  EXPECT_EQ(rebuilt.reduction_stats().output_events,
+            original.reduction_stats().output_events);
+}
+
+TEST(SnapshotTest, DetectsShardCorruption) {
+  const std::string dir = FreshDir("snap_corrupt");
+  DurabilityOptions options;
+  options.snapshot_shards = 2;
+  ASSERT_TRUE(WriteSnapshot(dir, MakeSnapshot(), options, nullptr).ok());
+  // Flip one byte in the middle of the first event shard.
+  const std::string shard = dir + "/events-000.bin";
+  ASSERT_TRUE(fs::exists(shard));
+  const auto mid = static_cast<std::streamoff>(fs::file_size(shard) / 2);
+  std::fstream f(shard, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(mid);
+  const char flipped = static_cast<char>(f.get() ^ 0xff);
+  f.seekp(mid);
+  f.put(flipped);
+  f.close();
+  EXPECT_FALSE(ReadSnapshot(dir).ok());
+}
+
+TEST(SnapshotTest, MissingShardIsAnError) {
+  const std::string dir = FreshDir("snap_missing_shard");
+  DurabilityOptions options;
+  options.snapshot_shards = 2;
+  ASSERT_TRUE(WriteSnapshot(dir, MakeSnapshot(), options, nullptr).ok());
+  ASSERT_TRUE(fs::remove(dir + "/events-001.bin"));
+  EXPECT_FALSE(ReadSnapshot(dir).ok());
+}
+
+// ---- checkpointer ---------------------------------------------------------
+
+TEST(CheckpointerTest, FreshDirectoryStartsEmpty) {
+  const std::string dir = FreshDir("cp_fresh");
+  DurabilityOptions options;
+  options.data_dir = dir;
+  auto cp = Checkpointer::Open(options);
+  ASSERT_TRUE(cp.ok()) << cp.status().ToString();
+  EXPECT_FALSE(cp.value()->has_snapshot());
+  EXPECT_TRUE(fs::exists(dir + "/CURRENT"));
+  EXPECT_TRUE(fs::exists(dir + "/" + WalSegmentName(1)));
+  // Nothing to replay.
+  int replayed = 0;
+  ASSERT_TRUE(cp.value()
+                  ->ReplayTail([&](const WalRecord&) {
+                    ++replayed;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(replayed, 0);
+}
+
+TEST(CheckpointerTest, CheckpointThenReopenRestoresAndPrunes) {
+  const std::string dir = FreshDir("cp_reopen");
+  DurabilityOptions options;
+  options.data_dir = dir;
+  {
+    auto cp = Checkpointer::Open(options);
+    ASSERT_TRUE(cp.ok());
+    WalRecord r;
+    r.payload = "pre-checkpoint";
+    ASSERT_TRUE(cp.value()->wal()->Append(r).ok());
+    ASSERT_TRUE(cp.value()->WriteCheckpoint(MakeSnapshot()).ok());
+    // Checkpoint rotated onto segment 2 and pruned segment 1.
+    EXPECT_FALSE(fs::exists(dir + "/" + WalSegmentName(1)));
+    EXPECT_TRUE(fs::exists(dir + "/" + WalSegmentName(2)));
+    WalRecord after;
+    after.payload = "post-checkpoint";
+    ASSERT_TRUE(cp.value()->wal()->Append(after).ok());
+  }
+  auto cp = Checkpointer::Open(options);
+  ASSERT_TRUE(cp.ok()) << cp.status().ToString();
+  ASSERT_TRUE(cp.value()->has_snapshot());
+  EXPECT_EQ(cp.value()->stats().restored_epoch, 9u);
+  SystemSnapshot snap = cp.value()->TakeRestoredSnapshot();
+  EXPECT_EQ(snap.epoch, 9u);
+  // Only the post-checkpoint record is in the tail.
+  std::vector<std::string> payloads;
+  ASSERT_TRUE(cp.value()
+                  ->ReplayTail([&](const WalRecord& r) {
+                    payloads.push_back(r.payload);
+                    return Status::OK();
+                  })
+                  .ok());
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0], "post-checkpoint");
+}
+
+TEST(CheckpointerTest, SecondCheckpointSupersedesFirst) {
+  const std::string dir = FreshDir("cp_supersede");
+  DurabilityOptions options;
+  options.data_dir = dir;
+  auto cp = Checkpointer::Open(options);
+  ASSERT_TRUE(cp.ok());
+  ASSERT_TRUE(cp.value()->WriteCheckpoint(MakeSnapshot()).ok());
+  SystemSnapshot second = MakeSnapshot();
+  second.epoch = 21;
+  ASSERT_TRUE(cp.value()->WriteCheckpoint(second).ok());
+  EXPECT_EQ(cp.value()->stats().checkpoints, 2u);
+  // Exactly one snapshot directory survives, and a reopen restores the
+  // newer one.
+  size_t snap_dirs = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().filename().string().rfind("snap-", 0) == 0) {
+      ++snap_dirs;
+    }
+  }
+  EXPECT_EQ(snap_dirs, 1u);
+  cp.value().reset();
+  auto reopened = Checkpointer::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_TRUE(reopened.value()->has_snapshot());
+  EXPECT_EQ(reopened.value()->TakeRestoredSnapshot().epoch, 21u);
+}
+
+// ---- store eviction (retention's storage half) ----------------------------
+
+TEST(StoreEvictTest, EvictionKeepsIdsAndReductionRatio) {
+  storage::AuditStore store;
+  ASSERT_TRUE(store.Load(MakeLog(30, 55)).ok());
+  const size_t before_count = store.event_count();
+  const audit::EventId last = store.last_event_id();
+  const storage::ReductionStats before_stats = store.reduction_stats();
+  ASSERT_GT(before_count, 10u);
+
+  const audit::EventId watermark = last / 3;
+  auto evicted = store.EvictEventsThrough(watermark);
+  ASSERT_TRUE(evicted.ok()) << evicted.status().ToString();
+  EXPECT_EQ(evicted.value(), static_cast<size_t>(watermark));
+  EXPECT_EQ(store.event_count(), before_count - evicted.value());
+  EXPECT_EQ(store.evicted_through(), watermark);
+  EXPECT_EQ(store.last_event_id(), last);  // ids are never renumbered
+
+  // Survivors keep their ids and stay addressable.
+  for (audit::EventId id = watermark + 1; id <= last; ++id) {
+    EXPECT_EQ(store.EventById(id).id, id);
+  }
+  // The reduction ratio still reflects the whole stream, not just the
+  // surviving window.
+  EXPECT_EQ(store.reduction_stats().input_events, before_stats.input_events);
+  EXPECT_EQ(store.reduction_stats().output_events,
+            before_stats.output_events);
+
+  // Eviction below the current watermark is a no-op; beyond the id space
+  // is an error.
+  auto again = store.EvictEventsThrough(watermark - 1);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), 0u);
+  EXPECT_FALSE(store.EvictEventsThrough(last + 1).ok());
+}
+
+}  // namespace
+}  // namespace raptor::persist

@@ -1,0 +1,393 @@
+// Crash-recovery differentials for the durable facade: a run that
+// checkpoints mid-stream, loses its live store, and recovers from
+// snapshot + WAL tail must be indistinguishable — byte-equal one-shot
+// results, standing-hunt deltas that neither skip nor (for checkpointed
+// rows) repeat — from a run that was never interrupted. Plus the
+// retention policy and the stream-offset resume contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "audit/jsonl.h"
+#include "audit/simulator.h"
+#include "stream/event_stream.h"
+#include "threatraptor.h"
+
+namespace raptor {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kSecretQuery[] =
+    "proc p read file f[\"%/tmp/secret%\"] return p, f";
+constexpr char kExfilQuery[] =
+    "proc p read file f[\"%/tmp/secret%\"] as e1 "
+    "proc p write file g[\"%/var/spool/%\"] as e2 "
+    "with e1 before e2 return p, f, g";
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// Batch i: a unique attacker process reads a unique secret file (one new
+/// row for kSecretQuery per batch) plus a write event for kExfilQuery.
+audit::ParsedLog MakeBatch(int i) {
+  audit::ParsedLog log;
+  audit::EntityId p = log.entities.InternProcess(
+      "/usr/bin/attacker" + std::to_string(i), 1000 + i);
+  audit::EntityId f =
+      log.entities.InternFile("/tmp/secret" + std::to_string(i));
+  audit::EntityId out =
+      log.entities.InternFile("/var/spool/out" + std::to_string(i));
+  audit::SystemEvent read;
+  read.id = 1;
+  read.subject = p;
+  read.object = f;
+  read.object_type = audit::EntityType::kFile;
+  read.op = audit::EventOp::kRead;
+  read.start_time = 1000 * i;
+  read.end_time = 1000 * i + 10;
+  read.amount = 64;
+  log.events.push_back(read);
+  audit::SystemEvent write;
+  write.id = 2;
+  write.subject = p;
+  write.object = out;
+  write.object_type = audit::EntityType::kFile;
+  write.op = audit::EventOp::kWrite;
+  write.start_time = 1000 * i + 20;
+  write.end_time = 1000 * i + 30;
+  write.amount = 200 + i;
+  log.events.push_back(write);
+  return log;
+}
+
+/// Thread-safe collector for standing-hunt deltas, one string per row.
+struct RowCollector {
+  std::mutex mu;
+  std::vector<std::string> rows;
+
+  service::StandingSink Sink() {
+    service::StandingSink sink;
+    sink.on_alert = [this](const service::StandingUpdate& update) {
+      std::lock_guard<std::mutex> lock(mu);
+      auto cursor = update.cursor();
+      while (const std::vector<sql::Value>* row = cursor.Next()) {
+        std::string line;
+        for (const sql::Value& v : *row) {
+          if (!line.empty()) line += " | ";
+          line += v.ToString();
+        }
+        rows.push_back(line);
+      }
+    };
+    sink.on_error = [](const Status& status) {
+      ADD_FAILURE() << "standing refresh failed: " << status.ToString();
+    };
+    return sink;
+  }
+
+  std::multiset<std::string> Sorted() {
+    std::lock_guard<std::mutex> lock(mu);
+    return {rows.begin(), rows.end()};
+  }
+};
+
+service::HuntRequest StandingRequest() {
+  service::HuntRequest request;
+  request.text = kSecretQuery;
+  return request;
+}
+
+TEST(RecoveryTest, CrashRecoveryDifferential) {
+  constexpr int kBatches = 6;
+  // --- Reference: one uninterrupted in-memory run. ---
+  ThreatRaptor ref;
+  ASSERT_TRUE(ref.IngestParsedLog(MakeBatch(0)).ok());
+  RowCollector ref_rows;
+  service::StandingHandle ref_handle =
+      ref.hunt_service()->SubmitStanding(StandingRequest(), ref_rows.Sink());
+  for (int i = 1; i < kBatches; ++i) {
+    ASSERT_TRUE(ref.IngestParsedLog(MakeBatch(i)).ok());
+  }
+  ASSERT_TRUE(ref_handle.WaitEpoch(ref.hunt_service()->epoch()));
+  auto ref_secret = ref.Hunt(kSecretQuery);
+  auto ref_exfil = ref.Hunt(kExfilQuery);
+  ASSERT_TRUE(ref_secret.ok());
+  ASSERT_TRUE(ref_exfil.ok());
+  ASSERT_EQ(ref_rows.Sorted().size(), static_cast<size_t>(kBatches));
+
+  // --- Durable run: checkpoint after batch 2, crash after batch 4. ---
+  const std::string dir = FreshDir("recovery_differential");
+  persist::DurabilityOptions durability;
+  durability.data_dir = dir;
+  durability.snapshot_shards = 3;
+  RowCollector pre_crash;
+  std::multiset<std::string> delivered_pre_crash;
+  {
+    auto opened = ThreatRaptor::Open(durability);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    ThreatRaptor& tr = *opened.value();
+    ASSERT_TRUE(tr.IngestParsedLog(MakeBatch(0)).ok());
+    service::StandingHandle handle = tr.hunt_service()->SubmitStanding(
+        StandingRequest(), pre_crash.Sink());
+    ASSERT_TRUE(tr.IngestParsedLog(MakeBatch(1)).ok());
+    ASSERT_TRUE(tr.IngestParsedLog(MakeBatch(2)).ok());
+    ASSERT_TRUE(handle.WaitEpoch(tr.hunt_service()->epoch()));
+    ASSERT_TRUE(tr.Checkpoint().ok());  // persists seen-set through batch 2
+    ASSERT_TRUE(tr.IngestParsedLog(MakeBatch(3)).ok());
+    ASSERT_TRUE(tr.IngestParsedLog(MakeBatch(4)).ok());
+    ASSERT_TRUE(handle.WaitEpoch(tr.hunt_service()->epoch()));
+    delivered_pre_crash = pre_crash.Sorted();
+    ASSERT_EQ(delivered_pre_crash.size(), 5u);
+    // Crash: the facade dies with no Close() — batches 3 and 4 exist only
+    // in the WAL tail.
+  }
+
+  // --- Recover: snapshot + WAL replay, resubmit the standing hunt. ---
+  auto reopened = ThreatRaptor::Open(durability);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ThreatRaptor& tr = *reopened.value();
+  persist::DurabilityStats stats = tr.durability_stats();
+  EXPECT_TRUE(stats.restored);
+  EXPECT_GT(stats.replayed_records, 0u);
+
+  RowCollector post_restart;
+  service::StandingHandle handle = tr.hunt_service()->SubmitStanding(
+      StandingRequest(), post_restart.Sink());
+  ASSERT_TRUE(tr.IngestParsedLog(MakeBatch(5)).ok());
+  ASSERT_TRUE(handle.WaitEpoch(tr.hunt_service()->epoch()));
+
+  // One-shot results are byte-equal to the uninterrupted run.
+  auto secret = tr.Hunt(kSecretQuery);
+  auto exfil = tr.Hunt(kExfilQuery);
+  ASSERT_TRUE(secret.ok()) << secret.status().ToString();
+  ASSERT_TRUE(exfil.ok()) << exfil.status().ToString();
+  EXPECT_EQ(secret.value().results.ToString(),
+            ref_secret.value().results.ToString());
+  EXPECT_EQ(exfil.value().results.ToString(),
+            ref_exfil.value().results.ToString());
+  EXPECT_EQ(tr.store()->entity_count(), ref.store()->entity_count());
+  EXPECT_EQ(tr.store()->event_count(), ref.store()->event_count());
+
+  // Standing-hunt delivery semantics across the crash: at-least-once for
+  // rows acknowledged only after the checkpoint, exactly-once for
+  // everything the checkpointed seen-set covers. Concretely:
+  //  * every row the uninterrupted run delivered was delivered here too
+  //    (nothing lost);
+  //  * rows 0-2 (inside the checkpoint) arrive exactly once — the
+  //    restored seen-set suppressed their re-delivery;
+  //  * rows 3-4 (delivered pre-crash but after the checkpoint) arrive at
+  //    most twice — the crash forgot their delivery, so the WAL-replayed
+  //    store re-delivers them.
+  std::multiset<std::string> all = delivered_pre_crash;
+  std::multiset<std::string> post = post_restart.Sorted();
+  for (const std::string& row : post) all.insert(row);
+  for (const std::string& row : ref_rows.Sorted()) {
+    EXPECT_GE(all.count(row), 1u) << row;
+    EXPECT_LE(all.count(row), 2u) << row;
+  }
+  EXPECT_EQ(all.size(), ref_rows.Sorted().size() + 2);  // rows 3, 4 twice
+  for (const std::string& row : post) {
+    // Rows from batches 0-2 were in the checkpoint's seen-set; their
+    // reappearance would mean the restored seen-set did not arm the
+    // resubmitted hunt.
+    for (int i = 0; i <= 2; ++i) {
+      EXPECT_EQ(row.find("secret" + std::to_string(i)), std::string::npos)
+          << row;
+    }
+  }
+  // The restored accumulated total continued counting: 3 checkpointed
+  // rows + the post-restart baseline (rows 3, 4) + batch 5's row.
+  EXPECT_EQ(handle.total_rows(), ref_handle.total_rows());
+}
+
+TEST(RecoveryTest, ReplayAloneRebuildsWithoutSnapshot) {
+  const std::string dir = FreshDir("recovery_wal_only");
+  persist::DurabilityOptions durability;
+  durability.data_dir = dir;
+  {
+    auto opened = ThreatRaptor::Open(durability);
+    ASSERT_TRUE(opened.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(opened.value()->IngestParsedLog(MakeBatch(i)).ok());
+    }
+    // Crash with no checkpoint ever taken: everything lives in the WAL.
+  }
+  auto reopened = ThreatRaptor::Open(durability);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_FALSE(reopened.value()->durability_stats().restored);
+  EXPECT_EQ(reopened.value()->durability_stats().replayed_records, 3u);
+  auto report = reopened.value()->Hunt(kSecretQuery);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().results.rows.size(), 3u);
+}
+
+TEST(RecoveryTest, AutoCheckpointEveryNEpochs) {
+  const std::string dir = FreshDir("recovery_autockpt");
+  persist::DurabilityOptions durability;
+  durability.data_dir = dir;
+  durability.snapshot_interval_epochs = 2;
+  auto opened = ThreatRaptor::Open(durability);
+  ASSERT_TRUE(opened.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(opened.value()->IngestParsedLog(MakeBatch(i)).ok());
+  }
+  // Epochs 2 and 4 crossed the interval.
+  EXPECT_EQ(opened.value()->durability_stats().checkpoints, 2u);
+  ASSERT_TRUE(opened.value()->Close().ok());
+  EXPECT_FALSE(opened.value()->durable());
+  // Closed facade refuses further mutations but still answers queries.
+  EXPECT_FALSE(opened.value()->IngestParsedLog(MakeBatch(9)).ok());
+  EXPECT_TRUE(opened.value()->Hunt(kSecretQuery).ok());
+}
+
+TEST(RetentionTest, EvictedEpochsNoLongerMatch) {
+  const std::string dir = FreshDir("retention_evict");
+  persist::DurabilityOptions durability;
+  durability.data_dir = dir;
+  durability.retention_horizon_epochs = 2;
+  auto opened = ThreatRaptor::Open(durability);
+  ASSERT_TRUE(opened.ok());
+  ThreatRaptor& tr = *opened.value();
+  constexpr int kBatches = 6;
+  for (int i = 0; i < kBatches; ++i) {
+    ASSERT_TRUE(tr.IngestParsedLog(MakeBatch(i)).ok());
+  }
+  const storage::ReductionStats before = tr.store()->reduction_stats();
+  const size_t before_events = tr.store()->event_count();
+
+  // The checkpoint applies retention: epochs older than (current - 2)
+  // age out, i.e. batches 0-3 go, batches 4 and 5 survive.
+  ASSERT_TRUE(tr.Checkpoint().ok());
+  persist::DurabilityStats stats = tr.durability_stats();
+  EXPECT_EQ(stats.epochs_evicted, 4u);
+  EXPECT_EQ(stats.events_evicted, 8u);
+  EXPECT_EQ(tr.store()->event_count(), before_events - 8);
+
+  // Evicted epochs no longer match; surviving ones still do.
+  auto report = tr.Hunt(kSecretQuery);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().results.rows.size(), 2u);
+  const std::string rendered = report.value().results.ToString();
+  EXPECT_EQ(rendered.find("secret0"), std::string::npos);
+  EXPECT_NE(rendered.find("secret4"), std::string::npos);
+  EXPECT_NE(rendered.find("secret5"), std::string::npos);
+
+  // Reduction ratios over the surviving window are unchanged: eviction
+  // touches neither the input nor the output counters.
+  EXPECT_EQ(tr.store()->reduction_stats().input_events,
+            before.input_events);
+  EXPECT_EQ(tr.store()->reduction_stats().output_events,
+            before.output_events);
+
+  // The eviction is durable: a restart restores only the survivors.
+  ASSERT_TRUE(tr.Close().ok());
+  auto reopened = ThreatRaptor::Open(durability);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto after = reopened.value()->Hunt(kSecretQuery);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().results.ToString(), rendered);
+  EXPECT_EQ(reopened.value()->store()->evicted_through(), 8u);
+}
+
+TEST(StreamResumeTest, TailResumesAtRestoredOffset) {
+  const std::string dir = FreshDir("stream_resume");
+  const std::string path = testing::TempDir() + "/resume_tail.jsonl";
+  fs::remove(path);
+
+  audit::BenignProfile profile;
+  profile.num_processes = 10;
+  profile.seed = 33;
+  audit::BenignWorkloadSimulator sim;
+  std::vector<audit::SyscallRecord> records = sim.Generate(profile);
+  ASSERT_GT(records.size(), 10u);
+  const size_t half = records.size() / 2;
+  std::vector<audit::SyscallRecord> first(records.begin(),
+                                          records.begin() + half);
+  std::vector<audit::SyscallRecord> second(records.begin() + half,
+                                           records.end());
+
+  persist::DurabilityOptions durability;
+  durability.data_dir = dir;
+
+  // Session 1: tail the first half, persisting the consumed offset with
+  // every batch.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << audit::RecordsToJsonl(first);
+  }
+  uint64_t committed = 0;
+  {
+    auto opened = ThreatRaptor::Open(durability);
+    ASSERT_TRUE(opened.ok());
+    stream::JsonlTailSource source(path);
+    source.FinishFile();
+    for (;;) {
+      auto batch = source.Poll();
+      ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+      if (!batch.value().records.empty()) {
+        ASSERT_TRUE(opened.value()
+                        ->IngestSyscalls(batch.value().records, path,
+                                         source.committed_offset())
+                        .ok());
+      }
+      if (batch.value().end_of_stream) break;
+    }
+    committed = source.committed_offset();
+    ASSERT_GT(committed, 0u);
+    ASSERT_TRUE(opened.value()->Close().ok());
+  }
+
+  // The log grows while we are down.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << audit::RecordsToJsonl(second);
+  }
+
+  // Session 2: the restored offset skips everything already ingested.
+  auto reopened = ThreatRaptor::Open(durability);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ThreatRaptor& tr = *reopened.value();
+  auto restored = tr.restored_stream_offset(path);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, committed);
+  EXPECT_FALSE(tr.restored_stream_offset("/no/such/stream").has_value());
+
+  stream::JsonlTailOptions topts;
+  topts.start_offset = static_cast<size_t>(*restored);
+  stream::JsonlTailSource source(path, topts);
+  source.FinishFile();
+  size_t resumed_records = 0;
+  for (;;) {
+    auto batch = source.Poll();
+    ASSERT_TRUE(batch.ok());
+    if (!batch.value().records.empty()) {
+      resumed_records += batch.value().records.size();
+      ASSERT_TRUE(tr.IngestSyscalls(batch.value().records, path,
+                                    source.committed_offset())
+                      .ok());
+    }
+    if (batch.value().end_of_stream) break;
+  }
+  EXPECT_EQ(resumed_records, second.size());  // nothing skipped or repeated
+
+  // The resumed store matches an uninterrupted ingest of the same splits.
+  ThreatRaptor ref;
+  ASSERT_TRUE(ref.IngestSyscalls(first).ok());
+  ASSERT_TRUE(ref.IngestSyscalls(second).ok());
+  EXPECT_EQ(tr.store()->entity_count(), ref.store()->entity_count());
+  EXPECT_EQ(tr.store()->event_count(), ref.store()->event_count());
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace raptor

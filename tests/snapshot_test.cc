@@ -1,89 +1,95 @@
+// The v1 text snapshot format is retired: persistence now goes through
+// persist::Checkpointer (see persist_test.cc / recovery_test.cc). What
+// remains here is the one-release compatibility shim that imports v1 data
+// — plus the ExplainPlanText coverage that always lived in this file.
 #include <gtest/gtest.h>
 
-#include "audit/parser.h"
-#include "audit/simulator.h"
-#include "engine/explain.h"
-#include "storage/snapshot.h"
-#include "storage/store.h"
+#include <cstdio>
+#include <fstream>
 
-namespace raptor::storage {
+#include "engine/explain.h"
+#include "persist/legacy_v1.h"
+#include "threatraptor.h"
+
+namespace raptor {
 namespace {
 
-audit::ParsedLog MakeLog(int processes, uint64_t seed) {
-  audit::BenignProfile profile;
-  profile.num_processes = processes;
-  profile.seed = seed;
-  audit::BenignWorkloadSimulator sim;
-  audit::ParsedLog log;
-  audit::AuditLogParser parser;
-  EXPECT_TRUE(parser.Parse(sim.Generate(profile), &log).ok());
-  return log;
+// A v1 snapshot as the previous release's SaveSnapshot wrote it: header,
+// "E <n>" + tab-separated entity lines (type, name, exename, pid, cmd,
+// srcip, srcport, dstip, dstport, protocol, user, group), then "V <n>" +
+// event lines (subject, object, op, start, end, amount, failure).
+constexpr char kV1Blob[] =
+    "raptor-snapshot v1\n"
+    "E 3\n"
+    "1\t\tcurl\t42\tcurl http://x\t\t0\t\t0\t\talice\tusers\n"
+    "0\t/tmp/out.bin\t\t0\t\t\t0\t\t0\t\talice\tusers\n"
+    "2\t\t\t0\t\t10.0.0.5\t5000\t93.184.216.34\t80\ttcp\t\t\n"
+    "V 2\n"
+    "1\t3\t6\t100\t101\t512\t0\n"
+    "1\t2\t1\t102\t103\t2048\t0\n";
+
+TEST(V1ShimTest, ParsesV1Text) {
+  auto log = persist::ParseV1Snapshot(kV1Blob);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  ASSERT_EQ(log.value().entities.size(), 3u);
+  const audit::SystemEntity& proc = log.value().entities.Get(1);
+  EXPECT_EQ(proc.type, audit::EntityType::kProcess);
+  EXPECT_EQ(proc.exename, "curl");
+  EXPECT_EQ(proc.pid, 42);
+  EXPECT_EQ(proc.user, "alice");
+  const audit::SystemEntity& net = log.value().entities.Get(3);
+  EXPECT_EQ(net.type, audit::EntityType::kNetwork);
+  EXPECT_EQ(net.dstip, "93.184.216.34");
+  EXPECT_EQ(net.dstport, 80);
+  ASSERT_EQ(log.value().events.size(), 2u);
+  EXPECT_EQ(log.value().events[0].subject, 1u);
+  EXPECT_EQ(log.value().events[0].object, 3u);
+  EXPECT_EQ(log.value().events[0].object_type, audit::EntityType::kNetwork);
+  EXPECT_EQ(log.value().events[1].op, audit::EventOp::kWrite);
+  EXPECT_EQ(log.value().events[1].amount, 2048);
 }
 
-TEST(SnapshotTest, RoundTripPreservesEverything) {
-  audit::ParsedLog log = MakeLog(30, 77);
-  std::string blob = SnapshotToString(log);
-  auto restored = SnapshotFromString(blob);
-  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
-
-  ASSERT_EQ(restored.value().entities.size(), log.entities.size());
-  for (size_t i = 1; i <= log.entities.size(); ++i) {
-    const audit::SystemEntity& a = log.entities.Get(i);
-    const audit::SystemEntity& b = restored.value().entities.Get(i);
-    EXPECT_EQ(a.type, b.type);
-    EXPECT_EQ(a.UniqueKey(), b.UniqueKey());
-    EXPECT_EQ(a.user, b.user);
-  }
-  ASSERT_EQ(restored.value().events.size(), log.events.size());
-  for (size_t i = 0; i < log.events.size(); ++i) {
-    const audit::SystemEvent& a = log.events[i];
-    const audit::SystemEvent& b = restored.value().events[i];
-    EXPECT_EQ(a.subject, b.subject);
-    EXPECT_EQ(a.object, b.object);
-    EXPECT_EQ(a.op, b.op);
-    EXPECT_EQ(a.start_time, b.start_time);
-    EXPECT_EQ(a.end_time, b.end_time);
-    EXPECT_EQ(a.amount, b.amount);
-  }
+TEST(V1ShimTest, EscapedStringsSurvive) {
+  const std::string blob =
+      "raptor-snapshot v1\n"
+      "E 2\n"
+      "1\t\t/bin/we\\tird\\\\exe\t1\ta\\nb\t\t0\t\t0\t\t\t\n"
+      "0\t/tmp/tab\\there\t\t0\t\t\t0\t\t0\t\t\t\n"
+      "V 1\n"
+      "1\t2\t1\t0\t0\t0\t0\n";
+  auto log = persist::ParseV1Snapshot(blob);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_EQ(log.value().entities.Get(1).exename, "/bin/we\tird\\exe");
+  EXPECT_EQ(log.value().entities.Get(1).cmd, "a\nb");
+  EXPECT_EQ(log.value().entities.Get(2).name, "/tmp/tab\there");
 }
 
-TEST(SnapshotTest, RestoredLogLoadsIntoStore) {
-  audit::ParsedLog log = MakeLog(20, 88);
-  auto restored = SnapshotFromString(SnapshotToString(log));
-  ASSERT_TRUE(restored.ok());
-  AuditStore a, b;
-  ASSERT_TRUE(a.Load(log).ok());
-  ASSERT_TRUE(b.Load(restored.value()).ok());
-  EXPECT_EQ(a.entity_count(), b.entity_count());
-  EXPECT_EQ(a.event_count(), b.event_count());
-}
-
-TEST(SnapshotTest, EscapedStringsSurvive) {
-  audit::ParsedLog log;
-  audit::EntityStore& es = log.entities;
-  audit::EntityId p = es.InternProcess("/bin/we\tird\\exe", 1, "a\nb");
-  audit::EntityId f = es.InternFile("/tmp/tab\there");
-  audit::SystemEvent ev;
-  ev.id = 1;
-  ev.subject = p;
-  ev.object = f;
-  ev.op = audit::EventOp::kWrite;
-  ev.object_type = audit::EntityType::kFile;
-  log.events.push_back(ev);
-  auto restored = SnapshotFromString(SnapshotToString(log));
-  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
-  EXPECT_EQ(restored.value().entities.Get(p).exename, "/bin/we\tird\\exe");
-  EXPECT_EQ(restored.value().entities.Get(p).cmd, "a\nb");
-  EXPECT_EQ(restored.value().entities.Get(f).name, "/tmp/tab\there");
-}
-
-TEST(SnapshotTest, RejectsGarbage) {
-  EXPECT_FALSE(SnapshotFromString("").ok());
-  EXPECT_FALSE(SnapshotFromString("not a snapshot").ok());
-  EXPECT_FALSE(SnapshotFromString("raptor-snapshot v1\nE 5\n").ok());
+TEST(V1ShimTest, RejectsGarbage) {
+  EXPECT_FALSE(persist::ParseV1Snapshot("").ok());
+  EXPECT_FALSE(persist::ParseV1Snapshot("not a snapshot").ok());
+  EXPECT_FALSE(persist::ParseV1Snapshot("raptor-snapshot v1\nE 5\n").ok());
   EXPECT_FALSE(
-      SnapshotFromString("raptor-snapshot v1\nE 0\nV 1\n1\t9\t0\t0\t0\t0\t0\n")
+      persist::ParseV1Snapshot(
+          "raptor-snapshot v1\nE 0\nV 1\n1\t9\t0\t0\t0\t0\t0\n")
           .ok());  // event references unknown entity
+}
+
+TEST(V1ShimTest, ImportsIntoFacade) {
+  const std::string path =
+      testing::TempDir() + "/v1_shim_import_test.snap";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good());
+    out << kV1Blob;
+  }
+  ThreatRaptor tr;
+  ASSERT_TRUE(tr.ImportV1Snapshot(path).ok());
+  EXPECT_EQ(tr.store()->entity_count(), 3u);
+  EXPECT_EQ(tr.store()->event_count(), 2u);
+  auto report = tr.Hunt("proc p[\"%curl%\"] write file f return p, f");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().results.rows.size(), 1u);
+  std::remove(path.c_str());
 }
 
 TEST(ExplainTest, RendersScheduledPlan) {
@@ -113,4 +119,4 @@ TEST(ExplainTest, PropagatesParseErrors) {
 }
 
 }  // namespace
-}  // namespace raptor::storage
+}  // namespace raptor

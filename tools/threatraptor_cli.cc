@@ -23,6 +23,15 @@
 //       when the file stops growing for N ms (default 2000).
 //   threatraptor fuzzy (--log <log.jsonl> | --case <case-id>) --query <tbql>
 //       Execute a TBQL query in fuzzy (Poirot-alignment) search mode.
+//
+// Durability (hunt command): --data-dir <dir> persists every ingested
+// batch through a write-ahead log and checkpoints (--checkpoint-every N
+// epochs) into <dir>. --restore hunts over the recovered store with no
+// --log/--case. A durable --follow run resumes the tail at the recovered
+// byte offset, so restarting it neither skips nor re-ingests records.
+//
+//   threatraptor import-v1 <in.snap> --data-dir <dir>
+//       One-release shim: ingest a v1 text snapshot into a durable store.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,7 +42,6 @@
 #include "audit/jsonl.h"
 #include "audit/parser.h"
 #include "engine/explain.h"
-#include "storage/snapshot.h"
 #include "cases/cases.h"
 #include "stream/event_stream.h"
 #include "stream/ingestor.h"
@@ -51,14 +59,16 @@ int Usage() {
       "  threatraptor demo <case-id>\n"
       "  threatraptor extract <oscti.txt>\n"
       "  threatraptor gen-log <case-id> <out.jsonl>\n"
-      "  threatraptor hunt (--log <log.jsonl> | --case <id>) --query <tbql>\n"
-      "      [--query <tbql> ...] [--jobs N]\n"
+      "  threatraptor hunt (--log <log.jsonl> | --case <id> | --restore)\n"
+      "      --query <tbql> [--query <tbql> ...] [--jobs N]\n"
+      "      [--data-dir <dir>] [--checkpoint-every N]\n"
       "  threatraptor hunt --follow <log.jsonl> --query <tbql> [--query ...]\n"
-      "      [--standing] [--idle-ms N]\n"
+      "      [--standing] [--idle-ms N] [--data-dir <dir>]\n"
+      "      [--checkpoint-every N]\n"
       "  threatraptor fuzzy (--log <log.jsonl> | --case <id>) --query "
       "<tbql>\n"
       "  threatraptor explain --query <tbql>\n"
-      "  threatraptor snapshot <log.jsonl> <out.snap>\n");
+      "  threatraptor import-v1 <in.snap> --data-dir <dir>\n");
   return 2;
 }
 
@@ -186,10 +196,22 @@ struct HuntArgs {
   std::string follow_path;  // continuous mode: tail this JSONL file
   bool standing = false;    // register queries as standing hunts
   long long idle_ms = 2000; // stream ends after this long without growth
+  std::string data_dir;     // durable mode: WAL + checkpoints live here
+  long long checkpoint_every = 0;  // auto-checkpoint interval in epochs
+  bool restore = false;     // hunt over the data dir's recovered store
   std::vector<std::string> queries;
   int jobs = 1;
 
   const std::string& query() const { return queries.front(); }
+
+  persist::DurabilityOptions Durability() const {
+    persist::DurabilityOptions d;
+    d.data_dir = data_dir;
+    if (checkpoint_every > 0) {
+      d.snapshot_interval_epochs = static_cast<uint64_t>(checkpoint_every);
+    }
+    return d;
+  }
 };
 
 bool ParseHuntArgs(int argc, char** argv, int start, HuntArgs* out) {
@@ -217,6 +239,17 @@ bool ParseHuntArgs(int argc, char** argv, int start, HuntArgs* out) {
       if (v == nullptr) return false;
       out->idle_ms = std::atoll(v);
       if (out->idle_ms < 0) return false;
+    } else if (arg == "--data-dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->data_dir = v;
+    } else if (arg == "--checkpoint-every") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->checkpoint_every = std::atoll(v);
+      if (out->checkpoint_every < 1) return false;
+    } else if (arg == "--restore") {
+      out->restore = true;
     } else if (arg == "--query") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -231,12 +264,34 @@ bool ParseHuntArgs(int argc, char** argv, int start, HuntArgs* out) {
     }
   }
   if (out->standing && out->follow_path.empty()) return false;
+  if (out->restore && out->data_dir.empty()) return false;
+  if (out->checkpoint_every > 0 && out->data_dir.empty()) return false;
   return (!out->log_path.empty() || !out->case_id.empty() ||
-          !out->follow_path.empty()) &&
+          !out->follow_path.empty() || out->restore) &&
          !out->queries.empty();
 }
 
 Result<std::unique_ptr<ThreatRaptor>> LoadForHunt(const HuntArgs& args) {
+  if (!args.data_dir.empty()) {
+    RAPTOR_ASSIGN_OR_RETURN(std::unique_ptr<ThreatRaptor> tr,
+                            ThreatRaptor::Open(args.Durability()));
+    if (!args.log_path.empty()) {
+      auto content = ReadFile(args.log_path);
+      if (!content.ok()) return content.status();
+      RAPTOR_ASSIGN_OR_RETURN(std::vector<audit::SyscallRecord> records,
+                              audit::ParseJsonlRecords(content.value()));
+      RAPTOR_RETURN_NOT_OK(tr->IngestSyscalls(records));
+    } else if (!args.case_id.empty()) {
+      const cases::AttackCase* c = cases::FindCase(args.case_id);
+      if (c == nullptr) {
+        return Status::NotFound("unknown case: " + args.case_id);
+      }
+      RAPTOR_RETURN_NOT_OK(tr->IngestSyscalls(cases::BuildCaseLog(*c)));
+    } else if (tr->store() == nullptr) {
+      return Status::NotFound("nothing to restore from " + args.data_dir);
+    }
+    return tr;
+  }
   return args.log_path.empty() ? LoadFromCase(args.case_id)
                                : LoadFromJsonl(args.log_path);
 }
@@ -255,12 +310,25 @@ int PrintHuntReport(const engine::ExecReport& report) {
 /// gate; queries either stand (deltas print per epoch) or run once at the
 /// end of the stream.
 int FollowHunt(const HuntArgs& args) {
-  ThreatRaptor tr;
-  // Bootstrap an empty store so the service and schemas exist before the
-  // first standing refresh.
-  if (Status boot = tr.IngestSyscalls({}); !boot.ok()) {
-    std::fprintf(stderr, "%s\n", boot.ToString().c_str());
-    return 1;
+  std::unique_ptr<ThreatRaptor> owned;
+  if (!args.data_dir.empty()) {
+    auto opened = ThreatRaptor::Open(args.Durability());
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    owned = std::move(opened).value();
+  } else {
+    owned = std::make_unique<ThreatRaptor>();
+  }
+  ThreatRaptor& tr = *owned;
+  // Bootstrap an empty store (unless recovery restored one) so the
+  // service and schemas exist before the first standing refresh.
+  if (tr.store() == nullptr) {
+    if (Status boot = tr.IngestSyscalls({}); !boot.ok()) {
+      std::fprintf(stderr, "%s\n", boot.ToString().c_str());
+      return 1;
+    }
   }
   service::HuntService* service = tr.hunt_service();
 
@@ -296,14 +364,26 @@ int FollowHunt(const HuntArgs& args) {
     }
   }
 
-  stream::JsonlTailSource source(args.follow_path);
+  stream::JsonlTailOptions topts;
+  if (tr.durable()) {
+    // Resume the tail after the last batch the WAL/snapshot persisted; a
+    // restarted follow neither skips nor re-ingests records.
+    if (auto off = tr.restored_stream_offset(args.follow_path)) {
+      topts.start_offset = static_cast<size_t>(*off);
+      std::printf("resuming %s at byte %llu\n", args.follow_path.c_str(),
+                  static_cast<unsigned long long>(*off));
+    }
+  }
+  stream::JsonlTailSource source(args.follow_path, topts);
   stream::IngestorOptions iopts;
   iopts.idle_give_up_micros = args.idle_ms * 1000;
   iopts.finish = [&] { return tr.FlushIngest(); };
   stream::StreamIngestor ingestor(
       &source,
       [&](const std::vector<audit::SyscallRecord>& records) {
-        return tr.IngestSyscalls(records);
+        if (!tr.durable()) return tr.IngestSyscalls(records);
+        return tr.IngestSyscalls(records, args.follow_path,
+                                 source.committed_offset());
       },
       iopts);
   std::printf("following %s (stop after %lld ms idle)...\n",
@@ -324,6 +404,21 @@ int FollowHunt(const HuntArgs& args) {
               stats.batches, stats.records,
               static_cast<unsigned long long>(service->epoch()),
               tr.store()->entity_count(), tr.store()->event_count());
+  // Final checkpoint + detach persistence (prints WAL/snapshot totals).
+  auto close_durable = [&](int rc) {
+    if (!tr.durable()) return rc;
+    persist::DurabilityStats ds = tr.durability_stats();
+    if (Status st = tr.Close(); !st.ok()) {
+      std::fprintf(stderr, "close failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("durability: %llu WAL records (%llu bytes), "
+                "%llu checkpoints (+1 on close)\n",
+                static_cast<unsigned long long>(ds.wal_records),
+                static_cast<unsigned long long>(ds.wal_bytes),
+                static_cast<unsigned long long>(ds.checkpoints));
+    return rc;
+  };
   if (args.standing) {
     for (size_t i = 0; i < handles.size(); ++i) {
       std::printf("query %zu delivered %zu rows across %llu epochs\n", i + 1,
@@ -331,7 +426,7 @@ int FollowHunt(const HuntArgs& args) {
                   static_cast<unsigned long long>(
                       handles[i].delivered_epoch()));
     }
-    return 0;
+    return close_durable(0);
   }
   // One-shot mode: run the queries against the fully-ingested store.
   int rc = 0;
@@ -346,7 +441,7 @@ int FollowHunt(const HuntArgs& args) {
     }
     PrintHuntReport(report.value());
   }
-  return rc;
+  return close_durable(rc);
 }
 
 int Hunt(const HuntArgs& args) {
@@ -356,14 +451,22 @@ int Hunt(const HuntArgs& args) {
     std::fprintf(stderr, "%s\n", tr.status().ToString().c_str());
     return 1;
   }
+  auto close_durable = [&](int rc) {
+    if (!tr.value()->durable()) return rc;
+    if (Status st = tr.value()->Close(); !st.ok()) {
+      std::fprintf(stderr, "close failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    return rc;
+  };
   if (args.queries.size() == 1 && args.jobs <= 1) {
     auto report = tr.value()->Hunt(args.query());
     if (!report.ok()) {
       std::fprintf(stderr, "query failed: %s\n",
                    report.status().ToString().c_str());
-      return 1;
+      return close_durable(1);
     }
-    return PrintHuntReport(report.value());
+    return close_durable(PrintHuntReport(report.value()));
   }
   // Multiple queries (or an explicit --jobs): submit everything through
   // the hunt service and let up to `jobs` hunts run concurrently; results
@@ -390,7 +493,7 @@ int Hunt(const HuntArgs& args) {
     }
     PrintHuntReport(tickets[i].response().report);
   }
-  return rc;
+  return close_durable(rc);
 }
 
 int Fuzzy(const HuntArgs& args) {
@@ -425,31 +528,26 @@ int Explain(const std::string& query) {
   return 0;
 }
 
-int Snapshot(const std::string& jsonl_path, const std::string& out_path) {
-  auto content = ReadFile(jsonl_path);
-  if (!content.ok()) {
-    std::fprintf(stderr, "%s\n", content.status().ToString().c_str());
+int ImportV1(const std::string& snap_path, const std::string& data_dir) {
+  persist::DurabilityOptions durability;
+  durability.data_dir = data_dir;
+  auto tr = ThreatRaptor::Open(durability);
+  if (!tr.ok()) {
+    std::fprintf(stderr, "%s\n", tr.status().ToString().c_str());
     return 1;
   }
-  auto records = audit::ParseJsonlRecords(content.value());
-  if (!records.ok()) {
-    std::fprintf(stderr, "%s\n", records.status().ToString().c_str());
-    return 1;
-  }
-  audit::ParsedLog log;
-  audit::AuditLogParser parser;
-  Status st = parser.Parse(records.value(), &log);
-  if (!st.ok()) {
+  if (Status st = tr.value()->ImportV1Snapshot(snap_path); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  st = storage::SaveSnapshot(log, out_path);
-  if (!st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+  std::printf("imported %s: store has %zu entities, %zu events\n",
+              snap_path.c_str(), tr.value()->store()->entity_count(),
+              tr.value()->store()->event_count());
+  if (Status st = tr.value()->Close(); !st.ok()) {
+    std::fprintf(stderr, "close failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("snapshot: %zu entities, %zu events -> %s\n",
-              log.entities.size(), log.events.size(), out_path.c_str());
+  std::printf("checkpointed into %s\n", data_dir.c_str());
   return 0;
 }
 
@@ -465,7 +563,10 @@ int main(int argc, char** argv) {
   if (cmd == "explain" && argc == 4 && std::strcmp(argv[2], "--query") == 0) {
     return Explain(argv[3]);
   }
-  if (cmd == "snapshot" && argc == 4) return Snapshot(argv[2], argv[3]);
+  if (cmd == "import-v1" && argc == 5 &&
+      std::strcmp(argv[3], "--data-dir") == 0) {
+    return ImportV1(argv[2], argv[4]);
+  }
   if (cmd == "hunt" || cmd == "fuzzy") {
     HuntArgs args;
     if (!ParseHuntArgs(argc, argv, 2, &args)) return Usage();
