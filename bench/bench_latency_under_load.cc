@@ -1,0 +1,204 @@
+// Hunt latency under mixed load: one-shot hunts racing a firehose writer
+// through the epoch gate, with the writer preference bounded
+// (max_consecutive_ingests = 4, the default) versus unbounded (0, the
+// legacy starvation-prone preference kept for this comparison). The
+// bounded gate guarantees one queued hunt through per K-ingest window, so
+// its one-shot p99 stays finite and small relative to the unbounded run,
+// where hunts only slip in between the writer's gate acquisitions.
+//
+// Latency quantiles come from the service's own SLO metrics surface
+// (HuntService::metrics(), the same histograms `hunt --stats` prints), so
+// the bench doubles as an end-to-end check of that plumbing; a
+// client-side p99 measured around Submit/Wait is reported alongside for
+// cross-validation. Emits BENCH_latency_under_load.json with
+// bounded/unbounded p50/p99 keys tracked by the CI schema diff.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "service/hunt_service.h"
+
+using namespace raptor;
+
+namespace {
+
+/// Base store: `procs` processes each reading `files` distinct files
+/// (reduction off so results are stable across the noise ingests).
+std::unique_ptr<ThreatRaptor> BuildStore(int procs, int files,
+                                         size_t max_consecutive_ingests) {
+  ThreatRaptorOptions options;
+  options.store.enable_reduction = false;
+  options.service.max_concurrent = 2;
+  options.service.max_consecutive_ingests = max_consecutive_ingests;
+  auto tr = std::make_unique<ThreatRaptor>(options);
+  audit::ParsedLog log;
+  audit::Timestamp ts = 1'000'000;
+  for (int i = 0; i < procs; ++i) {
+    audit::EntityId p =
+        log.entities.InternProcess("/bin/svc" + std::to_string(i), 100 + i);
+    for (int j = 0; j < files; ++j) {
+      audit::EntityId f = log.entities.InternFile(
+          "/data/d" + std::to_string(i) + "_" + std::to_string(j));
+      audit::SystemEvent ev;
+      ev.id = log.events.size() + 1;
+      ev.subject = p;
+      ev.object = f;
+      ev.object_type = audit::EntityType::kFile;
+      ev.op = audit::EventOp::kRead;
+      ev.start_time = ts;
+      ev.end_time = ts + 10;
+      ts += 100;
+      log.events.push_back(ev);
+    }
+  }
+  if (Status st = tr->IngestParsedLog(log); !st.ok()) {
+    std::fprintf(stderr, "base ingest failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  return tr;
+}
+
+double Quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  size_t rank = static_cast<size_t>(q * (xs.size() - 1) + 0.5);
+  return xs[std::min(rank, xs.size() - 1)];
+}
+
+struct RunResult {
+  service::HuntService::Metrics metrics;
+  std::vector<double> client_latency_ms;  // Submit -> Wait, per hunt
+  size_t hunts_failed = 0;
+  size_t ingest_batches = 0;
+  double wall_seconds = 0;
+};
+
+/// `hunts` one-shot hunts (2 hunter threads) against a continuous writer
+/// that keeps the gate hot until the last hunt completes.
+RunResult RunMixedLoad(int procs, int files, int hunts,
+                       size_t max_consecutive_ingests) {
+  auto tr = BuildStore(procs, files, max_consecutive_ingests);
+  service::HuntService* service = tr->hunt_service();
+  RunResult out;
+  std::atomic<bool> stop_writer{false};
+  std::atomic<size_t> batches{0};
+  auto start = std::chrono::steady_clock::now();
+  std::thread writer([&] {
+    // Tiny batches back-to-back: the writer re-enters the gate as fast as
+    // the epoch machinery lets it, the worst case for reader latency.
+    for (int b = 0; !stop_writer.load(std::memory_order_relaxed); ++b) {
+      audit::ParsedLog log;
+      audit::EntityId p = log.entities.InternProcess(
+          "/bin/noise" + std::to_string(b), 50'000 + b);
+      audit::EntityId f =
+          log.entities.InternFile("/noise/n" + std::to_string(b));
+      audit::SystemEvent ev;
+      ev.id = 1;
+      ev.subject = p;
+      ev.object = f;
+      ev.object_type = audit::EntityType::kFile;
+      ev.op = audit::EventOp::kWrite;
+      ev.start_time = 10'000'000 + b;
+      ev.end_time = 10'000'001 + b;
+      log.events.push_back(ev);
+      if (!tr->IngestParsedLog(log).ok()) break;
+      ++batches;
+    }
+  });
+  std::mutex lat_mu;
+  std::atomic<size_t> failed{0};
+  std::atomic<int> next_hunt{0};
+  std::vector<std::thread> hunters;
+  for (int h = 0; h < 2; ++h) {
+    hunters.emplace_back([&] {
+      while (next_hunt.fetch_add(1) < hunts) {
+        service::HuntRequest req;
+        req.text = "proc p[\"%svc1%\"] read file f return p, f";
+        auto t0 = std::chrono::steady_clock::now();
+        service::HuntTicket ticket = service->Submit(std::move(req));
+        if (!ticket.Wait().ok()) {
+          ++failed;
+          continue;
+        }
+        double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+        std::lock_guard<std::mutex> lock(lat_mu);
+        out.client_latency_ms.push_back(ms);
+      }
+    });
+  }
+  for (std::thread& t : hunters) t.join();
+  stop_writer.store(true, std::memory_order_relaxed);
+  writer.join();
+  out.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  out.metrics = service->metrics();
+  out.hunts_failed = failed.load();
+  out.ingest_batches = batches.load();
+  return out;
+}
+
+void Report(bench::BenchReport& report, TablePrinter& table,
+            const std::string& label, const RunResult& r) {
+  const service::HuntService::LatencySummary& h = r.metrics.hunt_latency;
+  double client_p50 = Quantile(r.client_latency_ms, 0.50);
+  double client_p99 = Quantile(r.client_latency_ms, 0.99);
+  table.AddRow({label, std::to_string(r.client_latency_ms.size()),
+                StrFormat("%.2f", h.p50_micros / 1e3),
+                StrFormat("%.2f", h.p99_micros / 1e3),
+                StrFormat("%.2f", client_p99),
+                std::to_string(r.ingest_batches),
+                StrFormat("%.3f", r.metrics.gate_wait_seconds_max)});
+  report.Metric(label, "p50_ms", h.p50_micros / 1e3);
+  report.Metric(label, "p99_ms", h.p99_micros / 1e3);
+  report.Metric(label, "mean_ms", h.mean_micros / 1e3);
+  report.Metric(label, "client_p50_ms", client_p50);
+  report.Metric(label, "client_p99_ms", client_p99);
+  report.Metric(label, "queue_wait_p99_ms", r.metrics.queue_wait.p99_micros / 1e3);
+  report.Metric(label, "hunts_completed",
+                static_cast<double>(r.client_latency_ms.size()));
+  report.Metric(label, "hunts_failed", static_cast<double>(r.hunts_failed));
+  report.Metric(label, "ingest_batches", static_cast<double>(r.ingest_batches));
+  report.Metric(label, "ingest_rate_per_s",
+                r.wall_seconds > 0 ? r.ingest_batches / r.wall_seconds : 0);
+  report.Metric(label, "gate_wait_max_s", r.metrics.gate_wait_seconds_max);
+  report.Metric(label, "wall_seconds", r.wall_seconds);
+}
+
+}  // namespace
+
+int main() {
+  int scale = bench::NoiseScale(4);
+  int procs = 20 * scale;
+  int files = 20;
+  int hunts = bench::Rounds(20) * 2;
+
+  bench::BenchReport report("latency_under_load");
+  report.Param("procs", procs);
+  report.Param("files_per_proc", files);
+  report.Param("hunts", hunts);
+  report.Param("bounded_k", 4);
+
+  TablePrinter table(
+      {"gate", "hunts", "p50_ms", "p99_ms", "client_p99_ms", "ingests",
+       "gate_wait_max_s"});
+  // Bounded writer preference (the default K = 4): one hunt is guaranteed
+  // through per 4-ingest window.
+  Report(report, table, "bounded", RunMixedLoad(procs, files, hunts, 4));
+  // Unbounded legacy preference: the writer always outranks queued hunts
+  // while it holds or waits on the gate.
+  Report(report, table, "unbounded", RunMixedLoad(procs, files, hunts, 0));
+  table.Print();
+  report.Write();
+  return 0;
+}

@@ -117,6 +117,27 @@ Result<ExecReport> TbqlExecutor::ExecuteText(std::string_view text,
   return Execute(query.value(), options);
 }
 
+double TbqlExecutor::EstimateCost(std::string_view text) const {
+  auto query = tbql::ParseTbql(text);
+  if (!query.ok()) return 0.0;
+  auto analyzed = tbql::Analyze(query.value());
+  if (!analyzed.ok()) return 0.0;
+  const AnalyzedQuery& aq = analyzed.value();
+  double total = 0.0;
+  for (size_t idx = 0; idx < aq.query->patterns.size(); ++idx) {
+    // Empty constraints and now=0: the estimate prices the un-propagated
+    // pattern, matching the worst case the scheduler starts from.
+    auto dq = CompilePattern(aq, idx, {}, 0);
+    if (!dq.ok()) continue;
+    if (dq.value().backend == Backend::kRelational) {
+      total += store_->relational().EstimateCost(dq.value().text);
+    } else {
+      total += store_->graph().EstimateCost(dq.value().text);
+    }
+  }
+  return total;
+}
+
 std::vector<std::vector<size_t>> PatternDependencies(
     const AnalyzedQuery& aq, const std::vector<size_t>& order) {
   const tbql::TbqlQuery& query = *aq.query;

@@ -111,6 +111,14 @@ class TbqlExecutor {
   Result<ExecReport> Execute(const tbql::TbqlQuery& query,
                              const ExecOptions& options = {}) const;
 
+  /// Plan-time cost estimate for `text` in "rows/nodes visited" units: each
+  /// pattern compiles to its data query (no constraint propagation — the
+  /// pre-propagation cost is the admission-relevant upper bound) and the
+  /// backend estimators (sql::EstimateSelectCost / graphdb::
+  /// EstimateCypherCost) price it from index statistics alone. Unparseable
+  /// or uncompilable text estimates 0.0 — it will fail fast at run time.
+  double EstimateCost(std::string_view text) const;
+
  private:
   const storage::AuditStore* store_;
 };

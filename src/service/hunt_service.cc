@@ -15,7 +15,23 @@ std::chrono::microseconds ClampMicros(long long micros) {
   return std::chrono::microseconds(std::max<long long>(0, micros));
 }
 
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
 }  // namespace
+
+/// The reap-back channel between outstanding tickets and the service.
+/// Shutdown() severs it (service = nullptr) under mu as its FIRST step, so
+/// any in-flight reap completes before teardown proceeds and no later reap
+/// touches a dying service. Lock order: ServiceHook::mu -> HuntService::mu_
+/// -> HuntTicket::State::mu.
+struct ServiceHook {
+  std::mutex mu;
+  HuntService* service = nullptr;
+};
 
 /// A registered standing hunt. Refreshes run one at a time (the scheduled
 /// flag, guarded by the service mutex, admits at most one queued/running
@@ -105,9 +121,32 @@ const Status& InvalidTicketStatus() {
 
 }  // namespace
 
+void HuntTicket::Reap(const std::shared_ptr<State>& state, Status status) {
+  if (state->hook == nullptr) return;
+  std::lock_guard<std::mutex> hook_lock(state->hook->mu);
+  if (state->hook->service != nullptr) {
+    state->hook->service->ReapQueued(state, std::move(status));
+  }
+  // Service already shut down: Shutdown() finishes every queued ticket
+  // itself, so the waiter's plain wait below still terminates.
+}
+
 const Status& HuntTicket::Wait() const {
   if (state_ == nullptr) return InvalidTicketStatus();
   HuntTicket::State& st = *state_;
+  // A queued hunt whose deadline passes must not wait for a worker to
+  // happen to dequeue it: expire it ourselves, releasing its queue slot.
+  // One reap attempt suffices — whatever its outcome, someone (the reap,
+  // the admitting worker, or Shutdown) is now bound to finish the ticket.
+  bool reap = false;
+  {
+    std::unique_lock<std::mutex> lock(st.mu);
+    if (st.deadline.has_value() && !st.started && !st.done) {
+      reap = !st.cv.wait_until(lock, *st.deadline,
+                               [&] { return st.done || st.started; });
+    }
+  }
+  if (reap) Reap(state_, Status::Timeout("hunt deadline exceeded"));
   std::unique_lock<std::mutex> lock(st.mu);
   st.cv.wait(lock, [&] { return st.done; });
   return st.status;
@@ -116,8 +155,19 @@ const Status& HuntTicket::Wait() const {
 bool HuntTicket::WaitFor(long long micros) const {
   if (state_ == nullptr) return true;  // an invalid ticket is "finished"
   HuntTicket::State& st = *state_;
+  auto until = std::chrono::steady_clock::now() + ClampMicros(micros);
+  bool reap = false;
+  {
+    std::unique_lock<std::mutex> lock(st.mu);
+    if (st.deadline.has_value() && !st.started && !st.done &&
+        *st.deadline < until) {
+      reap = !st.cv.wait_until(lock, *st.deadline,
+                               [&] { return st.done || st.started; });
+    }
+  }
+  if (reap) Reap(state_, Status::Timeout("hunt deadline exceeded"));
   std::unique_lock<std::mutex> lock(st.mu);
-  return st.cv.wait_for(lock, ClampMicros(micros), [&] { return st.done; });
+  return st.cv.wait_until(lock, until, [&] { return st.done; });
 }
 
 void HuntTicket::WaitStarted() const {
@@ -137,6 +187,11 @@ bool HuntTicket::done() const {
 void HuntTicket::Cancel() const {
   if (state_ == nullptr) return;
   state_->cancel.store(true, std::memory_order_relaxed);
+  // A still-queued hunt finishes right now and frees its slot — holding a
+  // queue position until a worker dequeues the corpse would block Wait()
+  // and admission capacity for nothing. Running hunts stop at their next
+  // cooperative poll; the worker finishes the ticket.
+  Reap(state_, Status::Cancelled("hunt cancelled"));
 }
 
 const Status& HuntTicket::status() const {
@@ -163,20 +218,39 @@ HuntService::HuntService(const storage::AuditStore* store,
                          HuntServiceOptions options)
     : store_(store), options_(options) {
   if (options_.max_concurrent == 0) options_.max_concurrent = 1;
+  if (options_.max_queue_per_tenant == 0) {
+    options_.max_queue_per_tenant = std::max<size_t>(1, options_.max_queue / 8);
+  }
   epoch_ = options_.initial_epoch;
+  start_time_ = std::chrono::steady_clock::now();
+  hook_ = std::make_shared<ServiceHook>();
+  hook_->service = this;
 }
 
 HuntService::~HuntService() {
+  Shutdown();
+  for (std::thread& t : workers_) t.join();
+}
+
+void HuntService::Shutdown() {
+  // Sever the ticket reap-back channel first: an in-flight Cancel/expiry
+  // reap holds hook_->mu through its whole service call, so after this
+  // block no ticket can re-enter the service. (Lock order: hook_->mu
+  // before mu_, never the reverse.)
+  {
+    std::lock_guard<std::mutex> hook_lock(hook_->mu);
+    hook_->service = nullptr;
+  }
   std::vector<StatePtr> abandoned;
   std::vector<StandingPtr> subs;
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
-    for (auto& [tenant, queue] : queues_) {
-      for (StatePtr& st : queue) abandoned.push_back(std::move(st));
-      queue.clear();
+    for (auto& [tenant, ts] : tenants_) {
+      for (StatePtr& st : ts.queue) abandoned.push_back(std::move(st));
+      ts.queue.clear();
+      ts.in_rr = false;
     }
-    queues_.clear();
     tenant_rr_.clear();
     queued_ = 0;
     // Running hunts observe the flag at their next poll point.
@@ -199,33 +273,56 @@ HuntService::~HuntService() {
   for (StatePtr& st : abandoned) {
     Finish(st, Status::Cancelled("hunt service shut down"), HuntResponse{});
   }
-  for (std::thread& t : workers_) t.join();
 }
 
 HuntTicket HuntService::Submit(HuntRequest request) {
   auto state = std::make_shared<HuntTicket::State>();
+  state->submit_time = std::chrono::steady_clock::now();
   if (request.timeout_micros >= 0) {
-    state->deadline = std::chrono::steady_clock::now() +
-                      ClampMicros(request.timeout_micros);
+    state->deadline = state->submit_time + ClampMicros(request.timeout_micros);
   }
   state->request = std::move(request);
-  bool rejected = false;
+  state->hook = hook_;
+  Status rejection;
   {
     std::lock_guard<std::mutex> lock(mu_);
     state->id = next_id_++;
     ++stats_.submitted;
-    if (stop_ || queued_ >= options_.max_queue) {
-      rejected = true;
-      ++stats_.rejected;
+    if (stop_) {
+      // Not an admission-capacity problem: the service is gone, and the
+      // caller should stop submitting rather than retry/back off.
+      rejection = Status::Cancelled("hunt service shut down");
+      ++stats_.rejected_shutdown;
     } else {
-      StartWorkersLocked();
-      EnqueueLocked(state);
+      TenantState& ts = TenantLocked(state->request.tenant);
+      ts.last_active = ++activity_seq_;
+      ++ts.submitted;
+      if (queued_ >= options_.max_queue) {
+        rejection = Status::Unavailable("hunt admission queue full");
+        ++stats_.rejected;
+        ++ts.rejected;
+      } else if (ts.queue.size() >= ts.max_queued) {
+        // The tenant's own cap — other tenants keep admitting.
+        rejection = Status::Unavailable("tenant admission queue full");
+        ++stats_.rejected;
+        ++ts.rejected;
+      } else {
+        StartWorkersLocked();
+        EnqueueLocked(state);
+      }
+      PruneIdleTenantsLocked();
     }
   }
   HuntTicket ticket{state};
-  if (rejected) {
-    Finish(state, Status::Unavailable("hunt admission queue full"),
-           HuntResponse{});
+  if (!rejection.ok()) {
+    // Finish inline, bypassing Finish(): rejections are already counted
+    // above (rejected / rejected_shutdown), not as hunt outcomes.
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->status = std::move(rejection);
+      state->done = true;
+    }
+    state->cv.notify_all();
   } else {
     cv_.notify_one();
   }
@@ -240,19 +337,35 @@ Result<HuntResponse> HuntService::Run(HuntRequest request) {
 }
 
 Status HuntService::AcquireGate() {
+  auto wait_start = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(mu_);
   ++ingests_waiting_;
   // Writer preference: a waiting ingest (ingests_waiting_ > 0) holds off
   // new admissions, so running hunts drain instead of being replaced.
-  // Queued hunts stay queued — nothing is refused.
+  // Queued hunts stay queued — nothing is refused. The preference is
+  // bounded: after max_consecutive_ingests back-to-back acquisitions with
+  // hunts waiting, the next writer yields until a worker admits one hunt
+  // (which resets the window), so a firehose source cannot starve hunt
+  // latency indefinitely.
   ingest_cv_.wait(lock, [&] {
-    return stop_ || (running_.empty() && !ingest_active_);
+    if (stop_) return true;
+    if (!running_.empty() || ingest_active_) return false;
+    if (queued_ > 0 && options_.max_consecutive_ingests > 0 &&
+        consecutive_ingests_ >= options_.max_consecutive_ingests) {
+      return false;  // budget spent; a hunt goes first
+    }
+    return true;
   });
   --ingests_waiting_;
   if (stop_) {
     return Status::Cancelled("hunt service shut down");
   }
   ingest_active_ = true;
+  ++consecutive_ingests_;
+  ++gate_acquires_;
+  double waited = MicrosSince(wait_start) / 1e6;
+  gate_wait_total_ += waited;
+  gate_wait_max_ = std::max(gate_wait_max_, waited);
   return Status::OK();
 }
 
@@ -447,7 +560,99 @@ size_t HuntService::InFlight() const {
 HuntService::Stats HuntService::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats out = stats_;
-  out.tenants = queues_.size();
+  out.tenants = distinct_tenants_;
+  return out;
+}
+
+HuntService::Metrics HuntService::metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Metrics out;
+  out.queue_depth = queued_;
+  out.running = running_.size();
+  out.workers = workers_.size();
+  out.running_cost = running_cost_;
+  out.cost_budget = options_.admission_cost_budget;
+  out.tracked_tenants = tenants_.size();
+  out.distinct_tenants = distinct_tenants_;
+  out.epoch = epoch_;
+  for (const StandingPtr& sub : standing_) {
+    if (sub->cancelled.load(std::memory_order_relaxed)) continue;
+    ++out.standing;
+    uint64_t lag = epoch_ - std::min(epoch_, sub->last_epoch);
+    out.epoch_lag = std::max(out.epoch_lag, lag);
+  }
+  out.gate_acquires = gate_acquires_;
+  out.gate_wait_seconds_total = gate_wait_total_;
+  out.gate_wait_seconds_max = gate_wait_max_;
+  out.consecutive_ingests = consecutive_ingests_;
+  out.uptime_seconds = MicrosSince(start_time_) / 1e6;
+  out.hunt_latency = hunt_latency_.Summarize();
+  out.queue_wait = queue_wait_.Summarize();
+  out.tenants.reserve(tenants_.size());
+  for (const auto& [name, ts] : tenants_) {
+    TenantMetrics tm;
+    tm.tenant = name;
+    tm.weight = ts.weight;
+    tm.max_queued = ts.max_queued;
+    tm.queued = ts.queue.size();
+    tm.running = ts.running;
+    tm.submitted = ts.submitted;
+    tm.completed = ts.completed;
+    tm.rejected = ts.rejected;
+    tm.cancelled = ts.cancelled;
+    tm.timed_out = ts.timed_out;
+    tm.failed = ts.failed;
+    tm.qps = out.uptime_seconds > 0
+                 ? static_cast<double>(ts.submitted) / out.uptime_seconds
+                 : 0.0;
+    out.tenants.push_back(std::move(tm));
+  }
+  return out;
+}
+
+void HuntService::LatencyHistogram::Record(double micros) {
+  ++count;
+  sum_micros += micros;
+  max_micros = std::max(max_micros, micros);
+  // Bucket b covers [2^b, 2^(b+1)) microseconds; bucket 0 is [0, 2).
+  size_t b = 0;
+  for (uint64_t v = static_cast<uint64_t>(std::max(0.0, micros));
+       v >= 2 && b + 1 < kBuckets; v >>= 1) {
+    ++b;
+  }
+  ++buckets[b];
+}
+
+HuntService::LatencySummary HuntService::LatencyHistogram::Summarize() const {
+  LatencySummary out;
+  out.count = count;
+  if (count == 0) return out;
+  out.mean_micros = sum_micros / static_cast<double>(count);
+  out.max_micros = max_micros;
+  auto quantile = [&](double q) {
+    // Rank-in-bucket with linear interpolation across the bucket's span;
+    // the top populated bucket is capped by the observed max.
+    double rank = q * static_cast<double>(count - 1);  // fractional: a
+    // truncated rank would pin high quantiles to the bucket floor at
+    // small counts (p99 of 2 samples must lean toward the larger one).
+    size_t seen = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      if (buckets[b] == 0) continue;
+      if (static_cast<double>(seen + buckets[b]) > rank) {
+        double lo = b == 0 ? 0.0 : static_cast<double>(uint64_t{1} << b);
+        double hi = std::min(max_micros,
+                             static_cast<double>(uint64_t{1} << (b + 1)));
+        double frac = (rank - static_cast<double>(seen)) /
+                      static_cast<double>(buckets[b]);
+        return lo + frac * std::max(0.0, hi - lo);
+      }
+      seen += buckets[b];
+    }
+    return max_micros;
+  };
+  out.p50_micros = quantile(0.50);
+  out.p90_micros = quantile(0.90);
+  out.p99_micros = quantile(0.99);
   return out;
 }
 
@@ -459,25 +664,157 @@ void HuntService::StartWorkersLocked() {
   }
 }
 
-HuntService::StatePtr HuntService::DequeueLocked() {
-  const std::string tenant = std::move(tenant_rr_.front());
-  tenant_rr_.pop_front();
-  std::deque<StatePtr>& queue = queues_.at(tenant);
-  StatePtr state = std::move(queue.front());
-  queue.pop_front();
-  --queued_;
-  // Keep the tenant in rotation while it has queued work; its next
-  // request waits behind every other tenant's head-of-line request.
-  if (!queue.empty()) tenant_rr_.push_back(tenant);
-  return state;
+HuntService::TenantState& HuntService::TenantLocked(const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    it = tenants_.emplace(tenant, TenantState{}).first;
+    TenantState& ts = it->second;
+    auto policy = options_.tenant_policies.find(tenant);
+    if (policy != options_.tenant_policies.end()) {
+      ts.weight = std::max(1, policy->second.weight);
+      ts.max_queued = policy->second.max_queued;
+    }
+    if (ts.max_queued == 0) ts.max_queued = options_.max_queue_per_tenant;
+    // First sighting — or first since the idle entry was pruned; the
+    // counter is exact while distinct tenants stay within max_idle_tenants
+    // of concurrent tracking, an over-estimate beyond that.
+    ++distinct_tenants_;
+  }
+  return it->second;
+}
+
+bool HuntService::WriterPreferredLocked() const {
+  if (ingests_waiting_ == 0) return false;
+  return options_.max_consecutive_ingests == 0 ||
+         consecutive_ingests_ < options_.max_consecutive_ingests;
+}
+
+double HuntService::CostWeightLocked(HuntTicket::State& state) {
+  if (state.cost_weight >= 0) return state.cost_weight;
+  // Safe to read index statistics here: mu_ is held and ingest_active_ is
+  // false (worker predicate), and a mutation cannot start without first
+  // taking mu_ in AcquireGate.
+  const HuntRequest& req =
+      state.standing != nullptr ? state.standing->request : state.request;
+  double cost = 0;
+  switch (req.dialect) {
+    case QueryDialect::kTbql: {
+      engine::TbqlExecutor executor(store_);
+      cost = executor.EstimateCost(req.text);
+      break;
+    }
+    case QueryDialect::kCypher:
+      cost = store_->graph().EstimateCost(req.text);
+      break;
+    case QueryDialect::kSql:
+      cost = store_->relational().EstimateCost(req.text);
+      break;
+  }
+  double denom = std::max<double>(
+      1.0, static_cast<double>(store_->entity_count() + store_->event_count()));
+  double weight = std::min(1.0, std::max(options_.min_cost_weight,
+                                         cost / denom));
+  state.cost_weight = weight;
+  return weight;
+}
+
+HuntService::StatePtr HuntService::AdmitLocked() {
+  // Walk the WRR ring from its head: admit the first tenant whose
+  // head-of-line hunt fits the remaining cost budget (a too-expensive head
+  // does not block a cheaper tenant behind it). Stale ring entries —
+  // tenants whose queue emptied through reaps — are dropped as found.
+  for (size_t i = 0; i < tenant_rr_.size();) {
+    auto it = tenants_.find(tenant_rr_[i]);
+    if (it == tenants_.end() || it->second.queue.empty()) {
+      if (it != tenants_.end()) it->second.in_rr = false;
+      tenant_rr_.erase(tenant_rr_.begin() + static_cast<long>(i));
+      continue;
+    }
+    TenantState& ts = it->second;
+    double weight = CostWeightLocked(*ts.queue.front());
+    if (!running_.empty() && options_.admission_cost_budget > 0 &&
+        running_cost_ + weight > options_.admission_cost_budget) {
+      ++i;  // over budget right now; try the next tenant's head
+      continue;
+    }
+    StatePtr state = std::move(ts.queue.front());
+    ts.queue.pop_front();
+    --queued_;
+    ++ts.running;
+    ts.last_active = ++activity_seq_;
+    // Weighted round-robin: the tenant keeps the ring head until its
+    // credits for this rotation are spent or its queue drains, then
+    // rotates to the back with fresh credits.
+    if (--ts.credits <= 0 || ts.queue.empty()) {
+      ts.in_rr = false;
+      tenant_rr_.erase(tenant_rr_.begin() + static_cast<long>(i));
+      if (!ts.queue.empty()) {
+        ts.in_rr = true;
+        ts.credits = ts.weight;
+        tenant_rr_.push_back(it->first);
+      }
+    }
+    running_.push_back(state);
+    running_cost_ += weight;
+    consecutive_ingests_ = 0;  // a hunt got through; writers restart their
+                               // preference window
+    return state;
+  }
+  return nullptr;
 }
 
 void HuntService::EnqueueLocked(const StatePtr& state) {
-  const std::string& tenant = state->request.tenant;
-  std::deque<StatePtr>& queue = queues_[tenant];
-  if (queue.empty()) tenant_rr_.push_back(tenant);
-  queue.push_back(state);
+  TenantState& ts = TenantLocked(state->request.tenant);
+  if (!ts.in_rr) {
+    ts.in_rr = true;
+    ts.credits = ts.weight;
+    tenant_rr_.push_back(state->request.tenant);
+  }
+  ts.queue.push_back(state);
   ++queued_;
+}
+
+bool HuntService::ReapQueued(const StatePtr& state, Status status) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(state->request.tenant);
+    if (it == tenants_.end()) return false;
+    std::deque<StatePtr>& queue = it->second.queue;
+    auto pos = std::find(queue.begin(), queue.end(), state);
+    if (pos == queue.end()) return false;  // admitted or finished already
+    queue.erase(pos);
+    --queued_;
+    it->second.last_active = ++activity_seq_;
+    PruneIdleTenantsLocked();
+  }
+  // A writer blocked on its spent preference budget may now see an empty
+  // queue; stale ring entries are cleaned up lazily by AdmitLocked.
+  ingest_cv_.notify_all();
+  Finish(state, std::move(status), HuntResponse{});
+  return true;
+}
+
+void HuntService::PruneIdleTenantsLocked() {
+  auto idle = [](const TenantState& ts) {
+    return ts.queue.empty() && ts.running == 0;
+  };
+  size_t idle_count = 0;
+  for (const auto& [name, ts] : tenants_) {
+    if (idle(ts)) ++idle_count;
+  }
+  while (idle_count > options_.max_idle_tenants) {
+    auto victim = tenants_.end();
+    for (auto it = tenants_.begin(); it != tenants_.end(); ++it) {
+      if (!idle(it->second)) continue;
+      if (victim == tenants_.end() ||
+          it->second.last_active < victim->second.last_active) {
+        victim = it;
+      }
+    }
+    if (victim == tenants_.end()) break;
+    tenants_.erase(victim);
+    --idle_count;
+  }
 }
 
 void HuntService::ScheduleStandingLocked(const StandingPtr& sub) {
@@ -502,16 +839,28 @@ void HuntService::WorkerLoop() {
     StatePtr state;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      // Admission pauses while a mutation holds the store or a writer is
-      // waiting for it (writer preference — ingest applies between hunt
-      // admissions instead of starving behind a full queue).
-      cv_.wait(lock, [&] {
-        return stop_ ||
-               (queued_ > 0 && !ingest_active_ && ingests_waiting_ == 0);
-      });
-      if (stop_) return;  // the destructor drained the queue
-      state = DequeueLocked();
-      running_.push_back(state);
+      for (;;) {
+        // Admission pauses while a mutation holds the store or a writer
+        // with remaining preference budget is waiting for it (bounded
+        // writer preference — ingest applies between hunt admissions
+        // instead of starving behind a full queue, but cannot starve the
+        // queue forever either).
+        cv_.wait(lock, [&] {
+          return stop_ ||
+                 (queued_ > 0 && !ingest_active_ && !WriterPreferredLocked());
+        });
+        if (stop_) return;  // Shutdown() drained the queue
+        state = AdmitLocked();
+        if (state != nullptr) break;
+        // Every queue head is over the cost budget: block until capacity
+        // changes (a hunt completes, a reap empties a queue, a submit
+        // arrives) and re-evaluate. mu_ is held from the predicate through
+        // AdmitLocked, so no wakeup can slip by in between.
+        cv_.wait(lock);
+      }
+      if (state->standing == nullptr) {
+        queue_wait_.Record(MicrosSince(state->submit_time));
+      }
     }
     {
       std::lock_guard<std::mutex> lock(state->mu);
@@ -528,8 +877,19 @@ void HuntService::WorkerLoop() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       running_.erase(std::find(running_.begin(), running_.end(), state));
+      running_cost_ -= std::max(0.0, state->cost_weight);
+      if (running_.empty()) running_cost_ = 0;  // absorb float drift
+      auto it = tenants_.find(state->request.tenant);
+      if (it != tenants_.end() && it->second.running > 0) {
+        --it->second.running;
+        it->second.last_active = ++activity_seq_;
+      }
+      PruneIdleTenantsLocked();
       wake_ingest = running_.empty() && ingests_waiting_ > 0;
     }
+    // Capacity freed: wake cost-gated sibling workers, and the writer
+    // gate if the pool drained.
+    cv_.notify_all();
     if (wake_ingest) ingest_cv_.notify_all();
     Finish(state, std::move(status), std::move(response));
   }
@@ -803,12 +1163,27 @@ void HuntService::Finish(const StatePtr& state, Status status,
   // standing refreshes are counted by RunStanding, not here.
   if (state->standing == nullptr) {
     std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(state->request.tenant);
+    TenantState* ts = it == tenants_.end() ? nullptr : &it->second;
     switch (status.code()) {
-      case StatusCode::kOk: ++stats_.completed; break;
-      case StatusCode::kCancelled: ++stats_.cancelled; break;
-      case StatusCode::kTimeout: ++stats_.timed_out; break;
+      case StatusCode::kOk:
+        ++stats_.completed;
+        if (ts != nullptr) ++ts->completed;
+        hunt_latency_.Record(MicrosSince(state->submit_time));
+        break;
+      case StatusCode::kCancelled:
+        ++stats_.cancelled;
+        if (ts != nullptr) ++ts->cancelled;
+        break;
+      case StatusCode::kTimeout:
+        ++stats_.timed_out;
+        if (ts != nullptr) ++ts->timed_out;
+        break;
       case StatusCode::kUnavailable: break;  // counted at rejection
-      default: ++stats_.failed; break;
+      default:
+        ++stats_.failed;
+        if (ts != nullptr) ++ts->failed;
+        break;
     }
   }
   {

@@ -14,8 +14,15 @@
 // Admission: up to max_concurrent read-only hunts execute at once (the
 // PR-3 thread-safety contract — single-threaded mutation, race-free const
 // queries — is what makes this sound); excess requests queue per tenant
-// and admit round-robin across tenants, so one chatty tenant cannot
-// starve the others. Each hunt's intra-query shard fan-out still runs on
+// — each tenant bounded by its own queue cap, so one flooding tenant can
+// never fill the global queue against everyone else — and admit weighted
+// round-robin across tenants. On top of the worker count, admission is
+// cost-aware: each hunt is priced at dequeue time from the executors'
+// plan-time estimators (EstimateCost — seed cardinalities × pattern
+// radius, pure index statistics), normalized by store size, and a hunt
+// only starts while the sum of running weights fits admission_cost_budget
+// (one full-store-scan-heavy hunt runs alone; cheap point hunts pack the
+// full worker width). Each hunt's intra-query shard fan-out still runs on
 // the shared common/thread_pool.h pool, as does the TBQL engine's pattern
 // DAG, so total parallelism is bounded by the pool, not multiplied by it.
 //
@@ -34,6 +41,10 @@
 // store epoch, and records the batch's touched entities as that epoch's
 // dirty set — so ingestion and hunting interleave safely under the
 // const-query thread-safety contract instead of refusing each other.
+// Writer preference is bounded: at most max_consecutive_ingests mutations
+// admit in a row while hunts wait, then one queued hunt is guaranteed
+// through before the next writer takes the gate — hunt latency stays
+// finite under a firehose source instead of starving behind it.
 //
 // Standing hunts: SubmitStanding() registers a query that re-executes
 // against every new epoch on the same admission workers (fair with
@@ -49,6 +60,7 @@
 // incremental path).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -111,6 +123,13 @@ struct HuntResponse {
 };
 
 class HuntService;
+
+/// Back-pointer from outstanding tickets to their service, severed at
+/// shutdown: lets HuntTicket::Cancel (and a Wait that sees a queued
+/// deadline expire) reap the hunt out of the admission queue promptly —
+/// releasing its slot — without the ticket outliving the service unsafely.
+/// Defined in the .cc; tickets only hold a shared_ptr.
+struct ServiceHook;
 
 /// What one ingested batch did to the store; `touched_entities` (filled by
 /// the mutation callback, e.g. from storage::AppendStats) becomes the new
@@ -218,8 +237,10 @@ class HuntTicket {
 
   bool done() const;
 
-  /// Request cooperative cancellation: a queued hunt finishes Cancelled
-  /// without executing, a running one stops at the next poll point.
+  /// Request cancellation: a still-queued hunt is reaped out of the
+  /// admission queue immediately (its ticket finishes Cancelled and its
+  /// queue slot frees without waiting for a worker); a running one stops
+  /// cooperatively at the next poll point.
   void Cancel() const;
 
   /// Precondition: done().
@@ -239,12 +260,20 @@ class HuntTicket {
     // Immutable after Submit().
     HuntRequest request;
     std::optional<std::chrono::steady_clock::time_point> deadline;
+    std::chrono::steady_clock::time_point submit_time;
     uint64_t id = 0;
     /// Non-null: this is an internal standing-hunt refresh, not a client
     /// hunt (Process runs the refresh; stats count it separately).
     std::shared_ptr<StandingState> standing;
+    /// Reap-back channel to the service for queued cancellation / queued
+    /// deadline expiry; null on internal tickets.
+    std::shared_ptr<ServiceHook> hook;
 
     std::atomic<bool> cancel{false};
+
+    /// Estimated admission weight in full-store-scan units; computed
+    /// lazily at dequeue time under the service mutex (< 0: uncomputed).
+    double cost_weight = -1.0;
 
     std::mutex mu;
     std::condition_variable cv;
@@ -257,7 +286,23 @@ class HuntTicket {
   explicit HuntTicket(std::shared_ptr<State> state)
       : state_(std::move(state)) {}
 
+  /// Pull a still-queued hunt out of the admission queue through the
+  /// service hook, finishing it with `status`. A no-op once the hunt
+  /// started, finished, or the service shut down.
+  static void Reap(const std::shared_ptr<State>& state, Status status);
+
   std::shared_ptr<State> state_;
+};
+
+/// Per-tenant admission policy; tenants without an explicit policy get
+/// weight 1 and the default queue cap.
+struct TenantPolicy {
+  /// Weighted round-robin share: a tenant with weight w admits up to w
+  /// queued hunts per rotation before yielding to the next tenant.
+  int weight = 1;
+  /// Queued-request cap for this tenant; 0 = the service-wide default
+  /// (HuntServiceOptions::max_queue_per_tenant).
+  size_t max_queued = 0;
 };
 
 struct HuntServiceOptions {
@@ -266,6 +311,34 @@ struct HuntServiceOptions {
   /// Queued (not yet admitted) requests across all tenants; Submit beyond
   /// this finishes the ticket immediately with Status::Unavailable.
   size_t max_queue = 1024;
+  /// Default per-tenant queued-request cap; a tenant at its cap gets
+  /// Status::Unavailable while other tenants keep admitting — one flooder
+  /// can no longer fill max_queue against everyone. 0 = auto:
+  /// max(1, max_queue / 8). Override per tenant via tenant_policies.
+  size_t max_queue_per_tenant = 0;
+  /// Explicit per-tenant weights and caps, keyed by tenant name (the empty
+  /// string is the default tenant).
+  std::map<std::string, TenantPolicy> tenant_policies;
+  /// Cost-aware admission: a dequeued hunt only starts while the sum of
+  /// running hunts' estimated weights (each in [min_cost_weight, 1], 1 ≈
+  /// one full scan of the store, from the executors' plan-time
+  /// EstimateCost) stays within this budget; a hunt always admits when
+  /// nothing is running. <= 0 disables the cost gate (pure worker-count
+  /// admission, the legacy behavior).
+  double admission_cost_budget = 2.0;
+  /// Floor for a hunt's normalized cost weight, so even point lookups
+  /// consume some budget and the effective width stays bounded by
+  /// admission_cost_budget / min_cost_weight.
+  double min_cost_weight = 0.05;
+  /// Bounded writer preference: at most this many consecutive gate
+  /// acquisitions (Ingest/Exclusive) admit while hunts sit queued; then
+  /// one hunt is guaranteed through before the next writer. 0 = unbounded
+  /// (the legacy starvation-prone preference, kept for benchmarks).
+  size_t max_consecutive_ingests = 4;
+  /// Idle (no queued or running hunts) tenant entries retained for their
+  /// counters; least-recently-active entries beyond this are pruned so
+  /// the tenant map stays bounded at millions-of-users scale.
+  size_t max_idle_tenants = 64;
   /// Per-epoch dirty-entity sets retained for incremental standing hunts;
   /// a subscriber further behind than this falls back to a full re-scan.
   size_t max_dirty_epochs = 64;
@@ -287,15 +360,23 @@ class HuntService {
   explicit HuntService(const storage::AuditStore* store,
                        HuntServiceOptions options = {});
 
-  /// Cancels queued hunts, requests cancellation of running ones, and
-  /// joins the admission workers.
+  /// Shutdown() + joins the admission workers.
   ~HuntService();
 
   HuntService(const HuntService&) = delete;
   HuntService& operator=(const HuntService&) = delete;
 
+  /// Stop admitting: queued hunts finish Cancelled("hunt service shut
+  /// down"), running ones are requested to cancel, standing subscriptions
+  /// detach, and later Submits are refused with the same status (counted
+  /// as Stats::rejected_shutdown, not rejected). Idempotent; the
+  /// destructor calls it and then joins the workers.
+  void Shutdown();
+
   /// Enqueue a hunt; never blocks on execution. The returned ticket is
-  /// already done() on admission rejection (queue full).
+  /// already done() on admission rejection: Status::Unavailable when the
+  /// global queue or the tenant's own cap is full, Status::Cancelled after
+  /// Shutdown().
   HuntTicket Submit(HuntRequest request);
 
   /// Convenience synchronous path: Submit + Wait + TakeResponse.
@@ -370,8 +451,9 @@ class HuntService {
     size_t failed = 0;      // finished with a non-OK, non-cancel status
     size_t cancelled = 0;
     size_t timed_out = 0;
-    size_t rejected = 0;    // admission-queue overflow
-    size_t tenants = 0;     // distinct tenants seen
+    size_t rejected = 0;    // admission rejections (global or tenant cap)
+    size_t rejected_shutdown = 0;  // Submits refused after Shutdown()
+    size_t tenants = 0;     // distinct tenants seen (survives map pruning)
     size_t ingests = 0;     // successful epoch-gated mutations
     size_t wal_records = 0; // mutations logged write-ahead
     size_t standing_refreshes = 0;    // standing executions completed
@@ -380,18 +462,129 @@ class HuntService {
   };
   Stats stats() const;
 
+  /// Latency distribution summary, read out of a log-bucketed histogram
+  /// (quantiles are bucket-resolution approximations, ~±25%).
+  struct LatencySummary {
+    size_t count = 0;
+    double p50_micros = 0;
+    double p90_micros = 0;
+    double p99_micros = 0;
+    double mean_micros = 0;
+    double max_micros = 0;
+  };
+
+  /// Per-tenant slice of the metrics surface.
+  struct TenantMetrics {
+    std::string tenant;
+    int weight = 1;
+    size_t max_queued = 0;  // resolved cap
+    size_t queued = 0;
+    size_t running = 0;
+    size_t submitted = 0;
+    size_t completed = 0;
+    size_t rejected = 0;
+    size_t cancelled = 0;
+    size_t timed_out = 0;
+    size_t failed = 0;
+    double qps = 0;  // submitted / service uptime
+  };
+
+  /// The ops-facing snapshot: queue/pool occupancy, admission cost state,
+  /// tenant tracking, epoch lag (how far the slowest live standing hunt
+  /// trails the store epoch), writer-gate contention, and hunt latency /
+  /// queue wait distributions for executed client hunts. Exported by
+  /// ThreatRaptor::service_metrics() and the CLI's `hunt --stats`.
+  struct Metrics {
+    size_t queue_depth = 0;
+    size_t running = 0;
+    size_t workers = 0;
+    double running_cost = 0;
+    double cost_budget = 0;
+    size_t tracked_tenants = 0;   // live tenant map entries (bounded)
+    size_t distinct_tenants = 0;  // ever seen (survives pruning)
+    uint64_t epoch = 0;
+    uint64_t epoch_lag = 0;
+    size_t standing = 0;
+    size_t gate_acquires = 0;     // Ingest/Exclusive gate acquisitions
+    double gate_wait_seconds_total = 0;
+    double gate_wait_seconds_max = 0;
+    size_t consecutive_ingests = 0;  // current writer-preference window
+    double uptime_seconds = 0;
+    LatencySummary hunt_latency;  // Submit -> done, completed hunts
+    LatencySummary queue_wait;    // Submit -> worker admission
+    std::vector<TenantMetrics> tenants;
+  };
+  Metrics metrics() const;
+
   size_t max_concurrent() const { return options_.max_concurrent; }
 
  private:
+  friend class HuntTicket;  // reap-back of queued tickets (Cancel/Wait)
+
   using StatePtr = std::shared_ptr<HuntTicket::State>;
   using StandingPtr = std::shared_ptr<StandingState>;
 
+  /// Admission bookkeeping for one tenant. Entries are created on first
+  /// Submit and pruned (keeping max_idle_tenants LRU survivors) once idle,
+  /// so the map stays bounded; the distinct-tenant count lives in a
+  /// counter instead. Guarded by mu_.
+  struct TenantState {
+    int weight = 1;
+    size_t max_queued = 0;  // resolved cap (policy or service default)
+    std::deque<StatePtr> queue;
+    int credits = 0;    // WRR: admissions left in the current rotation
+    bool in_rr = false;
+    size_t running = 0;
+    uint64_t last_active = 0;  // activity sequence, for LRU pruning
+    // Lifetime counters (lost if the idle entry is pruned; the aggregate
+    // Stats counters are authoritative).
+    size_t submitted = 0;
+    size_t completed = 0;
+    size_t rejected = 0;
+    size_t cancelled = 0;
+    size_t timed_out = 0;
+    size_t failed = 0;
+  };
+
+  /// Fixed log2-bucketed latency histogram over microseconds: constant
+  /// memory, lock-cheap Record, quantiles by bucket interpolation.
+  struct LatencyHistogram {
+    static constexpr size_t kBuckets = 40;
+    std::array<size_t, kBuckets> buckets{};
+    size_t count = 0;
+    double sum_micros = 0;
+    double max_micros = 0;
+    void Record(double micros);
+    LatencySummary Summarize() const;
+  };
+
   void StartWorkersLocked();
   void WorkerLoop();
-  /// Pop the next request round-robin across tenant queues. Precondition:
-  /// queued_ > 0, mu_ held.
-  StatePtr DequeueLocked();
-  /// Enqueue `state` into its tenant's queue. Precondition: mu_ held.
+  /// Find-or-create the tenant entry, stamping policy on creation and
+  /// counting first sightings. Precondition: mu_ held.
+  TenantState& TenantLocked(const std::string& tenant);
+  /// Weighted-round-robin admission: pop the next affordable request
+  /// across tenant queues, respecting the cost budget against running
+  /// hunts. Null when every queue head is currently too expensive (the
+  /// caller waits for capacity). Precondition: queued_ > 0, mu_ held, no
+  /// mutation holds the store (the lazy cost estimate reads index stats).
+  StatePtr AdmitLocked();
+  /// `state`'s admission weight, estimated on first use (plan-time
+  /// EstimateCost normalized by store size, clamped to
+  /// [min_cost_weight, 1]). Precondition: mu_ held, no mutation active.
+  double CostWeightLocked(HuntTicket::State& state);
+  /// A waiting writer currently outranks hunt admission (bounded
+  /// preference not yet exhausted). Precondition: mu_ held.
+  bool WriterPreferredLocked() const;
+  /// Remove a still-queued `state` and finish it with `status` (ticket
+  /// Cancel / queued-deadline expiry). False: not queued (already
+  /// admitted, finished, or never enqueued).
+  bool ReapQueued(const StatePtr& state, Status status);
+  /// Drop least-recently-active idle tenant entries beyond
+  /// max_idle_tenants. Precondition: mu_ held.
+  void PruneIdleTenantsLocked();
+  /// Enqueue `state` into its tenant's queue (creating the entry) and
+  /// rotate the tenant into the WRR ring. Precondition: mu_ held.
   void EnqueueLocked(const StatePtr& state);
   /// Queue a refresh of `sub` unless one is already queued or running.
   /// Precondition: mu_ held.
@@ -429,19 +622,33 @@ class HuntService {
   std::condition_variable cv_;
   /// Wakes Ingest() waiters when the last running hunt drains.
   std::condition_variable ingest_cv_;
-  std::map<std::string, std::deque<StatePtr>> queues_;  // per tenant
-  std::deque<std::string> tenant_rr_;  // tenants with queued work
+  /// Severed (service = nullptr, under hook_->mu) as the first step of
+  /// Shutdown(); every client ticket holds a copy. Lock order:
+  /// hook_->mu -> mu_ -> State::mu, never the reverse.
+  std::shared_ptr<ServiceHook> hook_;
+  std::map<std::string, TenantState, std::less<>> tenants_;
+  std::deque<std::string> tenant_rr_;  // WRR ring: tenants with queued work
   std::vector<StatePtr> running_;
+  double running_cost_ = 0;  // sum of running hunts' admission weights
   size_t queued_ = 0;
+  size_t distinct_tenants_ = 0;  // first sightings; survives map pruning
+  uint64_t activity_seq_ = 0;
   uint64_t next_id_ = 1;
   bool stop_ = false;
   std::vector<std::thread> workers_;
   Stats stats_;
+  std::chrono::steady_clock::time_point start_time_;
+  LatencyHistogram hunt_latency_;  // Submit -> done, completed client hunts
+  LatencyHistogram queue_wait_;    // Submit -> admission, client hunts
 
   // --- epoch-coordinated ingest (guarded by mu_) ---
   uint64_t epoch_ = 0;
   bool ingest_active_ = false;    // a mutation holds the store
   size_t ingests_waiting_ = 0;    // writers queued for the gate
+  size_t consecutive_ingests_ = 0;  // gate acquisitions since a hunt admitted
+  size_t gate_acquires_ = 0;
+  double gate_wait_total_ = 0;    // seconds writers spent blocked at the gate
+  double gate_wait_max_ = 0;
   struct DirtyEpoch {
     uint64_t epoch = 0;
     std::vector<audit::EntityId> entities;

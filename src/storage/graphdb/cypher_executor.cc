@@ -1254,4 +1254,99 @@ Result<GraphBlockResult> GraphDatabase::QueryBlocks(
   return ExecuteCypherBlocks(query.value(), graph_, options, stats);
 }
 
+namespace {
+
+/// Seed-cardinality estimate for `pat` as a chain start: the cheapest
+/// probe-able access path among indexed inline properties and single-var
+/// WHERE equality / IN filters (the exact rank SelectSeeds computes), the
+/// label bucket when nothing probes, the whole graph when unlabeled.
+double EstimateSeedCount(
+    const NodePattern& pat, const PropertyGraph& graph,
+    const std::vector<const CypherExpr*>* var_filters) {
+  if (pat.label.empty()) return static_cast<double>(graph.node_count());
+  size_t best = static_cast<size_t>(-1);
+  for (const PropConstraint& pc : pat.props) {
+    if (!graph.HasNodeIndex(pat.label, pc.key)) continue;
+    best = std::min(best, graph.ProbeCountNodes(pat.label, pc.key, pc.value));
+  }
+  if (var_filters != nullptr) {
+    for (const CypherExpr* f : *var_filters) {
+      std::string_view prop;
+      size_t count = 0;
+      if (f->kind == CypherExprKind::kBinary && f->op == CypherBinaryOp::kEq &&
+          f->lhs->kind == CypherExprKind::kPropRef &&
+          f->rhs->kind == CypherExprKind::kLiteral &&
+          graph.HasNodeIndex(pat.label, f->lhs->prop)) {
+        prop = f->lhs->prop;
+        count = graph.ProbeCountNodes(pat.label, prop, f->rhs->literal);
+      } else if (f->kind == CypherExprKind::kInList && !f->negated &&
+                 f->lhs->kind == CypherExprKind::kPropRef &&
+                 graph.HasNodeIndex(pat.label, f->lhs->prop)) {
+        prop = f->lhs->prop;
+        for (const Value& v : f->in_list) {
+          count += graph.ProbeCountNodes(pat.label, prop, v);
+        }
+      } else {
+        continue;
+      }
+      best = std::min(best, count);
+    }
+  }
+  if (best != static_cast<size_t>(-1)) return static_cast<double>(best);
+  size_t labeled = 0;
+  for (size_t s = 0; s < graph.shard_count(); ++s) {
+    labeled += graph.NodesWithLabel(pat.label, s).size();
+  }
+  return static_cast<double>(labeled);
+}
+
+}  // namespace
+
+double EstimateCypherCost(const CypherQuery& query, const PropertyGraph& graph,
+                          const MatchOptions& options) {
+  // Single-variable WHERE conjuncts indexed by variable — the same pushdown
+  // split ExecuteCypherBlocks performs before matching.
+  std::vector<const CypherExpr*> conjuncts;
+  SplitConjuncts(query.where.get(), &conjuncts);
+  std::unordered_map<std::string, std::vector<const CypherExpr*>> pushdown;
+  for (const CypherExpr* c : conjuncts) {
+    std::unordered_set<std::string> cvars;
+    CollectVars(*c, &cvars);
+    if (cvars.size() == 1) pushdown[*cvars.begin()].push_back(c);
+  }
+  auto filters_for = [&](const NodePattern& pat)
+      -> const std::vector<const CypherExpr*>* {
+    if (pat.var.empty()) return nullptr;
+    auto it = pushdown.find(pat.var);
+    return it == pushdown.end() ? nullptr : &it->second;
+  };
+
+  double total = 0.0;
+  for (const PatternPart& part : query.patterns) {
+    if (part.nodes.empty()) continue;
+    double radius = 0.0;
+    for (const RelPattern& r : part.rels) {
+      int hops = 1;
+      if (r.varlen) {
+        hops = r.max_len < 0 ? options.unbounded_varlen_cap : r.max_len;
+      }
+      radius += static_cast<double>(std::max(hops, 1));
+    }
+    // The matcher seeds from whichever chain end is cheaper (ChooseDirection
+    // re-resolves per binding; on the empty binding it is this static rank).
+    double fwd = EstimateSeedCount(part.nodes.front(), graph,
+                                   filters_for(part.nodes.front()));
+    double rev = EstimateSeedCount(part.nodes.back(), graph,
+                                   filters_for(part.nodes.back()));
+    total += std::min(fwd, rev) * (1.0 + radius);
+  }
+  return total;
+}
+
+double GraphDatabase::EstimateCost(std::string_view cypher) const {
+  auto query = ParseCypher(cypher);
+  if (!query.ok()) return 0.0;
+  return EstimateCypherCost(query.value(), graph_, options_);
+}
+
 }  // namespace raptor::graphdb

@@ -143,6 +143,16 @@ Result<GraphBlockResult> ExecuteCypherBlocks(const CypherQuery& query,
                                              const MatchOptions& options = {},
                                              MatchStats* stats = nullptr);
 
+/// Plan-time cost estimate in "nodes visited" units: per pattern part, the
+/// cheaper of the forward/reverse chain-start seed cardinalities (the same
+/// ProbeCountNodes / label-bucket rank SelectSeeds applies at run time,
+/// including indexed WHERE equality / IN pushdown) scaled by the pattern
+/// radius (1 + summed relationship lengths, varlen capped by
+/// options.unbounded_varlen_cap). Touches only index statistics — no node
+/// or edge visits — so admission layers can price a hunt before running it.
+double EstimateCypherCost(const CypherQuery& query, const PropertyGraph& graph,
+                          const MatchOptions& options = {});
+
 /// Default storage shard count used by the database facades (the raw
 /// PropertyGraph still defaults to one shard).
 constexpr size_t kDefaultShardCount = 4;
@@ -172,6 +182,10 @@ class GraphDatabase {
   Result<GraphBlockResult> QueryBlocks(std::string_view cypher,
                                        const MatchOptions& options,
                                        MatchStats* stats = nullptr) const;
+
+  /// Plan-time node-visit estimate for a Cypher text (EstimateCypherCost on
+  /// the parsed query); 0.0 when the text does not parse.
+  double EstimateCost(std::string_view cypher) const;
 
  private:
   PropertyGraph graph_;

@@ -54,6 +54,12 @@ Result<BlockResultSet> Database::QueryBlocks(std::string_view sql,
   return ExecuteSelectBlocks(stmt.value(), *this, options, stats);
 }
 
+double Database::EstimateCost(std::string_view sql) const {
+  auto stmt = ParseSelect(sql);
+  if (!stmt.ok()) return 0.0;
+  return EstimateSelectCost(stmt.value(), *this);
+}
+
 const Table* Database::FindTable(std::string_view name) const {
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();

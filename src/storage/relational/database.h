@@ -55,6 +55,11 @@ class Database : public Catalog {
                                      const SelectOptions& options,
                                      ExecStats* stats = nullptr) const;
 
+  /// Plan-time row-visit estimate for a SELECT text (EstimateSelectCost on
+  /// the parsed statement); 0.0 when the text does not parse — the price of
+  /// an unrunnable query is nothing, its Submit will fail fast anyway.
+  double EstimateCost(std::string_view sql) const;
+
   // Catalog:
   const Table* FindTable(std::string_view name) const override;
 

@@ -129,4 +129,15 @@ Result<BlockResultSet> ExecuteSelectBlocks(const SelectStmt& stmt,
                                            const SelectOptions& options = {},
                                            ExecStats* stats = nullptr);
 
+/// Plan-time cost estimate in "rows visited" units, from the same exact
+/// per-shard index cardinalities (Table::ProbeCount) the planner ranks
+/// access paths with: each alias contributes its cheapest probe-able
+/// candidate count (or its full row count without one), with the driving
+/// alias additionally scaled by the join depth it pipelines through. No
+/// rows are touched — the estimate costs a handful of hash probes, so
+/// admission layers (service::HuntService) can price a query before
+/// running it. Unknown tables / unresolvable columns degrade gracefully
+/// (they contribute zero), never error.
+double EstimateSelectCost(const SelectStmt& stmt, const Catalog& catalog);
+
 }  // namespace raptor::sql

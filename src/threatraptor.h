@@ -181,6 +181,17 @@ class ThreatRaptor {
     return store_ == nullptr ? nullptr : &Service();
   }
 
+  /// SLO metrics snapshot of the hunt service: queue depth, per-tenant
+  /// submission/rejection counters, hunt latency quantiles, epoch lag, and
+  /// writer-gate wait statistics. A default-constructed (all-zero) snapshot
+  /// when no store is loaded or the service was never instantiated — the
+  /// call itself never forces the lazy service into existence.
+  service::HuntService::Metrics service_metrics() const {
+    std::lock_guard<std::mutex> lock(service_mu_);
+    if (store_ == nullptr || service_ == nullptr) return {};
+    return service_->metrics();
+  }
+
   /// Execute a TBQL query in fuzzy search mode (Poirot-based alignment).
   Result<engine::FuzzyReport> HuntFuzzy(
       std::string_view tbql_text, const engine::FuzzyOptions& fuzzy = {}) const {

@@ -413,6 +413,304 @@ TEST(HuntServiceTest, DestructorCancelsOutstandingHunts) {
   EXPECT_EQ(queued.status().code(), StatusCode::kCancelled);
 }
 
+// --- admission fairness & starvation regression tests ---
+
+TEST(HuntServiceTest, TenantFloodDoesNotRejectOtherTenants) {
+  // Regression: the global max_queue used to be the only admission bound,
+  // so one tenant filling it got every other tenant rejected. Per-tenant
+  // caps now reject the flooder at its own cap while others still admit.
+  ThreatRaptor& tr = SlowStore();
+  HuntServiceOptions opts;
+  opts.max_concurrent = 1;
+  opts.max_queue = 8;
+  opts.max_queue_per_tenant = 2;
+  HuntService service(tr.store(), opts);
+  const char* scan = "proc p read file f return p, f";
+  HuntTicket blocker = service.Submit(Req(scan));
+  blocker.WaitStarted();  // occupy the only worker; everything else queues
+  std::vector<HuntTicket> flood;
+  for (int i = 0; i < 4; ++i) {
+    flood.push_back(service.Submit(Req(scan, QueryDialect::kTbql,
+                                       "tenant-a")));
+  }
+  size_t flood_rejected = 0;
+  for (const HuntTicket& t : flood) {
+    if (t.done() && t.status().code() == StatusCode::kUnavailable) {
+      ++flood_rejected;
+    }
+  }
+  EXPECT_EQ(flood_rejected, 2u);  // 2 queued at the cap, 2 rejected
+  // Tenant B is NOT starved out by A's flood: the global queue has room
+  // and B's own queue is empty.
+  HuntTicket b = service.Submit(Req(
+      "proc p[\"%svc1_%\"] read file f return p", QueryDialect::kTbql,
+      "tenant-b"));
+  EXPECT_FALSE(b.done()) << b.status().ToString();
+  for (HuntTicket& t : flood) t.Cancel();
+  blocker.Cancel();
+  (void)blocker.Wait();
+  EXPECT_TRUE(b.Wait().ok()) << b.status().ToString();
+  for (HuntTicket& t : flood) (void)t.Wait();
+  EXPECT_EQ(service.stats().rejected, 2u);
+}
+
+TEST(HuntServiceTest, CancelQueuedReleasesSlotImmediately) {
+  // Regression: cancelling a queued hunt used to leave it parked in the
+  // queue (Wait() blocked until a worker dequeued it past the running
+  // blocker, and its slot kept counting against max_queue). Cancel now
+  // reaps it out of the queue on the caller's thread.
+  ThreatRaptor& tr = SlowStore();
+  HuntServiceOptions opts;
+  opts.max_concurrent = 1;
+  opts.max_queue = 1;
+  HuntService service(tr.store(), opts);
+  HuntTicket blocker = service.Submit(Req("proc p read file f return p, f"));
+  blocker.WaitStarted();
+  HuntTicket victim = service.Submit(Req("proc p read file f return f"));
+  victim.Cancel();
+  // Done without any worker involvement — the blocker still holds the
+  // only worker and will for a while yet.
+  EXPECT_EQ(victim.Wait().code(), StatusCode::kCancelled);
+  // Its queue slot is free again: the next submit admits instead of
+  // bouncing off max_queue = 1.
+  HuntTicket next =
+      service.Submit(Req("proc p[\"%svc1_%\"] read file f return p"));
+  EXPECT_FALSE(next.done()) << next.status().ToString();
+  blocker.Cancel();
+  (void)blocker.Wait();
+  EXPECT_TRUE(next.Wait().ok()) << next.status().ToString();
+}
+
+TEST(HuntServiceTest, QueuedDeadlineExpiryReleasesSlot) {
+  // Regression: a queued hunt whose deadline passed used to stay queued
+  // (and its Wait() blocked) until a worker got around to dequeuing it.
+  // Wait() now reaps the expired hunt itself.
+  ThreatRaptor& tr = SlowStore();
+  HuntServiceOptions opts;
+  opts.max_concurrent = 1;
+  opts.max_queue = 1;
+  HuntService service(tr.store(), opts);
+  HuntTicket blocker = service.Submit(Req("proc p read file f return p, f"));
+  blocker.WaitStarted();
+  HuntTicket victim = service.Submit(Req(
+      "proc p read file f return f", QueryDialect::kTbql, "", 20'000));
+  EXPECT_EQ(victim.Wait().code(), StatusCode::kTimeout);
+  HuntTicket next =
+      service.Submit(Req("proc p[\"%svc1_%\"] read file f return p"));
+  EXPECT_FALSE(next.done()) << next.status().ToString();
+  blocker.Cancel();
+  (void)blocker.Wait();
+  EXPECT_TRUE(next.Wait().ok()) << next.status().ToString();
+  EXPECT_GE(service.stats().timed_out, 1u);
+}
+
+TEST(HuntServiceTest, SubmitAfterShutdownIsCancelled) {
+  // Regression: a post-shutdown Submit used to report Unavailable("hunt
+  // admission queue full") and count as an admission rejection.
+  auto tr = BuildWideStore(5, 5);
+  HuntService service(tr->store());
+  ASSERT_TRUE(service.Run(Req("proc p read file f return p")).ok());
+  service.Shutdown();
+  HuntTicket late = service.Submit(Req("proc p read file f return p"));
+  EXPECT_TRUE(late.done());
+  EXPECT_EQ(late.Wait().code(), StatusCode::kCancelled);
+  EXPECT_NE(late.status().ToString().find("shut down"), std::string::npos)
+      << late.status().ToString();
+  HuntService::Stats stats = service.stats();
+  EXPECT_EQ(stats.rejected_shutdown, 1u);
+  EXPECT_EQ(stats.rejected, 0u);  // not conflated with queue-full
+}
+
+TEST(HuntServiceTest, TenantMapPrunedDistinctCounted) {
+  // Regression: the per-tenant queue map never dropped entries, so a churn
+  // of one-off tenant names grew it without bound. Idle entries beyond
+  // max_idle_tenants are pruned; the distinct-tenant stat survives.
+  auto tr = BuildWideStore(5, 5);
+  HuntServiceOptions opts;
+  opts.max_idle_tenants = 4;
+  HuntService service(tr->store(), opts);
+  for (int i = 0; i < 12; ++i) {
+    auto r = service.Run(Req("proc p read file f return p",
+                             QueryDialect::kTbql,
+                             "tenant-" + std::to_string(i)));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  EXPECT_EQ(service.stats().tenants, 12u);
+  HuntService::Metrics m = service.metrics();
+  EXPECT_EQ(m.distinct_tenants, 12u);
+  EXPECT_LE(m.tracked_tenants, opts.max_idle_tenants);
+}
+
+TEST(HuntServiceTest, CostBudgetSerializesFullScans) {
+  // Two whole-store scans against a budget of one full-scan unit: the
+  // second hunt must wait for the first even though a worker is free.
+  ThreatRaptor& tr = SlowStore();
+  HuntServiceOptions opts;
+  opts.max_concurrent = 2;
+  opts.admission_cost_budget = 1.0;
+  HuntService service(tr.store(), opts);
+  const char* scan = "proc p read file f return p, f";
+  HuntTicket first = service.Submit(Req(scan));
+  first.WaitStarted();
+  HuntTicket second = service.Submit(Req(scan));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  HuntService::Metrics m = service.metrics();
+  EXPECT_EQ(m.running, 1u);      // the free worker could not admit it...
+  EXPECT_EQ(m.queue_depth, 1u);  // ...so the second scan is still queued
+  EXPECT_GT(m.running_cost, 0.5);
+  first.Cancel();
+  (void)first.Wait();
+  second.WaitStarted();  // budget released -> admitted
+  second.Cancel();
+  (void)second.Wait();
+}
+
+TEST(HuntServiceTest, MetricsReportLatencyAndTenants) {
+  auto tr = BuildWideStore(20, 20);
+  HuntService service(tr->store());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        service.Run(Req("proc p[\"%svc1%\"] read file f return p, f")).ok());
+  }
+  HuntService::Metrics m = service.metrics();
+  EXPECT_EQ(m.queue_depth, 0u);
+  EXPECT_EQ(m.running, 0u);
+  EXPECT_GE(m.workers, 1u);
+  EXPECT_GT(m.uptime_seconds, 0.0);
+  EXPECT_EQ(m.hunt_latency.count, 8u);
+  EXPECT_EQ(m.queue_wait.count, 8u);
+  EXPECT_GT(m.hunt_latency.p50_micros, 0.0);
+  EXPECT_LE(m.hunt_latency.p50_micros, m.hunt_latency.p99_micros);
+  EXPECT_LE(m.hunt_latency.p99_micros, m.hunt_latency.max_micros + 1e-9);
+  ASSERT_EQ(m.tenants.size(), 1u);  // the default tenant
+  EXPECT_EQ(m.tenants[0].submitted, 8u);
+  EXPECT_EQ(m.tenants[0].completed, 8u);
+  EXPECT_GT(m.tenants[0].qps, 0.0);
+}
+
+TEST(HuntServiceTest, FacadeExportsServiceMetrics) {
+  ThreatRaptor empty;  // no store: an all-zero snapshot, no lazy service
+  EXPECT_EQ(empty.service_metrics().hunt_latency.count, 0u);
+  auto tr = BuildWideStore(10, 10);
+  ASSERT_TRUE(tr->Hunt("proc p[\"%svc2%\"] read file f return p, f").ok());
+  HuntService::Metrics m = tr->service_metrics();
+  EXPECT_GE(m.hunt_latency.count, 1u);
+  EXPECT_GE(m.epoch, 1u);          // BuildWideStore's ingest
+  EXPECT_GE(m.gate_acquires, 1u);  // ... went through the write gate
+}
+
+TEST(HuntServiceTest, PlanTimeCostEstimates) {
+  auto tr = BuildWideStore(50, 20);  // 1000 events, svc0..svc49
+  const storage::AuditStore* store = tr->store();
+  // Relational: an indexed point filter probes far fewer rows than a
+  // whole-table scan.
+  double scan = store->relational().EstimateCost("SELECT e.id FROM events e");
+  double point = store->relational().EstimateCost(
+      "SELECT s.id FROM entities s WHERE s.exename = '/bin/svc1'");
+  EXPECT_GT(scan, 0.0);
+  EXPECT_GT(point, 0.0);
+  EXPECT_LT(point, scan);
+  // Cypher: pattern radius scales the seed estimate.
+  double hop0 = store->graph().EstimateCost("MATCH (p:proc) RETURN p.exename");
+  double hop1 = store->graph().EstimateCost(
+      "MATCH (p:proc)-[e:read]->(f:file) RETURN p.exename");
+  EXPECT_GT(hop0, 0.0);
+  EXPECT_GT(hop1, hop0);
+  // TBQL sums its compiled patterns' backend estimates; unparseable text
+  // prices at zero (it fails fast at run time instead).
+  engine::TbqlExecutor executor(store);
+  EXPECT_GT(executor.EstimateCost("proc p read file f return p, f"), 0.0);
+  EXPECT_EQ(executor.EstimateCost("this is not a query"), 0.0);
+  EXPECT_EQ(store->relational().EstimateCost("SELECT FROM"), 0.0);
+}
+
+TEST(HuntServiceTest, MixedLoadDifferentialMatchesSerial) {
+  // Ingest + standing hunt + one-shot hunts all at once: the ingested
+  // noise (write events by /bin/noise*) matches nothing the one-shot
+  // hunts query, so their concurrent results must stay byte-identical to
+  // the quiet serial ground truth. Runs under the TSan CI job.
+  auto tr = BuildWideStore(30, 30);
+  HuntService* service = tr->hunt_service();
+  ASSERT_NE(service, nullptr);
+  const char* tbql = "proc p[\"%svc1%\"] read file f return p, f";
+  const char* sql =
+      "SELECT s.exename FROM entities s WHERE s.exename LIKE '%svc2%'";
+  auto serial_tbql = service->Run(Req(tbql));
+  ASSERT_TRUE(serial_tbql.ok());
+  auto serial_sql = service->Run(Req(sql, QueryDialect::kSql));
+  ASSERT_TRUE(serial_sql.ok());
+  const size_t serial_sql_rows = serial_sql.value().rows.row_count();
+
+  // Standing hunt watching exactly the noise the writer injects.
+  std::atomic<size_t> alerts{0};
+  service::StandingSink sink;
+  sink.on_alert = [&](const service::StandingUpdate&) { ++alerts; };
+  service::StandingHandle standing = service->SubmitStanding(
+      Req("MATCH (p:proc)-[e:write]->(f:file) RETURN p.exename, f.name",
+          QueryDialect::kCypher),
+      sink);
+  ASSERT_TRUE(standing.valid());
+
+  constexpr int kBatches = 6;
+  std::atomic<int> ingest_failures{0};
+  std::thread writer([&] {
+    for (int b = 0; b < kBatches; ++b) {
+      audit::ParsedLog log;
+      audit::EntityId p = log.entities.InternProcess(
+          "/bin/noise" + std::to_string(b), 5000 + b);
+      audit::EntityId f =
+          log.entities.InternFile("/noise/n" + std::to_string(b));
+      audit::SystemEvent ev;
+      ev.id = 1;
+      ev.subject = p;
+      ev.object = f;
+      ev.object_type = audit::EntityType::kFile;
+      ev.op = audit::EventOp::kWrite;
+      ev.start_time = 10'000'000 + b;
+      ev.end_time = 10'000'001 + b;
+      log.events.push_back(ev);
+      if (!tr->IngestParsedLog(log).ok()) ++ingest_failures;
+    }
+  });
+  std::vector<std::thread> hunters;
+  std::atomic<int> mismatches{0};
+  for (int h = 0; h < 3; ++h) {
+    hunters.emplace_back([&, h] {
+      for (int iter = 0; iter < 4; ++iter) {
+        if (h % 2 == 0) {
+          auto r = service->Run(Req(tbql));
+          if (!r.ok() ||
+              r.value().report.results.rows !=
+                  serial_tbql.value().report.results.rows ||
+              r.value().report.matched_event_ids !=
+                  serial_tbql.value().report.matched_event_ids) {
+            ++mismatches;
+          }
+        } else {
+          auto r = service->Run(Req(sql, QueryDialect::kSql));
+          if (!r.ok() || r.value().rows.row_count() != serial_sql_rows) {
+            ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : hunters) t.join();
+  EXPECT_EQ(ingest_failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  ASSERT_TRUE(standing.WaitEpoch(service->epoch()));
+  EXPECT_EQ(standing.total_rows(), static_cast<size_t>(kBatches));
+  // One refresh may cover several epochs, so alerts <= batches.
+  EXPECT_GE(alerts.load(), 1u);
+  EXPECT_LE(alerts.load(), static_cast<size_t>(kBatches));
+  standing.Cancel();
+  HuntService::Stats stats = service->stats();
+  EXPECT_GE(stats.ingests, static_cast<size_t>(kBatches));
+  EXPECT_EQ(service->metrics().epoch_lag, 0u);
+  EXPECT_GE(service->metrics().gate_acquires, static_cast<size_t>(kBatches));
+}
+
 TEST(HuntServiceTest, FacadeHuntRoutesThroughService) {
   auto tr = BuildWideStore(10, 10);
   auto report = tr->Hunt("proc p[\"%svc2%\"] read file f return p, f");

@@ -13,7 +13,9 @@
 //       [--query <tbql> ...] [--jobs N]
 //       Execute TBQL queries against a log in exact search mode. Multiple
 //       --query arguments submit through the concurrent HuntService with
-//       up to N hunts in flight (default 1).
+//       up to N hunts in flight (default 1). --stats prints the service's
+//       SLO metrics (queue depth, latency quantiles, per-tenant counters,
+//       ingest-gate waits) once the hunts finish.
 //   threatraptor hunt --follow <log.jsonl> --query <tbql> [--query ...]
 //       [--standing] [--idle-ms N]
 //       Continuous hunting: tail a growing JSON-lines audit log, ingesting
@@ -60,10 +62,10 @@ int Usage() {
       "  threatraptor extract <oscti.txt>\n"
       "  threatraptor gen-log <case-id> <out.jsonl>\n"
       "  threatraptor hunt (--log <log.jsonl> | --case <id> | --restore)\n"
-      "      --query <tbql> [--query <tbql> ...] [--jobs N]\n"
+      "      --query <tbql> [--query <tbql> ...] [--jobs N] [--stats]\n"
       "      [--data-dir <dir>] [--checkpoint-every N]\n"
       "  threatraptor hunt --follow <log.jsonl> --query <tbql> [--query ...]\n"
-      "      [--standing] [--idle-ms N] [--data-dir <dir>]\n"
+      "      [--standing] [--idle-ms N] [--stats] [--data-dir <dir>]\n"
       "      [--checkpoint-every N]\n"
       "  threatraptor fuzzy (--log <log.jsonl> | --case <id>) --query "
       "<tbql>\n"
@@ -199,6 +201,7 @@ struct HuntArgs {
   std::string data_dir;     // durable mode: WAL + checkpoints live here
   long long checkpoint_every = 0;  // auto-checkpoint interval in epochs
   bool restore = false;     // hunt over the data dir's recovered store
+  bool stats = false;       // print the service's SLO metrics afterwards
   std::vector<std::string> queries;
   int jobs = 1;
 
@@ -250,6 +253,8 @@ bool ParseHuntArgs(int argc, char** argv, int start, HuntArgs* out) {
       if (out->checkpoint_every < 1) return false;
     } else if (arg == "--restore") {
       out->restore = true;
+    } else if (arg == "--stats") {
+      out->stats = true;
     } else if (arg == "--query") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -304,6 +309,42 @@ int PrintHuntReport(const engine::ExecReport& report) {
     std::printf("  %s\n", q.c_str());
   }
   return 0;
+}
+
+/// `hunt --stats`: the service's SLO metrics snapshot, printed after the
+/// hunts finish so the histograms cover every query of the invocation.
+void PrintServiceMetrics(const service::HuntService::Metrics& m) {
+  std::printf("--- service metrics\n");
+  std::printf("queue depth %zu, running %zu (cost %.2f / budget %.2f), "
+              "workers %zu\n",
+              m.queue_depth, m.running, m.running_cost, m.cost_budget,
+              m.workers);
+  std::printf("epoch %llu (max standing lag %llu), standing hunts %zu\n",
+              static_cast<unsigned long long>(m.epoch),
+              static_cast<unsigned long long>(m.epoch_lag), m.standing);
+  std::printf("ingest gate: %zu acquires, %.3f s total wait, %.3f s max, "
+              "%zu consecutive\n",
+              m.gate_acquires, m.gate_wait_seconds_total,
+              m.gate_wait_seconds_max, m.consecutive_ingests);
+  auto latency = [](const char* name,
+                    const service::HuntService::LatencySummary& h) {
+    std::printf("%s: n=%zu p50=%.2fms p90=%.2fms p99=%.2fms mean=%.2fms "
+                "max=%.2fms\n",
+                name, h.count, h.p50_micros / 1e3, h.p90_micros / 1e3,
+                h.p99_micros / 1e3, h.mean_micros / 1e3, h.max_micros / 1e3);
+  };
+  latency("hunt latency", m.hunt_latency);
+  latency("queue wait  ", m.queue_wait);
+  std::printf("tenants: %zu distinct, %zu tracked\n", m.distinct_tenants,
+              m.tracked_tenants);
+  for (const service::HuntService::TenantMetrics& t : m.tenants) {
+    std::printf("  %-12s w=%d cap=%zu queued=%zu running=%zu "
+                "submitted=%zu completed=%zu rejected=%zu cancelled=%zu "
+                "timed_out=%zu failed=%zu qps=%.2f\n",
+                t.tenant.empty() ? "(default)" : t.tenant.c_str(), t.weight,
+                t.max_queued, t.queued, t.running, t.submitted, t.completed,
+                t.rejected, t.cancelled, t.timed_out, t.failed, t.qps);
+  }
 }
 
 /// Continuous hunting: tail a JSONL audit log, ingesting through the epoch
@@ -426,6 +467,7 @@ int FollowHunt(const HuntArgs& args) {
                   static_cast<unsigned long long>(
                       handles[i].delivered_epoch()));
     }
+    if (args.stats) PrintServiceMetrics(tr.service_metrics());
     return close_durable(0);
   }
   // One-shot mode: run the queries against the fully-ingested store.
@@ -441,6 +483,7 @@ int FollowHunt(const HuntArgs& args) {
     }
     PrintHuntReport(report.value());
   }
+  if (args.stats) PrintServiceMetrics(tr.service_metrics());
   return close_durable(rc);
 }
 
@@ -466,7 +509,9 @@ int Hunt(const HuntArgs& args) {
                    report.status().ToString().c_str());
       return close_durable(1);
     }
-    return close_durable(PrintHuntReport(report.value()));
+    int rc = PrintHuntReport(report.value());
+    if (args.stats) PrintServiceMetrics(tr.value()->service_metrics());
+    return close_durable(rc);
   }
   // Multiple queries (or an explicit --jobs): submit everything through
   // the hunt service and let up to `jobs` hunts run concurrently; results
@@ -493,6 +538,7 @@ int Hunt(const HuntArgs& args) {
     }
     PrintHuntReport(tickets[i].response().report);
   }
+  if (args.stats) PrintServiceMetrics(service.metrics());
   return close_durable(rc);
 }
 
