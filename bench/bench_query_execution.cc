@@ -18,7 +18,13 @@
 // whole-graph Cypher matching and SQL scans/joins fanned out over the
 // storage shards versus the forced-serial path, plus the LIMIT 1 guard
 // (small pushed limits must bypass the fan-out and stay on the serial
-// fast path).
+// fast path). It also covers the columnar scan representation (frozen
+// dictionary-encoded columns vs the legacy PropertyMap row path, on both
+// backends), the morsel work-stealing scheduler versus the static
+// one-worker-per-shard fan-out — including a deliberately skewed graph
+// where one shard holds ~half the expansion work — and the zero-copy
+// merge counters of DISTINCT queries (partition adoption; any per-row
+// push fails the bench).
 // A fifth section measures inter-query concurrency: N identical TBQL
 // hunts submitted through service::HuntService at 1/2/4 in-flight
 // (throughput in hunts/sec), plus the zero-copy merge counters of a
@@ -214,7 +220,116 @@ void RunParallelMatchWorkload(graphdb::GraphDatabase& db,
                  static_cast<double>(pushed));
   report->Metric("zero_copy", "match_blocks",
                  static_cast<double>(blocks.value().rows.block_count()));
+
+  // DISTINCT merges must stay zero-copy too: hash-partitioned seen-sets
+  // let the merge adopt whole per-partition vectors instead of re-checking
+  // and pushing rows one by one (the pre-partitioned behavior).
   db.options() = graphdb::MatchOptions{};
+  db.options().parallel_shards = 4;
+  auto dblocks = db.QueryBlocks(
+      "MATCH (p:proc)-[e:op3]->(f:file) RETURN DISTINCT p.exename");
+  if (!dblocks.ok()) {
+    std::fprintf(stderr, "distinct block query failed: %s\n",
+                 dblocks.status().ToString().c_str());
+    std::exit(1);
+  }
+  size_t d_adopted = dblocks.value().rows.adopted_rows();
+  size_t d_pushed = dblocks.value().rows.pushed_rows();
+  std::printf("  zero_copy_distinct: %zu rows adopted in %zu blocks, %zu "
+              "pushed\n",
+              d_adopted, dblocks.value().rows.block_count(), d_pushed);
+  if (d_pushed != 0 || d_adopted == 0) {
+    std::fprintf(stderr,
+                 "distinct zero-copy merge regression: %zu adopted, %zu "
+                 "pushed row-by-row\n",
+                 d_adopted, d_pushed);
+    std::exit(1);
+  }
+  report->Metric("zero_copy", "distinct_adopted_rows",
+                 static_cast<double>(d_adopted));
+  report->Metric("zero_copy", "distinct_pushed_rows",
+                 static_cast<double>(d_pushed));
+  db.options() = graphdb::MatchOptions{};
+}
+
+/// Morsel work-stealing vs the static one-worker-per-shard fan-out on a
+/// deliberately skewed graph: half the edge draws pin their source to the
+/// hot subset (ids ≡ 0 mod shard count, i.e. one storage shard), so the
+/// static schedule's wall clock is the straggler shard while the other
+/// workers idle; the morsel scheduler splits that shard's seed list into
+/// stealable chunks. On the 1-core dev container both report ~1x — the
+/// speedup (and a non-zero stolen count) shows on CI's multicore runners.
+void RunSkewedMorselWorkload(bench::BenchReport* report) {
+  fixtures::SyntheticGraphSpec spec;
+  spec.nodes = std::max(2LL, bench::EnvLong("BENCH_LARGE_NODES", 100'000));
+  spec.edges = bench::EnvLong("BENCH_LARGE_EDGES", 500'000);
+  graphdb::GraphDatabase db;
+  spec.skew_hot_fraction = 0.5;
+  spec.skew_modulus = static_cast<int>(db.graph().shard_count());
+  Rng rng(4242);
+  fixtures::BuildSyntheticGraph(db.graph(), spec, rng);
+  std::printf(
+      "\nSkewed-shard morsel stealing: %lld nodes, %lld edges, %.0f%% of "
+      "edge sources pinned to 1 of %zu shards (pool %zu):\n",
+      spec.nodes, spec.edges, spec.skew_hot_fraction * 100,
+      db.graph().shard_count(), ThreadPool::Shared().size());
+
+  const std::string query =
+      "MATCH (p:proc)-[e:op7]->(f:file) WHERE f.name CONTAINS '9' "
+      "RETURN p.exename, f.name";
+  int rounds = bench::Rounds(5);
+  auto measure = [&](int shards, bool morsel, graphdb::GraphResultSet* out,
+                     graphdb::MatchStats* stats_out) {
+    db.options() = graphdb::MatchOptions{};
+    db.options().parallel_shards = shards;
+    db.options().morsel_scheduling = morsel;
+    std::vector<double> times;
+    Stopwatch timer;
+    for (int i = 0; i < rounds; ++i) {
+      graphdb::MatchStats stats;
+      timer.Restart();
+      auto rs = db.Query(query, &stats);
+      times.push_back(timer.ElapsedSeconds());
+      if (!rs.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     rs.status().ToString().c_str());
+        std::exit(1);
+      }
+      *out = std::move(rs.value());
+      *stats_out = stats;
+    }
+    return bench::Mean(times);
+  };
+
+  graphdb::GraphResultSet rs_serial, rs_static, rs_morsel;
+  graphdb::MatchStats st_serial, st_static, st_morsel;
+  double serial = measure(1, false, &rs_serial, &st_serial);
+  double per_shard = measure(4, false, &rs_static, &st_static);
+  double morsel = measure(4, true, &rs_morsel, &st_morsel);
+  if (rs_static.rows != rs_serial.rows || rs_morsel.rows != rs_serial.rows) {
+    std::fprintf(stderr, "skewed workload: schedules disagree on rows\n");
+    std::exit(1);
+  }
+  double vs_static = morsel > 0 ? per_shard / morsel : 0;
+  double vs_serial = morsel > 0 ? serial / morsel : 0;
+  std::printf(
+      "  skewed_match: serial %.6f s, per-shard %.6f s, morsel %.6f s "
+      "(%zu rows; %zu morsels, %zu stolen)\n"
+      "  morsel speedup: %.2fx vs per-shard, %.2fx vs serial\n",
+      serial, per_shard, morsel, rs_morsel.rows.size(),
+      st_morsel.morsels_executed, st_morsel.morsels_stolen, vs_static,
+      vs_serial);
+  report->Param("skew_hot_percent",
+                static_cast<long long>(spec.skew_hot_fraction * 100));
+  report->Metric("skewed", "match_serial_seconds", serial);
+  report->Metric("skewed", "match_per_shard_seconds", per_shard);
+  report->Metric("skewed", "match_morsel_seconds", morsel);
+  report->Metric("skewed", "morsel_vs_per_shard_speedup", vs_static);
+  report->Metric("skewed", "morsel_vs_serial_speedup", vs_serial);
+  report->Metric("skewed", "morsels_executed",
+                 static_cast<double>(st_morsel.morsels_executed));
+  report->Metric("skewed", "morsels_stolen",
+                 static_cast<double>(st_morsel.morsels_stolen));
 }
 
 /// Inter-query concurrency: identical TBQL hunts pushed through the
@@ -544,22 +659,31 @@ void RunParallelSelectWorkload(long long rows_n,
               rows_n);
 
   int rounds = bench::Rounds(5);
-  auto measure = [&](const char* query, int shards) {
+  sql::ExecStats last_stats;
+  auto measure_opts = [&](const char* query, int shards, bool columnar,
+                          bool morsel) {
     db.options() = sql::SelectOptions{};
     db.options().parallel_shards = shards;
+    db.options().columnar_scan = columnar;
+    db.options().morsel_scheduling = morsel;
     std::vector<double> times;
     Stopwatch timer;
     for (int i = 0; i < rounds; ++i) {
+      sql::ExecStats stats;
       timer.Restart();
-      auto rs = db.Query(query);
+      auto rs = db.Query(query, &stats);
       times.push_back(timer.ElapsedSeconds());
       if (!rs.ok()) {
         std::fprintf(stderr, "query failed: %s\n",
                      rs.status().ToString().c_str());
         std::exit(1);
       }
+      last_stats = stats;
     }
     return bench::Mean(times);
+  };
+  auto measure = [&](const char* query, int shards) {
+    return measure_opts(query, shards, /*columnar=*/true, /*morsel=*/true);
   };
 
   const char* scan_query =
@@ -584,6 +708,52 @@ void RunParallelSelectWorkload(long long rows_n,
   report->Metric("parallel", "join_serial_seconds", join_serial);
   report->Metric("parallel", "join_sharded_seconds", join_sharded);
   report->Metric("parallel", "join_speedup", join_speedup);
+
+  // Columnar filter compilation vs the legacy PropertyMap row path,
+  // serial so only the scan representation differs: `score > 50` compiles
+  // to an int-vector compare on the frozen columns (the LIKE conjunct
+  // still evaluates row-wise either way).
+  double col_on = measure_opts(scan_query, 1, /*columnar=*/true,
+                               /*morsel=*/true);
+  size_t columnar_rows = last_stats.columnar_filter_rows;
+  double col_off = measure_opts(scan_query, 1, /*columnar=*/false,
+                                /*morsel=*/true);
+  double col_speedup = col_on > 0 ? col_off / col_on : 0;
+  std::printf(
+      "  columnar_select: columnar %.6f s (%zu predicate rows served from "
+      "columns), row path %.6f s, speedup %.2fx\n",
+      col_on, columnar_rows, col_off, col_speedup);
+  if (columnar_rows == 0) {
+    std::fprintf(stderr, "columnar filter compilation did not engage\n");
+    std::exit(1);
+  }
+  report->Metric("columnar", "select_columnar_seconds", col_on);
+  report->Metric("columnar", "select_row_path_seconds", col_off);
+  report->Metric("columnar", "select_speedup", col_speedup);
+  report->Metric("columnar", "select_filter_rows",
+                 static_cast<double>(columnar_rows));
+
+  // Morsel scheduler vs the static per-shard fan-out on the sharded scan
+  // (uniform data, so this measures scheduler overhead; the skewed-graph
+  // workload measures the stealing win).
+  double sel_morsel = measure_opts(scan_query, 4, /*columnar=*/true,
+                                   /*morsel=*/true);
+  size_t sel_morsels = last_stats.morsels_executed;
+  size_t sel_stolen = last_stats.morsels_stolen;
+  double sel_static = measure_opts(scan_query, 4, /*columnar=*/true,
+                                   /*morsel=*/false);
+  double sel_ratio = sel_morsel > 0 ? sel_static / sel_morsel : 0;
+  std::printf(
+      "  morsel_select: morsel %.6f s (%zu morsels, %zu stolen), per-shard "
+      "%.6f s, ratio %.2fx\n",
+      sel_morsel, sel_morsels, sel_stolen, sel_static, sel_ratio);
+  report->Metric("morsel", "select_morsel_seconds", sel_morsel);
+  report->Metric("morsel", "select_per_shard_seconds", sel_static);
+  report->Metric("morsel", "select_ratio", sel_ratio);
+  report->Metric("morsel", "select_morsels_executed",
+                 static_cast<double>(sel_morsels));
+  report->Metric("morsel", "select_morsels_stolen",
+                 static_cast<double>(sel_stolen));
 }
 
 /// Typed expansion + IN-filter probing on a synthetic large graph.
@@ -652,6 +822,40 @@ void RunLargeGraphWorkload(bench::BenchReport* report) {
       "  build: %.3f s; speedup (legacy / indexed+interned): %.1fx\n",
       build_seconds, speedup);
 
+  // Columnar predicate evaluation vs the legacy PropertyMap row path:
+  // an inline equality constraint on the expansion target compiles to a
+  // dictionary-id compare against the frozen column (one uint32 per
+  // candidate) instead of a per-node map probe plus string compare. Same
+  // query, serial, typed+hashed on both sides.
+  std::string eq_query = "MATCH (p:proc)-[e:op7]->(f:file {name: '" +
+                         fixtures::RandomFileName(spec, sg, rng) +
+                         "'}) RETURN p.exename";
+  db.options() = graphdb::MatchOptions{};
+  auto measure_columnar = [&](bool columnar) {
+    db.options().columnar_scan = columnar;
+    db.options().parallel_shards = 1;
+    std::vector<double> times;
+    Stopwatch timer;
+    for (int i = 0; i < rounds; ++i) {
+      timer.Restart();
+      auto rs = db.Query(eq_query);
+      times.push_back(timer.ElapsedSeconds());
+      if (!rs.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     rs.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+    return bench::Mean(times);
+  };
+  double columnar_on = measure_columnar(true);
+  double columnar_off = measure_columnar(false);
+  db.options() = graphdb::MatchOptions{};
+  double columnar_speedup = columnar_on > 0 ? columnar_off / columnar_on : 0;
+  std::printf("  columnar_match: columnar %.6f s, row path %.6f s, "
+              "speedup %.2fx\n",
+              columnar_on, columnar_off, columnar_speedup);
+
   report->Param("large_nodes", spec.nodes);
   report->Param("large_edges", spec.edges);
   report->Param("large_edge_types", spec.edge_types);
@@ -660,9 +864,13 @@ void RunLargeGraphWorkload(bench::BenchReport* report) {
   report->Metric("large_graph", "indexed_seconds", fast);
   report->Metric("large_graph", "legacy_seconds", legacy);
   report->Metric("large_graph", "speedup", speedup);
+  report->Metric("columnar", "match_columnar_seconds", columnar_on);
+  report->Metric("columnar", "match_row_path_seconds", columnar_off);
+  report->Metric("columnar", "match_speedup", columnar_speedup);
 
   RunLimitPushdownWorkload(db, report);
   RunParallelMatchWorkload(db, report);
+  RunSkewedMorselWorkload(report);
   RunParallelSelectWorkload(spec.nodes, report);
 }
 

@@ -226,10 +226,50 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
     return Status::OK();
   };
 
-  auto run_pattern = [&](size_t idx) -> Status {
+  // Intersect pattern `idx`'s matched subject/object ids into the shared
+  // constraint domains (the "adding filters" step of the scheduling
+  // algorithm); the mutex guards only this boundary touch.
+  auto propagate_ids = [&](size_t idx) {
+    const std::vector<PatternMatch>& out = matches[idx];
+    if (out.empty()) return;
+    const Pattern& p = query.patterns[idx];
+    for (const auto& [id, pick] :
+         {std::pair{p.subject.id, &PatternMatch::subject_id},
+          std::pair{p.object.id, &PatternMatch::object_id}}) {
+      if (!joinable(id)) continue;
+      EntitySet ids;
+      ids.reserve(out.size());
+      for (const PatternMatch& m : out) ids.insert(m.*pick);
+      std::lock_guard<std::mutex> lock(constraints_mu);
+      auto it = constraints.find(id);
+      if (it == constraints.end()) {
+        constraints.emplace(id, std::move(ids));
+      } else {
+        // Intersect with the previous domain: probe the larger set with
+        // the smaller one (the old path merged two sorted vectors).
+        const EntitySet& small =
+            ids.size() < it->second.size() ? ids : it->second;
+        const EntitySet& large =
+            ids.size() < it->second.size() ? it->second : ids;
+        EntitySet merged;
+        merged.reserve(small.size());
+        for (long long v : small) {
+          if (large.count(v)) merged.insert(v);
+        }
+        it->second = std::move(merged);
+      }
+    }
+  };
+
+  // Compile and execute pattern `idx`. Constrained mode (the DAG
+  // schedules) reads the propagated domains before compiling and
+  // intersects its matched ids back afterwards; unconstrained mode
+  // (speculative execution) does neither — the serial domain replay
+  // below re-applies both post-hoc.
+  auto run_pattern = [&](size_t idx, bool constrained) -> Status {
     RAPTOR_RETURN_NOT_OK(check_interrupt());
     EntityConstraints relevant;
-    if (options.propagate_constraints) {
+    if (options.propagate_constraints && constrained) {
       const Pattern& p = query.patterns[idx];
       std::lock_guard<std::mutex> lock(constraints_mu);
       for (const std::string& id : {p.subject.id, p.object.id}) {
@@ -285,44 +325,56 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
     }
     report.pattern_match_counts[idx] = out.size();
 
-    if (options.propagate_constraints && !out.empty()) {
-      const Pattern& p = query.patterns[idx];
-      for (const auto& [id, pick] :
-           {std::pair{p.subject.id, &PatternMatch::subject_id},
-            std::pair{p.object.id, &PatternMatch::object_id}}) {
-        if (!joinable(id)) continue;
-        EntitySet ids;
-        ids.reserve(out.size());
-        for (const PatternMatch& m : out) ids.insert(m.*pick);
-        std::lock_guard<std::mutex> lock(constraints_mu);
-        auto it = constraints.find(id);
-        if (it == constraints.end()) {
-          constraints.emplace(id, std::move(ids));
-        } else {
-          // Intersect with the previous domain: probe the larger set with
-          // the smaller one (the old path merged two sorted vectors).
-          const EntitySet& small = ids.size() < it->second.size()
-                                       ? ids
-                                       : it->second;
-          const EntitySet& large = ids.size() < it->second.size()
-                                       ? it->second
-                                       : ids;
-          EntitySet merged;
-          merged.reserve(small.size());
-          for (long long v : small) {
-            if (large.count(v)) merged.insert(v);
-          }
-          it->second = std::move(merged);
-        }
-      }
-    }
+    if (options.propagate_constraints && constrained) propagate_ids(idx);
     return Status::OK();
   };
 
   bool parallel_patterns = options.parallel_patterns && n_patterns > 1 &&
                            options.max_pattern_workers > 1;
+  bool speculative = options.speculative_patterns && parallel_patterns &&
+                     options.propagate_constraints;
   if (!parallel_patterns) {
-    for (size_t idx : order) RAPTOR_RETURN_NOT_OK(run_pattern(idx));
+    for (size_t idx : order) RAPTOR_RETURN_NOT_OK(run_pattern(idx, true));
+  } else if (speculative) {
+    // Speculative schedule: every pattern runs unconstrained in parallel
+    // (DAG edges ignored), then a serial replay in scheduler order filters
+    // each pattern's speculative matches by the domains accumulated so far
+    // and intersects the filtered ids back. A propagated constraint only
+    // appends restrictive `id IN (domain)` conjuncts to a data query, so
+    // the replay reproduces the serial schedule's domains, match lists,
+    // and match counts exactly — only the executed query texts differ.
+    std::vector<Status> results(n_patterns, Status::OK());
+    size_t workers = std::min<size_t>(
+        static_cast<size_t>(options.max_pattern_workers), n_patterns);
+    ThreadPool::Shared().ParallelFor(n_patterns, workers, [&](size_t i) {
+      results[i] = run_pattern(order[i], /*constrained=*/false);
+    });
+    for (const Status& st : results) RAPTOR_RETURN_NOT_OK(st);
+    for (size_t idx : order) {
+      const Pattern& p = query.patterns[idx];
+      auto sit = joinable(p.subject.id) ? constraints.find(p.subject.id)
+                                        : constraints.end();
+      auto oit = joinable(p.object.id) ? constraints.find(p.object.id)
+                                       : constraints.end();
+      if (sit != constraints.end() || oit != constraints.end()) {
+        std::vector<PatternMatch> kept;
+        kept.reserve(matches[idx].size());
+        for (const PatternMatch& m : matches[idx]) {
+          if (sit != constraints.end() &&
+              sit->second.count(m.subject_id) == 0) {
+            continue;
+          }
+          if (oit != constraints.end() &&
+              oit->second.count(m.object_id) == 0) {
+            continue;
+          }
+          kept.push_back(m);
+        }
+        matches[idx] = std::move(kept);
+        report.pattern_match_counts[idx] = matches[idx].size();
+      }
+      propagate_ids(idx);
+    }
   } else {
     // Dataflow ready-queue over the DAG on the shared pool: workers claim
     // ready patterns, and each completion unlocks its dependents. The
@@ -359,7 +411,7 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
           idx = ready.front();
           ready.pop_front();
         }
-        Status st = run_pattern(idx);
+        Status st = run_pattern(idx, /*constrained=*/true);
         {
           std::lock_guard<std::mutex> lock(mu);
           if (!st.ok()) {

@@ -19,9 +19,13 @@
 // and execute concurrently on the shared worker pool through a dataflow
 // ready queue. Because dependencies serialize exactly the pattern pairs
 // that interact through the constraint domains, the concurrent schedule
-// produces byte-identical reports to the serial one. Cooperative
-// cancellation and deadlines (HuntService tickets) are polled at pattern
-// boundaries and inside the storage executors' scan loops.
+// produces byte-identical reports to the serial one. Speculative mode
+// (ExecOptions::speculative_patterns) drops even those edges: dependent
+// patterns run unconstrained in parallel and a serial replay re-validates
+// the domains post-hoc, preserving result identity at the cost of
+// potentially wasted scan work. Cooperative cancellation and deadlines
+// (HuntService tickets) are polled at pattern boundaries and inside the
+// storage executors' scan loops.
 #pragma once
 
 #include <atomic>
@@ -47,6 +51,19 @@ struct ExecOptions {
   /// them) concurrently on the shared worker pool. false: strictly
   /// sequential in scheduler order (the differential baseline).
   bool parallel_patterns = true;
+  /// Speculative pattern execution: ignore the constraint-propagation DAG
+  /// and run every pattern unconstrained in parallel — including pairs
+  /// that share an entity id — then replay the scheduler order serially,
+  /// filtering each pattern's speculative matches by the accumulated
+  /// domains and intersecting the filtered ids back. Because a propagated
+  /// constraint only appends restrictive `id IN (domain)` conjuncts to a
+  /// pattern's data query, the replay reproduces the serial schedule's
+  /// domains and match lists exactly: results are byte-identical, only
+  /// ExecReport::executed_queries shows the unconstrained texts. Wins
+  /// wall-clock when the DAG's critical path dominates; wastes work when
+  /// propagation would have pruned a dependent pattern's scan. Requires
+  /// parallel_patterns and propagate_constraints (no-op otherwise).
+  bool speculative_patterns = false;
   /// Concurrency cap for the pattern dataflow (the effective width is also
   /// bounded by the pattern count and the pool size).
   int max_pattern_workers = 4;

@@ -683,6 +683,18 @@ HuntService::TenantState& HuntService::TenantLocked(const std::string& tenant) {
   return it->second;
 }
 
+void HuntService::SetTenantPolicy(const std::string& tenant,
+                                  TenantPolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.tenant_policies[tenant] = policy;
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;  // TenantLocked stamps it on creation
+  TenantState& ts = it->second;
+  ts.weight = std::max(1, policy.weight);
+  ts.max_queued = policy.max_queued != 0 ? policy.max_queued
+                                         : options_.max_queue_per_tenant;
+}
+
 bool HuntService::WriterPreferredLocked() const {
   if (ingests_waiting_ == 0) return false;
   return options_.max_consecutive_ingests == 0 ||

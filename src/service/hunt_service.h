@@ -516,6 +516,15 @@ class HuntService {
   };
   Metrics metrics() const;
 
+  /// Replace `tenant`'s admission policy at runtime, without restarting
+  /// the service: the queue cap applies to the tenant's next Submit and
+  /// the weight to its next weighted-round-robin rotation (the current
+  /// rotation's remaining credits are untouched). Already-queued requests
+  /// are never evicted — a tightened cap only rejects new arrivals. The
+  /// policy is also recorded in the service options, so a tenant entry
+  /// pruned while idle and later recreated keeps it.
+  void SetTenantPolicy(const std::string& tenant, TenantPolicy policy);
+
   size_t max_concurrent() const { return options_.max_concurrent; }
 
  private:

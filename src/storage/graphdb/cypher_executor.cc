@@ -13,6 +13,7 @@
 #include "common/small_vector.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "storage/columnar.h"
 #include "storage/graphdb/cypher_parser.h"
 #include "storage/shard_parallel.h"
 
@@ -57,17 +58,104 @@ void InitBinding(FrameBinding& b, const VarTable& vars) {
   b.used_edges.clear();
 }
 
+/// One inline property constraint compiled against the frozen columnar
+/// storage. The literal is resolved once (int value or dictionary id) and
+/// each shard's (label/type × prop) column is classified into a scan mode,
+/// so the per-candidate check is an integer compare against a column cell
+/// instead of a PropertyMap probe + Value::Compare.
+struct ColPred {
+  enum class Mode : uint8_t {
+    kRow,    // column can't represent the compare exactly; use the row path
+    kNever,  // no cell of this shard's bucket can ever match the literal
+    kInt,    // int column: cell present && cell == int_lit
+    kDict,   // string column: cell dictionary id == dict_lit
+  };
+  struct PerShard {
+    Mode mode = Mode::kRow;
+    const storage::Column* col = nullptr;  // kInt / kDict only
+  };
+
+  const PropConstraint* pc = nullptr;  // row-path fallback source
+  int64_t int_lit = 0;
+  uint32_t dict_lit = storage::kNullDictId;
+  SmallVector<PerShard, 4> shards;
+
+  /// `pos` is the candidate's dense bucket offset (label_pos / type_pos).
+  bool Matches(size_t shard, size_t pos, const Node* row_node,
+               const Edge* row_edge) const {
+    const PerShard& ps = shards[shard];
+    switch (ps.mode) {
+      case Mode::kNever:
+        return false;
+      case Mode::kInt: {
+        int64_t v;
+        return ps.col->IntAt(pos, &v) && v == int_lit;
+      }
+      case Mode::kDict:
+        return ps.col->DictAt(pos) == dict_lit;
+      case Mode::kRow: {
+        const Value* v = row_node != nullptr ? row_node->FindProp(pc->key)
+                                             : row_edge->FindProp(pc->key);
+        return v != nullptr && v->Compare(pc->value) == 0;
+      }
+    }
+    return false;
+  }
+};
+
+/// Classify one constraint against one shard's column. The literal kinds
+/// the columns represent exactly are int and text; doubles and NULLs keep
+/// the row path (a double literal can numerically equal an int cell under
+/// Value::Compare). A missing column means no row of the bucket carries
+/// the property, and a kind mismatch (text literal vs int column and vice
+/// versa) can never compare equal — both are kNever. A text literal absent
+/// from the property's global dictionary (dict_lit == kNullDictId, which
+/// doubles as the absent-cell sentinel) also matches nothing and must
+/// never be id-compared against cells.
+ColPred::PerShard ClassifyColumn(const storage::Column* col,
+                                 const Value& lit, uint32_t dict_lit) {
+  ColPred::PerShard ps;
+  if (col == nullptr) {
+    ps.mode = ColPred::Mode::kNever;
+    return ps;
+  }
+  if (!col->usable() || (!lit.is_int() && !lit.is_text())) {
+    ps.mode = ColPred::Mode::kRow;
+    return ps;
+  }
+  if (col->kind() == storage::Column::Kind::kInt64) {
+    ps.mode = lit.is_int() ? ColPred::Mode::kInt : ColPred::Mode::kNever;
+  } else {  // kString
+    ps.mode = lit.is_text() && dict_lit != storage::kNullDictId
+                  ? ColPred::Mode::kDict
+                  : ColPred::Mode::kNever;
+  }
+  ps.col = col;
+  return ps;
+}
+
 /// A node pattern with its label resolved to the graph's interned id and
 /// its variable to the query's slot, so candidate checks compare integers
-/// instead of strings.
+/// instead of strings. When columnar_scan is on and the label is known,
+/// inline property constraints additionally compile to ColPreds over the
+/// frozen per-(shard × label) columns.
 struct ResolvedNode {
   const NodePattern* pat = nullptr;
   bool has_label = false;
+  bool columnar = false;          // col_preds cover every constraint
   uint32_t label_id = kNoSymbol;  // kNoSymbol: label absent, matches nothing
   uint32_t var_slot = kNoSymbol;  // kNoSymbol: anonymous node
+  std::vector<ColPred> col_preds;
 
-  bool Matches(const Node& node) const {
+  bool Matches(const Node& node, const PropertyGraph& graph) const {
     if (has_label && node.label_id != label_id) return false;
+    if (columnar) {
+      size_t shard = graph.ShardOf(node.id);
+      for (const ColPred& cp : col_preds) {
+        if (!cp.Matches(shard, node.label_pos, &node, nullptr)) return false;
+      }
+      return true;
+    }
     for (const PropConstraint& pc : pat->props) {
       const Value* v = node.FindProp(pc.key);
       if (v == nullptr || v->Compare(pc.value) != 0) return false;
@@ -78,14 +166,25 @@ struct ResolvedNode {
 
 /// A relationship pattern with its type resolved to the interned id; typed
 /// expansion uses the id to select the per-type adjacency group directly.
+/// Inline property constraints compile to ColPreds over the per-(shard ×
+/// edge type) columns when the type is known.
 struct ResolvedRel {
   const RelPattern* pat = nullptr;
   bool has_type = false;
+  bool columnar = false;
   uint32_t type_id = kNoSymbol;
   uint32_t var_slot = kNoSymbol;
+  std::vector<ColPred> col_preds;
 
-  bool Matches(const Edge& edge) const {
+  bool Matches(const Edge& edge, const PropertyGraph& graph) const {
     if (has_type && edge.type_id != type_id) return false;
+    if (columnar) {
+      size_t shard = graph.ShardOf(edge.id);
+      for (const ColPred& cp : col_preds) {
+        if (!cp.Matches(shard, edge.type_pos, nullptr, &edge)) return false;
+      }
+      return true;
+    }
     for (const PropConstraint& pc : pat->props) {
       const Value* v = edge.FindProp(pc.key);
       if (v == nullptr || v->Compare(pc.value) != 0) return false;
@@ -94,8 +193,26 @@ struct ResolvedRel {
   }
 };
 
+ColPred CompileColPred(const PropertyGraph& graph, const PropConstraint& pc,
+                       bool node_side, uint32_t bucket_id) {
+  ColPred cp;
+  cp.pc = &pc;
+  uint32_t prop_id = graph.LookupPropName(pc.key);
+  if (pc.value.is_int()) cp.int_lit = pc.value.AsInt();
+  if (pc.value.is_text()) {
+    cp.dict_lit = graph.LookupPropDict(prop_id, pc.value.AsText());
+  }
+  for (size_t s = 0; s < graph.shard_count(); ++s) {
+    const storage::Column* col = node_side
+                                     ? graph.NodeColumn(s, bucket_id, prop_id)
+                                     : graph.EdgeColumn(s, bucket_id, prop_id);
+    cp.shards.push_back(ClassifyColumn(col, pc.value, cp.dict_lit));
+  }
+  return cp;
+}
+
 ResolvedNode ResolveNode(const PropertyGraph& graph, const VarTable& vars,
-                         const NodePattern& pat) {
+                         const NodePattern& pat, bool columnar_scan) {
   ResolvedNode r;
   r.pat = &pat;
   if (!pat.label.empty()) {
@@ -103,11 +220,21 @@ ResolvedNode ResolveNode(const PropertyGraph& graph, const VarTable& vars,
     r.label_id = graph.LookupLabel(pat.label);
   }
   if (!pat.var.empty()) r.var_slot = vars.nodes.Lookup(pat.var);
+  // Columnar constraints need a known label (the column buckets are per
+  // label); an unknown label matches nothing regardless.
+  if (columnar_scan && r.has_label && r.label_id != kNoSymbol) {
+    r.columnar = true;
+    r.col_preds.reserve(pat.props.size());
+    for (const PropConstraint& pc : pat.props) {
+      r.col_preds.push_back(
+          CompileColPred(graph, pc, /*node_side=*/true, r.label_id));
+    }
+  }
   return r;
 }
 
 ResolvedRel ResolveRel(const PropertyGraph& graph, const VarTable& vars,
-                       const RelPattern& pat) {
+                       const RelPattern& pat, bool columnar_scan) {
   ResolvedRel r;
   r.pat = &pat;
   if (!pat.type.empty()) {
@@ -115,6 +242,14 @@ ResolvedRel ResolveRel(const PropertyGraph& graph, const VarTable& vars,
     r.type_id = graph.LookupEdgeType(pat.type);
   }
   if (!pat.var.empty()) r.var_slot = vars.edges.Lookup(pat.var);
+  if (columnar_scan && r.has_type && r.type_id != kNoSymbol) {
+    r.columnar = true;
+    r.col_preds.reserve(pat.props.size());
+    for (const PropConstraint& pc : pat.props) {
+      r.col_preds.push_back(
+          CompileColPred(graph, pc, /*node_side=*/false, r.type_id));
+    }
+  }
   return r;
 }
 
@@ -211,8 +346,11 @@ int ConstraintScore(const ResolvedNode& rn, const BindingT& binding) {
 class CypherEvaluator {
  public:
   CypherEvaluator(const PropertyGraph& graph, const VarTable& vars,
-                  bool hashed_in_lists)
-      : graph_(graph), vars_(vars), hashed_in_lists_(hashed_in_lists) {}
+                  bool hashed_in_lists, bool columnar_scan)
+      : graph_(graph),
+        vars_(vars),
+        hashed_in_lists_(hashed_in_lists),
+        columnar_scan_(columnar_scan) {}
 
   template <class BindingT>
   Result<Value> Eval(const CypherExpr& e, const BindingT& b) const {
@@ -233,12 +371,26 @@ class CypherEvaluator {
       case CypherExprKind::kPropRef: {
         NodeId nid;
         if (LookupNodeVar(b, e, &nid)) {
-          const Value* v = graph_.node(nid).FindProp(e.prop);
+          const Node& node = graph_.node(nid);
+          if (columnar_scan_) {
+            return ColumnarProp(
+                e, graph_.NodeColumn(graph_.ShardOf(nid), node.label_id,
+                                     SlotsFor(e).prop_id),
+                node.label_pos, [&] { return node.FindProp(e.prop); });
+          }
+          const Value* v = node.FindProp(e.prop);
           return v != nullptr ? *v : Value::Null();
         }
         EdgeId eid;
         if (LookupEdgeVar(b, e, &eid)) {
-          const Value* v = graph_.edge(eid).FindProp(e.prop);
+          const Edge& edge = graph_.edge(eid);
+          if (columnar_scan_) {
+            return ColumnarProp(
+                e, graph_.EdgeColumn(graph_.ShardOf(eid), edge.type_id,
+                                     SlotsFor(e).prop_id),
+                edge.type_pos, [&] { return edge.FindProp(e.prop); });
+          }
+          const Value* v = edge.FindProp(e.prop);
           return v != nullptr ? *v : Value::Null();
         }
         return Status::NotFound("unbound variable: " + e.var);
@@ -326,22 +478,46 @@ class CypherEvaluator {
   }
 
  private:
-  /// Interned slots of an expression's variable, resolved once per expr
-  /// node and cached by pointer: repeated evaluations (one per result row)
-  /// pay a pointer-hash probe instead of re-hashing the variable name.
+  /// Interned slots of an expression's variable (and, for kPropRef, the
+  /// graph's interned property-name id), resolved once per expr node and
+  /// cached by pointer: repeated evaluations (one per result row) pay a
+  /// pointer-hash probe instead of re-hashing the names.
   struct VarSlots {
     uint32_t node_slot = kNoSymbol;
     uint32_t edge_slot = kNoSymbol;
+    uint32_t prop_id = kNoSymbol;
   };
   const VarSlots& SlotsFor(const CypherExpr& e) const {
     auto it = slots_.find(&e);
     if (it == slots_.end()) {
       it = slots_
                .emplace(&e, VarSlots{vars_.nodes.Lookup(e.var),
-                                     vars_.edges.Lookup(e.var)})
+                                     vars_.edges.Lookup(e.var),
+                                     graph_.LookupPropName(e.prop)})
                .first;
     }
     return it->second;
+  }
+
+  /// Property read through a frozen column: a missing column means no
+  /// entity of the bucket carries the property (NULL), and absent cells
+  /// are NULL; a demoted (kMixed) column defers to `row_prop` so doubles
+  /// and null-valued properties keep exact row semantics.
+  template <class RowProp>
+  Result<Value> ColumnarProp(const CypherExpr& e, const storage::Column* col,
+                             size_t pos, RowProp&& row_prop) const {
+    if (col == nullptr) return Value::Null();
+    if (col->kind() == storage::Column::Kind::kInt64) {
+      int64_t v;
+      return col->IntAt(pos, &v) ? Value(v) : Value::Null();
+    }
+    if (col->kind() == storage::Column::Kind::kString) {
+      uint32_t d = col->DictAt(pos);
+      if (d == storage::kNullDictId) return Value::Null();
+      return Value(std::string(graph_.PropDictName(SlotsFor(e).prop_id, d)));
+    }
+    const Value* v = row_prop();
+    return v != nullptr ? *v : Value::Null();
   }
 
   bool LookupNodeVar(const MapBinding& b, const CypherExpr& e,
@@ -376,6 +552,7 @@ class CypherEvaluator {
   const PropertyGraph& graph_;
   const VarTable& vars_;
   bool hashed_in_lists_;
+  bool columnar_scan_;
   sql::InListCache<CypherExpr> in_sets_;
   mutable std::unordered_map<const CypherExpr*, VarSlots> slots_;
 };
@@ -516,6 +693,15 @@ class Matcher {
   /// parallel driver runs one matcher per shard with disjoint seed sets.
   void RestrictTopSeedsToShard(int shard) { seed_shard_ = shard; }
 
+  /// Restrict top-level seed iteration to the half-open sub-range
+  /// [lo, hi) of one shard's seed list (seed-list positions, not node
+  /// ids): one work-stealing morsel. Implies RestrictTopSeedsToShard.
+  void RestrictTopSeedsToMorsel(int shard, size_t lo, size_t hi) {
+    seed_shard_ = shard;
+    morsel_lo_ = lo;
+    morsel_hi_ = hi;
+  }
+
   /// Cooperative LIMIT cancellation: once `claimed` reaches `cap`, the
   /// top-level seed loop stops even if this worker never emitted a row.
   void SetSharedRowBudget(const std::atomic<size_t>* claimed, size_t cap) {
@@ -576,10 +762,10 @@ class Matcher {
     rp.nodes.reserve(part.nodes.size());
     rp.rels.reserve(part.rels.size());
     for (const NodePattern& n : part.nodes) {
-      rp.nodes.push_back(ResolveNode(graph_, vars, n));
+      rp.nodes.push_back(ResolveNode(graph_, vars, n, options_.columnar_scan));
     }
     for (const RelPattern& r : part.rels) {
-      rp.rels.push_back(ResolveRel(graph_, vars, r));
+      rp.rels.push_back(ResolveRel(graph_, vars, r, options_.columnar_scan));
     }
     return rp;
   }
@@ -728,7 +914,7 @@ class Matcher {
     auto visit = [&](NodeId seed) {
       if (seed_filter != nullptr && seed_filter->count(seed) == 0) return true;
       if (stats_ != nullptr) ++stats_->seed_candidates;
-      if (!rseed.Matches(graph_.node(seed))) return true;
+      if (!rseed.Matches(graph_.node(seed), graph_)) return true;
       if (bindable) {
         SetNode(binding, rseed, seed);
         if (!PassesFilters(rseed.pat->var, binding)) return true;
@@ -756,26 +942,43 @@ class Matcher {
     if (seeds.full_scan) {
       // The start/stride walk relies on storage::ShardLayout's documented
       // round-robin low-bits assignment (dense ids, power-of-two shard
-      // count); a layout change must update it alongside ShardOf.
-      NodeId start = only_shard >= 0 ? static_cast<NodeId>(only_shard) : 0;
-      NodeId stride = only_shard >= 0 ? graph_.shard_count() : 1;
-      for (NodeId id = start; id < graph_.node_count() && keep_going;
-           id += stride) {
-        keep_going = !budget_spent() && visit(id);
+      // count); a layout change must update it alongside ShardOf. A
+      // restricted walk iterates the shard's k-th seed (id = shard +
+      // k * stride), so a morsel's [lo, hi) positions map directly.
+      if (only_shard >= 0) {
+        NodeId stride = graph_.shard_count();
+        for (size_t k = morsel_lo_; k < morsel_hi_ && keep_going; ++k) {
+          NodeId id = static_cast<NodeId>(only_shard) + k * stride;
+          if (id >= graph_.node_count()) break;
+          keep_going = !budget_spent() && visit(id);
+        }
+      } else {
+        for (NodeId id = 0; id < graph_.node_count() && keep_going; ++id) {
+          keep_going = !budget_spent() && visit(id);
+        }
       }
     } else if (!seeds.spans.empty()) {
       for (size_t s = 0; s < seeds.spans.size() && keep_going; ++s) {
         if (only_shard >= 0 && s != static_cast<size_t>(only_shard)) continue;
-        for (NodeId id : *seeds.spans[s]) {
-          keep_going = !budget_spent() && visit(id);
+        const std::vector<NodeId>& span = *seeds.spans[s];
+        size_t begin = 0, end = span.size();
+        if (only_shard >= 0) {
+          begin = std::min(morsel_lo_, end);
+          end = std::min(morsel_hi_, end);
+        }
+        for (size_t i = begin; i < end; ++i) {
+          keep_going = !budget_spent() && visit(span[i]);
           if (!keep_going) break;
         }
       }
     } else if (only_shard >= 0 && !seeds.owned_by_shard.empty()) {
       // Plan-time per-shard sub-list: this worker's seeds only, no
       // skip-scan over the shared materialized union.
-      for (NodeId id : seeds.owned_by_shard[only_shard]) {
-        keep_going = !budget_spent() && visit(id);
+      const std::vector<NodeId>& list = seeds.owned_by_shard[only_shard];
+      size_t begin = std::min(morsel_lo_, list.size());
+      size_t end = std::min(morsel_hi_, list.size());
+      for (size_t i = begin; i < end; ++i) {
+        keep_going = !budget_spent() && visit(list[i]);
         if (!keep_going) break;
       }
     } else {
@@ -818,7 +1021,7 @@ class Matcher {
       for (EdgeId eid : ExpansionEdges(node, reversed, rrel)) {
         if (stats_ != nullptr) ++stats_->edges_traversed;
         const Edge& e = graph_.edge(eid);
-        if (!rrel.Matches(e)) continue;
+        if (!rrel.Matches(e, graph_)) continue;
         if (EdgeUsed(binding, eid)) continue;
         if (!rel.var.empty() && EdgeBound(binding, rrel) &&
             BoundEdge(binding, rrel) != eid) {
@@ -882,7 +1085,7 @@ class Matcher {
     for (EdgeId eid : ExpansionEdges(cur, reversed, rrel)) {
       if (stats_ != nullptr) ++stats_->edges_traversed;
       const Edge& e = graph_.edge(eid);
-      if (!rrel.Matches(e)) continue;
+      if (!rrel.Matches(e, graph_)) continue;
       if (EdgeUsed(binding, eid)) continue;
       PushUsedEdge(binding, eid);
       bool keep_going = VarlenDfs(rp, reversed, part_idx, idx, min_len,
@@ -896,7 +1099,7 @@ class Matcher {
 
   bool AdmitNode(NodeId id, const ResolvedNode& rnode,
                  const BindingT& binding) const {
-    if (!rnode.Matches(graph_.node(id))) return false;
+    if (!rnode.Matches(graph_.node(id), graph_)) return false;
     if (NodeBound(binding, rnode) && BoundNode(binding, rnode) != id) {
       return false;
     }
@@ -923,6 +1126,10 @@ class Matcher {
   // (SharePreparedParts); immutable once matching starts.
   const std::vector<PreparedPart>* parts_ = &own_parts_;
   int seed_shard_ = -1;  // -1: walk every shard (serial matcher)
+  // Morsel sub-range of the restricted shard's seed list (positions, not
+  // ids); the defaults cover the whole shard for the per-shard scheduler.
+  size_t morsel_lo_ = 0;
+  size_t morsel_hi_ = static_cast<size_t>(-1);
   const SeedSet* shared_top_seeds_ = nullptr;  // driver-owned part-0 seeds
   const std::atomic<size_t>* shared_claimed_ = nullptr;
   size_t shared_cap_ = 0;
@@ -940,20 +1147,26 @@ class Matcher {
 template <class BindingT>
 class RowSink {
  public:
+  /// `partition_distinct` hash-partitions streaming-DISTINCT emissions
+  /// into rs->parts so the parallel merge can adopt whole compacted
+  /// blocks (storage/shard_parallel.h); off, rows stream into rs->rows.
   RowSink(const CypherQuery& query, const CypherEvaluator& eval,
           const std::vector<const CypherExpr*>& residual,
-          bool streaming_distinct, size_t local_cap,
+          bool streaming_distinct, bool partition_distinct, size_t local_cap,
           std::atomic<size_t>* shared_claimed, size_t shared_cap,
-          MatchStats* stats, std::vector<std::vector<Value>>* rows)
+          MatchStats* stats, storage::WorkerRows* rs)
       : query_(query),
         eval_(eval),
         residual_(residual),
         streaming_distinct_(streaming_distinct),
+        partition_distinct_(partition_distinct),
         local_cap_(local_cap),
         shared_claimed_(shared_claimed),
         shared_cap_(shared_cap),
         stats_(stats),
-        rows_(rows) {}
+        rs_(rs) {
+    if (partition_distinct_) rs_->EnableDistinctPartitions();
+  }
 
   /// False stops the search: either LIMIT is satisfied or evaluation
   /// failed (check error() afterwards).
@@ -983,9 +1196,14 @@ class RowSink {
             shared_cap_) {
       return false;  // budget exhausted by other workers; drop the row
     }
-    rows_->push_back(std::move(row));
+    if (partition_distinct_) {
+      rs_->parts[storage::DistinctPartitionOf(row)].push_back(std::move(row));
+    } else {
+      rs_->rows.push_back(std::move(row));
+    }
+    ++emitted_;
     if (stats_ != nullptr) ++stats_->rows_emitted;
-    return rows_->size() < local_cap_;
+    return emitted_ < local_cap_;
   }
 
   const Status& error() const { return error_; }
@@ -995,11 +1213,13 @@ class RowSink {
   const CypherEvaluator& eval_;
   const std::vector<const CypherExpr*>& residual_;
   bool streaming_distinct_;
+  bool partition_distinct_;
   size_t local_cap_;
+  size_t emitted_ = 0;
   std::atomic<size_t>* shared_claimed_;
   size_t shared_cap_;
   MatchStats* stats_;
-  std::vector<std::vector<Value>>* rows_;
+  storage::WorkerRows* rs_;
   Status error_ = Status::OK();
   std::unordered_set<std::vector<Value>, sql::ValueRowHash, sql::ValueRowEq>
       seen_;
@@ -1020,9 +1240,7 @@ Status RunShardParallel(const CypherQuery& query, const PropertyGraph& graph,
                         const SeedSet& top_seeds, GraphBlockResult* result) {
   size_t n_shards = graph.shard_count();
   struct ShardRun {
-    struct {
-      std::vector<std::vector<Value>> rows;
-    } rs;
+    storage::WorkerRows rs;
     MatchStats stats;
     Status error = Status::OK();
   };
@@ -1037,10 +1255,12 @@ Status RunShardParallel(const CypherQuery& query, const PropertyGraph& graph,
     ShardRun& run = runs[s];
     // Evaluator caches (IN-list sets, variable-slot maps) are mutable, so
     // every worker owns one.
-    CypherEvaluator shard_eval(graph, vars, options.hashed_in_lists);
+    CypherEvaluator shard_eval(graph, vars, options.hashed_in_lists,
+                               options.columnar_scan);
     RowSink<BindingT> sink(query, shard_eval, residual, streaming_distinct,
+                           /*partition_distinct=*/streaming_distinct,
                            budget.local_cap, budget.shared_claimed(),
-                           budget.shared_cap, &run.stats, &run.rs.rows);
+                           budget.shared_cap, &run.stats, &run.rs);
     Matcher<BindingT, RowSink<BindingT>> matcher(
         graph, options, pushdown, shard_eval, &run.stats, sink);
     matcher.SharePreparedParts(prepared);
@@ -1065,6 +1285,113 @@ Status RunShardParallel(const CypherQuery& query, const PropertyGraph& graph,
       });
 }
 
+/// Morsel-driven work-stealing execution: each shard's top-level seed list
+/// is carved into fixed-size morsels (MatchOptions::morsel_size seed
+/// positions) laid out shard-major on per-worker work-stealing deques
+/// (common/thread_pool.h WorkStealingQueues). A worker pops its own deque
+/// front-first and steals one morsel from the back of a victim when it
+/// drains, so a skewed shard's seeds spread over the whole fleet. Each
+/// morsel streams into its own sink/result; the merge walks morsels in
+/// carve order, so the result is independent of which worker ran which
+/// morsel.
+template <class BindingT>
+Status RunMorselParallel(const CypherQuery& query, const PropertyGraph& graph,
+                         const MatchOptions& options, MatchStats* stats,
+                         const VarTable& vars, const PushdownFilters& pushdown,
+                         const std::vector<const CypherExpr*>& residual,
+                         bool streaming_distinct, bool push_limit,
+                         const Matcher<BindingT, RowSink<BindingT>>& prepared,
+                         const SeedSet& top_seeds, GraphBlockResult* result) {
+  size_t n_shards = graph.shard_count();
+  // Per-shard seed-list lengths under the same iteration scheme
+  // MatchChainFrom uses (full-scan positions, span offsets, or the
+  // pre-split owned sub-lists).
+  std::vector<size_t> counts(n_shards, 0);
+  for (size_t s = 0; s < n_shards; ++s) {
+    if (top_seeds.full_scan) {
+      // Seeds of shard s are ids s, s + n, s + 2n, ... below node_count.
+      counts[s] = graph.node_count() > s
+                      ? (graph.node_count() - 1 - s) / n_shards + 1
+                      : 0;
+    } else if (!top_seeds.spans.empty()) {
+      counts[s] = top_seeds.spans[s]->size();
+    } else if (!top_seeds.owned_by_shard.empty()) {
+      counts[s] = top_seeds.owned_by_shard[s].size();
+    }
+  }
+
+  struct Morsel {
+    int shard;
+    size_t lo, hi;
+  };
+  std::vector<Morsel> morsels;
+  size_t morsel_size = static_cast<size_t>(std::max(1, options.morsel_size));
+  for (size_t s = 0; s < n_shards; ++s) {
+    for (size_t lo = 0; lo < counts[s]; lo += morsel_size) {
+      morsels.push_back({static_cast<int>(s), lo,
+                         std::min(lo + morsel_size, counts[s])});
+    }
+  }
+  if (morsels.empty()) return Status::OK();
+
+  struct MorselRun {
+    storage::WorkerRows rs;
+    Status error = Status::OK();
+  };
+  std::vector<MorselRun> runs(morsels.size());
+  storage::ShardRowBudget budget(push_limit, streaming_distinct, query.limit);
+
+  size_t workers = std::min<size_t>(
+      static_cast<size_t>(options.parallel_shards), morsels.size());
+  WorkStealingQueues queues(morsels.size(), workers);
+  std::vector<MatchStats> worker_stats(workers);
+
+  ThreadPool::Shared().ParallelFor(workers, workers, [&](size_t w) {
+    MatchStats* ws = &worker_stats[w];
+    // Per-worker evaluator (mutable IN-list / slot caches); per-morsel
+    // sink + matcher so every morsel owns its rows and error status.
+    CypherEvaluator eval(graph, vars, options.hashed_in_lists,
+                         options.columnar_scan);
+    bool stolen = false;
+    for (size_t m = queues.Next(w, &stolen); m != WorkStealingQueues::kDone;
+         m = queues.Next(w, &stolen)) {
+      ++ws->morsels_executed;
+      if (stolen) ++ws->morsels_stolen;
+      MorselRun& run = runs[m];
+      RowSink<BindingT> sink(query, eval, residual, streaming_distinct,
+                             /*partition_distinct=*/streaming_distinct,
+                             budget.local_cap, budget.shared_claimed(),
+                             budget.shared_cap, ws, &run.rs);
+      Matcher<BindingT, RowSink<BindingT>> matcher(graph, options, pushdown,
+                                                   eval, ws, sink);
+      matcher.SharePreparedParts(prepared);
+      matcher.SetTopSeeds(&top_seeds);
+      matcher.RestrictTopSeedsToMorsel(morsels[m].shard, morsels[m].lo,
+                                       morsels[m].hi);
+      if (budget.shared) {
+        matcher.SetSharedRowBudget(&budget.claimed, budget.shared_cap);
+      }
+      BindingT binding;
+      InitBinding(binding, vars);
+      matcher.Run(binding);
+      run.error = sink.error();
+      if (!run.error.ok()) break;  // merge surfaces it; stop this worker
+    }
+  });
+
+  for (const MatchStats& ws : worker_stats) {
+    if (stats == nullptr) break;
+    stats->seed_candidates += ws.seed_candidates;
+    stats->edges_traversed += ws.edges_traversed;
+    stats->bindings_emitted += ws.bindings_emitted;
+    stats->rows_emitted += ws.rows_emitted;
+    stats->morsels_executed += ws.morsels_executed;
+    stats->morsels_stolen += ws.morsels_stolen;
+  }
+  return storage::MergeShardRuns(runs, streaming_distinct, &result->rows,
+                                 [](MorselRun&) {});
+}
+
 template <class BindingT>
 Result<GraphBlockResult> RunPipeline(
     const CypherQuery& query, const PropertyGraph& graph,
@@ -1086,10 +1413,11 @@ Result<GraphBlockResult> RunPipeline(
   size_t local_cap =
       push_limit ? static_cast<size_t>(query.limit) : static_cast<size_t>(-1);
 
-  std::vector<std::vector<Value>> serial_rows;
-  RowSink<BindingT> sink(query, eval, residual, streaming_distinct, local_cap,
+  storage::WorkerRows serial_rs;
+  RowSink<BindingT> sink(query, eval, residual, streaming_distinct,
+                         /*partition_distinct=*/false, local_cap,
                          /*shared_claimed=*/nullptr, /*shared_cap=*/0, stats,
-                         &serial_rows);
+                         &serial_rs);
   Matcher<BindingT, RowSink<BindingT>> matcher(graph, options, pushdown, eval,
                                                stats, sink);
   // Structural validation always runs, so a pushed-down LIMIT 0 reports the
@@ -1122,13 +1450,19 @@ Result<GraphBlockResult> RunPipeline(
       // Pre-split any materialized seed union (multi-value probes, bound
       // vars) into per-shard sub-lists so workers skip the skip-scan.
       top_seeds.SplitOwnedByShard(graph);
-      RAPTOR_RETURN_NOT_OK(RunShardParallel<BindingT>(
-          query, graph, options, stats, vars, pushdown, residual,
-          streaming_distinct, push_limit, matcher, top_seeds, &result));
+      if (options.morsel_scheduling) {
+        RAPTOR_RETURN_NOT_OK(RunMorselParallel<BindingT>(
+            query, graph, options, stats, vars, pushdown, residual,
+            streaming_distinct, push_limit, matcher, top_seeds, &result));
+      } else {
+        RAPTOR_RETURN_NOT_OK(RunShardParallel<BindingT>(
+            query, graph, options, stats, vars, pushdown, residual,
+            streaming_distinct, push_limit, matcher, top_seeds, &result));
+      }
     } else {
       matcher.Run(binding);
       RAPTOR_RETURN_NOT_OK(sink.error());
-      result.rows.Adopt(std::move(serial_rows));
+      result.rows.Adopt(std::move(serial_rs.rows));
     }
   }
   if (options.cancel != nullptr &&
@@ -1191,7 +1525,8 @@ Result<GraphBlockResult> ExecuteCypherBlocks(const CypherQuery& query,
     }
   }
 
-  CypherEvaluator eval(graph, vars, options.hashed_in_lists);
+  CypherEvaluator eval(graph, vars, options.hashed_in_lists,
+                       options.columnar_scan);
 
   // Split WHERE into single-variable conjuncts (pushed into matching) and
   // residual conjuncts (evaluated on complete bindings).

@@ -23,15 +23,30 @@
 // benchmarks and differential tests can compare both.
 //
 // Shard-parallel matching: when the graph is sharded and the top-level
-// seed set is large enough, seed iteration fans out one worker per storage
-// shard onto the shared thread pool (common/thread_pool.h). Each worker
-// streams into a thread-local row sink; the per-shard results are merged
-// in shard order (deterministic for a fixed graph + shard count). A
+// seed set is large enough, seed iteration fans out onto the shared
+// thread pool (common/thread_pool.h). The default scheduler carves each
+// shard's seed list into fixed-size morsels (MatchOptions::morsel_size)
+// distributed over per-worker work-stealing deques: a worker drains its
+// own deque front-first and steals single morsels from the back of a
+// random victim when it runs dry, so a skewed shard's seeds spread across
+// the whole fleet instead of serializing on one worker. The legacy
+// scheduler (morsel_scheduling = false) runs one worker per storage
+// shard. Either way each task streams into its own row sink and results
+// merge in morsel/shard order — deterministic for a fixed graph, shard
+// count, and morsel size, independent of the steal schedule. A
 // pushed-down LIMIT cancels cooperatively through an atomic row budget
 // shared by all workers (so total emitted rows never exceed the limit),
-// and DISTINCT dedups locally per worker with the seen-sets merged at the
-// barrier. Queries that stay serial (parallel_shards = 1, tiny seed sets,
-// small pushed limits) take exactly the pre-sharding code path.
+// and DISTINCT emissions hash-partition per worker so the merge adopts
+// whole compacted blocks (storage/shard_parallel.h). Queries that stay
+// serial (parallel_shards = 1, tiny seed sets, small pushed limits) take
+// exactly the pre-sharding code path.
+//
+// Columnar predicate scans: inline property constraints and WHERE
+// property references read the graph's frozen per-(shard × label) column
+// vectors (storage/columnar.h) instead of probing each node's
+// PropertyMap — string literals resolve to a dictionary id once per query
+// and compare as uint32s. columnar_scan = false keeps the legacy row-path
+// probes for the differential harness.
 #pragma once
 
 #include <atomic>
@@ -76,6 +91,8 @@ struct MatchStats {
   size_t edges_traversed = 0;   // edge expansions
   size_t bindings_emitted = 0;  // complete query bindings before WHERE
   size_t rows_emitted = 0;      // result rows produced (after WHERE/DISTINCT)
+  size_t morsels_executed = 0;  // seed morsels run by the parallel driver
+  size_t morsels_stolen = 0;    // of those, taken from another worker's deque
 };
 
 struct MatchOptions {
@@ -103,6 +120,21 @@ struct MatchOptions {
   /// Seed from the most selective applicable index probe, ranked by exact
   /// per-value cardinality. Off = legacy first-indexed-property choice.
   bool selective_seeds = true;
+  /// Evaluate inline property constraints and WHERE property references
+  /// against the frozen columnar property storage (dictionary-encoded
+  /// string compares, present-bitmap int reads). Off = legacy per-node
+  /// PropertyMap probes, kept for the differential harness. Results are
+  /// identical either way; columns that cannot represent a value exactly
+  /// (doubles, NULLs, mixed types) fall back to the row path per
+  /// predicate.
+  bool columnar_scan = true;
+  /// Parallel scheduler: carve each shard's seed list into morsel_size
+  /// chunks on per-worker work-stealing deques. Off = legacy one worker
+  /// per storage shard (no stealing, skew-sensitive).
+  bool morsel_scheduling = true;
+  /// Seeds per morsel. Small enough that a skewed shard yields many
+  /// stealable units, large enough to amortize per-morsel sink setup.
+  int morsel_size = 2048;
   /// Maximum shard-parallel workers for whole-graph matching; the
   /// effective worker count is min(parallel_shards, graph.shard_count()).
   /// 1 = always serial (the baseline the differential tests compare

@@ -40,7 +40,13 @@ NodeId PropertyGraph::AddNode(std::string label, PropertyMap props) {
   if (n.label_id >= shard.by_label.size()) {
     shard.by_label.resize(n.label_id + 1);
   }
+  n.label_pos = static_cast<uint32_t>(shard.by_label[n.label_id].size());
   shard.by_label[n.label_id].push_back(id);
+  // Freeze the property map into this (shard × label) bucket's columns.
+  if (n.label_id >= shard.node_cols.size()) {
+    shard.node_cols.resize(n.label_id + 1);
+  }
+  FreezeProps(shard.node_cols[n.label_id], n.label_pos, n.props);
   // Maintain this shard's slice of any matching index.
   for (auto& [key, index] : shard.node_indexes) {
     if (static_cast<uint32_t>(key >> 32) != n.label_id) continue;
@@ -72,8 +78,56 @@ EdgeId PropertyGraph::AddEdge(NodeId src, NodeId dst, std::string type,
   dst_shard.in_edges[layout_.LocalOf(dst)].push_back(id);
   src_shard.out_by_type[layout_.LocalOf(src)].For(e.type_id).push_back(id);
   dst_shard.in_by_type[layout_.LocalOf(dst)].For(e.type_id).push_back(id);
-  shards_[layout_.ShardOf(id)].edges.push_back(std::move(e));
+  Shard& edge_shard = shards_[layout_.ShardOf(id)];
+  if (e.type_id >= edge_shard.edges_per_type.size()) {
+    edge_shard.edges_per_type.resize(e.type_id + 1, 0);
+    edge_shard.edge_cols.resize(e.type_id + 1);
+  }
+  e.type_pos = edge_shard.edges_per_type[e.type_id]++;
+  FreezeProps(edge_shard.edge_cols[e.type_id], e.type_pos, e.props);
+  edge_shard.edges.push_back(std::move(e));
   return id;
+}
+
+void PropertyGraph::FreezeProps(storage::ColumnGroup& group, size_t pos,
+                                const PropertyMap& props) {
+  for (const auto& [name, value] : props) {
+    uint32_t prop_id = prop_names_.Intern(name);
+    if (prop_id >= prop_dicts_.size()) prop_dicts_.emplace_back();
+    group.ColumnFor(prop_id)->Append(pos, value, &prop_dicts_[prop_id]);
+  }
+}
+
+uint32_t PropertyGraph::LookupPropDict(uint32_t prop_id,
+                                       std::string_view text) const {
+  if (prop_id == kNoSymbol || prop_id >= prop_dicts_.size()) {
+    return storage::kNullDictId;
+  }
+  uint32_t id = prop_dicts_[prop_id].Lookup(text);
+  return id == kNoSymbol ? storage::kNullDictId : id;
+}
+
+std::string_view PropertyGraph::PropDictName(uint32_t prop_id,
+                                             uint32_t dict_id) const {
+  return prop_dicts_[prop_id].Name(dict_id);
+}
+
+const storage::Column* PropertyGraph::NodeColumn(size_t shard,
+                                                 uint32_t label_id,
+                                                 uint32_t prop_id) const {
+  if (prop_id == kNoSymbol) return nullptr;
+  const Shard& s = shards_[shard];
+  if (label_id >= s.node_cols.size()) return nullptr;
+  return s.node_cols[label_id].Find(prop_id);
+}
+
+const storage::Column* PropertyGraph::EdgeColumn(size_t shard,
+                                                 uint32_t type_id,
+                                                 uint32_t prop_id) const {
+  if (prop_id == kNoSymbol) return nullptr;
+  const Shard& s = shards_[shard];
+  if (type_id >= s.edge_cols.size()) return nullptr;
+  return s.edge_cols[type_id].Find(prop_id);
 }
 
 const std::vector<EdgeId>& PropertyGraph::OutEdges(NodeId id) const {

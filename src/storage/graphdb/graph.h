@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -39,6 +40,7 @@
 
 #include "common/interner.h"
 #include "common/status.h"
+#include "storage/columnar.h"
 #include "storage/relational/value.h"
 #include "storage/shard_layout.h"
 
@@ -55,6 +57,9 @@ constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 struct Node {
   NodeId id = 0;
   uint32_t label_id = 0;
+  /// Dense offset within the node's (shard × label) bucket — the cell
+  /// position in every frozen column of that bucket.
+  uint32_t label_pos = 0;
   std::string label;
   PropertyMap props;
 
@@ -69,6 +74,9 @@ struct Edge {
   NodeId src = 0;
   NodeId dst = 0;
   uint32_t type_id = 0;
+  /// Dense offset within the edge's (shard × type) bucket — the cell
+  /// position in every frozen column of that bucket.
+  uint32_t type_pos = 0;
   std::string type;
   PropertyMap props;
 
@@ -172,6 +180,38 @@ class PropertyGraph {
   size_t label_count() const { return labels_.size(); }
   size_t edge_type_count() const { return edge_types_.size(); }
 
+  // --- Frozen columnar property storage (storage/columnar.h) ---------------
+  // Every AddNode/AddEdge freezes the property map into per-(shard × label)
+  // / per-(shard × edge type) columns alongside the retained row form, so
+  // predicate loops can scan column slices. String cells dictionary-encode
+  // against one dictionary per property name, global across shards and
+  // buckets: a query literal is looked up once and compared as a uint32
+  // everywhere.
+
+  /// Interned id of a property name, or kNoSymbol if no entity carries it.
+  uint32_t LookupPropName(std::string_view name) const {
+    return prop_names_.Lookup(name);
+  }
+
+  /// Dictionary id of `text` in property `prop_id`'s global dictionary, or
+  /// storage::kNullDictId when that exact string was never frozen for the
+  /// property. (kNullDictId doubles as the absent-cell sentinel, so eq
+  /// fast paths must treat a kNullDictId literal as "matches nothing".)
+  uint32_t LookupPropDict(uint32_t prop_id, std::string_view text) const;
+
+  /// The string behind a dictionary id. Precondition: `dict_id` came from
+  /// a cell of a frozen column of `prop_id`.
+  std::string_view PropDictName(uint32_t prop_id, uint32_t dict_id) const;
+
+  /// Frozen column of (shard, label, prop) — nullptr when no node of that
+  /// bucket carries the property. Cell positions are Node::label_pos.
+  const storage::Column* NodeColumn(size_t shard, uint32_t label_id,
+                                    uint32_t prop_id) const;
+
+  /// Frozen column of (shard, edge type, prop); positions Edge::type_pos.
+  const storage::Column* EdgeColumn(size_t shard, uint32_t type_id,
+                                    uint32_t prop_id) const;
+
  private:
   /// Per-node adjacency grouped by edge-type id. Nodes see few distinct
   /// edge types, so a flat (type, edges) vector beats a per-node hash map
@@ -201,6 +241,10 @@ class PropertyGraph {
     std::vector<std::vector<NodeId>> by_label;  // label id -> node ids
     // (label_id << 32 | prop_id) -> value -> node ids
     std::unordered_map<uint64_t, ValueIndex> node_indexes;
+    // Frozen property columns: one group per label / edge-type bucket.
+    std::vector<storage::ColumnGroup> node_cols;  // label id -> columns
+    std::vector<storage::ColumnGroup> edge_cols;  // type id -> columns
+    std::vector<uint32_t> edges_per_type;  // type id -> count (type_pos)
   };
 
   static uint64_t IndexKey(uint32_t label_id, uint32_t prop_id) {
@@ -210,9 +254,16 @@ class PropertyGraph {
   const ValueIndex* FindIndex(std::string_view label, std::string_view prop,
                               size_t shard) const;
 
+  void FreezeProps(storage::ColumnGroup& group, size_t pos,
+                   const PropertyMap& props);
+
   StringInterner labels_;
   StringInterner edge_types_;
   StringInterner index_props_;
+  StringInterner prop_names_;
+  // One string dictionary per property name (indexed by prop id); a deque
+  // keeps dictionaries address-stable as new property names appear.
+  std::deque<StringInterner> prop_dicts_;
   std::vector<Shard> shards_;
   storage::ShardLayout layout_;
   size_t node_count_ = 0;

@@ -6,6 +6,7 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -172,6 +173,239 @@ class Evaluator {
   InListCache<Expr> in_sets_;
 };
 
+/// A single-table filter compiled against the table's frozen columnar
+/// storage (table.h / storage/columnar.h). Compilation recognizes
+/// `col op literal`, `literal op col` (op mirrored), and non-negated
+/// `col IN (...)` with a type-homogeneous list; anything else — and every
+/// (shard, predicate) pair the frozen column cannot represent exactly
+/// (kMixed columns, double or NULL literals) — keeps Mode::kEval and runs
+/// through the row-path Evaluator unchanged. Modes bind per shard because
+/// column kinds can diverge across shards of a loosely-typed table.
+///
+/// Semantics mirror Value::Compare exactly: cross-kind comparisons fold
+/// to per-shard constants (numeric sorts before text, so an int cell is
+/// always < a text literal), a string literal absent from the column's
+/// dictionary can never equal a cell, string range predicates compare
+/// dictionary names (same sign as Value's text ordering), and an absent
+/// cell behaves as NULL (smaller than every non-null literal, equal to
+/// nothing).
+class ColumnPredicate {
+ public:
+  /// Compile `f`, a single-table filter of `alias_idx`. Always returns a
+  /// predicate; unrecognized shapes leave every shard on Mode::kEval.
+  static ColumnPredicate Compile(const Expr& f, const Binder& binder,
+                                 int alias_idx) {
+    ColumnPredicate p;
+    const Table& table = *binder.table(alias_idx);
+    p.shards_.resize(table.shard_count());
+    BinaryOp op = BinaryOp::kEq;
+    const Expr* colref = nullptr;
+    const Value* lit = nullptr;
+    bool in_list = false;
+    if (f.kind == ExprKind::kBinary) {
+      switch (f.op) {
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          break;
+        default:
+          return p;
+      }
+      if (f.lhs->kind == ExprKind::kColumnRef &&
+          f.rhs->kind == ExprKind::kLiteral) {
+        colref = f.lhs.get();
+        lit = &f.rhs->literal;
+        op = f.op;
+      } else if (f.rhs->kind == ExprKind::kColumnRef &&
+                 f.lhs->kind == ExprKind::kLiteral) {
+        colref = f.rhs.get();
+        lit = &f.lhs->literal;
+        op = Mirror(f.op);
+      } else {
+        return p;
+      }
+    } else if (f.kind == ExprKind::kInList && !f.negated &&
+               f.lhs->kind == ExprKind::kColumnRef) {
+      colref = f.lhs.get();
+      in_list = true;
+    } else {
+      return p;
+    }
+    auto bc = binder.Resolve(*colref);
+    if (!bc.ok() || bc.value().alias_idx != alias_idx) return p;
+    int col_idx = bc.value().col_idx;
+    bool lit_int = false;
+    if (in_list) {
+      bool all_int = !f.in_list.empty();
+      bool all_text = !f.in_list.empty();
+      for (const Value& v : f.in_list) {
+        all_int = all_int && v.is_int();
+        all_text = all_text && v.is_text();
+      }
+      if (!all_int && !all_text) return p;  // mixed/empty list: row path
+      if (all_int) {
+        for (const Value& v : f.in_list) p.int_set_.insert(v.AsInt());
+      } else {
+        for (const Value& v : f.in_list) {
+          uint32_t id = table.LookupColumnDict(col_idx, v.AsText());
+          if (id != kNullDictId) p.dict_set_.insert(id);
+        }
+      }
+      lit_int = all_int;
+    } else if (lit->is_int()) {
+      p.int_lit_ = lit->AsInt();
+      lit_int = true;
+    } else if (lit->is_text()) {
+      p.str_lit_ = lit->AsText();
+      p.dict_lit_ = table.LookupColumnDict(col_idx, p.str_lit_);
+    } else {
+      return p;  // double / NULL literal: row path per shard
+    }
+    p.op_ = op;
+    p.table_ = &table;
+    p.col_idx_ = col_idx;
+    for (size_t s = 0; s < table.shard_count(); ++s) {
+      const storage::Column& col = table.ColumnSlice(s, col_idx);
+      PerShard& ps = p.shards_[s];
+      ps.col = &col;
+      if (!col.usable()) continue;  // kMixed (or empty shard): row path
+      bool col_int = col.kind() == storage::Column::Kind::kInt64;
+      if (in_list) {
+        // A value of the wrong kind never Compare-equals a cell, so a
+        // kind-mismatched homogeneous list matches nothing.
+        if (lit_int) {
+          ps.mode = col_int ? Mode::kIntIn : Mode::kNever;
+        } else {
+          ps.mode = !col_int && !p.dict_set_.empty() ? Mode::kDictIn
+                                                     : Mode::kNever;
+        }
+      } else if (lit_int) {
+        // Text cells sort after every numeric literal.
+        ps.mode = col_int ? Mode::kIntCmp : ConstMode(op, /*cell_cmp=*/1);
+      } else if (col_int) {
+        // Int cells sort before every text literal.
+        ps.mode = ConstMode(op, /*cell_cmp=*/-1);
+      } else if (op == BinaryOp::kEq) {
+        ps.mode = p.dict_lit_ == kNullDictId ? Mode::kNever : Mode::kDictEq;
+      } else if (op == BinaryOp::kNe) {
+        ps.mode = p.dict_lit_ == kNullDictId ? Mode::kAlways : Mode::kDictNe;
+      } else {
+        ps.mode = Mode::kStrCmp;
+      }
+    }
+    return p;
+  }
+
+  /// True when shard `shard` evaluates through the column fast path;
+  /// false means the caller must Eval the original expression.
+  bool compiled(size_t shard) const {
+    return shards_[shard].mode != Mode::kEval;
+  }
+
+  /// Row-semantics verdict for the cell at `pos` of `shard`.
+  /// Precondition: compiled(shard).
+  bool Matches(size_t shard, size_t pos) const {
+    const PerShard& ps = shards_[shard];
+    switch (ps.mode) {
+      case Mode::kNever:
+        return false;
+      case Mode::kAlways:
+        return true;
+      case Mode::kIntCmp: {
+        int64_t v = 0;
+        // Absent cell = NULL, smaller than any non-null literal.
+        if (!ps.col->IntAt(pos, &v)) return CmpHolds(op_, -1);
+        return CmpHolds(op_, v < int_lit_ ? -1 : (v > int_lit_ ? 1 : 0));
+      }
+      case Mode::kIntIn: {
+        int64_t v = 0;
+        if (!ps.col->IntAt(pos, &v)) return false;
+        return int_set_.count(v) > 0;
+      }
+      case Mode::kDictEq:
+        return ps.col->DictAt(pos) == dict_lit_;
+      case Mode::kDictNe:
+        return ps.col->DictAt(pos) != dict_lit_;
+      case Mode::kDictIn: {
+        uint32_t id = ps.col->DictAt(pos);
+        return id != kNullDictId && dict_set_.count(id) > 0;
+      }
+      case Mode::kStrCmp: {
+        uint32_t id = ps.col->DictAt(pos);
+        if (id == kNullDictId) return CmpHolds(op_, -1);  // NULL cell
+        int r = table_->ColumnDictName(col_idx_, id).compare(str_lit_);
+        return CmpHolds(op_, r < 0 ? -1 : (r > 0 ? 1 : 0));
+      }
+      case Mode::kEval:
+        break;
+    }
+    return false;
+  }
+
+ private:
+  static constexpr uint32_t kNullDictId = storage::kNullDictId;
+
+  enum class Mode : uint8_t {
+    kEval,    // not compiled for this shard: row-path Evaluator
+    kNever,   // constant false (kind mismatch / dictionary miss)
+    kAlways,  // constant true (kind mismatch under Ne/ordering)
+    kIntCmp,  // int column `op` int literal
+    kIntIn,   // int column IN hashed int set
+    kDictEq,  // string column == interned dictionary id
+    kDictNe,  // string column != interned dictionary id
+    kDictIn,  // string column IN hashed dictionary-id set
+    kStrCmp,  // string column `op` text literal via dictionary names
+  };
+
+  struct PerShard {
+    Mode mode = Mode::kEval;
+    const storage::Column* col = nullptr;
+  };
+
+  /// `lit op col` rewritten as `col Mirror(op) lit`.
+  static BinaryOp Mirror(BinaryOp op) {
+    switch (op) {
+      case BinaryOp::kLt: return BinaryOp::kGt;
+      case BinaryOp::kLe: return BinaryOp::kGe;
+      case BinaryOp::kGt: return BinaryOp::kLt;
+      case BinaryOp::kGe: return BinaryOp::kLe;
+      default: return op;  // kEq / kNe are symmetric
+    }
+  }
+
+  /// Does `cell op lit` hold given the sign of Compare(cell, lit)?
+  static bool CmpHolds(BinaryOp op, int c) {
+    switch (op) {
+      case BinaryOp::kEq: return c == 0;
+      case BinaryOp::kNe: return c != 0;
+      case BinaryOp::kLt: return c < 0;
+      case BinaryOp::kLe: return c <= 0;
+      case BinaryOp::kGt: return c > 0;
+      case BinaryOp::kGe: return c >= 0;
+      default: return false;
+    }
+  }
+
+  /// Fold a comparison whose sign is the same for every cell of the shard
+  /// (cross-kind compares) into a constant mode.
+  static Mode ConstMode(BinaryOp op, int cell_cmp) {
+    return CmpHolds(op, cell_cmp) ? Mode::kAlways : Mode::kNever;
+  }
+
+  const Table* table_ = nullptr;
+  int col_idx_ = -1;
+  BinaryOp op_ = BinaryOp::kEq;
+  int64_t int_lit_ = 0;
+  uint32_t dict_lit_ = kNullDictId;
+  std::string_view str_lit_;  // borrowed from the statement's literal
+  std::unordered_set<int64_t> int_set_;
+  std::unordered_set<uint32_t> dict_set_;
+  std::vector<PerShard> shards_;
+};
+
 /// Which aliases an expression references.
 void CollectAliases(const Expr& e, const Binder& binder,
                     std::set<int>* aliases) {
@@ -290,8 +524,8 @@ class TuplePipeline {
                 const Evaluator& eval, const std::vector<JoinLevel>& levels,
                 const std::vector<std::vector<RowId>>& candidates,
                 const std::vector<const Expr*>& projected, bool has_star,
-                bool streaming_distinct, size_t local_cap, ExecStats* stats,
-                std::vector<Row>* rows)
+                bool streaming_distinct, bool partition_distinct,
+                size_t local_cap, ExecStats* stats, storage::WorkerRows* rs)
       : stmt_(stmt),
         binder_(binder),
         eval_(eval),
@@ -300,15 +534,39 @@ class TuplePipeline {
         projected_(projected),
         has_star_(has_star),
         streaming_distinct_(streaming_distinct),
+        partition_distinct_(partition_distinct),
         local_cap_(local_cap),
         stats_(stats),
-        rows_(rows) {}
+        rs_(rs) {
+    // Parallel DISTINCT workers hash-partition their emissions so the
+    // merge can re-dedup partition-by-partition and adopt whole blocks
+    // (storage/shard_parallel.h).
+    if (partition_distinct_) rs_->EnableDistinctPartitions();
+  }
 
   /// Restrict the first table's iteration to rows of one storage shard;
   /// the parallel driver runs one pipeline per shard with disjoint scans.
   void RestrictFirstTableToShard(size_t shard, size_t shard_count) {
     shard_ = static_cast<int64_t>(shard);
     shard_count_ = shard_count;
+  }
+
+  /// Further restrict the (shard-restricted) first-table iteration to the
+  /// half-open positional range [lo, hi): the k-th row of the shard's
+  /// start/stride walk, or the k-th entry of its pre-split seed/candidate
+  /// sub-list. The morsel driver runs one pipeline per morsel; the
+  /// defaults cover the whole shard.
+  void RestrictFirstTableToMorsel(size_t lo, size_t hi) {
+    morsel_lo_ = lo;
+    morsel_hi_ = hi;
+  }
+
+  /// Columnar fast paths for the lazy first-table filters, parallel to the
+  /// SetLazyFirstTable filter list (entry i compiles filters[i]); filters
+  /// whose entry is not compiled for a row's shard Eval as before, in the
+  /// same position of the conjunct order.
+  void SetCompiledFirstFilters(const std::vector<ColumnPredicate>* compiled) {
+    compiled0_ = compiled;
   }
 
   /// Cooperative LIMIT cancellation shared by all parallel workers: every
@@ -381,9 +639,10 @@ class TuplePipeline {
     // when the scan is partitioned; a plan-time pre-split replaces the
     // per-row shard mask with this worker's own sub-list).
     if (a == 0 && first_candidates_ != nullptr) {
-      for (RowId rid : *first_candidates_) {
+      size_t end = std::min(morsel_hi_, first_candidates_->size());
+      for (size_t i = morsel_lo_; i < end; ++i) {
         if (BudgetSpent()) return false;
-        if (!BindAndDescend(a, rid, t)) return false;
+        if (!BindAndDescend(a, (*first_candidates_)[i], t)) return false;
       }
       return true;
     }
@@ -421,13 +680,30 @@ class TuplePipeline {
 
   bool ScanFirstTable(Tuple& t) {
     bool keep_going = true;
+    const Table* table0 = binder_.table(0);
     auto visit = [&](RowId rid) {
       if (BudgetSpent()) return false;
       if (stats_ != nullptr) ++stats_->base_rows_scanned;
       t[0] = rid;
       bool pass = true;
-      for (const Expr* f : *lazy0_filters_) {
-        auto v = eval_.Eval(*f, t);
+      size_t sh = 0;
+      size_t pos = 0;
+      if (compiled0_ != nullptr) {
+        sh = table0->ShardOf(rid);
+        pos = table0->LocalOf(rid);
+      }
+      for (size_t i = 0; i < lazy0_filters_->size(); ++i) {
+        // Compiled column check where available for this row's shard;
+        // same conjunct position, identical verdict to the Eval below.
+        if (compiled0_ != nullptr && (*compiled0_)[i].compiled(sh)) {
+          if (stats_ != nullptr) ++stats_->columnar_filter_rows;
+          if (!(*compiled0_)[i].Matches(sh, pos)) {
+            pass = false;
+            break;
+          }
+          continue;
+        }
+        auto v = eval_.Eval(*(*lazy0_filters_)[i], t);
         if (!v.ok()) {
           error_ = v.status();
           t[0] = kUnbound;
@@ -443,15 +719,29 @@ class TuplePipeline {
       return cont;
     };
     if (lazy0_scan_all_) {
-      RowId start = shard_ >= 0 ? static_cast<RowId>(shard_) : 0;
-      RowId stride = shard_ >= 0 ? shard_count_ : 1;
-      for (RowId rid = start; rid < lazy0_row_count_ && keep_going;
-           rid += stride) {
-        keep_going = visit(rid);
+      if (shard_ >= 0) {
+        // k-indexed walk of this shard's rows (rid = shard + k * stride,
+        // mirroring ShardLayout's round-robin low-bits assignment), so a
+        // morsel range restricts by position within the shard.
+        for (size_t k = morsel_lo_; k < morsel_hi_ && keep_going; ++k) {
+          RowId rid = static_cast<RowId>(shard_) + k * shard_count_;
+          if (rid >= lazy0_row_count_) break;
+          keep_going = visit(rid);
+        }
+      } else {
+        for (RowId rid = 0; rid < lazy0_row_count_ && keep_going; ++rid) {
+          keep_going = visit(rid);
+        }
+      }
+    } else if (first_prepartitioned_) {
+      size_t end = std::min(morsel_hi_, lazy0_seed_->size());
+      for (size_t i = morsel_lo_; i < end; ++i) {
+        keep_going = visit((*lazy0_seed_)[i]);
+        if (!keep_going) break;
       }
     } else {
       for (RowId rid : *lazy0_seed_) {
-        if (!first_prepartitioned_ && SkipsShard(rid)) continue;
+        if (SkipsShard(rid)) continue;
         keep_going = visit(rid);
         if (!keep_going) break;
       }
@@ -503,9 +793,15 @@ class TuplePipeline {
             shared_cap_) {
       return false;  // budget exhausted by other workers; drop the row
     }
-    rows_->push_back(std::move(row));
+    if (partition_distinct_) {
+      size_t part = storage::DistinctPartitionOf(row);
+      rs_->parts[part].push_back(std::move(row));
+    } else {
+      rs_->rows.push_back(std::move(row));
+    }
     if (stats_ != nullptr) ++stats_->rows_emitted;
-    return rows_->size() < local_cap_;
+    ++emitted_;
+    return emitted_ < local_cap_;
   }
 
   const SelectStmt& stmt_;
@@ -516,17 +812,22 @@ class TuplePipeline {
   const std::vector<const Expr*>& projected_;
   bool has_star_;
   bool streaming_distinct_;
+  bool partition_distinct_;
   size_t local_cap_;
+  size_t emitted_ = 0;     // rows this pipeline kept (vs. local_cap_)
   int64_t shard_ = -1;     // -1: iterate every shard (serial pipeline)
   size_t shard_count_ = 1;
+  size_t morsel_lo_ = 0;   // positional first-table range [lo, hi)
+  size_t morsel_hi_ = static_cast<size_t>(-1);
   std::atomic<size_t>* shared_claimed_ = nullptr;
   size_t shared_cap_ = 0;
   const std::atomic<bool>* cancel_ = nullptr;
   DeadlinePoller deadline_;
   bool first_prepartitioned_ = false;
   const std::vector<RowId>* first_candidates_ = nullptr;
+  const std::vector<ColumnPredicate>* compiled0_ = nullptr;
   ExecStats* stats_;
-  std::vector<Row>* rows_;
+  storage::WorkerRows* rs_;
   const std::vector<RowId>* lazy0_seed_ = nullptr;
   bool lazy0_scan_all_ = false;
   RowId lazy0_row_count_ = 0;
@@ -618,6 +919,19 @@ Result<BlockResultSet> ExecuteSelectBlocks(const SelectStmt& stmt,
       if (c.aliases.size() == 1 && *c.aliases.begin() == static_cast<int>(a)) {
         filters[a].push_back(c.expr);
         c.applied = true;
+      }
+    }
+  }
+  // Compile each single-table filter against the frozen columnar storage
+  // once per query; entries stay parallel to filters[a] so a predicate a
+  // shard cannot serve falls back to Eval in the same conjunct position.
+  std::vector<std::vector<ColumnPredicate>> compiled(n_aliases);
+  if (options.columnar_scan) {
+    for (size_t a = 0; a < n_aliases; ++a) {
+      compiled[a].reserve(filters[a].size());
+      for (const Expr* f : filters[a]) {
+        compiled[a].push_back(
+            ColumnPredicate::Compile(*f, binder, static_cast<int>(a)));
       }
     }
   }
@@ -721,7 +1035,8 @@ Result<BlockResultSet> ExecuteSelectBlocks(const SelectStmt& stmt,
       seed.resize(table->row_count());
       for (RowId i = 0; i < table->row_count(); ++i) seed[i] = i;
     }
-    // Apply all single-table filters.
+    // Apply all single-table filters, through the compiled column check
+    // where one is available for the row's shard.
     Tuple probe(n_aliases, kUnbound);
     std::vector<RowId>& out = candidates[a];
     out.reserve(seed.size());
@@ -729,8 +1044,22 @@ Result<BlockResultSet> ExecuteSelectBlocks(const SelectStmt& stmt,
       ++stats->base_rows_scanned;
       probe[a] = rid;
       bool pass = true;
-      for (const Expr* f : filters[a]) {
-        auto v = eval.Eval(*f, probe);
+      size_t sh = 0;
+      size_t pos = 0;
+      if (!compiled[a].empty()) {
+        sh = table->ShardOf(rid);
+        pos = table->LocalOf(rid);
+      }
+      for (size_t i = 0; i < filters[a].size(); ++i) {
+        if (!compiled[a].empty() && compiled[a][i].compiled(sh)) {
+          ++stats->columnar_filter_rows;
+          if (!compiled[a][i].Matches(sh, pos)) {
+            pass = false;
+            break;
+          }
+          continue;
+        }
+        auto v = eval.Eval(*filters[a][i], probe);
         if (!v.ok()) return v.status();
         if (!Evaluator::Truthy(v.value())) {
           pass = false;
@@ -851,29 +1180,25 @@ Result<BlockResultSet> ExecuteSelectBlocks(const SelectStmt& stmt,
         stmt.limit < static_cast<long long>(options.parallel_min_limit));
   if (!(push_limit && stmt.limit == 0)) {
     if (!parallel) {
-      std::vector<Row> serial_rows;
+      storage::WorkerRows serial_rs;
       TuplePipeline pipeline(stmt, binder, eval, levels, candidates, projected,
-                             has_star, streaming_distinct, local_cap, stats,
-                             &serial_rows);
+                             has_star, streaming_distinct,
+                             /*partition_distinct=*/false, local_cap, stats,
+                             &serial_rs);
       if (lazy0) {
         pipeline.SetLazyFirstTable(lazy0_scan_all ? nullptr : &lazy0_seed,
                                    lazy0_scan_all, tables[0]->row_count(),
                                    &filters[0]);
+        if (!compiled[0].empty()) {
+          pipeline.SetCompiledFirstFilters(&compiled[0]);
+        }
       }
       pipeline.SetCancelFlag(options.cancel);
       pipeline.SetDeadline(options.deadline);
       pipeline.Run();
       RAPTOR_RETURN_NOT_OK(pipeline.error());
-      result.rows.Adopt(std::move(serial_rows));
+      result.rows.Adopt(std::move(serial_rs.rows));
     } else {
-      struct ShardRun {
-        struct {
-          std::vector<Row> rows;
-        } rs;
-        ExecStats stats;
-        Status error = Status::OK();
-      };
-      std::vector<ShardRun> runs(n_shards);
       // Pre-split the shared first-table iteration lists (index seed or
       // filtered candidates) into per-shard sub-lists at plan time, so
       // each worker walks its own list instead of skip-scanning the whole
@@ -893,39 +1218,126 @@ Result<BlockResultSet> ExecuteSelectBlocks(const SelectStmt& stmt,
       // a re-dedup): see storage/shard_parallel.h.
       storage::ShardRowBudget budget(push_limit, streaming_distinct,
                                      stmt.limit);
-      size_t workers = std::min<size_t>(
-          static_cast<size_t>(options.parallel_shards), n_shards);
-      ThreadPool::Shared().ParallelFor(n_shards, workers, [&](size_t s) {
-        ShardRun& run = runs[s];
-        // Evaluator IN-list caches are mutable, so every worker owns one.
-        Evaluator shard_eval(binder);
-        TuplePipeline pipeline(stmt, binder, shard_eval, levels, candidates,
+      const std::vector<ColumnPredicate>* compiled0 =
+          lazy0 && !compiled[0].empty() ? &compiled[0] : nullptr;
+      // Wire one pipeline over one positional slice of one shard's
+      // first-table iteration space and run it to completion. Shared by
+      // both parallel schedulers; a whole shard is the slice
+      // [0, SIZE_MAX).
+      auto run_slice = [&](size_t shard, size_t lo, size_t hi, Evaluator& ev,
+                           ExecStats* slice_stats,
+                           storage::WorkerRows* rs) -> Status {
+        TuplePipeline pipeline(stmt, binder, ev, levels, candidates,
                                projected, has_star, streaming_distinct,
-                               budget.local_cap, &run.stats, &run.rs.rows);
+                               /*partition_distinct=*/streaming_distinct,
+                               budget.local_cap, slice_stats, rs);
         if (lazy0) {
           pipeline.SetLazyFirstTable(
-              lazy0_scan_all ? nullptr : &first_by_shard[s], lazy0_scan_all,
-              tables[0]->row_count(), &filters[0]);
+              lazy0_scan_all ? nullptr : &first_by_shard[shard],
+              lazy0_scan_all, tables[0]->row_count(), &filters[0]);
+          if (compiled0 != nullptr) {
+            pipeline.SetCompiledFirstFilters(compiled0);
+          }
         } else if (first_list != nullptr) {
-          pipeline.SetFirstCandidates(&first_by_shard[s]);
+          pipeline.SetFirstCandidates(&first_by_shard[shard]);
         }
-        pipeline.RestrictFirstTableToShard(s, n_shards);
+        pipeline.RestrictFirstTableToShard(shard, n_shards);
         if (first_list != nullptr) pipeline.SetFirstTablePrepartitioned();
+        pipeline.RestrictFirstTableToMorsel(lo, hi);
         pipeline.SetCancelFlag(options.cancel);
         pipeline.SetDeadline(options.deadline);
         if (budget.shared) {
           pipeline.SetSharedRowBudget(&budget.claimed, budget.shared_cap);
         }
         pipeline.Run();
-        run.error = pipeline.error();
-      });
-      RAPTOR_RETURN_NOT_OK(storage::MergeShardRuns(
-          runs, streaming_distinct, &result.rows, [&](ShardRun& run) {
-            stats->base_rows_scanned += run.stats.base_rows_scanned;
-            stats->index_probe_rows += run.stats.index_probe_rows;
-            stats->join_output_tuples += run.stats.join_output_tuples;
-            stats->rows_emitted += run.stats.rows_emitted;
-          }));
+        return pipeline.error();
+      };
+      auto fold_stats = [&](const ExecStats& ws) {
+        stats->base_rows_scanned += ws.base_rows_scanned;
+        stats->index_probe_rows += ws.index_probe_rows;
+        stats->join_output_tuples += ws.join_output_tuples;
+        stats->rows_emitted += ws.rows_emitted;
+        stats->columnar_filter_rows += ws.columnar_filter_rows;
+        stats->morsels_executed += ws.morsels_executed;
+        stats->morsels_stolen += ws.morsels_stolen;
+      };
+      if (options.morsel_scheduling) {
+        // Morsel scheduler: carve each shard's iteration space into
+        // fixed-size positional chunks on per-worker work-stealing
+        // deques, so a skewed shard's rows spread across the fleet.
+        // Morsels are ordered shard-major, and the merge walks them in
+        // that order — the result is byte-identical for a fixed plan
+        // regardless of the steal schedule.
+        size_t morsel_size =
+            static_cast<size_t>(std::max(1, options.morsel_size));
+        struct Morsel {
+          size_t shard;
+          size_t lo;
+          size_t hi;
+        };
+        std::vector<Morsel> morsels;
+        RowId row_count = tables[0]->row_count();
+        for (size_t s = 0; s < n_shards; ++s) {
+          size_t count =
+              first_list != nullptr
+                  ? first_by_shard[s].size()
+                  : (row_count > s ? (row_count - 1 - s) / n_shards + 1 : 0);
+          for (size_t lo = 0; lo < count; lo += morsel_size) {
+            morsels.push_back({s, lo, std::min(lo + morsel_size, count)});
+          }
+        }
+        struct MorselRun {
+          storage::WorkerRows rs;
+          Status error = Status::OK();
+        };
+        std::vector<MorselRun> runs(morsels.size());
+        if (!morsels.empty()) {
+          size_t workers = std::min<size_t>(
+              static_cast<size_t>(options.parallel_shards), morsels.size());
+          WorkStealingQueues queues(morsels.size(), workers);
+          std::vector<ExecStats> worker_stats(workers);
+          ThreadPool::Shared().ParallelFor(workers, workers, [&](size_t w) {
+            // Evaluator IN-list caches are mutable, so every worker owns
+            // one (shared across its morsels).
+            Evaluator worker_eval(binder);
+            ExecStats* ws = &worker_stats[w];
+            bool stolen = false;
+            for (size_t m = queues.Next(w, &stolen);
+                 m != WorkStealingQueues::kDone; m = queues.Next(w, &stolen)) {
+              ++ws->morsels_executed;
+              if (stolen) ++ws->morsels_stolen;
+              const Morsel& mo = morsels[m];
+              runs[m].error =
+                  run_slice(mo.shard, mo.lo, mo.hi, worker_eval, ws,
+                            &runs[m].rs);
+              if (!runs[m].error.ok()) break;
+            }
+          });
+          for (const ExecStats& ws : worker_stats) fold_stats(ws);
+        }
+        RAPTOR_RETURN_NOT_OK(storage::MergeShardRuns(
+            runs, streaming_distinct, &result.rows, [](MorselRun&) {}));
+      } else {
+        // Legacy scheduler: one worker per storage shard, no stealing.
+        struct ShardRun {
+          storage::WorkerRows rs;
+          ExecStats stats;
+          Status error = Status::OK();
+        };
+        std::vector<ShardRun> runs(n_shards);
+        size_t workers = std::min<size_t>(
+            static_cast<size_t>(options.parallel_shards), n_shards);
+        ThreadPool::Shared().ParallelFor(n_shards, workers, [&](size_t s) {
+          ShardRun& run = runs[s];
+          // Evaluator IN-list caches are mutable, so every worker owns one.
+          Evaluator shard_eval(binder);
+          run.error = run_slice(s, 0, static_cast<size_t>(-1), shard_eval,
+                                &run.stats, &run.rs);
+        });
+        RAPTOR_RETURN_NOT_OK(storage::MergeShardRuns(
+            runs, streaming_distinct, &result.rows,
+            [&](ShardRun& run) { fold_stats(run.stats); }));
+      }
     }
   }
   if (options.cancel != nullptr &&

@@ -22,13 +22,27 @@
 //    cutting allocation churn on large builds;
 //  * when the base table is sharded and its scan is large enough, the
 //    scan — and with it the whole downstream join/probe pipeline — fans
-//    out one worker per storage shard onto the shared thread pool
-//    (common/thread_pool.h). Workers emit into thread-local result sets
-//    merged in shard order; a pushed-down LIMIT cancels cooperatively via
-//    an atomic row budget, and streaming DISTINCT dedups locally with the
-//    seen-sets merged at the barrier. ORDER BY sorts after the merge, so
-//    rows comparing equal on every key may order differently than a serial
-//    run; key-unique sorts are unaffected.
+//    out onto the shared thread pool (common/thread_pool.h). The default
+//    scheduler carves each shard's scan (or index seed list) into
+//    fixed-size morsels (SelectOptions::morsel_size) distributed over
+//    per-worker work-stealing deques, so a skewed shard's rows spread
+//    across the whole fleet; morsel_scheduling = false keeps the legacy
+//    one-worker-per-shard fan-out. Workers emit into thread-local result
+//    sets merged in morsel/shard order; a pushed-down LIMIT cancels
+//    cooperatively via an atomic row budget, and streaming DISTINCT
+//    emissions hash-partition per worker so the merge adopts whole
+//    compacted blocks (storage/shard_parallel.h). ORDER BY sorts after
+//    the merge, so rows comparing equal on every key may order
+//    differently than a serial run; key-unique sorts are unaffected;
+//  * single-table filters of the shape `col op literal` / `col IN (...)`
+//    compile against the table's frozen columnar storage (table.h /
+//    storage/columnar.h): int comparisons read the SoA int vector
+//    directly and string equality compares dictionary ids as uint32s,
+//    skipping per-row Value variant dispatch. Filters that cannot be
+//    represented exactly (doubles, NULLs, mixed-type columns, complex
+//    expressions) stay on the row-path evaluator per predicate, and
+//    columnar_scan = false disables the fast path entirely for the
+//    differential harness.
 //
 // This gives the honest behaviour Table VIII depends on: a giant SQL query
 // with many joins and non-equi temporal constraints pays for large
@@ -77,6 +91,9 @@ struct ExecStats {
   size_t index_probe_rows = 0;      // rows fetched through index probes
   size_t join_output_tuples = 0;    // tuples produced across all joins
   size_t rows_emitted = 0;          // result rows produced
+  size_t columnar_filter_rows = 0;  // predicate checks served by frozen columns
+  size_t morsels_executed = 0;      // scan morsels run by the parallel driver
+  size_t morsels_stolen = 0;        // of those, taken from another worker
 };
 
 /// Streaming toggles; the all-false combination is the legacy
@@ -90,6 +107,19 @@ struct SelectOptions {
   /// Apply DISTINCT through an incremental seen-set during emission.
   /// Off = legacy final dedup pass over the materialized result.
   bool streaming_distinct = true;
+  /// Evaluate eligible single-table filters against the frozen columnar
+  /// storage (dictionary-encoded string equality, direct int reads). Off =
+  /// row-path Value evaluation for every filter, kept for the differential
+  /// harness. Results are identical either way; predicates a column cannot
+  /// represent exactly fall back to the row path individually.
+  bool columnar_scan = true;
+  /// Parallel scheduler: carve the base scan into morsel_size chunks on
+  /// per-worker work-stealing deques. Off = legacy one worker per storage
+  /// shard (no stealing, skew-sensitive).
+  bool morsel_scheduling = true;
+  /// Rows per morsel. Small enough that a skewed shard yields many
+  /// stealable units, large enough to amortize per-morsel pipeline setup.
+  int morsel_size = 2048;
   /// Maximum shard-parallel workers for the base scan / probe pipeline;
   /// the effective worker count is min(parallel_shards, base table
   /// shard_count()). 1 = always serial (the differential baseline).

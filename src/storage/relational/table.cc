@@ -26,6 +26,8 @@ Table::Table(std::string name, Schema schema, size_t shard_count)
       schema_(std::move(schema)),
       layout_(shard_count) {
   shards_.resize(layout_.count());
+  for (Shard& s : shards_) s.cols.resize(schema_.size());
+  col_dicts_.resize(schema_.size());
 }
 
 Status Table::Insert(Row row) {
@@ -38,6 +40,10 @@ Status Table::Insert(Row row) {
   Shard& shard = shards_[layout_.ShardOf(id)];
   for (auto& [col, index] : shard.indexes) {
     index[row[col]].push_back(id);
+  }
+  size_t pos = shard.rows.size();  // == layout_.LocalOf(id)
+  for (size_t c = 0; c < row.size(); ++c) {
+    shard.cols[c].Append(pos, row[c], &col_dicts_[c]);
   }
   shard.rows.push_back(std::move(row));
   return Status::OK();

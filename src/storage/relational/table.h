@@ -21,6 +21,7 @@
 
 #include "common/interner.h"
 #include "common/status.h"
+#include "storage/columnar.h"
 #include "storage/relational/value.h"
 #include "storage/shard_layout.h"
 
@@ -104,6 +105,33 @@ class Table {
   /// Shard owning row `id`.
   size_t ShardOf(RowId id) const { return layout_.ShardOf(id); }
 
+  /// Row `id`'s offset within its shard — the cell position inside the
+  /// shard's frozen columns.
+  size_t LocalOf(RowId id) const { return layout_.LocalOf(id); }
+
+  // --- Frozen columnar storage (storage/columnar.h) ------------------------
+  // Insert freezes every cell into per-(shard × column) SoA vectors
+  // alongside the row store; string cells dictionary-encode against one
+  // dictionary per schema column, shared across shards.
+
+  /// Frozen column of (shard, column). Cell positions are the row's local
+  /// offset within the shard (ShardLayout::LocalOf).
+  const storage::Column& ColumnSlice(size_t shard, int column_idx) const {
+    return shards_[shard].cols[column_idx];
+  }
+
+  /// Dictionary id of `text` in column `column_idx`'s dictionary, or
+  /// storage::kNullDictId when that string never occurs in the column.
+  uint32_t LookupColumnDict(int column_idx, std::string_view text) const {
+    uint32_t id = col_dicts_[column_idx].Lookup(text);
+    return id == kNoSymbol ? storage::kNullDictId : id;
+  }
+
+  /// The string behind a dictionary id of column `column_idx`.
+  std::string_view ColumnDictName(int column_idx, uint32_t dict_id) const {
+    return col_dicts_[column_idx].Name(dict_id);
+  }
+
  private:
   // Keyed directly on Value with a Compare()-consistent hash, so inserts
   // and probes never render the cell to a string.
@@ -115,11 +143,13 @@ class Table {
   struct Shard {
     std::vector<Row> rows;
     std::unordered_map<int, ValueIndex> indexes;  // column index -> index
+    std::vector<storage::Column> cols;            // frozen SoA cells
   };
 
   std::string name_;
   Schema schema_;
   std::vector<Shard> shards_;
+  std::vector<StringInterner> col_dicts_;  // one dictionary per column
   storage::ShardLayout layout_;
   size_t row_count_ = 0;
 };

@@ -1,10 +1,10 @@
 // Shared policy pieces of the shard-parallel query drivers (the Cypher
 // matcher and the SQL pipeline): LIMIT row-budget selection and the
-// shard-order merge. Both engines fan one worker per storage shard onto
-// the common thread pool and stream into thread-local result sets; the
-// subtle parts — how a pushed-down LIMIT is enforced across workers and
-// how DISTINCT survives the merge — live here once so the two executors
-// cannot drift apart.
+// deterministic worker-order merge. Both engines fan workers (one per
+// storage shard, or one per work-stealing morsel) onto the common thread
+// pool and stream into thread-local result sets; the subtle parts — how a
+// pushed-down LIMIT is enforced across workers and how DISTINCT survives
+// the merge — live here once so the two executors cannot drift apart.
 //
 // Budget policy: without DISTINCT every emitted row counts globally, so
 // workers claim emission slots from one atomic counter (exactly `limit`
@@ -17,6 +17,18 @@
 // the limit (disjoint shards can each contribute up to `limit` rows): the
 // executors' trailing LIMIT resize is load-bearing for pushed-down
 // DISTINCT limits, not a legacy safety net.
+//
+// DISTINCT merge: workers hash-partition their emissions by row hash into
+// kDistinctPartitions buckets (WorkerRows::parts). Duplicate rows always
+// land in the same partition, so the merge dedups one partition at a time
+// (per-partition seen-set, worker order within a partition), compacts each
+// worker's surviving rows in place, and adopts the compacted vectors as
+// whole blocks — the same zero-copy merge non-DISTINCT always had
+// (RowBlocks::pushed_rows() stays 0). Output order is partition-major,
+// worker-minor: a different row order than the pre-partitioned merge
+// produced, but deterministic for a fixed storage layout, and row *sets*
+// are unchanged (the differential harness compares DISTINCT results
+// order-normalized).
 #pragma once
 
 #include <atomic>
@@ -30,6 +42,25 @@
 #include "storage/row_block.h"
 
 namespace raptor::storage {
+
+/// Number of hash partitions the streaming-DISTINCT sinks spread rows
+/// over. Power of two (partition index is hash & (kDistinctPartitions-1)).
+constexpr size_t kDistinctPartitions = 8;
+
+/// Partition index of a result row (sinks and the merge must agree).
+inline size_t DistinctPartitionOf(const std::vector<sql::Value>& row) {
+  return sql::ValueRowHash{}(row) & (kDistinctPartitions - 1);
+}
+
+/// Per-worker result container for the parallel drivers. Non-DISTINCT
+/// emissions stream into `rows`; streaming-DISTINCT emissions are
+/// hash-partitioned into `parts` (sized lazily by the sink).
+struct WorkerRows {
+  std::vector<std::vector<sql::Value>> rows;
+  std::vector<std::vector<std::vector<sql::Value>>> parts;
+
+  void EnableDistinctPartitions() { parts.resize(kDistinctPartitions); }
+};
 
 /// LIMIT enforcement for a fleet of shard workers. Wire `shared_claimed()`
 /// / `shared_cap` and `local_cap` into each worker's row sink.
@@ -52,32 +83,42 @@ struct ShardRowBudget {
   std::atomic<size_t>* shared_claimed() { return shared ? &claimed : nullptr; }
 };
 
-/// Merge per-shard worker results in shard order (deterministic for a
-/// fixed storage layout): fail on the first worker error, let `on_run`
-/// fold each worker's stats, and hand the rows to `out`. Without
+/// Merge per-worker results in worker order (deterministic for a fixed
+/// storage layout and morsel carve): fail on the first worker error, let
+/// `on_run` fold each worker's stats, and hand the rows to `out`. Without
 /// streaming DISTINCT every worker's row vector is adopted wholesale as
-/// one block — the zero-copy merge, no per-row moves. With streaming
-/// DISTINCT the merge must drop cross-shard duplicates that the workers'
-/// local seen-sets could not observe, so surviving rows are pushed one by
-/// one (observable through RowBlocks::pushed_rows). `Run` must expose a
-/// `Status error` and a result set with value rows at `rs.rows`.
+/// one block. With streaming DISTINCT the merge dedups partition by
+/// partition (see the header comment) and adopts each worker's compacted
+/// partition vector — also block-wise. `Run` must expose a `Status error`
+/// and a WorkerRows at `rs`.
 template <class Run, class OnRun>
 Status MergeShardRuns(std::vector<Run>& runs, bool streaming_distinct,
                       RowBlocks<std::vector<sql::Value>>* out,
                       OnRun&& on_run) {
-  std::unordered_set<std::vector<sql::Value>, sql::ValueRowHash,
-                     sql::ValueRowEq>
-      seen;
   for (Run& run : runs) {
     RAPTOR_RETURN_NOT_OK(run.error);
     on_run(run);
-    if (!streaming_distinct) {
-      out->Adopt(std::move(run.rs.rows));
-      continue;
-    }
-    for (auto& row : run.rs.rows) {
-      if (!seen.insert(row).second) continue;
-      out->Push(std::move(row));
+  }
+  if (!streaming_distinct) {
+    for (Run& run : runs) out->Adopt(std::move(run.rs.rows));
+    return Status::OK();
+  }
+  std::unordered_set<std::vector<sql::Value>, sql::ValueRowHash,
+                     sql::ValueRowEq>
+      seen;
+  for (size_t p = 0; p < kDistinctPartitions; ++p) {
+    seen.clear();
+    for (Run& run : runs) {
+      if (run.rs.parts.size() <= p) continue;
+      auto& part = run.rs.parts[p];
+      size_t kept = 0;
+      for (size_t i = 0; i < part.size(); ++i) {
+        if (!seen.insert(part[i]).second) continue;
+        if (kept != i) part[kept] = std::move(part[i]);
+        ++kept;
+      }
+      part.resize(kept);
+      out->Adopt(std::move(part));
     }
   }
   return Status::OK();

@@ -192,6 +192,18 @@ class ThreatRaptor {
     return service_->metrics();
   }
 
+  /// Runtime tenant-policy reconfiguration on the hunt service: the new
+  /// weight/queue-cap take effect at the tenant's next admission (see
+  /// HuntService::SetTenantPolicy). Instantiates the lazy service so the
+  /// policy is in place before the tenant's first Submit; false (policy
+  /// dropped) when no store is loaded.
+  bool SetTenantPolicy(const std::string& tenant,
+                       service::TenantPolicy policy) {
+    if (store_ == nullptr) return false;
+    Service().SetTenantPolicy(tenant, policy);
+    return true;
+  }
+
   /// Execute a TBQL query in fuzzy search mode (Poirot-based alignment).
   Result<engine::FuzzyReport> HuntFuzzy(
       std::string_view tbql_text, const engine::FuzzyOptions& fuzzy = {}) const {

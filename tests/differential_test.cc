@@ -1,7 +1,8 @@
 // Differential testing of the streaming query pipelines: every MatchOptions
-// / SelectOptions toggle combination — crossed with serial vs shard-
-// parallel execution (parallel_shards in {1, 4}, with the fan-out
-// thresholds zeroed so even these tiny fixtures exercise the parallel
+// / SelectOptions toggle combination — including columnar vs legacy-row
+// scans, and crossed with the three execution schedules (serial, static
+// per-shard fan-out, morsel work-stealing with tiny morsels; the fan-out
+// thresholds are zeroed so even these tiny fixtures exercise the parallel
 // drivers) — must agree with the reference configuration on a catalog of
 // Cypher and SQL queries over randomized small graphs/tables built from
 // the shared synthetic-graph fixture.
@@ -188,30 +189,42 @@ TEST_P(CypherDifferentialTest, AllToggleCombosAgree) {
     for (long long limit : kLimits) {
       std::string text = WithLimit(q, limit);
       for (int combo = 0; combo < 128; ++combo) {
-        graphdb::MatchOptions opts;
-        opts.typed_adjacency = combo & 1;
-        opts.hashed_in_lists = combo & 2;
-        opts.push_limit = combo & 4;
-        opts.streaming_distinct = combo & 8;
-        opts.binding_frames = combo & 16;
-        opts.selective_seeds = combo & 32;
-        opts.parallel_shards = (combo & 64) ? 4 : 1;
-        opts.parallel_min_seeds = 0;  // fan out even on these tiny graphs
-        db.options() = opts;
+        // Schedule dimension: 0 = serial, 1 = static per-shard fan-out,
+        // 2 = morsel work-stealing (tiny morsels so even these graphs
+        // split into several stealable chunks).
+        for (int sched = 0; sched < 3; ++sched) {
+          graphdb::MatchOptions opts;
+          opts.typed_adjacency = combo & 1;
+          opts.hashed_in_lists = combo & 2;
+          opts.push_limit = combo & 4;
+          opts.streaming_distinct = combo & 8;
+          opts.binding_frames = combo & 16;
+          opts.selective_seeds = combo & 32;
+          opts.columnar_scan = combo & 64;
+          opts.parallel_shards = sched == 0 ? 1 : 4;
+          opts.morsel_scheduling = sched == 2;
+          opts.morsel_size = 3;
+          opts.parallel_min_seeds = 0;  // fan out even on these tiny graphs
+          db.options() = opts;
 
-        auto rs = db.Query(text);
-        ASSERT_TRUE(rs.ok()) << text << ": " << rs.status().ToString();
-        std::vector<std::string> got = RenderRows(rs.value().rows);
-        if (limit < 0) {
-          EXPECT_EQ(got, full) << text << " combo=" << combo;
-          continue;
-        }
-        size_t expect_n =
-            std::min<size_t>(static_cast<size_t>(limit), full.size());
-        EXPECT_EQ(got.size(), expect_n) << text << " combo=" << combo;
-        EXPECT_TRUE(IsMultiSubset(got, full)) << text << " combo=" << combo;
-        if (q.distinct) {
-          EXPECT_TRUE(AllUnique(got)) << text << " combo=" << combo;
+          auto rs = db.Query(text);
+          ASSERT_TRUE(rs.ok()) << text << ": " << rs.status().ToString();
+          std::vector<std::string> got = RenderRows(rs.value().rows);
+          if (limit < 0) {
+            EXPECT_EQ(got, full)
+                << text << " combo=" << combo << " sched=" << sched;
+            continue;
+          }
+          size_t expect_n =
+              std::min<size_t>(static_cast<size_t>(limit), full.size());
+          EXPECT_EQ(got.size(), expect_n)
+              << text << " combo=" << combo << " sched=" << sched;
+          EXPECT_TRUE(IsMultiSubset(got, full))
+              << text << " combo=" << combo << " sched=" << sched;
+          if (q.distinct) {
+            EXPECT_TRUE(AllUnique(got))
+                << text << " combo=" << combo << " sched=" << sched;
+          }
         }
       }
     }
@@ -295,36 +308,49 @@ TEST_P(SqlDifferentialTest, AllToggleCombosAgree) {
     for (long long limit : kLimits) {
       std::string text = WithLimit(q, limit);
       for (int combo = 0; combo < 8; ++combo) {
-        sql::SelectOptions opts;
-        opts.push_limit = combo & 1;
-        opts.streaming_distinct = combo & 2;
-        opts.parallel_shards = (combo & 4) ? 4 : 1;
-        opts.parallel_min_rows = 0;  // fan out even on these tiny tables
-        db.options() = opts;
+        // Schedule dimension: 0 = serial, 1 = static per-shard fan-out,
+        // 2 = morsel work-stealing (tiny morsels so even these tables
+        // split into several stealable chunks).
+        for (int sched = 0; sched < 3; ++sched) {
+          sql::SelectOptions opts;
+          opts.push_limit = combo & 1;
+          opts.streaming_distinct = combo & 2;
+          opts.columnar_scan = combo & 4;
+          opts.parallel_shards = sched == 0 ? 1 : 4;
+          opts.morsel_scheduling = sched == 2;
+          opts.morsel_size = 3;
+          opts.parallel_min_rows = 0;  // fan out even on these tiny tables
+          db.options() = opts;
 
-        auto rs = db.Query(text);
-        ASSERT_TRUE(rs.ok()) << text << ": " << rs.status().ToString();
-        if (q.ordered) {
-          // Deterministic order: the LIMIT prefix must match exactly.
-          std::vector<std::string> got = RenderRowsOrdered(rs.value().rows);
-          std::vector<std::string> expect = full_ordered;
-          if (limit >= 0 && expect.size() > static_cast<size_t>(limit)) {
-            expect.resize(static_cast<size_t>(limit));
+          auto rs = db.Query(text);
+          ASSERT_TRUE(rs.ok()) << text << ": " << rs.status().ToString();
+          if (q.ordered) {
+            // Deterministic order: the LIMIT prefix must match exactly.
+            std::vector<std::string> got = RenderRowsOrdered(rs.value().rows);
+            std::vector<std::string> expect = full_ordered;
+            if (limit >= 0 && expect.size() > static_cast<size_t>(limit)) {
+              expect.resize(static_cast<size_t>(limit));
+            }
+            EXPECT_EQ(got, expect)
+                << text << " combo=" << combo << " sched=" << sched;
+            continue;
           }
-          EXPECT_EQ(got, expect) << text << " combo=" << combo;
-          continue;
-        }
-        std::vector<std::string> got = RenderRows(rs.value().rows);
-        if (limit < 0) {
-          EXPECT_EQ(got, full) << text << " combo=" << combo;
-          continue;
-        }
-        size_t expect_n =
-            std::min<size_t>(static_cast<size_t>(limit), full.size());
-        EXPECT_EQ(got.size(), expect_n) << text << " combo=" << combo;
-        EXPECT_TRUE(IsMultiSubset(got, full)) << text << " combo=" << combo;
-        if (q.distinct) {
-          EXPECT_TRUE(AllUnique(got)) << text << " combo=" << combo;
+          std::vector<std::string> got = RenderRows(rs.value().rows);
+          if (limit < 0) {
+            EXPECT_EQ(got, full)
+                << text << " combo=" << combo << " sched=" << sched;
+            continue;
+          }
+          size_t expect_n =
+              std::min<size_t>(static_cast<size_t>(limit), full.size());
+          EXPECT_EQ(got.size(), expect_n)
+              << text << " combo=" << combo << " sched=" << sched;
+          EXPECT_TRUE(IsMultiSubset(got, full))
+              << text << " combo=" << combo << " sched=" << sched;
+          if (q.distinct) {
+            EXPECT_TRUE(AllUnique(got))
+                << text << " combo=" << combo << " sched=" << sched;
+          }
         }
       }
     }

@@ -235,6 +235,40 @@ TEST_F(EngineTest, AllOptionsCombinationsAgree) {
   }
 }
 
+TEST_F(EngineTest, SpeculativePatternsMatchSerialSchedule) {
+  // Patterns 0 and 1 share entity p, so the DAG serializes them; the
+  // speculative schedule runs both unconstrained in parallel and replays
+  // the domains post-hoc. Results, match counts, and unmatched-pattern
+  // lists must be byte-identical to the serial schedule — only the
+  // executed query texts may differ (no IN-constraint conjuncts).
+  const char* query =
+      "proc p read file f[\"%passwd%\"] as e1 "
+      "proc p write file g[\"%out%\"] as e2 "
+      "with e1 before e2 return distinct p, f, g";
+  ExecOptions serial;
+  serial.parallel_patterns = false;
+  auto baseline = Run(query, serial);
+  ExecOptions spec;
+  spec.speculative_patterns = true;
+  auto report = Run(query, spec);
+  EXPECT_EQ(report.results.rows, baseline.results.rows);
+  EXPECT_EQ(report.pattern_match_counts, baseline.pattern_match_counts);
+  EXPECT_EQ(report.unmatched_patterns, baseline.unmatched_patterns);
+  EXPECT_EQ(report.matched_event_ids, baseline.matched_event_ids);
+
+  // A zero-match pattern propagates no domain; the dependent pattern runs
+  // unfiltered in both schedules and the reports must still agree.
+  const char* pruned =
+      "proc p[\"%nonexistent%\"] read file f as e1 "
+      "proc p write file g as e2 return p";
+  auto pruned_serial = Run(pruned, serial);
+  auto pruned_spec = Run(pruned, spec);
+  EXPECT_EQ(pruned_spec.results.rows, pruned_serial.results.rows);
+  EXPECT_EQ(pruned_spec.pattern_match_counts,
+            pruned_serial.pattern_match_counts);
+  EXPECT_EQ(pruned_spec.unmatched_patterns, pruned_serial.unmatched_patterns);
+}
+
 TEST_F(EngineTest, PatternDependenciesChainSharedEntities) {
   // p links patterns 0 and 1; pattern 2 (distinct process q) is
   // independent of both and may execute concurrently.

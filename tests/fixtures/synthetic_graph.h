@@ -46,6 +46,19 @@ struct SyntheticGraphSpec {
   bool global_name_index = false;
   /// Edges run proc -> file; false draws both endpoints uniformly.
   bool edges_proc_to_file = true;
+  /// Shard-skew knob: this fraction of edges draws its SOURCE from the
+  /// "hot" node subset (source ids ≡ 0 mod skew_modulus) instead of
+  /// uniformly. Because the store shards entities round-robin on the low
+  /// id bits, setting skew_modulus to the store's shard count collapses
+  /// the hot subset — and the expansion work its out-edges represent —
+  /// onto a single shard, the straggler workload morsel stealing exists
+  /// for. 0 (default) disables the extra rng draws entirely, so
+  /// historical specs reproduce byte-for-byte. Note a plain Zipf over
+  /// node ids would NOT skew shards: round-robin sharding spreads any
+  /// id-rank distribution evenly.
+  double skew_hot_fraction = 0.0;
+  /// Hot subset stride; set to the store's shard count (power of two).
+  int skew_modulus = 4;
 };
 
 struct SyntheticGraph {
@@ -85,19 +98,41 @@ inline SyntheticGraph BuildSyntheticGraph(graphdb::PropertyGraph& g,
             graphdb::Value(spec.file_prefix + std::to_string(i))}}));
     }
   }
+  // Hot-source pool for the skew knob: sources whose id ≡ 0 mod
+  // skew_modulus, restricted to the proc population when edges run
+  // proc -> file.
+  std::vector<graphdb::NodeId> hot_srcs;
+  if (spec.skew_hot_fraction > 0) {
+    const uint64_t mod =
+        spec.skew_modulus > 0 ? static_cast<uint64_t>(spec.skew_modulus) : 1;
+    for (graphdb::NodeId id : out.procs) {
+      if (id % mod == 0) hot_srcs.push_back(id);
+    }
+    if (!spec.edges_proc_to_file) {
+      for (graphdb::NodeId id : out.files) {
+        if (id % mod == 0) hot_srcs.push_back(id);
+      }
+    }
+  }
   // Draw order per edge is pinned to (type, src, dst) — sequenced
   // explicitly, unlike inline AddEdge arguments — so identical specs +
-  // seeds reproduce the exact same graph on any compiler.
+  // seeds reproduce the exact same graph on any compiler. The skew coin
+  // (and the hot-pool draw it gates) only enters the stream when
+  // skew_hot_fraction > 0.
   for (long long i = 0; i < spec.edges; ++i) {
     std::string type = "op" + std::to_string(rng.Uniform(spec.edge_types));
     graphdb::NodeId src, dst;
+    bool hot = spec.skew_hot_fraction > 0 && !hot_srcs.empty() &&
+               rng.Chance(spec.skew_hot_fraction);
     if (spec.edges_proc_to_file) {
-      src = out.procs[rng.Uniform(out.procs.size())];
+      src = hot ? hot_srcs[rng.Uniform(hot_srcs.size())]
+                : out.procs[rng.Uniform(out.procs.size())];
       dst = out.files[rng.Uniform(out.files.size())];
     } else {
       // Uniform over all nodes; ids are dense and in creation order, so
       // drawing the index doubles as drawing the node id.
-      src = rng.Uniform(static_cast<uint64_t>(spec.nodes));
+      src = hot ? hot_srcs[rng.Uniform(hot_srcs.size())]
+                : rng.Uniform(static_cast<uint64_t>(spec.nodes));
       dst = rng.Uniform(static_cast<uint64_t>(spec.nodes));
     }
     g.AddEdge(src, dst, std::move(type), {});

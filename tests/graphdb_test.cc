@@ -518,13 +518,16 @@ TEST(BlockResultTest, ParallelNonDistinctAdoptsWorkerBlocksZeroCopy) {
   }
   EXPECT_EQ(i, flat.value().rows.size());
 
-  // Streaming DISTINCT must re-dedup across shards, so its merge pushes
-  // rows one by one — observable through the same counters.
+  // Streaming DISTINCT re-dedups across shards partition by partition
+  // (workers hash-partition their emissions), so the merge adopts whole
+  // compacted partition blocks — no per-row pushes, same as non-DISTINCT.
   auto distinct = db.QueryBlocks(
       "MATCH (p:proc)-[e:op2]->(f:file) RETURN DISTINCT p.exename");
   ASSERT_TRUE(distinct.ok());
   ASSERT_GT(distinct.value().rows.row_count(), 0u);
-  EXPECT_EQ(distinct.value().rows.adopted_rows(), 0u);
+  EXPECT_EQ(distinct.value().rows.pushed_rows(), 0u);
+  EXPECT_EQ(distinct.value().rows.adopted_rows(),
+            distinct.value().rows.row_count());
 }
 
 TEST(BlockResultTest, PresetCancelFlagCancelsQuery) {

@@ -447,11 +447,15 @@ TEST(BlockResultTest, ParallelNonDistinctAdoptsWorkerBlocksZeroCopy) {
   }
   EXPECT_EQ(i, flat.value().rows.size());
 
-  // Streaming DISTINCT re-dedups at the merge, pushing rows one by one.
+  // Streaming DISTINCT re-dedups at the merge partition by partition
+  // (workers hash-partition their emissions), then adopts each compacted
+  // partition block wholesale — no per-row pushes either.
   auto distinct = db.QueryBlocks("SELECT DISTINCT score FROM t");
   ASSERT_TRUE(distinct.ok());
   ASSERT_GT(distinct.value().rows.row_count(), 0u);
-  EXPECT_EQ(distinct.value().rows.adopted_rows(), 0u);
+  EXPECT_EQ(distinct.value().rows.pushed_rows(), 0u);
+  EXPECT_EQ(distinct.value().rows.adopted_rows(),
+            distinct.value().rows.row_count());
 }
 
 TEST(BlockResultTest, PresetCancelFlagCancelsQuery) {

@@ -454,6 +454,77 @@ TEST(HuntServiceTest, TenantFloodDoesNotRejectOtherTenants) {
   EXPECT_EQ(service.stats().rejected, 2u);
 }
 
+TEST(HuntServiceTest, SetTenantPolicyEffectiveAtNextAdmission) {
+  // Runtime reconfig: tightening a tenant's queue cap applies to its next
+  // Submit (queued hunts are never evicted), and the live entry reflects
+  // the new weight/cap in the metrics surface immediately.
+  ThreatRaptor& tr = SlowStore();
+  HuntServiceOptions opts;
+  opts.max_concurrent = 1;
+  opts.max_queue = 16;
+  opts.max_queue_per_tenant = 4;
+  HuntService service(tr.store(), opts);
+  const char* scan = "proc p read file f return p, f";
+  HuntTicket blocker = service.Submit(Req(scan));
+  blocker.WaitStarted();  // occupy the only worker; everything else queues
+  std::vector<HuntTicket> queued;
+  queued.push_back(service.Submit(Req(scan, QueryDialect::kTbql,
+                                      "tenant-a")));
+  queued.push_back(service.Submit(Req(scan, QueryDialect::kTbql,
+                                      "tenant-a")));
+  for (const HuntTicket& t : queued) ASSERT_FALSE(t.done());
+  service::TenantPolicy tight;
+  tight.weight = 5;
+  tight.max_queued = 2;  // below the service default, at the live backlog
+  service.SetTenantPolicy("tenant-a", tight);
+  HuntTicket rejected =
+      service.Submit(Req(scan, QueryDialect::kTbql, "tenant-a"));
+  EXPECT_TRUE(rejected.done());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  for (const HuntTicket& t : queued) EXPECT_FALSE(t.done());  // not evicted
+  bool seen = false;
+  for (const auto& tm : service.metrics().tenants) {
+    if (tm.tenant != "tenant-a") continue;
+    seen = true;
+    EXPECT_EQ(tm.weight, 5);
+    EXPECT_EQ(tm.max_queued, 2u);
+  }
+  EXPECT_TRUE(seen);
+  // Loosening back: max_queued = 0 resolves to the service-wide default
+  // again, so the tenant admits past the tightened cap.
+  service.SetTenantPolicy("tenant-a", service::TenantPolicy{});
+  HuntTicket readmitted =
+      service.Submit(Req(scan, QueryDialect::kTbql, "tenant-a"));
+  EXPECT_FALSE(readmitted.done());
+  for (HuntTicket& t : queued) t.Cancel();
+  readmitted.Cancel();
+  blocker.Cancel();
+  (void)blocker.Wait();
+  for (HuntTicket& t : queued) (void)t.Wait();
+  (void)readmitted.Wait();
+}
+
+TEST(HuntServiceTest, FacadeSetsTenantPolicyBeforeFirstSubmit) {
+  // The facade path instantiates the lazy service, so a policy set before
+  // the tenant's first hunt is already in place at creation time; with no
+  // store loaded the call reports failure instead.
+  ThreatRaptor empty;
+  EXPECT_FALSE(empty.SetTenantPolicy("tenant-a", service::TenantPolicy{}));
+  auto tr = BuildWideStore(10, 10);
+  service::TenantPolicy policy;
+  policy.weight = 3;
+  policy.max_queued = 7;
+  ASSERT_TRUE(tr->SetTenantPolicy("tenant-a", policy));
+  HuntRequest req = Req("proc p[\"%svc1%\"] read file f return p, f",
+                        QueryDialect::kTbql, "tenant-a");
+  ASSERT_TRUE(tr->hunt_service()->Run(req).ok());
+  HuntService::Metrics m = tr->service_metrics();
+  ASSERT_EQ(m.tenants.size(), 1u);
+  EXPECT_EQ(m.tenants[0].tenant, "tenant-a");
+  EXPECT_EQ(m.tenants[0].weight, 3);
+  EXPECT_EQ(m.tenants[0].max_queued, 7u);
+}
+
 TEST(HuntServiceTest, CancelQueuedReleasesSlotImmediately) {
   // Regression: cancelling a queued hunt used to leave it parked in the
   // queue (Wait() blocked until a worker dequeued it past the running

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<name>.json artifacts metric by metric.
+
+Prints a per-workload (label) table of baseline vs candidate values with a
+ratio column, plus keys present in only one report. For time-like metrics
+(name ends in _seconds, _micros, or _ms) the ratio is reported as a speedup
+(baseline / candidate, > 1 = candidate faster); every other metric reports
+the plain candidate / baseline change factor. A `total` summary line
+aggregates the geometric-mean speedup over the time-like metrics both
+reports share.
+
+CI runs this between the freshly built bench JSON and the artifact of the
+baseline branch (when one is available) and pastes the output into the job
+summary; it never fails the build — values are hardware-noisy, only the
+schema check (bench_schema_keys.py) gates.
+
+Usage: bench_compare.py BASELINE.json CANDIDATE.json [--markdown]
+"""
+import json
+import math
+import sys
+
+TIME_SUFFIXES = ("_seconds", "_micros", "_ms")
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    metrics = {}
+    for m in doc.get("metrics", []):
+        metrics[(m["label"], m["metric"])] = m["value"]
+    return doc.get("bench", "?"), metrics
+
+
+def is_time(metric):
+    return metric.endswith(TIME_SUFFIXES)
+
+
+def fmt(v):
+    if isinstance(v, float):
+        return f"{v:.6g}"
+    return str(v)
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    markdown = "--markdown" in sys.argv[1:]
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    base_name, base = load(args[0])
+    cand_name, cand = load(args[1])
+    if base_name != cand_name:
+        print(
+            f"warning: comparing different benches "
+            f"({base_name} vs {cand_name})",
+            file=sys.stderr,
+        )
+
+    shared = sorted(set(base) & set(cand))
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+
+    if markdown:
+        print(f"### Bench compare: {cand_name}")
+        print()
+        print("| workload | metric | baseline | candidate | ratio |")
+        print("|---|---|---:|---:|---:|")
+        row = "| {} | {} | {} | {} | {} |"
+    else:
+        print(f"Bench compare: {cand_name}")
+        w = max((len(f"{l}/{m}") for l, m in shared), default=20)
+        row = "  {:<" + str(w + 2) + "} {:>12} -> {:>12}  {}"
+
+    speedups = []
+    for label, metric in shared:
+        b, c = base[(label, metric)], cand[(label, metric)]
+        if is_time(metric) and b > 0 and c > 0:
+            ratio = b / c
+            speedups.append(ratio)
+            tag = f"{ratio:.2f}x speedup"
+        elif b not in (0, 0.0):
+            tag = f"{c / b:.2f}x change"
+        else:
+            tag = "n/a"
+        if markdown:
+            print(row.format(label, metric, fmt(b), fmt(c), tag))
+        else:
+            print(row.format(f"{label}/{metric}", fmt(b), fmt(c), tag))
+
+    if speedups:
+        geo = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        line = (
+            f"geomean speedup over {len(speedups)} time metrics: {geo:.2f}x "
+            "(baseline / candidate, > 1 = candidate faster)"
+        )
+        print()
+        print(f"**{line}**" if markdown else line)
+
+    for title, keys in (("only in baseline", only_base),
+                        ("only in candidate", only_cand)):
+        if keys:
+            print()
+            print(f"{title}:")
+            for label, metric in keys:
+                print(f"  {label}/{metric}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
