@@ -187,6 +187,16 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
       return PruningScore(aq, a) > PruningScore(aq, b);
     });
   }
+  // Dirty-restricted passes force the restricted pattern to execute first,
+  // so its (small) match set drives constraint propagation into every
+  // dependent pattern instead of the other way around. Applied before the
+  // DAG is derived — dependencies follow execution order.
+  if (options.force_first_pattern >= 0 &&
+      static_cast<size_t>(options.force_first_pattern) < n_patterns) {
+    auto it = std::find(order.begin(), order.end(),
+                        static_cast<size_t>(options.force_first_pattern));
+    if (it != order.end()) std::rotate(order.begin(), it, it + 1);
+  }
 
   // Network-connection entities are flow-scoped (one 5-tuple per
   // connection): a reused ip entity ID means "the same destination", which
@@ -205,6 +215,9 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
   // own matched ids back in when it completes; the mutex only guards those
   // two boundary touches, never a data query.
   EntityConstraints constraints;
+  if (options.initial_constraints != nullptr) {
+    constraints = *options.initial_constraints;
+  }
   std::mutex constraints_mu;
   std::vector<std::vector<PatternMatch>> matches(n_patterns);
   std::vector<std::string> query_texts(n_patterns);
@@ -287,6 +300,7 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
       sql::SelectOptions sopts = store_->relational().options();
       sopts.cancel = options.cancel;
       sopts.deadline = options.deadline;
+      sopts.result_cache = options.sql_result_cache;
       auto rs = store_->relational().QueryBlocks(dq.value().text, sopts);
       if (!rs.ok()) return rs.status();
       out.reserve(rs.value().rows.row_count());
@@ -305,6 +319,7 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
       graphdb::MatchOptions gopts = store_->graph().options();
       gopts.cancel = options.cancel;
       gopts.deadline = options.deadline;
+      gopts.result_cache = options.graph_result_cache;
       auto rs = store_->graph().QueryBlocks(dq.value().text, gopts);
       if (!rs.ok()) return rs.status();
       bool has_event = dq.value().has_event_columns;
@@ -495,6 +510,14 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
   std::sort(join_order.begin(), join_order.end(), [&](size_t a, size_t b) {
     return matches[a].size() < matches[b].size();
   });
+  // Dirty-restricted passes must not reinterpret "pattern found nothing
+  // under the restricted domain" as "pattern is excessive, exclude it from
+  // the join" — that would fabricate rows the unrestricted query never
+  // produces. Such passes demand every pattern contributes or the pass
+  // result is empty.
+  if (options.require_all_patterns && !report.unmatched_patterns.empty()) {
+    join_order.clear();
+  }
 
   std::vector<Assignment> assignments;
   // Seed with the empty assignment only when at least one pattern matched;

@@ -74,6 +74,29 @@ struct ExecOptions {
   /// Absolute deadline; exceeded at any pattern/join boundary the hunt
   /// returns Status::Timeout.
   std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Incremental standing refreshes: entity-id domains seeded into the
+  /// shared constraint map before any pattern executes, exactly as if a
+  /// predecessor pattern had matched those ids. Restricting a shared
+  /// entity variable to the epoch's dirty ids is how the service runs a
+  /// dirty-only TBQL pass. Must outlive the call.
+  const EntityConstraints* initial_constraints = nullptr;
+  /// Require every pattern to match: when any pattern matches nothing,
+  /// return an empty result instead of excluding it from the join (the
+  /// paper's excessive-pattern tolerance). Dirty-restricted passes need
+  /// this — under a restricted domain an empty pattern means "no new
+  /// contribution", not "pattern is excessive".
+  bool require_all_patterns = false;
+  /// When >= 0, move this pattern index to the front of the execution
+  /// order so its (restricted) matches drive constraint propagation into
+  /// every dependent pattern. -1 = scheduler order.
+  int force_first_pattern = -1;
+  /// Multi-query optimization: shared-subresult caches handed through to
+  /// the storage executors (SelectOptions/MatchOptions::result_cache), so
+  /// identical compiled data queries — shared seed probes, duplicated
+  /// templates — execute once per epoch. Must outlive the call.
+  storage::QueryResultCache<sql::BlockResultSet>* sql_result_cache = nullptr;
+  storage::QueryResultCache<graphdb::GraphBlockResult>* graph_result_cache =
+      nullptr;
 };
 
 struct TbqlResultSet {

@@ -1,6 +1,7 @@
 #include "extraction/extractor.h"
 
 #include <algorithm>
+#include <cctype>
 
 #include "common/stopwatch.h"
 #include "common/strings.h"
@@ -187,6 +188,40 @@ Result<ExtractionResult> ThreatBehaviorExtractor::Extract(
   }
   result.timings.er_to_graph_seconds = stage_timer.ElapsedSeconds();
   return result;
+}
+
+std::vector<std::string> FindAttackTechniqueIds(std::string_view text) {
+  std::vector<std::string> out;
+  auto is_digit = [](char c) { return c >= '0' && c <= '9'; };
+  for (size_t i = 0; i + 4 < text.size(); ++i) {
+    if (text[i] != 'T' || !is_digit(text[i + 1])) continue;
+    // Technique ids are standalone tokens: no alphanumeric immediately
+    // before (rules out "CVE-..." style embeddings and words ending in T).
+    if (i > 0 && (std::isalnum(static_cast<unsigned char>(text[i - 1])) ||
+                  text[i - 1] == '.')) {
+      continue;
+    }
+    size_t j = i + 1;
+    while (j < text.size() && is_digit(text[j])) ++j;
+    if (j - (i + 1) != 4) continue;
+    size_t end = j;
+    // Optional ".NNN" sub-technique suffix.
+    if (j + 3 < text.size() && text[j] == '.' && is_digit(text[j + 1]) &&
+        is_digit(text[j + 2]) && is_digit(text[j + 3]) &&
+        (j + 4 >= text.size() ||
+         !std::isalnum(static_cast<unsigned char>(text[j + 4])))) {
+      end = j + 4;
+    } else if (j < text.size() &&
+               std::isalnum(static_cast<unsigned char>(text[j]))) {
+      continue;
+    }
+    std::string id(text.substr(i, end - i));
+    if (std::find(out.begin(), out.end(), id) == out.end()) {
+      out.push_back(std::move(id));
+    }
+    i = end - 1;
+  }
+  return out;
 }
 
 }  // namespace raptor::extraction

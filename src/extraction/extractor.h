@@ -68,4 +68,10 @@ class ThreatBehaviorExtractor {
   ExtractionOptions options_;
 };
 
+/// MITRE ATT&CK technique ids mentioned in a CTI report ("T1021",
+/// "T1053.003", ...), deduplicated in order of first appearance. CTI text
+/// routinely tags behaviors with technique ids; the hunt library uses them
+/// to attach catalog metadata (tactic, severity) to synthesized hunts.
+std::vector<std::string> FindAttackTechniqueIds(std::string_view text);
+
 }  // namespace raptor::extraction

@@ -1,0 +1,118 @@
+#include "huntlib/mqo.h"
+
+#include <map>
+#include <vector>
+
+#include "storage/graphdb/cypher_ast.h"
+#include "storage/graphdb/cypher_parser.h"
+#include "tbql/ast.h"
+#include "tbql/parser.h"
+
+namespace raptor::huntlib {
+
+namespace {
+
+/// First-appearance renamer: the n-th distinct name becomes "vn".
+class Renamer {
+ public:
+  void Rename(std::string* name) {
+    if (name->empty()) return;  // anonymous stays anonymous
+    auto [it, fresh] = map_.emplace(*name, "");
+    if (fresh) it->second = "v" + std::to_string(map_.size() - 1);
+    *name = it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> map_;
+};
+
+void RenameCypherExpr(graphdb::CypherExpr* e, Renamer* r) {
+  if (e == nullptr) return;
+  r->Rename(&e->var);
+  RenameCypherExpr(e->lhs.get(), r);
+  RenameCypherExpr(e->rhs.get(), r);
+}
+
+/// Column label the Cypher executor derives for a return item.
+std::string CypherLabel(const graphdb::CypherReturnItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  return item.expr ? item.expr->ToString() : std::string();
+}
+
+void RenameTbqlAttrExpr(tbql::AttrExpr* e, Renamer* r) {
+  if (e == nullptr) return;
+  r->Rename(&e->qualifier);
+  RenameTbqlAttrExpr(e->lhs.get(), r);
+  RenameTbqlAttrExpr(e->rhs.get(), r);
+}
+
+}  // namespace
+
+std::string CanonicalCypherKey(std::string_view cypher) {
+  auto parsed = graphdb::ParseCypher(cypher);
+  if (!parsed.ok()) return "C\x1f" + std::string(cypher);
+  graphdb::CypherQuery& q = parsed.value();
+
+  // Projection labels from the original names, before renaming touches
+  // them — the key must separate hunts whose output headers differ.
+  std::string labels;
+  for (const graphdb::CypherReturnItem& item : q.items) {
+    labels += '\x1f';
+    labels += CypherLabel(item);
+  }
+
+  Renamer r;
+  for (graphdb::PatternPart& part : q.patterns) {
+    // Chain order: n0, r0, n1, r1, ... — matches the printed form.
+    for (size_t i = 0; i < part.nodes.size(); ++i) {
+      r.Rename(&part.nodes[i].var);
+      if (i < part.rels.size()) r.Rename(&part.rels[i].var);
+    }
+  }
+  RenameCypherExpr(q.where.get(), &r);
+  for (graphdb::CypherReturnItem& item : q.items) {
+    RenameCypherExpr(item.expr.get(), &r);
+  }
+  return "C\x1f" + q.ToString() + labels;
+}
+
+std::string CanonicalTbqlKey(std::string_view tbql) {
+  auto parsed = tbql::ParseTbql(tbql);
+  if (!parsed.ok()) return "T\x1f" + std::string(tbql);
+  tbql::TbqlQuery& q = parsed.value();
+
+  // Projection labels the TBQL executor derives ("id" or "id.attr") from
+  // the original names.
+  std::string labels;
+  for (const tbql::ReturnItem& item : q.returns) {
+    labels += '\x1f';
+    labels += item.attr.empty() ? item.id : item.id + "." + item.attr;
+  }
+
+  Renamer r;
+  for (tbql::Pattern& p : q.patterns) {
+    r.Rename(&p.subject.id);
+    RenameTbqlAttrExpr(p.subject.filter.get(), &r);
+    r.Rename(&p.object.id);
+    RenameTbqlAttrExpr(p.object.filter.get(), &r);
+    r.Rename(&p.id);
+    RenameTbqlAttrExpr(p.event_filter.get(), &r);
+  }
+  for (auto& f : q.global_attr_filters) RenameTbqlAttrExpr(f.get(), &r);
+  for (tbql::TemporalRel& rel : q.temporal_rels) {
+    r.Rename(&rel.left);
+    r.Rename(&rel.right);
+  }
+  for (tbql::AttrRel& rel : q.attr_rels) {
+    r.Rename(&rel.left_qualifier);
+    r.Rename(&rel.right_qualifier);
+  }
+  for (tbql::ReturnItem& item : q.returns) r.Rename(&item.id);
+  return "T\x1f" + q.ToString() + labels;
+}
+
+std::string CanonicalSqlKey(std::string_view sql) {
+  return "S\x1f" + std::string(sql);
+}
+
+}  // namespace raptor::huntlib

@@ -1,0 +1,38 @@
+// Multi-query optimization: canonical query keys.
+//
+// At fleet scale the same technique template lands on the service hundreds
+// of times — once per tenant, often with renamed variables from different
+// synthesis runs. Structurally-identical hunts must share one execution
+// per epoch. The canonical key makes "structurally identical" decidable by
+// string equality: parse, rename every variable / entity id / pattern id
+// in order of first appearance (v0, v1, ...), and print the query back.
+//
+// Renaming changes user-visible output column names, so the key appends
+// the projection labels exactly as the executors derive them from the
+// ORIGINAL text; two hunts share a key only when their delivered rows AND
+// column headers are byte-identical. Unparseable text falls back to the
+// raw string (self-equality still dedupes exact duplicates).
+//
+// This header must stay free of service-layer includes: hunt_service.cc
+// keys its per-epoch refresh dedupe cache on these functions, while
+// huntlib/feed.h includes hunt_service.h — a service include here would
+// close a cycle.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace raptor::huntlib {
+
+/// Canonical key for a Cypher hunt query.
+std::string CanonicalCypherKey(std::string_view cypher);
+
+/// Canonical key for a TBQL hunt query.
+std::string CanonicalTbqlKey(std::string_view tbql);
+
+/// Canonical key for a SQL hunt query: raw text (the SQL path is the
+/// paper's baseline, not a synthesis target — exact-duplicate dedupe is
+/// enough).
+std::string CanonicalSqlKey(std::string_view sql);
+
+}  // namespace raptor::huntlib

@@ -339,6 +339,19 @@ const char* IocTypeName(IocType type) {
   return "?";
 }
 
+std::optional<IocType> IocTypeFromName(std::string_view name) {
+  static constexpr IocType kAll[] = {
+      IocType::kFilepath, IocType::kWinFilepath, IocType::kFilename,
+      IocType::kIp,       IocType::kDomain,      IocType::kUrl,
+      IocType::kEmail,    IocType::kHash,        IocType::kRegistry,
+      IocType::kCve,
+  };
+  for (IocType t : kAll) {
+    if (name == IocTypeName(t)) return t;
+  }
+  return std::nullopt;
+}
+
 std::vector<IocMatch> RecognizeIocs(std::string_view text) {
   struct Candidate {
     IocMatch match;

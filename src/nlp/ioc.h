@@ -5,6 +5,7 @@
 // MD5/SHA1/SHA256 hashes, Windows registry keys and CVE identifiers.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -25,6 +26,10 @@ enum class IocType {
 };
 
 const char* IocTypeName(IocType type);
+
+/// Inverse of IocTypeName (exact match); nullopt for unknown names. Lets
+/// catalog/feed tooling name IOC slots symbolically.
+std::optional<IocType> IocTypeFromName(std::string_view name);
 
 struct IocMatch {
   IocType type = IocType::kFilepath;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "huntlib/mqo.h"
 #include "storage/graphdb/cypher_parser.h"
 
 namespace raptor::service {
@@ -47,10 +48,20 @@ struct StandingState {
   /// cancellation flag of an in-flight refresh.
   std::atomic<bool> cancelled{false};
 
+  /// Canonical query identity (huntlib/mqo.h) for refresh dedupe across
+  /// structural twins; empty when dedupe is disabled. Immutable.
+  std::string canonical_key;
+
   // Scheduling state, guarded by the service's mu_.
   bool scheduled = false;      // a refresh is queued or running
   uint64_t last_epoch = 0;     // newest epoch reflected in `seen`
   bool baseline_done = false;  // the initial full refresh has run
+
+  /// Refresh-only: a full TBQL refresh has matched every pattern, which
+  /// makes per-pattern dirty passes sound (see TryIncrementalTbql). Reset
+  /// whenever the exclusive gate releases — retention can un-match a
+  /// pattern without an epoch bump.
+  bool tbql_all_matched = false;
 
   // Subscriber-visible progress.
   std::mutex mu;
@@ -63,6 +74,21 @@ struct StandingState {
   std::unordered_set<std::vector<sql::Value>, sql::ValueRowHash,
                      sql::ValueRowEq>
       seen;
+};
+
+/// One deduplicated full-refresh execution (MQO layer 1). The first
+/// subscription to register for a (canonical key, epoch) pair becomes the
+/// leader: it executes the query and fills the entry — always, even on
+/// error or cancellation, so followers can never wait forever. Followers
+/// block on the entry (never on a service lock) and derive their own
+/// per-subscription deltas from the shared response. No deadlock at any
+/// worker count: a leader is always already running when a follower waits.
+struct SharedRefresh {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  Status status = Status::OK();
+  std::shared_ptr<const HuntResponse> response;  // null when !status.ok()
 };
 
 // ---- StandingHandle --------------------------------------------------------
@@ -373,6 +399,15 @@ void HuntService::ReleaseGate() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ingest_active_ = false;
+    // Exclusive() may have rebuilt the store (retention, checkpoint
+    // compaction) without an epoch bump: cached results and the
+    // all-patterns-matched latch may describe data that no longer exists.
+    // No refresh is running here (the gate drained running_), so the
+    // refresh-only flag is safe to write.
+    refresh_cache_.clear();
+    graph_cache_.Clear();
+    sql_cache_.Clear();
+    for (const StandingPtr& sub : standing_) sub->tbql_all_matched = false;
   }
   cv_.notify_all();         // resume admissions
   ingest_cv_.notify_all();  // next writer in line
@@ -419,6 +454,11 @@ Result<uint64_t> HuntService::Ingest(
   {
     std::lock_guard<std::mutex> lock(mu_);
     ingest_active_ = false;
+    // The store (possibly) changed — even a failed mutation may have
+    // partially applied: every MQO cache entry describes the old contents.
+    refresh_cache_.clear();
+    graph_cache_.Clear();
+    sql_cache_.Clear();
     if (mutated.ok()) {
       new_epoch = ++epoch_;
       ++stats_.ingests;
@@ -516,6 +556,22 @@ StandingHandle HuntService::SubmitStanding(HuntRequest request,
   sub->request = std::move(request);
   sub->sink = std::move(sink);
   sub->options = options;
+  if (options_.mqo_dedup) {
+    // Parse outside the lock; the key never changes afterwards. Tenant is
+    // deliberately absent — merging structural twins across tenants is the
+    // point (each keeps its own seen-set and delivery).
+    switch (sub->request.dialect) {
+      case QueryDialect::kTbql:
+        sub->canonical_key = huntlib::CanonicalTbqlKey(sub->request.text);
+        break;
+      case QueryDialect::kCypher:
+        sub->canonical_key = huntlib::CanonicalCypherKey(sub->request.text);
+        break;
+      case QueryDialect::kSql:
+        sub->canonical_key = huntlib::CanonicalSqlKey(sub->request.text);
+        break;
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     sub->id = next_standing_id_++;
@@ -561,6 +617,8 @@ HuntService::Stats HuntService::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats out = stats_;
   out.tenants = distinct_tenants_;
+  out.subresult_hits =
+      static_cast<size_t>(graph_cache_.hits() + sql_cache_.hits());
   return out;
 }
 
@@ -956,6 +1014,10 @@ Result<HuntResponse> HuntService::ExecuteQuery(
       engine::ExecOptions opts = req.exec;
       opts.cancel = cancel;
       opts.deadline = deadline;
+      if (options_.mqo_shared_subresults) {
+        opts.sql_result_cache = &sql_cache_;
+        opts.graph_result_cache = &graph_cache_;
+      }
       engine::TbqlExecutor executor(store_);
       auto report = executor.ExecuteText(req.text, opts);
       if (!report.ok()) return report.status();
@@ -968,6 +1030,7 @@ Result<HuntResponse> HuntService::ExecuteQuery(
       opts.cancel = cancel;
       opts.deadline = deadline;
       opts.top_seed_filter = seed_filter;
+      if (options_.mqo_shared_subresults) opts.result_cache = &graph_cache_;
       auto rs = store_->graph().QueryBlocks(req.text, opts);
       if (!rs.ok()) return rs.status();
       response.columns = std::move(rs.value().columns);
@@ -978,6 +1041,7 @@ Result<HuntResponse> HuntService::ExecuteQuery(
       sql::SelectOptions opts = store_->relational().options();
       opts.cancel = cancel;
       opts.deadline = deadline;
+      if (options_.mqo_shared_subresults) opts.result_cache = &sql_cache_;
       auto rs = store_->relational().QueryBlocks(req.text, opts);
       if (!rs.ok()) return rs.status();
       response.columns = std::move(rs.value().columns);
@@ -994,56 +1058,188 @@ Result<HuntResponse> HuntService::ExecuteQuery(
   return response;
 }
 
-bool HuntService::BuildDirtySeedFilter(
-    const std::string& cypher_text, const std::vector<audit::EntityId>& dirty,
-    double max_fraction, std::unordered_set<graphdb::NodeId>* out) const {
-  auto parsed = graphdb::ParseCypher(cypher_text);
-  if (!parsed.ok()) return false;
-  const graphdb::CypherQuery& q = parsed.value();
-  // Eligibility: a single chain (multi-part rows can combine an entirely
-  // old part 0 with new activity elsewhere) without LIMIT (re-execution
-  // under a limit is not monotone).
-  if (q.patterns.size() != 1 || q.limit >= 0) return false;
+namespace {
 
-  // Pattern radius: the farthest the part-0 seed of a match can sit from
-  // any node of that match, walking match edges. Every new row contains a
-  // new node or edge, whose endpoints are in `dirty` — so expanding the
-  // dirty nodes by the radius covers every seed a new row can have.
-  size_t radius = 0;
-  const graphdb::MatchOptions& mopts = store_->graph().options();
-  for (const graphdb::RelPattern& r : q.patterns[0].rels) {
-    if (r.varlen) {
-      radius += static_cast<size_t>(
-          r.max_len >= 0 ? r.max_len : mopts.unbounded_varlen_cap);
-    } else {
-      ++radius;
+/// Per-part pattern radius: the farthest any node of the part can sit from
+/// the part's seed (its first node), walking match edges. Varlen hops
+/// count their maximum length (the unbounded cap when open-ended).
+std::vector<size_t> PartRadii(const graphdb::CypherQuery& q,
+                              const graphdb::MatchOptions& mopts) {
+  std::vector<size_t> radii;
+  radii.reserve(q.patterns.size());
+  for (const graphdb::PatternPart& part : q.patterns) {
+    size_t radius = 0;
+    for (const graphdb::RelPattern& r : part.rels) {
+      if (r.varlen) {
+        radius += static_cast<size_t>(
+            r.max_len >= 0 ? r.max_len : mopts.unbounded_varlen_cap);
+      } else {
+        ++radius;
+      }
     }
+    radii.push_back(radius);
   }
+  return radii;
+}
 
+}  // namespace
+
+bool HuntService::ExpandDirtyRegion(const std::vector<audit::EntityId>& dirty,
+                                    size_t max_hops, double max_fraction,
+                                    std::vector<graphdb::NodeId>* bfs_order,
+                                    std::vector<size_t>* hop_boundary) const {
   const graphdb::PropertyGraph& g = store_->graph().graph();
   const size_t cap =
       static_cast<size_t>(max_fraction * static_cast<double>(g.node_count()));
+  std::unordered_set<graphdb::NodeId> seen;
   std::vector<graphdb::NodeId> frontier;
   for (audit::EntityId e : dirty) {
     graphdb::NodeId n = store_->NodeForEntity(e);
     if (n == graphdb::kInvalidNode) continue;
-    if (out->insert(n).second) frontier.push_back(n);
+    if (seen.insert(n).second) {
+      bfs_order->push_back(n);
+      frontier.push_back(n);
+    }
   }
-  if (out->size() > cap) return false;
-  for (size_t hop = 0; hop < radius && !frontier.empty(); ++hop) {
+  if (seen.size() > cap) return false;
+  hop_boundary->push_back(bfs_order->size());
+  for (size_t hop = 0; hop < max_hops; ++hop) {
     std::vector<graphdb::NodeId> next;
     for (graphdb::NodeId n : frontier) {
       for (graphdb::EdgeId eid : g.OutEdges(n)) {
         graphdb::NodeId m = g.edge(eid).dst;
-        if (out->insert(m).second) next.push_back(m);
+        if (seen.insert(m).second) {
+          bfs_order->push_back(m);
+          next.push_back(m);
+        }
       }
       for (graphdb::EdgeId eid : g.InEdges(n)) {
         graphdb::NodeId m = g.edge(eid).src;
-        if (out->insert(m).second) next.push_back(m);
+        if (seen.insert(m).second) {
+          bfs_order->push_back(m);
+          next.push_back(m);
+        }
       }
-      if (out->size() > cap) return false;
+      if (seen.size() > cap) return false;
     }
     frontier = std::move(next);
+    hop_boundary->push_back(bfs_order->size());
+  }
+  return true;
+}
+
+bool HuntService::TryIncrementalCypher(
+    StandingState& sub, const std::vector<audit::EntityId>& dirty,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline,
+    std::vector<HuntResponse>* responses, Status* status) const {
+  auto parsed = graphdb::ParseCypher(sub.request.text);
+  if (!parsed.ok()) return false;
+  graphdb::CypherQuery q = std::move(parsed).value();
+  // Re-execution under a LIMIT is not monotone; full re-scan.
+  if (q.patterns.empty() || q.limit >= 0) return false;
+
+  std::vector<size_t> radii = PartRadii(q, store_->graph().options());
+  size_t max_radius = *std::max_element(radii.begin(), radii.end());
+  std::vector<graphdb::NodeId> order;
+  std::vector<size_t> boundary;  // boundary[h] = nodes within h hops
+  if (!ExpandDirtyRegion(dirty, max_radius, sub.options.max_dirty_fraction,
+                         &order, &boundary)) {
+    return false;
+  }
+
+  // One pass per pattern part: rotate part j to the front (the executor's
+  // top_seed_filter restricts the FIRST part's seeds) and seed it from the
+  // dirty region expanded by part j's own radius; the delta seen-set
+  // unions the passes. Soundness: every new row contains a new edge in
+  // some part j, whose endpoints are dirty — that part's seed then lies
+  // within radii[j] hops of a dirty node, so pass j finds the row.
+  for (size_t j = 0; j < q.patterns.size(); ++j) {
+    size_t hops = std::min(radii[j], boundary.size() - 1);
+    std::unordered_set<graphdb::NodeId> filter(
+        order.begin(),
+        order.begin() + static_cast<ptrdiff_t>(boundary[hops]));
+    HuntRequest pass = sub.request;
+    pass.text = q.ToString();
+    auto result = ExecuteQuery(pass, &sub.cancelled, deadline, &filter);
+    if (!result.ok()) {
+      *status = result.status();
+      return true;  // eligible, but the pass failed: report, retry later
+    }
+    responses->push_back(std::move(result).value());
+    std::rotate(q.patterns.begin(), q.patterns.begin() + 1, q.patterns.end());
+  }
+  return true;
+}
+
+bool HuntService::TryIncrementalTbql(
+    StandingState& sub, const std::vector<audit::EntityId>& dirty,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline,
+    std::vector<HuntResponse>* responses, Status* status) const {
+  // Sound only after a full refresh matched every pattern: before that,
+  // excessive-pattern tolerance joins over a pattern subset, and a pattern
+  // that starts matching reshapes rows non-monotonically — only a full
+  // execution can notice the transition.
+  if (!sub.tbql_all_matched) return false;
+  auto parsed = tbql::ParseTbql(sub.request.text);
+  if (!parsed.ok()) return false;
+  const tbql::TbqlQuery& q = parsed.value();
+  if (q.patterns.empty()) return false;
+  // Time windows are not monotone (a sliding "last N" drops rows as the
+  // store advances); set semantics cannot retract.
+  if (!q.global_windows.empty()) return false;
+  for (const tbql::Pattern& p : q.patterns) {
+    if (p.window.has_value()) return false;
+  }
+  // Every pattern must expose a joinable (non-network) entity variable to
+  // constrain; an unconstrainable pattern would need a full scan anyway.
+  for (const tbql::Pattern& p : q.patterns) {
+    bool constrainable = (!p.subject.id.empty() &&
+                          p.subject.type != audit::EntityType::kNetwork) ||
+                         (!p.object.id.empty() &&
+                          p.object.type != audit::EntityType::kNetwork);
+    if (!constrainable) return false;
+  }
+  // Region guard, mirroring the Cypher fraction check: a dirty set
+  // covering most of the store makes passes slower than one full run.
+  double cap = sub.options.max_dirty_fraction *
+               static_cast<double>(store_->entity_count());
+  if (static_cast<double>(dirty.size()) > cap) return false;
+
+  engine::EntitySet dirty_set;
+  dirty_set.reserve(dirty.size());
+  for (audit::EntityId e : dirty) {
+    dirty_set.insert(static_cast<long long>(e));
+  }
+
+  // One pass per pattern: force pattern k first with its entity variables
+  // pre-constrained to the dirty ids, and require every pattern to match
+  // (under a restricted domain an empty pattern means "no new rows via
+  // this pattern", not "excessive pattern"). Soundness: a new row needs a
+  // new event in some pattern k, and a stored event's subject and object
+  // are both recorded dirty — pass k's constrained domain contains them.
+  for (size_t k = 0; k < q.patterns.size(); ++k) {
+    const tbql::Pattern& p = q.patterns[k];
+    engine::EntityConstraints constraints;
+    if (!p.subject.id.empty() &&
+        p.subject.type != audit::EntityType::kNetwork) {
+      constraints[p.subject.id] = dirty_set;
+    }
+    if (!p.object.id.empty() &&
+        p.object.type != audit::EntityType::kNetwork) {
+      constraints[p.object.id] = dirty_set;
+    }
+    HuntRequest pass = sub.request;
+    pass.exec.initial_constraints = &constraints;
+    pass.exec.force_first_pattern = static_cast<int>(k);
+    pass.exec.require_all_patterns = true;
+    pass.exec.propagate_constraints = true;  // the passes' whole point
+    pass.exec.speculative_patterns = false;  // would bypass the domains
+    auto result = ExecuteQuery(pass, &sub.cancelled, deadline, nullptr);
+    if (!result.ok()) {
+      *status = result.status();
+      return true;  // eligible, but the pass failed: report, retry later
+    }
+    responses->push_back(std::move(result).value());
   }
   return true;
 }
@@ -1070,31 +1266,87 @@ void HuntService::RunStanding(const StandingPtr& sub) {
     }
   }
 
-  std::unordered_set<graphdb::NodeId> filter;
-  const std::unordered_set<graphdb::NodeId>* seed_filter = nullptr;
-  if (have_dirty && sub->options.allow_incremental &&
-      sub->request.dialect == QueryDialect::kCypher &&
-      BuildDirtySeedFilter(sub->request.text, dirty,
-                           sub->options.max_dirty_fraction, &filter)) {
-    seed_filter = &filter;
-  }
-
   std::optional<std::chrono::steady_clock::time_point> deadline;
   if (sub->request.timeout_micros >= 0) {
     deadline = std::chrono::steady_clock::now() +
                ClampMicros(sub->request.timeout_micros);
   }
   Stopwatch timer;
-  auto result =
-      ExecuteQuery(sub->request, &sub->cancelled, deadline, seed_filter);
-  if (!result.ok()) {
+
+  // Incremental dirty-seeded passes (per-part Cypher rotation, per-pattern
+  // TBQL constraining); fall through to a full refresh when ineligible.
+  std::vector<HuntResponse> responses;
+  bool incremental = false;
+  Status failure = Status::OK();
+  if (have_dirty && sub->options.allow_incremental) {
+    if (sub->request.dialect == QueryDialect::kCypher) {
+      incremental =
+          TryIncrementalCypher(*sub, dirty, deadline, &responses, &failure);
+    } else if (sub->request.dialect == QueryDialect::kTbql) {
+      incremental =
+          TryIncrementalTbql(*sub, dirty, deadline, &responses, &failure);
+    }
+  }
+
+  // Full refresh, deduplicated across structural twins (MQO layer 1): the
+  // first subscription to claim the (canonical key, epoch) entry executes;
+  // the rest reuse its response and pay only their own delta computation.
+  std::shared_ptr<const HuntResponse> shared;
+  if (!incremental && failure.ok()) {
+    std::shared_ptr<SharedRefresh> entry;
+    bool leader = true;
+    if (options_.mqo_dedup && !sub->canonical_key.empty()) {
+      std::string key = sub->canonical_key + '\x1f' + std::to_string(target);
+      std::lock_guard<std::mutex> lock(mu_);
+      auto [it, fresh] = refresh_cache_.try_emplace(key);
+      if (fresh) it->second = std::make_shared<SharedRefresh>();
+      leader = fresh;
+      entry = it->second;
+    }
+    if (leader) {
+      auto result =
+          ExecuteQuery(sub->request, &sub->cancelled, deadline, nullptr);
+      if (result.ok()) {
+        shared =
+            std::make_shared<const HuntResponse>(std::move(result).value());
+      } else {
+        failure = result.status();
+      }
+      if (entry != nullptr) {
+        // Fill unconditionally — even on error or cancellation — so a
+        // follower can never wait forever.
+        {
+          std::lock_guard<std::mutex> lock(entry->mu);
+          entry->status = failure;
+          entry->response = shared;
+          entry->ready = true;
+        }
+        entry->cv.notify_all();
+      }
+    } else {
+      // Follower: the leader is already running on another worker (it
+      // claimed the entry while admitted), so this wait is bounded by one
+      // query execution and holds no service lock.
+      std::unique_lock<std::mutex> lock(entry->mu);
+      entry->cv.wait(lock, [&] { return entry->ready; });
+      failure = entry->status;
+      shared = entry->response;
+      lock.unlock();
+      if (shared != nullptr) {
+        std::lock_guard<std::mutex> service_lock(mu_);
+        ++stats_.standing_dedup_hits;
+      }
+    }
+  }
+
+  if (!failure.ok()) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       sub->scheduled = false;  // the next epoch retries (window unchanged)
     }
     if (sub->sink.on_error != nullptr &&
         !sub->cancelled.load(std::memory_order_relaxed)) {
-      sub->sink.on_error(result.status());
+      sub->sink.on_error(failure);
     }
     // The attempt still counts as processing the epoch for WaitEpoch —
     // otherwise a persistently-failing query (bad syntax, per-refresh
@@ -1108,34 +1360,46 @@ void HuntService::RunStanding(const StandingPtr& sub) {
     sub->cv.notify_all();
     return;
   }
-  HuntResponse response = std::move(result).value();
 
-  // Delta: rows never delivered before (set semantics). A seed-filtered
-  // refresh produces a superset of the genuinely-new rows plus re-found
-  // old ones; the seen-set removes the latter.
+  // The full TBQL refresh just proved that every pattern matches — which
+  // is what licenses later per-pattern dirty passes (see
+  // TryIncrementalTbql).
+  if (!incremental && sub->request.dialect == QueryDialect::kTbql &&
+      shared != nullptr && shared->report.unmatched_patterns.empty()) {
+    sub->tbql_all_matched = true;
+  }
+
+  // Delta: rows never delivered before (set semantics). Incremental
+  // passes and shared full refreshes alike produce a superset of the
+  // genuinely-new rows plus re-found old ones; the seen-set removes the
+  // latter (and unions the multi-pass results).
   StandingUpdate update;
   update.subscription_id = sub->id;
   update.epoch = target;
-  update.incremental = seed_filter != nullptr;
-  update.columns = std::move(response.columns);
+  update.incremental = incremental;
   auto add_row = [&](std::vector<sql::Value> row) {
     auto [it, fresh] = sub->seen.insert(std::move(row));
     if (fresh) update.delta.Push(std::vector<sql::Value>(*it));
   };
-  if (sub->request.dialect == QueryDialect::kTbql) {
-    for (const std::vector<std::string>& row :
-         response.report.results.rows) {
-      std::vector<sql::Value> vrow;
-      vrow.reserve(row.size());
-      for (const std::string& cell : row) vrow.emplace_back(cell);
-      add_row(std::move(vrow));
+  auto add_response = [&](const HuntResponse& response) {
+    if (update.columns.empty()) update.columns = response.columns;
+    if (sub->request.dialect == QueryDialect::kTbql) {
+      for (const std::vector<std::string>& row :
+           response.report.results.rows) {
+        std::vector<sql::Value> vrow;
+        vrow.reserve(row.size());
+        for (const std::string& cell : row) vrow.emplace_back(cell);
+        add_row(std::move(vrow));
+      }
+    } else {
+      auto cursor = response.cursor();
+      while (const std::vector<sql::Value>* row = cursor.Next()) {
+        add_row(*row);
+      }
     }
-  } else {
-    auto cursor = response.cursor();
-    while (const std::vector<sql::Value>* row = cursor.Next()) {
-      add_row(*row);
-    }
-  }
+  };
+  if (shared != nullptr) add_response(*shared);
+  for (const HuntResponse& response : responses) add_response(response);
   update.seconds = timer.ElapsedSeconds();
 
   {

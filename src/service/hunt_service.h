@@ -50,14 +50,31 @@
 // against every new epoch on the same admission workers (fair with
 // one-shot hunts). Each refresh delivers the rows not previously seen as
 // a RowBlocks delta to the subscriber's sink, plus an alert callback when
-// the delta is non-empty. Single-part Cypher refreshes run incrementally:
-// part-0 seeds are restricted to the nodes within pattern radius of the
-// epochs' dirty entities (MatchOptions::top_seed_filter), falling back to
-// a full re-scan when the dirty region grows past a configured fraction
-// of the graph. Standing hunts have set semantics — each distinct row is
-// delivered once, in the first epoch it appears — so queries should be
+// the delta is non-empty. Cypher refreshes run incrementally, one pass per
+// pattern part: the pass rotates that part to the front and restricts its
+// seeds to the nodes within the part's pattern radius of the epochs' dirty
+// entities (MatchOptions::top_seed_filter), falling back to a full re-scan
+// when the dirty region grows past a configured fraction of the graph.
+// TBQL refreshes run incrementally too, one pass per pattern: the pass
+// forces that pattern first with its entity variables pre-constrained to
+// the dirty ids (ExecOptions::initial_constraints), requiring every
+// pattern to match. Standing hunts have set semantics — each distinct row
+// is delivered once, in the first epoch it appears — so queries should be
 // monotone (LIMIT interacts poorly with re-execution and disables the
 // incremental path).
+//
+// Multi-query optimization (fleet scale): with hundreds of standing hunts
+// — technique templates stamped once per tenant — most refreshes repeat
+// work. Two layers remove it. (1) Refresh dedupe: full refreshes of
+// structurally-identical hunts (equal huntlib canonical keys — variable
+// renaming discounted, projection labels included) at the same epoch
+// execute ONCE; followers reuse the leader's response and derive their own
+// per-subscription deltas from it. (2) Shared subresults: the per-epoch
+// storage::QueryResultCache handed to both storage executors lets
+// identical compiled data queries (shared sub-patterns across hunts)
+// execute once per epoch. Both caches invalidate on every epoch bump and
+// whenever Exclusive() releases the gate (retention may rebuild the store
+// without an epoch).
 #pragma once
 
 #include <array>
@@ -83,6 +100,7 @@
 #include "persist/wal.h"
 #include "storage/row_block.h"
 #include "storage/store.h"
+#include "storage/subresult_cache.h"
 
 namespace raptor::service {
 
@@ -170,15 +188,21 @@ struct StandingSink {
 };
 
 struct StandingOptions {
-  /// Allow dirty-seeded incremental refreshes (single-part Cypher only);
-  /// off forces a full re-scan every epoch.
+  /// Allow dirty-seeded incremental refreshes (Cypher per-part rotation
+  /// passes; TBQL per-pattern constrained passes); off forces a full
+  /// re-scan every epoch.
   bool allow_incremental = true;
   /// Fall back to a full re-scan when the dirty seed region (after radius
-  /// expansion) exceeds this fraction of the graph's nodes.
+  /// expansion; for TBQL, the raw dirty-entity count) exceeds this
+  /// fraction of the graph's nodes (entities).
   double max_dirty_fraction = 0.25;
 };
 
 struct StandingState;
+
+/// One deduplicated full-refresh execution (MQO layer 1): the leader fills
+/// it, followers wait on it. Defined in the .cc.
+struct SharedRefresh;
 
 /// Handle to a standing hunt. Copyable (all copies share one state); a
 /// default-constructed handle is invalid and inert.
@@ -342,6 +366,16 @@ struct HuntServiceOptions {
   /// Per-epoch dirty-entity sets retained for incremental standing hunts;
   /// a subscriber further behind than this falls back to a full re-scan.
   size_t max_dirty_epochs = 64;
+  /// Multi-query optimization, layer 1: full refreshes of
+  /// structurally-identical standing hunts (equal huntlib canonical keys,
+  /// typically the same technique template across tenants) at the same
+  /// epoch execute once and fan the result out to every subscriber.
+  bool mqo_dedup = true;
+  /// Multi-query optimization, layer 2: hand the service-owned per-epoch
+  /// subresult caches to the storage executors, so identical compiled data
+  /// queries — common sub-patterns factored out across hunts — execute
+  /// once per epoch.
+  bool mqo_shared_subresults = true;
   /// Epoch counter start value. A restored service resumes at its
   /// snapshot's epoch so standing-hunt watermarks and checkpoint intervals
   /// keep their meaning across restarts.
@@ -457,8 +491,12 @@ class HuntService {
     size_t ingests = 0;     // successful epoch-gated mutations
     size_t wal_records = 0; // mutations logged write-ahead
     size_t standing_refreshes = 0;    // standing executions completed
-    size_t standing_incremental = 0;  // ... that used dirty-seeded part 0
+    size_t standing_incremental = 0;  // ... that ran dirty-seeded passes
     size_t standing_alerts = 0;       // ... that delivered a non-empty delta
+    size_t standing_dedup_hits = 0;   // refreshes served from a structural
+                                      // twin's execution (MQO layer 1)
+    size_t subresult_hits = 0;        // shared-subresult cache hits across
+                                      // both backends (MQO layer 2)
   };
   Stats stats() const;
 
@@ -609,14 +647,33 @@ class HuntService {
       const std::unordered_set<graphdb::NodeId>* seed_filter) const;
   /// Execute one standing refresh and deliver its update to the sink.
   void RunStanding(const StandingPtr& sub);
-  /// Expand `dirty` entities into the node set any new row's part-0 seed
-  /// must fall in (pattern-radius BFS). False: the query is not eligible
-  /// for incremental refresh or the region outgrew `max_fraction` — do a
-  /// full re-scan.
-  bool BuildDirtySeedFilter(const std::string& cypher_text,
-                            const std::vector<audit::EntityId>& dirty,
-                            double max_fraction,
-                            std::unordered_set<graphdb::NodeId>* out) const;
+  /// Layered BFS from the dirty entities' graph nodes: `bfs_order` lists
+  /// discovered nodes grouped by hop distance, `hop_boundary[h]` = how
+  /// many of them lie within h hops, up to `max_hops`. False: the region
+  /// outgrew `max_fraction` of the graph — do a full re-scan.
+  bool ExpandDirtyRegion(const std::vector<audit::EntityId>& dirty,
+                         size_t max_hops, double max_fraction,
+                         std::vector<graphdb::NodeId>* bfs_order,
+                         std::vector<size_t>* hop_boundary) const;
+  /// Incremental Cypher refresh: one pass per pattern part, rotating that
+  /// part to the front with its seeds restricted to the dirty region
+  /// expanded by the part's own radius. True: the query was eligible and
+  /// the passes ran (`status` carries any execution failure); false: not
+  /// eligible (unparseable, LIMIT, region too large) — run a full refresh.
+  bool TryIncrementalCypher(
+      StandingState& sub, const std::vector<audit::EntityId>& dirty,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline,
+      std::vector<HuntResponse>* responses, Status* status) const;
+  /// Incremental TBQL refresh: one pass per pattern, forcing that pattern
+  /// first with its entity variables pre-constrained to the dirty ids and
+  /// every pattern required to match. Same contract as the Cypher variant;
+  /// additionally ineligible with time windows (non-monotone) or before a
+  /// full refresh has matched every pattern (excessive-pattern tolerance
+  /// makes partial joins non-monotone).
+  bool TryIncrementalTbql(
+      StandingState& sub, const std::vector<audit::EntityId>& dirty,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline,
+      std::vector<HuntResponse>* responses, Status* status) const;
   void Finish(const StatePtr& state, Status status, HuntResponse response);
   /// Acquire/release exclusive store access (writer-preferring: waiting
   /// here holds off new admissions until running hunts drain). Shared by
@@ -670,6 +727,17 @@ class HuntService {
   /// Restored seen-sets waiting for their subscription to be resubmitted,
   /// keyed by StandingKey. Guarded by mu_.
   std::map<std::string, persist::StandingSeen> standing_seeds_;
+
+  // --- multi-query optimization ---
+  /// Layer 1: single-flight full refreshes, keyed by canonical query key +
+  /// target epoch. Map guarded by mu_; each entry synchronizes itself.
+  /// Cleared on every epoch bump and gate release.
+  std::map<std::string, std::shared_ptr<SharedRefresh>> refresh_cache_;
+  /// Layer 2: per-epoch shared-subresult caches handed to the storage
+  /// executors for every dialect. Internally synchronized; mutable because
+  /// the (logically const) query path populates them.
+  mutable storage::QueryResultCache<graphdb::GraphBlockResult> graph_cache_;
+  mutable storage::QueryResultCache<sql::BlockResultSet> sql_cache_;
 
   // --- durability (append serialized by the write gate) ---
   persist::WalWriter* wal_ = nullptr;

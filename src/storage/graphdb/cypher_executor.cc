@@ -16,6 +16,7 @@
 #include "storage/columnar.h"
 #include "storage/graphdb/cypher_parser.h"
 #include "storage/shard_parallel.h"
+#include "storage/subresult_cache.h"
 
 namespace raptor::graphdb {
 
@@ -1581,11 +1582,55 @@ Result<GraphBlockResult> GraphDatabase::QueryBlocks(std::string_view cypher,
   return QueryBlocks(cypher, options_, stats);
 }
 
+namespace {
+
+/// Cache key for a memoized execution: the query text plus every option
+/// that can change the result rows or their order (parallel merge order
+/// depends on morsel/shard geometry, varlen expansion on the cap). Cancel,
+/// deadline, and the cache pointer itself are deliberately excluded — they
+/// never change a successful result.
+std::string SubresultCacheKey(std::string_view cypher,
+                              const MatchOptions& o) {
+  std::string key(cypher);
+  key += '\x1f';
+  key += std::to_string(o.unbounded_varlen_cap) + ',' +
+         std::to_string(o.typed_adjacency) + ',' +
+         std::to_string(o.hashed_in_lists) + ',' +
+         std::to_string(o.push_limit) + ',' +
+         std::to_string(o.streaming_distinct) + ',' +
+         std::to_string(o.binding_frames) + ',' +
+         std::to_string(o.selective_seeds) + ',' +
+         std::to_string(o.columnar_scan) + ',' +
+         std::to_string(o.morsel_scheduling) + ',' +
+         std::to_string(o.morsel_size) + ',' +
+         std::to_string(o.parallel_shards) + ',' +
+         std::to_string(o.parallel_min_seeds) + ',' +
+         std::to_string(o.parallel_min_limit);
+  return key;
+}
+
+}  // namespace
+
 Result<GraphBlockResult> GraphDatabase::QueryBlocks(
     std::string_view cypher, const MatchOptions& options,
     MatchStats* stats) const {
   auto query = ParseCypher(cypher);
   if (!query.ok()) return query.status();
+  // Shared-subresult hook (multi-query optimization): memoize full-scan
+  // executions only. Seed-filtered (incremental) runs would poison the
+  // cache with partial results, and parallel LIMIT row-claiming races the
+  // shared budget, so both bypass it.
+  if (options.result_cache != nullptr && options.top_seed_filter == nullptr &&
+      query.value().limit < 0) {
+    std::string key = SubresultCacheKey(cypher, options);
+    if (auto cached = options.result_cache->Lookup(key)) return *cached;
+    auto result = ExecuteCypherBlocks(query.value(), graph_, options, stats);
+    if (result.ok()) {
+      options.result_cache->Insert(
+          key, std::make_shared<const GraphBlockResult>(result.value()));
+    }
+    return result;
+  }
   return ExecuteCypherBlocks(query.value(), graph_, options, stats);
 }
 

@@ -61,6 +61,11 @@
 #include "storage/graphdb/graph.h"
 #include "storage/row_block.h"
 
+namespace raptor::storage {
+template <typename ResultT>
+class QueryResultCache;
+}  // namespace raptor::storage
+
 namespace raptor::graphdb {
 
 struct GraphResultSet {
@@ -160,6 +165,12 @@ struct MatchOptions {
   /// owns completeness — the set must contain every part-0 node of any row
   /// the query is expected to produce. Must outlive the call.
   const std::unordered_set<NodeId>* top_seed_filter = nullptr;
+  /// Multi-query optimization: when non-null, GraphDatabase::QueryBlocks
+  /// memoizes full-scan results (no seed filter, no LIMIT) keyed by query
+  /// text so structurally-identical hunts share one execution per epoch.
+  /// The owner (service::HuntService) clears it on every store mutation.
+  /// Must outlive the call.
+  storage::QueryResultCache<GraphBlockResult>* result_cache = nullptr;
 };
 
 /// Execute `query` against `graph`.

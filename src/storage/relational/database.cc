@@ -1,6 +1,30 @@
 #include "storage/relational/database.h"
 
+#include "storage/subresult_cache.h"
+
 namespace raptor::sql {
+
+namespace {
+
+/// Cache key for a memoized execution: the query text plus every option
+/// that can change the result rows or their order (parallel merge order
+/// depends on morsel/shard geometry). Cancel, deadline, and the cache
+/// pointer itself are excluded — they never change a successful result.
+std::string SubresultCacheKey(std::string_view sql, const SelectOptions& o) {
+  std::string key(sql);
+  key += '\x1f';
+  key += std::to_string(o.push_limit) + ',' +
+         std::to_string(o.streaming_distinct) + ',' +
+         std::to_string(o.columnar_scan) + ',' +
+         std::to_string(o.morsel_scheduling) + ',' +
+         std::to_string(o.morsel_size) + ',' +
+         std::to_string(o.parallel_shards) + ',' +
+         std::to_string(o.parallel_min_rows) + ',' +
+         std::to_string(o.parallel_min_limit);
+  return key;
+}
+
+}  // namespace
 
 Status Database::CreateTable(std::string_view name, Schema schema) {
   std::string key(name);
@@ -51,6 +75,19 @@ Result<BlockResultSet> Database::QueryBlocks(std::string_view sql,
                                              ExecStats* stats) const {
   auto stmt = ParseSelect(sql);
   if (!stmt.ok()) return stmt.status();
+  // Shared-subresult hook (multi-query optimization): memoize full-scan
+  // executions only — parallel LIMIT row-claiming races the shared budget,
+  // so LIMIT queries bypass the cache.
+  if (options.result_cache != nullptr && stmt.value().limit < 0) {
+    std::string key = SubresultCacheKey(sql, options);
+    if (auto cached = options.result_cache->Lookup(key)) return *cached;
+    auto result = ExecuteSelectBlocks(stmt.value(), *this, options, stats);
+    if (result.ok()) {
+      options.result_cache->Insert(
+          key, std::make_shared<const BlockResultSet>(result.value()));
+    }
+    return result;
+  }
   return ExecuteSelectBlocks(stmt.value(), *this, options, stats);
 }
 

@@ -61,6 +61,11 @@
 #include "storage/relational/table.h"
 #include "storage/row_block.h"
 
+namespace raptor::storage {
+template <typename ResultT>
+class QueryResultCache;
+}  // namespace raptor::storage
+
 namespace raptor::sql {
 
 struct ResultSet {
@@ -139,6 +144,12 @@ struct SelectOptions {
   /// scan stops within one poll stride of expiry and the query returns
   /// Status::Timeout.
   std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Multi-query optimization: when non-null, Database::QueryBlocks
+  /// memoizes full-scan results (no LIMIT) keyed by query text so
+  /// structurally-identical compiled sub-queries share one execution per
+  /// epoch. The owner (service::HuntService) clears it on every store
+  /// mutation. Must outlive the call.
+  storage::QueryResultCache<BlockResultSet>* result_cache = nullptr;
 };
 
 class Catalog {

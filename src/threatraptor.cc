@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "audit/jsonl.h"
+#include "huntlib/feed.h"
 #include "persist/codec.h"
 #include "persist/legacy_v1.h"
 
@@ -279,6 +280,22 @@ Status ThreatRaptor::ImportV1Snapshot(const std::string& path) {
   RAPTOR_ASSIGN_OR_RETURN(audit::ParsedLog log,
                           persist::LoadV1Snapshot(path));
   return IngestParsedLog(log);
+}
+
+Result<service::HuntResponse> ThreatRaptor::HuntTechnique(
+    std::string_view technique_id,
+    const std::map<std::string, std::string>& params) const {
+  RAPTOR_RETURN_NOT_OK(RequireStore());
+  huntlib::HuntLibrary library;
+  auto spec = library.FromTechnique(technique_id, params);
+  if (!spec.ok()) return spec.status();
+  service::HuntRequest request = std::move(spec).value().request;
+  // One-shot catalog hunts honor the facade's execution options; the
+  // dialect and text come from the technique template.
+  if (request.dialect == service::QueryDialect::kTbql) {
+    request.exec = options_.execution;
+  }
+  return Service().Run(std::move(request));
 }
 
 }  // namespace raptor

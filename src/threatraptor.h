@@ -204,6 +204,15 @@ class ThreatRaptor {
     return true;
   }
 
+  /// Instantiate a hunt-library catalog technique (huntlib/catalog.h) with
+  /// `params` filling its IOC slots — missing parameters default to
+  /// match-anything — and run it synchronously through the hunt service.
+  /// NotFound for an unknown technique id. For a standing fleet, use
+  /// huntlib::HuntLibrary::AttachCatalog against hunt_service() instead.
+  Result<service::HuntResponse> HuntTechnique(
+      std::string_view technique_id,
+      const std::map<std::string, std::string>& params = {}) const;
+
   /// Execute a TBQL query in fuzzy search mode (Poirot-based alignment).
   Result<engine::FuzzyReport> HuntFuzzy(
       std::string_view tbql_text, const engine::FuzzyOptions& fuzzy = {}) const {

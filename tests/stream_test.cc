@@ -434,10 +434,22 @@ void RunStandingDifferential(int parallel_shards) {
     StandingOptions full;
     full.allow_incremental = false;
     cases.push_back({"cypher-full", cypher, full});
+    // Multi-part pattern: the dirty-seeded refresh must seed EVERY part
+    // from the expanded dirty region (a new read lands in part 1, a new
+    // write in part 2 — missing either loses rows).
+    HuntRequest multipart;
+    multipart.dialect = QueryDialect::kCypher;
+    multipart.text =
+        "MATCH (p:proc)-[e1:read]->(f:file), (p)-[e2:write]->(g:file) "
+        "RETURN p.exename, f.name, g.name";
+    cases.push_back({"cypher-multipart-incremental", multipart, incremental});
     HuntRequest tbql;
     tbql.dialect = QueryDialect::kTbql;
     tbql.text = "proc p read file f return p, f";
-    cases.push_back({"tbql", tbql, {}});
+    cases.push_back({"tbql-full", tbql, full});
+    // TBQL dirty seeding: once a full refresh has matched every pattern,
+    // later refreshes constrain each pattern to the dirty entities.
+    cases.push_back({"tbql-incremental", tbql, incremental});
   }
   std::vector<DeltaCollector> collectors(cases.size());
   std::vector<service::StandingHandle> handles;

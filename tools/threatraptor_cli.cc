@@ -25,6 +25,12 @@
 //       when the file stops growing for N ms (default 2000).
 //   threatraptor fuzzy (--log <log.jsonl> | --case <case-id>) --query <tbql>
 //       Execute a TBQL query in fuzzy (Poirot-alignment) search mode.
+//   threatraptor catalog list
+//       List the hunt library's built-in ATT&CK technique templates.
+//   threatraptor hunt (--log ... | --case ...) --technique <id>
+//       [--param name=value ...]
+//       Instantiate a catalog technique (parameters fill its IOC slots;
+//       missing ones match anything) and run it once.
 //
 // Durability (hunt command): --data-dir <dir> persists every ingested
 // batch through a write-ahead log and checkpoints (--checkpoint-every N
@@ -38,6 +44,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <vector>
 
@@ -45,6 +52,7 @@
 #include "audit/parser.h"
 #include "engine/explain.h"
 #include "cases/cases.h"
+#include "huntlib/catalog.h"
 #include "stream/event_stream.h"
 #include "stream/ingestor.h"
 #include "threatraptor.h"
@@ -69,6 +77,9 @@ int Usage() {
       "      [--checkpoint-every N]\n"
       "  threatraptor fuzzy (--log <log.jsonl> | --case <id>) --query "
       "<tbql>\n"
+      "  threatraptor catalog list\n"
+      "  threatraptor hunt (--log <log.jsonl> | --case <id> | --restore)\n"
+      "      --technique <id> [--param name=value ...]\n"
       "  threatraptor explain --query <tbql>\n"
       "  threatraptor import-v1 <in.snap> --data-dir <dir>\n");
   return 2;
@@ -106,6 +117,28 @@ Result<std::unique_ptr<ThreatRaptor>> LoadFromJsonl(const std::string& path) {
   auto tr = std::make_unique<ThreatRaptor>();
   RAPTOR_RETURN_NOT_OK(tr->IngestSyscalls(records.value()));
   return tr;
+}
+
+int CatalogList() {
+  std::printf("%-8s %-20s %-8s %-7s %s\n", "id", "tactic", "severity",
+              "dialect", "name");
+  for (const huntlib::Technique& t : huntlib::AllTechniques()) {
+    const char* dialect =
+        t.dialect == service::QueryDialect::kTbql
+            ? "tbql"
+            : t.dialect == service::QueryDialect::kCypher ? "cypher" : "sql";
+    std::string slots;
+    for (const huntlib::IocSlot& slot : t.ioc_slots) {
+      slots += slots.empty() ? "  [" : " ";
+      slots += slot.param;
+    }
+    if (!slots.empty()) slots += "]";
+    std::printf("%-8s %-20s %-8s %-7s %s%s\n", t.id.c_str(),
+                huntlib::TacticName(t.tactic),
+                huntlib::SeverityName(t.severity), dialect, t.name.c_str(),
+                slots.c_str());
+  }
+  return 0;
 }
 
 int Demo(const std::string& id) {
@@ -203,6 +236,8 @@ struct HuntArgs {
   bool restore = false;     // hunt over the data dir's recovered store
   bool stats = false;       // print the service's SLO metrics afterwards
   std::vector<std::string> queries;
+  std::string technique;    // catalog technique id instead of --query
+  std::map<std::string, std::string> params;  // --param name=value fills slots
   int jobs = 1;
 
   const std::string& query() const { return queries.front(); }
@@ -259,6 +294,16 @@ bool ParseHuntArgs(int argc, char** argv, int start, HuntArgs* out) {
       const char* v = next();
       if (v == nullptr) return false;
       out->queries.emplace_back(v);
+    } else if (arg == "--technique") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->technique = v;
+    } else if (arg == "--param") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      const char* eq = std::strchr(v, '=');
+      if (eq == nullptr || eq == v) return false;
+      out->params[std::string(v, eq)] = std::string(eq + 1);
     } else if (arg == "--jobs") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -271,9 +316,14 @@ bool ParseHuntArgs(int argc, char** argv, int start, HuntArgs* out) {
   if (out->standing && out->follow_path.empty()) return false;
   if (out->restore && out->data_dir.empty()) return false;
   if (out->checkpoint_every > 0 && out->data_dir.empty()) return false;
+  // A catalog technique stands in for --query; mixing both (or passing
+  // --param without a technique) is rejected.
+  if (!out->technique.empty() && !out->queries.empty()) return false;
+  if (!out->params.empty() && out->technique.empty()) return false;
+  if (!out->technique.empty() && !out->follow_path.empty()) return false;
   return (!out->log_path.empty() || !out->case_id.empty() ||
           !out->follow_path.empty() || out->restore) &&
-         !out->queries.empty();
+         (!out->queries.empty() || !out->technique.empty());
 }
 
 Result<std::unique_ptr<ThreatRaptor>> LoadForHunt(const HuntArgs& args) {
@@ -502,6 +552,45 @@ int Hunt(const HuntArgs& args) {
     }
     return rc;
   };
+  if (!args.technique.empty()) {
+    const huntlib::Technique* t = huntlib::FindTechnique(args.technique);
+    if (t != nullptr) {
+      std::printf("=== %s %s (%s)\n", t->id.c_str(), t->name.c_str(),
+                  huntlib::Instantiate(*t, args.params).c_str());
+    }
+    auto response = tr.value()->HuntTechnique(args.technique, args.params);
+    if (!response.ok()) {
+      std::fprintf(stderr, "hunt failed: %s\n",
+                   response.status().ToString().c_str());
+      return close_durable(1);
+    }
+    int rc = 0;
+    if (response.value().dialect == service::QueryDialect::kTbql) {
+      rc = PrintHuntReport(response.value().report);
+    } else {
+      std::string header;
+      for (const std::string& col : response.value().columns) {
+        if (!header.empty()) header += " | ";
+        header += col;
+      }
+      std::printf("%s\n", header.c_str());
+      size_t rows = 0;
+      auto cursor = response.value().cursor();
+      while (const std::vector<sql::Value>* row = cursor.Next()) {
+        std::string line;
+        for (const sql::Value& v : *row) {
+          if (!line.empty()) line += " | ";
+          line += v.ToString();
+        }
+        std::printf("%s\n", line.c_str());
+        ++rows;
+      }
+      std::printf("%zu rows in %.1f ms\n", rows,
+                  response.value().seconds * 1e3);
+    }
+    if (args.stats) PrintServiceMetrics(tr.value()->service_metrics());
+    return close_durable(rc);
+  }
   if (args.queries.size() == 1 && args.jobs <= 1) {
     auto report = tr.value()->Hunt(args.query());
     if (!report.ok()) {
@@ -613,9 +702,13 @@ int main(int argc, char** argv) {
       std::strcmp(argv[3], "--data-dir") == 0) {
     return ImportV1(argv[2], argv[4]);
   }
+  if (cmd == "catalog" && argc == 3 && std::strcmp(argv[2], "list") == 0) {
+    return CatalogList();
+  }
   if (cmd == "hunt" || cmd == "fuzzy") {
     HuntArgs args;
     if (!ParseHuntArgs(argc, argv, 2, &args)) return Usage();
+    if (cmd == "fuzzy" && !args.technique.empty()) return Usage();
     return cmd == "hunt" ? Hunt(args) : Fuzzy(args);
   }
   return Usage();
