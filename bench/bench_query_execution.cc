@@ -38,6 +38,11 @@
 // sequence ingested in-memory versus through the write-ahead log
 // (overhead ratio), plus checkpoint and crash-restore throughput in
 // MB/s and entities/s against a temporary data directory.
+// An eighth section measures tracing overhead: the same TBQL hunt run
+// through the HuntService with profiling off versus on. The off path must
+// stay within noise of the untraced baseline (a single branch per hunt);
+// the on path builds the full span tree and is guarded against runaway
+// overhead (BENCH_TRACE_MAX_OVERHEAD_X, default 5x).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -48,6 +53,7 @@
 
 #include "bench/bench_util.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
@@ -630,6 +636,87 @@ void RunDurabilityWorkload(bench::BenchReport* report) {
                  restore_seconds > 0 ? population / restore_seconds : 0);
 }
 
+/// Tracing overhead: the same TBQL hunt through the HuntService with
+/// profiling off versus on. Off is the production default — one null
+/// check per instrumentation point — so its time should be statistically
+/// indistinguishable from the pre-tracing baseline (tracked across
+/// commits by bench_compare.py on this JSON). On pays for the span tree;
+/// the guard only catches runaway regressions, not scheduler noise.
+void RunTracingOverheadWorkload(bench::BenchReport* report) {
+  const cases::AttackCase* c = cases::FindCase("data_leak");
+  if (c == nullptr) {
+    std::fprintf(stderr, "data_leak case missing\n");
+    std::exit(1);
+  }
+  auto tr = bench::LoadCase(*c, bench::NoiseScale());
+  const std::string query = "proc p read || write file f return p, f";
+  int rounds = bench::Rounds(10);
+  service::HuntService service(tr->store());
+
+  size_t span_count = 0;
+  auto measure = [&](bool profile, size_t* rows_out) {
+    std::vector<double> times;
+    Stopwatch timer;
+    for (int i = 0; i < rounds; ++i) {
+      service::HuntRequest request;
+      request.text = query;
+      request.profile = profile;
+      timer.Restart();
+      service::HuntTicket ticket = service.Submit(std::move(request));
+      if (!ticket.Wait().ok()) {
+        std::fprintf(stderr, "hunt failed: %s\n",
+                     ticket.status().ToString().c_str());
+        std::exit(1);
+      }
+      times.push_back(timer.ElapsedSeconds());
+      *rows_out = ticket.response().report.results.rows.size();
+      const obs::TraceSpan* root = ticket.response().profile.get();
+      if (profile != (root != nullptr)) {
+        std::fprintf(stderr,
+                     "profile presence disagrees with the request flag\n");
+        std::exit(1);
+      }
+      if (root != nullptr) {
+        span_count = 0;
+        auto count = [&](auto&& self, const obs::TraceSpan& s) -> void {
+          ++span_count;
+          for (const auto& child : s.children()) self(self, *child);
+        };
+        count(count, *root);
+      }
+    }
+    return bench::Mean(times);
+  };
+
+  size_t rows_off = 0, rows_on = 0;
+  double off = measure(/*profile=*/false, &rows_off);
+  double on = measure(/*profile=*/true, &rows_on);
+  if (rows_off != rows_on) {
+    std::fprintf(stderr, "tracing changed results: %zu vs %zu rows\n",
+                 rows_off, rows_on);
+    std::exit(1);
+  }
+  double overhead = off > 0 ? on / off : 0;
+  std::printf(
+      "\nTracing overhead (%d-round mean, %zu rows, %zu spans per "
+      "profile):\n"
+      "  profile off %.6f s, profile on %.6f s -> %.2fx overhead\n",
+      rounds, rows_on, span_count, off, on, overhead);
+  long long max_overhead = bench::EnvLong("BENCH_TRACE_MAX_OVERHEAD_X", 5);
+  if (overhead > static_cast<double>(max_overhead)) {
+    std::fprintf(stderr,
+                 "tracing overhead regression: %.2fx exceeds the %lldx "
+                 "guard\n",
+                 overhead, max_overhead);
+    std::exit(1);
+  }
+  report->Metric("tracing", "profile_off_seconds", off);
+  report->Metric("tracing", "profile_on_seconds", on);
+  report->Metric("tracing", "overhead_ratio", overhead);
+  report->Metric("tracing", "profile_spans",
+                 static_cast<double>(span_count));
+}
+
 /// Shard-parallel SELECT vs the serial path: a filtered full scan and a
 /// hash join whose probe side rides the partitioned base scan.
 void RunParallelSelectWorkload(long long rows_n,
@@ -952,6 +1039,7 @@ int main() {
   RunConcurrentHuntWorkload(&report);
   RunStreamingWorkload(&report);
   RunDurabilityWorkload(&report);
+  RunTracingOverheadWorkload(&report);
   report.Write();
   return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "cases/cases.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "threatraptor.h"
 
 namespace raptor::bench {
@@ -86,6 +87,9 @@ inline double Mean(const std::vector<double>& xs) {
 /// directory (override with BENCH_JSON_DIR). CI uploads these as artifacts.
 class BenchReport {
  public:
+  /// Bump when the JSON layout changes incompatibly.
+  static constexpr int kSchemaVersion = 2;
+
   explicit BenchReport(std::string name) : name_(std::move(name)) {}
 
   void Param(const std::string& key, const std::string& value) {
@@ -120,6 +124,18 @@ class BenchReport {
       return false;
     }
     std::string out = "{\n  \"bench\": \"" + JsonEscape(name_) + "\",\n";
+    // Run provenance, separate from workload params: bench_compare.py
+    // refuses to diff runs whose schema/build/pool configuration differ
+    // (a Debug-vs-Release or 1-vs-8-thread comparison is meaningless).
+    out += "  \"meta\": {\"schema_version\": " +
+           std::to_string(kSchemaVersion) + ", \"build_type\": \"";
+#ifdef NDEBUG
+    out += "Release";
+#else
+    out += "Debug";
+#endif
+    out += "\", \"pool_threads\": " +
+           std::to_string(ThreadPool::Shared().size()) + "},\n";
     out += "  \"params\": {";
     for (size_t i = 0; i < params_.size(); ++i) {
       out += (i > 0 ? ", " : "") + params_[i];

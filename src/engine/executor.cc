@@ -15,6 +15,7 @@
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace raptor::engine {
 
@@ -281,6 +282,9 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
   // below re-applies both post-hoc.
   auto run_pattern = [&](size_t idx, bool constrained) -> Status {
     RAPTOR_RETURN_NOT_OK(check_interrupt());
+    auto pattern_start = obs::TraceSpan::Clock::now();
+    obs::TraceSpan* pspan =
+        obs::Child(options.trace, "pattern[" + std::to_string(idx) + "]");
     EntityConstraints relevant;
     if (options.propagate_constraints && constrained) {
       const Pattern& p = query.patterns[idx];
@@ -291,16 +295,27 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
         if (it != constraints.end()) relevant.emplace(*it);
       }
     }
+    if (pspan != nullptr) {
+      pspan->Set("constraint_domains", static_cast<int64_t>(relevant.size()));
+      int64_t domain_ids = 0;
+      for (const auto& [id, ids] : relevant) {
+        domain_ids += static_cast<int64_t>(ids.size());
+      }
+      pspan->Set("constraint_domain_ids", domain_ids);
+      pspan->Note("constrained", constrained ? "true" : "false");
+    }
     auto dq = CompilePattern(aq, idx, relevant, now);
     if (!dq.ok()) return dq.status();
     query_texts[idx] = dq.value().text;
 
     std::vector<PatternMatch>& out = matches[idx];
     if (dq.value().backend == Backend::kRelational) {
+      obs::Note(pspan, "backend", "relational");
       sql::SelectOptions sopts = store_->relational().options();
       sopts.cancel = options.cancel;
       sopts.deadline = options.deadline;
       sopts.result_cache = options.sql_result_cache;
+      sopts.trace = pspan;
       auto rs = store_->relational().QueryBlocks(dq.value().text, sopts);
       if (!rs.ok()) return rs.status();
       out.reserve(rs.value().rows.row_count());
@@ -316,10 +331,12 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
         out.push_back(m);
       }
     } else {
+      obs::Note(pspan, "backend", "graph");
       graphdb::MatchOptions gopts = store_->graph().options();
       gopts.cancel = options.cancel;
       gopts.deadline = options.deadline;
       gopts.result_cache = options.graph_result_cache;
+      gopts.trace = pspan;
       auto rs = store_->graph().QueryBlocks(dq.value().text, gopts);
       if (!rs.ok()) return rs.status();
       bool has_event = dq.value().has_event_columns;
@@ -340,7 +357,20 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
     }
     report.pattern_match_counts[idx] = out.size();
 
-    if (options.propagate_constraints && constrained) propagate_ids(idx);
+    if (options.propagate_constraints && constrained) {
+      auto prop_start = obs::TraceSpan::Clock::now();
+      propagate_ids(idx);
+      if (pspan != nullptr) {
+        pspan->Set("propagate_us",
+                   std::chrono::duration_cast<std::chrono::microseconds>(
+                       obs::TraceSpan::Clock::now() - prop_start)
+                       .count());
+      }
+    }
+    if (pspan != nullptr) {
+      pspan->Set("match_count", static_cast<int64_t>(out.size()));
+      pspan->SetWindow(pattern_start, obs::TraceSpan::Clock::now());
+    }
     return Status::OK();
   };
 
@@ -458,8 +488,11 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
   // work to amortize dispatch (typical hunts filter a few dozen matches,
   // which stay on the inline path).
   if (options.propagate_constraints) {
+    obs::ScopedSpan refilter_span(options.trace, "refilter");
     size_t total_matches = 0;
     for (const auto& m : matches) total_matches += m.size();
+    obs::Set(refilter_span.get(), "input_matches",
+             static_cast<int64_t>(total_matches));
     constexpr size_t kParallelRefilterMinMatches = 4096;
     auto refilter = [&](size_t i) {
       const Pattern& p = query.patterns[i];
@@ -493,6 +526,7 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
   // Join patterns in ascending match-count order; hash-join on the entity
   // ids already bound by the partial assignments. Entity ids are interned
   // into dense slots so binding checks are flat vector reads.
+  obs::TraceSpan* join_span = obs::Child(options.trace, "join");
   StringInterner entity_slots;
   for (const Pattern& p : query.patterns) {
     entity_slots.Intern(p.subject.id);
@@ -557,9 +591,12 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
     assignments = std::move(next);
     if (assignments.empty()) break;
   }
+  obs::Set(join_span, "assignments", static_cast<int64_t>(assignments.size()));
+  obs::Finish(join_span);
 
   // ---- Temporal & attribute relationships ----------------------------------
   RAPTOR_RETURN_NOT_OK(check_interrupt());
+  obs::TraceSpan* project_span = obs::Child(options.trace, "project");
   auto event_of = [&](const Assignment& a,
                       const std::string& id) -> const PatternMatch* {
     auto pit = aq.pattern_by_id.find(id);
@@ -706,6 +743,9 @@ Result<ExecReport> TbqlExecutor::Execute(const tbql::TbqlQuery& query,
   }
   report.matched_event_ids.assign(matched_events.begin(),
                                   matched_events.end());
+  obs::Set(project_span, "rows_emitted",
+           static_cast<int64_t>(report.results.rows.size()));
+  obs::Finish(project_span);
   report.seconds = timer.ElapsedSeconds();
   return report;
 }

@@ -40,6 +40,10 @@
 #include "tbql/analyzer.h"
 #include "tbql/parser.h"
 
+namespace raptor::obs {
+class TraceSpan;
+}  // namespace raptor::obs
+
 namespace raptor::engine {
 
 struct ExecOptions {
@@ -97,6 +101,12 @@ struct ExecOptions {
   storage::QueryResultCache<sql::BlockResultSet>* sql_result_cache = nullptr;
   storage::QueryResultCache<graphdb::GraphBlockResult>* graph_result_cache =
       nullptr;
+  /// EXPLAIN ANALYZE hook: when non-null, the executor hangs one timed
+  /// child span per scheduled pattern under it (match counts, propagated
+  /// constraint-domain sizes, the storage executor's shard/worker spans)
+  /// plus refilter/join/project phase spans. Null (the default) costs one
+  /// pointer test per pattern. Must outlive the call.
+  obs::TraceSpan* trace = nullptr;
 };
 
 struct TbqlResultSet {

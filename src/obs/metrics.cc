@@ -1,0 +1,245 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace raptor::obs {
+
+void LogHistogram::Record(double value) {
+  ++count;
+  sum += value;
+  max = std::max(max, value);
+  // Bucket b covers [2^b, 2^(b+1)); bucket 0 is [0, 2).
+  size_t b = 0;
+  for (uint64_t v = static_cast<uint64_t>(std::max(0.0, value));
+       v >= 2 && b + 1 < kBuckets; v >>= 1) {
+    ++b;
+  }
+  ++buckets[b];
+}
+
+double LogHistogram::Quantile(double q) const {
+  if (count == 0) return 0;
+  double rank = q * static_cast<double>(count - 1);
+  size_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    if (static_cast<double>(seen + buckets[b]) > rank) {
+      double lo = b == 0 ? 0.0 : static_cast<double>(uint64_t{1} << b);
+      double hi =
+          std::min(max, static_cast<double>(uint64_t{1} << (b + 1)));
+      double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(buckets[b]);
+      return lo + frac * std::max(0.0, hi - lo);
+    }
+    seen += buckets[b];
+  }
+  return max;
+}
+
+LogHistogram::Summary LogHistogram::Summarize() const {
+  Summary out;
+  out.count = count;
+  if (count == 0) return out;
+  out.mean = sum / static_cast<double>(count);
+  out.max = max;
+  out.p50 = Quantile(0.50);
+  out.p90 = Quantile(0.90);
+  out.p99 = Quantile(0.99);
+  return out;
+}
+
+MetricsRegistry::Family& MetricsRegistry::FamilyFor(const std::string& name,
+                                                    const std::string& help,
+                                                    char type) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return families_[it->second];
+  index_[name] = families_.size();
+  Family fam;
+  fam.name = name;
+  fam.help = help;
+  fam.type = type;
+  families_.push_back(std::move(fam));
+  return families_.back();
+}
+
+void MetricsRegistry::Counter(const std::string& name,
+                              const std::string& help, double value,
+                              MetricLabels labels) {
+  Series s;
+  s.labels = std::move(labels);
+  s.value = value;
+  FamilyFor(name, help, 'c').series.push_back(std::move(s));
+}
+
+void MetricsRegistry::Gauge(const std::string& name, const std::string& help,
+                            double value, MetricLabels labels) {
+  Series s;
+  s.labels = std::move(labels);
+  s.value = value;
+  FamilyFor(name, help, 'g').series.push_back(std::move(s));
+}
+
+void MetricsRegistry::Histogram(const std::string& name,
+                                const std::string& help,
+                                const LogHistogram& hist,
+                                MetricLabels labels) {
+  Series s;
+  s.labels = std::move(labels);
+  s.hist = hist;
+  FamilyFor(name, help, 'h').series.push_back(std::move(s));
+}
+
+namespace {
+
+std::string EscapeLabelValue(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string LabelBlock(const MetricLabels& labels,
+                       const std::string& extra_key = "",
+                       const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + EscapeLabelValue(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + EscapeLabelValue(extra_value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string FormatValue(double v) {
+  // Integral values print without a fractional tail so counters stay
+  // readable; everything else keeps full precision.
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  return StrFormat("%.9g", v);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheus() const {
+  std::string out;
+  for (const Family& fam : families_) {
+    out += "# HELP " + fam.name + " " + fam.help + "\n";
+    out += "# TYPE " + fam.name + " ";
+    out += fam.type == 'c' ? "counter" : fam.type == 'g' ? "gauge"
+                                                         : "histogram";
+    out += "\n";
+    for (const Series& s : fam.series) {
+      if (fam.type != 'h') {
+        out += fam.name + LabelBlock(s.labels) + " " + FormatValue(s.value) +
+               "\n";
+        continue;
+      }
+      // Cumulative buckets; trailing empty buckets collapse into +Inf.
+      size_t last = 0;
+      for (size_t b = 0; b < LogHistogram::kBuckets; ++b) {
+        if (s.hist.buckets[b] != 0) last = b;
+      }
+      size_t cumulative = 0;
+      for (size_t b = 0; b <= last; ++b) {
+        cumulative += s.hist.buckets[b];
+        std::string le = std::to_string(uint64_t{1} << (b + 1));
+        out += fam.name + "_bucket" + LabelBlock(s.labels, "le", le) + " " +
+               std::to_string(cumulative) + "\n";
+      }
+      out += fam.name + "_bucket" + LabelBlock(s.labels, "le", "+Inf") + " " +
+             std::to_string(s.hist.count) + "\n";
+      out += fam.name + "_sum" + LabelBlock(s.labels) + " " +
+             FormatValue(s.hist.sum) + "\n";
+      out += fam.name + "_count" + LabelBlock(s.labels) + " " +
+             std::to_string(s.hist.count) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\"metrics\":[";
+  bool first_fam = true;
+  for (const Family& fam : families_) {
+    if (!first_fam) out += ",";
+    first_fam = false;
+    out += "{\"name\":\"" + JsonEscape(fam.name) + "\",\"type\":\"";
+    out += fam.type == 'c' ? "counter" : fam.type == 'g' ? "gauge"
+                                                         : "histogram";
+    out += "\",\"help\":\"" + JsonEscape(fam.help) + "\",\"series\":[";
+    bool first_series = true;
+    for (const Series& s : fam.series) {
+      if (!first_series) out += ",";
+      first_series = false;
+      out += "{\"labels\":{";
+      bool first_label = true;
+      for (const auto& [k, v] : s.labels) {
+        if (!first_label) out += ",";
+        first_label = false;
+        out += "\"" + JsonEscape(k) + "\":\"" + JsonEscape(v) + "\"";
+      }
+      out += "}";
+      if (fam.type != 'h') {
+        out += ",\"value\":" + FormatValue(s.value);
+      } else {
+        LogHistogram::Summary sum = s.hist.Summarize();
+        out += ",\"count\":" + std::to_string(sum.count);
+        out += ",\"sum\":" + FormatValue(s.hist.sum);
+        out += ",\"mean\":" + FormatValue(sum.mean);
+        out += ",\"p50\":" + FormatValue(sum.p50);
+        out += ",\"p90\":" + FormatValue(sum.p90);
+        out += ",\"p99\":" + FormatValue(sum.p99);
+        out += ",\"max\":" + FormatValue(sum.max);
+      }
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string MetricsRegistry::Render(MetricsFormat format) const {
+  return format == MetricsFormat::kPrometheus ? ToPrometheus() : ToJson();
+}
+
+}  // namespace raptor::obs

@@ -1,0 +1,120 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/strings.h"
+
+namespace raptor::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void RenderTextNode(const TraceSpan& span, size_t depth, double root_seconds,
+                    std::string* out) {
+  double seconds = span.seconds();
+  double pct = root_seconds > 0 ? 100.0 * seconds / root_seconds : 100.0;
+  std::string line(2 * depth, ' ');
+  line += span.name();
+  // Pad the name column so durations align for typical tree widths.
+  size_t target = 44;
+  if (line.size() < target) line.append(target - line.size(), ' ');
+  line += StrFormat(" %10.3f ms %5.1f%%", seconds * 1e3, pct);
+  std::string detail;
+  for (const auto& [key, value] : span.notes()) {
+    detail += detail.empty() ? "" : " ";
+    detail += key + "=" + value;
+  }
+  std::string counters;
+  for (const auto& [key, value] : span.counters()) {
+    counters += counters.empty() ? "" : " ";
+    counters += key + "=" + std::to_string(value);
+  }
+  if (!detail.empty()) line += "  " + detail;
+  if (!counters.empty()) line += "  [" + counters + "]";
+  out->append(line);
+  out->push_back('\n');
+  for (const auto& child : span.children()) {
+    RenderTextNode(*child, depth + 1, root_seconds, out);
+  }
+}
+
+void RenderJsonNode(const TraceSpan& span, TraceSpan::Clock::time_point base,
+                    std::string* out) {
+  int64_t start_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         span.start() - base)
+                         .count();
+  out->append("{\"name\":\"" + JsonEscape(span.name()) + "\"");
+  out->append(",\"start_us\":" + std::to_string(std::max<int64_t>(0, start_us)));
+  out->append(",\"duration_us\":" + std::to_string(span.duration_micros()));
+  auto notes = span.notes();
+  if (!notes.empty()) {
+    out->append(",\"notes\":{");
+    bool first = true;
+    for (const auto& [key, value] : notes) {
+      if (!first) out->push_back(',');
+      first = false;
+      out->append("\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) +
+                  "\"");
+    }
+    out->push_back('}');
+  }
+  auto counters = span.counters();
+  if (!counters.empty()) {
+    out->append(",\"counters\":{");
+    bool first = true;
+    for (const auto& [key, value] : counters) {
+      if (!first) out->push_back(',');
+      first = false;
+      out->append("\"" + JsonEscape(key) + "\":" + std::to_string(value));
+    }
+    out->push_back('}');
+  }
+  auto children = span.children();
+  if (!children.empty()) {
+    out->append(",\"children\":[");
+    bool first = true;
+    for (const auto& child : children) {
+      if (!first) out->push_back(',');
+      first = false;
+      RenderJsonNode(*child, base, out);
+    }
+    out->push_back(']');
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+std::string RenderProfileText(const TraceSpan& root) {
+  std::string out;
+  RenderTextNode(root, 0, root.seconds(), &out);
+  return out;
+}
+
+std::string RenderProfileJson(const TraceSpan& root) {
+  std::string out;
+  RenderJsonNode(root, root.start(), &out);
+  return out;
+}
+
+}  // namespace raptor::obs

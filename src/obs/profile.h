@@ -1,0 +1,27 @@
+// EXPLAIN ANALYZE rendering: turn a finished TraceSpan tree into the
+// analyst-facing hunt profile — an indented text tree (CLI
+// `hunt --explain-analyze`) and a JSON document (tooling, slow-hunt
+// log). Both renderers are pure functions of the tree; they never
+// mutate it and are safe on a tree whose hunt already completed.
+#pragma once
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace raptor::obs {
+
+/// Indented text tree: one line per span with its duration, percentage
+/// of the root, counters, and notes.
+///
+///   hunt                                12.345 ms 100.0%  dialect=tbql
+///     execute                           12.101 ms  98.0%
+///       pattern[0]                       5.012 ms  40.6%  [rows_emitted=3]
+std::string RenderProfileText(const TraceSpan& root);
+
+/// JSON document, spans nested as in the tree:
+/// {"name":...,"start_us":<offset from root>,"duration_us":...,
+///  "counters":{...},"notes":{...},"children":[...]}
+std::string RenderProfileJson(const TraceSpan& root);
+
+}  // namespace raptor::obs

@@ -1,0 +1,82 @@
+#include "obs/slow_log.h"
+
+#include <chrono>
+
+#include "common/strings.h"
+#include "obs/profile.h"
+
+namespace raptor::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SlowHuntLog::SlowHuntLog(std::string path, long long threshold_micros)
+    : path_(std::move(path)), threshold_micros_(threshold_micros) {
+  file_ = std::fopen(path_.c_str(), "a");
+  if (file_ == nullptr) {
+    std::fprintf(stderr, "warning: cannot open slow-hunt log %s\n",
+                 path_.c_str());
+  }
+}
+
+SlowHuntLog::~SlowHuntLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = nullptr;
+}
+
+void SlowHuntLog::MaybeLog(const std::string& tenant,
+                           const std::string& dialect,
+                           const std::string& query,
+                           const std::string& status, double latency_micros,
+                           const TraceSpan* trace) {
+  if (latency_micros < static_cast<double>(threshold_micros_)) return;
+  long long unix_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::system_clock::now().time_since_epoch())
+                          .count();
+  std::string line = "{";
+  line += "\"unix_ms\":" + std::to_string(unix_ms);
+  line += ",\"tenant\":\"" + JsonEscape(tenant) + "\"";
+  line += ",\"dialect\":\"" + JsonEscape(dialect) + "\"";
+  line += ",\"status\":\"" + JsonEscape(status) + "\"";
+  line += StrFormat(",\"seconds\":%.6f", latency_micros / 1e6);
+  line += ",\"threshold_ms\":" + std::to_string(threshold_micros_ / 1000);
+  line += ",\"query\":\"" + JsonEscape(query) + "\"";
+  if (trace != nullptr) {
+    line += ",\"profile\":" + RenderProfileJson(*trace);
+  }
+  line += "}\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+  ++logged_;
+}
+
+size_t SlowHuntLog::logged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return logged_;
+}
+
+}  // namespace raptor::obs

@@ -1,0 +1,53 @@
+// Structured slow-hunt log: a JSONL sink that captures every hunt whose
+// end-to-end latency crosses a threshold, with the hunt's span tree
+// inlined — enough to reconstruct a production incident after the fact
+// without having had profiling on by hand. HuntService forces tracing on
+// for all hunts while a slow log is attached (the tracing core is cheap:
+// O(workers) span allocations per hunt, nothing per row).
+//
+// One JSON object per line:
+//   {"unix_ms":..., "tenant":"...", "dialect":"tbql", "status":"ok",
+//    "seconds":1.234, "threshold_ms":500, "query":"...",
+//    "profile":{...span tree as in RenderProfileJson...}}
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace raptor::obs {
+
+class SlowHuntLog {
+ public:
+  /// Append to `path`; threshold in microseconds (hunts at or above it
+  /// are logged). An unopenable path disables the log (reported once on
+  /// stderr) rather than failing hunts.
+  SlowHuntLog(std::string path, long long threshold_micros);
+  ~SlowHuntLog();
+
+  SlowHuntLog(const SlowHuntLog&) = delete;
+  SlowHuntLog& operator=(const SlowHuntLog&) = delete;
+
+  long long threshold_micros() const { return threshold_micros_; }
+
+  /// Append one record if `latency_micros >= threshold`. `trace` may be
+  /// null (profile omitted). Thread-safe; flushes per record so a crash
+  /// loses at most the in-flight line.
+  void MaybeLog(const std::string& tenant, const std::string& dialect,
+                const std::string& query, const std::string& status,
+                double latency_micros, const TraceSpan* trace);
+
+  size_t logged() const;
+
+ private:
+  std::string path_;
+  long long threshold_micros_;
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  size_t logged_ = 0;
+};
+
+}  // namespace raptor::obs

@@ -22,6 +22,39 @@ double MicrosSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+const char* DialectName(QueryDialect dialect) {
+  switch (dialect) {
+    case QueryDialect::kTbql: return "tbql";
+    case QueryDialect::kCypher: return "cypher";
+    case QueryDialect::kSql: return "sql";
+  }
+  return "unknown";
+}
+
+const char* StatusLabel(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kTimeout: return "timeout";
+    default: return "error";
+  }
+}
+
+/// Bridge the shared histogram's summary (obs/metrics.h — the same
+/// log2-bucket interpolation the old service-private histogram used) to
+/// the metrics() surface.
+HuntService::LatencySummary ToLatencySummary(const obs::LogHistogram& h) {
+  obs::LogHistogram::Summary s = h.Summarize();
+  HuntService::LatencySummary out;
+  out.count = s.count;
+  out.p50_micros = s.p50;
+  out.p90_micros = s.p90;
+  out.p99_micros = s.p99;
+  out.mean_micros = s.mean;
+  out.max_micros = s.max;
+  return out;
+}
+
 }  // namespace
 
 /// The reap-back channel between outstanding tickets and the service.
@@ -69,6 +102,9 @@ struct StandingState {
   uint64_t delivered_epoch = 0;
   size_t total_rows = 0;
   bool detached = false;  // service destroyed; no further refreshes
+  /// Per-subscription refresh attribution (StandingHandle::refresh_stats):
+  /// how this subscription's refreshes were served. Guarded by mu.
+  StandingHandle::RefreshStats refresh_stats;
 
   // Refresh-only: every row ever delivered (set semantics for deltas).
   std::unordered_set<std::vector<sql::Value>, sql::ValueRowHash,
@@ -107,6 +143,12 @@ size_t StandingHandle::total_rows() const {
   if (state_ == nullptr) return 0;
   std::lock_guard<std::mutex> lock(state_->mu);
   return state_->total_rows;
+}
+
+StandingHandle::RefreshStats StandingHandle::refresh_stats() const {
+  if (state_ == nullptr) return {};
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->refresh_stats;
 }
 
 bool StandingHandle::WaitEpoch(uint64_t epoch,
@@ -644,8 +686,8 @@ HuntService::Metrics HuntService::metrics() const {
   out.gate_wait_seconds_max = gate_wait_max_;
   out.consecutive_ingests = consecutive_ingests_;
   out.uptime_seconds = MicrosSince(start_time_) / 1e6;
-  out.hunt_latency = hunt_latency_.Summarize();
-  out.queue_wait = queue_wait_.Summarize();
+  out.hunt_latency = ToLatencySummary(hunt_latency_);
+  out.queue_wait = ToLatencySummary(queue_wait_);
   out.tenants.reserve(tenants_.size());
   for (const auto& [name, ts] : tenants_) {
     TenantMetrics tm;
@@ -668,50 +710,136 @@ HuntService::Metrics HuntService::metrics() const {
   return out;
 }
 
-void HuntService::LatencyHistogram::Record(double micros) {
-  ++count;
-  sum_micros += micros;
-  max_micros = std::max(max_micros, micros);
-  // Bucket b covers [2^b, 2^(b+1)) microseconds; bucket 0 is [0, 2).
-  size_t b = 0;
-  for (uint64_t v = static_cast<uint64_t>(std::max(0.0, micros));
-       v >= 2 && b + 1 < kBuckets; v >>= 1) {
-    ++b;
+void HuntService::ConfigureSlowLog(const std::string& path,
+                                   long long threshold_micros) {
+  std::shared_ptr<obs::SlowHuntLog> log;
+  if (!path.empty() && threshold_micros >= 0) {
+    log = std::make_shared<obs::SlowHuntLog>(path, threshold_micros);
   }
-  ++buckets[b];
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_log_ = std::move(log);
 }
 
-HuntService::LatencySummary HuntService::LatencyHistogram::Summarize() const {
-  LatencySummary out;
-  out.count = count;
-  if (count == 0) return out;
-  out.mean_micros = sum_micros / static_cast<double>(count);
-  out.max_micros = max_micros;
-  auto quantile = [&](double q) {
-    // Rank-in-bucket with linear interpolation across the bucket's span;
-    // the top populated bucket is capped by the observed max.
-    double rank = q * static_cast<double>(count - 1);  // fractional: a
-    // truncated rank would pin high quantiles to the bucket floor at
-    // small counts (p99 of 2 samples must lean toward the larger one).
-    size_t seen = 0;
-    for (size_t b = 0; b < kBuckets; ++b) {
-      if (buckets[b] == 0) continue;
-      if (static_cast<double>(seen + buckets[b]) > rank) {
-        double lo = b == 0 ? 0.0 : static_cast<double>(uint64_t{1} << b);
-        double hi = std::min(max_micros,
-                             static_cast<double>(uint64_t{1} << (b + 1)));
-        double frac = (rank - static_cast<double>(seen)) /
-                      static_cast<double>(buckets[b]);
-        return lo + frac * std::max(0.0, hi - lo);
-      }
-      seen += buckets[b];
-    }
-    return max_micros;
-  };
-  out.p50_micros = quantile(0.50);
-  out.p90_micros = quantile(0.90);
-  out.p99_micros = quantile(0.99);
-  return out;
+std::shared_ptr<obs::SlowHuntLog> HuntService::SlowLogSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_log_;
+}
+
+size_t HuntService::slow_hunts_logged() const {
+  std::shared_ptr<obs::SlowHuntLog> log = SlowLogSnapshot();
+  return log == nullptr ? 0 : log->logged();
+}
+
+void HuntService::CollectMetrics(obs::MetricsRegistry* registry) const {
+  Stats s = stats();
+  Metrics m = metrics();
+  obs::LogHistogram hunt_hist;
+  obs::LogHistogram wait_hist;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hunt_hist = hunt_latency_;
+    wait_hist = queue_wait_;
+  }
+  auto count = [](size_t v) { return static_cast<double>(v); };
+
+  // Hunt lifecycle.
+  registry->Counter("raptor_hunts_submitted_total", "Hunts submitted",
+                    count(s.submitted));
+  registry->Counter("raptor_hunts_completed_total", "Hunts finished OK",
+                    count(s.completed));
+  registry->Counter("raptor_hunts_failed_total",
+                    "Hunts finished with a non-OK, non-cancel status",
+                    count(s.failed));
+  registry->Counter("raptor_hunts_cancelled_total", "Hunts cancelled",
+                    count(s.cancelled));
+  registry->Counter("raptor_hunts_timed_out_total", "Hunts past deadline",
+                    count(s.timed_out));
+  registry->Counter("raptor_hunts_rejected_total",
+                    "Admission rejections (global or tenant queue cap)",
+                    count(s.rejected));
+
+  // Admission / scheduling state.
+  registry->Gauge("raptor_admission_queue_depth", "Hunts queued, all tenants",
+                  count(m.queue_depth));
+  registry->Gauge("raptor_admission_running", "Hunts currently executing",
+                  count(m.running));
+  registry->Gauge("raptor_admission_workers", "Admission worker threads",
+                  count(m.workers));
+  registry->Gauge("raptor_admission_running_cost",
+                  "Sum of running hunts' cost weights", m.running_cost);
+  registry->Gauge("raptor_admission_cost_budget",
+                  "Configured admission cost budget", m.cost_budget);
+  registry->Gauge("raptor_tenants_tracked", "Live tenant map entries",
+                  count(m.tracked_tenants));
+  registry->Gauge("raptor_tenants_distinct", "Distinct tenants ever seen",
+                  count(m.distinct_tenants));
+
+  // Write gate / epochs.
+  registry->Counter("raptor_ingests_total", "Epoch-gated mutations applied",
+                    count(s.ingests));
+  registry->Counter("raptor_wal_records_total",
+                    "Mutations logged write-ahead", count(s.wal_records));
+  registry->Counter("raptor_gate_acquires_total",
+                    "Ingest/Exclusive write-gate acquisitions",
+                    count(m.gate_acquires));
+  registry->Counter("raptor_gate_wait_seconds_total",
+                    "Seconds writers spent blocked at the gate",
+                    m.gate_wait_seconds_total);
+  registry->Gauge("raptor_gate_wait_seconds_max",
+                  "Longest single gate wait", m.gate_wait_seconds_max);
+  registry->Gauge("raptor_epoch", "Store epochs applied", count(m.epoch));
+  registry->Gauge("raptor_epoch_lag",
+                  "Epochs the slowest live standing hunt trails the store",
+                  count(m.epoch_lag));
+
+  // Standing hunts / MQO.
+  registry->Gauge("raptor_standing_hunts", "Registered standing hunts",
+                  count(m.standing));
+  registry->Counter("raptor_standing_refreshes_total",
+                    "Standing refresh executions completed",
+                    count(s.standing_refreshes));
+  registry->Counter("raptor_standing_incremental_total",
+                    "Refreshes that ran dirty-seeded incremental passes",
+                    count(s.standing_incremental));
+  registry->Counter("raptor_standing_alerts_total",
+                    "Refreshes that delivered a non-empty delta",
+                    count(s.standing_alerts));
+  registry->Counter("raptor_mqo_dedup_hits_total",
+                    "Refreshes served from a structural twin's execution",
+                    count(s.standing_dedup_hits));
+  registry->Counter("raptor_mqo_subresult_hits_total",
+                    "Shared-subresult cache hits across both backends",
+                    count(s.subresult_hits));
+
+  // Latency distributions + slow-hunt log.
+  registry->Histogram("raptor_hunt_latency_micros",
+                      "Submit-to-done latency of completed client hunts",
+                      hunt_hist);
+  registry->Histogram("raptor_queue_wait_micros",
+                      "Submit-to-admission wait of client hunts", wait_hist);
+  registry->Counter("raptor_slow_hunts_logged_total",
+                    "Records appended by the slow-hunt log",
+                    count(slow_hunts_logged()));
+  registry->Gauge("raptor_uptime_seconds", "Service uptime",
+                  m.uptime_seconds);
+
+  // Per-tenant series.
+  for (const TenantMetrics& t : m.tenants) {
+    obs::MetricLabels labels{{"tenant", t.tenant}};
+    registry->Counter("raptor_tenant_submitted_total",
+                      "Hunts submitted, by tenant", count(t.submitted),
+                      labels);
+    registry->Counter("raptor_tenant_completed_total",
+                      "Hunts finished OK, by tenant", count(t.completed),
+                      labels);
+    registry->Counter("raptor_tenant_rejected_total",
+                      "Admission rejections, by tenant", count(t.rejected),
+                      labels);
+    registry->Gauge("raptor_tenant_queued", "Hunts queued, by tenant",
+                    count(t.queued), labels);
+    registry->Gauge("raptor_tenant_running", "Hunts running, by tenant",
+                    count(t.running), labels);
+  }
 }
 
 void HuntService::StartWorkersLocked() {
@@ -989,25 +1117,51 @@ void HuntService::Process(const StatePtr& state, Status* status,
     *status = Status::Timeout("hunt deadline exceeded");
     return;
   }
-  auto result = Execute(*state);
+  // EXPLAIN ANALYZE / slow-hunt tracing. The root spans the whole hunt
+  // lifecycle (queue wait + execution); null when neither the request nor
+  // an attached slow log asks for it, which costs one branch here.
+  std::shared_ptr<obs::SlowHuntLog> slow = SlowLogSnapshot();
+  std::shared_ptr<obs::TraceSpan> root;
+  if (state->request.profile || slow != nullptr) {
+    root = obs::TraceSpan::Root("hunt");
+    root->Note("dialect", DialectName(state->request.dialect));
+    root->Note("tenant", state->request.tenant);
+    obs::TraceSpan* queue_span = root->AddChild("queue_wait");
+    queue_span->SetWindow(state->submit_time, obs::TraceSpan::Clock::now());
+  }
+  auto result = Execute(*state, root.get());
   if (result.ok()) {
     *response = std::move(result).value();
   } else {
     *status = result.status();
   }
+  if (root != nullptr) {
+    root->Note("status", StatusLabel(*status));
+    root->Finish();
+    if (state->request.profile) response->profile = root;
+    if (slow != nullptr) {
+      slow->MaybeLog(state->request.tenant,
+                     DialectName(state->request.dialect), state->request.text,
+                     StatusLabel(*status), MicrosSince(state->submit_time),
+                     root.get());
+    }
+  }
 }
 
-Result<HuntResponse> HuntService::Execute(HuntTicket::State& state) const {
+Result<HuntResponse> HuntService::Execute(HuntTicket::State& state,
+                                          obs::TraceSpan* trace) const {
   return ExecuteQuery(state.request, &state.cancel, state.deadline,
-                      /*seed_filter=*/nullptr);
+                      /*seed_filter=*/nullptr, trace);
 }
 
 Result<HuntResponse> HuntService::ExecuteQuery(
     const HuntRequest& req, const std::atomic<bool>* cancel,
     std::optional<std::chrono::steady_clock::time_point> deadline,
-    const std::unordered_set<graphdb::NodeId>* seed_filter) const {
+    const std::unordered_set<graphdb::NodeId>* seed_filter,
+    obs::TraceSpan* trace) const {
   HuntResponse response;
   response.dialect = req.dialect;
+  obs::TraceSpan* exec_span = obs::Child(trace, "execute");
   Stopwatch timer;
   switch (req.dialect) {
     case QueryDialect::kTbql: {
@@ -1018,9 +1172,13 @@ Result<HuntResponse> HuntService::ExecuteQuery(
         opts.sql_result_cache = &sql_cache_;
         opts.graph_result_cache = &graph_cache_;
       }
+      opts.trace = exec_span;
       engine::TbqlExecutor executor(store_);
       auto report = executor.ExecuteText(req.text, opts);
-      if (!report.ok()) return report.status();
+      if (!report.ok()) {
+        obs::Finish(exec_span);
+        return report.status();
+      }
       response.report = std::move(report).value();
       response.columns = response.report.results.columns;
       break;
@@ -1031,8 +1189,26 @@ Result<HuntResponse> HuntService::ExecuteQuery(
       opts.deadline = deadline;
       opts.top_seed_filter = seed_filter;
       if (options_.mqo_shared_subresults) opts.result_cache = &graph_cache_;
-      auto rs = store_->graph().QueryBlocks(req.text, opts);
-      if (!rs.ok()) return rs.status();
+      opts.trace = exec_span;
+      graphdb::MatchStats stats;
+      auto rs = store_->graph().QueryBlocks(
+          req.text, opts, exec_span != nullptr ? &stats : nullptr);
+      if (!rs.ok()) {
+        obs::Finish(exec_span);
+        return rs.status();
+      }
+      if (exec_span != nullptr) {
+        exec_span->Set("seeds_visited",
+                       static_cast<int64_t>(stats.seed_candidates));
+        exec_span->Set("edges_traversed",
+                       static_cast<int64_t>(stats.edges_traversed));
+        exec_span->Set("rows_emitted",
+                       static_cast<int64_t>(stats.rows_emitted));
+        exec_span->Set("morsels_executed",
+                       static_cast<int64_t>(stats.morsels_executed));
+        exec_span->Set("morsels_stolen",
+                       static_cast<int64_t>(stats.morsels_stolen));
+      }
       response.columns = std::move(rs.value().columns);
       response.rows = std::move(rs.value().rows);
       break;
@@ -1042,13 +1218,34 @@ Result<HuntResponse> HuntService::ExecuteQuery(
       opts.cancel = cancel;
       opts.deadline = deadline;
       if (options_.mqo_shared_subresults) opts.result_cache = &sql_cache_;
-      auto rs = store_->relational().QueryBlocks(req.text, opts);
-      if (!rs.ok()) return rs.status();
+      opts.trace = exec_span;
+      sql::ExecStats stats;
+      auto rs = store_->relational().QueryBlocks(
+          req.text, opts, exec_span != nullptr ? &stats : nullptr);
+      if (!rs.ok()) {
+        obs::Finish(exec_span);
+        return rs.status();
+      }
+      if (exec_span != nullptr) {
+        exec_span->Set("base_rows_scanned",
+                       static_cast<int64_t>(stats.base_rows_scanned));
+        exec_span->Set("index_probe_rows",
+                       static_cast<int64_t>(stats.index_probe_rows));
+        exec_span->Set("rows_emitted",
+                       static_cast<int64_t>(stats.rows_emitted));
+        exec_span->Set("columnar_filter_rows",
+                       static_cast<int64_t>(stats.columnar_filter_rows));
+        exec_span->Set("morsels_executed",
+                       static_cast<int64_t>(stats.morsels_executed));
+        exec_span->Set("morsels_stolen",
+                       static_cast<int64_t>(stats.morsels_stolen));
+      }
       response.columns = std::move(rs.value().columns);
       response.rows = std::move(rs.value().rows);
       break;
     }
   }
+  obs::Finish(exec_span);
   // The storage executors poll the deadline amortized; catch an expiry
   // their final stride missed.
   if (deadline.has_value() && std::chrono::steady_clock::now() > *deadline) {
@@ -1131,7 +1328,8 @@ bool HuntService::ExpandDirtyRegion(const std::vector<audit::EntityId>& dirty,
 bool HuntService::TryIncrementalCypher(
     StandingState& sub, const std::vector<audit::EntityId>& dirty,
     const std::optional<std::chrono::steady_clock::time_point>& deadline,
-    std::vector<HuntResponse>* responses, Status* status) const {
+    std::vector<HuntResponse>* responses, Status* status,
+    obs::TraceSpan* trace) const {
   auto parsed = graphdb::ParseCypher(sub.request.text);
   if (!parsed.ok()) return false;
   graphdb::CypherQuery q = std::move(parsed).value();
@@ -1160,7 +1358,13 @@ bool HuntService::TryIncrementalCypher(
         order.begin() + static_cast<ptrdiff_t>(boundary[hops]));
     HuntRequest pass = sub.request;
     pass.text = q.ToString();
-    auto result = ExecuteQuery(pass, &sub.cancelled, deadline, &filter);
+    obs::TraceSpan* pass_span =
+        obs::Child(trace, "incremental_pass[" + std::to_string(j) + "]");
+    obs::Set(pass_span, "seed_filter_nodes",
+             static_cast<int64_t>(filter.size()));
+    auto result = ExecuteQuery(pass, &sub.cancelled, deadline, &filter,
+                               pass_span);
+    obs::Finish(pass_span);
     if (!result.ok()) {
       *status = result.status();
       return true;  // eligible, but the pass failed: report, retry later
@@ -1174,7 +1378,8 @@ bool HuntService::TryIncrementalCypher(
 bool HuntService::TryIncrementalTbql(
     StandingState& sub, const std::vector<audit::EntityId>& dirty,
     const std::optional<std::chrono::steady_clock::time_point>& deadline,
-    std::vector<HuntResponse>* responses, Status* status) const {
+    std::vector<HuntResponse>* responses, Status* status,
+    obs::TraceSpan* trace) const {
   // Sound only after a full refresh matched every pattern: before that,
   // excessive-pattern tolerance joins over a pattern subset, and a pattern
   // that starts matching reshapes rows non-monotonically — only a full
@@ -1234,7 +1439,13 @@ bool HuntService::TryIncrementalTbql(
     pass.exec.require_all_patterns = true;
     pass.exec.propagate_constraints = true;  // the passes' whole point
     pass.exec.speculative_patterns = false;  // would bypass the domains
-    auto result = ExecuteQuery(pass, &sub.cancelled, deadline, nullptr);
+    obs::TraceSpan* pass_span =
+        obs::Child(trace, "incremental_pass[" + std::to_string(k) + "]");
+    obs::Set(pass_span, "dirty_entities",
+             static_cast<int64_t>(dirty_set.size()));
+    auto result = ExecuteQuery(pass, &sub.cancelled, deadline, nullptr,
+                               pass_span);
+    obs::Finish(pass_span);
     if (!result.ok()) {
       *status = result.status();
       return true;  // eligible, but the pass failed: report, retry later
@@ -1273,6 +1484,17 @@ void HuntService::RunStanding(const StandingPtr& sub) {
   }
   Stopwatch timer;
 
+  // Tracing mirrors the client-hunt path: rooted when the standing request
+  // asked for a profile or a slow-hunt log is attached.
+  std::shared_ptr<obs::SlowHuntLog> slow = SlowLogSnapshot();
+  std::shared_ptr<obs::TraceSpan> root;
+  if (sub->request.profile || slow != nullptr) {
+    root = obs::TraceSpan::Root("standing_refresh");
+    root->Note("dialect", DialectName(sub->request.dialect));
+    root->Note("tenant", sub->request.tenant);
+    root->Set("epoch", static_cast<int64_t>(target));
+  }
+
   // Incremental dirty-seeded passes (per-part Cypher rotation, per-pattern
   // TBQL constraining); fall through to a full refresh when ineligible.
   std::vector<HuntResponse> responses;
@@ -1280,11 +1502,11 @@ void HuntService::RunStanding(const StandingPtr& sub) {
   Status failure = Status::OK();
   if (have_dirty && sub->options.allow_incremental) {
     if (sub->request.dialect == QueryDialect::kCypher) {
-      incremental =
-          TryIncrementalCypher(*sub, dirty, deadline, &responses, &failure);
+      incremental = TryIncrementalCypher(*sub, dirty, deadline, &responses,
+                                         &failure, root.get());
     } else if (sub->request.dialect == QueryDialect::kTbql) {
-      incremental =
-          TryIncrementalTbql(*sub, dirty, deadline, &responses, &failure);
+      incremental = TryIncrementalTbql(*sub, dirty, deadline, &responses,
+                                       &failure, root.get());
     }
   }
 
@@ -1292,6 +1514,7 @@ void HuntService::RunStanding(const StandingPtr& sub) {
   // first subscription to claim the (canonical key, epoch) entry executes;
   // the rest reuse its response and pay only their own delta computation.
   std::shared_ptr<const HuntResponse> shared;
+  bool dedup_followed = false;
   if (!incremental && failure.ok()) {
     std::shared_ptr<SharedRefresh> entry;
     bool leader = true;
@@ -1304,8 +1527,10 @@ void HuntService::RunStanding(const StandingPtr& sub) {
       entry = it->second;
     }
     if (leader) {
-      auto result =
-          ExecuteQuery(sub->request, &sub->cancelled, deadline, nullptr);
+      obs::Note(root.get(), "mqo",
+                entry != nullptr ? "leader" : "no_dedup");
+      auto result = ExecuteQuery(sub->request, &sub->cancelled, deadline,
+                                 nullptr, root.get());
       if (result.ok()) {
         shared =
             std::make_shared<const HuntResponse>(std::move(result).value());
@@ -1327,12 +1552,15 @@ void HuntService::RunStanding(const StandingPtr& sub) {
       // Follower: the leader is already running on another worker (it
       // claimed the entry while admitted), so this wait is bounded by one
       // query execution and holds no service lock.
+      obs::ScopedSpan wait_span(root.get(), "dedup_wait");
+      obs::Note(root.get(), "mqo", "follower");
       std::unique_lock<std::mutex> lock(entry->mu);
       entry->cv.wait(lock, [&] { return entry->ready; });
       failure = entry->status;
       shared = entry->response;
       lock.unlock();
       if (shared != nullptr) {
+        dedup_followed = true;
         std::lock_guard<std::mutex> service_lock(mu_);
         ++stats_.standing_dedup_hits;
       }
@@ -1340,6 +1568,15 @@ void HuntService::RunStanding(const StandingPtr& sub) {
   }
 
   if (!failure.ok()) {
+    if (root != nullptr) {
+      root->Note("status", StatusLabel(failure));
+      root->Finish();
+      if (slow != nullptr) {
+        slow->MaybeLog(sub->request.tenant, DialectName(sub->request.dialect),
+                       sub->request.text, StatusLabel(failure),
+                       timer.ElapsedSeconds() * 1e6, root.get());
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       sub->scheduled = false;  // the next epoch retries (window unchanged)
@@ -1401,6 +1638,18 @@ void HuntService::RunStanding(const StandingPtr& sub) {
   if (shared != nullptr) add_response(*shared);
   for (const HuntResponse& response : responses) add_response(response);
   update.seconds = timer.ElapsedSeconds();
+  if (root != nullptr) {
+    root->Note("status", "ok");
+    root->Note("incremental", incremental ? "true" : "false");
+    root->Set("delta_rows", static_cast<int64_t>(update.delta.row_count()));
+    root->Finish();
+    if (sub->request.profile) update.profile = root;
+    if (slow != nullptr) {
+      slow->MaybeLog(sub->request.tenant, DialectName(sub->request.dialect),
+                     sub->request.text, "ok", update.seconds * 1e6,
+                     root.get());
+    }
+  }
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -1414,6 +1663,10 @@ void HuntService::RunStanding(const StandingPtr& sub) {
     std::lock_guard<std::mutex> lock(sub->mu);
     sub->total_rows += update.delta.row_count();
     update.total_rows = sub->total_rows;
+    ++sub->refresh_stats.refreshes;
+    if (incremental) ++sub->refresh_stats.incremental;
+    if (dedup_followed) ++sub->refresh_stats.dedup_followed;
+    if (!update.delta.empty()) ++sub->refresh_stats.alerts;
   }
   if (!sub->cancelled.load(std::memory_order_relaxed)) {
     if (sub->sink.on_update != nullptr) sub->sink.on_update(update);

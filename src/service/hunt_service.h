@@ -95,6 +95,9 @@
 
 #include "common/status.h"
 #include "engine/executor.h"
+#include "obs/metrics.h"
+#include "obs/slow_log.h"
+#include "obs/trace.h"
 #include "persist/durability.h"
 #include "persist/snapshot.h"
 #include "persist/wal.h"
@@ -119,6 +122,11 @@ struct HuntRequest {
   /// Relative deadline applied from Submit() — covers queue wait AND
   /// execution; expiry yields Status::Timeout. Negative: none.
   long long timeout_micros = -1;
+  /// EXPLAIN ANALYZE: build a span tree for this hunt (queue wait,
+  /// per-pattern execution, storage shard scans) and attach it to
+  /// HuntResponse::profile. Off (the default) costs one branch per hunt;
+  /// result rows are byte-identical either way.
+  bool profile = false;
   /// TBQL execution options. The service owns `cancel` and `deadline`
   /// (they are overwritten from the ticket); the scheduling toggles pass
   /// through.
@@ -134,6 +142,9 @@ struct HuntResponse {
   storage::RowBlocks<std::vector<sql::Value>> rows;
   engine::ExecReport report;
   double seconds = 0;  // execution time (excludes queue wait)
+  /// Span tree for the hunt (HuntRequest::profile, or a slow-hunt log is
+  /// attached); null otherwise. Render with obs::RenderProfileText/Json.
+  std::shared_ptr<const obs::TraceSpan> profile;
 
   storage::RowCursor<std::vector<sql::Value>> cursor() const {
     return storage::RowCursor<std::vector<sql::Value>>(&rows);
@@ -169,6 +180,9 @@ struct StandingUpdate {
   bool incremental = false;
   size_t total_rows = 0;  // accumulated rows delivered so far (incl. delta)
   double seconds = 0;     // refresh execution time
+  /// Span tree for this refresh (HuntRequest::profile on the standing
+  /// request, or a slow-hunt log is attached); null otherwise.
+  std::shared_ptr<const obs::TraceSpan> profile;
 
   storage::RowCursor<std::vector<sql::Value>> cursor() const {
     return storage::RowCursor<std::vector<sql::Value>>(&delta);
@@ -219,6 +233,18 @@ class StandingHandle {
   /// refresh).
   uint64_t delivered_epoch() const;
   size_t total_rows() const;
+
+  /// Per-subscription refresh attribution (MQO observability): total
+  /// refreshes delivered, how many ran dirty-seeded incremental passes,
+  /// and how many were served from a structural twin's execution (this
+  /// subscription was a dedupe follower, not the leader).
+  struct RefreshStats {
+    size_t refreshes = 0;
+    size_t incremental = 0;
+    size_t dedup_followed = 0;
+    size_t alerts = 0;
+  };
+  RefreshStats refresh_stats() const;
 
   /// Block until refreshes covering `epoch` have been processed (or the
   /// subscription is cancelled / the service shuts down). True when the
@@ -554,6 +580,23 @@ class HuntService {
   };
   Metrics metrics() const;
 
+  /// Attach (or, with an empty path / negative threshold, detach) a
+  /// structured slow-hunt log: every hunt or standing refresh whose
+  /// execution latency reaches `threshold_micros` appends one JSONL record
+  /// to `path` with the hunt's span tree inlined. While a log is attached,
+  /// tracing is forced on for all hunts (span construction is O(workers)
+  /// per hunt, never per row).
+  void ConfigureSlowLog(const std::string& path, long long threshold_micros);
+
+  /// Records appended by the attached slow-hunt log (0 when detached).
+  size_t slow_hunts_logged() const;
+
+  /// Register this service's telemetry with `registry` under raptor_hunt_*
+  /// names: lifecycle and admission counters, queue/cost/gate gauges,
+  /// standing-hunt and MQO counters, latency histograms, and per-tenant
+  /// labeled series. Populate-on-demand: call right before rendering.
+  void CollectMetrics(obs::MetricsRegistry* registry) const;
+
   /// Replace `tenant`'s admission policy at runtime, without restarting
   /// the service: the queue cap applies to the tenant's next Submit and
   /// the weight to its next weighted-round-robin rotation (the current
@@ -593,18 +636,6 @@ class HuntService {
     size_t failed = 0;
   };
 
-  /// Fixed log2-bucketed latency histogram over microseconds: constant
-  /// memory, lock-cheap Record, quantiles by bucket interpolation.
-  struct LatencyHistogram {
-    static constexpr size_t kBuckets = 40;
-    std::array<size_t, kBuckets> buckets{};
-    size_t count = 0;
-    double sum_micros = 0;
-    double max_micros = 0;
-    void Record(double micros);
-    LatencySummary Summarize() const;
-  };
-
   void StartWorkersLocked();
   void WorkerLoop();
   /// Find-or-create the tenant entry, stamping policy on creation and
@@ -637,14 +668,20 @@ class HuntService {
   /// Precondition: mu_ held.
   void ScheduleStandingLocked(const StandingPtr& sub);
   void Process(const StatePtr& state, Status* status, HuntResponse* response);
-  Result<HuntResponse> Execute(HuntTicket::State& state) const;
+  Result<HuntResponse> Execute(HuntTicket::State& state,
+                               obs::TraceSpan* trace) const;
   /// Shared execution path for client hunts and standing refreshes.
   /// `seed_filter` (Cypher only) restricts part-0 seeds for incremental
-  /// standing refreshes.
+  /// standing refreshes. `trace` (nullable) roots the execution's span
+  /// subtree (per-pattern, per-shard spans hang under it).
   Result<HuntResponse> ExecuteQuery(
       const HuntRequest& request, const std::atomic<bool>* cancel,
       std::optional<std::chrono::steady_clock::time_point> deadline,
-      const std::unordered_set<graphdb::NodeId>* seed_filter) const;
+      const std::unordered_set<graphdb::NodeId>* seed_filter,
+      obs::TraceSpan* trace) const;
+  /// Copy of the attached slow-hunt log (null when detached), taken under
+  /// mu_ so ConfigureSlowLog cannot destroy a log mid-write.
+  std::shared_ptr<obs::SlowHuntLog> SlowLogSnapshot() const;
   /// Execute one standing refresh and deliver its update to the sink.
   void RunStanding(const StandingPtr& sub);
   /// Layered BFS from the dirty entities' graph nodes: `bfs_order` lists
@@ -663,7 +700,8 @@ class HuntService {
   bool TryIncrementalCypher(
       StandingState& sub, const std::vector<audit::EntityId>& dirty,
       const std::optional<std::chrono::steady_clock::time_point>& deadline,
-      std::vector<HuntResponse>* responses, Status* status) const;
+      std::vector<HuntResponse>* responses, Status* status,
+      obs::TraceSpan* trace) const;
   /// Incremental TBQL refresh: one pass per pattern, forcing that pattern
   /// first with its entity variables pre-constrained to the dirty ids and
   /// every pattern required to match. Same contract as the Cypher variant;
@@ -673,7 +711,8 @@ class HuntService {
   bool TryIncrementalTbql(
       StandingState& sub, const std::vector<audit::EntityId>& dirty,
       const std::optional<std::chrono::steady_clock::time_point>& deadline,
-      std::vector<HuntResponse>* responses, Status* status) const;
+      std::vector<HuntResponse>* responses, Status* status,
+      obs::TraceSpan* trace) const;
   void Finish(const StatePtr& state, Status status, HuntResponse response);
   /// Acquire/release exclusive store access (writer-preferring: waiting
   /// here holds off new admissions until running hunts drain). Shared by
@@ -704,8 +743,14 @@ class HuntService {
   std::vector<std::thread> workers_;
   Stats stats_;
   std::chrono::steady_clock::time_point start_time_;
-  LatencyHistogram hunt_latency_;  // Submit -> done, completed client hunts
-  LatencyHistogram queue_wait_;    // Submit -> admission, client hunts
+  /// Latency distributions in microseconds (obs::LogHistogram — the shared
+  /// log2-bucketed histogram, also what CollectMetrics exports).
+  obs::LogHistogram hunt_latency_;  // Submit -> done, completed client hunts
+  obs::LogHistogram queue_wait_;    // Submit -> admission, client hunts
+  /// Structured slow-hunt log; null when detached. The shared_ptr is
+  /// copied out under mu_ so a concurrent ConfigureSlowLog cannot destroy
+  /// a log a finishing hunt is writing to.
+  std::shared_ptr<obs::SlowHuntLog> slow_log_;
 
   // --- epoch-coordinated ingest (guarded by mu_) ---
   uint64_t epoch_ = 0;

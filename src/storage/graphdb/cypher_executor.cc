@@ -13,6 +13,7 @@
 #include "common/small_vector.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "storage/columnar.h"
 #include "storage/graphdb/cypher_parser.h"
 #include "storage/shard_parallel.h"
@@ -1253,6 +1254,7 @@ Status RunShardParallel(const CypherQuery& query, const PropertyGraph& graph,
   size_t workers =
       std::min<size_t>(static_cast<size_t>(options.parallel_shards), n_shards);
   ThreadPool::Shared().ParallelFor(n_shards, workers, [&](size_t s) {
+    auto scan_start = obs::TraceSpan::Clock::now();
     ShardRun& run = runs[s];
     // Evaluator caches (IN-list sets, variable-slot maps) are mutable, so
     // every worker owns one.
@@ -1274,6 +1276,16 @@ Status RunShardParallel(const CypherQuery& query, const PropertyGraph& graph,
     InitBinding(binding, vars);
     matcher.Run(binding);
     run.error = sink.error();
+    if (options.trace != nullptr) {
+      obs::TraceSpan* span =
+          options.trace->AddChild("shard[" + std::to_string(s) + "]");
+      span->SetWindow(scan_start, obs::TraceSpan::Clock::now());
+      span->Set("seeds_visited",
+                static_cast<int64_t>(run.stats.seed_candidates));
+      span->Set("edges_traversed",
+                static_cast<int64_t>(run.stats.edges_traversed));
+      span->Set("rows_emitted", static_cast<int64_t>(run.stats.rows_emitted));
+    }
   });
 
   return storage::MergeShardRuns(
@@ -1348,6 +1360,7 @@ Status RunMorselParallel(const CypherQuery& query, const PropertyGraph& graph,
   std::vector<MatchStats> worker_stats(workers);
 
   ThreadPool::Shared().ParallelFor(workers, workers, [&](size_t w) {
+    auto scan_start = obs::TraceSpan::Clock::now();
     MatchStats* ws = &worker_stats[w];
     // Per-worker evaluator (mutable IN-list / slot caches); per-morsel
     // sink + matcher so every morsel owns its rows and error status.
@@ -1377,6 +1390,18 @@ Status RunMorselParallel(const CypherQuery& query, const PropertyGraph& graph,
       matcher.Run(binding);
       run.error = sink.error();
       if (!run.error.ok()) break;  // merge surfaces it; stop this worker
+    }
+    if (options.trace != nullptr) {
+      obs::TraceSpan* span =
+          options.trace->AddChild("morsel_worker[" + std::to_string(w) + "]");
+      span->SetWindow(scan_start, obs::TraceSpan::Clock::now());
+      span->Set("seeds_visited", static_cast<int64_t>(ws->seed_candidates));
+      span->Set("edges_traversed",
+                static_cast<int64_t>(ws->edges_traversed));
+      span->Set("rows_emitted", static_cast<int64_t>(ws->rows_emitted));
+      span->Set("morsels_executed",
+                static_cast<int64_t>(ws->morsels_executed));
+      span->Set("morsels_stolen", static_cast<int64_t>(ws->morsels_stolen));
     }
   });
 
@@ -1623,7 +1648,11 @@ Result<GraphBlockResult> GraphDatabase::QueryBlocks(
   if (options.result_cache != nullptr && options.top_seed_filter == nullptr &&
       query.value().limit < 0) {
     std::string key = SubresultCacheKey(cypher, options);
-    if (auto cached = options.result_cache->Lookup(key)) return *cached;
+    if (auto cached = options.result_cache->Lookup(key)) {
+      obs::Add(options.trace, "subresult_cache_hits", 1);
+      return *cached;
+    }
+    obs::Add(options.trace, "subresult_cache_misses", 1);
     auto result = ExecuteCypherBlocks(query.value(), graph_, options, stats);
     if (result.ok()) {
       options.result_cache->Insert(

@@ -1,5 +1,6 @@
 #include "storage/relational/database.h"
 
+#include "obs/trace.h"
 #include "storage/subresult_cache.h"
 
 namespace raptor::sql {
@@ -80,7 +81,11 @@ Result<BlockResultSet> Database::QueryBlocks(std::string_view sql,
   // so LIMIT queries bypass the cache.
   if (options.result_cache != nullptr && stmt.value().limit < 0) {
     std::string key = SubresultCacheKey(sql, options);
-    if (auto cached = options.result_cache->Lookup(key)) return *cached;
+    if (auto cached = options.result_cache->Lookup(key)) {
+      obs::Add(options.trace, "subresult_cache_hits", 1);
+      return *cached;
+    }
+    obs::Add(options.trace, "subresult_cache_misses", 1);
     auto result = ExecuteSelectBlocks(stmt.value(), *this, options, stats);
     if (result.ok()) {
       options.result_cache->Insert(

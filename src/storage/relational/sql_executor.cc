@@ -13,6 +13,7 @@
 #include "common/deadline.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "storage/shard_parallel.h"
 
 namespace raptor::sql {
@@ -1297,6 +1298,7 @@ Result<BlockResultSet> ExecuteSelectBlocks(const SelectStmt& stmt,
           WorkStealingQueues queues(morsels.size(), workers);
           std::vector<ExecStats> worker_stats(workers);
           ThreadPool::Shared().ParallelFor(workers, workers, [&](size_t w) {
+            auto scan_start = obs::TraceSpan::Clock::now();
             // Evaluator IN-list caches are mutable, so every worker owns
             // one (shared across its morsels).
             Evaluator worker_eval(binder);
@@ -1311,6 +1313,22 @@ Result<BlockResultSet> ExecuteSelectBlocks(const SelectStmt& stmt,
                   run_slice(mo.shard, mo.lo, mo.hi, worker_eval, ws,
                             &runs[m].rs);
               if (!runs[m].error.ok()) break;
+            }
+            if (options.trace != nullptr) {
+              obs::TraceSpan* span = options.trace->AddChild(
+                  "morsel_worker[" + std::to_string(w) + "]");
+              span->SetWindow(scan_start, obs::TraceSpan::Clock::now());
+              span->Set("base_rows_scanned",
+                        static_cast<int64_t>(ws->base_rows_scanned));
+              span->Set("index_probe_rows",
+                        static_cast<int64_t>(ws->index_probe_rows));
+              span->Set("rows_emitted", static_cast<int64_t>(ws->rows_emitted));
+              span->Set("columnar_filter_rows",
+                        static_cast<int64_t>(ws->columnar_filter_rows));
+              span->Set("morsels_executed",
+                        static_cast<int64_t>(ws->morsels_executed));
+              span->Set("morsels_stolen",
+                        static_cast<int64_t>(ws->morsels_stolen));
             }
           });
           for (const ExecStats& ws : worker_stats) fold_stats(ws);
@@ -1328,11 +1346,25 @@ Result<BlockResultSet> ExecuteSelectBlocks(const SelectStmt& stmt,
         size_t workers = std::min<size_t>(
             static_cast<size_t>(options.parallel_shards), n_shards);
         ThreadPool::Shared().ParallelFor(n_shards, workers, [&](size_t s) {
+          auto scan_start = obs::TraceSpan::Clock::now();
           ShardRun& run = runs[s];
           // Evaluator IN-list caches are mutable, so every worker owns one.
           Evaluator shard_eval(binder);
           run.error = run_slice(s, 0, static_cast<size_t>(-1), shard_eval,
                                 &run.stats, &run.rs);
+          if (options.trace != nullptr) {
+            obs::TraceSpan* span = options.trace->AddChild(
+                "shard[" + std::to_string(s) + "]");
+            span->SetWindow(scan_start, obs::TraceSpan::Clock::now());
+            span->Set("base_rows_scanned",
+                      static_cast<int64_t>(run.stats.base_rows_scanned));
+            span->Set("index_probe_rows",
+                      static_cast<int64_t>(run.stats.index_probe_rows));
+            span->Set("rows_emitted",
+                      static_cast<int64_t>(run.stats.rows_emitted));
+            span->Set("columnar_filter_rows",
+                      static_cast<int64_t>(run.stats.columnar_filter_rows));
+          }
         });
         RAPTOR_RETURN_NOT_OK(storage::MergeShardRuns(
             runs, streaming_distinct, &result.rows,

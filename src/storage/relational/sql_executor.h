@@ -66,6 +66,10 @@ template <typename ResultT>
 class QueryResultCache;
 }  // namespace raptor::storage
 
+namespace raptor::obs {
+class TraceSpan;
+}  // namespace raptor::obs
+
 namespace raptor::sql {
 
 struct ResultSet {
@@ -150,6 +154,12 @@ struct SelectOptions {
   /// epoch. The owner (service::HuntService) clears it on every store
   /// mutation. Must outlive the call.
   storage::QueryResultCache<BlockResultSet>* result_cache = nullptr;
+  /// EXPLAIN ANALYZE hook: when non-null, the parallel drivers hang one
+  /// timed child span per shard run / morsel worker under it (scan, probe,
+  /// and steal counters included) and QueryBlocks records subresult cache
+  /// hits. Null (the default) costs one pointer test per query. Must
+  /// outlive the call.
+  obs::TraceSpan* trace = nullptr;
 };
 
 class Catalog {

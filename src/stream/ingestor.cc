@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace raptor::stream {
 
 namespace {
@@ -46,6 +48,24 @@ bool StreamIngestor::WaitEnd(long long timeout_micros) {
 IngestorStats StreamIngestor::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+void StreamIngestor::CollectMetrics(obs::MetricsRegistry* registry) const {
+  IngestorStats s = stats();
+  registry->Counter("raptor_stream_polls_total", "Source polls issued",
+                    static_cast<double>(s.polls));
+  registry->Counter("raptor_stream_batches_total",
+                    "Non-empty batches applied to the store",
+                    static_cast<double>(s.batches));
+  registry->Counter("raptor_stream_records_total",
+                    "Raw syscall records applied",
+                    static_cast<double>(s.records));
+  registry->Gauge("raptor_stream_ended",
+                  "1 once the stream ended and the finish hook ran",
+                  s.ended ? 1.0 : 0.0);
+  registry->Gauge("raptor_stream_errored",
+                  "1 when the worker hit a terminal poll/apply error",
+                  s.error.ok() ? 0.0 : 1.0);
 }
 
 void StreamIngestor::Loop() {

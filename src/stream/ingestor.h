@@ -27,6 +27,10 @@
 #include "common/status.h"
 #include "stream/event_stream.h"
 
+namespace raptor::obs {
+class MetricsRegistry;
+}  // namespace raptor::obs
+
 namespace raptor::stream {
 
 /// Applies one raw-record batch to the store (parse + reduce + append,
@@ -80,6 +84,12 @@ class StreamIngestor {
   bool WaitEnd(long long timeout_micros = -1);
 
   IngestorStats stats() const;
+
+  /// Export the ingest-side telemetry into `registry`:
+  /// raptor_stream_{polls,batches,records}_total counters plus
+  /// raptor_stream_{ended,errored} gauges, so a monitored deployment's
+  /// scrape shows tail progress next to the service's epoch counters.
+  void CollectMetrics(obs::MetricsRegistry* registry) const;
 
  private:
   void Loop();

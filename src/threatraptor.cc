@@ -282,6 +282,45 @@ Status ThreatRaptor::ImportV1Snapshot(const std::string& path) {
   return IngestParsedLog(log);
 }
 
+void ThreatRaptor::CollectMetrics(obs::MetricsRegistry* registry) const {
+  {
+    std::lock_guard<std::mutex> lock(service_mu_);
+    if (service_ != nullptr) service_->CollectMetrics(registry);
+  }
+  registry->Gauge("raptor_durable",
+                  "1 when a data directory is attached (Open, not Closed)",
+                  durable() ? 1.0 : 0.0);
+  persist::DurabilityStats d = durability_stats();
+  auto count = [](uint64_t v) { return static_cast<double>(v); };
+  registry->Counter("raptor_wal_bytes_total",
+                    "Framed WAL bytes appended this run", count(d.wal_bytes));
+  registry->Counter("raptor_wal_segments_total",
+                    "WAL segments created this run", count(d.wal_segments));
+  registry->Counter("raptor_checkpoints_total",
+                    "Sharded snapshots written this run",
+                    count(d.checkpoints));
+  registry->Gauge("raptor_checkpoint_last_bytes",
+                  "Size of the last snapshot written",
+                  count(d.snapshot_bytes));
+  registry->Gauge("raptor_recovery_restored",
+                  "1 when Open loaded a snapshot", d.restored ? 1.0 : 0.0);
+  registry->Gauge("raptor_recovery_replayed_records",
+                  "WAL records replayed after the snapshot restore",
+                  count(d.replayed_records));
+  registry->Counter("raptor_retention_events_evicted_total",
+                    "Events removed by the retention horizon",
+                    count(d.events_evicted));
+  registry->Counter("raptor_retention_epochs_evicted_total",
+                    "Epochs aged out by the retention horizon",
+                    count(d.epochs_evicted));
+}
+
+std::string ThreatRaptor::ExportMetrics(obs::MetricsFormat format) const {
+  obs::MetricsRegistry registry;
+  CollectMetrics(&registry);
+  return registry.Render(format);
+}
+
 Result<service::HuntResponse> ThreatRaptor::HuntTechnique(
     std::string_view technique_id,
     const std::map<std::string, std::string>& params) const {

@@ -34,6 +34,7 @@
 #include "engine/executor.h"
 #include "engine/poirot.h"
 #include "extraction/extractor.h"
+#include "obs/metrics.h"
 #include "persist/checkpointer.h"
 #include "service/hunt_service.h"
 #include "storage/store.h"
@@ -191,6 +192,19 @@ class ThreatRaptor {
     if (store_ == nullptr || service_ == nullptr) return {};
     return service_->metrics();
   }
+
+  /// Populate `registry` with the facade's full telemetry snapshot: every
+  /// hunt-service series (admission, gate, epochs, standing/MQO, latency
+  /// histograms, per-tenant counters — see HuntService::CollectMetrics)
+  /// when the service exists (never forces the lazy service into
+  /// existence), plus WAL / checkpoint / recovery / retention counters on
+  /// a durable facade.
+  void CollectMetrics(obs::MetricsRegistry* registry) const;
+
+  /// CollectMetrics rendered as Prometheus exposition text (default) or
+  /// JSON — the scrape/export surface behind `hunt --metrics-export`.
+  std::string ExportMetrics(
+      obs::MetricsFormat format = obs::MetricsFormat::kPrometheus) const;
 
   /// Runtime tenant-policy reconfiguration on the hunt service: the new
   /// weight/queue-cap take effect at the tenant's next admission (see

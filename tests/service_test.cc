@@ -7,11 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "cases/cases.h"
+#include "obs/profile.h"
 #include "service/hunt_service.h"
 #include "storage/row_block.h"
 #include "threatraptor.h"
@@ -789,6 +792,236 @@ TEST(HuntServiceTest, FacadeHuntRoutesThroughService) {
   EXPECT_EQ(report.value().results.rows.size(), 10u);
   ASSERT_NE(tr->hunt_service(), nullptr);
   EXPECT_GE(tr->hunt_service()->stats().completed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Observability: EXPLAIN ANALYZE span trees, the slow-hunt log, and the
+// exportable telemetry registry.
+
+/// Depth-first collect of every span whose name starts with `prefix`.
+void CollectSpans(const obs::TraceSpan& span, const std::string& prefix,
+                  std::vector<const obs::TraceSpan*>* out) {
+  if (span.name().rfind(prefix, 0) == 0) out->push_back(&span);
+  for (const auto& child : span.children()) {
+    CollectSpans(*child, prefix, out);
+  }
+}
+
+TEST(HuntServiceObsTest, ProfilingIsByteIdenticalToUnprofiled) {
+  auto tr = BuildWideStore(30, 20);
+  HuntService service(tr->store());
+  struct Case {
+    const char* text;
+    QueryDialect dialect;
+  } cases[] = {
+      {"proc p[\"%svc1%\"] read file f return p, f", QueryDialect::kTbql},
+      {"MATCH (p:proc)-[e:read]->(f:file) RETURN p.exename, f.name",
+       QueryDialect::kCypher},
+      {"SELECT e.id, e.subject FROM events e WHERE e.op = 'read'",
+       QueryDialect::kSql},
+  };
+  for (const Case& c : cases) {
+    auto plain = service.Run(Req(c.text, c.dialect));
+    ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+    EXPECT_EQ(plain.value().profile, nullptr)
+        << "profile must be absent unless requested";
+
+    HuntRequest profiled = Req(c.text, c.dialect);
+    profiled.profile = true;
+    auto traced = service.Run(std::move(profiled));
+    ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+    ASSERT_NE(traced.value().profile, nullptr);
+
+    // Results are byte-identical with profiling on.
+    EXPECT_EQ(traced.value().columns, plain.value().columns);
+    if (c.dialect == QueryDialect::kTbql) {
+      EXPECT_EQ(traced.value().report.results.rows,
+                plain.value().report.results.rows);
+      EXPECT_EQ(traced.value().report.matched_event_ids,
+                plain.value().report.matched_event_ids);
+    } else {
+      auto lhs = traced.value().cursor();
+      auto rhs = plain.value().cursor();
+      const std::vector<sql::Value>* a = nullptr;
+      while ((a = lhs.Next()) != nullptr) {
+        const std::vector<sql::Value>* b = rhs.Next();
+        ASSERT_NE(b, nullptr);
+        ASSERT_EQ(a->size(), b->size());
+        for (size_t cell = 0; cell < a->size(); ++cell) {
+          EXPECT_EQ((*a)[cell].Compare((*b)[cell]), 0);
+        }
+      }
+      EXPECT_EQ(rhs.Next(), nullptr);
+    }
+
+    // Tree shape: a finished "hunt" root carrying the dialect note, with
+    // queue_wait and execute children.
+    const obs::TraceSpan& root = *traced.value().profile;
+    EXPECT_EQ(root.name(), "hunt");
+    EXPECT_TRUE(root.finished());
+    std::vector<const obs::TraceSpan*> waits, execs;
+    CollectSpans(root, "queue_wait", &waits);
+    CollectSpans(root, "execute", &execs);
+    EXPECT_EQ(waits.size(), 1u);
+    ASSERT_EQ(execs.size(), 1u);
+    bool dialect_noted = false;
+    for (const auto& [k, v] : root.notes()) {
+      if (k == "dialect") dialect_noted = true;
+    }
+    EXPECT_TRUE(dialect_noted);
+  }
+}
+
+TEST(HuntServiceObsTest, TbqlProfileCarriesPatternAndPhaseSpans) {
+  auto tr = BuildWideStore(30, 20);
+  HuntService service(tr->store());
+  HuntRequest request = Req(
+      "proc p[\"%svc1%\"] read file f[\"%_1\"] return p, f");
+  request.profile = true;
+  auto response = service.Run(std::move(request));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_NE(response.value().profile, nullptr);
+  const obs::TraceSpan& root = *response.value().profile;
+
+  std::vector<const obs::TraceSpan*> patterns, joins, projects;
+  CollectSpans(root, "pattern[", &patterns);
+  CollectSpans(root, "join", &joins);
+  CollectSpans(root, "project", &projects);
+  ASSERT_GE(patterns.size(), 1u);
+  EXPECT_EQ(joins.size(), 1u);
+  EXPECT_EQ(projects.size(), 1u);
+  for (const obs::TraceSpan* p : patterns) {
+    EXPECT_TRUE(p->finished());
+    EXPECT_GE(p->counter("match_count", -1), 0)
+        << p->name() << " must fold its match count";
+  }
+
+  // The per-pattern execution time is contained in the hunt: the pattern
+  // spans' summed duration cannot exceed the root's wall clock by more
+  // than bookkeeping noise (patterns may run concurrently, so the sum has
+  // no lower bound, but each individual span fits inside the root).
+  for (const obs::TraceSpan* p : patterns) {
+    EXPECT_LE(p->duration_micros(), root.duration_micros() + 1000);
+  }
+}
+
+TEST(HuntServiceObsTest, StorageScanSpansCarryWorkCounters) {
+  // Big enough to clear the parallel fan-out thresholds so the storage
+  // executors emit per-shard (or per-morsel-worker) scan spans.
+  auto tr = BuildWideStore(100, 30);
+  HuntService service(tr->store());
+  HuntRequest request = Req(
+      "MATCH (p:proc)-[e:read]->(f:file) RETURN p.exename, f.name",
+      QueryDialect::kCypher);
+  request.profile = true;
+  auto response = service.Run(std::move(request));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_NE(response.value().profile, nullptr);
+
+  std::vector<const obs::TraceSpan*> scans;
+  CollectSpans(*response.value().profile, "shard[", &scans);
+  CollectSpans(*response.value().profile, "morsel_worker[", &scans);
+  ASSERT_GE(scans.size(), 1u) << "parallel scan must emit per-worker spans";
+  int64_t rows = 0, seeds = 0;
+  for (const obs::TraceSpan* s : scans) {
+    EXPECT_TRUE(s->finished());
+    rows += s->counter("rows_emitted");
+    seeds += s->counter("seeds_visited");
+  }
+  EXPECT_EQ(static_cast<size_t>(rows), response.value().rows.row_count());
+  EXPECT_GT(seeds, 0);
+}
+
+TEST(HuntServiceObsTest, ConcurrentProfiledHuntsStayCoherent) {
+  auto tr = BuildWideStore(40, 20);
+  HuntServiceOptions opts;
+  opts.max_concurrent = 4;
+  HuntService service(tr->store(), opts);
+  std::vector<HuntTicket> tickets;
+  for (int i = 0; i < 8; ++i) {
+    HuntRequest request = Req(
+        i % 2 == 0
+            ? "proc p read file f return p, f"
+            : "SELECT e.id FROM events e WHERE e.op = 'read'",
+        i % 2 == 0 ? QueryDialect::kTbql : QueryDialect::kSql);
+    request.profile = true;
+    tickets.push_back(service.Submit(std::move(request)));
+  }
+  for (HuntTicket& t : tickets) {
+    ASSERT_TRUE(t.Wait().ok()) << t.status().ToString();
+    ASSERT_NE(t.response().profile, nullptr);
+    EXPECT_EQ(t.response().profile->name(), "hunt");
+    EXPECT_TRUE(t.response().profile->finished());
+    // Render both formats concurrently-built trees to exercise the
+    // snapshot paths under TSan.
+    EXPECT_FALSE(obs::RenderProfileText(*t.response().profile).empty());
+    EXPECT_FALSE(obs::RenderProfileJson(*t.response().profile).empty());
+  }
+}
+
+TEST(HuntServiceObsTest, SlowLogForcesTracingAndAppendsJsonl) {
+  std::string path = testing::TempDir() + "/service_slow_hunts.jsonl";
+  std::remove(path.c_str());
+  auto tr = BuildWideStore(20, 10);
+  HuntService service(tr->store());
+  service.ConfigureSlowLog(path, /*threshold_micros=*/0);
+  // profile not requested: the slow log still captures the span tree.
+  auto response =
+      service.Run(Req("proc p[\"%svc1%\"] read file f return p, f"));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().profile, nullptr);
+  EXPECT_GE(service.slow_hunts_logged(), 1u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line).good());
+  EXPECT_NE(line.find("\"dialect\":\"tbql\""), std::string::npos);
+  EXPECT_NE(line.find("\"profile\":"), std::string::npos);
+  EXPECT_NE(line.find("\"name\":\"hunt\""), std::string::npos);
+
+  // Detach: later hunts are not logged.
+  service.ConfigureSlowLog("", -1);
+  size_t logged = service.slow_hunts_logged();
+  EXPECT_EQ(logged, 0u);  // detached log reports zero
+  ASSERT_TRUE(
+      service.Run(Req("proc p[\"%svc2%\"] read file f return p")).ok());
+  EXPECT_EQ(service.slow_hunts_logged(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(HuntServiceObsTest, CollectMetricsExportsTheCatalog) {
+  auto tr = BuildWideStore(20, 10);
+  ASSERT_TRUE(tr->Hunt("proc p[\"%svc1%\"] read file f return p, f").ok());
+  obs::MetricsRegistry registry;
+  tr->hunt_service()->CollectMetrics(&registry);
+  std::string prom = registry.ToPrometheus();
+  for (const char* name :
+       {"raptor_hunts_submitted_total", "raptor_hunts_completed_total",
+        "raptor_admission_queue_depth", "raptor_admission_running",
+        "raptor_ingests_total", "raptor_gate_acquires_total", "raptor_epoch",
+        "raptor_standing_hunts", "raptor_mqo_dedup_hits_total",
+        "raptor_mqo_subresult_hits_total", "raptor_hunt_latency_micros",
+        "raptor_queue_wait_micros", "raptor_tenant_submitted_total",
+        "raptor_uptime_seconds"}) {
+    EXPECT_NE(prom.find(name), std::string::npos) << "missing " << name;
+  }
+  // The completed hunt landed in the latency histogram.
+  EXPECT_NE(prom.find("raptor_hunt_latency_micros_count 1"),
+            std::string::npos);
+}
+
+TEST(HuntServiceObsTest, FacadeExportMetricsCoversServiceAndDurability) {
+  auto tr = BuildWideStore(10, 10);
+  ASSERT_TRUE(tr->Hunt("proc p[\"%svc1%\"] read file f return p").ok());
+  std::string prom = tr->ExportMetrics();
+  EXPECT_NE(prom.find("raptor_hunts_submitted_total"), std::string::npos);
+  EXPECT_NE(prom.find("raptor_wal_bytes_total"), std::string::npos);
+  EXPECT_NE(prom.find("raptor_checkpoints_total"), std::string::npos);
+  EXPECT_NE(prom.find("raptor_durable 0"), std::string::npos);
+  std::string json = tr->ExportMetrics(obs::MetricsFormat::kJson);
+  EXPECT_NE(json.find("\"name\":\"raptor_hunts_submitted_total\""),
+            std::string::npos);
 }
 
 }  // namespace

@@ -2,17 +2,24 @@
 """Compare two BENCH_<name>.json artifacts metric by metric.
 
 Prints a per-workload (label) table of baseline vs candidate values with a
-ratio column, plus keys present in only one report. For time-like metrics
-(name ends in _seconds, _micros, or _ms) the ratio is reported as a speedup
-(baseline / candidate, > 1 = candidate faster); every other metric reports
-the plain candidate / baseline change factor. A `total` summary line
-aggregates the geometric-mean speedup over the time-like metrics both
-reports share.
+ratio column, plus added/removed rows for keys present in only one report.
+For time-like metrics (name ends in _seconds, _micros, or _ms) the ratio is
+reported as a speedup (baseline / candidate, > 1 = candidate faster); every
+other metric reports the plain candidate / baseline change factor. A `total`
+summary line aggregates the geometric-mean speedup over the time-like
+metrics both reports share.
+
+Each report carries a `meta` object (schema_version, build_type,
+pool_threads) written by bench_util.h. When the two runs disagree on any of
+those, the numeric comparison is refused — a Debug-vs-Release or
+1-vs-8-thread diff is meaningless — and only the key inventory is printed.
 
 CI runs this between the freshly built bench JSON and the artifact of the
 baseline branch (when one is available) and pastes the output into the job
 summary; it never fails the build — values are hardware-noisy, only the
-schema check (bench_schema_keys.py) gates.
+schema check (bench_schema_keys.py) gates. Exit code is 0 for every
+comparison outcome (including a refused one); 2 only for usage errors or
+unreadable input files.
 
 Usage: bench_compare.py BASELINE.json CANDIDATE.json [--markdown]
 """
@@ -21,15 +28,45 @@ import math
 import sys
 
 TIME_SUFFIXES = ("_seconds", "_micros", "_ms")
+META_KEYS = ("schema_version", "build_type", "pool_threads")
 
 
 def load(path):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     metrics = {}
-    for m in doc.get("metrics", []):
-        metrics[(m["label"], m["metric"])] = m["value"]
-    return doc.get("bench", "?"), metrics
+    skipped = 0
+    raw = doc.get("metrics", [])
+    if not isinstance(raw, list):
+        raw = []
+        skipped = -1  # whole section malformed
+    for m in raw:
+        # Tolerate malformed entries (hand-edited or truncated artifacts):
+        # skip anything that is not {label, metric, value-number}.
+        if not isinstance(m, dict):
+            skipped += 1
+            continue
+        label, metric, value = m.get("label"), m.get("metric"), m.get("value")
+        if (
+            not isinstance(label, str)
+            or not isinstance(metric, str)
+            or not isinstance(value, (int, float))
+            or isinstance(value, bool)
+        ):
+            skipped += 1
+            continue
+        metrics[(label, metric)] = value
+    if skipped:
+        print(
+            f"warning: {path}: skipped "
+            + ("malformed 'metrics' section" if skipped < 0
+               else f"{skipped} malformed metric entries"),
+            file=sys.stderr,
+        )
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        meta = {}
+    return doc.get("bench", "?"), metrics, meta
 
 
 def is_time(metric):
@@ -42,14 +79,32 @@ def fmt(v):
     return str(v)
 
 
+def meta_mismatches(base_meta, cand_meta):
+    """Config keys whose values differ between the runs.
+
+    A key absent on one side (pre-meta artifact) counts as a mismatch only
+    if the other side has it — two meta-less legacy reports still compare.
+    """
+    out = []
+    for key in META_KEYS:
+        b, c = base_meta.get(key), cand_meta.get(key)
+        if b != c:
+            out.append((key, b, c))
+    return out
+
+
 def main():
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     markdown = "--markdown" in sys.argv[1:]
     if len(args) != 2:
         print(__doc__, file=sys.stderr)
         return 2
-    base_name, base = load(args[0])
-    cand_name, cand = load(args[1])
+    try:
+        base_name, base, base_meta = load(args[0])
+        cand_name, cand, cand_meta = load(args[1])
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
     if base_name != cand_name:
         print(
             f"warning: comparing different benches "
@@ -61,44 +116,63 @@ def main():
     only_base = sorted(set(base) - set(cand))
     only_cand = sorted(set(cand) - set(base))
 
-    if markdown:
-        print(f"### Bench compare: {cand_name}")
+    mismatches = meta_mismatches(base_meta, cand_meta)
+    if mismatches:
+        hdr = f"Bench compare: {cand_name} — REFUSED (configs differ)"
+        print(f"### {hdr}" if markdown else hdr)
         print()
-        print("| workload | metric | baseline | candidate | ratio |")
-        print("|---|---|---:|---:|---:|")
-        row = "| {} | {} | {} | {} | {} |"
-    else:
-        print(f"Bench compare: {cand_name}")
-        w = max((len(f"{l}/{m}") for l, m in shared), default=20)
-        row = "  {:<" + str(w + 2) + "} {:>12} -> {:>12}  {}"
-
-    speedups = []
-    for label, metric in shared:
-        b, c = base[(label, metric)], cand[(label, metric)]
-        if is_time(metric) and b > 0 and c > 0:
-            ratio = b / c
-            speedups.append(ratio)
-            tag = f"{ratio:.2f}x speedup"
-        elif b not in (0, 0.0):
-            tag = f"{c / b:.2f}x change"
-        else:
-            tag = "n/a"
-        if markdown:
-            print(row.format(label, metric, fmt(b), fmt(c), tag))
-        else:
-            print(row.format(f"{label}/{metric}", fmt(b), fmt(c), tag))
-
-    if speedups:
-        geo = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
-        line = (
-            f"geomean speedup over {len(speedups)} time metrics: {geo:.2f}x "
-            "(baseline / candidate, > 1 = candidate faster)"
+        for key, b, c in mismatches:
+            print(f"  {key}: baseline={b} candidate={c}")
+        print()
+        print(
+            "Numeric comparison skipped: the runs were produced under "
+            "different configurations, so ratios would measure the config, "
+            "not the code."
         )
-        print()
-        print(f"**{line}**" if markdown else line)
 
-    for title, keys in (("only in baseline", only_base),
-                        ("only in candidate", only_cand)):
+    if not mismatches:
+        if markdown:
+            print(f"### Bench compare: {cand_name}")
+            print()
+            print("| workload | metric | baseline | candidate | ratio |")
+            print("|---|---|---:|---:|---:|")
+            row = "| {} | {} | {} | {} | {} |"
+        else:
+            print(f"Bench compare: {cand_name}")
+            w = max((len(f"{l}/{m}") for l, m in shared), default=20)
+            row = "  {:<" + str(w + 2) + "} {:>12} -> {:>12}  {}"
+
+        speedups = []
+        for label, metric in shared:
+            b, c = base[(label, metric)], cand[(label, metric)]
+            if is_time(metric) and b > 0 and c > 0:
+                ratio = b / c
+                speedups.append(ratio)
+                tag = f"{ratio:.2f}x speedup"
+            elif b not in (0, 0.0):
+                tag = f"{c / b:.2f}x change"
+            else:
+                tag = "n/a"
+            if markdown:
+                print(row.format(label, metric, fmt(b), fmt(c), tag))
+            else:
+                print(row.format(f"{label}/{metric}", fmt(b), fmt(c), tag))
+
+        if speedups:
+            geo = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+            line = (
+                f"geomean speedup over {len(speedups)} time metrics: "
+                f"{geo:.2f}x (baseline / candidate, > 1 = candidate faster)"
+            )
+            print()
+            print(f"**{line}**" if markdown else line)
+
+    # Workloads present in only one run are normal across branches that
+    # add or retire benches — report them as added/removed, never fail.
+    for title, keys in (
+        (f"removed (in baseline only): {len(only_base)}", only_base),
+        (f"added (in candidate only): {len(only_cand)}", only_cand),
+    ):
         if keys:
             print()
             print(f"{title}:")

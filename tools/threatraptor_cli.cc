@@ -38,6 +38,16 @@
 // --log/--case. A durable --follow run resumes the tail at the recovered
 // byte offset, so restarting it neither skips nor re-ingests records.
 //
+// Observability (hunt command): --explain-analyze prints each hunt's
+// span-tree profile (per-pattern, per-shard timings and counters) after
+// its results; --profile-json <file> appends the same profile as one JSON
+// line per hunt ("-" prints to stdout). --metrics-export dumps the full
+// telemetry registry (admission, gate, standing/MQO, WAL/checkpoint,
+// stream-ingest series) as Prometheus text once the hunts finish.
+// --slow-hunt-ms N [--slow-hunt-log <path>] appends a JSONL record — span
+// tree inlined — for every hunt or standing refresh slower than N ms
+// (default log: slow-hunts.jsonl).
+//
 //   threatraptor import-v1 <in.snap> --data-dir <dir>
 //       One-release shim: ingest a v1 text snapshot into a durable store.
 #include <cstdio>
@@ -53,6 +63,7 @@
 #include "engine/explain.h"
 #include "cases/cases.h"
 #include "huntlib/catalog.h"
+#include "obs/profile.h"
 #include "stream/event_stream.h"
 #include "stream/ingestor.h"
 #include "threatraptor.h"
@@ -72,9 +83,11 @@ int Usage() {
       "  threatraptor hunt (--log <log.jsonl> | --case <id> | --restore)\n"
       "      --query <tbql> [--query <tbql> ...] [--jobs N] [--stats]\n"
       "      [--data-dir <dir>] [--checkpoint-every N]\n"
+      "      [--explain-analyze] [--profile-json <file|->]\n"
+      "      [--metrics-export] [--slow-hunt-ms N] [--slow-hunt-log <path>]\n"
       "  threatraptor hunt --follow <log.jsonl> --query <tbql> [--query ...]\n"
       "      [--standing] [--idle-ms N] [--stats] [--data-dir <dir>]\n"
-      "      [--checkpoint-every N]\n"
+      "      [--checkpoint-every N] [--explain-analyze] [--metrics-export]\n"
       "  threatraptor fuzzy (--log <log.jsonl> | --case <id>) --query "
       "<tbql>\n"
       "  threatraptor catalog list\n"
@@ -235,12 +248,20 @@ struct HuntArgs {
   long long checkpoint_every = 0;  // auto-checkpoint interval in epochs
   bool restore = false;     // hunt over the data dir's recovered store
   bool stats = false;       // print the service's SLO metrics afterwards
+  bool explain_analyze = false;  // print each hunt's span-tree profile
+  std::string profile_json;      // append profile JSON lines here ("-": stdout)
+  bool metrics_export = false;   // dump the telemetry registry (Prometheus)
+  long long slow_hunt_ms = -1;   // slow-hunt log threshold (<0: off)
+  std::string slow_hunt_log;     // slow-hunt log path (default when ms set)
   std::vector<std::string> queries;
   std::string technique;    // catalog technique id instead of --query
   std::map<std::string, std::string> params;  // --param name=value fills slots
   int jobs = 1;
 
   const std::string& query() const { return queries.front(); }
+
+  /// Any flag that needs the span tree captured (HuntRequest::profile).
+  bool WantProfile() const { return explain_analyze || !profile_json.empty(); }
 
   persist::DurabilityOptions Durability() const {
     persist::DurabilityOptions d;
@@ -290,6 +311,23 @@ bool ParseHuntArgs(int argc, char** argv, int start, HuntArgs* out) {
       out->restore = true;
     } else if (arg == "--stats") {
       out->stats = true;
+    } else if (arg == "--explain-analyze") {
+      out->explain_analyze = true;
+    } else if (arg == "--profile-json") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->profile_json = v;
+    } else if (arg == "--metrics-export") {
+      out->metrics_export = true;
+    } else if (arg == "--slow-hunt-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->slow_hunt_ms = std::atoll(v);
+      if (out->slow_hunt_ms < 0) return false;
+    } else if (arg == "--slow-hunt-log") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->slow_hunt_log = v;
     } else if (arg == "--query") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -315,6 +353,7 @@ bool ParseHuntArgs(int argc, char** argv, int start, HuntArgs* out) {
   }
   if (out->standing && out->follow_path.empty()) return false;
   if (out->restore && out->data_dir.empty()) return false;
+  if (!out->slow_hunt_log.empty() && out->slow_hunt_ms < 0) return false;
   if (out->checkpoint_every > 0 && out->data_dir.empty()) return false;
   // A catalog technique stands in for --query; mixing both (or passing
   // --param without a technique) is rejected.
@@ -359,6 +398,40 @@ int PrintHuntReport(const engine::ExecReport& report) {
     std::printf("  %s\n", q.c_str());
   }
   return 0;
+}
+
+/// --explain-analyze / --profile-json: render one hunt's captured span
+/// tree. JSON appends one line per hunt so multi-query invocations and
+/// standing refreshes produce a JSONL stream; "-" prints to stdout.
+int EmitProfile(const HuntArgs& args, const obs::TraceSpan* profile) {
+  if (profile == nullptr) return 0;
+  if (args.explain_analyze) {
+    std::printf("--- explain analyze\n%s",
+                obs::RenderProfileText(*profile).c_str());
+  }
+  if (!args.profile_json.empty()) {
+    std::string json = obs::RenderProfileJson(*profile);
+    if (args.profile_json == "-") {
+      std::printf("%s\n", json.c_str());
+    } else {
+      std::ofstream out(args.profile_json, std::ios::app);
+      if (!out) {
+        std::fprintf(stderr, "cannot write: %s\n", args.profile_json.c_str());
+        return 1;
+      }
+      out << json << "\n";
+    }
+  }
+  return 0;
+}
+
+/// --slow-hunt-ms: attach the JSONL slow-hunt log to `service` (which
+/// forces span capture on every hunt and standing refresh it runs).
+void MaybeAttachSlowLog(service::HuntService* service, const HuntArgs& args) {
+  if (service == nullptr || args.slow_hunt_ms < 0) return;
+  const std::string& path =
+      args.slow_hunt_log.empty() ? "slow-hunts.jsonl" : args.slow_hunt_log;
+  service->ConfigureSlowLog(path, args.slow_hunt_ms * 1000);
 }
 
 /// `hunt --stats`: the service's SLO metrics snapshot, printed after the
@@ -422,12 +495,14 @@ int FollowHunt(const HuntArgs& args) {
     }
   }
   service::HuntService* service = tr.hunt_service();
+  MaybeAttachSlowLog(service, args);
 
   std::vector<service::StandingHandle> handles;
   if (args.standing) {
     for (size_t i = 0; i < args.queries.size(); ++i) {
       service::HuntRequest request;
       request.text = args.queries[i];
+      request.profile = args.WantProfile();
       service::StandingSink sink;
       size_t qidx = i;
       sink.on_alert = [qidx, &args](const service::StandingUpdate& update) {
@@ -445,6 +520,7 @@ int FollowHunt(const HuntArgs& args) {
           }
           std::printf("  %s\n", line.c_str());
         }
+        EmitProfile(args, update.profile.get());
       };
       sink.on_error = [qidx](const Status& status) {
         std::fprintf(stderr, "standing query %zu failed: %s\n", qidx + 1,
@@ -495,6 +571,15 @@ int FollowHunt(const HuntArgs& args) {
               stats.batches, stats.records,
               static_cast<unsigned long long>(service->epoch()),
               tr.store()->entity_count(), tr.store()->event_count());
+  // --metrics-export: the facade registry (service + durability series)
+  // merged with the tail ingestor's stream counters.
+  auto emit_metrics = [&] {
+    if (!args.metrics_export) return;
+    obs::MetricsRegistry registry;
+    tr.CollectMetrics(&registry);
+    ingestor.CollectMetrics(&registry);
+    std::printf("%s", registry.Render(obs::MetricsFormat::kPrometheus).c_str());
+  };
   // Final checkpoint + detach persistence (prints WAL/snapshot totals).
   auto close_durable = [&](int rc) {
     if (!tr.durable()) return rc;
@@ -518,22 +603,29 @@ int FollowHunt(const HuntArgs& args) {
                       handles[i].delivered_epoch()));
     }
     if (args.stats) PrintServiceMetrics(tr.service_metrics());
+    emit_metrics();
     return close_durable(0);
   }
   // One-shot mode: run the queries against the fully-ingested store.
   int rc = 0;
   for (const std::string& q : args.queries) {
     std::printf("=== %s\n", q.c_str());
-    auto report = tr.Hunt(q);
-    if (!report.ok()) {
+    service::HuntRequest request;
+    request.text = q;
+    request.dialect = service::QueryDialect::kTbql;
+    request.profile = args.WantProfile();
+    auto response = service->Run(std::move(request));
+    if (!response.ok()) {
       std::fprintf(stderr, "query failed: %s\n",
-                   report.status().ToString().c_str());
+                   response.status().ToString().c_str());
       rc = 1;
       continue;
     }
-    PrintHuntReport(report.value());
+    PrintHuntReport(response.value().report);
+    if (EmitProfile(args, response.value().profile.get()) != 0) rc = 1;
   }
   if (args.stats) PrintServiceMetrics(tr.service_metrics());
+  emit_metrics();
   return close_durable(rc);
 }
 
@@ -552,6 +644,7 @@ int Hunt(const HuntArgs& args) {
     }
     return rc;
   };
+  MaybeAttachSlowLog(tr.value()->hunt_service(), args);
   if (!args.technique.empty()) {
     const huntlib::Technique* t = huntlib::FindTechnique(args.technique);
     if (t != nullptr) {
@@ -589,17 +682,30 @@ int Hunt(const HuntArgs& args) {
                   response.value().seconds * 1e3);
     }
     if (args.stats) PrintServiceMetrics(tr.value()->service_metrics());
+    if (args.metrics_export) {
+      std::printf("%s", tr.value()->ExportMetrics().c_str());
+    }
     return close_durable(rc);
   }
   if (args.queries.size() == 1 && args.jobs <= 1) {
-    auto report = tr.value()->Hunt(args.query());
-    if (!report.ok()) {
+    // Through the facade's service (not the thin Hunt wrapper) so the
+    // captured span tree rides back on the response.
+    service::HuntRequest request;
+    request.text = args.query();
+    request.dialect = service::QueryDialect::kTbql;
+    request.profile = args.WantProfile();
+    auto response = tr.value()->hunt_service()->Run(std::move(request));
+    if (!response.ok()) {
       std::fprintf(stderr, "query failed: %s\n",
-                   report.status().ToString().c_str());
+                   response.status().ToString().c_str());
       return close_durable(1);
     }
-    int rc = PrintHuntReport(report.value());
+    int rc = PrintHuntReport(response.value().report);
+    if (rc == 0) rc = EmitProfile(args, response.value().profile.get());
     if (args.stats) PrintServiceMetrics(tr.value()->service_metrics());
+    if (args.metrics_export) {
+      std::printf("%s", tr.value()->ExportMetrics().c_str());
+    }
     return close_durable(rc);
   }
   // Multiple queries (or an explicit --jobs): submit everything through
@@ -608,11 +714,13 @@ int Hunt(const HuntArgs& args) {
   service::HuntServiceOptions opts;
   opts.max_concurrent = static_cast<size_t>(args.jobs);
   service::HuntService service(tr.value()->store(), opts);
+  MaybeAttachSlowLog(&service, args);
   std::vector<service::HuntTicket> tickets;
   tickets.reserve(args.queries.size());
   for (const std::string& q : args.queries) {
     service::HuntRequest request;
     request.text = q;
+    request.profile = args.WantProfile();
     tickets.push_back(service.Submit(std::move(request)));
   }
   int rc = 0;
@@ -626,8 +734,16 @@ int Hunt(const HuntArgs& args) {
       continue;
     }
     PrintHuntReport(tickets[i].response().report);
+    if (EmitProfile(args, tickets[i].response().profile.get()) != 0) rc = 1;
   }
   if (args.stats) PrintServiceMetrics(service.metrics());
+  if (args.metrics_export) {
+    // The hunts ran on this invocation-local service; export its series
+    // (the facade's service only saw the ingest).
+    obs::MetricsRegistry registry;
+    service.CollectMetrics(&registry);
+    std::printf("%s", registry.Render(obs::MetricsFormat::kPrometheus).c_str());
+  }
   return close_durable(rc);
 }
 
